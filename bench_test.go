@@ -1,0 +1,236 @@
+package predator
+
+// Benchmarks regenerating the paper's evaluation, one per table/figure
+// (run `go test -bench=. -benchmem`). These measure the same effects
+// the paper's figures plot, expressed as per-UDF-invocation costs; the
+// cmd/predator-bench binary prints the full paper-shaped tables.
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"predator/internal/bench"
+)
+
+var (
+	benchH      *bench.Harness // shared JIT harness
+	benchInterp *bench.Harness // interpreter-only harness (ablation)
+)
+
+func TestMain(m *testing.M) {
+	MaybeRunExecutor(bench.Natives)
+	code := m.Run()
+	if benchH != nil {
+		benchH.Close()
+	}
+	if benchInterp != nil {
+		benchInterp.Close()
+	}
+	os.Exit(code)
+}
+
+// benchRows keeps benchmark workloads CI-sized; the predator-bench
+// binary runs the paper's full 10,000-row scale.
+const (
+	benchRows  = 1000
+	benchCalls = 100
+)
+
+func harness(b *testing.B) *bench.Harness {
+	b.Helper()
+	if benchH == nil {
+		h, err := bench.NewHarness(bench.Config{Rows: benchRows})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchH = h
+	}
+	return benchH
+}
+
+func interpHarness(b *testing.B) *bench.Harness {
+	b.Helper()
+	if benchInterp == nil {
+		h, err := bench.NewHarness(bench.Config{Rows: benchRows, DisableJIT: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchInterp = h
+	}
+	return benchInterp
+}
+
+// runQueryBench times the paper's benchmark query, reporting
+// ns-per-UDF-invocation alongside the standard per-op figure.
+func runQueryBench(b *testing.B, h *bench.Harness, design string, baSize, indep, dep, ncb int) {
+	b.Helper()
+	// Warm up executors / JIT outside the timer.
+	if _, err := h.RunQuery(design, baSize, indep, dep, ncb, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.RunQuery(design, baSize, indep, dep, ncb, benchCalls); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perInv := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(benchCalls)
+	b.ReportMetric(perInv, "ns/udf-invocation")
+}
+
+// BenchmarkTable1DesignSpace measures the bare invocation cost of each
+// design (the qualitative Table 1, quantified).
+func BenchmarkTable1DesignSpace(b *testing.B) {
+	h := harness(b)
+	for _, d := range bench.AllDesigns {
+		b.Run("design="+bench.Label(d), func(b *testing.B) {
+			runQueryBench(b, h, d, 100, 0, 0, 0)
+		})
+	}
+}
+
+// BenchmarkFig4TableAccess is the calibration: the trivial UDF over
+// each relation (table-access cost only).
+func BenchmarkFig4TableAccess(b *testing.B) {
+	h := harness(b)
+	for _, size := range bench.BASizes {
+		b.Run(fmt.Sprintf("rel=%s", bench.RelName(size)), func(b *testing.B) {
+			if _, err := h.BaseCost(size, 1); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := h.BaseCost(size, benchCalls); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			perInv := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(benchCalls)
+			b.ReportMetric(perInv, "ns/udf-invocation")
+		})
+	}
+}
+
+// BenchmarkFig5Invocation: no-op generic UDF, byte-array size swept,
+// per design (invocation + argument-passing cost).
+func BenchmarkFig5Invocation(b *testing.B) {
+	h := harness(b)
+	for _, size := range bench.BASizes {
+		for _, d := range bench.AllDesigns {
+			b.Run(fmt.Sprintf("ba=%d/design=%s", size, bench.Label(d)), func(b *testing.B) {
+				runQueryBench(b, h, d, size, 0, 0, 0)
+			})
+		}
+	}
+}
+
+// BenchmarkFig6Computation: data-independent computation swept.
+func BenchmarkFig6Computation(b *testing.B) {
+	h := harness(b)
+	for _, indep := range []int{0, 100, 10000} {
+		for _, d := range bench.AllDesigns {
+			b.Run(fmt.Sprintf("indep=%d/design=%s", indep, bench.Label(d)), func(b *testing.B) {
+				runQueryBench(b, h, d, 10000, indep, 0, 0)
+			})
+		}
+	}
+}
+
+// BenchmarkFig7DataAccess: passes over the 10,000-byte array swept,
+// including the bounds-checked BC++ comparator.
+func BenchmarkFig7DataAccess(b *testing.B) {
+	h := harness(b)
+	for _, dep := range []int{0, 1, 10} {
+		for _, d := range bench.AllDesigns {
+			b.Run(fmt.Sprintf("dep=%d/design=%s", dep, bench.Label(d)), func(b *testing.B) {
+				runQueryBench(b, h, d, 10000, 0, dep, 0)
+			})
+		}
+	}
+}
+
+// BenchmarkFig8Callbacks: callbacks per invocation swept; the isolated
+// designs pay a full process round trip per callback.
+func BenchmarkFig8Callbacks(b *testing.B) {
+	h := harness(b)
+	for _, ncb := range []int{0, 1, 10} {
+		for _, d := range bench.AllDesigns {
+			b.Run(fmt.Sprintf("ncb=%d/design=%s", ncb, bench.Label(d)), func(b *testing.B) {
+				runQueryBench(b, h, d, 10000, 0, 0, ncb)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationJIT: the Jaguar VM with and without the
+// closure-threaded JIT on the Fig. 6 compute workload.
+func BenchmarkAblationJIT(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		h    func(*testing.B) *bench.Harness
+	}{
+		{"jit", harness},
+		{"interp", interpHarness},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			runQueryBench(b, mode.h(b), bench.DesignJNI, 10000, 1000, 0, 0)
+		})
+	}
+}
+
+// BenchmarkAblationVerifier: the load-time verification pipeline.
+func BenchmarkAblationVerifier(b *testing.B) {
+	classBytes, err := CompileJaguar(bench.GenericUDFSource, "BenchVerify")
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = classBytes
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationVerifier(1, 10000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationFuel: cost of running under a (non-binding) fuel
+// limit versus unlimited — the price of resource accounting.
+func BenchmarkAblationFuel(b *testing.B) {
+	h := harness(b)
+	// The harness's VM always accounts fuel; this measures the compute
+	// workload as the accounting-inclusive figure the resource manager
+	// ships with (compare against Fig. 6 C++ for the total safety tax).
+	b.Run("accounted", func(b *testing.B) {
+		runQueryBench(b, h, bench.DesignJNI, 100, 1000, 0, 0)
+	})
+	b.Run("native-baseline", func(b *testing.B) {
+		runQueryBench(b, h, bench.DesignCPP, 100, 1000, 0, 0)
+	})
+}
+
+// BenchmarkAblationExecutorPool: fresh executor vs pooled reuse.
+func BenchmarkAblationExecutorPool(b *testing.B) {
+	if _, err := bench.AblationExecutorPool(1); err != nil {
+		b.Skip("executors unavailable:", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationExecutorPool(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCallbackBatch: N single-byte callbacks vs one
+// batched read (§2.5's batching hypothesis).
+func BenchmarkAblationCallbackBatch(b *testing.B) {
+	h := harness(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationCallbackBatch(h, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

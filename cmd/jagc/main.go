@@ -1,0 +1,74 @@
+// Command jagc is the Jaguar compiler: it compiles .jag source files
+// to verified Jaguar class files (.jclass), the portable unit that
+// moves between PREDATOR-Go clients and servers.
+//
+//	jagc udf.jag                 # writes udf.jclass
+//	jagc -o out.jclass udf.jag   # explicit output
+//	jagc -disasm udf.jag         # print the compiled bytecode
+//	jagc -check udf.jag          # compile + verify only, write nothing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"predator/internal/jaguar"
+	"predator/internal/jvm"
+)
+
+func main() {
+	var (
+		out    = flag.String("o", "", "output class file (default: source with .jclass)")
+		name   = flag.String("class", "", "class name (default: source file base name)")
+		disasm = flag.Bool("disasm", false, "print disassembly instead of writing a file")
+		check  = flag.Bool("check", false, "compile and verify only")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: jagc [-o out.jclass] [-class Name] [-disasm] [-check] source.jag")
+		os.Exit(2)
+	}
+	srcPath := flag.Arg(0)
+	src, err := os.ReadFile(srcPath)
+	if err != nil {
+		fatal(err)
+	}
+	className := *name
+	if className == "" {
+		className = strings.TrimSuffix(filepath.Base(srcPath), filepath.Ext(srcPath))
+	}
+	cls, err := jaguar.Compile(string(src), className)
+	if err != nil {
+		fatal(err)
+	}
+	if err := cls.Verify(); err != nil {
+		fatal(fmt.Errorf("internal error: compiler emitted unverifiable code: %w", err))
+	}
+	if *disasm {
+		for i := range cls.Methods {
+			fmt.Print(jvm.Disassemble(cls, &cls.Methods[i]))
+		}
+		return
+	}
+	if *check {
+		fmt.Printf("%s: %d method(s), verified OK\n", className, len(cls.Methods))
+		return
+	}
+	outPath := *out
+	if outPath == "" {
+		outPath = strings.TrimSuffix(srcPath, filepath.Ext(srcPath)) + ".jclass"
+	}
+	data := jvm.EncodeClass(cls)
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes, %d method(s))\n", outPath, len(data), len(cls.Methods))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "jagc: %v\n", err)
+	os.Exit(1)
+}

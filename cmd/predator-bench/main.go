@@ -1,0 +1,154 @@
+// Command predator-bench regenerates the paper's evaluation: Table 1
+// and Figures 4-8 of "Secure and Portable Database Extensibility"
+// (SIGMOD 1998), plus the ablations documented in DESIGN.md.
+//
+//	predator-bench                        # quick run (1,000 rows)
+//	predator-bench -full                  # the paper's 10,000-row scale
+//	predator-bench -experiment fig7       # one experiment
+//	predator-bench -experiment table1,fig5,fig8
+//
+// Experiments: table1 fig4 fig5 fig6 fig7 fig8 jit verifier fuel pool
+// cbbatch, or "all".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"predator/internal/bench"
+	"predator/internal/isolate"
+)
+
+func main() {
+	isolate.MaybeRunExecutor(bench.Natives)
+	var (
+		experiment = flag.String("experiment", "all", "comma-separated experiment ids (or 'all')")
+		full       = flag.Bool("full", false, "run the paper's full scale (10,000 rows/calls; slow)")
+		rows       = flag.Int("rows", 0, "override relation cardinality")
+		calls      = flag.Int("calls", 0, "override UDF invocation count")
+		dir        = flag.String("dir", "", "workspace directory (default: temp)")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Dir: *dir, Rows: 1000}
+	ax := bench.QuickAxes()
+	if *full {
+		cfg.Rows = 10000
+		ax = bench.FullAxes()
+	}
+	if *rows > 0 {
+		cfg.Rows = *rows
+	}
+	if *calls > 0 {
+		cfg.Calls = *calls
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*experiment, ",") {
+		want[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+	all := want["all"]
+	sel := func(id string) bool { return all || want[id] }
+
+	fmt.Printf("predator-bench: rows=%d calls=%d (designs: %s)\n",
+		cfg.Rows, effectiveCalls(cfg), strings.Join(labels(), ", "))
+	fmt.Printf("started %s\n\n", time.Now().Format(time.RFC3339))
+
+	if sel("table1") {
+		fmt.Println(bench.Table1().Render())
+	}
+
+	needHarness := sel("fig4") || sel("fig5") || sel("fig6") || sel("fig7") ||
+		sel("fig8") || sel("jit") || sel("cbbatch")
+	var h *bench.Harness
+	if needHarness {
+		var err error
+		start := time.Now()
+		h, err = bench.NewHarness(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		defer h.Close()
+		if err := h.Verify(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(workload built and cross-verified in %s: all 5 designs agree)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	show := func(t *bench.Table, err error) {
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t.Render())
+	}
+	show2 := func(a, r *bench.Table, err error) {
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(a.Render())
+		fmt.Println(r.Render())
+	}
+
+	if sel("fig4") {
+		show(bench.Fig4(h, ax))
+	}
+	if sel("fig5") {
+		show(bench.Fig5(h, ax))
+	}
+	if sel("fig6") {
+		show2(bench.Fig6(h, ax))
+	}
+	if sel("fig7") {
+		show2(bench.Fig7(h, ax))
+	}
+	if sel("fig8") {
+		show2(bench.Fig8(h, ax))
+	}
+	if sel("jit") {
+		nojit, err := bench.NewHarness(bench.Config{Dir: "", Rows: cfg.Rows, Calls: cfg.Calls, DisableJIT: true})
+		if err != nil {
+			fatal(err)
+		}
+		// The interpreter at the full Fig. 6 axis would take minutes per
+		// point; the ablation uses the quick axis at any scale.
+		tbl, err := bench.AblationJIT(h, nojit, bench.QuickAxes().Fig6Indep)
+		nojit.Close()
+		show(tbl, err)
+	}
+	if sel("verifier") {
+		show(bench.AblationVerifier(1000, effectiveCalls(cfg)))
+	}
+	if sel("fuel") {
+		show(bench.AblationFuel([]int64{1000, 100000, 10000000}))
+	}
+	if sel("pool") {
+		show(bench.AblationExecutorPool(200))
+	}
+	if sel("cbbatch") {
+		show(bench.AblationCallbackBatch(h, 1000))
+	}
+	fmt.Printf("finished %s\n", time.Now().Format(time.RFC3339))
+}
+
+func effectiveCalls(cfg bench.Config) int {
+	if cfg.Calls > 0 && cfg.Calls < cfg.Rows {
+		return cfg.Calls
+	}
+	return cfg.Rows
+}
+
+func labels() []string {
+	out := make([]string, len(bench.AllDesigns))
+	for i, d := range bench.AllDesigns {
+		out[i] = bench.Label(d)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "predator-bench: %v\n", err)
+	os.Exit(1)
+}

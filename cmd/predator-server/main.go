@@ -1,0 +1,74 @@
+// Command predator-server runs a PREDATOR-Go database server: one
+// engine over TCP, one goroutine per client session. Clients issue SQL
+// (including CREATE FUNCTION ... LANGUAGE JAGUAR) and can upload
+// compiled Jaguar UDF classes.
+//
+// Usage:
+//
+//	predator-server -db /path/to/data.db -listen 127.0.0.1:5442
+//
+// Isolated UDFs (Designs 2/4) re-execute this binary as executor
+// processes; no extra installation is needed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"predator"
+)
+
+func main() {
+	// Must run before anything else: this process may be an executor.
+	predator.MaybeRunExecutor(nil)
+
+	var (
+		dbPath  = flag.String("db", "predator.db", "database file")
+		listen  = flag.String("listen", "127.0.0.1:5442", "listen address")
+		pool    = flag.Int("buffer-pages", 4096, "buffer pool size in pages")
+		fuel    = flag.Int64("udf-fuel", 100_000_000, "UDF instruction budget per invocation (0 = unlimited)")
+		mem     = flag.Int64("udf-mem", 64<<20, "UDF allocation budget in bytes per invocation (0 = unlimited)")
+		nojit   = flag.Bool("no-jit", false, "disable the Jaguar VM JIT (interpreter only)")
+		verbose = flag.Bool("v", false, "verbose connection logging")
+	)
+	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		if *verbose {
+			log.Printf(format, args...)
+		}
+	}
+	opts := []predator.Option{
+		predator.WithBufferPoolPages(*pool),
+		predator.WithUDFLimits(predator.ResourceLimits{Fuel: *fuel, MaxAllocBytes: *mem}),
+		predator.WithLogger(logf),
+	}
+	if *nojit {
+		opts = append(opts, predator.WithJITDisabled())
+	}
+	db, err := predator.Open(*dbPath, opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "predator-server: %v\n", err)
+		os.Exit(1)
+	}
+	srv := predator.NewServer(db, log.Printf)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "predator-server: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("predator-server: serving %s on %s", *dbPath, addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("predator-server: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Printf("predator-server: shutdown: %v", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,189 @@
+// Command predator is the interactive SQL shell. It either connects to
+// a predator-server (-addr) or opens a database file directly (-db).
+//
+//	predator -db stocks.db
+//	predator -addr 127.0.0.1:5442
+//
+// Statements end with ';'. Shell commands: \q quits, \tables and
+// \functions shortcut the SHOW statements.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"predator"
+	"predator/internal/types"
+)
+
+// executor abstracts local vs remote execution for the shell.
+type executor interface {
+	exec(sql string) (*shellResult, error)
+	close() error
+}
+
+type shellResult struct {
+	schema   *types.Schema
+	rows     []types.Row
+	affected int64
+	message  string
+	plan     string
+}
+
+type localExec struct{ db *predator.DB }
+
+func (l *localExec) exec(sql string) (*shellResult, error) {
+	res, err := l.db.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &shellResult{schema: res.Schema, rows: res.Rows, affected: res.RowsAffected, message: res.Message, plan: res.Plan}, nil
+}
+
+func (l *localExec) close() error { return l.db.Close() }
+
+type remoteExec struct{ cl *predator.Client }
+
+func (r *remoteExec) exec(sql string) (*shellResult, error) {
+	res, err := r.cl.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &shellResult{schema: res.Schema, rows: res.Rows, affected: res.RowsAffected, message: res.Message, plan: res.Plan}, nil
+}
+
+func (r *remoteExec) close() error { return r.cl.Close() }
+
+func main() {
+	predator.MaybeRunExecutor(nil)
+	var (
+		dbPath = flag.String("db", "", "open a database file directly (embedded mode)")
+		addr   = flag.String("addr", "", "connect to a predator-server")
+		user   = flag.String("user", os.Getenv("USER"), "user name for the session")
+	)
+	flag.Parse()
+
+	var ex executor
+	switch {
+	case *dbPath != "" && *addr != "":
+		fmt.Fprintln(os.Stderr, "predator: use either -db or -addr, not both")
+		os.Exit(2)
+	case *addr != "":
+		cl, err := predator.Dial(*addr, *user)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "predator: %v\n", err)
+			os.Exit(1)
+		}
+		ex = &remoteExec{cl: cl}
+		fmt.Printf("connected to %s\n", *addr)
+	default:
+		path := *dbPath
+		if path == "" {
+			path = "predator.db"
+		}
+		db, err := predator.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "predator: %v\n", err)
+			os.Exit(1)
+		}
+		ex = &localExec{db: db}
+		fmt.Printf("opened %s\n", path)
+	}
+	defer ex.close()
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := func() {
+		if pending.Len() == 0 {
+			fmt.Print("predator> ")
+		} else {
+			fmt.Print("      ... ")
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		switch trimmed {
+		case `\q`, `\quit`, "exit", "quit":
+			return
+		case `\tables`:
+			runStatement(ex, "SHOW TABLES")
+			prompt()
+			continue
+		case `\functions`:
+			runStatement(ex, "SHOW FUNCTIONS")
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		// A statement is complete at an unquoted trailing semicolon.
+		if strings.HasSuffix(strings.TrimSpace(pending.String()), ";") {
+			runStatement(ex, pending.String())
+			pending.Reset()
+		}
+		prompt()
+	}
+}
+
+func runStatement(ex executor, sql string) {
+	res, err := ex.exec(sql)
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	switch {
+	case res.plan != "":
+		fmt.Print(res.plan)
+	case res.schema != nil:
+		printTable(res.schema, res.rows)
+		fmt.Printf("(%d rows)\n", len(res.rows))
+	case res.message != "":
+		fmt.Println(res.message)
+	default:
+		fmt.Printf("ok (%d rows affected)\n", res.affected)
+	}
+}
+
+func printTable(schema *types.Schema, rows []types.Row) {
+	headers := make([]string, schema.Arity())
+	widths := make([]int, schema.Arity())
+	for i, c := range schema.Columns {
+		headers[i] = c.Name
+		widths[i] = len(c.Name)
+	}
+	cells := make([][]string, len(rows))
+	for r, row := range rows {
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			s := v.String()
+			cells[r][i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	line := func(parts []string) {
+		for i, p := range parts {
+			if i > 0 {
+				fmt.Print(" | ")
+			}
+			fmt.Printf("%-*s", widths[i], p)
+		}
+		fmt.Println()
+	}
+	line(headers)
+	seps := make([]string, len(headers))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, row := range cells {
+		line(row)
+	}
+}

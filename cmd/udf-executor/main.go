@@ -1,0 +1,22 @@
+// Command udf-executor is a standalone UDF executor process speaking
+// the isolate protocol on stdin/stdout. Servers normally re-execute
+// their own binary as executors (so native UDF implementations are
+// present on both sides); this standalone binary is for deployments
+// that run only Jaguar (VM) UDFs in isolation, where no native table
+// is needed.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"predator/internal/isolate"
+)
+
+func main() {
+	if err := isolate.RunExecutor(os.Stdin, os.Stdout, nil); err != nil && err != io.EOF {
+		fmt.Fprintf(os.Stderr, "udf-executor: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,148 @@
+// Migration demonstrates the paper's §6.4 portability workflow over a
+// real client/server connection:
+//
+//  1. the client compiles a Jaguar UDF locally,
+//  2. tests it in its OWN VM (same verified bytecode the server will run),
+//  3. migrates it to the server (uploading class bytes, which the
+//     server re-verifies before installing),
+//  4. runs server-side queries through it,
+//  5. a second client downloads the class back and runs it locally —
+//     the identical code executes at either site.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"predator"
+)
+
+func main() {
+	predator.MaybeRunExecutor(nil)
+
+	dir, err := os.MkdirTemp("", "predator-migration-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Start an in-process server (the same code path as
+	// cmd/predator-server).
+	db, err := predator.Open(filepath.Join(dir, "server.db"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := predator.NewServer(db, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("server listening on %s\n", addr)
+
+	// The developer's client.
+	cl, err := predator.Dial(addr, "developer")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err := cl.Exec(`CREATE TABLE words (w STRING)`); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cl.Exec(`INSERT INTO words VALUES ('level'), ('rotor'), ('jaguar'), ('racecar')`); err != nil {
+		log.Fatal(err)
+	}
+
+	// The developer writes the UDF against the BYTES type (Jaguar's
+	// random-access data type) and will iterate locally until the
+	// tests below pass — the workflow the paper advocates.
+	spec := predator.UDFSpec{
+		Name: "is_pal",
+		Source: `
+		func is_pal(b bytes) int {
+			var i int = 0;
+			var j int = len(b) - 1;
+			while (i < j) {
+				if (b[i] != b[j]) { return 0; }
+				i = i + 1;
+				j = j - 1;
+			}
+			return 1;
+		}`,
+		Args:    []predator.Kind{predator.KindBytes},
+		Return:  predator.KindInt,
+		Persist: true,
+	}
+
+	// 1. Compile locally.
+	classBytes, err := cl.Compile(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled is_pal to %d bytes of verified Jaguar class\n", len(classBytes))
+
+	// 2. Test locally in the client's own VM.
+	for _, tc := range []struct {
+		in   string
+		want int64
+	}{
+		{"racecar", 1}, {"jaguar", 0}, {"", 1}, {"ab", 0},
+	} {
+		out, err := cl.TestLocally(spec, classBytes, []predator.Value{predator.NewBytes([]byte(tc.in))}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "ok"
+		if out.Int != tc.want {
+			status = "WRONG"
+		}
+		fmt.Printf("  local test is_pal(%q) = %d  %s\n", tc.in, out.Int, status)
+	}
+
+	// 3. Migrate: upload the same class bytes to the server.
+	if err := cl.Register(spec, classBytes); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("migrated is_pal to the server")
+
+	// 4. Use it server-side. (The table stores strings; add a bytes
+	// column carrying the same text for the UDF.)
+	if _, err := cl.Exec(`CREATE TABLE wordbytes (w STRING, wb BYTES)`); err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range []string{"level", "rotor", "jaguar", "racecar", "predator"} {
+		if _, err := cl.Exec(fmt.Sprintf(`INSERT INTO wordbytes VALUES ('%s', X'%x')`, w, w)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, err := cl.Exec(`SELECT w FROM wordbytes WHERE is_pal(wb) = 1 ORDER BY w`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server-side palindromes:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %s\n", row[0].Str)
+	}
+
+	// 5. A second client downloads the class and runs it locally: the
+	// same bytecode executes at either site.
+	cl2, err := predator.Dial(addr, "analyst")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl2.Close()
+	fetched, args, ret, err := cl2.FetchClass("is_pal")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := cl2.TestLocally(predator.UDFSpec{Name: "is_pal", Args: args, Return: ret},
+		fetched, []predator.Value{predator.NewBytes([]byte("rotor"))}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("second client downloaded the class (%d bytes) and ran it locally: is_pal('rotor') = %d\n",
+		len(fetched), out.Int)
+}

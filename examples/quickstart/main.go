@@ -1,0 +1,59 @@
+// Quickstart: open a database, create a table, write a Jaguar UDF in
+// SQL, and query through it — the minimal end-to-end tour of the
+// public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"predator"
+)
+
+func main() {
+	predator.MaybeRunExecutor(nil)
+
+	dir, err := os.MkdirTemp("", "predator-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := predator.Open(filepath.Join(dir, "quickstart.db"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	must := func(sql string) *predator.Result {
+		res, err := db.Exec(sql)
+		if err != nil {
+			log.Fatalf("%s: %v", sql, err)
+		}
+		return res
+	}
+
+	must(`CREATE TABLE readings (sensor STRING, fahrenheit INT)`)
+	must(`INSERT INTO readings VALUES
+		('roof', 212), ('lab', 68), ('freezer', 32), ('kiln', 1832)`)
+
+	// A portable UDF, compiled and verified on registration. It runs
+	// inside the embedded Jaguar VM (the paper's Design 3).
+	must(`CREATE FUNCTION celsius(int) RETURNS int LANGUAGE jaguar AS $$
+		func celsius(f int) int { return (f - 32) * 5 / 9; }
+	$$`)
+
+	res := must(`SELECT sensor, fahrenheit, celsius(fahrenheit) c
+	             FROM readings WHERE celsius(fahrenheit) >= 0
+	             ORDER BY c DESC`)
+	fmt.Println("sensor      F       C")
+	for _, row := range res.Rows {
+		fmt.Printf("%-10s %5d %6d\n", row[0].Str, row[1].Int, row[2].Int)
+	}
+
+	// Aggregates work over UDF results too.
+	res = must(`SELECT COUNT(*), AVG(celsius(fahrenheit)) FROM readings`)
+	fmt.Printf("\n%d readings, average %.1f C\n", res.Rows[0][0].Int, res.Rows[0][1].Float)
+}

@@ -1,0 +1,140 @@
+// Stockscreener reproduces the paper's introductory scenario: a stock
+// market database queried through the web, where any amateur investor
+// supplies their own InvestVal formula as a UDF:
+//
+//	SELECT * FROM Stocks S
+//	WHERE S.type = 'tech' AND InvestVal(S.history) > 5
+//
+// The investor's formula is untrusted, so it runs as verified Jaguar
+// bytecode under a deny-by-default security policy and hard resource
+// limits — and the example demonstrates both a malicious formula being
+// denied and a runaway formula being stopped.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"predator"
+)
+
+func main() {
+	predator.MaybeRunExecutor(nil)
+
+	dir, err := os.MkdirTemp("", "predator-stocks-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// The server grants UDFs callbacks and logging, nothing else, and
+	// caps each invocation at 10M instructions / 16 MB allocations.
+	db, err := predator.Open(filepath.Join(dir, "stocks.db"),
+		predator.WithSecurityPolicy(predator.NewPolicy(predator.PermCallback, predator.PermLog)),
+		predator.WithUDFLimits(predator.ResourceLimits{Fuel: 10_000_000, MaxAllocBytes: 16 << 20}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	must := func(sql string) *predator.Result {
+		res, err := db.Exec(sql)
+		if err != nil {
+			log.Fatalf("%s: %v", firstLine(sql), err)
+		}
+		return res
+	}
+
+	must(`CREATE TABLE stocks (sym STRING, type STRING, history BYTES)`)
+
+	// Synthetic price histories: one byte per trading day.
+	rnd := rand.New(rand.NewSource(42))
+	stocks := []struct{ sym, typ string }{
+		{"ACME", "tech"}, {"GLOB", "tech"}, {"NANO", "tech"},
+		{"OILCO", "energy"}, {"BANKX", "finance"},
+	}
+	for _, s := range stocks {
+		hist := make([]byte, 250)
+		price := 100 + rnd.Intn(50)
+		for i := range hist {
+			price += rnd.Intn(11) - 5
+			if price < 1 {
+				price = 1
+			}
+			if price > 255 {
+				price = 255
+			}
+			hist[i] = byte(price)
+		}
+		must(fmt.Sprintf(`INSERT INTO stocks VALUES ('%s', '%s', X'%x')`, s.sym, s.typ, hist))
+	}
+
+	// The amateur investor's formula: average momentum over the last
+	// 50 days, in percent. Untrusted code, Design 3.
+	must(`CREATE FUNCTION investval(bytes) RETURNS float LANGUAGE jaguar AS $$
+		// momentum: percentage change between the mean of the last 50
+		// days and the mean of the 50 days before that — written by a
+		// user, not the DBA.
+		func investval(h bytes) float {
+			var n int = len(h);
+			if (n < 100) { return 0.0; }
+			var recent int = 0;
+			var past int = 0;
+			for (var i int = n - 50; i < n; i = i + 1) { recent = recent + h[i]; }
+			for (var i int = n - 100; i < n - 50; i = i + 1) { past = past + h[i]; }
+			if (past == 0) { return 0.0; }
+			return (float(recent) - float(past)) / float(past) * 100.0;
+		}
+	$$`)
+
+	fmt.Println("tech stocks by momentum (InvestVal):")
+	res := must(`SELECT sym, investval(history) v FROM stocks
+	             WHERE type = 'tech' ORDER BY v DESC`)
+	for _, row := range res.Rows {
+		fmt.Printf("  %-6s %+.2f%%\n", row[0].Str, row[1].Float)
+	}
+
+	fmt.Println("\nstocks the formula flags (InvestVal > 0.5):")
+	res = must(`SELECT sym, type FROM stocks WHERE investval(history) > 0.5`)
+	for _, row := range res.Rows {
+		fmt.Printf("  %-6s (%s)\n", row[0].Str, row[1].Str)
+	}
+
+	// A malicious "formula" that tries to read the clock (a covert
+	// channel): the security manager denies it.
+	must(`CREATE FUNCTION evil(bytes) RETURNS int LANGUAGE jaguar AS $$
+		func evil(h bytes) int { return time(); }
+	$$`)
+	if _, err := db.Exec(`SELECT evil(history) FROM stocks`); err != nil {
+		fmt.Printf("\nmalicious UDF denied: %v\n", err)
+	}
+
+	// A buggy formula that never terminates: the fuel limit stops it.
+	must(`CREATE FUNCTION buggy(bytes) RETURNS int LANGUAGE jaguar AS $$
+		func buggy(h bytes) int {
+			var acc int = 0;
+			while (acc >= 0) { acc = acc + 1; }
+			return acc;
+		}
+	$$`)
+	if _, err := db.Exec(`SELECT buggy(history) FROM stocks`); err != nil {
+		fmt.Printf("runaway UDF stopped: %v\n", err)
+	}
+
+	fmt.Println("\nthe server survived both; regular queries still run:")
+	res = must(`SELECT COUNT(*) FROM stocks`)
+	fmt.Printf("  %d stocks on file\n", res.Rows[0][0].Int)
+}
+
+func firstLine(s string) string {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i] + " ..."
+	}
+	return s
+}

@@ -1,0 +1,142 @@
+// Sunsets reproduces the paper's image-predicate scenario (§3.1):
+//
+//	SELECT * FROM Sunsets S
+//	WHERE REDNESS(S.picture) > 0.7 AND S.location = 'fingerlakes'
+//
+// It demonstrates two things the paper analyzes:
+//
+//  1. Expensive-predicate placement: EXPLAIN shows the optimizer runs
+//     the cheap location filter before the expensive REDNESS UDF.
+//  2. The whole-object vs handle+callbacks trade-off (§5.6): one UDF
+//     takes the full image bytes; another takes a handle and samples
+//     pixels through server callbacks.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"predator"
+)
+
+// imageSize is one synthetic "image": 64x64 RGB bytes.
+const imageSize = 64 * 64 * 3
+
+// makeImage synthesizes an RGB image with the given red bias.
+func makeImage(rnd *rand.Rand, redBias float64) []byte {
+	img := make([]byte, imageSize)
+	for p := 0; p < imageSize; p += 3 {
+		r := rnd.Float64()
+		if r < redBias {
+			img[p] = byte(180 + rnd.Intn(76)) // red channel hot
+			img[p+1] = byte(rnd.Intn(80))
+			img[p+2] = byte(rnd.Intn(80))
+		} else {
+			img[p] = byte(rnd.Intn(120))
+			img[p+1] = byte(rnd.Intn(256))
+			img[p+2] = byte(rnd.Intn(256))
+		}
+	}
+	return img
+}
+
+func main() {
+	predator.MaybeRunExecutor(nil)
+
+	dir, err := os.MkdirTemp("", "predator-sunsets-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := predator.Open(filepath.Join(dir, "sunsets.db"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	must := func(sql string) *predator.Result {
+		res, err := db.Exec(sql)
+		if err != nil {
+			log.Fatalf("%v", err)
+		}
+		return res
+	}
+
+	must(`CREATE TABLE sunsets (id INT, location STRING, picture BYTES, handle INT)`)
+	rnd := rand.New(rand.NewSource(7))
+	locations := []string{"fingerlakes", "fingerlakes", "adirondacks", "fingerlakes", "catskills"}
+	for i, loc := range locations {
+		bias := 0.2
+		if i%2 == 0 {
+			bias = 0.8 // even ids are fiery sunsets
+		}
+		img := makeImage(rnd, bias)
+		// Register the image as a server object too, so the
+		// handle-based UDF can sample it via callbacks.
+		handle := db.PutObject(img)
+		must(fmt.Sprintf(`INSERT INTO sunsets VALUES (%d, '%s', X'%x', %d)`, i, loc, img, handle))
+	}
+
+	// REDNESS over the full image: the UDF receives all 12 KB.
+	must(`CREATE FUNCTION redness(bytes) RETURNS float LANGUAGE jaguar AS $$
+		// fraction of pixels whose red channel dominates
+		func redness(img bytes) float {
+			var hot int = 0;
+			var pixels int = len(img) / 3;
+			for (var p int = 0; p < pixels; p = p + 1) {
+				var r int = img[p * 3];
+				var g int = img[p * 3 + 1];
+				var b int = img[p * 3 + 2];
+				if (r > 150 && r > g + 50 && r > b + 50) { hot = hot + 1; }
+			}
+			if (pixels == 0) { return 0.0; }
+			return float(hot) / float(pixels);
+		}
+	$$`)
+
+	// REDNESS by handle: the UDF samples 200 pixels via callbacks
+	// instead of receiving the whole image (§5.6's trade-off).
+	must(`CREATE FUNCTION redness_cb(int) RETURNS float LANGUAGE jaguar AS $$
+		func redness_cb(h int) float {
+			var size int = cb_size(h);
+			var pixels int = size / 3;
+			if (pixels == 0) { return 0.0; }
+			var step int = pixels / 200;
+			if (step < 1) { step = 1; }
+			var hot int = 0;
+			var sampled int = 0;
+			for (var p int = 0; p < pixels; p = p + step) {
+				var px bytes = cb_read(h, p * 3, 3);
+				if (px[0] > 150 && px[0] > px[1] + 50 && px[0] > px[2] + 50) { hot = hot + 1; }
+				sampled = sampled + 1;
+			}
+			return float(hot) / float(sampled);
+		}
+	$$`)
+
+	fmt.Println("bright sunsets in the Finger Lakes (full-image UDF):")
+	res := must(`SELECT id, redness(picture) r FROM sunsets
+	             WHERE redness(picture) > 0.7 AND location = 'fingerlakes'
+	             ORDER BY r DESC`)
+	for _, row := range res.Rows {
+		fmt.Printf("  image %d: redness %.2f\n", row[0].Int, row[1].Float)
+	}
+
+	fmt.Println("\nsame query by handle + callbacks (sampled):")
+	res = must(`SELECT id, redness_cb(handle) r FROM sunsets
+	             WHERE redness_cb(handle) > 0.7 AND location = 'fingerlakes'
+	             ORDER BY r DESC`)
+	for _, row := range res.Rows {
+		fmt.Printf("  image %d: redness ~%.2f\n", row[0].Int, row[1].Float)
+	}
+
+	fmt.Println("\nEXPLAIN: the optimizer runs the cheap location filter first,")
+	fmt.Println("the expensive UDF predicate last (Hellerstein placement):")
+	res = must(`EXPLAIN SELECT id FROM sunsets
+	            WHERE redness(picture) > 0.7 AND location = 'fingerlakes'`)
+	fmt.Print(res.Plan)
+}

@@ -1,0 +1,72 @@
+package predator
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"predator/internal/jvm"
+)
+
+// TestShippedJaguarSourcesCompile guards the .jag sample files: every
+// source under examples/udfs must compile, verify and load.
+func TestShippedJaguarSourcesCompile(t *testing.T) {
+	matches, err := filepath.Glob("examples/udfs/*.jag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no .jag samples found")
+	}
+	vm := jvm.New(jvm.Options{})
+	for _, path := range matches {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), ".jag")
+		classBytes, err := CompileJaguar(string(src), name)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if _, err := vm.NewLoader("samples").Load(classBytes); err != nil {
+			t.Errorf("%s: load: %v", path, err)
+		}
+	}
+}
+
+// TestInvestvalSampleBehaviour runs the investval sample end to end.
+func TestInvestvalSampleBehaviour(t *testing.T) {
+	src, err := os.ReadFile("examples/udfs/investval.jag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	classBytes, err := CompileJaguar(string(src), "investval")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := jvm.New(jvm.Options{Security: jvm.AllowAll()})
+	lc, err := vm.NewLoader("inv").Load(classBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rising history: recent mean > past mean => positive momentum.
+	hist := make([]byte, 100)
+	for i := range hist {
+		hist[i] = byte(i + 50)
+	}
+	ret, _, err := lc.Call("investval", []jvm.Value{jvm.BytesVal(hist)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret.F <= 0 {
+		t.Errorf("rising history momentum = %f, want > 0", ret.F)
+	}
+	// Too-short history returns 0.
+	ret, _, err = lc.Call("investval", []jvm.Value{jvm.BytesVal(make([]byte, 10))}, nil)
+	if err != nil || ret.F != 0 {
+		t.Errorf("short history = %f, %v", ret.F, err)
+	}
+}

@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"predator/internal/isolate"
+	"predator/internal/jaguar"
+	"predator/internal/jvm"
+	"predator/internal/types"
+)
+
+// AblationJIT isolates the closure-threaded JIT's contribution to the
+// Fig. 6 result: the same Jaguar query on a JIT harness and a pure
+// interpreter harness.
+func AblationJIT(jit, nojit *Harness, indepAxis []int) (*Table, error) {
+	t := &Table{
+		ID:      "jit",
+		Title:   "Ablation: JIT vs interpreter (JNI design, pure computation)",
+		Caption: "Response time (s); the JIT removes decode+dispatch, the honest remainder is one closure call per instruction.",
+		Header:  []string{"DataIndepComps", "C++", "JNI (jit)", "JNI (interp)", "jit speedup"},
+	}
+	calls := jit.Cfg.Calls
+	for _, indep := range indepAxis {
+		base, err := jit.RunQuery(DesignCPP, 10000, indep, 0, 0, calls)
+		if err != nil {
+			return nil, err
+		}
+		withJIT, err := jit.RunQuery(DesignJNI, 10000, indep, 0, 0, calls)
+		if err != nil {
+			return nil, err
+		}
+		noJIT, err := nojit.RunQuery(DesignJNI, 10000, indep, 0, 0, calls)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", indep),
+			secs(base), secs(withJIT), secs(noJIT),
+			fmt.Sprintf("%.2fx", float64(noJIT)/float64(withJIT)),
+		})
+	}
+	return t, nil
+}
+
+// AblationVerifier measures the load-time cost of the verification
+// pipeline (decode + verify + link + JIT compile), which §2.5 argues is
+// amortizable across a relation's worth of invocations.
+func AblationVerifier(loads int, amortizeOver int) (*Table, error) {
+	classBytes, err := jaguar.CompileToBytes(GenericUDFSource, "GenericAblate")
+	if err != nil {
+		return nil, err
+	}
+	vm := jvm.New(jvm.Options{})
+	start := time.Now()
+	for i := 0; i < loads; i++ {
+		loader := vm.NewLoader(fmt.Sprintf("ablate-%d", i))
+		if _, err := loader.Load(classBytes); err != nil {
+			return nil, err
+		}
+	}
+	total := time.Since(start)
+	per := total / time.Duration(loads)
+	t := &Table{
+		ID:      "verifier",
+		Title:   "Ablation: class-load (verify+link+JIT) cost",
+		Caption: "One class load happens per UDF per query; the paper amortizes it over the relation.",
+		Header:  []string{"loads", "total", "per load", fmt.Sprintf("per invocation (/%d)", amortizeOver)},
+		Rows: [][]string{{
+			fmt.Sprintf("%d", loads),
+			total.String(),
+			per.String(),
+			(per / time.Duration(amortizeOver)).String(),
+		}},
+	}
+	return t, nil
+}
+
+// AblationFuel measures containment latency: how quickly the resource
+// manager stops a runaway (infinite-loop) UDF for various budgets —
+// the §6.2 denial-of-service defense the paper's JVM lacked.
+func AblationFuel(budgets []int64) (*Table, error) {
+	src := `func spin(x int) int {
+		var acc int = 0;
+		while (true) { acc = acc + 1; }
+		return acc;
+	}`
+	// 'while (true)' needs a reachable return; Jaguar requires returns
+	// on all paths, so the loop body above keeps the checker happy via
+	// the trailing return.
+	cls, err := jaguar.Compile(src, "Spin")
+	if err != nil {
+		return nil, err
+	}
+	vm := jvm.New(jvm.Options{Security: jvm.AllowAll()})
+	lc, err := vm.NewLoader("fuel").LoadClass(cls)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fuel",
+		Title:   "Ablation: denial-of-service containment via instruction fuel",
+		Caption: "Wall time until a runaway UDF is stopped, per fuel budget.",
+		Header:  []string{"fuel budget", "stop latency", "instructions executed"},
+	}
+	for _, budget := range budgets {
+		start := time.Now()
+		_, usage, err := lc.Call("spin", []jvm.Value{jvm.IntVal(0)}, &jvm.CallOptions{
+			Limits: jvm.Limits{Fuel: budget},
+		})
+		elapsed := time.Since(start)
+		if err == nil {
+			return nil, fmt.Errorf("bench: runaway UDF terminated without a trap")
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", budget),
+			elapsed.String(),
+			fmt.Sprintf("%d", usage.Instructions),
+		})
+	}
+	return t, nil
+}
+
+// AblationExecutorPool compares a fresh executor process per batch
+// (the paper's once-per-query lifecycle) against a pre-allocated pool
+// (the alternative §4.1 mentions).
+func AblationExecutorPool(invocations int) (*Table, error) {
+	args := []types.Value{
+		types.NewBytes(make([]byte, 100)),
+		types.NewInt(0), types.NewInt(0), types.NewInt(0),
+	}
+	// Fresh executor per batch.
+	freshStart := time.Now()
+	fresh := isolate.NewNativeIsolated("gen_icpp", genericArgKinds, types.KindInt)
+	for i := 0; i < invocations; i++ {
+		if _, err := fresh.Invoke(nil, args); err != nil {
+			return nil, err
+		}
+	}
+	fresh.Close()
+	freshTotal := time.Since(freshStart)
+
+	// Pooled executors (pre-warmed by a first call).
+	pool := isolate.NewPool(2)
+	defer pool.Close()
+	pooled := isolate.WithPool(isolate.NewNativeIsolated("gen_icpp", genericArgKinds, types.KindInt), pool)
+	if _, err := pooled.Invoke(nil, args); err != nil { // warm the pool
+		return nil, err
+	}
+	pooledStart := time.Now()
+	for i := 0; i < invocations; i++ {
+		if _, err := pooled.Invoke(nil, args); err != nil {
+			return nil, err
+		}
+	}
+	pooledTotal := time.Since(pooledStart)
+	pooled.Close()
+
+	t := &Table{
+		ID:      "pool",
+		Title:   "Ablation: executor lifecycle (fresh spawn vs pre-allocated pool)",
+		Caption: "IC++ invocation batches; spawn cost amortizes with either strategy, the pool removes it entirely.",
+		Header:  []string{"strategy", "invocations", "total", "per invocation"},
+		Rows: [][]string{
+			{"spawn per batch", fmt.Sprintf("%d", invocations), freshTotal.String(), (freshTotal / time.Duration(invocations)).String()},
+			{"pre-allocated pool", fmt.Sprintf("%d", invocations), pooledTotal.String(), (pooledTotal / time.Duration(invocations)).String()},
+		},
+	}
+	return t, nil
+}
+
+// AblationCallbackBatch tests §2.5's batching hypothesis: N single-byte
+// callbacks versus one batched cb_read of N bytes, for the in-process
+// VM and the isolated-process designs.
+func AblationCallbackBatch(h *Harness, n int) (*Table, error) {
+	obj := make([]byte, n)
+	for i := range obj {
+		obj[i] = byte(i % 7)
+	}
+	handle := h.Eng.Objects().Put(obj)
+	defer h.Eng.Objects().Remove(handle)
+
+	perByteSrc := `
+	func cb_perbyte(hd int, n int) int {
+		var acc int = 0;
+		for (var i int = 0; i < n; i = i + 1) { acc = acc + cb_get(hd, i); }
+		return acc;
+	}`
+	batchedSrc := `
+	func cb_batched(hd int, n int) int {
+		var data bytes = cb_read(hd, 0, n);
+		var acc int = 0;
+		for (var i int = 0; i < n; i = i + 1) { acc = acc + data[i]; }
+		return acc;
+	}`
+	kinds := []types.Kind{types.KindInt, types.KindInt}
+	for name, src := range map[string]string{"cb_perbyte": perByteSrc, "cb_batched": batchedSrc} {
+		if err := h.Eng.RegisterJaguar(name, src, kinds, types.KindInt, false, false); err != nil {
+			return nil, err
+		}
+		if err := h.Eng.RegisterJaguar(name+"_iso", replaceName(src, name, name+"_iso"), kinds, types.KindInt, true, false); err != nil {
+			return nil, err
+		}
+	}
+	run := func(fn string) (time.Duration, error) {
+		q := fmt.Sprintf(`SELECT %s(%d, %d) FROM Rel1 WHERE id < 50`, fn, handle, n)
+		start := time.Now()
+		res, err := h.Eng.Exec(q)
+		if err != nil {
+			return 0, err
+		}
+		want := int64(0)
+		for _, b := range obj {
+			want += int64(b)
+		}
+		if res.Rows[0][0].Int != want {
+			return 0, fmt.Errorf("bench: %s computed %d, want %d", fn, res.Rows[0][0].Int, want)
+		}
+		return time.Since(start), nil
+	}
+	t := &Table{
+		ID:      "cbbatch",
+		Title:   fmt.Sprintf("Ablation: callback batching (%d bytes, 50 invocations)", n),
+		Caption: "One cb_read(N) vs N cb_get(1) crossings; batching amortizes the boundary (paper section 2.5).",
+		Header:  []string{"design", "per-byte callbacks", "one batched callback", "speedup"},
+	}
+	for _, mode := range []struct{ label, suffix string }{
+		{"JNI (in-process VM)", ""},
+		{"IJNI (isolated VM)", "_iso"},
+	} {
+		per, err := run("cb_perbyte" + mode.suffix)
+		if err != nil {
+			return nil, err
+		}
+		bat, err := run("cb_batched" + mode.suffix)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			mode.label, per.String(), bat.String(),
+			fmt.Sprintf("%.1fx", float64(per)/float64(bat)),
+		})
+	}
+	return t, nil
+}
+
+// replaceName renames the function in a Jaguar source snippet.
+func replaceName(src, old, new string) string {
+	return strings.ReplaceAll(src, "func "+old+"(", "func "+new+"(")
+}

@@ -1,0 +1,356 @@
+// Package bench implements the paper's evaluation harness: the
+// Rel1/Rel100/Rel10000 workload, the generic four-parameter UDF in
+// every execution design, and one runner per table/figure of the
+// paper (Table 1, Figures 4-8) plus the ablations listed in DESIGN.md.
+//
+// The generic UDF mirrors §5.1 exactly:
+//
+//		generic(ByteArray, NumDataIndepComps, NumDataDepComps, NumCallbacks) -> int
+//
+//	  - a loop of NumDataIndepComps integer additions,
+//	  - NumDataDepComps full passes over the byte array,
+//	  - NumCallbacks callbacks to the server (pure crossings).
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"predator/internal/core"
+	"predator/internal/engine"
+	"predator/internal/isolate"
+	"predator/internal/types"
+)
+
+// Design labels (the paper's names) accepted by RunQuery.
+const (
+	DesignCPP  = "cpp"  // Design 1: native integrated ("C++")
+	DesignBCPP = "bcpp" // bounds-checked native ("BC++", Fig. 7)
+	DesignICPP = "icpp" // Design 2: native isolated ("IC++")
+	DesignJNI  = "jni"  // Design 3: Jaguar VM integrated ("JNI")
+	DesignIJNI = "ijni" // Design 4: Jaguar VM isolated
+)
+
+// AllDesigns lists every design in presentation order.
+var AllDesigns = []string{DesignCPP, DesignBCPP, DesignICPP, DesignJNI, DesignIJNI}
+
+// PaperDesigns are the three the paper's figures plot.
+var PaperDesigns = []string{DesignCPP, DesignICPP, DesignJNI}
+
+// Label renders the paper's label for a design key.
+func Label(design string) string {
+	switch design {
+	case DesignCPP:
+		return "C++"
+	case DesignBCPP:
+		return "BC++"
+	case DesignICPP:
+		return "IC++"
+	case DesignJNI:
+		return "JNI"
+	case DesignIJNI:
+		return "IJNI"
+	default:
+		return design
+	}
+}
+
+// GenericUDFSource is the Jaguar implementation of the generic UDF.
+const GenericUDFSource = `
+// The paper's generic benchmark UDF (SIGMOD '98, section 5.1).
+func generic(data bytes, indep int, dep int, ncb int) int {
+	var acc int = 0;
+	for (var i int = 0; i < indep; i = i + 1) { acc = acc + 1; }
+	for (var p int = 0; p < dep; p = p + 1) {
+		for (var j int = 0; j < len(data); j = j + 1) { acc = acc + data[j]; }
+	}
+	for (var k int = 0; k < ncb; k = k + 1) { cb_touch(0); }
+	return acc;
+}`
+
+// genericNative is the Design 1 ("C++") implementation: plain Go with
+// no added checks beyond what the hardware does.
+func genericNative(ctx *core.Ctx, args []types.Value) (types.Value, error) {
+	data := args[0].Bytes
+	indep := args[1].Int
+	dep := args[2].Int
+	ncb := args[3].Int
+	var acc int64
+	for i := int64(0); i < indep; i++ {
+		acc++
+	}
+	for p := int64(0); p < dep; p++ {
+		for j := 0; j < len(data); j++ {
+			acc += int64(data[j])
+		}
+	}
+	for k := int64(0); k < ncb; k++ {
+		if ctx == nil || ctx.Callback == nil {
+			return types.Value{}, fmt.Errorf("bench: no callback handler")
+		}
+		if err := ctx.Callback.Touch(0); err != nil {
+			return types.Value{}, err
+		}
+	}
+	return types.NewInt(acc), nil
+}
+
+// genericSFI is the "BC++" implementation: identical logic, but every
+// byte access goes through the explicitly checked accessor (the
+// software-fault-isolation comparator of Figure 7).
+func genericSFI(ctx *core.Ctx, args []types.Value) (types.Value, error) {
+	data := core.NewCheckedBytes(args[0].Bytes)
+	indep := args[1].Int
+	dep := args[2].Int
+	ncb := args[3].Int
+	var acc int64
+	for i := int64(0); i < indep; i++ {
+		acc++
+	}
+	for p := int64(0); p < dep; p++ {
+		n := data.Len()
+		for j := 0; j < n; j++ {
+			b, err := data.Get(j)
+			if err != nil {
+				return types.Value{}, err
+			}
+			acc += int64(b)
+		}
+	}
+	for k := int64(0); k < ncb; k++ {
+		if ctx == nil || ctx.Callback == nil {
+			return types.Value{}, fmt.Errorf("bench: no callback handler")
+		}
+		if err := ctx.Callback.Touch(0); err != nil {
+			return types.Value{}, err
+		}
+	}
+	return types.NewInt(acc), nil
+}
+
+// trivialNative is the Fig. 4 calibration UDF: it does nothing.
+func trivialNative(ctx *core.Ctx, args []types.Value) (types.Value, error) {
+	return types.NewInt(0), nil
+}
+
+// Natives is the native table executor processes need. Programs that
+// run bench experiments must pass it to isolate.MaybeRunExecutor.
+var Natives = isolate.NativeTable{
+	"gen_icpp": genericNative,
+}
+
+// genericArgKinds is the generic UDF's SQL signature.
+var genericArgKinds = []types.Kind{types.KindBytes, types.KindInt, types.KindInt, types.KindInt}
+
+// Config sizes a harness. The paper's full scale is Rows=10000,
+// Calls=10000; quick runs shrink both.
+type Config struct {
+	// Dir is the workspace directory (default: a temp dir).
+	Dir string
+	// Rows is the cardinality of each relation (default 10000).
+	Rows int
+	// Calls is the default number of UDF invocations (default = Rows).
+	Calls int
+	// DisableJIT runs the Jaguar VM in pure interpreter mode.
+	DisableJIT bool
+	// KeepDir leaves the workspace on disk at Close.
+	KeepDir bool
+}
+
+// Harness is a ready-to-measure engine with the paper's relations and
+// all five generic-UDF variants registered.
+type Harness struct {
+	Eng   *engine.Engine
+	Cfg   Config
+	dir   string
+	owned bool // dir created by us
+}
+
+// BASizes are the byte-array sizes of Rel1, Rel100, Rel10000.
+var BASizes = []int{1, 100, 10000}
+
+// RelName names the relation with the given byte-array size.
+func RelName(baSize int) string { return fmt.Sprintf("Rel%d", baSize) }
+
+// NewHarness builds the workload: relations Rel1/Rel100/Rel10000 with
+// Config.Rows tuples each, byte arrays of 1/100/10000 bytes, and the
+// generic UDF registered under every design.
+func NewHarness(cfg Config) (*Harness, error) {
+	if cfg.Rows <= 0 {
+		cfg.Rows = 10000
+	}
+	if cfg.Calls <= 0 {
+		cfg.Calls = cfg.Rows
+	}
+	if cfg.Calls > cfg.Rows {
+		cfg.Calls = cfg.Rows
+	}
+	h := &Harness{Cfg: cfg}
+	if cfg.Dir == "" {
+		dir, err := os.MkdirTemp("", "predator-bench-*")
+		if err != nil {
+			return nil, err
+		}
+		h.dir = dir
+		h.owned = true
+	} else {
+		h.dir = cfg.Dir
+		if err := os.MkdirAll(h.dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	eng, err := engine.Open(filepath.Join(h.dir, "bench.db"), engine.Options{
+		BufferPoolPages: 4096,
+		DisableJIT:      cfg.DisableJIT,
+	})
+	if err != nil {
+		h.cleanupDir()
+		return nil, err
+	}
+	h.Eng = eng
+	if err := h.setup(); err != nil {
+		eng.Close()
+		h.cleanupDir()
+		return nil, err
+	}
+	return h, nil
+}
+
+func (h *Harness) cleanupDir() {
+	if h.owned && !h.Cfg.KeepDir {
+		os.RemoveAll(h.dir)
+	}
+}
+
+// Close releases the engine and workspace.
+func (h *Harness) Close() error {
+	err := h.Eng.Close()
+	h.cleanupDir()
+	return err
+}
+
+func (h *Harness) setup() error {
+	// Relations: id INT (for the restrictive predicate that sets the
+	// number of UDF invocations), ba BYTES.
+	for _, size := range BASizes {
+		name := RelName(size)
+		if _, err := h.Eng.Exec(fmt.Sprintf(`CREATE TABLE %s (id INT, ba BYTES)`, name)); err != nil {
+			return err
+		}
+		tbl, _ := h.Eng.Catalog().Table(name)
+		payload := make([]byte, size)
+		for i := range payload {
+			payload[i] = byte(i % 251)
+		}
+		row := types.Row{types.NewInt(0), types.NewBytes(payload)}
+		for i := 0; i < h.Cfg.Rows; i++ {
+			row[0] = types.NewInt(int64(i))
+			rec, err := types.EncodeRow(nil, tbl.Schema, row)
+			if err != nil {
+				return err
+			}
+			if _, err := tbl.Heap().Insert(rec); err != nil {
+				return err
+			}
+		}
+	}
+	// UDFs, one per design.
+	if err := h.Eng.RegisterNative("trivial_cpp", []types.Kind{types.KindBytes}, types.KindInt, trivialNative); err != nil {
+		return err
+	}
+	if err := h.Eng.RegisterNative("gen_cpp", genericArgKinds, types.KindInt, genericNative); err != nil {
+		return err
+	}
+	if err := h.Eng.RegisterSFINative("gen_bcpp", genericArgKinds, types.KindInt, genericSFI); err != nil {
+		return err
+	}
+	if err := h.Eng.RegisterNativeIsolated("gen_icpp", genericArgKinds, types.KindInt); err != nil {
+		return err
+	}
+	if err := h.Eng.RegisterJaguar("gen_jni", genericSourceNamed("gen_jni"), genericArgKinds, types.KindInt, false, false); err != nil {
+		return err
+	}
+	if err := h.Eng.RegisterJaguar("gen_ijni", genericSourceNamed("gen_ijni"), genericArgKinds, types.KindInt, true, false); err != nil {
+		return err
+	}
+	// Warm the buffer pool and OS page cache so the first measured
+	// query does not pay a cold-read penalty the others do not.
+	for _, size := range BASizes {
+		if _, err := h.Eng.Exec(fmt.Sprintf(`SELECT COUNT(*) FROM %s`, RelName(size))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// genericSourceNamed renames the generic function so the Jaguar entry
+// method matches the SQL name.
+func genericSourceNamed(name string) string {
+	return fmt.Sprintf(`
+func %s(data bytes, indep int, dep int, ncb int) int {
+	var acc int = 0;
+	for (var i int = 0; i < indep; i = i + 1) { acc = acc + 1; }
+	for (var p int = 0; p < dep; p = p + 1) {
+		for (var j int = 0; j < len(data); j = j + 1) { acc = acc + data[j]; }
+	}
+	for (var k int = 0; k < ncb; k = k + 1) { cb_touch(0); }
+	return acc;
+}`, name)
+}
+
+// funcName maps a design key to the registered SQL function.
+func funcName(design string) string { return "gen_" + design }
+
+// RunQuery times the paper's benchmark query:
+//
+//	SELECT gen_<design>(ba, indep, dep, ncb) FROM Rel<baSize> WHERE id < calls
+//
+// returning the response time.
+func (h *Harness) RunQuery(design string, baSize, indep, dep, ncb, calls int) (time.Duration, error) {
+	q := fmt.Sprintf(`SELECT %s(ba, %d, %d, %d) FROM %s WHERE id < %d`,
+		funcName(design), indep, dep, ncb, RelName(baSize), calls)
+	start := time.Now()
+	res, err := h.Eng.Exec(q)
+	if err != nil {
+		return 0, fmt.Errorf("bench: %s: %w", q, err)
+	}
+	if len(res.Rows) != calls {
+		return 0, fmt.Errorf("bench: %s returned %d rows, want %d", q, len(res.Rows), calls)
+	}
+	return time.Since(start), nil
+}
+
+// BaseCost times the calibration query with the trivial UDF (Fig. 4):
+// the table-access cost to subtract from later measurements.
+func (h *Harness) BaseCost(baSize, calls int) (time.Duration, error) {
+	q := fmt.Sprintf(`SELECT trivial_cpp(ba) FROM %s WHERE id < %d`, RelName(baSize), calls)
+	start := time.Now()
+	res, err := h.Eng.Exec(q)
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Rows) != calls {
+		return 0, fmt.Errorf("bench: calibration returned %d rows, want %d", len(res.Rows), calls)
+	}
+	return time.Since(start), nil
+}
+
+// Verify cross-checks that every design computes the same value for a
+// spot-check parameter set (a correctness gate before timing).
+func (h *Harness) Verify() error {
+	for _, d := range AllDesigns {
+		q := fmt.Sprintf(`SELECT %s(ba, 10, 2, 1) FROM %s WHERE id < 1`, funcName(d), RelName(100))
+		res, err := h.Eng.Exec(q)
+		if err != nil {
+			return fmt.Errorf("bench: verify %s: %w", d, err)
+		}
+		// payload bytes are i%251 for i in 0..99: sum = 4950; x2 passes
+		// = 9900; +10 indep = 9910.
+		if got := res.Rows[0][0].Int; got != 9910 {
+			return fmt.Errorf("bench: design %s computed %d, want 9910", d, got)
+		}
+	}
+	return nil
+}

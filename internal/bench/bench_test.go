@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"predator/internal/isolate"
+)
+
+func TestMain(m *testing.M) {
+	isolate.MaybeRunExecutor(Natives)
+	os.Exit(m.Run())
+}
+
+func tinyHarness(t *testing.T) *Harness {
+	t.Helper()
+	h, err := NewHarness(Config{Rows: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+	return h
+}
+
+func TestHarnessVerifyAllDesignsAgree(t *testing.T) {
+	h := tinyHarness(t)
+	if err := h.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQueryCountsInvocations(t *testing.T) {
+	h := tinyHarness(t)
+	// RunQuery fails if the row count is off, so success implies the
+	// WHERE clause produced exactly `calls` invocations.
+	if _, err := h.RunQuery(DesignCPP, 100, 5, 1, 0, 17); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.BaseCost(1, 9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQueryCallbacks(t *testing.T) {
+	h := tinyHarness(t)
+	before := h.Eng.Objects().Stats().Touches
+	if _, err := h.RunQuery(DesignJNI, 1, 0, 0, 3, 10); err != nil {
+		t.Fatal(err)
+	}
+	got := h.Eng.Objects().Stats().Touches - before
+	if got != 30 {
+		t.Errorf("touches = %d, want 30", got)
+	}
+	// And across the process boundary too.
+	before = h.Eng.Objects().Stats().Touches
+	if _, err := h.RunQuery(DesignICPP, 1, 0, 0, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Eng.Objects().Stats().Touches - before; got != 10 {
+		t.Errorf("isolated touches = %d, want 10", got)
+	}
+}
+
+func TestExperimentTablesProduceRows(t *testing.T) {
+	h := tinyHarness(t)
+	ax := Axes{
+		Designs:       AllDesigns,
+		Fig4Calls:     []int{1, 10},
+		Fig6Indep:     []int{0, 10},
+		Fig7Dep:       []int{0, 1},
+		Fig7MaxJNIDep: 100,
+		Fig8NCB:       []int{0, 1},
+	}
+	t4, err := Fig4(h, ax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t4.Rows) != 2 || len(t4.Rows[0]) != 4 {
+		t.Errorf("fig4 shape: %v", t4.Rows)
+	}
+	t5, err := Fig5(h, ax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t5.Rows) != 3 {
+		t.Errorf("fig5 rows: %d", len(t5.Rows))
+	}
+	a6, r6, err := Fig6(h, ax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a6.Rows) != 2 || len(r6.Rows) != 2 {
+		t.Errorf("fig6 rows: %d/%d", len(a6.Rows), len(r6.Rows))
+	}
+	a7, _, err := Fig7(h, ax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a7.Rows) != 2 {
+		t.Errorf("fig7 rows: %d", len(a7.Rows))
+	}
+	a8, _, err := Fig8(h, ax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a8.Rows) != 2 {
+		t.Errorf("fig8 rows: %d", len(a8.Rows))
+	}
+	// Relative table: C++ column must be 1.00.
+	if r6.Rows[0][1] != "1.00" {
+		t.Errorf("relative base not 1.00: %v", r6.Rows[0])
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	tbl := Table1()
+	out := tbl.Render()
+	for _, want := range []string{"C++", "IC++", "JNI", "IJNI", "BC++", "verifier"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig7SkipsJNIAboveCutoff(t *testing.T) {
+	h := tinyHarness(t)
+	ax := Axes{
+		Designs:       []string{DesignCPP, DesignJNI},
+		Fig7Dep:       []int{0, 5},
+		Fig7MaxJNIDep: 1,
+	}
+	abs, _, err := Fig7(h, ax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abs.Rows[1][2] != "skipped" {
+		t.Errorf("JNI at dep=5 should be skipped: %v", abs.Rows[1])
+	}
+}
+
+func TestAblationVerifier(t *testing.T) {
+	tbl, err := AblationVerifier(5, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 {
+		t.Errorf("rows = %v", tbl.Rows)
+	}
+}
+
+func TestAblationFuel(t *testing.T) {
+	tbl, err := AblationFuel([]int64{1000, 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Errorf("rows = %v", tbl.Rows)
+	}
+	if !strings.Contains(tbl.Rows[0][2], "100") {
+		t.Errorf("instructions executed should reflect the budget: %v", tbl.Rows[0])
+	}
+}
+
+func TestAblationExecutorPool(t *testing.T) {
+	tbl, err := AblationExecutorPool(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Errorf("rows = %v", tbl.Rows)
+	}
+}
+
+func TestAblationCallbackBatch(t *testing.T) {
+	h := tinyHarness(t)
+	tbl, err := AblationCallbackBatch(h, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Errorf("rows = %v", tbl.Rows)
+	}
+}
+
+func TestAblationJIT(t *testing.T) {
+	jit := tinyHarness(t)
+	nojit, err := NewHarness(Config{Rows: 50, DisableJIT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nojit.Close()
+	tbl, err := AblationJIT(jit, nojit, []int{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Errorf("rows = %v", tbl.Rows)
+	}
+}

@@ -1,0 +1,303 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is one reproduced table/figure, rendered as aligned text.
+type Table struct {
+	ID      string // "table1", "fig4", ...
+	Title   string
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", strings.ToUpper(t.ID), t.Title)
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "%s\n", t.Caption)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Axes parameterizes the experiment sweeps. The paper's full axes take
+// minutes; Quick shrinks them for CI-sized runs.
+type Axes struct {
+	Designs   []string
+	Fig4Calls []int
+	Fig6Indep []int
+	Fig7Dep   []int
+	// Fig7MaxJNIDep skips the checked designs (JNI, IJNI, BC++) above
+	// this dep count (the paper: "We did not run JNI with 1000
+	// NumDataDepComps because of the large time involved"). 0 = no skip.
+	Fig7MaxJNIDep int
+	Fig8NCB       []int
+}
+
+// QuickAxes are CI-sized sweeps (run with Config{Rows: 1000}).
+func QuickAxes() Axes {
+	return Axes{
+		Designs:       AllDesigns,
+		Fig4Calls:     []int{1, 100, 1000},
+		Fig6Indep:     []int{0, 10, 100, 1000, 10000},
+		Fig7Dep:       []int{0, 1, 10, 100},
+		Fig7MaxJNIDep: 100,
+		Fig8NCB:       []int{0, 1, 10, 100},
+	}
+}
+
+// FullAxes reproduce the paper's sweeps (Rows=10000; takes minutes).
+func FullAxes() Axes {
+	return Axes{
+		Designs:       AllDesigns,
+		Fig4Calls:     []int{1, 100, 10000},
+		Fig6Indep:     []int{0, 10, 100, 1000, 10000, 100000, 1000000},
+		Fig7Dep:       []int{0, 1, 10, 100, 1000},
+		Fig7MaxJNIDep: 100,
+		Fig8NCB:       []int{0, 1, 10, 100},
+	}
+}
+
+func secs(d time.Duration) string { return fmt.Sprintf("%.4f", d.Seconds()) }
+
+func rel(d, base time.Duration) string {
+	if base <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", float64(d)/float64(base))
+}
+
+// Table1 reproduces the design-space table (qualitative).
+func Table1() *Table {
+	return &Table{
+		ID:    "table1",
+		Title: "Design Space for Server-Side UDFs",
+		Caption: "Language x process placement, with the safety each design provides\n" +
+			"(BC++ is the bounds-checked native comparator of Fig. 7).",
+		Header: []string{"design", "label", "language", "process", "server memory safe", "resource policing"},
+		Rows: [][]string{
+			{"Design 1", "C++", "native (Go)", "same", "no", "no"},
+			{"Design 2", "IC++", "native (Go)", "isolated", "yes (process wall)", "kill only"},
+			{"Design 3", "JNI", "Jaguar VM", "same", "yes (verifier+checks)", "fuel+memory+depth"},
+			{"Design 4", "IJNI", "Jaguar VM", "isolated", "yes (both)", "fuel+memory+depth"},
+			{"SFI", "BC++", "native (Go)", "same", "reads/writes checked", "no"},
+		},
+	}
+}
+
+// Fig4 reproduces the table-access calibration: base query cost versus
+// number of UDF invocations, one series per relation.
+func Fig4(h *Harness, ax Axes) (*Table, error) {
+	t := &Table{
+		ID:      "fig4",
+		Title:   "Calibration: Table Access Costs",
+		Caption: "Response time (s) of the trivial integrated UDF; series = relation.",
+		Header:  []string{"#func calls"},
+	}
+	for _, size := range BASizes {
+		t.Header = append(t.Header, RelName(size))
+	}
+	for _, calls := range ax.Fig4Calls {
+		if calls > h.Cfg.Rows {
+			continue
+		}
+		row := []string{fmt.Sprintf("%d", calls)}
+		for _, size := range BASizes {
+			d, err := h.BaseCost(size, calls)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, secs(d))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig5 reproduces the invocation-cost calibration: no-op generic UDF,
+// fixed call count, byte-array size on the X axis, design per column.
+func Fig5(h *Harness, ax Axes) (*Table, error) {
+	calls := h.Cfg.Calls
+	t := &Table{
+		ID:    "fig5",
+		Title: "Calibration: Function Invocation Costs",
+		Caption: fmt.Sprintf("Response time (s) of %d no-op UDF invocations vs byte-array size.\n"+
+			"Paper shape: IC++ > JNI for small arrays; JNI slightly worse at 10000.", calls),
+		Header: append([]string{"byte array size"}, labels(ax.Designs)...),
+	}
+	for _, size := range BASizes {
+		row := []string{fmt.Sprintf("%d", size)}
+		for _, d := range ax.Designs {
+			dur, err := h.RunQuery(d, size, 0, 0, 0, calls)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, secs(dur))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig6 reproduces the pure-computation experiment: response time (and
+// time relative to C++) versus NumDataIndepComps.
+func Fig6(h *Harness, ax Axes) (*Table, *Table, error) {
+	calls := h.Cfg.Calls
+	abs := &Table{
+		ID:    "fig6",
+		Title: "Pure Computation",
+		Caption: fmt.Sprintf("Response time (s), %d invocations, 10000-byte arrays, vs NumDataIndepComps.\n"+
+			"Paper shape: JNI tracks C++ (JIT); our closure-threaded JIT keeps a constant ratio.", calls),
+		Header: append([]string{"DataIndepComps"}, labels(ax.Designs)...),
+	}
+	relT := &Table{
+		ID:      "fig6rel",
+		Title:   "Pure Computation (relative to C++)",
+		Header:  append([]string{"DataIndepComps"}, labels(ax.Designs)...),
+		Caption: "Response time divided by the C++ (Design 1) time.",
+	}
+	for _, indep := range ax.Fig6Indep {
+		rowAbs := []string{fmt.Sprintf("%d", indep)}
+		rowRel := []string{fmt.Sprintf("%d", indep)}
+		var base time.Duration
+		for _, d := range ax.Designs {
+			dur, err := h.RunQuery(d, 10000, indep, 0, 0, calls)
+			if err != nil {
+				return nil, nil, err
+			}
+			if d == DesignCPP {
+				base = dur
+			}
+			rowAbs = append(rowAbs, secs(dur))
+			rowRel = append(rowRel, rel(dur, base))
+		}
+		abs.Rows = append(abs.Rows, rowAbs)
+		relT.Rows = append(relT.Rows, rowRel)
+	}
+	return abs, relT, nil
+}
+
+// Fig7 reproduces the data-access experiment: response time versus
+// NumDataDepComps, including the bounds-checked BC++ comparator.
+func Fig7(h *Harness, ax Axes) (*Table, *Table, error) {
+	calls := h.Cfg.Calls
+	abs := &Table{
+		ID:    "fig7",
+		Title: "Data Access",
+		Caption: fmt.Sprintf("Response time (s), %d invocations, 10000-byte arrays, vs NumDataDepComps.\n"+
+			"Paper shape: JNI pays the bounds-check penalty; vs BC++ it is only ~20%% worse.", calls),
+		Header: append([]string{"DataDepComps"}, labels(ax.Designs)...),
+	}
+	relT := &Table{
+		ID:      "fig7rel",
+		Title:   "Data Access (relative to C++)",
+		Header:  append([]string{"DataDepComps"}, labels(ax.Designs)...),
+		Caption: "Response time divided by the C++ (Design 1) time.",
+	}
+	for _, dep := range ax.Fig7Dep {
+		rowAbs := []string{fmt.Sprintf("%d", dep)}
+		rowRel := []string{fmt.Sprintf("%d", dep)}
+		var base time.Duration
+		for _, d := range ax.Designs {
+			if ax.Fig7MaxJNIDep > 0 && dep > ax.Fig7MaxJNIDep &&
+				(d == DesignJNI || d == DesignIJNI || d == DesignBCPP) {
+				// The paper skipped JNI at the largest dep too.
+				rowAbs = append(rowAbs, "skipped")
+				rowRel = append(rowRel, "-")
+				continue
+			}
+			dur, err := h.RunQuery(d, 10000, 0, dep, 0, calls)
+			if err != nil {
+				return nil, nil, err
+			}
+			if d == DesignCPP {
+				base = dur
+			}
+			rowAbs = append(rowAbs, secs(dur))
+			rowRel = append(rowRel, rel(dur, base))
+		}
+		abs.Rows = append(abs.Rows, rowAbs)
+		relT.Rows = append(relT.Rows, rowRel)
+	}
+	return abs, relT, nil
+}
+
+// Fig8 reproduces the callback experiment: response time versus
+// NumCallbacks.
+func Fig8(h *Harness, ax Axes) (*Table, *Table, error) {
+	calls := h.Cfg.Calls
+	abs := &Table{
+		ID:    "fig8",
+		Title: "Callbacks",
+		Caption: fmt.Sprintf("Response time (s), %d invocations, 10000-byte arrays, vs NumCallbacks.\n"+
+			"Paper shape: IC++ pays most per callback (full process round trip); JNI moderate.", calls),
+		Header: append([]string{"Callbacks"}, labels(ax.Designs)...),
+	}
+	relT := &Table{
+		ID:      "fig8rel",
+		Title:   "Callbacks (relative to C++)",
+		Header:  append([]string{"Callbacks"}, labels(ax.Designs)...),
+		Caption: "Response time divided by the C++ (Design 1) time.",
+	}
+	for _, ncb := range ax.Fig8NCB {
+		rowAbs := []string{fmt.Sprintf("%d", ncb)}
+		rowRel := []string{fmt.Sprintf("%d", ncb)}
+		var base time.Duration
+		for _, d := range ax.Designs {
+			dur, err := h.RunQuery(d, 10000, 0, 0, ncb, calls)
+			if err != nil {
+				return nil, nil, err
+			}
+			if d == DesignCPP {
+				base = dur
+			}
+			rowAbs = append(rowAbs, secs(dur))
+			rowRel = append(rowRel, rel(dur, base))
+		}
+		abs.Rows = append(abs.Rows, rowAbs)
+		relT.Rows = append(relT.Rows, rowRel)
+	}
+	return abs, relT, nil
+}
+
+func labels(designs []string) []string {
+	out := make([]string, len(designs))
+	for i, d := range designs {
+		out[i] = Label(d)
+	}
+	return out
+}

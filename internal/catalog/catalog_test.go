@@ -1,0 +1,245 @@
+package catalog
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"predator/internal/storage"
+	"predator/internal/types"
+)
+
+func openTestCatalog(t *testing.T, path string) (*Catalog, *storage.DiskManager, *storage.BufferPool) {
+	t.Helper()
+	d, err := storage.OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := storage.NewBufferPool(d, 64)
+	c, err := Open(d, bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, d, bp
+}
+
+func stockSchema() *types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "id", Kind: types.KindInt},
+		types.Column{Name: "type", Kind: types.KindString},
+		types.Column{Name: "history", Kind: types.KindBytes},
+	)
+}
+
+func TestCreateAndLookupTable(t *testing.T) {
+	c, d, _ := openTestCatalog(t, filepath.Join(t.TempDir(), "c.db"))
+	defer d.Close()
+	tbl, err := c.CreateTable("Stocks", stockSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Heap() == nil {
+		t.Fatal("table has no heap file")
+	}
+	got, ok := c.Table("stocks")
+	if !ok || got != tbl {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, err := c.CreateTable("STOCKS", stockSchema()); err == nil {
+		t.Error("duplicate table name should fail")
+	}
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	c, d, _ := openTestCatalog(t, filepath.Join(t.TempDir(), "c.db"))
+	defer d.Close()
+	if _, err := c.CreateTable("empty", types.NewSchema()); err == nil {
+		t.Error("zero-column table should fail")
+	}
+	dup := types.NewSchema(
+		types.Column{Name: "a", Kind: types.KindInt},
+		types.Column{Name: "A", Kind: types.KindInt},
+	)
+	if _, err := c.CreateTable("dup", dup); err == nil {
+		t.Error("duplicate column names should fail")
+	}
+}
+
+func TestDropTableFreesPages(t *testing.T) {
+	c, d, bp := openTestCatalog(t, filepath.Join(t.TempDir(), "c.db"))
+	defer d.Close()
+	tbl, err := c.CreateTable("t", stockSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill several pages, including a large record.
+	for i := 0; i < 20; i++ {
+		row := types.Row{types.NewInt(int64(i)), types.NewString("tech"), types.NewBytes(make([]byte, 2000))}
+		rec, err := types.EncodeRow(nil, tbl.Schema, row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tbl.Heap().Insert(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	big := types.Row{types.NewInt(999), types.NewString("big"), types.NewBytes(make([]byte, 50000))}
+	rec, _ := types.EncodeRow(nil, tbl.Schema, big)
+	if _, err := tbl.Heap().Insert(rec); err != nil {
+		t.Fatal(err)
+	}
+	pages := d.NumPages()
+	if err := c.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Table("t"); ok {
+		t.Error("dropped table still visible")
+	}
+	if err := c.DropTable("t"); err == nil {
+		t.Error("dropping a missing table should fail")
+	}
+	// Freed pages must be reusable: recreating an identical table should
+	// not grow the file.
+	tbl2, err := c.CreateTable("t2", stockSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		row := types.Row{types.NewInt(int64(i)), types.NewString("tech"), types.NewBytes(make([]byte, 2000))}
+		r, _ := types.EncodeRow(nil, tbl2.Schema, row)
+		if _, err := tbl2.Heap().Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.NumPages() > pages {
+		t.Errorf("pages grew from %d to %d; drop did not free storage", pages, d.NumPages())
+	}
+	_ = bp
+}
+
+func TestCatalogPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "persist.db")
+	c, d, bp := openTestCatalog(t, path)
+	tbl, err := c.CreateTable("stocks", stockSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := types.Row{types.NewInt(1), types.NewString("tech"), types.NewBytes([]byte{9, 9})}
+	rec, _ := types.EncodeRow(nil, tbl.Schema, row)
+	if _, err := tbl.Heap().Insert(rec); err != nil {
+		t.Fatal(err)
+	}
+	fn := &Function{
+		Name:     "InvestVal",
+		Language: "jaguar",
+		ArgKinds: []types.Kind{types.KindBytes},
+		Return:   types.KindFloat,
+		Code:     []byte{0xCA, 0xFE, 1, 2, 3},
+		Owner:    "alice",
+	}
+	if err := c.PutFunction(fn, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	c2, d2, _ := openTestCatalog(t, path)
+	defer d2.Close()
+	tbl2, ok := c2.Table("stocks")
+	if !ok {
+		t.Fatal("table lost across reopen")
+	}
+	if !tbl2.Schema.Equal(stockSchema()) {
+		t.Errorf("schema lost: %s", tbl2.Schema)
+	}
+	sc := tbl2.Heap().Scan()
+	if !sc.Next() {
+		t.Fatalf("table data lost (err=%v)", sc.Err())
+	}
+	got, err := types.DecodeRow(sc.Record(), tbl2.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Int != 1 || got[1].Str != "tech" {
+		t.Errorf("row corrupted: %s", got)
+	}
+	f2, ok := c2.Function("investval")
+	if !ok {
+		t.Fatal("function lost across reopen")
+	}
+	if f2.Language != "jaguar" || f2.Return != types.KindFloat ||
+		len(f2.ArgKinds) != 1 || f2.ArgKinds[0] != types.KindBytes ||
+		!bytes.Equal(f2.Code, []byte{0xCA, 0xFE, 1, 2, 3}) || f2.Owner != "alice" {
+		t.Errorf("function metadata corrupted: %+v", f2)
+	}
+}
+
+func TestFunctionReplaceAndDrop(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fn.db")
+	c, d, bp := openTestCatalog(t, path)
+	f1 := &Function{Name: "f", Language: "jaguar", Return: types.KindInt, Code: []byte{1}}
+	if err := c.PutFunction(f1, true); err != nil {
+		t.Fatal(err)
+	}
+	f2 := &Function{Name: "F", Language: "jaguar", Return: types.KindInt, Code: []byte{2}}
+	if err := c.PutFunction(f2, true); err != nil {
+		t.Fatal(err)
+	}
+	bp.FlushAll()
+	d.Close()
+
+	c2, d2, _ := openTestCatalog(t, path)
+	defer d2.Close()
+	got, ok := c2.Function("f")
+	if !ok || got.Code[0] != 2 {
+		t.Fatalf("replacement not persisted: %+v ok=%v", got, ok)
+	}
+	if len(c2.Functions()) != 1 {
+		t.Errorf("expected exactly one function, got %d", len(c2.Functions()))
+	}
+	if err := c2.DropFunction("F"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Function("f"); ok {
+		t.Error("dropped function still visible")
+	}
+	if err := c2.DropFunction("f"); err == nil {
+		t.Error("dropping a missing function should fail")
+	}
+}
+
+func TestNonPersistentFunction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "np.db")
+	c, d, bp := openTestCatalog(t, path)
+	native := &Function{Name: "redness", Language: "native", Return: types.KindFloat}
+	if err := c.PutFunction(native, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Function("redness"); !ok {
+		t.Fatal("native function not registered")
+	}
+	bp.FlushAll()
+	d.Close()
+
+	c2, d2, _ := openTestCatalog(t, path)
+	defer d2.Close()
+	if _, ok := c2.Function("redness"); ok {
+		t.Error("non-persistent function should not survive reopen")
+	}
+}
+
+func TestTablesSorted(t *testing.T) {
+	c, d, _ := openTestCatalog(t, filepath.Join(t.TempDir(), "s.db"))
+	defer d.Close()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if _, err := c.CreateTable(name, stockSchema()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := c.Tables()
+	if len(ts) != 3 || ts[0].Name != "alpha" || ts[1].Name != "mid" || ts[2].Name != "zeta" {
+		t.Errorf("Tables() not sorted: %v", []string{ts[0].Name, ts[1].Name, ts[2].Name})
+	}
+}

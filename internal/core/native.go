@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"predator/internal/types"
+)
+
+// nativeUDF is Design 1: a trusted Go function linked into the server.
+// It is the fastest design and the least safe — a buggy implementation
+// can corrupt or crash the entire server, which is exactly the paper's
+// motivation for the alternatives.
+type nativeUDF struct {
+	name   string
+	args   []types.Kind
+	ret    types.Kind
+	fn     NativeFunc
+	design Design
+}
+
+// NewNative registers-ready Design 1 UDF from a Go function.
+func NewNative(name string, args []types.Kind, ret types.Kind, fn NativeFunc) UDF {
+	return &nativeUDF{name: name, args: args, ret: ret, fn: fn, design: DesignNativeIntegrated}
+}
+
+// NewSFINative wraps a Go function as the bounds-checked native
+// comparator (paper's "BC++"). The function itself is expected to
+// perform its data access through CheckedBytes, which adds the explicit
+// software-fault-isolation checks; the wrapper additionally re-verifies
+// the result type on every call (the SFI trust boundary).
+func NewSFINative(name string, args []types.Kind, ret types.Kind, fn NativeFunc) UDF {
+	return &nativeUDF{name: name, args: args, ret: ret, fn: fn, design: DesignSFINative}
+}
+
+func (u *nativeUDF) Name() string           { return u.name }
+func (u *nativeUDF) ArgKinds() []types.Kind { return u.args }
+func (u *nativeUDF) ReturnKind() types.Kind { return u.ret }
+func (u *nativeUDF) Design() Design         { return u.design }
+func (u *nativeUDF) Close() error           { return nil }
+
+func (u *nativeUDF) Invoke(ctx *Ctx, args []types.Value) (types.Value, error) {
+	if err := CheckArgs(u, args); err != nil {
+		return types.Value{}, err
+	}
+	out, err := u.fn(ctx, args)
+	if err != nil {
+		return types.Value{}, fmt.Errorf("core: %s: %w", u.name, err)
+	}
+	if u.design == DesignSFINative && !out.IsNull() && out.Kind != u.ret {
+		return types.Value{}, fmt.Errorf("core: %s returned %s, declared %s", u.name, out.Kind, u.ret)
+	}
+	return out, nil
+}
+
+// CheckedBytes is the SFI view of a byte array: every access performs
+// an explicit range check (the software analog of Wahbe et al.'s
+// address-mask sandboxing). Native UDFs registered via NewSFINative
+// should access their byte-array arguments exclusively through it.
+type CheckedBytes struct {
+	data []byte
+	// lo/hi simulate the SFI segment registers: the only addresses the
+	// instrumented code may touch.
+	lo, hi int
+}
+
+// NewCheckedBytes wraps a byte slice in an SFI-checked accessor.
+func NewCheckedBytes(data []byte) CheckedBytes {
+	return CheckedBytes{data: data, lo: 0, hi: len(data)}
+}
+
+// Len returns the array length.
+func (c CheckedBytes) Len() int { return c.hi - c.lo }
+
+// Get returns the byte at index i, or an error when the access falls
+// outside the sanctioned segment.
+func (c CheckedBytes) Get(i int) (byte, error) {
+	// The explicit check, kept branchy on purpose: this is the cost
+	// the Figure 7 BC++ comparator pays.
+	if i < c.lo || i >= c.hi {
+		return 0, fmt.Errorf("core: SFI violation: read at %d outside [%d,%d)", i, c.lo, c.hi)
+	}
+	return c.data[i], nil
+}
+
+// Set stores a byte at index i under the same checks.
+func (c CheckedBytes) Set(i int, v byte) error {
+	if i < c.lo || i >= c.hi {
+		return fmt.Errorf("core: SFI violation: write at %d outside [%d,%d)", i, c.lo, c.hi)
+	}
+	c.data[i] = v
+	return nil
+}

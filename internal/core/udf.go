@@ -1,0 +1,190 @@
+// Package core defines the UDF execution framework that is the paper's
+// primary contribution: a registry of user-defined functions, each
+// bound to one of the server-side execution designs of Table 1:
+//
+//	Design 1 — native code, same process        (paper: "C++")
+//	Design 2 — native code, isolated process    (paper: "IC++")
+//	Design 3 — safe VM code, same process       (paper: "JNI")
+//	Design 4 — safe VM code, isolated process   (extrapolated)
+//
+// plus the bounds-checked-native comparator ("BC++"/SFI) used in the
+// Figure 7 study. The registry gives the query engine a uniform Invoke
+// interface; the designs differ only in where and how the code runs.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"predator/internal/jvm"
+	"predator/internal/types"
+)
+
+// Design identifies a UDF execution design.
+type Design uint8
+
+// The execution designs.
+const (
+	// DesignNativeIntegrated runs trusted Go code inside the server
+	// process (paper Design 1, "C++").
+	DesignNativeIntegrated Design = iota
+	// DesignNativeIsolated runs native code in a separate executor
+	// process (paper Design 2, "IC++").
+	DesignNativeIsolated
+	// DesignVMIntegrated runs verified Jaguar bytecode in the embedded
+	// VM (paper Design 3, "JNI").
+	DesignVMIntegrated
+	// DesignVMIsolated runs Jaguar bytecode in a VM hosted by a
+	// separate executor process (paper Design 4).
+	DesignVMIsolated
+	// DesignSFINative runs native code instrumented with explicit
+	// software-fault-isolation checks (the paper's bounds-checked C++
+	// comparator in Figure 7).
+	DesignSFINative
+)
+
+// String returns the paper's label for the design.
+func (d Design) String() string {
+	switch d {
+	case DesignNativeIntegrated:
+		return "C++"
+	case DesignNativeIsolated:
+		return "IC++"
+	case DesignVMIntegrated:
+		return "JNI"
+	case DesignVMIsolated:
+		return "IJNI"
+	case DesignSFINative:
+		return "BC++"
+	default:
+		return fmt.Sprintf("design(%d)", uint8(d))
+	}
+}
+
+// Integrated reports whether the design runs inside the server process.
+func (d Design) Integrated() bool {
+	return d == DesignNativeIntegrated || d == DesignVMIntegrated || d == DesignSFINative
+}
+
+// Safe reports whether the design provides memory-safety guarantees
+// for the server process (VM verification or explicit SFI checks).
+func (d Design) Safe() bool {
+	return d == DesignVMIntegrated || d == DesignVMIsolated || d == DesignSFINative ||
+		d == DesignNativeIsolated // isolated native cannot corrupt server memory
+}
+
+// Ctx is the per-invocation context handed to UDFs: the callback path
+// to the server and a logger. A nil Callback is valid for UDFs that
+// never call back.
+type Ctx struct {
+	Callback jvm.Callback
+	Logf     func(format string, args ...any)
+}
+
+// NativeFunc is the Go signature of a native UDF implementation.
+type NativeFunc func(ctx *Ctx, args []types.Value) (types.Value, error)
+
+// UDF is one registered function, executable under its design.
+// Implementations must be safe for concurrent Invoke calls.
+type UDF interface {
+	// Name is the SQL-visible function name.
+	Name() string
+	// ArgKinds lists the parameter types.
+	ArgKinds() []types.Kind
+	// ReturnKind is the result type.
+	ReturnKind() types.Kind
+	// Design identifies how and where the UDF executes.
+	Design() Design
+	// Invoke evaluates the function.
+	Invoke(ctx *Ctx, args []types.Value) (types.Value, error)
+	// Close releases resources (executor processes, loaded classes).
+	Close() error
+}
+
+// Registry is a thread-safe name -> UDF map (case-insensitive).
+type Registry struct {
+	mu   sync.RWMutex
+	udfs map[string]UDF
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{udfs: make(map[string]UDF)}
+}
+
+// Register installs a UDF, replacing (and closing) any previous one
+// with the same name.
+func (r *Registry) Register(u UDF) error {
+	if u.Name() == "" {
+		return fmt.Errorf("core: UDF has no name")
+	}
+	r.mu.Lock()
+	old := r.udfs[strings.ToLower(u.Name())]
+	r.udfs[strings.ToLower(u.Name())] = u
+	r.mu.Unlock()
+	if old != nil {
+		return old.Close()
+	}
+	return nil
+}
+
+// Lookup finds a UDF by name.
+func (r *Registry) Lookup(name string) (UDF, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	u, ok := r.udfs[strings.ToLower(name)]
+	return u, ok
+}
+
+// Drop removes and closes a UDF.
+func (r *Registry) Drop(name string) error {
+	r.mu.Lock()
+	u, ok := r.udfs[strings.ToLower(name)]
+	delete(r.udfs, strings.ToLower(name))
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: function %q is not registered", name)
+	}
+	return u.Close()
+}
+
+// List returns all UDFs sorted by name.
+func (r *Registry) List() []UDF {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]UDF, 0, len(r.udfs))
+	for _, u := range r.udfs {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Close closes every registered UDF.
+func (r *Registry) Close() error {
+	var first error
+	for _, u := range r.List() {
+		if err := u.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// CheckArgs validates an argument list against a UDF signature.
+// NULL arguments are accepted here; the expression evaluator
+// short-circuits NULLs before invocation (strict functions).
+func CheckArgs(u UDF, args []types.Value) error {
+	kinds := u.ArgKinds()
+	if len(args) != len(kinds) {
+		return fmt.Errorf("core: %s takes %d argument(s), got %d", u.Name(), len(kinds), len(args))
+	}
+	for i, a := range args {
+		if !a.IsNull() && a.Kind != kinds[i] {
+			return fmt.Errorf("core: %s argument %d must be %s, got %s", u.Name(), i+1, kinds[i], a.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"predator/internal/jvm"
+	"predator/internal/types"
+)
+
+// vmUDF is Design 3: verified Jaguar bytecode executed by the embedded
+// VM. Each invocation crosses the engine/VM boundary (the "JNI
+// impedance mismatch"), runs under the VM's security manager and the
+// configured resource limits, and calls back to the server through the
+// native bridge.
+type vmUDF struct {
+	name   string
+	args   []types.Kind
+	ret    types.Kind
+	lc     *jvm.LoadedClass
+	method string
+	limits jvm.Limits
+}
+
+// VMUDFConfig describes a Design 3 UDF to install.
+type VMUDFConfig struct {
+	// Name is the SQL-visible function name.
+	Name string
+	// Class is the verified, loaded Jaguar class.
+	Class *jvm.LoadedClass
+	// Method is the entry method; defaults to Name.
+	Method string
+	// Args and Return give the SQL-level signature. They must lower to
+	// the method's VM-level signature.
+	Args   []types.Kind
+	Return types.Kind
+	// Limits is the per-invocation resource policy.
+	Limits jvm.Limits
+}
+
+// NewVM builds a Design 3 UDF from a loaded class, validating that the
+// SQL signature matches the bytecode method's signature.
+func NewVM(cfg VMUDFConfig) (UDF, error) {
+	method := cfg.Method
+	if method == "" {
+		method = cfg.Name
+	}
+	cls := cfg.Class.Class()
+	mi := cls.MethodIndex(method)
+	if mi < 0 {
+		return nil, fmt.Errorf("core: class %q has no method %q", cls.Name, method)
+	}
+	m := &cls.Methods[mi]
+	if len(m.Params) != len(cfg.Args) {
+		return nil, fmt.Errorf("core: %s: SQL signature has %d args, bytecode method has %d",
+			cfg.Name, len(cfg.Args), len(m.Params))
+	}
+	for i, k := range cfg.Args {
+		vt, err := jvm.KindToVType(k)
+		if err != nil {
+			return nil, err
+		}
+		if vt != m.Params[i] {
+			return nil, fmt.Errorf("core: %s: argument %d is %s (VM %s) but bytecode expects %s",
+				cfg.Name, i+1, k, vt, m.Params[i])
+		}
+	}
+	rt, err := jvm.KindToVType(cfg.Return)
+	if err != nil {
+		return nil, err
+	}
+	if rt != m.Return {
+		return nil, fmt.Errorf("core: %s: return type %s (VM %s) but bytecode returns %s",
+			cfg.Name, cfg.Return, rt, m.Return)
+	}
+	return &vmUDF{
+		name: cfg.Name, args: cfg.Args, ret: cfg.Return,
+		lc: cfg.Class, method: method, limits: cfg.Limits,
+	}, nil
+}
+
+func (u *vmUDF) Name() string           { return u.name }
+func (u *vmUDF) ArgKinds() []types.Kind { return u.args }
+func (u *vmUDF) ReturnKind() types.Kind { return u.ret }
+func (u *vmUDF) Design() Design         { return DesignVMIntegrated }
+func (u *vmUDF) Close() error           { return nil }
+
+func (u *vmUDF) Invoke(ctx *Ctx, args []types.Value) (types.Value, error) {
+	if err := CheckArgs(u, args); err != nil {
+		return types.Value{}, err
+	}
+	// Boundary crossing: engine values -> VM values.
+	vargs := make([]jvm.Value, len(args))
+	for i, a := range args {
+		v, err := jvm.ToVM(a)
+		if err != nil {
+			return types.Value{}, fmt.Errorf("core: %s argument %d: %w", u.name, i+1, err)
+		}
+		vargs[i] = v
+	}
+	opts := &jvm.CallOptions{Limits: u.limits}
+	if ctx != nil {
+		opts.Callback = ctx.Callback
+		opts.Logf = ctx.Logf
+	}
+	ret, _, err := u.lc.Call(u.method, vargs, opts)
+	if err != nil {
+		return types.Value{}, fmt.Errorf("core: %s: %w", u.name, err)
+	}
+	return jvm.FromVM(ret, u.ret)
+}

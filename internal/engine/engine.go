@@ -1,0 +1,575 @@
+// Package engine assembles the PREDATOR-Go database: storage, catalog,
+// planner, executor, the embedded Jaguar VM and the UDF registry. It is
+// the single-process embedding API on which the server, the client
+// examples and the benchmark harness are built.
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"predator/internal/catalog"
+	"predator/internal/core"
+	"predator/internal/exec"
+	"predator/internal/expr"
+	"predator/internal/isolate"
+	"predator/internal/jaguar"
+	"predator/internal/jvm"
+	"predator/internal/plan"
+	"predator/internal/sql"
+	"predator/internal/storage"
+	"predator/internal/types"
+)
+
+// Options configures an engine instance.
+type Options struct {
+	// BufferPoolPages caps the page cache (default 1024 pages = 8 MiB).
+	BufferPoolPages int
+	// Security is the VM security manager for Jaguar UDFs (default:
+	// jvm.DefaultPolicy — callbacks and logging only).
+	Security jvm.SecurityManager
+	// DisableJIT forces the VM interpreter (for the JIT ablation).
+	DisableJIT bool
+	// UDFLimits is the default per-invocation resource policy applied
+	// to Jaguar UDFs created via SQL. Zero = unlimited (like the
+	// paper's 1998 JVM); production should set it.
+	UDFLimits jvm.Limits
+	// Logf receives UDF sys.log output and engine notices (nil = drop).
+	Logf func(format string, args ...any)
+}
+
+// Engine is an open database.
+type Engine struct {
+	mu      sync.Mutex
+	disk    *storage.DiskManager
+	pool    *storage.BufferPool
+	cat     *catalog.Catalog
+	reg     *core.Registry
+	vm      *jvm.VM
+	planner *plan.Planner
+	objects *ObjectStore
+	opts    Options
+	closed  bool
+}
+
+// Open opens (or creates) a database file and restores its catalog,
+// including persisted Jaguar UDFs (which are re-verified on load).
+func Open(path string, opts Options) (*Engine, error) {
+	if opts.BufferPoolPages <= 0 {
+		opts.BufferPoolPages = 1024
+	}
+	if opts.Security == nil {
+		opts.Security = jvm.DefaultPolicy()
+	}
+	disk, err := storage.OpenDisk(path)
+	if err != nil {
+		return nil, err
+	}
+	pool := storage.NewBufferPool(disk, opts.BufferPoolPages)
+	cat, err := catalog.Open(disk, pool)
+	if err != nil {
+		disk.Close()
+		return nil, err
+	}
+	e := &Engine{
+		disk:    disk,
+		pool:    pool,
+		cat:     cat,
+		reg:     core.NewRegistry(),
+		vm:      jvm.New(jvm.Options{Security: opts.Security, DisableJIT: opts.DisableJIT}),
+		objects: NewObjectStore(),
+		opts:    opts,
+	}
+	e.planner = &plan.Planner{Catalog: cat, Registry: e.reg}
+	// Restore persisted Jaguar UDFs.
+	for _, f := range cat.Functions() {
+		if f.Language != "jaguar" || len(f.Code) == 0 {
+			continue
+		}
+		if err := e.installJaguarClass(f.Name, f.Code, f.ArgKinds, f.Return, f.Isolated); err != nil {
+			e.Close()
+			return nil, fmt.Errorf("engine: restore function %q: %w", f.Name, err)
+		}
+	}
+	return e, nil
+}
+
+// Close flushes and releases the database.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	e.reg.Close()
+	if err := e.pool.FlushAll(); err != nil {
+		e.disk.Close()
+		return err
+	}
+	return e.disk.Close()
+}
+
+// Registry exposes the UDF registry (for programmatic registration).
+func (e *Engine) Registry() *core.Registry { return e.reg }
+
+// Catalog exposes the system catalog.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// VM exposes the embedded Jaguar VM.
+func (e *Engine) VM() *jvm.VM { return e.vm }
+
+// Objects exposes the callback object store.
+func (e *Engine) Objects() *ObjectStore { return e.objects }
+
+// DiskStats reports physical I/O counters (calibration experiments).
+func (e *Engine) DiskStats() storage.DiskStats { return e.disk.Stats() }
+
+// BufferStats reports page-cache counters.
+func (e *Engine) BufferStats() storage.BufferStats { return e.pool.Stats() }
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Schema and Rows are set for SELECT (and SHOW).
+	Schema *types.Schema
+	Rows   []types.Row
+	// RowsAffected is set for INSERT/DELETE.
+	RowsAffected int64
+	// Message is a human-readable DDL confirmation.
+	Message string
+	// Plan is the EXPLAIN rendering.
+	Plan string
+}
+
+// Exec parses and executes one SQL statement.
+func (e *Engine) Exec(sqlText string) (*Result, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecStmt(stmt)
+}
+
+// ExecStmt executes a parsed statement.
+func (e *Engine) ExecStmt(stmt sql.Statement) (*Result, error) {
+	switch n := stmt.(type) {
+	case *sql.CreateTable:
+		schema := &types.Schema{Columns: n.Columns}
+		if _, err := e.cat.CreateTable(n.Name, schema); err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("table %s created", n.Name)}, nil
+	case *sql.DropTable:
+		if err := e.cat.DropTable(n.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("table %s dropped", n.Name)}, nil
+	case *sql.Insert:
+		return e.execInsert(n)
+	case *sql.Delete:
+		return e.execDelete(n)
+	case *sql.Update:
+		return e.execUpdate(n)
+	case *sql.Select:
+		return e.execSelect(n)
+	case *sql.Explain:
+		op, err := e.planner.PlanSelect(n.Query)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Plan: exec.ExplainTree(op)}, nil
+	case *sql.CreateFunction:
+		return e.execCreateFunction(n)
+	case *sql.DropFunction:
+		if err := e.reg.Drop(n.Name); err != nil {
+			return nil, err
+		}
+		if _, ok := e.cat.Function(n.Name); ok {
+			if err := e.cat.DropFunction(n.Name); err != nil {
+				return nil, err
+			}
+		}
+		return &Result{Message: fmt.Sprintf("function %s dropped", n.Name)}, nil
+	case *sql.Show:
+		return e.execShow(n)
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+func (e *Engine) evalCtx() *expr.Ctx {
+	return &expr.Ctx{UDF: &core.Ctx{Callback: e.objects, Logf: e.opts.Logf}}
+}
+
+func (e *Engine) execSelect(sel *sql.Select) (*Result, error) {
+	op, err := e.planner.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Run(op, e.evalCtx())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schema: op.Schema(), Rows: rows}, nil
+}
+
+func (e *Engine) execInsert(ins *sql.Insert) (*Result, error) {
+	tbl, ok := e.cat.Table(ins.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: table %q does not exist", ins.Table)
+	}
+	binder := &expr.Binder{Scope: expr.NewScope(), Registry: e.reg}
+	ec := e.evalCtx()
+	var n int64
+	for _, exprs := range ins.Rows {
+		if len(exprs) != tbl.Schema.Arity() {
+			return nil, fmt.Errorf("engine: table %s has %d columns, %d values given",
+				tbl.Name, tbl.Schema.Arity(), len(exprs))
+		}
+		row := make(types.Row, len(exprs))
+		for i, ex := range exprs {
+			bound, err := binder.Bind(ex)
+			if err != nil {
+				return nil, err
+			}
+			v, err := bound.Eval(ec, nil)
+			if err != nil {
+				return nil, err
+			}
+			v, err = coerce(v, tbl.Schema.Columns[i].Kind)
+			if err != nil {
+				return nil, fmt.Errorf("engine: column %q: %w", tbl.Schema.Columns[i].Name, err)
+			}
+			row[i] = v
+		}
+		rec, err := types.EncodeRow(nil, tbl.Schema, row)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := tbl.Heap().Insert(rec); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{RowsAffected: n}, nil
+}
+
+func (e *Engine) execDelete(del *sql.Delete) (*Result, error) {
+	tbl, ok := e.cat.Table(del.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: table %q does not exist", del.Table)
+	}
+	var pred expr.Bound
+	if del.Where != nil {
+		scope := expr.NewScope()
+		scope.AddTable(del.Table, tbl.Schema)
+		binder := &expr.Binder{Scope: scope, Registry: e.reg}
+		p, err := binder.Bind(del.Where)
+		if err != nil {
+			return nil, err
+		}
+		if p.Kind() != types.KindBool {
+			return nil, fmt.Errorf("engine: DELETE predicate is %s, not BOOL", p.Kind())
+		}
+		pred = p
+	}
+	ec := e.evalCtx()
+	// Collect matching RIDs first, then delete (no mutation mid-scan).
+	var rids []storage.RID
+	sc := tbl.Heap().Scan()
+	for sc.Next() {
+		if pred != nil {
+			row, err := types.DecodeRow(sc.Record(), tbl.Schema)
+			if err != nil {
+				return nil, err
+			}
+			v, err := pred.Eval(ec, row)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() || !v.Bool {
+				continue
+			}
+		}
+		rids = append(rids, sc.RID())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	var n int64
+	for _, rid := range rids {
+		ok, err := tbl.Heap().Delete(rid)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			n++
+		}
+	}
+	return &Result{RowsAffected: n}, nil
+}
+
+func (e *Engine) execUpdate(upd *sql.Update) (*Result, error) {
+	tbl, ok := e.cat.Table(upd.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: table %q does not exist", upd.Table)
+	}
+	scope := expr.NewScope()
+	scope.AddTable(upd.Table, tbl.Schema)
+	binder := &expr.Binder{Scope: scope, Registry: e.reg}
+	// Bind SET clauses: target column index + value expression.
+	type setBound struct {
+		col   int
+		kind  types.Kind
+		value expr.Bound
+	}
+	sets := make([]setBound, 0, len(upd.Sets))
+	seen := make(map[int]bool)
+	for _, s := range upd.Sets {
+		idx := tbl.Schema.ColumnIndex(s.Column)
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: table %s has no column %q", tbl.Name, s.Column)
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("engine: column %q assigned twice", s.Column)
+		}
+		seen[idx] = true
+		bound, err := binder.Bind(s.Value)
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, setBound{col: idx, kind: tbl.Schema.Columns[idx].Kind, value: bound})
+	}
+	var pred expr.Bound
+	if upd.Where != nil {
+		p, err := binder.Bind(upd.Where)
+		if err != nil {
+			return nil, err
+		}
+		if p.Kind() != types.KindBool {
+			return nil, fmt.Errorf("engine: UPDATE predicate is %s, not BOOL", p.Kind())
+		}
+		pred = p
+	}
+	ec := e.evalCtx()
+	// Phase 1: collect matching rows (no mutation mid-scan); the new
+	// row values are computed against the pre-update image.
+	type change struct {
+		rid storage.RID
+		row types.Row
+	}
+	var changes []change
+	sc := tbl.Heap().Scan()
+	for sc.Next() {
+		row, err := types.DecodeRow(sc.Record(), tbl.Schema)
+		if err != nil {
+			return nil, err
+		}
+		if pred != nil {
+			v, err := pred.Eval(ec, row)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() || !v.Bool {
+				continue
+			}
+		}
+		newRow := row.Clone()
+		for _, s := range sets {
+			v, err := s.value.Eval(ec, row)
+			if err != nil {
+				return nil, err
+			}
+			v, err = coerce(v, s.kind)
+			if err != nil {
+				return nil, fmt.Errorf("engine: column %q: %w", tbl.Schema.Columns[s.col].Name, err)
+			}
+			newRow[s.col] = v.Clone()
+		}
+		changes = append(changes, change{rid: sc.RID(), row: newRow})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Phase 2: apply as delete + insert (RIDs may change; the engine
+	// has no indexes that would need maintenance).
+	for _, ch := range changes {
+		if _, err := tbl.Heap().Delete(ch.rid); err != nil {
+			return nil, err
+		}
+		rec, err := types.EncodeRow(nil, tbl.Schema, ch.row)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := tbl.Heap().Insert(rec); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{RowsAffected: int64(len(changes))}, nil
+}
+
+func (e *Engine) execShow(n *sql.Show) (*Result, error) {
+	switch n.What {
+	case "tables":
+		sch := types.NewSchema(
+			types.Column{Name: "table_name", Kind: types.KindString},
+			types.Column{Name: "columns", Kind: types.KindString},
+		)
+		var rows []types.Row
+		for _, t := range e.cat.Tables() {
+			rows = append(rows, types.Row{types.NewString(t.Name), types.NewString(t.Schema.String())})
+		}
+		return &Result{Schema: sch, Rows: rows}, nil
+	case "functions":
+		sch := types.NewSchema(
+			types.Column{Name: "function_name", Kind: types.KindString},
+			types.Column{Name: "design", Kind: types.KindString},
+			types.Column{Name: "signature", Kind: types.KindString},
+		)
+		var rows []types.Row
+		for _, u := range e.reg.List() {
+			args := make([]string, len(u.ArgKinds()))
+			for i, k := range u.ArgKinds() {
+				args[i] = k.String()
+			}
+			sig := fmt.Sprintf("(%s) -> %s", strings.Join(args, ", "), u.ReturnKind())
+			rows = append(rows, types.Row{
+				types.NewString(u.Name()),
+				types.NewString(u.Design().String()),
+				types.NewString(sig),
+			})
+		}
+		return &Result{Schema: sch, Rows: rows}, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown SHOW target %q", n.What)
+	}
+}
+
+func (e *Engine) execCreateFunction(cf *sql.CreateFunction) (*Result, error) {
+	if cf.Language != "jaguar" {
+		return nil, fmt.Errorf("engine: unsupported UDF language %q (only JAGUAR can be created from SQL; native UDFs are registered by the embedding program)", cf.Language)
+	}
+	if _, exists := e.reg.Lookup(cf.Name); exists && !cf.Replace {
+		return nil, fmt.Errorf("engine: function %q already exists (use CREATE OR REPLACE)", cf.Name)
+	}
+	classBytes, err := jaguar.CompileToBytes(cf.Body, classNameFor(cf.Name))
+	if err != nil {
+		return nil, err
+	}
+	if err := e.installJaguarClass(cf.Name, classBytes, cf.Args, cf.Return, cf.Isolated); err != nil {
+		return nil, err
+	}
+	// Persist so the function survives restarts (§6.4 portability).
+	err = e.cat.PutFunction(&catalog.Function{
+		Name:     cf.Name,
+		Language: "jaguar",
+		Isolated: cf.Isolated,
+		ArgKinds: cf.Args,
+		Return:   cf.Return,
+		Code:     classBytes,
+	}, true)
+	if err != nil {
+		return nil, err
+	}
+	mode := "integrated (Design 3)"
+	if cf.Isolated {
+		mode = "isolated (Design 4)"
+	}
+	return &Result{Message: fmt.Sprintf("function %s created, %s", cf.Name, mode)}, nil
+}
+
+// RegisterJaguar compiles Jaguar source and installs the named function
+// programmatically (same path as CREATE FUNCTION). The entry method
+// must have the same name as the function.
+func (e *Engine) RegisterJaguar(name, src string, args []types.Kind, ret types.Kind, isolated, persist bool) error {
+	classBytes, err := jaguar.CompileToBytes(src, classNameFor(name))
+	if err != nil {
+		return err
+	}
+	if err := e.installJaguarClass(name, classBytes, args, ret, isolated); err != nil {
+		return err
+	}
+	return e.cat.PutFunction(&catalog.Function{
+		Name: name, Language: "jaguar", Isolated: isolated,
+		ArgKinds: args, Return: ret, Code: classBytes,
+	}, persist)
+}
+
+// RegisterJaguarClass installs an already-compiled, serialized Jaguar
+// class as a UDF (the client-to-server migration path: clients upload
+// verified bytecode, not source).
+func (e *Engine) RegisterJaguarClass(name string, classBytes []byte, method string, args []types.Kind, ret types.Kind, isolated, persist bool) error {
+	if err := e.installJaguarClassMethod(name, classBytes, method, args, ret, isolated); err != nil {
+		return err
+	}
+	return e.cat.PutFunction(&catalog.Function{
+		Name: name, Language: "jaguar", Isolated: isolated,
+		ArgKinds: args, Return: ret, Code: classBytes,
+	}, persist)
+}
+
+func (e *Engine) installJaguarClass(name string, classBytes []byte, args []types.Kind, ret types.Kind, isolated bool) error {
+	return e.installJaguarClassMethod(name, classBytes, name, args, ret, isolated)
+}
+
+func (e *Engine) installJaguarClassMethod(name string, classBytes []byte, method string, args []types.Kind, ret types.Kind, isolated bool) error {
+	if isolated {
+		u := isolate.NewVMIsolated(name, args, ret, isolate.VMSetup{
+			ClassBytes: classBytes,
+			Method:     method,
+			Limits:     e.opts.UDFLimits,
+		})
+		return e.reg.Register(u)
+	}
+	// Each UDF loads in its own namespace: class-loader isolation.
+	loader := e.vm.NewLoader("udf:" + strings.ToLower(name))
+	loader.Unload(classNameFor(name)) // allow CREATE OR REPLACE
+	lc, err := loader.Load(classBytes)
+	if err != nil {
+		return err
+	}
+	u, err := core.NewVM(core.VMUDFConfig{
+		Name:   name,
+		Class:  lc,
+		Method: method,
+		Args:   args,
+		Return: ret,
+		Limits: e.opts.UDFLimits,
+	})
+	if err != nil {
+		return err
+	}
+	return e.reg.Register(u)
+}
+
+// RegisterNative installs a trusted Design 1 UDF.
+func (e *Engine) RegisterNative(name string, args []types.Kind, ret types.Kind, fn core.NativeFunc) error {
+	return e.reg.Register(core.NewNative(name, args, ret, fn))
+}
+
+// RegisterSFINative installs a bounds-checked native UDF (BC++).
+func (e *Engine) RegisterSFINative(name string, args []types.Kind, ret types.Kind, fn core.NativeFunc) error {
+	return e.reg.Register(core.NewSFINative(name, args, ret, fn))
+}
+
+// RegisterNativeIsolated installs a Design 2 UDF. The function name
+// must also be present in the NativeTable passed to
+// isolate.MaybeRunExecutor by this program's main.
+func (e *Engine) RegisterNativeIsolated(name string, args []types.Kind, ret types.Kind) error {
+	return e.reg.Register(isolate.NewNativeIsolated(name, args, ret))
+}
+
+// classNameFor derives the Jaguar class name for a SQL function.
+func classNameFor(fn string) string { return "udf_" + strings.ToLower(fn) }
+
+// coerce adapts a value to a column kind (INT -> FLOAT widening only).
+func coerce(v types.Value, want types.Kind) (types.Value, error) {
+	if v.IsNull() || v.Kind == want {
+		return v, nil
+	}
+	if want == types.KindFloat && v.Kind == types.KindInt {
+		return types.NewFloat(float64(v.Int)), nil
+	}
+	return types.Value{}, fmt.Errorf("expected %s, got %s", want, v.Kind)
+}

@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ObjectStore is the server-side large-object service behind UDF
+// callbacks: instead of shipping a whole object into a UDF, the engine
+// hands the UDF an integer handle, and the UDF asks the server for the
+// pieces it needs (paper §4: "callbacks"). It also counts crossings so
+// experiments can verify callback traffic.
+type ObjectStore struct {
+	mu      sync.RWMutex
+	objects map[int64][]byte
+	next    int64
+
+	// Counters (atomic; hot path).
+	sizes   atomic.Int64
+	gets    atomic.Int64
+	reads   atomic.Int64
+	touches atomic.Int64
+}
+
+// NewObjectStore returns an empty store.
+func NewObjectStore() *ObjectStore {
+	return &ObjectStore{objects: make(map[int64][]byte), next: 1}
+}
+
+// Put registers an object and returns its handle.
+func (s *ObjectStore) Put(data []byte) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.next
+	s.next++
+	s.objects[h] = data
+	return h
+}
+
+// Remove drops an object.
+func (s *ObjectStore) Remove(handle int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.objects, handle)
+}
+
+func (s *ObjectStore) get(handle int64) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.objects[handle]
+	if !ok {
+		return nil, fmt.Errorf("engine: no object with handle %d", handle)
+	}
+	return data, nil
+}
+
+// Size implements jvm.Callback.
+func (s *ObjectStore) Size(handle int64) (int64, error) {
+	s.sizes.Add(1)
+	data, err := s.get(handle)
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(data)), nil
+}
+
+// Get implements jvm.Callback.
+func (s *ObjectStore) Get(handle, offset int64) (byte, error) {
+	s.gets.Add(1)
+	data, err := s.get(handle)
+	if err != nil {
+		return 0, err
+	}
+	if offset < 0 || offset >= int64(len(data)) {
+		return 0, fmt.Errorf("engine: offset %d outside object of %d bytes", offset, len(data))
+	}
+	return data[offset], nil
+}
+
+// Read implements jvm.Callback.
+func (s *ObjectStore) Read(handle, offset, length int64) ([]byte, error) {
+	s.reads.Add(1)
+	data, err := s.get(handle)
+	if err != nil {
+		return nil, err
+	}
+	if offset < 0 || length < 0 || offset+length > int64(len(data)) {
+		return nil, fmt.Errorf("engine: range [%d,%d) outside object of %d bytes", offset, offset+length, len(data))
+	}
+	out := make([]byte, length)
+	copy(out, data[offset:])
+	return out, nil
+}
+
+// Touch implements jvm.Callback: a pure boundary crossing.
+func (s *ObjectStore) Touch(handle int64) error {
+	s.touches.Add(1)
+	return nil
+}
+
+// CallbackStats reports crossing counts.
+type CallbackStats struct {
+	Sizes, Gets, Reads, Touches int64
+}
+
+// Stats returns a snapshot of the callback counters.
+func (s *ObjectStore) Stats() CallbackStats {
+	return CallbackStats{
+		Sizes:   s.sizes.Load(),
+		Gets:    s.gets.Load(),
+		Reads:   s.reads.Load(),
+		Touches: s.touches.Load(),
+	}
+}

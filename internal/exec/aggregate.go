@@ -1,0 +1,244 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"predator/internal/expr"
+	"predator/internal/types"
+)
+
+// Aggregate groups its input by the group expressions and computes the
+// aggregate specs per group. Output rows are the group keys followed by
+// the aggregate results. With no group expressions it produces exactly
+// one row (global aggregation).
+type Aggregate struct {
+	Input  Operator
+	Groups []expr.Bound
+	Specs  []expr.AggSpec
+	Names  []string // output column names: groups then aggregates
+
+	sch  *types.Schema
+	rows []types.Row
+	pos  int
+}
+
+// Schema implements Operator.
+func (a *Aggregate) Schema() *types.Schema {
+	if a.sch == nil {
+		cols := make([]types.Column, 0, len(a.Groups)+len(a.Specs))
+		for i, g := range a.Groups {
+			name := ""
+			if i < len(a.Names) {
+				name = a.Names[i]
+			}
+			if name == "" {
+				name = g.String()
+			}
+			cols = append(cols, types.Column{Name: name, Kind: g.Kind()})
+		}
+		for i, s := range a.Specs {
+			k, err := s.ResultKind()
+			if err != nil {
+				k = types.KindInvalid
+			}
+			name := ""
+			if len(a.Groups)+i < len(a.Names) {
+				name = a.Names[len(a.Groups)+i]
+			}
+			if name == "" {
+				name = s.Name
+			}
+			cols = append(cols, types.Column{Name: name, Kind: k})
+		}
+		a.sch = &types.Schema{Columns: cols}
+	}
+	return a.sch
+}
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	count int64
+	sumI  int64
+	sumF  float64
+	min   types.Value
+	max   types.Value
+	any   bool
+}
+
+func (st *aggState) add(spec *expr.AggSpec, v types.Value) error {
+	if spec.Func == expr.AggCount {
+		// COUNT(*) counts rows (v is a dummy non-null); COUNT(x) skips NULLs.
+		if !v.IsNull() {
+			st.count++
+		}
+		return nil
+	}
+	if v.IsNull() {
+		return nil
+	}
+	st.count++
+	switch spec.Func {
+	case expr.AggSum, expr.AggAvg:
+		switch v.Kind {
+		case types.KindInt:
+			st.sumI += v.Int
+			st.sumF += float64(v.Int)
+		case types.KindFloat:
+			st.sumF += v.Float
+		default:
+			return fmt.Errorf("exec: %s over %s", spec.Func, v.Kind)
+		}
+	case expr.AggMin:
+		if !st.any {
+			st.min = v.Clone()
+		} else if c, err := v.Compare(st.min); err != nil {
+			return err
+		} else if c < 0 {
+			st.min = v.Clone()
+		}
+	case expr.AggMax:
+		if !st.any {
+			st.max = v.Clone()
+		} else if c, err := v.Compare(st.max); err != nil {
+			return err
+		} else if c > 0 {
+			st.max = v.Clone()
+		}
+	}
+	st.any = true
+	return nil
+}
+
+func (st *aggState) result(spec *expr.AggSpec) types.Value {
+	switch spec.Func {
+	case expr.AggCount:
+		return types.NewInt(st.count)
+	case expr.AggSum:
+		if !st.any {
+			return types.Null()
+		}
+		if spec.Arg.Kind() == types.KindFloat {
+			return types.NewFloat(st.sumF)
+		}
+		return types.NewInt(st.sumI)
+	case expr.AggAvg:
+		if st.count == 0 {
+			return types.Null()
+		}
+		return types.NewFloat(st.sumF / float64(st.count))
+	case expr.AggMin:
+		if !st.any {
+			return types.Null()
+		}
+		return st.min
+	case expr.AggMax:
+		if !st.any {
+			return types.Null()
+		}
+		return st.max
+	default:
+		return types.Null()
+	}
+}
+
+// Open implements Operator: it consumes the whole input and builds the
+// grouped results.
+func (a *Aggregate) Open(ec *expr.Ctx) error {
+	if err := a.Input.Open(ec); err != nil {
+		return err
+	}
+	type group struct {
+		key    types.Row
+		states []aggState
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for {
+		row, err := a.Input.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		key := make(types.Row, len(a.Groups))
+		var kb strings.Builder
+		for i, g := range a.Groups {
+			v, err := g.Eval(ec, row)
+			if err != nil {
+				return err
+			}
+			key[i] = v.Clone()
+			kb.Write(types.EncodeValue(nil, v))
+		}
+		ks := kb.String()
+		grp, ok := groups[ks]
+		if !ok {
+			grp = &group{key: key, states: make([]aggState, len(a.Specs))}
+			groups[ks] = grp
+			order = append(order, ks)
+		}
+		for i := range a.Specs {
+			spec := &a.Specs[i]
+			var v types.Value
+			if spec.Arg == nil {
+				v = types.NewInt(1) // COUNT(*): any non-null marker
+			} else {
+				v, err = spec.Arg.Eval(ec, row)
+				if err != nil {
+					return err
+				}
+			}
+			if err := grp.states[i].add(spec, v); err != nil {
+				return err
+			}
+		}
+	}
+	a.rows = a.rows[:0]
+	if len(a.Groups) == 0 && len(order) == 0 {
+		// Global aggregation over an empty input still yields one row.
+		states := make([]aggState, len(a.Specs))
+		row := make(types.Row, 0, len(a.Specs))
+		for i := range a.Specs {
+			row = append(row, states[i].result(&a.Specs[i]))
+		}
+		a.rows = append(a.rows, row)
+	} else {
+		for _, ks := range order {
+			grp := groups[ks]
+			row := make(types.Row, 0, len(grp.key)+len(a.Specs))
+			row = append(row, grp.key...)
+			for i := range a.Specs {
+				row = append(row, grp.states[i].result(&a.Specs[i]))
+			}
+			a.rows = append(a.rows, row)
+		}
+	}
+	a.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (a *Aggregate) Next() (types.Row, error) {
+	if a.pos >= len(a.rows) {
+		return nil, nil
+	}
+	row := a.rows[a.pos]
+	a.pos++
+	return row, nil
+}
+
+// Close implements Operator.
+func (a *Aggregate) Close() error {
+	a.rows = nil
+	return a.Input.Close()
+}
+
+// Explain implements Operator.
+func (a *Aggregate) Explain() string {
+	return fmt.Sprintf("Aggregate(%d groups, %d aggs)", len(a.Groups), len(a.Specs))
+}
+
+// Children implements Operator.
+func (a *Aggregate) Children() []Operator { return []Operator{a.Input} }

@@ -1,0 +1,230 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"predator/internal/core"
+	"predator/internal/sql"
+	"predator/internal/types"
+)
+
+// Binder resolves parser expressions against a scope and a UDF
+// registry.
+type Binder struct {
+	Scope    *Scope
+	Registry *core.Registry
+}
+
+// Bind resolves and type-checks a parser expression.
+func (b *Binder) Bind(e sql.Expr) (Bound, error) {
+	switch n := e.(type) {
+	case *sql.Literal:
+		return &Const{Value: n.Value}, nil
+	case *sql.ColumnRef:
+		idx, kind, err := b.Scope.Resolve(n.Table, n.Column)
+		if err != nil {
+			return nil, err
+		}
+		return &Col{Index: idx, K: kind, Name: n.String()}, nil
+	case *sql.UnaryExpr:
+		x, err := b.Bind(n.X)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == "NOT" {
+			if x.Kind() != types.KindBool {
+				return nil, fmt.Errorf("expr: NOT over %s", x.Kind())
+			}
+			return &Not{X: x}, nil
+		}
+		if x.Kind() != types.KindInt && x.Kind() != types.KindFloat {
+			return nil, fmt.Errorf("expr: unary minus over %s", x.Kind())
+		}
+		return &Neg{X: x}, nil
+	case *sql.IsNull:
+		x, err := b.Bind(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return &NullTest{X: x, Negate: n.Negate}, nil
+	case *sql.BinaryExpr:
+		return b.bindBinary(n)
+	case *sql.FuncCall:
+		return b.bindCall(n)
+	default:
+		return nil, fmt.Errorf("expr: unsupported expression %T", e)
+	}
+}
+
+func (b *Binder) bindBinary(n *sql.BinaryExpr) (Bound, error) {
+	l, err := b.Bind(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := b.Bind(n.R)
+	if err != nil {
+		return nil, err
+	}
+	// A NULL literal (KindInvalid) is typable in any position; the
+	// expression then evaluates to NULL per three-valued logic.
+	lk, rk := l.Kind(), r.Kind()
+	lNull, rNull := lk == types.KindInvalid, rk == types.KindInvalid
+	switch n.Op {
+	case "AND", "OR":
+		if (lk != types.KindBool && !lNull) || (rk != types.KindBool && !rNull) {
+			return nil, fmt.Errorf("expr: %s needs boolean operands, found %s and %s", n.Op, lk, rk)
+		}
+		return &Logic{Op: n.Op, L: l, R: r}, nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		if !lNull && !rNull && !comparable(lk, rk) {
+			return nil, fmt.Errorf("expr: cannot compare %s with %s", lk, rk)
+		}
+		return &Cmp{Op: n.Op, L: l, R: r}, nil
+	case "+", "-", "*", "/", "%":
+		if n.Op == "+" && (lk == types.KindString || rk == types.KindString) &&
+			(lk == types.KindString || lNull) && (rk == types.KindString || rNull) {
+			return &Arith{Op: "+", L: l, R: r, K: types.KindString}, nil
+		}
+		if (!numeric(lk) && !lNull) || (!numeric(rk) && !rNull) {
+			return nil, fmt.Errorf("expr: %s over %s and %s", n.Op, lk, rk)
+		}
+		k := types.KindInt
+		if lk == types.KindFloat || rk == types.KindFloat {
+			k = types.KindFloat
+		}
+		if n.Op == "%" && k != types.KindInt {
+			return nil, fmt.Errorf("expr: %% needs integer operands")
+		}
+		return &Arith{Op: n.Op, L: l, R: r, K: k}, nil
+	default:
+		return nil, fmt.Errorf("expr: unknown operator %q", n.Op)
+	}
+}
+
+func (b *Binder) bindCall(n *sql.FuncCall) (Bound, error) {
+	name := strings.ToLower(n.Name)
+	if IsAggregateName(name) {
+		return nil, fmt.Errorf("expr: aggregate %s is not allowed here", strings.ToUpper(name))
+	}
+	args := make([]Bound, len(n.Args))
+	for i, a := range n.Args {
+		bound, err := b.Bind(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = bound
+	}
+	if impl, ok := builtinFuncs[name]; ok {
+		if len(args) != len(impl.argKinds) {
+			return nil, fmt.Errorf("expr: %s takes %d argument(s), got %d", name, len(impl.argKinds), len(args))
+		}
+		for i, allowed := range impl.argKinds {
+			ok := false
+			for _, k := range allowed {
+				if args[i].Kind() == k {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return nil, fmt.Errorf("expr: %s argument %d has type %s", name, i+1, args[i].Kind())
+			}
+		}
+		return &BuiltinCall{Name: name, Args: args, impl: impl, kind: impl.retKind(args)}, nil
+	}
+	if b.Registry != nil {
+		if u, ok := b.Registry.Lookup(name); ok {
+			return NewUDFCall(u, args)
+		}
+	}
+	return nil, fmt.Errorf("expr: unknown function %q", n.Name)
+}
+
+func numeric(k types.Kind) bool { return k == types.KindInt || k == types.KindFloat }
+
+func comparable(a, b types.Kind) bool {
+	if a == b {
+		return true
+	}
+	return numeric(a) && numeric(b)
+}
+
+// ColumnsUsed returns the set of column indexes an expression reads,
+// used by the planner for predicate pushdown.
+func ColumnsUsed(e Bound) map[int]bool {
+	out := make(map[int]bool)
+	collectCols(e, out)
+	return out
+}
+
+func collectCols(e Bound, out map[int]bool) {
+	switch n := e.(type) {
+	case *Col:
+		out[n.Index] = true
+	case *Arith:
+		collectCols(n.L, out)
+		collectCols(n.R, out)
+	case *Cmp:
+		collectCols(n.L, out)
+		collectCols(n.R, out)
+	case *Logic:
+		collectCols(n.L, out)
+		collectCols(n.R, out)
+	case *Not:
+		collectCols(n.X, out)
+	case *Neg:
+		collectCols(n.X, out)
+	case *NullTest:
+		collectCols(n.X, out)
+	case *BuiltinCall:
+		for _, a := range n.Args {
+			collectCols(a, out)
+		}
+	case *udfCall:
+		for _, a := range n.args {
+			collectCols(a, out)
+		}
+	case *castFloat:
+		collectCols(n.x, out)
+	}
+}
+
+// ShiftCols returns a copy of the expression with every column index
+// decreased by offset (rebasing join-level predicates onto one side).
+func ShiftCols(e Bound, offset int) Bound {
+	switch n := e.(type) {
+	case *Const:
+		return n
+	case *Col:
+		return &Col{Index: n.Index - offset, K: n.K, Name: n.Name}
+	case *Arith:
+		return &Arith{Op: n.Op, L: ShiftCols(n.L, offset), R: ShiftCols(n.R, offset), K: n.K}
+	case *Cmp:
+		return &Cmp{Op: n.Op, L: ShiftCols(n.L, offset), R: ShiftCols(n.R, offset)}
+	case *Logic:
+		return &Logic{Op: n.Op, L: ShiftCols(n.L, offset), R: ShiftCols(n.R, offset)}
+	case *Not:
+		return &Not{X: ShiftCols(n.X, offset)}
+	case *Neg:
+		return &Neg{X: ShiftCols(n.X, offset)}
+	case *NullTest:
+		return &NullTest{X: ShiftCols(n.X, offset), Negate: n.Negate}
+	case *BuiltinCall:
+		args := make([]Bound, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = ShiftCols(a, offset)
+		}
+		return &BuiltinCall{Name: n.Name, Args: args, impl: n.impl, kind: n.kind}
+	case *udfCall:
+		args := make([]Bound, len(n.args))
+		for i, a := range n.args {
+			args[i] = ShiftCols(a, offset)
+		}
+		return &udfCall{udf: n.udf, args: args}
+	case *castFloat:
+		return &castFloat{x: ShiftCols(n.x, offset)}
+	default:
+		return e
+	}
+}

@@ -1,0 +1,265 @@
+package isolate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"predator/internal/core"
+	"predator/internal/jvm"
+	"predator/internal/types"
+)
+
+// NativeTable maps native UDF names to implementations available in
+// executor processes. Programs that host isolated native UDFs must
+// pass the same table to MaybeRunExecutor that they use to register
+// the UDFs, so parent and child agree on implementations.
+type NativeTable map[string]core.NativeFunc
+
+// MaybeRunExecutor turns the current process into a UDF executor when
+// ExecutorEnv is set, never returning in that case (the process exits
+// when the parent closes the pipe). Call it first thing in main (and
+// in TestMain of tests that exercise isolated UDFs).
+func MaybeRunExecutor(natives NativeTable) {
+	if os.Getenv(ExecutorEnv) != "1" {
+		return
+	}
+	err := RunExecutor(os.Stdin, os.Stdout, natives)
+	if err != nil && err != io.EOF {
+		fmt.Fprintf(os.Stderr, "udf-executor: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// RunExecutor serves the executor protocol on the given pipe until
+// shutdown or EOF. Exported separately from MaybeRunExecutor for tests
+// that run the executor loop in-process over synthetic pipes.
+func RunExecutor(r io.Reader, w io.Writer, natives NativeTable) error {
+	c := newConn(r, w)
+	if err := c.send(msgReady, nil); err != nil {
+		return err
+	}
+	st := &childState{conn: c, natives: natives}
+	for {
+		f, err := c.recv()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			// A closed pipe on shutdown is a normal exit.
+			return err
+		}
+		switch f.typ {
+		case msgSetupNative:
+			st.setupNative(f.payload)
+		case msgSetupVM:
+			st.setupVM(f.payload)
+		case msgInvoke:
+			st.invoke(f.payload)
+		case msgShutdown:
+			return nil
+		default:
+			if err := c.send(msgError, appendString(nil, fmt.Sprintf("unexpected message %d", f.typ))); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// childState is the executor's current UDF binding.
+type childState struct {
+	conn    *conn
+	natives NativeTable
+
+	// Exactly one of these is set after setup.
+	nativeFn core.NativeFunc
+	vmClass  *jvm.LoadedClass
+	vmMethod string
+	vmLimits jvm.Limits
+}
+
+func (st *childState) fail(format string, args ...any) {
+	_ = st.conn.send(msgError, appendString(nil, fmt.Sprintf(format, args...)))
+}
+
+func (st *childState) setupNative(payload []byte) {
+	r := &preader{buf: payload}
+	name := r.str()
+	if r.err != nil {
+		st.fail("bad setup frame: %v", r.err)
+		return
+	}
+	fn, ok := st.natives[name]
+	if !ok {
+		st.fail("native UDF %q is not in the executor's native table", name)
+		return
+	}
+	st.nativeFn = fn
+	st.vmClass = nil
+	_ = st.conn.send(msgReady, nil)
+}
+
+func (st *childState) setupVM(payload []byte) {
+	r := &preader{buf: payload}
+	classBytes := r.bytes()
+	method := r.str()
+	fuel := r.varint()
+	mem := r.varint()
+	depth := r.varint()
+	if r.err != nil {
+		st.fail("bad setup frame: %v", r.err)
+		return
+	}
+	// A fresh VM per executor: full isolation, default-deny policy is
+	// irrelevant here because the whole process is expendable, but the
+	// VM still re-verifies the class.
+	vm := jvm.New(jvm.Options{Security: jvm.AllowAll()})
+	lc, err := vm.NewLoader("executor").Load(append([]byte(nil), classBytes...))
+	if err != nil {
+		st.fail("load class: %v", err)
+		return
+	}
+	st.vmClass = lc
+	st.vmMethod = method
+	st.vmLimits = jvm.Limits{Fuel: fuel, MaxAllocBytes: mem, MaxCallDepth: int(depth)}
+	st.nativeFn = nil
+	_ = st.conn.send(msgReady, nil)
+}
+
+func (st *childState) invoke(payload []byte) {
+	r := &preader{buf: payload}
+	argc := int(r.uvarint())
+	args := make([]types.Value, 0, argc)
+	for i := 0; i < argc; i++ {
+		args = append(args, r.value())
+	}
+	if r.err != nil {
+		st.fail("bad invoke frame: %v", r.err)
+		return
+	}
+	cb := &proxyCallback{conn: st.conn}
+	var (
+		out types.Value
+		err error
+	)
+	switch {
+	case st.nativeFn != nil:
+		out, err = st.nativeFn(&core.Ctx{Callback: cb}, args)
+	case st.vmClass != nil:
+		out, err = st.invokeVM(cb, args)
+	default:
+		err = fmt.Errorf("executor has no UDF bound (missing setup)")
+	}
+	if err != nil {
+		st.fail("%v", err)
+		return
+	}
+	_ = st.conn.send(msgResult, types.EncodeValue(nil, out))
+}
+
+func (st *childState) invokeVM(cb jvm.Callback, args []types.Value) (types.Value, error) {
+	cls := st.vmClass.Class()
+	mi := cls.MethodIndex(st.vmMethod)
+	if mi < 0 {
+		return types.Value{}, fmt.Errorf("class has no method %q", st.vmMethod)
+	}
+	m := &cls.Methods[mi]
+	if len(args) != len(m.Params) {
+		return types.Value{}, fmt.Errorf("method takes %d args, got %d", len(m.Params), len(args))
+	}
+	vargs := make([]jvm.Value, len(args))
+	for i, a := range args {
+		v, err := jvm.ToVM(a)
+		if err != nil {
+			return types.Value{}, err
+		}
+		vargs[i] = v
+	}
+	ret, _, err := st.vmClass.Call(st.vmMethod, vargs, &jvm.CallOptions{
+		Limits:   st.vmLimits,
+		Callback: cb,
+	})
+	if err != nil {
+		return types.Value{}, err
+	}
+	switch ret.T {
+	case jvm.TInt:
+		return types.NewInt(ret.I), nil
+	case jvm.TFloat:
+		return types.NewFloat(ret.F), nil
+	case jvm.TStr:
+		return types.NewString(ret.S), nil
+	default:
+		return types.NewBytes(ret.B), nil
+	}
+}
+
+// proxyCallback forwards callback requests over the pipe to the parent
+// (each call is a full process-boundary round trip — the effect the
+// paper's Figure 8 measures for IC++).
+type proxyCallback struct {
+	conn *conn
+}
+
+func (p *proxyCallback) roundTrip(op byte, handle, off, length int64) (*preader, error) {
+	buf := []byte{op}
+	buf = binary.AppendVarint(buf, handle)
+	buf = binary.AppendVarint(buf, off)
+	buf = binary.AppendVarint(buf, length)
+	if err := p.conn.send(msgCallback, buf); err != nil {
+		return nil, err
+	}
+	f, err := p.conn.recv()
+	if err != nil {
+		return nil, err
+	}
+	if f.typ != msgCBResult {
+		return nil, fmt.Errorf("isolate: unexpected callback reply %d", f.typ)
+	}
+	r := &preader{buf: f.payload}
+	if ok := r.byte(); ok == 0 {
+		return nil, fmt.Errorf("isolate: callback failed: %s", r.str())
+	}
+	return r, nil
+}
+
+func (p *proxyCallback) Size(handle int64) (int64, error) {
+	r, err := p.roundTrip(cbSize, handle, 0, 0)
+	if err != nil {
+		return 0, err
+	}
+	return r.varint(), r.err
+}
+
+func (p *proxyCallback) Get(handle, off int64) (byte, error) {
+	r, err := p.roundTrip(cbGet, handle, off, 0)
+	if err != nil {
+		return 0, err
+	}
+	return byte(r.varint()), r.err
+}
+
+func (p *proxyCallback) Read(handle, off, length int64) ([]byte, error) {
+	r, err := p.roundTrip(cbRead, handle, off, length)
+	if err != nil {
+		return nil, err
+	}
+	data := r.bytes()
+	if r.err != nil {
+		return nil, r.err
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+func (p *proxyCallback) Touch(handle int64) error {
+	r, err := p.roundTrip(cbTouch, handle, 0, 0)
+	if err != nil {
+		return err
+	}
+	r.varint()
+	return r.err
+}

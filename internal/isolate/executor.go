@@ -1,0 +1,218 @@
+package isolate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+
+	"predator/internal/core"
+	"predator/internal/jvm"
+	"predator/internal/types"
+)
+
+// Executor is the parent-side handle to one executor process. An
+// executor hosts exactly one UDF and evaluates one invocation at a
+// time (the paper assigns one remote executor per UDF per query).
+type Executor struct {
+	mu   sync.Mutex
+	cmd  *exec.Cmd
+	conn *conn
+	done bool
+}
+
+// StartExecutor launches a new executor process by re-executing the
+// current binary with ExecutorEnv set.
+func StartExecutor() (*Executor, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("isolate: locate executable: %w", err)
+	}
+	cmd := exec.Command(self)
+	cmd.Env = append(os.Environ(), ExecutorEnv+"=1")
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("isolate: start executor: %w", err)
+	}
+	e := &Executor{cmd: cmd, conn: newConn(stdout, stdin)}
+	// Wait for the child to signal readiness.
+	f, err := e.conn.recv()
+	if err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("isolate: executor did not start: %w", err)
+	}
+	if f.typ != msgReady {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("isolate: unexpected first message %d", f.typ)
+	}
+	return e, nil
+}
+
+// SetupNative binds the executor to the named native UDF, which must
+// be present in the executor's native table (see MaybeRunExecutor).
+func (e *Executor) SetupNative(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.conn.send(msgSetupNative, appendString(nil, name)); err != nil {
+		return err
+	}
+	return e.awaitReadyLocked()
+}
+
+// VMSetup describes the Jaguar UDF an executor should host (Design 4).
+type VMSetup struct {
+	ClassBytes []byte
+	Method     string
+	Limits     jvm.Limits
+}
+
+// SetupVM ships a verified Jaguar class to the executor, which loads
+// (and re-verifies) it in its own VM.
+func (e *Executor) SetupVM(s VMSetup) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	buf := appendBytes(nil, s.ClassBytes)
+	buf = appendString(buf, s.Method)
+	buf = binary.AppendVarint(buf, s.Limits.Fuel)
+	buf = binary.AppendVarint(buf, s.Limits.MaxAllocBytes)
+	buf = binary.AppendVarint(buf, int64(s.Limits.MaxCallDepth))
+	if err := e.conn.send(msgSetupVM, buf); err != nil {
+		return err
+	}
+	return e.awaitReadyLocked()
+}
+
+func (e *Executor) awaitReadyLocked() error {
+	f, err := e.conn.recv()
+	if err != nil {
+		return err
+	}
+	switch f.typ {
+	case msgReady:
+		return nil
+	case msgError:
+		r := &preader{buf: f.payload}
+		return fmt.Errorf("isolate: executor setup failed: %s", r.str())
+	default:
+		return fmt.Errorf("isolate: unexpected setup reply %d", f.typ)
+	}
+}
+
+// Invoke evaluates the UDF in the executor process. Arguments and the
+// result are copied across the process boundary; callbacks made by the
+// UDF are served by ctx.Callback, each one a round trip.
+func (e *Executor) Invoke(ctx *core.Ctx, args []types.Value) (types.Value, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	buf := binary.AppendUvarint(nil, uint64(len(args)))
+	for _, a := range args {
+		buf = types.EncodeValue(buf, a)
+	}
+	if err := e.conn.send(msgInvoke, buf); err != nil {
+		return types.Value{}, err
+	}
+	for {
+		f, err := e.conn.recv()
+		if err != nil {
+			return types.Value{}, err
+		}
+		switch f.typ {
+		case msgResult:
+			r := &preader{buf: f.payload}
+			v := r.value()
+			if r.err != nil {
+				return types.Value{}, r.err
+			}
+			return v.Clone(), nil
+		case msgError:
+			r := &preader{buf: f.payload}
+			return types.Value{}, fmt.Errorf("isolate: UDF failed: %s", r.str())
+		case msgCallback:
+			if err := e.serveCallbackLocked(ctx, f.payload); err != nil {
+				return types.Value{}, err
+			}
+		default:
+			return types.Value{}, fmt.Errorf("isolate: unexpected message %d during invoke", f.typ)
+		}
+	}
+}
+
+// serveCallbackLocked answers one callback request from the executor.
+func (e *Executor) serveCallbackLocked(ctx *core.Ctx, payload []byte) error {
+	r := &preader{buf: payload}
+	op := r.byte()
+	handle := r.varint()
+	off := r.varint()
+	length := r.varint()
+	if r.err != nil {
+		return r.err
+	}
+	fail := func(err error) error {
+		return e.conn.send(msgCBResult, appendString([]byte{0}, err.Error()))
+	}
+	if ctx == nil || ctx.Callback == nil {
+		return fail(fmt.Errorf("no callback handler installed"))
+	}
+	switch op {
+	case cbSize:
+		n, err := ctx.Callback.Size(handle)
+		if err != nil {
+			return fail(err)
+		}
+		return e.conn.send(msgCBResult, binary.AppendVarint([]byte{1}, n))
+	case cbGet:
+		b, err := ctx.Callback.Get(handle, off)
+		if err != nil {
+			return fail(err)
+		}
+		return e.conn.send(msgCBResult, binary.AppendVarint([]byte{1}, int64(b)))
+	case cbRead:
+		data, err := ctx.Callback.Read(handle, off, length)
+		if err != nil {
+			return fail(err)
+		}
+		return e.conn.send(msgCBResult, appendBytes([]byte{1}, data))
+	case cbTouch:
+		if err := ctx.Callback.Touch(handle); err != nil {
+			return fail(err)
+		}
+		return e.conn.send(msgCBResult, binary.AppendVarint([]byte{1}, 0))
+	default:
+		return fail(fmt.Errorf("unknown callback op %d", op))
+	}
+}
+
+// Close shuts the executor process down.
+func (e *Executor) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done {
+		return nil
+	}
+	e.done = true
+	// Best effort: polite shutdown, then reap.
+	_ = e.conn.send(msgShutdown, nil)
+	err := e.cmd.Wait()
+	if err != nil {
+		// The child may already be gone; that is fine for shutdown.
+		if _, ok := err.(*exec.ExitError); ok {
+			return nil
+		}
+		if err == io.ErrClosedPipe {
+			return nil
+		}
+	}
+	return nil
+}

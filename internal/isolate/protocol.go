@@ -1,0 +1,184 @@
+// Package isolate implements the isolated-process UDF designs (the
+// paper's Design 2 "IC++" and Design 4): the UDF runs in a separate
+// executor OS process, with arguments, results and callbacks crossing
+// the process boundary on a framed pipe protocol.
+//
+// The paper's implementation used shared memory plus semaphores; pipes
+// preserve the same cost structure — a per-invocation crossing whose
+// cost is independent of UDF computation but grows with the bytes
+// copied, and a double crossing for every callback (see DESIGN.md).
+//
+// The executor is the same program binary re-executed with
+// ExecutorEnv set (call MaybeRunExecutor early in main or TestMain),
+// so native UDF implementations are available on both sides.
+package isolate
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"predator/internal/types"
+)
+
+// ExecutorEnv marks a process as a UDF executor when set to "1".
+const ExecutorEnv = "PREDATOR_UDF_EXECUTOR"
+
+// maxFrame bounds a single protocol frame (64 MiB).
+const maxFrame = 64 << 20
+
+// Message types.
+const (
+	msgSetupNative byte = iota + 1 // name
+	msgSetupVM                     // class bytes, method, limits
+	msgInvoke                      // argc, values
+	msgResult                      // value
+	msgError                       // string
+	msgCallback                    // op, handle, off, len
+	msgCBResult                    // ok flag, payload
+	msgShutdown                    // none
+	msgReady                       // none
+)
+
+// Callback operation codes inside msgCallback frames.
+const (
+	cbSize byte = iota + 1
+	cbGet
+	cbRead
+	cbTouch
+)
+
+// frame is one decoded protocol message.
+type frame struct {
+	typ     byte
+	payload []byte
+}
+
+// conn wraps the two pipe ends with buffered framing.
+type conn struct {
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+func newConn(r io.Reader, w io.Writer) *conn {
+	return &conn{r: bufio.NewReaderSize(r, 64<<10), w: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// send writes one frame and flushes (the peer blocks on it).
+func (c *conn) send(typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("isolate: write frame header: %w", err)
+	}
+	if _, err := c.w.Write(payload); err != nil {
+		return fmt.Errorf("isolate: write frame payload: %w", err)
+	}
+	return c.w.Flush()
+}
+
+// recv reads one frame.
+func (c *conn) recv() (frame, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return frame{}, fmt.Errorf("isolate: read frame header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > maxFrame {
+		return frame{}, fmt.Errorf("isolate: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.r, payload); err != nil {
+		return frame{}, fmt.Errorf("isolate: read frame payload: %w", err)
+	}
+	return frame{typ: hdr[4], payload: payload}, nil
+}
+
+// Payload builders and parsers.
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+// preader is a cursor over a frame payload.
+type preader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *preader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("isolate: truncated frame at offset %d", r.off)
+	}
+}
+
+func (r *preader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *preader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *preader) byte() byte {
+	if r.err != nil || r.off >= len(r.buf) {
+		r.fail()
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+func (r *preader) bytes() []byte {
+	n := int(r.uvarint())
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	out := r.buf[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *preader) str() string { return string(r.bytes()) }
+
+func (r *preader) value() types.Value {
+	if r.err != nil {
+		return types.Value{}
+	}
+	v, n, err := types.DecodeValue(r.buf[r.off:])
+	if err != nil {
+		r.err = err
+		return types.Value{}
+	}
+	r.off += n
+	return v
+}

@@ -1,0 +1,211 @@
+package isolate
+
+import (
+	"fmt"
+	"sync"
+
+	"predator/internal/core"
+	"predator/internal/jvm"
+	"predator/internal/types"
+)
+
+// udf implements core.UDF over an executor process, covering Design 2
+// (native isolated) and Design 4 (VM isolated). The executor is
+// started lazily on the first invocation and reused until Close —
+// analogous to the paper's one-executor-per-UDF-per-query lifecycle
+// with its startup cost amortized over the relation's tuples.
+type udf struct {
+	name   string
+	args   []types.Kind
+	ret    types.Kind
+	design core.Design
+
+	// Setup for the executor (one of):
+	nativeName string
+	vm         *VMSetup
+
+	mu   sync.Mutex
+	exec *Executor
+	pool *Pool // optional shared pool; nil = own executor
+}
+
+// NewNativeIsolated builds a Design 2 UDF: the named function (which
+// must be in the executor binary's NativeTable) runs out of process.
+func NewNativeIsolated(name string, args []types.Kind, ret types.Kind) core.UDF {
+	return &udf{
+		name: name, args: args, ret: ret,
+		design: core.DesignNativeIsolated, nativeName: name,
+	}
+}
+
+// NewVMIsolated builds a Design 4 UDF: Jaguar bytecode hosted by a VM
+// in a separate executor process.
+func NewVMIsolated(name string, args []types.Kind, ret types.Kind, setup VMSetup) core.UDF {
+	s := setup
+	return &udf{
+		name: name, args: args, ret: ret,
+		design: core.DesignVMIsolated, vm: &s,
+	}
+}
+
+// WithPool makes the UDF borrow executors from a shared pool instead
+// of owning one (the executor-reuse ablation). Must be called before
+// the first Invoke.
+func WithPool(u core.UDF, p *Pool) core.UDF {
+	iu, ok := u.(*udf)
+	if !ok {
+		return u
+	}
+	iu.pool = p
+	return iu
+}
+
+func (u *udf) Name() string           { return u.name }
+func (u *udf) ArgKinds() []types.Kind { return u.args }
+func (u *udf) ReturnKind() types.Kind { return u.ret }
+func (u *udf) Design() core.Design    { return u.design }
+
+func (u *udf) setup(e *Executor) error {
+	if u.vm != nil {
+		return e.SetupVM(*u.vm)
+	}
+	return e.SetupNative(u.nativeName)
+}
+
+// executor returns the UDF's executor, starting it if needed.
+func (u *udf) executor() (*Executor, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.exec != nil {
+		return u.exec, nil
+	}
+	e, err := StartExecutor()
+	if err != nil {
+		return nil, err
+	}
+	if err := u.setup(e); err != nil {
+		e.Close()
+		return nil, err
+	}
+	u.exec = e
+	return e, nil
+}
+
+func (u *udf) Invoke(ctx *core.Ctx, args []types.Value) (types.Value, error) {
+	if err := core.CheckArgs(u, args); err != nil {
+		return types.Value{}, err
+	}
+	if u.pool != nil {
+		e, err := u.pool.Get(u)
+		if err != nil {
+			return types.Value{}, err
+		}
+		out, err := e.Invoke(ctx, args)
+		u.pool.Put(u, e, err)
+		return out, err
+	}
+	e, err := u.executor()
+	if err != nil {
+		return types.Value{}, err
+	}
+	out, err := e.Invoke(ctx, args)
+	if err != nil {
+		// A broken pipe means the executor died (e.g. the UDF crashed
+		// its own process — which is the point of isolation). Drop the
+		// executor so the next invocation gets a fresh one.
+		u.mu.Lock()
+		if u.exec == e {
+			u.exec = nil
+		}
+		u.mu.Unlock()
+		e.Close()
+		return types.Value{}, err
+	}
+	return out, nil
+}
+
+func (u *udf) Close() error {
+	u.mu.Lock()
+	e := u.exec
+	u.exec = nil
+	u.mu.Unlock()
+	if e != nil {
+		return e.Close()
+	}
+	return nil
+}
+
+// Pool is a shared pool of pre-started executors keyed by UDF, used by
+// the executor-reuse ablation (the paper notes executors "could be
+// assigned from a pre-allocated pool").
+type Pool struct {
+	mu    sync.Mutex
+	idle  map[string][]*Executor
+	limit int
+}
+
+// NewPool creates a pool keeping up to perUDF idle executors per UDF.
+func NewPool(perUDF int) *Pool {
+	if perUDF < 1 {
+		perUDF = 1
+	}
+	return &Pool{idle: make(map[string][]*Executor), limit: perUDF}
+}
+
+// Get borrows (or starts and binds) an executor for the UDF.
+func (p *Pool) Get(u *udf) (*Executor, error) {
+	p.mu.Lock()
+	list := p.idle[u.name]
+	if len(list) > 0 {
+		e := list[len(list)-1]
+		p.idle[u.name] = list[:len(list)-1]
+		p.mu.Unlock()
+		return e, nil
+	}
+	p.mu.Unlock()
+	e, err := StartExecutor()
+	if err != nil {
+		return nil, err
+	}
+	if err := u.setup(e); err != nil {
+		e.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// Put returns an executor to the pool (or closes it on error/overflow).
+func (p *Pool) Put(u *udf, e *Executor, invokeErr error) {
+	if invokeErr != nil {
+		e.Close()
+		return
+	}
+	p.mu.Lock()
+	if len(p.idle[u.name]) < p.limit {
+		p.idle[u.name] = append(p.idle[u.name], e)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	e.Close()
+}
+
+// Close shuts down all idle executors.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for k, list := range p.idle {
+		for _, e := range list {
+			e.Close()
+		}
+		delete(p.idle, k)
+	}
+	return nil
+}
+
+// Ensure interface satisfaction and keep jvm imported for VMSetup docs.
+var _ core.UDF = (*udf)(nil)
+var _ jvm.Callback = (*proxyCallback)(nil)
+
+// Err helpers shared by parent and child.
+var errNoUDF = fmt.Errorf("isolate: executor has no UDF bound")

@@ -1,0 +1,249 @@
+package jaguar
+
+import "fmt"
+
+// Type is a Jaguar language type.
+type Type uint8
+
+// The language types. TypeBool is a real language type (unlike the VM,
+// where booleans lower to ints).
+const (
+	TypeInvalid Type = iota
+	TypeInt
+	TypeFloat
+	TypeBool
+	TypeStr
+	TypeBytes
+	TypeVoid // only as a call-expression statement result
+)
+
+// String names the type.
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeBool:
+		return "bool"
+	case TypeStr:
+		return "str"
+	case TypeBytes:
+		return "bytes"
+	case TypeVoid:
+		return "void"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// typeFromName resolves a type keyword.
+func typeFromName(name string) (Type, bool) {
+	switch name {
+	case "int":
+		return TypeInt, true
+	case "float":
+		return TypeFloat, true
+	case "bool":
+		return TypeBool, true
+	case "str":
+		return TypeStr, true
+	case "bytes":
+		return TypeBytes, true
+	}
+	return TypeInvalid, false
+}
+
+// File is a parsed compilation unit: a list of functions.
+type File struct {
+	Funcs []*FuncDecl
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type Type
+	Pos  Pos
+}
+
+// FuncDecl is one function definition.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Return Type
+	Body   *Block
+	Pos    Pos
+}
+
+// Stmt is any statement node.
+type Stmt interface{ stmtNode() }
+
+// Block is a braced statement list with its own scope.
+type Block struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// VarDecl declares (and initializes) a local variable.
+type VarDecl struct {
+	Name string
+	Type Type
+	Init Expr // required
+	Pos  Pos
+	// Slot is filled by the checker: the declared local's index.
+	Slot int
+}
+
+// Assign assigns to a variable or a byte-array element.
+type Assign struct {
+	Name  string
+	Index Expr // non-nil for name[index] = value
+	Value Expr
+	Pos   Pos
+	// Slot is filled by the checker: the target's local index.
+	Slot int
+}
+
+// If is a conditional with an optional else branch.
+type If struct {
+	Cond Expr
+	Then *Block
+	Else *Block // may be nil
+	Pos  Pos
+}
+
+// While is a pre-test loop.
+type While struct {
+	Cond Expr
+	Body *Block
+	Pos  Pos
+}
+
+// For is C-style sugar: for (init; cond; post) body.
+type For struct {
+	Init Stmt // may be nil; VarDecl or Assign
+	Cond Expr // may be nil (infinite)
+	Post Stmt // may be nil; Assign or ExprStmt
+	Body *Block
+	Pos  Pos
+}
+
+// Return exits the function with a value.
+type Return struct {
+	Value Expr
+	Pos   Pos
+}
+
+// Break exits the innermost loop.
+type Break struct{ Pos Pos }
+
+// Continue jumps to the innermost loop's next iteration.
+type Continue struct{ Pos Pos }
+
+// ExprStmt evaluates an expression for effect (calls only).
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+func (*Block) stmtNode()    {}
+func (*VarDecl) stmtNode()  {}
+func (*Assign) stmtNode()   {}
+func (*If) stmtNode()       {}
+func (*While) stmtNode()    {}
+func (*For) stmtNode()      {}
+func (*Return) stmtNode()   {}
+func (*Break) stmtNode()    {}
+func (*Continue) stmtNode() {}
+func (*ExprStmt) stmtNode() {}
+
+// Expr is any expression node. The checker records each node's type.
+type Expr interface {
+	exprNode()
+	// TypeOf returns the checked type (TypeInvalid before checking).
+	TypeOf() Type
+	// Position returns the node's source position.
+	Position() Pos
+}
+
+type exprBase struct {
+	typ Type
+	pos Pos
+}
+
+func (b *exprBase) TypeOf() Type   { return b.typ }
+func (b *exprBase) Position() Pos  { return b.pos }
+func (b *exprBase) setType(t Type) { b.typ = t }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Value int64
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	exprBase
+	Value float64
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	exprBase
+	Value bool
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	exprBase
+	Value string
+}
+
+// Ident references a local variable or parameter.
+type Ident struct {
+	exprBase
+	Name string
+	// Slot is filled by the checker: the local index.
+	Slot int
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	exprBase
+	Op   TokKind
+	L, R Expr
+}
+
+// Unary is -x or !x.
+type Unary struct {
+	exprBase
+	Op TokKind
+	X  Expr
+}
+
+// Index is arr[i].
+type Index struct {
+	exprBase
+	Arr Expr
+	Idx Expr
+}
+
+// Call invokes a user function or a built-in.
+type Call struct {
+	exprBase
+	Name string
+	Args []Expr
+	// Resolution, filled by the checker:
+	Builtin string // non-empty for built-ins (len, bnew, casts, natives)
+	FuncIdx int    // method index for user functions (-1 otherwise)
+}
+
+func (*IntLit) exprNode()   {}
+func (*FloatLit) exprNode() {}
+func (*BoolLit) exprNode()  {}
+func (*StrLit) exprNode()   {}
+func (*Ident) exprNode()    {}
+func (*Binary) exprNode()   {}
+func (*Unary) exprNode()    {}
+func (*Index) exprNode()    {}
+func (*Call) exprNode()     {}

@@ -1,0 +1,446 @@
+package jaguar
+
+import "fmt"
+
+// builtinSig describes one built-in function signature. Overloads (len)
+// are resolved on the first argument's type.
+type builtinSig struct {
+	args []Type
+	ret  Type
+}
+
+// builtins maps a language-level name to its signature. The cb_* and
+// log/time built-ins lower to VM native calls guarded by the security
+// manager; the rest lower to dedicated opcodes.
+var builtins = map[string]builtinSig{
+	"bnew":     {args: []Type{TypeInt}, ret: TypeBytes},
+	"int":      {args: []Type{TypeFloat}, ret: TypeInt},
+	"float":    {args: []Type{TypeInt}, ret: TypeFloat},
+	"cb_size":  {args: []Type{TypeInt}, ret: TypeInt},
+	"cb_get":   {args: []Type{TypeInt, TypeInt}, ret: TypeInt},
+	"cb_read":  {args: []Type{TypeInt, TypeInt, TypeInt}, ret: TypeBytes},
+	"cb_touch": {args: []Type{TypeInt}, ret: TypeInt},
+	"log":      {args: []Type{TypeStr}, ret: TypeInt},
+	"time":     {args: nil, ret: TypeInt},
+	// "len" is overloaded (bytes|str) and handled specially.
+}
+
+// funcSig is a user function's signature.
+type funcSig struct {
+	idx    int
+	params []Type
+	ret    Type
+}
+
+// checker performs name resolution and type checking, annotating the
+// AST in place (expression types, local slots, call targets).
+type checker struct {
+	funcs map[string]funcSig
+
+	// Per-function state.
+	locals    []Type // slot -> type (grows; includes params)
+	scopes    []map[string]int
+	ret       Type
+	loopDepth int
+}
+
+// Check resolves and type-checks a parsed file. On success every
+// expression node carries its type and every Ident its local slot.
+// It returns, per function, the full ordered local-slot type list.
+func Check(f *File) (map[string][]Type, error) {
+	c := &checker{funcs: make(map[string]funcSig)}
+	for i, fn := range f.Funcs {
+		if _, dup := c.funcs[fn.Name]; dup {
+			return nil, errf(fn.Pos, "function %q redefined", fn.Name)
+		}
+		if _, isBuiltin := builtins[fn.Name]; isBuiltin || fn.Name == "len" {
+			return nil, errf(fn.Pos, "function %q shadows a built-in", fn.Name)
+		}
+		params := make([]Type, len(fn.Params))
+		for j, p := range fn.Params {
+			params[j] = p.Type
+		}
+		c.funcs[fn.Name] = funcSig{idx: i, params: params, ret: fn.Return}
+	}
+	localTypes := make(map[string][]Type, len(f.Funcs))
+	for _, fn := range f.Funcs {
+		if err := c.checkFunc(fn); err != nil {
+			return nil, err
+		}
+		localTypes[fn.Name] = c.locals
+	}
+	return localTypes, nil
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) error {
+	c.locals = nil
+	c.scopes = []map[string]int{make(map[string]int)}
+	c.ret = fn.Return
+	c.loopDepth = 0
+	for _, p := range fn.Params {
+		if _, err := c.declare(p.Name, p.Type, p.Pos); err != nil {
+			return err
+		}
+	}
+	// The body's top level shares the parameter scope, so a body-level
+	// declaration cannot shadow a parameter (nested blocks may shadow).
+	for _, s := range fn.Body.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	if !blockReturns(fn.Body) {
+		return errf(fn.Pos, "function %q: missing return on some path", fn.Name)
+	}
+	return nil
+}
+
+// blockReturns reports whether every path through the block ends in a
+// return (conservative).
+func blockReturns(b *Block) bool {
+	for _, s := range b.Stmts {
+		if stmtReturns(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func stmtReturns(s Stmt) bool {
+	switch n := s.(type) {
+	case *Return:
+		return true
+	case *Block:
+		return blockReturns(n)
+	case *If:
+		return n.Else != nil && blockReturns(n.Then) && blockReturns(n.Else)
+	default:
+		return false
+	}
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, make(map[string]int)) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(name string, t Type, pos Pos) (int, error) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		return 0, errf(pos, "variable %q redeclared in this scope", name)
+	}
+	slot := len(c.locals)
+	c.locals = append(c.locals, t)
+	top[name] = slot
+	return slot, nil
+}
+
+func (c *checker) resolve(name string) (slot int, t Type, ok bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, found := c.scopes[i][name]; found {
+			return s, c.locals[s], true
+		}
+	}
+	return 0, TypeInvalid, false
+}
+
+func (c *checker) checkBlock(b *Block) error {
+	c.pushScope()
+	defer c.popScope()
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch n := s.(type) {
+	case *Block:
+		return c.checkBlock(n)
+	case *VarDecl:
+		if err := c.checkExpr(n.Init); err != nil {
+			return err
+		}
+		if n.Init.TypeOf() != n.Type {
+			return errf(n.Pos, "cannot initialize %s variable %q with %s value",
+				n.Type, n.Name, n.Init.TypeOf())
+		}
+		slot, err := c.declare(n.Name, n.Type, n.Pos)
+		if err != nil {
+			return err
+		}
+		n.Slot = slot
+		return nil
+	case *Assign:
+		return c.checkAssign(n)
+	case *If:
+		if err := c.checkExpr(n.Cond); err != nil {
+			return err
+		}
+		if n.Cond.TypeOf() != TypeBool {
+			return errf(n.Pos, "if condition must be bool, found %s", n.Cond.TypeOf())
+		}
+		if err := c.checkBlock(n.Then); err != nil {
+			return err
+		}
+		if n.Else != nil {
+			return c.checkBlock(n.Else)
+		}
+		return nil
+	case *While:
+		if err := c.checkExpr(n.Cond); err != nil {
+			return err
+		}
+		if n.Cond.TypeOf() != TypeBool {
+			return errf(n.Pos, "while condition must be bool, found %s", n.Cond.TypeOf())
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		return c.checkBlock(n.Body)
+	case *For:
+		c.pushScope() // the init variable scopes over the whole loop
+		defer c.popScope()
+		if n.Init != nil {
+			if err := c.checkStmt(n.Init); err != nil {
+				return err
+			}
+		}
+		if n.Cond != nil {
+			if err := c.checkExpr(n.Cond); err != nil {
+				return err
+			}
+			if n.Cond.TypeOf() != TypeBool {
+				return errf(n.Pos, "for condition must be bool, found %s", n.Cond.TypeOf())
+			}
+		}
+		if n.Post != nil {
+			if err := c.checkStmt(n.Post); err != nil {
+				return err
+			}
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		return c.checkBlock(n.Body)
+	case *Return:
+		if err := c.checkExpr(n.Value); err != nil {
+			return err
+		}
+		if n.Value.TypeOf() != c.ret {
+			return errf(n.Pos, "return type mismatch: function returns %s, value is %s",
+				c.ret, n.Value.TypeOf())
+		}
+		return nil
+	case *Break:
+		if c.loopDepth == 0 {
+			return errf(n.Pos, "break outside loop")
+		}
+		return nil
+	case *Continue:
+		if c.loopDepth == 0 {
+			return errf(n.Pos, "continue outside loop")
+		}
+		return nil
+	case *ExprStmt:
+		if _, isCall := n.X.(*Call); !isCall {
+			return errf(n.Pos, "expression statement must be a call")
+		}
+		return c.checkExpr(n.X)
+	default:
+		return fmt.Errorf("jaguar: unhandled statement %T", s)
+	}
+}
+
+func (c *checker) checkAssign(n *Assign) error {
+	slot, t, ok := c.resolve(n.Name)
+	if !ok {
+		return errf(n.Pos, "undefined variable %q", n.Name)
+	}
+	if err := c.checkExpr(n.Value); err != nil {
+		return err
+	}
+	if n.Index != nil {
+		if t != TypeBytes {
+			return errf(n.Pos, "cannot index %s variable %q", t, n.Name)
+		}
+		if err := c.checkExpr(n.Index); err != nil {
+			return err
+		}
+		if n.Index.TypeOf() != TypeInt {
+			return errf(n.Pos, "array index must be int, found %s", n.Index.TypeOf())
+		}
+		if n.Value.TypeOf() != TypeInt {
+			return errf(n.Pos, "byte element assignment needs an int value, found %s", n.Value.TypeOf())
+		}
+		n.Slot = slot
+		return nil
+	}
+	if n.Value.TypeOf() != t {
+		return errf(n.Pos, "cannot assign %s value to %s variable %q", n.Value.TypeOf(), t, n.Name)
+	}
+	n.Slot = slot
+	return nil
+}
+
+func (c *checker) checkExpr(e Expr) error {
+	switch n := e.(type) {
+	case *IntLit:
+		n.setType(TypeInt)
+	case *FloatLit:
+		n.setType(TypeFloat)
+	case *BoolLit:
+		n.setType(TypeBool)
+	case *StrLit:
+		n.setType(TypeStr)
+	case *Ident:
+		slot, t, ok := c.resolve(n.Name)
+		if !ok {
+			return errf(n.Position(), "undefined variable %q", n.Name)
+		}
+		n.Slot = slot
+		n.setType(t)
+	case *Unary:
+		if err := c.checkExpr(n.X); err != nil {
+			return err
+		}
+		switch n.Op {
+		case TokMinus:
+			if t := n.X.TypeOf(); t != TypeInt && t != TypeFloat {
+				return errf(n.Position(), "unary minus needs int or float, found %s", t)
+			}
+			n.setType(n.X.TypeOf())
+		case TokNot:
+			if n.X.TypeOf() != TypeBool {
+				return errf(n.Position(), "'!' needs bool, found %s", n.X.TypeOf())
+			}
+			n.setType(TypeBool)
+		default:
+			return errf(n.Position(), "invalid unary operator")
+		}
+	case *Binary:
+		return c.checkBinary(n)
+	case *Index:
+		if err := c.checkExpr(n.Arr); err != nil {
+			return err
+		}
+		if err := c.checkExpr(n.Idx); err != nil {
+			return err
+		}
+		if n.Arr.TypeOf() != TypeBytes {
+			return errf(n.Position(), "cannot index %s value", n.Arr.TypeOf())
+		}
+		if n.Idx.TypeOf() != TypeInt {
+			return errf(n.Position(), "array index must be int, found %s", n.Idx.TypeOf())
+		}
+		n.setType(TypeInt)
+	case *Call:
+		return c.checkCall(n)
+	default:
+		return fmt.Errorf("jaguar: unhandled expression %T", e)
+	}
+	return nil
+}
+
+func (c *checker) checkBinary(n *Binary) error {
+	if err := c.checkExpr(n.L); err != nil {
+		return err
+	}
+	if err := c.checkExpr(n.R); err != nil {
+		return err
+	}
+	lt, rt := n.L.TypeOf(), n.R.TypeOf()
+	if lt != rt {
+		return errf(n.Position(), "operands of %s have mismatched types %s and %s (no implicit conversions; use int()/float())",
+			n.Op, lt, rt)
+	}
+	switch n.Op {
+	case TokPlus:
+		switch lt {
+		case TypeInt, TypeFloat, TypeStr:
+			n.setType(lt)
+		default:
+			return errf(n.Position(), "'+' not defined on %s", lt)
+		}
+	case TokMinus, TokStar, TokSlash:
+		if lt != TypeInt && lt != TypeFloat {
+			return errf(n.Position(), "%s not defined on %s", n.Op, lt)
+		}
+		n.setType(lt)
+	case TokPercent:
+		if lt != TypeInt {
+			return errf(n.Position(), "'%%' not defined on %s", lt)
+		}
+		n.setType(TypeInt)
+	case TokLt, TokLe, TokGt, TokGe:
+		if lt != TypeInt && lt != TypeFloat {
+			return errf(n.Position(), "ordering %s not defined on %s", n.Op, lt)
+		}
+		n.setType(TypeBool)
+	case TokEq, TokNe:
+		switch lt {
+		case TypeInt, TypeFloat, TypeBool, TypeStr, TypeBytes:
+			n.setType(TypeBool)
+		default:
+			return errf(n.Position(), "equality not defined on %s", lt)
+		}
+	case TokAnd, TokOr:
+		if lt != TypeBool {
+			return errf(n.Position(), "%s needs bool operands, found %s", n.Op, lt)
+		}
+		n.setType(TypeBool)
+	default:
+		return errf(n.Position(), "invalid binary operator")
+	}
+	return nil
+}
+
+func (c *checker) checkCall(n *Call) error {
+	for _, a := range n.Args {
+		if err := c.checkExpr(a); err != nil {
+			return err
+		}
+	}
+	// len is overloaded on bytes|str.
+	if n.Name == "len" {
+		if len(n.Args) != 1 {
+			return errf(n.Position(), "len takes exactly one argument")
+		}
+		switch n.Args[0].TypeOf() {
+		case TypeBytes, TypeStr:
+			n.Builtin = "len"
+			n.setType(TypeInt)
+			return nil
+		default:
+			return errf(n.Position(), "len not defined on %s", n.Args[0].TypeOf())
+		}
+	}
+	if sig, ok := builtins[n.Name]; ok {
+		if len(n.Args) != len(sig.args) {
+			return errf(n.Position(), "%s takes %d argument(s), got %d", n.Name, len(sig.args), len(n.Args))
+		}
+		for i, a := range n.Args {
+			if a.TypeOf() != sig.args[i] {
+				return errf(n.Position(), "%s argument %d must be %s, found %s",
+					n.Name, i+1, sig.args[i], a.TypeOf())
+			}
+		}
+		n.Builtin = n.Name
+		n.setType(sig.ret)
+		return nil
+	}
+	sig, ok := c.funcs[n.Name]
+	if !ok {
+		return errf(n.Position(), "undefined function %q", n.Name)
+	}
+	if len(n.Args) != len(sig.params) {
+		return errf(n.Position(), "%s takes %d argument(s), got %d", n.Name, len(sig.params), len(n.Args))
+	}
+	for i, a := range n.Args {
+		if a.TypeOf() != sig.params[i] {
+			return errf(n.Position(), "%s argument %d must be %s, found %s",
+				n.Name, i+1, sig.params[i], a.TypeOf())
+		}
+	}
+	n.FuncIdx = sig.idx
+	n.setType(sig.ret)
+	return nil
+}

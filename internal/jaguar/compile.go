@@ -1,0 +1,502 @@
+package jaguar
+
+import (
+	"fmt"
+
+	"predator/internal/jvm"
+)
+
+// Compile parses, checks and compiles Jaguar source into a Jaguar VM
+// class named className. The resulting class is unverified (the loader
+// verifies on load), but the compiler only emits verifiable code.
+func Compile(src, className string) (*jvm.Class, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	localTypes, err := Check(file)
+	if err != nil {
+		return nil, err
+	}
+	cc := &classCompiler{
+		class: &jvm.Class{Name: className},
+		cpool: make(map[string]int),
+	}
+	for _, fn := range file.Funcs {
+		m, err := cc.compileFunc(fn, localTypes[fn.Name])
+		if err != nil {
+			return nil, err
+		}
+		cc.class.Methods = append(cc.class.Methods, m)
+	}
+	return cc.class, nil
+}
+
+// CompileToBytes compiles source and serializes the class file.
+func CompileToBytes(src, className string) ([]byte, error) {
+	c, err := Compile(src, className)
+	if err != nil {
+		return nil, err
+	}
+	return jvm.EncodeClass(c), nil
+}
+
+// nativeNames maps language built-ins to VM native function names.
+var nativeNames = map[string]string{
+	"cb_size":  "cb.size",
+	"cb_get":   "cb.get",
+	"cb_read":  "cb.read",
+	"cb_touch": "cb.touch",
+	"log":      "sys.log",
+	"time":     "sys.time",
+}
+
+// classCompiler holds class-level compilation state (constant pool).
+type classCompiler struct {
+	class *jvm.Class
+	cpool map[string]int // dedupe key -> index
+}
+
+func (cc *classCompiler) constIdx(k jvm.Const) int {
+	var key string
+	switch k.Kind {
+	case jvm.ConstInt:
+		key = fmt.Sprintf("i:%d", k.Int)
+	case jvm.ConstFloat:
+		key = fmt.Sprintf("f:%b", k.Float)
+	case jvm.ConstStr:
+		key = "s:" + k.Str
+	default:
+		key = "b:" + string(k.Bytes)
+	}
+	if idx, ok := cc.cpool[key]; ok {
+		return idx
+	}
+	idx := len(cc.class.Consts)
+	cc.class.Consts = append(cc.class.Consts, k)
+	cc.cpool[key] = idx
+	return idx
+}
+
+// langToVType lowers a language type to a VM type (bool -> int).
+func langToVType(t Type) jvm.VType {
+	switch t {
+	case TypeInt, TypeBool:
+		return jvm.TInt
+	case TypeFloat:
+		return jvm.TFloat
+	case TypeStr:
+		return jvm.TStr
+	case TypeBytes:
+		return jvm.TBytes
+	default:
+		panic(fmt.Sprintf("jaguar: cannot lower type %s", t))
+	}
+}
+
+// funcCompiler emits code for one function with stack-depth tracking
+// (the emitted method declares the exact maximum stack it needs).
+type funcCompiler struct {
+	cc      *classCompiler
+	asm     *jvm.Assembler
+	depth   int
+	max     int
+	nlabels int
+	// Loop context stacks for break/continue.
+	breakLabels    []string
+	continueLabels []string
+}
+
+func (fc *funcCompiler) adj(d int) {
+	fc.depth += d
+	if fc.depth > fc.max {
+		fc.max = fc.depth
+	}
+}
+
+func (fc *funcCompiler) label(prefix string) string {
+	fc.nlabels++
+	return fmt.Sprintf("%s_%d", prefix, fc.nlabels)
+}
+
+func (cc *classCompiler) compileFunc(fn *FuncDecl, locals []Type) (jvm.Method, error) {
+	fc := &funcCompiler{cc: cc, asm: jvm.NewAssembler()}
+	if err := fc.block(fn.Body); err != nil {
+		return jvm.Method{}, err
+	}
+	// Unreachable epilogue: labels of trailing control flow (e.g. the
+	// end label of an if whose branches all return) need an instruction
+	// to bind to. The checker guarantees this nop can never execute.
+	fc.asm.Emit(jvm.OpNop)
+	code, err := fc.asm.Bytes()
+	if err != nil {
+		return jvm.Method{}, fmt.Errorf("jaguar: compiling %s: %w", fn.Name, err)
+	}
+	params := make([]jvm.VType, len(fn.Params))
+	for i, p := range fn.Params {
+		params[i] = langToVType(p.Type)
+	}
+	vlocals := make([]jvm.VType, len(locals))
+	for i, t := range locals {
+		vlocals[i] = langToVType(t)
+	}
+	maxStack := fc.max
+	if maxStack < 1 {
+		maxStack = 1
+	}
+	return jvm.Method{
+		Name:     fn.Name,
+		Params:   params,
+		Locals:   vlocals,
+		Return:   langToVType(fn.Return),
+		MaxStack: maxStack,
+		Code:     code,
+	}, nil
+}
+
+func (fc *funcCompiler) block(b *Block) error {
+	for _, s := range b.Stmts {
+		if err := fc.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (fc *funcCompiler) stmt(s Stmt) error {
+	switch n := s.(type) {
+	case *Block:
+		return fc.block(n)
+	case *VarDecl:
+		if err := fc.expr(n.Init); err != nil {
+			return err
+		}
+		fc.asm.EmitU16(jvm.OpStore, n.Slot)
+		fc.adj(-1)
+		return nil
+	case *Assign:
+		if n.Index != nil {
+			fc.asm.EmitU16(jvm.OpLoad, n.Slot)
+			fc.adj(1)
+			if err := fc.expr(n.Index); err != nil {
+				return err
+			}
+			if err := fc.expr(n.Value); err != nil {
+				return err
+			}
+			fc.asm.Emit(jvm.OpBSet)
+			fc.adj(-3)
+			return nil
+		}
+		if err := fc.expr(n.Value); err != nil {
+			return err
+		}
+		fc.asm.EmitU16(jvm.OpStore, n.Slot)
+		fc.adj(-1)
+		return nil
+	case *If:
+		if err := fc.expr(n.Cond); err != nil {
+			return err
+		}
+		elseL, endL := fc.label("else"), fc.label("endif")
+		fc.asm.Jump(jvm.OpJmpZ, elseL)
+		fc.adj(-1)
+		if err := fc.block(n.Then); err != nil {
+			return err
+		}
+		fc.asm.Jump(jvm.OpJmp, endL)
+		fc.asm.Label(elseL)
+		if n.Else != nil {
+			if err := fc.block(n.Else); err != nil {
+				return err
+			}
+		}
+		fc.asm.Label(endL)
+		return nil
+	case *While:
+		condL, endL := fc.label("while"), fc.label("endwhile")
+		fc.asm.Label(condL)
+		if err := fc.expr(n.Cond); err != nil {
+			return err
+		}
+		fc.asm.Jump(jvm.OpJmpZ, endL)
+		fc.adj(-1)
+		fc.breakLabels = append(fc.breakLabels, endL)
+		fc.continueLabels = append(fc.continueLabels, condL)
+		err := fc.block(n.Body)
+		fc.breakLabels = fc.breakLabels[:len(fc.breakLabels)-1]
+		fc.continueLabels = fc.continueLabels[:len(fc.continueLabels)-1]
+		if err != nil {
+			return err
+		}
+		fc.asm.Jump(jvm.OpJmp, condL)
+		fc.asm.Label(endL)
+		return nil
+	case *For:
+		if n.Init != nil {
+			if err := fc.stmt(n.Init); err != nil {
+				return err
+			}
+		}
+		condL, postL, endL := fc.label("for"), fc.label("forpost"), fc.label("endfor")
+		fc.asm.Label(condL)
+		if n.Cond != nil {
+			if err := fc.expr(n.Cond); err != nil {
+				return err
+			}
+			fc.asm.Jump(jvm.OpJmpZ, endL)
+			fc.adj(-1)
+		}
+		fc.breakLabels = append(fc.breakLabels, endL)
+		fc.continueLabels = append(fc.continueLabels, postL)
+		err := fc.block(n.Body)
+		fc.breakLabels = fc.breakLabels[:len(fc.breakLabels)-1]
+		fc.continueLabels = fc.continueLabels[:len(fc.continueLabels)-1]
+		if err != nil {
+			return err
+		}
+		fc.asm.Label(postL)
+		if n.Post != nil {
+			if err := fc.stmt(n.Post); err != nil {
+				return err
+			}
+		}
+		fc.asm.Jump(jvm.OpJmp, condL)
+		fc.asm.Label(endL)
+		return nil
+	case *Return:
+		if err := fc.expr(n.Value); err != nil {
+			return err
+		}
+		fc.asm.Emit(jvm.OpRet)
+		fc.adj(-1)
+		return nil
+	case *Break:
+		fc.asm.Jump(jvm.OpJmp, fc.breakLabels[len(fc.breakLabels)-1])
+		return nil
+	case *Continue:
+		fc.asm.Jump(jvm.OpJmp, fc.continueLabels[len(fc.continueLabels)-1])
+		return nil
+	case *ExprStmt:
+		if err := fc.expr(n.X); err != nil {
+			return err
+		}
+		fc.asm.Emit(jvm.OpPop)
+		fc.adj(-1)
+		return nil
+	default:
+		return fmt.Errorf("jaguar: unhandled statement %T", s)
+	}
+}
+
+func (fc *funcCompiler) expr(e Expr) error {
+	switch n := e.(type) {
+	case *IntLit:
+		fc.emitIntConst(n.Value)
+		return nil
+	case *FloatLit:
+		fc.asm.EmitU16(jvm.OpLdc, fc.cc.constIdx(jvm.Const{Kind: jvm.ConstFloat, Float: n.Value}))
+		fc.adj(1)
+		return nil
+	case *BoolLit:
+		if n.Value {
+			fc.asm.Emit(jvm.OpIConst1)
+		} else {
+			fc.asm.Emit(jvm.OpIConst0)
+		}
+		fc.adj(1)
+		return nil
+	case *StrLit:
+		fc.asm.EmitU16(jvm.OpLdc, fc.cc.constIdx(jvm.Const{Kind: jvm.ConstStr, Str: n.Value}))
+		fc.adj(1)
+		return nil
+	case *Ident:
+		fc.asm.EmitU16(jvm.OpLoad, n.Slot)
+		fc.adj(1)
+		return nil
+	case *Unary:
+		if err := fc.expr(n.X); err != nil {
+			return err
+		}
+		switch {
+		case n.Op == TokMinus && n.X.TypeOf() == TypeInt:
+			fc.asm.Emit(jvm.OpINeg)
+		case n.Op == TokMinus:
+			fc.asm.Emit(jvm.OpFNeg)
+		default: // TokNot
+			fc.asm.Emit(jvm.OpNot)
+		}
+		return nil
+	case *Binary:
+		return fc.binary(n)
+	case *Index:
+		if err := fc.expr(n.Arr); err != nil {
+			return err
+		}
+		if err := fc.expr(n.Idx); err != nil {
+			return err
+		}
+		fc.asm.Emit(jvm.OpBGet)
+		fc.adj(-1)
+		return nil
+	case *Call:
+		return fc.call(n)
+	default:
+		return fmt.Errorf("jaguar: unhandled expression %T", e)
+	}
+}
+
+func (fc *funcCompiler) emitIntConst(v int64) {
+	switch v {
+	case 0:
+		fc.asm.Emit(jvm.OpIConst0)
+	case 1:
+		fc.asm.Emit(jvm.OpIConst1)
+	default:
+		fc.asm.EmitU16(jvm.OpLdc, fc.cc.constIdx(jvm.Const{Kind: jvm.ConstInt, Int: v}))
+	}
+	fc.adj(1)
+}
+
+func (fc *funcCompiler) binary(n *Binary) error {
+	// Short-circuit logic first.
+	if n.Op == TokAnd || n.Op == TokOr {
+		if err := fc.expr(n.L); err != nil {
+			return err
+		}
+		shortL, endL := fc.label("sc"), fc.label("scend")
+		if n.Op == TokAnd {
+			fc.asm.Jump(jvm.OpJmpZ, shortL)
+		} else {
+			fc.asm.Jump(jvm.OpJmpN, shortL)
+		}
+		fc.adj(-1)
+		if err := fc.expr(n.R); err != nil {
+			return err
+		}
+		fc.asm.Jump(jvm.OpJmp, endL)
+		fc.adj(-1) // the join re-pushes one value on the other path
+		fc.asm.Label(shortL)
+		if n.Op == TokAnd {
+			fc.asm.Emit(jvm.OpIConst0)
+		} else {
+			fc.asm.Emit(jvm.OpIConst1)
+		}
+		fc.adj(1)
+		fc.asm.Label(endL)
+		return nil
+	}
+	if err := fc.expr(n.L); err != nil {
+		return err
+	}
+	if err := fc.expr(n.R); err != nil {
+		return err
+	}
+	t := n.L.TypeOf()
+	var op jvm.Opcode
+	negate := false
+	switch n.Op {
+	case TokPlus:
+		switch t {
+		case TypeInt:
+			op = jvm.OpIAdd
+		case TypeFloat:
+			op = jvm.OpFAdd
+		default:
+			op = jvm.OpSConcat
+		}
+	case TokMinus:
+		op = pick(t, jvm.OpISub, jvm.OpFSub)
+	case TokStar:
+		op = pick(t, jvm.OpIMul, jvm.OpFMul)
+	case TokSlash:
+		op = pick(t, jvm.OpIDiv, jvm.OpFDiv)
+	case TokPercent:
+		op = jvm.OpIMod
+	case TokLt:
+		op = pick(t, jvm.OpILt, jvm.OpFLt)
+	case TokLe:
+		op = pick(t, jvm.OpILe, jvm.OpFLe)
+	case TokGt:
+		op = pick(t, jvm.OpIGt, jvm.OpFGt)
+	case TokGe:
+		op = pick(t, jvm.OpIGe, jvm.OpFGe)
+	case TokEq, TokNe:
+		negate = n.Op == TokNe
+		switch t {
+		case TypeInt, TypeBool:
+			op = pickNeg(&negate, jvm.OpIEq, jvm.OpINe)
+		case TypeFloat:
+			op = pickNeg(&negate, jvm.OpFEq, jvm.OpFNe)
+		case TypeStr:
+			op = jvm.OpSEq
+		default: // bytes
+			op = jvm.OpBEq
+		}
+	default:
+		return errf(n.Position(), "invalid binary operator")
+	}
+	fc.asm.Emit(op)
+	fc.adj(-1)
+	if negate {
+		fc.asm.Emit(jvm.OpNot)
+	}
+	return nil
+}
+
+func pick(t Type, i, f jvm.Opcode) jvm.Opcode {
+	if t == TypeFloat {
+		return f
+	}
+	return i
+}
+
+// pickNeg selects a dedicated negated opcode when available, clearing
+// the post-negate flag.
+func pickNeg(negate *bool, eq, ne jvm.Opcode) jvm.Opcode {
+	if *negate {
+		*negate = false
+		return ne
+	}
+	return eq
+}
+
+func (fc *funcCompiler) call(n *Call) error {
+	for _, a := range n.Args {
+		if err := fc.expr(a); err != nil {
+			return err
+		}
+	}
+	switch n.Builtin {
+	case "":
+		// User function.
+		fc.asm.EmitU16(jvm.OpCall, n.FuncIdx)
+		fc.adj(1 - len(n.Args))
+		return nil
+	case "len":
+		if n.Args[0].TypeOf() == TypeBytes {
+			fc.asm.Emit(jvm.OpBLen)
+		} else {
+			fc.asm.Emit(jvm.OpSLen)
+		}
+		return nil
+	case "bnew":
+		fc.asm.Emit(jvm.OpBNew)
+		return nil
+	case "int":
+		fc.asm.Emit(jvm.OpF2I)
+		return nil
+	case "float":
+		fc.asm.Emit(jvm.OpI2F)
+		return nil
+	default:
+		native, ok := nativeNames[n.Builtin]
+		if !ok {
+			return errf(n.Position(), "internal: unknown builtin %q", n.Builtin)
+		}
+		idx := fc.cc.constIdx(jvm.Const{Kind: jvm.ConstStr, Str: native})
+		fc.asm.EmitNative(idx, len(n.Args))
+		fc.adj(1 - len(n.Args))
+		return nil
+	}
+}

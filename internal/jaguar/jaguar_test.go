@@ -1,0 +1,505 @@
+package jaguar
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"predator/internal/jvm"
+)
+
+// compileAndLoad compiles source and loads it into a fresh VM, failing
+// the test on any error. It returns classes for both engines.
+func compileAndLoad(t *testing.T, src string) (jitLC, interpLC *jvm.LoadedClass) {
+	t.Helper()
+	cls, err := Compile(src, "Test")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	vmJIT := jvm.New(jvm.Options{Security: jvm.AllowAll()})
+	vmInt := jvm.New(jvm.Options{Security: jvm.AllowAll(), DisableJIT: true})
+	jitLC, err = vmJIT.NewLoader("t").LoadClass(cls)
+	if err != nil {
+		t.Fatalf("load (jit): %v", err)
+	}
+	// A class must not be loaded twice; compile a fresh copy.
+	cls2, _ := Compile(src, "Test")
+	interpLC, err = vmInt.NewLoader("t").LoadClass(cls2)
+	if err != nil {
+		t.Fatalf("load (interp): %v", err)
+	}
+	return jitLC, interpLC
+}
+
+// callInt runs an int-returning method on both engines and asserts they
+// agree, returning the value.
+func callInt(t *testing.T, src, method string, args ...int64) int64 {
+	t.Helper()
+	jitLC, intLC := compileAndLoad(t, src)
+	vargs := make([]jvm.Value, len(args))
+	for i, a := range args {
+		vargs[i] = jvm.IntVal(a)
+	}
+	a, _, err := jitLC.Call(method, vargs, nil)
+	if err != nil {
+		t.Fatalf("jit call: %v", err)
+	}
+	b, _, err := intLC.Call(method, vargs, nil)
+	if err != nil {
+		t.Fatalf("interp call: %v", err)
+	}
+	if a.I != b.I {
+		t.Fatalf("engines disagree: jit=%d interp=%d", a.I, b.I)
+	}
+	return a.I
+}
+
+func TestCompileSimpleFunctions(t *testing.T) {
+	src := `
+	func add(a int, b int) int { return a + b; }
+	func mix(a int, b int) int { return (a + b) * (a - b) / 2 % 7; }
+	`
+	if got := callInt(t, src, "add", 40, 2); got != 42 {
+		t.Errorf("add = %d", got)
+	}
+	if got := callInt(t, src, "mix", 10, 4); got != ((14*6)/2)%7 {
+		t.Errorf("mix = %d", got)
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	src := `
+	func sum(n int) int {
+		var acc int = 0;
+		var i int = 0;
+		while (i < n) { acc = acc + i; i = i + 1; }
+		return acc;
+	}`
+	if got := callInt(t, src, "sum", 100); got != 4950 {
+		t.Errorf("sum(100) = %d", got)
+	}
+	if got := callInt(t, src, "sum", 0); got != 0 {
+		t.Errorf("sum(0) = %d", got)
+	}
+}
+
+func TestForLoopBreakContinue(t *testing.T) {
+	src := `
+	func f(n int) int {
+		var acc int = 0;
+		for (var i int = 0; i < n; i = i + 1) {
+			if (i % 2 == 0) { continue; }
+			if (i > 10) { break; }
+			acc = acc + i;
+		}
+		return acc;
+	}`
+	// odd numbers 1..9: 1+3+5+7+9 = 25 (11 breaks first)
+	if got := callInt(t, src, "f", 100); got != 25 {
+		t.Errorf("f(100) = %d, want 25", got)
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	src := `
+	func grade(x int) int {
+		if (x >= 90) { return 4; }
+		else if (x >= 80) { return 3; }
+		else if (x >= 70) { return 2; }
+		else { return 0; }
+	}`
+	cases := map[int64]int64{95: 4, 85: 3, 75: 2, 10: 0}
+	for in, want := range cases {
+		if got := callInt(t, src, "grade", in); got != want {
+			t.Errorf("grade(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestRecursionAndCalls(t *testing.T) {
+	src := `
+	func fib(n int) int {
+		if (n <= 1) { return n; }
+		return fib(n - 1) + fib(n - 2);
+	}
+	func double_fib(n int) int { return 2 * fib(n); }
+	`
+	if got := callInt(t, src, "fib", 15); got != 610 {
+		t.Errorf("fib(15) = %d", got)
+	}
+	if got := callInt(t, src, "double_fib", 10); got != 110 {
+		t.Errorf("double_fib(10) = %d", got)
+	}
+}
+
+func TestBytesOperations(t *testing.T) {
+	src := `
+	func work(n int) int {
+		var b bytes = bnew(n);
+		for (var i int = 0; i < n; i = i + 1) { b[i] = i * 3; }
+		var acc int = 0;
+		for (var i int = 0; i < len(b); i = i + 1) { acc = acc + b[i]; }
+		return acc;
+	}`
+	// sum of (i*3 mod 256) for i in 0..9 = 3*45 = 135
+	if got := callInt(t, src, "work", 10); got != 135 {
+		t.Errorf("work(10) = %d", got)
+	}
+}
+
+func TestFloatsAndCasts(t *testing.T) {
+	src := `
+	func avg(a int, b int) int {
+		var f float = (float(a) + float(b)) / 2.0;
+		return int(f);
+	}
+	func fcmp(x int) int {
+		var f float = float(x) * 1.5;
+		if (f > 10.0) { return 1; }
+		return 0;
+	}`
+	if got := callInt(t, src, "avg", 3, 8); got != 5 {
+		t.Errorf("avg = %d", got)
+	}
+	if got := callInt(t, src, "fcmp", 7); got != 1 {
+		t.Errorf("fcmp(7) = %d", got)
+	}
+	if got := callInt(t, src, "fcmp", 6); got != 0 {
+		t.Errorf("fcmp(6) = %d", got)
+	}
+}
+
+func TestLogicalShortCircuit(t *testing.T) {
+	src := `
+	func f(a int, b int) int {
+		// The right operand divides by b; short-circuit must protect it.
+		if (b != 0 && a / b > 2) { return 1; }
+		if (b == 0 || a / b > 2) { return 2; }
+		return 3;
+	}`
+	if got := callInt(t, src, "f", 10, 0); got != 2 {
+		t.Errorf("f(10,0) = %d, want 2 (short-circuit failed)", got)
+	}
+	if got := callInt(t, src, "f", 9, 3); got != 1 {
+		t.Errorf("f(9,3) = %d, want 1", got)
+	}
+	if got := callInt(t, src, "f", 3, 3); got != 3 {
+		t.Errorf("f(3,3) = %d, want 3", got)
+	}
+}
+
+func TestBoolAndNegation(t *testing.T) {
+	src := `
+	func f(x int) bool {
+		var b bool = x > 5;
+		if (!b) { return false; }
+		return true;
+	}`
+	jitLC, _ := compileAndLoad(t, src)
+	ret, _, err := jitLC.Call("f", []jvm.Value{jvm.IntVal(6)}, nil)
+	if err != nil || ret.I != 1 {
+		t.Errorf("f(6) = %v, %v", ret, err)
+	}
+	ret, _, _ = jitLC.Call("f", []jvm.Value{jvm.IntVal(3)}, nil)
+	if ret.I != 0 {
+		t.Errorf("f(3) = %v", ret)
+	}
+}
+
+func TestStringOps(t *testing.T) {
+	src := `
+	func f(x int) int {
+		var s str = "ab" + "cd";
+		if (s == "abcd") { return len(s) + x; }
+		return 0;
+	}
+	func ne(x int) int {
+		var s str = "a";
+		if (s != "b") { return 1; }
+		return 0;
+	}`
+	if got := callInt(t, src, "f", 10); got != 14 {
+		t.Errorf("f = %d", got)
+	}
+	if got := callInt(t, src, "ne", 0); got != 1 {
+		t.Errorf("ne = %d", got)
+	}
+}
+
+func TestUnaryMinusAndComparisons(t *testing.T) {
+	src := `
+	func f(x int) int {
+		var y int = -x;
+		if (y <= -5) { return 1; }
+		if (y >= 0) { return 2; }
+		if (y != -1) { return 3; }
+		return 4;
+	}`
+	if got := callInt(t, src, "f", 7); got != 1 {
+		t.Errorf("f(7) = %d", got)
+	}
+	if got := callInt(t, src, "f", -3); got != 2 {
+		t.Errorf("f(-3) = %d", got)
+	}
+	if got := callInt(t, src, "f", 2); got != 3 {
+		t.Errorf("f(2) = %d", got)
+	}
+	if got := callInt(t, src, "f", 1); got != 4 {
+		t.Errorf("f(1) = %d", got)
+	}
+}
+
+func TestBytesEquality(t *testing.T) {
+	src := `
+	func f(n int) bool {
+		var a bytes = bnew(n);
+		var b bytes = bnew(n);
+		return a == b;
+	}
+	func g(n int) bool {
+		var a bytes = bnew(n);
+		var b bytes = bnew(n);
+		a[0] = 1;
+		return a != b;
+	}`
+	jitLC, _ := compileAndLoad(t, src)
+	ret, _, err := jitLC.Call("f", []jvm.Value{jvm.IntVal(4)}, nil)
+	if err != nil || ret.I != 1 {
+		t.Errorf("f = %v, %v", ret, err)
+	}
+	ret, _, err = jitLC.Call("g", []jvm.Value{jvm.IntVal(4)}, nil)
+	if err != nil || ret.I != 1 {
+		t.Errorf("g = %v, %v", ret, err)
+	}
+}
+
+// The paper's generic UDF, written in Jaguar, exercised end to end.
+const genericUDFSrc = `
+// generic models the paper's 4-parameter benchmark UDF.
+func generic(data bytes, indep int, dep int, ncb int) int {
+	var acc int = 0;
+	// Data-independent computation: indep integer additions.
+	for (var i int = 0; i < indep; i = i + 1) { acc = acc + 1; }
+	// Data-dependent computation: dep passes over the byte array.
+	for (var p int = 0; p < dep; p = p + 1) {
+		for (var j int = 0; j < len(data); j = j + 1) { acc = acc + data[j]; }
+	}
+	// Callbacks to the server.
+	for (var k int = 0; k < ncb; k = k + 1) { cb_touch(0); }
+	return acc;
+}`
+
+type countingCallback struct{ touches int }
+
+func (c *countingCallback) Size(int64) (int64, error)                { return 0, nil }
+func (c *countingCallback) Get(int64, int64) (byte, error)           { return 0, nil }
+func (c *countingCallback) Read(int64, int64, int64) ([]byte, error) { return nil, nil }
+func (c *countingCallback) Touch(int64) error                        { c.touches++; return nil }
+
+func TestGenericUDF(t *testing.T) {
+	jitLC, intLC := compileAndLoad(t, genericUDFSrc)
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = 2
+	}
+	for name, lc := range map[string]*jvm.LoadedClass{"jit": jitLC, "interp": intLC} {
+		cb := &countingCallback{}
+		ret, usage, err := lc.Call("generic", []jvm.Value{
+			jvm.BytesVal(data), jvm.IntVal(50), jvm.IntVal(3), jvm.IntVal(7),
+		}, &jvm.CallOptions{Callback: cb})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := int64(50 + 3*100*2)
+		if ret.I != want {
+			t.Errorf("%s: generic = %d, want %d", name, ret.I, want)
+		}
+		if cb.touches != 7 || usage.NativeCalls != 7 {
+			t.Errorf("%s: touches=%d native=%d, want 7", name, cb.touches, usage.NativeCalls)
+		}
+	}
+}
+
+func TestCompiledClassesAlwaysVerify(t *testing.T) {
+	// Every fixture in this file must produce verifiable bytecode.
+	srcs := []string{genericUDFSrc,
+		`func f(a int) int { return a; }`,
+		`func f(a float) float { return -a * 2.0; }`,
+		`func f(s str) int { return len(s); }`,
+		`func f(b bytes, x int) int {
+			if (x > 0 && b[0] == 1 || x < 0) { return 1; }
+			return 0;
+		}`,
+	}
+	for i, src := range srcs {
+		cls, err := Compile(src, fmt.Sprintf("V%d", i))
+		if err != nil {
+			t.Fatalf("src %d: %v", i, err)
+		}
+		if err := cls.Verify(); err != nil {
+			t.Errorf("src %d failed verification: %v", i, err)
+		}
+	}
+}
+
+func TestCompileToBytesLoads(t *testing.T) {
+	data, err := CompileToBytes(`func f(a int) int { return a + 1; }`, "Wire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := jvm.New(jvm.Options{})
+	lc, err := vm.NewLoader("w").Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, _, err := lc.Call("f", []jvm.Value{jvm.IntVal(41)}, nil)
+	if err != nil || ret.I != 42 {
+		t.Errorf("wire round trip: %v, %v", ret, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`func f(a int int { return a; }`, "expected"},
+		{`func f() int { return 1 }`, "expected ';'"},
+		{`func f() int { return 1; `, "unclosed block"},
+		{`func `, "expected identifier"},
+		{`func f() int { var x int; return 1; }`, "expected '='"},
+		{`func f() int { 1 + 2; return 1; }`, "must be a call"},
+		{`func f() int { return 1; } extra`, "expected 'func'"},
+		{``, "no functions"},
+		{`func f() int { return "abc"def; }`, "expected"},
+		{`func f() int { return 0x12; }`, "expected"},
+		{`func f() int { return 99999999999999999999; }`, "out of range"},
+		{`func f() int { return "unterminated`, "unterminated string"},
+		{`func f() int { return 1; } /* unclosed`, "unterminated block comment"},
+		{`func f() int { return @; }`, "unexpected character"},
+		{`func f() pointer { return 1; }`, "unknown type"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src, "E")
+		if err == nil {
+			t.Errorf("src %q compiled, want error containing %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("src %q: error %q does not contain %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`func f(a int) int { return a + 1.5; }`, "mismatched types"},
+		{`func f(a int) float { return a; }`, "return type mismatch"},
+		{`func f(a int) int { var b bool = a; return 1; }`, "cannot initialize"},
+		{`func f(a int) int { b = 2; return 1; }`, "undefined variable"},
+		{`func f(a int) int { return g(a); }`, "undefined function"},
+		{`func f(a int) int { if (a) { return 1; } return 0; }`, "must be bool"},
+		{`func f(a int) int { while (a + 1) { } return 0; }`, "must be bool"},
+		{`func f(a str) int { return a[0]; }`, "cannot index str"},
+		{`func f(a bytes) int { return a[1.5]; }`, "index must be int"},
+		{`func f(a bytes) int { a[0] = "x"; return 0; }`, "needs an int value"},
+		{`func f(a int) int { return len(a); }`, "len not defined on int"},
+		{`func f(a int) int { return -true; }`, "unary minus needs"},
+		{`func f(a int) int { return !a; }`, "'!' needs bool"},
+		{`func f(a int) int { return a && true; }`, "mismatched types"},
+		{`func f(a bool, b bool) int { if (a < b) { return 1; } return 0; }`, "ordering"},
+		{`func f(a str) str { return a - a; }`, "not defined on str"},
+		{`func f(a float) float { return a % a; }`, "not defined on float"},
+		{`func f(a int) int { if (a > 0) { return 1; } }`, "missing return"},
+		{`func f(a int) int { while (a > 0) { return 1; } }`, "missing return"},
+		{`func f(a int) int { break; return 1; }`, "break outside loop"},
+		{`func f(a int) int { continue; return 1; }`, "continue outside loop"},
+		{`func f(a int) int { var a int = 1; return a; }`, "redeclared"},
+		{`func f(a int) int { return 1; } func f(b int) int { return 2; }`, "redefined"},
+		{`func len(a int) int { return 1; }`, "shadows a built-in"},
+		{`func f(a int) int { return cb_get(a); }`, "takes 2 argument"},
+		{`func f(a int) int { return cb_get(a, 1.5); }`, "must be int"},
+		{`func f(a int) int { return f(a, a); }`, "takes 1 argument"},
+		{`func f(a int) int { return int(a); }`, "must be float"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src, "E")
+		if err == nil {
+			t.Errorf("src %q compiled, want error containing %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("src %q: error %q does not contain %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestScoping(t *testing.T) {
+	src := `
+	func f(x int) int {
+		var y int = 1;
+		{
+			var y int = 2; // shadows outer y
+			x = x + y;
+		}
+		return x + y;
+	}`
+	if got := callInt(t, src, "f", 10); got != 13 {
+		t.Errorf("f(10) = %d, want 13", got)
+	}
+	// Inner variables must not leak out.
+	_, err := Compile(`func f() int { { var z int = 1; } return z; }`, "S")
+	if err == nil || !strings.Contains(err.Error(), "undefined variable") {
+		t.Errorf("leaked scope: %v", err)
+	}
+}
+
+// Property: integer expression evaluation in the VM matches Go
+// semantics for + - * on arbitrary inputs.
+func TestQuickArithmeticAgreesWithGo(t *testing.T) {
+	src := `func f(a int, b int) int { return a * 3 + b - a * b; }`
+	jitLC, intLC := compileAndLoad(t, src)
+	prop := func(a, b int64) bool {
+		want := a*3 + b - a*b
+		x, _, err1 := jitLC.Call("f", []jvm.Value{jvm.IntVal(a), jvm.IntVal(b)}, nil)
+		y, _, err2 := intLC.Call("f", []jvm.Value{jvm.IntVal(a), jvm.IntVal(b)}, nil)
+		return err1 == nil && err2 == nil && x.I == want && y.I == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the compiler never emits unverifiable code for this family
+// of generated programs (loops with varying depth/locals).
+func TestQuickCompiledProgramsVerify(t *testing.T) {
+	prop := func(depth uint8, nvars uint8) bool {
+		d := int(depth%4) + 1
+		n := int(nvars%4) + 1
+		var b strings.Builder
+		fmt.Fprintf(&b, "func f(x int) int {\n")
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&b, "var v%d int = x + %d;\n", i, i)
+		}
+		for i := 0; i < d; i++ {
+			fmt.Fprintf(&b, "for (var i%d int = 0; i%d < 3; i%d = i%d + 1) {\n", i, i, i, i)
+		}
+		b.WriteString("x = x + 1;\n")
+		for i := 0; i < d; i++ {
+			b.WriteString("}\n")
+		}
+		fmt.Fprintf(&b, "return x + v0;\n}\n")
+		cls, err := Compile(b.String(), "Gen")
+		if err != nil {
+			return false
+		}
+		return cls.Verify() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

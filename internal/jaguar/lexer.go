@@ -1,0 +1,271 @@
+package jaguar
+
+import (
+	"strconv"
+	"strings"
+)
+
+// lexer scans Jaguar source into tokens.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the whole source (ending with a TokEOF token).
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var out []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return errf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (lx *lexer) next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isAlpha(c):
+		start := lx.off
+		for lx.off < len(lx.src) && (isAlpha(lx.peek()) || isDigit(lx.peek())) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+	case isDigit(c):
+		start := lx.off
+		for lx.off < len(lx.src) && isDigit(lx.peek()) {
+			lx.advance()
+		}
+		isFloat := false
+		if lx.peek() == '.' && isDigit(lx.peek2()) {
+			isFloat = true
+			lx.advance()
+			for lx.off < len(lx.src) && isDigit(lx.peek()) {
+				lx.advance()
+			}
+		}
+		if lx.peek() == 'e' || lx.peek() == 'E' {
+			save := lx.off
+			lx.advance()
+			if lx.peek() == '+' || lx.peek() == '-' {
+				lx.advance()
+			}
+			if isDigit(lx.peek()) {
+				isFloat = true
+				for lx.off < len(lx.src) && isDigit(lx.peek()) {
+					lx.advance()
+				}
+			} else {
+				lx.off = save
+			}
+		}
+		text := lx.src[start:lx.off]
+		if isFloat {
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return Token{}, errf(pos, "bad float literal %q", text)
+			}
+			return Token{Kind: TokFloatLit, Text: text, Float: f, Pos: pos}, nil
+		}
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return Token{}, errf(pos, "integer literal %q out of range", text)
+		}
+		return Token{Kind: TokIntLit, Text: text, Int: n, Pos: pos}, nil
+	case c == '"':
+		lx.advance()
+		var b strings.Builder
+		for {
+			if lx.off >= len(lx.src) {
+				return Token{}, errf(pos, "unterminated string literal")
+			}
+			ch := lx.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\n' {
+				return Token{}, errf(pos, "newline in string literal")
+			}
+			if ch == '\\' {
+				if lx.off >= len(lx.src) {
+					return Token{}, errf(pos, "unterminated escape")
+				}
+				esc := lx.advance()
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case '0':
+					b.WriteByte(0)
+				default:
+					return Token{}, errf(pos, "unknown escape \\%c", esc)
+				}
+				continue
+			}
+			b.WriteByte(ch)
+		}
+		return Token{Kind: TokStrLit, Text: b.String(), Str: b.String(), Pos: pos}, nil
+	}
+	// Operators.
+	two := func(kind TokKind) (Token, error) {
+		lx.advance()
+		lx.advance()
+		return Token{Kind: kind, Pos: pos}, nil
+	}
+	one := func(kind TokKind) (Token, error) {
+		lx.advance()
+		return Token{Kind: kind, Pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return one(TokLParen)
+	case ')':
+		return one(TokRParen)
+	case '{':
+		return one(TokLBrace)
+	case '}':
+		return one(TokRBrace)
+	case '[':
+		return one(TokLBracket)
+	case ']':
+		return one(TokRBracket)
+	case ',':
+		return one(TokComma)
+	case ';':
+		return one(TokSemi)
+	case '+':
+		return one(TokPlus)
+	case '-':
+		return one(TokMinus)
+	case '*':
+		return one(TokStar)
+	case '/':
+		return one(TokSlash)
+	case '%':
+		return one(TokPercent)
+	case '=':
+		if lx.peek2() == '=' {
+			return two(TokEq)
+		}
+		return one(TokAssign)
+	case '!':
+		if lx.peek2() == '=' {
+			return two(TokNe)
+		}
+		return one(TokNot)
+	case '<':
+		if lx.peek2() == '=' {
+			return two(TokLe)
+		}
+		return one(TokLt)
+	case '>':
+		if lx.peek2() == '=' {
+			return two(TokGe)
+		}
+		return one(TokGt)
+	case '&':
+		if lx.peek2() == '&' {
+			return two(TokAnd)
+		}
+	case '|':
+		if lx.peek2() == '|' {
+			return two(TokOr)
+		}
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}

@@ -1,0 +1,512 @@
+package jaguar
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses a Jaguar compilation unit.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for p.cur().Kind != TokEOF {
+		fn, err := p.funcDecl()
+		if err != nil {
+			return nil, err
+		}
+		f.Funcs = append(f.Funcs, fn)
+	}
+	if len(f.Funcs) == 0 {
+		return nil, errf(p.cur().Pos, "source contains no functions")
+	}
+	return f, nil
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(kind TokKind) (Token, error) {
+	t := p.cur()
+	if t.Kind != kind {
+		return t, errf(t.Pos, "expected %s, found %s", kind, describe(t))
+	}
+	p.pos++
+	return t, nil
+}
+
+func describe(t Token) string {
+	switch t.Kind {
+	case TokIdent:
+		return "identifier '" + t.Text + "'"
+	case TokIntLit, TokFloatLit:
+		return "literal '" + t.Text + "'"
+	case TokStrLit:
+		return "string literal"
+	default:
+		return t.Kind.String()
+	}
+}
+
+func (p *parser) typeName() (Type, error) {
+	t, err := p.expect(TokIdent)
+	if err != nil {
+		return TypeInvalid, err
+	}
+	typ, ok := typeFromName(t.Text)
+	if !ok {
+		return TypeInvalid, errf(t.Pos, "unknown type %q", t.Text)
+	}
+	return typ, nil
+}
+
+// funcDecl parses: func name(param type, ...) rettype block
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	start, err := p.expect(TokFunc)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name.Text, Pos: start.Pos}
+	for p.cur().Kind != TokRParen {
+		if len(fn.Params) > 0 {
+			if _, err := p.expect(TokComma); err != nil {
+				return nil, err
+			}
+		}
+		pname, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		ptype, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, Param{Name: pname.Text, Type: ptype, Pos: pname.Pos})
+	}
+	p.next() // ')'
+	ret, err := p.typeName()
+	if err != nil {
+		return nil, err
+	}
+	fn.Return = ret
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	lb, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: lb.Pos}
+	for p.cur().Kind != TokRBrace {
+		if p.cur().Kind == TokEOF {
+			return nil, errf(lb.Pos, "unclosed block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // '}'
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case TokLBrace:
+		return p.block()
+	case TokVar:
+		s, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case TokIf:
+		return p.ifStmt()
+	case TokWhile:
+		return p.whileStmt()
+	case TokFor:
+		return p.forStmt()
+	case TokReturn:
+		t := p.next()
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &Return{Value: v, Pos: t.Pos}, nil
+	case TokBreak:
+		t := p.next()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &Break{Pos: t.Pos}, nil
+	case TokContinue:
+		t := p.next()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &Continue{Pos: t.Pos}, nil
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// varDecl parses: var name type = expr   (no trailing semicolon)
+func (p *parser) varDecl() (Stmt, error) {
+	t := p.next() // 'var'
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	typ, err := p.typeName()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	init, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &VarDecl{Name: name.Text, Type: typ, Init: init, Pos: t.Pos}, nil
+}
+
+// simpleStmt parses an assignment or an expression statement (no semi).
+func (p *parser) simpleStmt() (Stmt, error) {
+	start := p.cur().Pos
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == TokAssign {
+		p.next()
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		switch lhs := x.(type) {
+		case *Ident:
+			return &Assign{Name: lhs.Name, Value: val, Pos: start}, nil
+		case *Index:
+			arrIdent, ok := lhs.Arr.(*Ident)
+			if !ok {
+				return nil, errf(start, "assignment target must be a variable or var[index]")
+			}
+			return &Assign{Name: arrIdent.Name, Index: lhs.Idx, Value: val, Pos: start}, nil
+		default:
+			return nil, errf(start, "invalid assignment target")
+		}
+	}
+	return &ExprStmt{X: x, Pos: start}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	t := p.next() // 'if'
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	node := &If{Cond: cond, Then: then, Pos: t.Pos}
+	if p.cur().Kind == TokElse {
+		p.next()
+		if p.cur().Kind == TokIf {
+			elseIf, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = &Block{Stmts: []Stmt{elseIf}, Pos: p.cur().Pos}
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = els
+		}
+	}
+	return node, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	t := p.next() // 'while'
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &While{Cond: cond, Body: body, Pos: t.Pos}, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	t := p.next() // 'for'
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	node := &For{Pos: t.Pos}
+	if p.cur().Kind != TokSemi {
+		var err error
+		if p.cur().Kind == TokVar {
+			node.Init, err = p.varDecl()
+		} else {
+			node.Init, err = p.simpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokSemi {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		node.Cond = cond
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokRParen {
+		post, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		node.Post = post
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	node.Body = body
+	return node, nil
+}
+
+// Expression parsing, precedence climbing:
+//
+//	||  (lowest)
+//	&&
+//	== != < <= > >=
+//	+ -
+//	* / %
+//	unary - !
+//	postfix [index] call   (highest)
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokOr {
+		op := p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{exprBase: exprBase{pos: op.Pos}, Op: TokOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokAnd {
+		op := p.next()
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{exprBase: exprBase{pos: op.Pos}, Op: TokAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.cur().Kind
+		if k != TokEq && k != TokNe && k != TokLt && k != TokLe && k != TokGt && k != TokGe {
+			return l, nil
+		}
+		op := p.next()
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{exprBase: exprBase{pos: op.Pos}, Op: k, L: l, R: r}
+	}
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokPlus || p.cur().Kind == TokMinus {
+		op := p.next()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{exprBase: exprBase{pos: op.Pos}, Op: op.Kind, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokStar || p.cur().Kind == TokSlash || p.cur().Kind == TokPercent {
+		op := p.next()
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{exprBase: exprBase{pos: op.Pos}, Op: op.Kind, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.cur().Kind == TokMinus || p.cur().Kind == TokNot {
+		op := p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{exprBase: exprBase{pos: op.Pos}, Op: op.Kind, X: x}, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (Expr, error) {
+	x, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokLBracket {
+		lb := p.next()
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		x = &Index{exprBase: exprBase{pos: lb.Pos}, Arr: x, Idx: idx}
+	}
+	return x, nil
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokIntLit:
+		p.next()
+		return &IntLit{exprBase: exprBase{pos: t.Pos}, Value: t.Int}, nil
+	case TokFloatLit:
+		p.next()
+		return &FloatLit{exprBase: exprBase{pos: t.Pos}, Value: t.Float}, nil
+	case TokStrLit:
+		p.next()
+		return &StrLit{exprBase: exprBase{pos: t.Pos}, Value: t.Str}, nil
+	case TokTrue, TokFalse:
+		p.next()
+		return &BoolLit{exprBase: exprBase{pos: t.Pos}, Value: t.Kind == TokTrue}, nil
+	case TokLParen:
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case TokIdent:
+		p.next()
+		if p.cur().Kind == TokLParen {
+			p.next()
+			call := &Call{exprBase: exprBase{pos: t.Pos}, Name: t.Text, FuncIdx: -1}
+			for p.cur().Kind != TokRParen {
+				if len(call.Args) > 0 {
+					if _, err := p.expect(TokComma); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			p.next() // ')'
+			return call, nil
+		}
+		return &Ident{exprBase: exprBase{pos: t.Pos}, Name: t.Text, Slot: -1}, nil
+	default:
+		return nil, errf(t.Pos, "expected expression, found %s", describe(t))
+	}
+}

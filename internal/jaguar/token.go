@@ -1,0 +1,136 @@
+// Package jaguar implements the Jaguar programming language: the small,
+// strongly typed, portable source language in which users write UDFs
+// (the role Java plays in the paper). Jaguar source compiles to Jaguar
+// VM bytecode (package jvm), which is verified at load time; the same
+// compiled class runs unchanged at the client or the server (§6.4).
+//
+// The language is deliberately Java-flavoured:
+//
+//	func invest_val(history bytes) float {
+//	    var sum int = 0;
+//	    var i int = 0;
+//	    while (i < len(history)) {
+//	        sum = sum + history[i];
+//	        i = i + 1;
+//	    }
+//	    return float(sum) / float(len(history));
+//	}
+//
+// Types: int (64-bit), float (64-bit), bool, str, bytes. Booleans are
+// a distinct language type (lowered to VM ints). Built-ins: len, bnew,
+// byte-array indexing, casts int()/float(), and the native bridge
+// cb_size/cb_get/cb_read/cb_touch/log/time.
+package jaguar
+
+import "fmt"
+
+// TokKind identifies a lexical token class.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokIntLit
+	TokFloatLit
+	TokStrLit
+
+	// Keywords.
+	TokFunc
+	TokVar
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokReturn
+	TokTrue
+	TokFalse
+	TokBreak
+	TokContinue
+
+	// Punctuation and operators.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokSemi
+	TokAssign // =
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokEq // ==
+	TokNe // !=
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokAnd // &&
+	TokOr  // ||
+	TokNot // !
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "end of file", TokIdent: "identifier", TokIntLit: "integer literal",
+	TokFloatLit: "float literal", TokStrLit: "string literal",
+	TokFunc: "'func'", TokVar: "'var'", TokIf: "'if'", TokElse: "'else'",
+	TokWhile: "'while'", TokFor: "'for'", TokReturn: "'return'",
+	TokTrue: "'true'", TokFalse: "'false'", TokBreak: "'break'", TokContinue: "'continue'",
+	TokLParen: "'('", TokRParen: "')'", TokLBrace: "'{'", TokRBrace: "'}'",
+	TokLBracket: "'['", TokRBracket: "']'", TokComma: "','", TokSemi: "';'",
+	TokAssign: "'='", TokPlus: "'+'", TokMinus: "'-'", TokStar: "'*'",
+	TokSlash: "'/'", TokPercent: "'%'", TokEq: "'=='", TokNe: "'!='",
+	TokLt: "'<'", TokLe: "'<='", TokGt: "'>'", TokGe: "'>='",
+	TokAnd: "'&&'", TokOr: "'||'", TokNot: "'!'",
+}
+
+// String names the token kind.
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+// Pos is a source location.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token with its source text and position.
+type Token struct {
+	Kind  TokKind
+	Text  string
+	Int   int64   // for TokIntLit
+	Float float64 // for TokFloatLit
+	Str   string  // for TokStrLit (unescaped)
+	Pos   Pos
+}
+
+var keywords = map[string]TokKind{
+	"func": TokFunc, "var": TokVar, "if": TokIf, "else": TokElse,
+	"while": TokWhile, "for": TokFor, "return": TokReturn,
+	"true": TokTrue, "false": TokFalse,
+	"break": TokBreak, "continue": TokContinue,
+}
+
+// Error is a positioned compile error.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("jaguar: %s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,185 @@
+package jvm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Assembler builds method bytecode with label-based control flow. It is
+// used by the Jaguar compiler and by tests; it performs no verification
+// (that is the verifier's job).
+type Assembler struct {
+	code    []byte
+	labels  map[string]int // label -> code offset
+	patches map[int]string // operand offset -> label
+	errs    []string
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{
+		labels:  make(map[string]int),
+		patches: make(map[int]string),
+	}
+}
+
+// Emit appends an opcode with no operands.
+func (a *Assembler) Emit(op Opcode) *Assembler {
+	if op.OperandBytes() != 0 {
+		a.errs = append(a.errs, fmt.Sprintf("%s requires operands", op.Name()))
+	}
+	a.code = append(a.code, byte(op))
+	return a
+}
+
+// EmitU16 appends an opcode with one 16-bit operand (ldc, load, store, call).
+func (a *Assembler) EmitU16(op Opcode, operand int) *Assembler {
+	if op.OperandBytes() != 2 {
+		a.errs = append(a.errs, fmt.Sprintf("%s does not take a u16 operand", op.Name()))
+	}
+	if operand < 0 || operand > 0xFFFF {
+		a.errs = append(a.errs, fmt.Sprintf("%s operand %d out of range", op.Name(), operand))
+		operand = 0
+	}
+	a.code = append(a.code, byte(op))
+	a.code = binary.LittleEndian.AppendUint16(a.code, uint16(operand))
+	return a
+}
+
+// EmitNative appends a native-call instruction: the constant-pool index
+// of the function name and the argument count.
+func (a *Assembler) EmitNative(nameIdx, argc int) *Assembler {
+	if nameIdx < 0 || nameIdx > 0xFFFF || argc < 0 || argc > 255 {
+		a.errs = append(a.errs, fmt.Sprintf("native operands out of range (%d, %d)", nameIdx, argc))
+		nameIdx, argc = 0, 0
+	}
+	a.code = append(a.code, byte(OpNative))
+	a.code = binary.LittleEndian.AppendUint16(a.code, uint16(nameIdx))
+	a.code = append(a.code, byte(argc))
+	return a
+}
+
+// Jump appends a jump instruction targeting the named label, which may
+// be defined before or after this point.
+func (a *Assembler) Jump(op Opcode, label string) *Assembler {
+	if op != OpJmp && op != OpJmpZ && op != OpJmpN {
+		a.errs = append(a.errs, fmt.Sprintf("%s is not a jump", op.Name()))
+	}
+	a.code = append(a.code, byte(op))
+	a.patches[len(a.code)] = label
+	a.code = binary.LittleEndian.AppendUint32(a.code, 0)
+	return a
+}
+
+// Label defines a label at the current position.
+func (a *Assembler) Label(name string) *Assembler {
+	if _, dup := a.labels[name]; dup {
+		a.errs = append(a.errs, fmt.Sprintf("duplicate label %q", name))
+	}
+	a.labels[name] = len(a.code)
+	return a
+}
+
+// Bytes finalizes the code, resolving all label references.
+func (a *Assembler) Bytes() ([]byte, error) {
+	for off, label := range a.patches {
+		target, ok := a.labels[label]
+		if !ok {
+			a.errs = append(a.errs, fmt.Sprintf("undefined label %q", label))
+			continue
+		}
+		// Offsets are relative to the start of the next instruction.
+		rel := target - (off + 4)
+		binary.LittleEndian.PutUint32(a.code[off:], uint32(int32(rel)))
+	}
+	if len(a.errs) > 0 {
+		return nil, fmt.Errorf("jvm: assembler: %s", strings.Join(a.errs, "; "))
+	}
+	return a.code, nil
+}
+
+// MustBytes is Bytes for tests and trusted builders; it panics on error.
+func (a *Assembler) MustBytes() []byte {
+	b, err := a.Bytes()
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Disassemble renders method code as human-readable assembly, one
+// instruction per line, for jagc -disasm and debugging.
+func Disassemble(c *Class, m *Method) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "method %s(%s) %s  locals=%d maxstack=%d\n",
+		m.Name, typeList(m.Params), m.Return, len(m.Locals), m.MaxStack)
+	pc := 0
+	for pc < len(m.Code) {
+		op := Opcode(m.Code[pc])
+		fmt.Fprintf(&b, "  %4d: %-8s", pc, op.Name())
+		if !op.Valid() {
+			b.WriteString(" <invalid>\n")
+			pc++
+			continue
+		}
+		operandLen := op.OperandBytes()
+		if pc+1+operandLen > len(m.Code) {
+			b.WriteString(" <truncated>\n")
+			break
+		}
+		switch op {
+		case OpLdc:
+			idx := int(binary.LittleEndian.Uint16(m.Code[pc+1:]))
+			if idx < len(c.Consts) {
+				fmt.Fprintf(&b, " #%d %s", idx, constString(c.Consts[idx]))
+			} else {
+				fmt.Fprintf(&b, " #%d <out of range>", idx)
+			}
+		case OpLoad, OpStore:
+			fmt.Fprintf(&b, " %d", binary.LittleEndian.Uint16(m.Code[pc+1:]))
+		case OpCall:
+			idx := int(binary.LittleEndian.Uint16(m.Code[pc+1:]))
+			if idx < len(c.Methods) {
+				fmt.Fprintf(&b, " %s", c.Methods[idx].Name)
+			} else {
+				fmt.Fprintf(&b, " <method %d out of range>", idx)
+			}
+		case OpNative:
+			idx := int(binary.LittleEndian.Uint16(m.Code[pc+1:]))
+			argc := m.Code[pc+3]
+			name := "<bad name index>"
+			if idx < len(c.Consts) && c.Consts[idx].Kind == ConstStr {
+				name = c.Consts[idx].Str
+			}
+			fmt.Fprintf(&b, " %s/%d", name, argc)
+		case OpJmp, OpJmpZ, OpJmpN:
+			rel := int32(binary.LittleEndian.Uint32(m.Code[pc+1:]))
+			fmt.Fprintf(&b, " -> %d", pc+1+operandLen+int(rel))
+		}
+		b.WriteByte('\n')
+		pc += 1 + operandLen
+	}
+	return b.String()
+}
+
+func typeList(ts []VType) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+func constString(k Const) string {
+	switch k.Kind {
+	case ConstInt:
+		return fmt.Sprintf("int %d", k.Int)
+	case ConstFloat:
+		return fmt.Sprintf("float %g", k.Float)
+	case ConstStr:
+		return fmt.Sprintf("str %q", k.Str)
+	default:
+		return fmt.Sprintf("bytes[%d]", len(k.Bytes))
+	}
+}

@@ -1,0 +1,124 @@
+package jvm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Micro-benchmarks for the VM execution engines: the per-instruction
+// dispatch cost and the effect of superinstruction fusion, measured
+// without any database machinery around them.
+
+func benchClass() *Class {
+	return buildClass("Bench", nil, sumLoopMethod(), sumBytesMethod(), addMethod(), fibMethodAt(3))
+}
+
+func loadFor(b *testing.B, disableJIT bool) *LoadedClass {
+	b.Helper()
+	vm := New(Options{Security: AllowAll(), DisableJIT: disableJIT})
+	lc, err := vm.NewLoader("bench").LoadClass(benchClass())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return lc
+}
+
+// BenchmarkDispatchLoop measures a counting loop per engine: the
+// closest thing to raw dispatch cost.
+func BenchmarkDispatchLoop(b *testing.B) {
+	const n = 10000
+	for _, mode := range []struct {
+		name string
+		jit  bool
+	}{{"jit", true}, {"interp", false}} {
+		lc := loadFor(b, !mode.jit)
+		b.Run(mode.name, func(b *testing.B) {
+			args := []Value{IntVal(n)}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := lc.Call("sumloop", args, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			perIter := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / n
+			b.ReportMetric(perIter, "ns/loop-iteration")
+		})
+	}
+}
+
+// BenchmarkByteAccess measures the bounds-checked data path (the Fig. 7
+// inner loop) per engine.
+func BenchmarkByteAccess(b *testing.B) {
+	arr := make([]byte, 10000)
+	for i := range arr {
+		arr[i] = byte(i)
+	}
+	for _, mode := range []struct {
+		name string
+		jit  bool
+	}{{"jit", true}, {"interp", false}} {
+		lc := loadFor(b, !mode.jit)
+		b.Run(mode.name, func(b *testing.B) {
+			args := []Value{BytesVal(arr)}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := lc.Call("sumbytes", args, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			perByte := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(len(arr))
+			b.ReportMetric(perByte, "ns/byte")
+		})
+	}
+}
+
+// BenchmarkInvocationOverhead measures the boundary-crossing cost of a
+// minimal method call (the Fig. 5 effect at the VM level).
+func BenchmarkInvocationOverhead(b *testing.B) {
+	lc := loadFor(b, false)
+	args := []Value{IntVal(1), IntVal(2)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := lc.Call("add", args, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMethodCalls measures OpCall frame setup via recursion.
+func BenchmarkMethodCalls(b *testing.B) {
+	lc := loadFor(b, false)
+	args := []Value{IntVal(12)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := lc.Call("fib", args, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClassLoad measures the full verify+link+JIT pipeline.
+func BenchmarkClassLoad(b *testing.B) {
+	data := EncodeClass(benchClass())
+	vm := New(Options{Security: AllowAll()})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loader := vm.NewLoader(fmt.Sprintf("l%d", i))
+		if _, err := loader.Load(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVerifyOnly isolates the verifier.
+func BenchmarkVerifyOnly(b *testing.B) {
+	c := benchClass()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Package jvm implements the Jaguar Virtual Machine, the safe-language
+// runtime that plays the role of the embedded JVM in the paper's
+// Design 3 (and Design 4). It provides:
+//
+//   - a stack-based bytecode instruction set and a class-file format
+//     (the ".jclass" analog of Java ".class" files),
+//   - a load-time bytecode verifier (abstract interpretation of stack
+//     and local types, jump-target and constant-pool validation),
+//   - per-UDF class loaders with isolated namespaces,
+//   - a security manager consulted on every native (callback) call,
+//   - resource limits: instruction fuel, allocation-accounted memory,
+//     and call-depth caps (the paper's §6.2 missing piece),
+//   - a switch interpreter and a closure-threaded "JIT" compiler.
+//
+// All memory access performed by Jaguar code is bounds-checked at run
+// time, which is precisely the safety cost the paper's Figure 7
+// measures.
+package jvm
+
+import (
+	"fmt"
+)
+
+// VType is the VM-level type of a stack slot or local variable.
+type VType uint8
+
+// VM value types. Booleans are represented as I (0/1) like the JVM.
+const (
+	TInt   VType = iota // 64-bit integer
+	TFloat              // 64-bit float
+	TStr                // immutable string
+	TBytes              // mutable byte array reference
+)
+
+// String returns the mnemonic name of the type.
+func (t VType) String() string {
+	switch t {
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TStr:
+		return "str"
+	case TBytes:
+		return "bytes"
+	default:
+		return fmt.Sprintf("vtype(%d)", uint8(t))
+	}
+}
+
+// Opcode is a Jaguar VM instruction opcode.
+type Opcode uint8
+
+// The instruction set. Operand widths are fixed per opcode (see opInfo).
+const (
+	OpNop Opcode = iota
+
+	// Constants and stack manipulation.
+	OpLdc     // u16 cpIndex: push constant
+	OpIConst0 // push int 0
+	OpIConst1 // push int 1
+	OpDup     // duplicate top of stack
+	OpPop     // discard top of stack
+	OpSwap    // swap top two (same type required)
+
+	// Locals.
+	OpLoad  // u16 local: push local
+	OpStore // u16 local: pop into local
+
+	// Integer arithmetic.
+	OpIAdd
+	OpISub
+	OpIMul
+	OpIDiv // traps on division by zero
+	OpIMod // traps on division by zero
+	OpINeg
+
+	// Float arithmetic.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFNeg
+
+	// Conversions.
+	OpI2F
+	OpF2I
+
+	// Integer comparisons (push int 0/1).
+	OpIEq
+	OpINe
+	OpILt
+	OpILe
+	OpIGt
+	OpIGe
+
+	// Float comparisons (push int 0/1).
+	OpFEq
+	OpFNe
+	OpFLt
+	OpFLe
+	OpFGt
+	OpFGe
+
+	// String operations.
+	OpSEq     // push int 0/1
+	OpSLen    // push int
+	OpSConcat // allocates; accounted against the memory limit
+
+	// Byte-array operations (every access bounds-checked).
+	OpBLen // arr -> int
+	OpBGet // arr idx -> int; traps on out-of-bounds
+	OpBSet // arr idx val -> ; traps on out-of-bounds or val out of 0..255
+	OpBNew // size -> arr; allocates; traps on negative or over-limit size
+	OpBEq  // arr arr -> int 0/1 (content equality)
+
+	// Logic.
+	OpNot // int -> int (0 -> 1, nonzero -> 0)
+
+	// Control flow. Jump offsets are signed 32-bit, relative to the
+	// start of the *next* instruction.
+	OpJmp  // i32 rel
+	OpJmpZ // i32 rel: pop int, jump if zero
+	OpJmpN // i32 rel: pop int, jump if nonzero
+
+	// Calls.
+	OpCall   // u16 methodIndex: invoke sibling method in the same class
+	OpNative // u16 cpIndex (name string), u8 argc: invoke native function
+	OpRet    // return top of stack
+
+	opMax // sentinel; not a real opcode
+)
+
+// opInfo describes static properties of each opcode.
+type opInfo struct {
+	name     string
+	operands int // bytes of inline operands
+}
+
+var opTable = [opMax]opInfo{
+	OpNop:     {"nop", 0},
+	OpLdc:     {"ldc", 2},
+	OpIConst0: {"iconst0", 0},
+	OpIConst1: {"iconst1", 0},
+	OpDup:     {"dup", 0},
+	OpPop:     {"pop", 0},
+	OpSwap:    {"swap", 0},
+	OpLoad:    {"load", 2},
+	OpStore:   {"store", 2},
+	OpIAdd:    {"iadd", 0},
+	OpISub:    {"isub", 0},
+	OpIMul:    {"imul", 0},
+	OpIDiv:    {"idiv", 0},
+	OpIMod:    {"imod", 0},
+	OpINeg:    {"ineg", 0},
+	OpFAdd:    {"fadd", 0},
+	OpFSub:    {"fsub", 0},
+	OpFMul:    {"fmul", 0},
+	OpFDiv:    {"fdiv", 0},
+	OpFNeg:    {"fneg", 0},
+	OpI2F:     {"i2f", 0},
+	OpF2I:     {"f2i", 0},
+	OpIEq:     {"ieq", 0},
+	OpINe:     {"ine", 0},
+	OpILt:     {"ilt", 0},
+	OpILe:     {"ile", 0},
+	OpIGt:     {"igt", 0},
+	OpIGe:     {"ige", 0},
+	OpFEq:     {"feq", 0},
+	OpFNe:     {"fne", 0},
+	OpFLt:     {"flt", 0},
+	OpFLe:     {"fle", 0},
+	OpFGt:     {"fgt", 0},
+	OpFGe:     {"fge", 0},
+	OpSEq:     {"seq", 0},
+	OpSLen:    {"slen", 0},
+	OpSConcat: {"sconcat", 0},
+	OpBLen:    {"blen", 0},
+	OpBGet:    {"bget", 0},
+	OpBSet:    {"bset", 0},
+	OpBNew:    {"bnew", 0},
+	OpBEq:     {"beq", 0},
+	OpNot:     {"not", 0},
+	OpJmp:     {"jmp", 4},
+	OpJmpZ:    {"jmpz", 4},
+	OpJmpN:    {"jmpn", 4},
+	OpCall:    {"call", 2},
+	OpNative:  {"native", 3},
+	OpRet:     {"ret", 0},
+}
+
+// Name returns the opcode mnemonic.
+func (op Opcode) Name() string {
+	if op < opMax && opTable[op].name != "" {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool {
+	return op < opMax && opTable[op].name != ""
+}
+
+// OperandBytes returns the number of inline operand bytes.
+func (op Opcode) OperandBytes() int {
+	if !op.Valid() {
+		return 0
+	}
+	return opTable[op].operands
+}
+
+// ConstKind tags constant-pool entries.
+type ConstKind uint8
+
+// Constant pool entry kinds.
+const (
+	ConstInt ConstKind = iota
+	ConstFloat
+	ConstStr
+	ConstBytes
+)
+
+// Const is a constant-pool entry.
+type Const struct {
+	Kind  ConstKind
+	Int   int64
+	Float float64
+	Str   string
+	Bytes []byte
+}
+
+// VType returns the VM type a constant pushes.
+func (c Const) VType() VType {
+	switch c.Kind {
+	case ConstInt:
+		return TInt
+	case ConstFloat:
+		return TFloat
+	case ConstStr:
+		return TStr
+	default:
+		return TBytes
+	}
+}
+
+// Method is one function of a Jaguar class. Parameters occupy the first
+// len(Params) locals; the verifier enforces the declared local types.
+type Method struct {
+	Name      string
+	Params    []VType // parameter types (locals 0..len-1)
+	Locals    []VType // all local types, including parameters
+	Return    VType
+	MaxStack  int // declared operand-stack bound, enforced by verifier
+	Code      []byte
+	NativeRef []string // populated by the loader: resolved native names (debug)
+}
+
+// Class is a loaded (or loadable) unit: a named bundle of constants
+// and methods, the Jaguar analog of a Java class file.
+type Class struct {
+	Name    string
+	Consts  []Const
+	Methods []Method
+}
+
+// MethodIndex returns the index of the named method, or -1.
+func (c *Class) MethodIndex(name string) int {
+	for i := range c.Methods {
+		if c.Methods[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}

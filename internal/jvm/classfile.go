@@ -1,0 +1,217 @@
+package jvm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Class-file format ("JCF"):
+//
+//	magic   "JAGC" (4 bytes)
+//	version u16
+//	name    str
+//	consts  uvarint count, then per entry: kind byte + payload
+//	methods uvarint count, then per method:
+//	  name str, return byte,
+//	  params uvarint count + bytes,
+//	  locals uvarint count + bytes,
+//	  maxStack uvarint,
+//	  code uvarint length + bytes
+//
+// where str = uvarint length + UTF-8 bytes.
+
+const (
+	classMagic   = "JAGC"
+	classVersion = 1
+)
+
+// MaxClassFileSize bounds accepted class files; the loader rejects
+// anything larger before parsing (a denial-of-service guard).
+const MaxClassFileSize = 1 << 20
+
+// EncodeClass serializes a class to its class-file bytes.
+func EncodeClass(c *Class) []byte {
+	buf := append([]byte{}, classMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, classVersion)
+	buf = appendStr(buf, c.Name)
+	buf = binary.AppendUvarint(buf, uint64(len(c.Consts)))
+	for _, k := range c.Consts {
+		buf = append(buf, byte(k.Kind))
+		switch k.Kind {
+		case ConstInt:
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(k.Int))
+		case ConstFloat:
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(k.Float))
+		case ConstStr:
+			buf = appendStr(buf, k.Str)
+		case ConstBytes:
+			buf = binary.AppendUvarint(buf, uint64(len(k.Bytes)))
+			buf = append(buf, k.Bytes...)
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(c.Methods)))
+	for i := range c.Methods {
+		m := &c.Methods[i]
+		buf = appendStr(buf, m.Name)
+		buf = append(buf, byte(m.Return))
+		buf = binary.AppendUvarint(buf, uint64(len(m.Params)))
+		for _, p := range m.Params {
+			buf = append(buf, byte(p))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(m.Locals)))
+		for _, l := range m.Locals {
+			buf = append(buf, byte(l))
+		}
+		buf = binary.AppendUvarint(buf, uint64(m.MaxStack))
+		buf = binary.AppendUvarint(buf, uint64(len(m.Code)))
+		buf = append(buf, m.Code...)
+	}
+	return buf
+}
+
+// DecodeClass parses class-file bytes. The result is structurally
+// well-formed but NOT yet verified; callers must run Verify (the
+// loader does this automatically).
+func DecodeClass(data []byte) (*Class, error) {
+	if len(data) > MaxClassFileSize {
+		return nil, fmt.Errorf("jvm: class file of %d bytes exceeds the %d-byte limit", len(data), MaxClassFileSize)
+	}
+	r := &creader{buf: data}
+	if string(r.take(4)) != classMagic {
+		return nil, fmt.Errorf("jvm: bad class-file magic")
+	}
+	if v := r.u16(); v != classVersion {
+		return nil, fmt.Errorf("jvm: unsupported class-file version %d", v)
+	}
+	c := &Class{}
+	c.Name = r.str()
+	nConsts := r.uvarint()
+	if nConsts > uint64(len(data)) {
+		return nil, fmt.Errorf("jvm: implausible constant count %d", nConsts)
+	}
+	c.Consts = make([]Const, 0, nConsts)
+	for i := uint64(0); i < nConsts; i++ {
+		kind := ConstKind(r.byte())
+		var k Const
+		k.Kind = kind
+		switch kind {
+		case ConstInt:
+			k.Int = int64(r.u64())
+		case ConstFloat:
+			k.Float = math.Float64frombits(r.u64())
+		case ConstStr:
+			k.Str = r.str()
+		case ConstBytes:
+			n := r.uvarint()
+			k.Bytes = r.bytes(int(n))
+		default:
+			return nil, fmt.Errorf("jvm: unknown constant kind %d", kind)
+		}
+		c.Consts = append(c.Consts, k)
+	}
+	nMethods := r.uvarint()
+	if nMethods > uint64(len(data)) {
+		return nil, fmt.Errorf("jvm: implausible method count %d", nMethods)
+	}
+	c.Methods = make([]Method, 0, nMethods)
+	for i := uint64(0); i < nMethods; i++ {
+		var m Method
+		m.Name = r.str()
+		m.Return = VType(r.byte())
+		nParams := r.uvarint()
+		if nParams > 255 {
+			return nil, fmt.Errorf("jvm: method %q has %d parameters (max 255)", m.Name, nParams)
+		}
+		m.Params = make([]VType, nParams)
+		for j := range m.Params {
+			m.Params[j] = VType(r.byte())
+		}
+		nLocals := r.uvarint()
+		if nLocals > 65535 {
+			return nil, fmt.Errorf("jvm: method %q has %d locals (max 65535)", m.Name, nLocals)
+		}
+		m.Locals = make([]VType, nLocals)
+		for j := range m.Locals {
+			m.Locals[j] = VType(r.byte())
+		}
+		m.MaxStack = int(r.uvarint())
+		codeLen := r.uvarint()
+		m.Code = r.bytes(int(codeLen))
+		c.Methods = append(c.Methods, m)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("jvm: corrupt class file: %w", r.err)
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("jvm: %d trailing bytes in class file", len(data)-r.off)
+	}
+	return c, nil
+}
+
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+type creader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *creader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("truncated at offset %d", r.off)
+	}
+}
+
+func (r *creader) take(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail()
+		return make([]byte, n)
+	}
+	out := r.buf[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *creader) byte() byte { return r.take(1)[0] }
+
+func (r *creader) u16() uint16 { return binary.LittleEndian.Uint16(r.take(2)) }
+
+func (r *creader) u64() uint64 { return binary.LittleEndian.Uint64(r.take(8)) }
+
+func (r *creader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *creader) bytes(n int) []byte {
+	if n < 0 || n > MaxClassFileSize {
+		r.fail()
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.take(n))
+	return out
+}
+
+func (r *creader) str() string {
+	n := int(r.uvarint())
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail()
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}

@@ -1,0 +1,481 @@
+package jvm
+
+import (
+	"fmt"
+	"math"
+
+	"predator/internal/types"
+)
+
+// CallOptions configures one UDF invocation.
+type CallOptions struct {
+	// Limits is the resource policy for this invocation.
+	Limits Limits
+	// Callback handles cb.* native calls (may be nil if the code makes
+	// none; calling with none installed traps).
+	Callback Callback
+	// Logf receives sys.log output (nil discards it).
+	Logf func(format string, args ...any)
+	// Security overrides the VM's security manager for this call
+	// (nil = use the VM's).
+	Security SecurityManager
+	// ForceInterpreter runs the switch interpreter even when the class
+	// was JIT-compiled (used by the JIT ablation benchmarks).
+	ForceInterpreter bool
+}
+
+// exec carries the mutable state of one invocation across frames.
+type exec struct {
+	lc        *LoadedClass
+	fuel      int64
+	budget    int64
+	mem       int64
+	depthLeft int
+	depthMax  int
+	ctx       NativeCtx
+	usage     Usage
+	interpret bool
+}
+
+// Call invokes a method with VM values and returns the result plus a
+// resource-usage report. It is the low-level entry point; CallKinds is
+// the boundary-converting variant used by the UDF layer.
+func (lc *LoadedClass) Call(method string, args []Value, opts *CallOptions) (Value, Usage, error) {
+	if opts == nil {
+		opts = &CallOptions{}
+	}
+	mi := lc.class.MethodIndex(method)
+	if mi < 0 {
+		return Value{}, Usage{}, fmt.Errorf("jvm: class %q has no method %q", lc.class.Name, method)
+	}
+	m := &lc.class.Methods[mi]
+	if len(args) != len(m.Params) {
+		return Value{}, Usage{}, fmt.Errorf("jvm: %s.%s takes %d args, got %d", lc.class.Name, method, len(m.Params), len(args))
+	}
+	for i, a := range args {
+		if a.T != m.Params[i] {
+			return Value{}, Usage{}, fmt.Errorf("jvm: %s.%s arg %d: want %s, got %s", lc.class.Name, method, i, m.Params[i], a.T)
+		}
+	}
+	sec := opts.Security
+	if sec == nil {
+		sec = lc.loader.vm.security
+	}
+	e := &exec{
+		lc:        lc,
+		fuel:      opts.Limits.fuelBudget(),
+		mem:       opts.Limits.memBudget(),
+		depthLeft: opts.Limits.depthBudget(),
+		interpret: opts.ForceInterpreter || !lc.loader.vm.useJIT,
+	}
+	e.budget = e.fuel
+	e.depthMax = e.depthLeft
+	e.ctx = NativeCtx{
+		ClassName: lc.class.Name,
+		Security:  sec,
+		Callback:  opts.Callback,
+		Logf:      opts.Logf,
+		account:   e.account,
+	}
+	ret, err := e.call(mi, args)
+	e.usage.Instructions = e.budget - e.fuel
+	return ret, e.usage, err
+}
+
+// account charges an allocation against the memory budget.
+func (e *exec) account(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("negative allocation")
+	}
+	e.usage.AllocBytes += n
+	e.mem -= n
+	if e.mem < 0 {
+		return &Trap{Kind: TrapMemory, Class: e.lc.class.Name, Method: "", Detail: "allocation budget exhausted"}
+	}
+	return nil
+}
+
+func (e *exec) trap(kind TrapKind, method string, format string, args ...any) error {
+	return &Trap{Kind: kind, Class: e.lc.class.Name, Method: method, Detail: fmt.Sprintf(format, args...)}
+}
+
+// call runs method mi with the given arguments in a fresh frame,
+// dispatching to the JIT code when available.
+func (e *exec) call(mi int, args []Value) (Value, error) {
+	lm := &e.lc.meths[mi]
+	if e.depthLeft == 0 {
+		return Value{}, e.trap(TrapDepth, lm.m.Name, "call depth limit exceeded")
+	}
+	e.depthLeft--
+	if d := e.depthMax - e.depthLeft; d > e.usage.MaxDepth {
+		e.usage.MaxDepth = d
+	}
+	defer func() { e.depthLeft++ }()
+
+	if !e.interpret && lm.jit != nil {
+		return e.runJIT(lm, args)
+	}
+	return e.interp(lm, args)
+}
+
+// interp is the switch interpreter: the baseline execution engine, and
+// the reference semantics the JIT must match.
+func (e *exec) interp(lm *loadedMethod, args []Value) (Value, error) {
+	m := lm.m
+	locals := make([]Value, len(m.Locals))
+	copy(locals, args)
+	stack := make([]Value, m.MaxStack)
+	sp := 0
+	ins := lm.instrs
+	consts := e.lc.class.Consts
+	ip := 0
+	for {
+		e.fuel--
+		if e.fuel < 0 {
+			return Value{}, e.trap(TrapFuel, m.Name, "instruction budget exhausted")
+		}
+		in := ins[ip]
+		ip++
+		switch in.op {
+		case OpNop:
+		case OpLdc:
+			k := consts[in.a]
+			switch k.Kind {
+			case ConstInt:
+				stack[sp] = Value{T: TInt, I: k.Int}
+			case ConstFloat:
+				stack[sp] = Value{T: TFloat, F: k.Float}
+			case ConstStr:
+				stack[sp] = Value{T: TStr, S: k.Str}
+			default:
+				// Byte-array constants are copied so the loaded class
+				// (shared across invocations) cannot be mutated.
+				cp := make([]byte, len(k.Bytes))
+				copy(cp, k.Bytes)
+				if err := e.account(int64(len(cp))); err != nil {
+					return Value{}, err
+				}
+				stack[sp] = Value{T: TBytes, B: cp}
+			}
+			sp++
+		case OpIConst0:
+			stack[sp] = Value{T: TInt}
+			sp++
+		case OpIConst1:
+			stack[sp] = Value{T: TInt, I: 1}
+			sp++
+		case OpDup:
+			stack[sp] = stack[sp-1]
+			sp++
+		case OpPop:
+			sp--
+		case OpSwap:
+			stack[sp-1], stack[sp-2] = stack[sp-2], stack[sp-1]
+		case OpLoad:
+			stack[sp] = locals[in.a]
+			sp++
+		case OpStore:
+			sp--
+			locals[in.a] = stack[sp]
+		case OpIAdd:
+			sp--
+			stack[sp-1].I += stack[sp].I
+		case OpISub:
+			sp--
+			stack[sp-1].I -= stack[sp].I
+		case OpIMul:
+			sp--
+			stack[sp-1].I *= stack[sp].I
+		case OpIDiv:
+			sp--
+			d := stack[sp].I
+			if d == 0 {
+				return Value{}, e.trap(TrapDivZero, m.Name, "integer division by zero")
+			}
+			if stack[sp-1].I == math.MinInt64 && d == -1 {
+				// Wrap like Java: MinInt64 / -1 = MinInt64.
+				continue
+			}
+			stack[sp-1].I /= d
+		case OpIMod:
+			sp--
+			d := stack[sp].I
+			if d == 0 {
+				return Value{}, e.trap(TrapDivZero, m.Name, "integer modulo by zero")
+			}
+			if stack[sp-1].I == math.MinInt64 && d == -1 {
+				stack[sp-1].I = 0
+				continue
+			}
+			stack[sp-1].I %= d
+		case OpINeg:
+			stack[sp-1].I = -stack[sp-1].I
+		case OpFAdd:
+			sp--
+			stack[sp-1].F += stack[sp].F
+		case OpFSub:
+			sp--
+			stack[sp-1].F -= stack[sp].F
+		case OpFMul:
+			sp--
+			stack[sp-1].F *= stack[sp].F
+		case OpFDiv:
+			sp--
+			stack[sp-1].F /= stack[sp].F
+		case OpFNeg:
+			stack[sp-1].F = -stack[sp-1].F
+		case OpI2F:
+			stack[sp-1] = Value{T: TFloat, F: float64(stack[sp-1].I)}
+		case OpF2I:
+			stack[sp-1] = Value{T: TInt, I: int64(stack[sp-1].F)}
+		case OpIEq:
+			sp--
+			stack[sp-1] = boolVal(stack[sp-1].I == stack[sp].I)
+		case OpINe:
+			sp--
+			stack[sp-1] = boolVal(stack[sp-1].I != stack[sp].I)
+		case OpILt:
+			sp--
+			stack[sp-1] = boolVal(stack[sp-1].I < stack[sp].I)
+		case OpILe:
+			sp--
+			stack[sp-1] = boolVal(stack[sp-1].I <= stack[sp].I)
+		case OpIGt:
+			sp--
+			stack[sp-1] = boolVal(stack[sp-1].I > stack[sp].I)
+		case OpIGe:
+			sp--
+			stack[sp-1] = boolVal(stack[sp-1].I >= stack[sp].I)
+		case OpFEq:
+			sp--
+			stack[sp-1] = boolVal(stack[sp-1].F == stack[sp].F)
+		case OpFNe:
+			sp--
+			stack[sp-1] = boolVal(stack[sp-1].F != stack[sp].F)
+		case OpFLt:
+			sp--
+			stack[sp-1] = boolVal(stack[sp-1].F < stack[sp].F)
+		case OpFLe:
+			sp--
+			stack[sp-1] = boolVal(stack[sp-1].F <= stack[sp].F)
+		case OpFGt:
+			sp--
+			stack[sp-1] = boolVal(stack[sp-1].F > stack[sp].F)
+		case OpFGe:
+			sp--
+			stack[sp-1] = boolVal(stack[sp-1].F >= stack[sp].F)
+		case OpSEq:
+			sp--
+			stack[sp-1] = boolVal(stack[sp-1].S == stack[sp].S)
+		case OpSLen:
+			stack[sp-1] = Value{T: TInt, I: int64(len(stack[sp-1].S))}
+		case OpSConcat:
+			sp--
+			s := stack[sp-1].S + stack[sp].S
+			if err := e.account(int64(len(s))); err != nil {
+				return Value{}, err
+			}
+			stack[sp-1] = Value{T: TStr, S: s}
+		case OpBLen:
+			stack[sp-1] = Value{T: TInt, I: int64(len(stack[sp-1].B))}
+		case OpBGet:
+			sp--
+			idx := stack[sp].I
+			arr := stack[sp-1].B
+			// The run-time bounds check: this is the safety cost the
+			// paper's Figure 7 measures.
+			if idx < 0 || idx >= int64(len(arr)) {
+				return Value{}, e.trap(TrapBounds, m.Name, "bget index %d out of range [0,%d)", idx, len(arr))
+			}
+			stack[sp-1] = Value{T: TInt, I: int64(arr[idx])}
+		case OpBSet:
+			sp -= 3
+			arr := stack[sp].B
+			idx := stack[sp+1].I
+			val := stack[sp+2].I
+			if idx < 0 || idx >= int64(len(arr)) {
+				return Value{}, e.trap(TrapBounds, m.Name, "bset index %d out of range [0,%d)", idx, len(arr))
+			}
+			arr[idx] = byte(val) // truncate like a Java byte store
+		case OpBNew:
+			n := stack[sp-1].I
+			if n < 0 {
+				return Value{}, e.trap(TrapValue, m.Name, "bnew with negative size %d", n)
+			}
+			if err := e.account(n); err != nil {
+				return Value{}, err
+			}
+			stack[sp-1] = Value{T: TBytes, B: make([]byte, n)}
+		case OpBEq:
+			sp--
+			stack[sp-1] = boolVal(bytesEqual(stack[sp-1].B, stack[sp].B))
+		case OpNot:
+			if stack[sp-1].I == 0 {
+				stack[sp-1].I = 1
+			} else {
+				stack[sp-1].I = 0
+			}
+		case OpJmp:
+			ip = int(in.a)
+		case OpJmpZ:
+			sp--
+			if stack[sp].I == 0 {
+				ip = int(in.a)
+			}
+		case OpJmpN:
+			sp--
+			if stack[sp].I != 0 {
+				ip = int(in.a)
+			}
+		case OpCall:
+			callee := &e.lc.class.Methods[in.a]
+			nargs := len(callee.Params)
+			sp -= nargs
+			ret, err := e.call(int(in.a), stack[sp:sp+nargs])
+			if err != nil {
+				return Value{}, err
+			}
+			stack[sp] = ret
+			sp++
+		case OpNative:
+			entry := lm.natives[in.a]
+			nargs := int(in.b)
+			sp -= nargs
+			ret, err := e.invokeNative(m.Name, entry, stack[sp:sp+nargs])
+			if err != nil {
+				return Value{}, err
+			}
+			stack[sp] = ret
+			sp++
+		case OpRet:
+			return stack[sp-1], nil
+		default:
+			return Value{}, e.trap(TrapValue, m.Name, "unhandled opcode %s", in.op.Name())
+		}
+	}
+}
+
+// invokeNative performs the security check, argument type check, and
+// dispatch shared by interpreter and JIT.
+func (e *exec) invokeNative(method string, entry *NativeEntry, args []Value) (Value, error) {
+	if err := e.ctx.Security.Check(e.ctx.ClassName, entry.Perm, entry.Name); err != nil {
+		return Value{}, e.trap(TrapSecurity, method, "%s", err)
+	}
+	for i, a := range args {
+		if a.T != entry.Params[i] {
+			return Value{}, e.trap(TrapNative, method, "native %s arg %d: want %s, got %s",
+				entry.Name, i, entry.Params[i], a.T)
+		}
+	}
+	e.usage.NativeCalls++
+	ret, err := entry.Fn(&e.ctx, args)
+	if err != nil {
+		if t, ok := err.(*Trap); ok {
+			return Value{}, t
+		}
+		return Value{}, e.trap(TrapNative, method, "native %s: %s", entry.Name, err)
+	}
+	if ret.T != entry.Result {
+		return Value{}, e.trap(TrapNative, method, "native %s returned %s, declared %s",
+			entry.Name, ret.T, entry.Result)
+	}
+	return ret, nil
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return Value{T: TInt, I: 1}
+	}
+	return Value{T: TInt}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Boundary conversion — the Jaguar equivalent of the JNI "impedance
+// mismatch" the paper describes: every UDF invocation converts engine
+// values to VM values and back.
+
+// ToVM converts an engine value to a VM value. BOOL maps to int 0/1;
+// NULL is not representable in the VM and is rejected (the engine's
+// expression layer short-circuits NULL arguments before invoking UDFs).
+func ToVM(v types.Value) (Value, error) {
+	switch v.Kind {
+	case types.KindInt:
+		return IntVal(v.Int), nil
+	case types.KindFloat:
+		return FloatVal(v.Float), nil
+	case types.KindBool:
+		if v.Bool {
+			return IntVal(1), nil
+		}
+		return IntVal(0), nil
+	case types.KindString:
+		return StrVal(v.Str), nil
+	case types.KindBytes:
+		return BytesVal(v.Bytes), nil
+	default:
+		return Value{}, fmt.Errorf("jvm: cannot pass %s value to Jaguar code", v.Kind)
+	}
+}
+
+// FromVM converts a VM value back to an engine value of the given kind.
+func FromVM(v Value, kind types.Kind) (types.Value, error) {
+	switch kind {
+	case types.KindInt:
+		if v.T != TInt {
+			return types.Value{}, fmt.Errorf("jvm: expected int result, got %s", v.T)
+		}
+		return types.NewInt(v.I), nil
+	case types.KindFloat:
+		if v.T == TInt {
+			return types.NewFloat(float64(v.I)), nil
+		}
+		if v.T != TFloat {
+			return types.Value{}, fmt.Errorf("jvm: expected float result, got %s", v.T)
+		}
+		return types.NewFloat(v.F), nil
+	case types.KindBool:
+		if v.T != TInt {
+			return types.Value{}, fmt.Errorf("jvm: expected int (bool) result, got %s", v.T)
+		}
+		return types.NewBool(v.I != 0), nil
+	case types.KindString:
+		if v.T != TStr {
+			return types.Value{}, fmt.Errorf("jvm: expected str result, got %s", v.T)
+		}
+		return types.NewString(v.S), nil
+	case types.KindBytes:
+		if v.T != TBytes {
+			return types.Value{}, fmt.Errorf("jvm: expected bytes result, got %s", v.T)
+		}
+		return types.NewBytes(v.B), nil
+	default:
+		return types.Value{}, fmt.Errorf("jvm: cannot convert VM value to %s", kind)
+	}
+}
+
+// KindToVType maps an engine type to the VM type used at the boundary.
+func KindToVType(k types.Kind) (VType, error) {
+	switch k {
+	case types.KindInt, types.KindBool:
+		return TInt, nil
+	case types.KindFloat:
+		return TFloat, nil
+	case types.KindString:
+		return TStr, nil
+	case types.KindBytes:
+		return TBytes, nil
+	default:
+		return 0, fmt.Errorf("jvm: no VM type for %s", k)
+	}
+}

@@ -1,0 +1,230 @@
+package jvm
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// loadBoth loads the same class into a JIT VM and an interpreter VM.
+func loadBoth(t *testing.T, c *Class) (jit, interp *LoadedClass) {
+	t.Helper()
+	vmJ := newTestVM(false)
+	vmI := newTestVM(true)
+	j, err := vmJ.NewLoader("j").LoadClass(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := *c // loaders reject duplicate pointers only by name+loader; fresh VM is fine
+	i, err := vmI.NewLoader("i").LoadClass(&cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, i
+}
+
+// agree asserts both engines produce identical results (or both trap).
+func agree(t *testing.T, jit, interp *LoadedClass, method string, args []Value) {
+	t.Helper()
+	a, _, errA := jit.Call(method, args, nil)
+	b, _, errB := interp.Call(method, args, nil)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("%s(%v): jit err=%v, interp err=%v", method, args, errA, errB)
+	}
+	if errA != nil {
+		ta, _ := trapKind(errA)
+		tb, _ := trapKind(errB)
+		if ta != tb {
+			t.Fatalf("%s(%v): trap kinds differ: %s vs %s", method, args, ta, tb)
+		}
+		return
+	}
+	if a.T != b.T || a.I != b.I || a.F != b.F || a.S != b.S || !bytesEqual(a.B, b.B) {
+		t.Fatalf("%s(%v): jit=%v interp=%v", method, args, a, b)
+	}
+}
+
+// TestFusionLoopByteSum checks the byte-sum loop superinstruction
+// against the interpreter across array sizes and start offsets.
+func TestFusionLoopByteSum(t *testing.T) {
+	jit, interp := loadBoth(t, buildClass("BS", nil, sumBytesMethod()))
+	for _, size := range []int{0, 1, 7, 100, 10000} {
+		arr := make([]byte, size)
+		for i := range arr {
+			arr[i] = byte(i * 31)
+		}
+		agree(t, jit, interp, "sumbytes", []Value{BytesVal(arr)})
+	}
+}
+
+// TestFusionLoopCount checks the counting-loop superinstruction.
+func TestFusionLoopCount(t *testing.T) {
+	jit, interp := loadBoth(t, buildClass("LC", nil, sumLoopMethod()))
+	for _, n := range []int64{0, 1, 2, 100, 99999} {
+		agree(t, jit, interp, "sumloop", []Value{IntVal(n)})
+	}
+}
+
+// TestFusionDoesNotFireAcrossJumpTargets builds a loop whose body is a
+// jump target (a 'continue' equivalent) and checks semantics hold.
+func TestFusionContinueTarget(t *testing.T) {
+	// sum of odd i in 0..n-1: the increment is a continue target.
+	code := NewAssembler().
+		Emit(OpIConst0).EmitU16(OpStore, 1).
+		Emit(OpIConst0).EmitU16(OpStore, 2).
+		Label("loop").
+		EmitU16(OpLoad, 1).EmitU16(OpLoad, 0).Emit(OpILt).
+		Jump(OpJmpZ, "done").
+		EmitU16(OpLoad, 1).EmitU16(OpLdc, 0).Emit(OpIMod).
+		Jump(OpJmpZ, "cont"). // even: skip the add
+		EmitU16(OpLoad, 2).EmitU16(OpLoad, 1).Emit(OpIAdd).EmitU16(OpStore, 2).
+		Label("cont").
+		EmitU16(OpLoad, 1).Emit(OpIConst1).Emit(OpIAdd).EmitU16(OpStore, 1).
+		Jump(OpJmp, "loop").
+		Label("done").
+		EmitU16(OpLoad, 2).Emit(OpRet).
+		MustBytes()
+	c := buildClass("CT", []Const{{Kind: ConstInt, Int: 2}}, Method{
+		Name: "oddsum", Params: []VType{TInt}, Locals: []VType{TInt, TInt, TInt},
+		Return: TInt, MaxStack: 2, Code: code,
+	})
+	jit, interp := loadBoth(t, c)
+	agree(t, jit, interp, "oddsum", []Value{IntVal(20)})
+	ret, _, err := jit.Call("oddsum", []Value{IntVal(10)}, nil)
+	if err != nil || ret.I != 25 {
+		t.Errorf("oddsum(10) = %v, %v; want 25 (1+3+5+7+9)", ret, err)
+	}
+}
+
+// TestFusionFuelExactUnderLoops ensures the fuel limit still stops a
+// long fused loop and accounting stays close to exact.
+func TestFusionFuelInLoops(t *testing.T) {
+	vm := newTestVM(false)
+	lc := mustLoad(t, vm, "fuel", buildClass("F", nil, sumLoopMethod()))
+	_, usage, err := lc.Call("sumloop", []Value{IntVal(1 << 40)}, &CallOptions{
+		Limits: Limits{Fuel: 100000},
+	})
+	kind, ok := trapKind(err)
+	if !ok || kind != TrapFuel {
+		t.Fatalf("err = %v, want fuel trap", err)
+	}
+	if usage.Instructions < 99000 || usage.Instructions > 101000 {
+		t.Errorf("instructions = %d, want ~100000", usage.Instructions)
+	}
+}
+
+// TestFusionBoundsTrapAtLoopEntry: a byte-sum loop whose induction
+// variable starts beyond the array must not read out of bounds.
+func TestFusionNegativeStart(t *testing.T) {
+	// i starts at -3 (loop condition true: -3 < len). The interpreter
+	// traps on bget; the fused loop must trap identically, not read
+	// data[-3].
+	code := NewAssembler().
+		EmitU16(OpLdc, 0).EmitU16(OpStore, 1). // i = -3
+		Emit(OpIConst0).EmitU16(OpStore, 2).
+		Label("loop").
+		EmitU16(OpLoad, 1).EmitU16(OpLoad, 0).Emit(OpBLen).Emit(OpILt).
+		Jump(OpJmpZ, "done").
+		EmitU16(OpLoad, 2).
+		EmitU16(OpLoad, 0).EmitU16(OpLoad, 1).Emit(OpBGet).
+		Emit(OpIAdd).EmitU16(OpStore, 2).
+		EmitU16(OpLoad, 1).Emit(OpIConst1).Emit(OpIAdd).EmitU16(OpStore, 1).
+		Jump(OpJmp, "loop").
+		Label("done").
+		EmitU16(OpLoad, 2).Emit(OpRet).
+		MustBytes()
+	c := buildClass("NS", []Const{{Kind: ConstInt, Int: -3}}, Method{
+		Name: "negstart", Params: []VType{TBytes}, Locals: []VType{TBytes, TInt, TInt},
+		Return: TInt, MaxStack: 3, Code: code,
+	})
+	jit, interp := loadBoth(t, c)
+	agree(t, jit, interp, "negstart", []Value{BytesVal([]byte{1, 2, 3})})
+}
+
+// Property: random (n, seed) parameterizations of a two-level loop
+// agree between engines.
+func TestQuickFusionAgreement(t *testing.T) {
+	// nested: for p in 0..dep: for j in 0..len(b): acc += b[j]; plus
+	// counting loop acc += 1 (indep times).
+	code := NewAssembler().
+		Emit(OpIConst0).EmitU16(OpStore, 3). // acc
+		Emit(OpIConst0).EmitU16(OpStore, 4). // i
+		Label("indep").
+		EmitU16(OpLoad, 4).EmitU16(OpLoad, 1).Emit(OpILt).
+		Jump(OpJmpZ, "indepdone").
+		EmitU16(OpLoad, 3).Emit(OpIConst1).Emit(OpIAdd).EmitU16(OpStore, 3).
+		EmitU16(OpLoad, 4).Emit(OpIConst1).Emit(OpIAdd).EmitU16(OpStore, 4).
+		Jump(OpJmp, "indep").
+		Label("indepdone").
+		Emit(OpIConst0).EmitU16(OpStore, 5). // p
+		Label("dep").
+		EmitU16(OpLoad, 5).EmitU16(OpLoad, 2).Emit(OpILt).
+		Jump(OpJmpZ, "depdone").
+		Emit(OpIConst0).EmitU16(OpStore, 6). // j
+		Label("inner").
+		EmitU16(OpLoad, 6).EmitU16(OpLoad, 0).Emit(OpBLen).Emit(OpILt).
+		Jump(OpJmpZ, "innerdone").
+		EmitU16(OpLoad, 3).
+		EmitU16(OpLoad, 0).EmitU16(OpLoad, 6).Emit(OpBGet).
+		Emit(OpIAdd).EmitU16(OpStore, 3).
+		EmitU16(OpLoad, 6).Emit(OpIConst1).Emit(OpIAdd).EmitU16(OpStore, 6).
+		Jump(OpJmp, "inner").
+		Label("innerdone").
+		EmitU16(OpLoad, 5).Emit(OpIConst1).Emit(OpIAdd).EmitU16(OpStore, 5).
+		Jump(OpJmp, "dep").
+		Label("depdone").
+		EmitU16(OpLoad, 3).Emit(OpRet).
+		MustBytes()
+	c := buildClass("Gen", nil, Method{
+		Name:   "generic",
+		Params: []VType{TBytes, TInt, TInt},
+		Locals: []VType{TBytes, TInt, TInt, TInt, TInt, TInt, TInt},
+		Return: TInt, MaxStack: 3, Code: code,
+	})
+	jit, interp := loadBoth(t, c)
+	prop := func(seed uint16, indep8, dep3, size8 uint8) bool {
+		indep := int64(indep8)
+		dep := int64(dep3 % 4)
+		size := int(size8)
+		arr := make([]byte, size)
+		for i := range arr {
+			arr[i] = byte(int(seed) * (i + 1))
+		}
+		args := []Value{BytesVal(arr), IntVal(indep), IntVal(dep)}
+		a, _, errA := jit.Call("generic", args, nil)
+		b, _, errB := interp.Call("generic", args, nil)
+		if errA != nil || errB != nil {
+			return false
+		}
+		// Also verify against the direct computation.
+		var want int64 = indep
+		for p := int64(0); p < dep; p++ {
+			for _, by := range arr {
+				want += int64(by)
+			}
+		}
+		return a.I == want && b.I == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFusionGroupShapes sanity-checks the planner's grouping on the
+// canonical byte-sum loop: the whole loop should collapse.
+func TestFusionGroupShapes(t *testing.T) {
+	vm := newTestVM(false)
+	lc := mustLoad(t, vm, "shapes", buildClass("S", nil, sumBytesMethod()))
+	lm := &lc.meths[0]
+	nGroups := len(lm.jit)
+	// Prologue (4 instrs = 4 groups) + 1 loop superinstruction +
+	// epilogue (ret-local fused = 1). Allow slack but require that the
+	// loop collapsed well below the 20 raw instructions.
+	if nGroups > 8 {
+		t.Errorf("byte-sum method compiled to %d closures; loop fusion did not engage (%d instrs)",
+			nGroups, len(lm.instrs))
+	}
+	for _, m := range []string{fmt.Sprintf("groups=%d instrs=%d", nGroups, len(lm.instrs))} {
+		t.Log(m)
+	}
+}

@@ -1,0 +1,737 @@
+package jvm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"predator/internal/types"
+)
+
+// buildClass assembles a class and panics on assembler errors (tests
+// construct only well-formed code unless explicitly testing failures).
+func buildClass(name string, consts []Const, methods ...Method) *Class {
+	return &Class{Name: name, Consts: consts, Methods: methods}
+}
+
+// addMethod: add(a, b int) int
+func addMethod() Method {
+	code := NewAssembler().
+		EmitU16(OpLoad, 0).
+		EmitU16(OpLoad, 1).
+		Emit(OpIAdd).
+		Emit(OpRet).
+		MustBytes()
+	return Method{
+		Name: "add", Params: []VType{TInt, TInt}, Locals: []VType{TInt, TInt},
+		Return: TInt, MaxStack: 2, Code: code,
+	}
+}
+
+// sumLoopMethod: sum of 0..n-1 via a while loop.
+func sumLoopMethod() Method {
+	// locals: 0=n, 1=i, 2=acc
+	code := NewAssembler().
+		Emit(OpIConst0).EmitU16(OpStore, 1).
+		Emit(OpIConst0).EmitU16(OpStore, 2).
+		Label("loop").
+		EmitU16(OpLoad, 1).EmitU16(OpLoad, 0).Emit(OpILt).
+		Jump(OpJmpZ, "done").
+		EmitU16(OpLoad, 2).EmitU16(OpLoad, 1).Emit(OpIAdd).EmitU16(OpStore, 2).
+		EmitU16(OpLoad, 1).Emit(OpIConst1).Emit(OpIAdd).EmitU16(OpStore, 1).
+		Jump(OpJmp, "loop").
+		Label("done").
+		EmitU16(OpLoad, 2).Emit(OpRet).
+		MustBytes()
+	return Method{
+		Name: "sumloop", Params: []VType{TInt}, Locals: []VType{TInt, TInt, TInt},
+		Return: TInt, MaxStack: 2, Code: code,
+	}
+}
+
+// sumBytesMethod: sum all bytes of an array (the data-dependent loop of
+// the paper's generic UDF).
+func sumBytesMethod() Method {
+	// locals: 0=arr, 1=i, 2=acc
+	code := NewAssembler().
+		Emit(OpIConst0).EmitU16(OpStore, 1).
+		Emit(OpIConst0).EmitU16(OpStore, 2).
+		Label("loop").
+		EmitU16(OpLoad, 1).EmitU16(OpLoad, 0).Emit(OpBLen).Emit(OpILt).
+		Jump(OpJmpZ, "done").
+		EmitU16(OpLoad, 2).
+		EmitU16(OpLoad, 0).EmitU16(OpLoad, 1).Emit(OpBGet).
+		Emit(OpIAdd).EmitU16(OpStore, 2).
+		EmitU16(OpLoad, 1).Emit(OpIConst1).Emit(OpIAdd).EmitU16(OpStore, 1).
+		Jump(OpJmp, "loop").
+		Label("done").
+		EmitU16(OpLoad, 2).Emit(OpRet).
+		MustBytes()
+	return Method{
+		Name: "sumbytes", Params: []VType{TBytes}, Locals: []VType{TBytes, TInt, TInt},
+		Return: TInt, MaxStack: 3, Code: code,
+	}
+}
+
+// fibMethod: recursive fibonacci via OpCall to itself; selfIdx is the
+// method's own index within its class.
+func fibMethodAt(selfIdx int) Method {
+	code := NewAssembler().
+		EmitU16(OpLoad, 0).Emit(OpIConst1).Emit(OpIGt).
+		Jump(OpJmpN, "rec").
+		EmitU16(OpLoad, 0).Emit(OpRet).
+		Label("rec").
+		EmitU16(OpLoad, 0).Emit(OpIConst1).Emit(OpISub).EmitU16(OpCall, selfIdx).
+		EmitU16(OpLoad, 0).Emit(OpIConst1).Emit(OpISub).Emit(OpIConst1).Emit(OpISub).EmitU16(OpCall, selfIdx).
+		Emit(OpIAdd).Emit(OpRet).
+		MustBytes()
+	return Method{
+		Name: "fib", Params: []VType{TInt}, Locals: []VType{TInt},
+		Return: TInt, MaxStack: 4, Code: code,
+	}
+}
+
+func mustLoad(t *testing.T, vm *VM, ns string, c *Class) *LoadedClass {
+	t.Helper()
+	lc, err := vm.NewLoader(ns).LoadClass(c)
+	if err != nil {
+		t.Fatalf("load %s: %v", c.Name, err)
+	}
+	return lc
+}
+
+func newTestVM(disableJIT bool) *VM {
+	return New(Options{Security: AllowAll(), DisableJIT: disableJIT})
+}
+
+func TestInterpAndJITBasicOps(t *testing.T) {
+	for _, jit := range []bool{false, true} {
+		name := map[bool]string{false: "interp", true: "jit"}[jit]
+		t.Run(name, func(t *testing.T) {
+			vm := newTestVM(!jit)
+			lc := mustLoad(t, vm, "t", buildClass("Basic", nil, addMethod(), sumLoopMethod(), sumBytesMethod(), fibMethodAt(3)))
+
+			ret, _, err := lc.Call("add", []Value{IntVal(40), IntVal(2)}, nil)
+			if err != nil || ret.I != 42 {
+				t.Errorf("add = %v, %v; want 42", ret, err)
+			}
+			ret, usage, err := lc.Call("sumloop", []Value{IntVal(100)}, nil)
+			if err != nil || ret.I != 4950 {
+				t.Errorf("sumloop(100) = %v, %v; want 4950", ret, err)
+			}
+			if usage.Instructions == 0 {
+				t.Error("usage.Instructions not accounted")
+			}
+			arr := []byte{1, 2, 3, 250}
+			ret, _, err = lc.Call("sumbytes", []Value{BytesVal(arr)}, nil)
+			if err != nil || ret.I != 256 {
+				t.Errorf("sumbytes = %v, %v; want 256", ret, err)
+			}
+			ret, _, err = lc.Call("fib", []Value{IntVal(15)}, nil)
+			if err != nil || ret.I != 610 {
+				t.Errorf("fib(15) = %v, %v; want 610", ret, err)
+			}
+		})
+	}
+}
+
+func TestArithmeticOps(t *testing.T) {
+	consts := []Const{
+		{Kind: ConstInt, Int: 7},
+		{Kind: ConstInt, Int: 3},
+		{Kind: ConstFloat, Float: 2.5},
+		{Kind: ConstFloat, Float: 0.5},
+		{Kind: ConstStr, Str: "ab"},
+		{Kind: ConstStr, Str: "cd"},
+	}
+	cases := []struct {
+		name string
+		code func(*Assembler) *Assembler
+		ret  VType
+		want Value
+		max  int
+	}{
+		{"isub", func(a *Assembler) *Assembler {
+			return a.EmitU16(OpLdc, 0).EmitU16(OpLdc, 1).Emit(OpISub)
+		}, TInt, IntVal(4), 2},
+		{"imul", func(a *Assembler) *Assembler {
+			return a.EmitU16(OpLdc, 0).EmitU16(OpLdc, 1).Emit(OpIMul)
+		}, TInt, IntVal(21), 2},
+		{"idiv", func(a *Assembler) *Assembler {
+			return a.EmitU16(OpLdc, 0).EmitU16(OpLdc, 1).Emit(OpIDiv)
+		}, TInt, IntVal(2), 2},
+		{"imod", func(a *Assembler) *Assembler {
+			return a.EmitU16(OpLdc, 0).EmitU16(OpLdc, 1).Emit(OpIMod)
+		}, TInt, IntVal(1), 2},
+		{"ineg", func(a *Assembler) *Assembler {
+			return a.EmitU16(OpLdc, 0).Emit(OpINeg)
+		}, TInt, IntVal(-7), 1},
+		{"fadd", func(a *Assembler) *Assembler {
+			return a.EmitU16(OpLdc, 2).EmitU16(OpLdc, 3).Emit(OpFAdd)
+		}, TFloat, FloatVal(3.0), 2},
+		{"fsub", func(a *Assembler) *Assembler {
+			return a.EmitU16(OpLdc, 2).EmitU16(OpLdc, 3).Emit(OpFSub)
+		}, TFloat, FloatVal(2.0), 2},
+		{"fmul", func(a *Assembler) *Assembler {
+			return a.EmitU16(OpLdc, 2).EmitU16(OpLdc, 3).Emit(OpFMul)
+		}, TFloat, FloatVal(1.25), 2},
+		{"fdiv", func(a *Assembler) *Assembler {
+			return a.EmitU16(OpLdc, 2).EmitU16(OpLdc, 3).Emit(OpFDiv)
+		}, TFloat, FloatVal(5.0), 2},
+		{"fneg", func(a *Assembler) *Assembler {
+			return a.EmitU16(OpLdc, 2).Emit(OpFNeg)
+		}, TFloat, FloatVal(-2.5), 1},
+		{"i2f", func(a *Assembler) *Assembler {
+			return a.EmitU16(OpLdc, 0).Emit(OpI2F)
+		}, TFloat, FloatVal(7.0), 1},
+		{"f2i", func(a *Assembler) *Assembler {
+			return a.EmitU16(OpLdc, 2).Emit(OpF2I)
+		}, TInt, IntVal(2), 1},
+		{"sconcat", func(a *Assembler) *Assembler {
+			return a.EmitU16(OpLdc, 4).EmitU16(OpLdc, 5).Emit(OpSConcat)
+		}, TStr, StrVal("abcd"), 2},
+		{"slen", func(a *Assembler) *Assembler {
+			return a.EmitU16(OpLdc, 4).Emit(OpSLen)
+		}, TInt, IntVal(2), 1},
+		{"seq", func(a *Assembler) *Assembler {
+			return a.EmitU16(OpLdc, 4).EmitU16(OpLdc, 4).Emit(OpSEq)
+		}, TInt, IntVal(1), 2},
+		{"not", func(a *Assembler) *Assembler {
+			return a.Emit(OpIConst0).Emit(OpNot)
+		}, TInt, IntVal(1), 1},
+		{"dup-pop-swap", func(a *Assembler) *Assembler {
+			return a.EmitU16(OpLdc, 0).EmitU16(OpLdc, 1).Emit(OpSwap).Emit(OpDup).Emit(OpPop).Emit(OpISub)
+		}, TInt, IntVal(-4), 3},
+	}
+	for _, jit := range []bool{false, true} {
+		vm := newTestVM(!jit)
+		for _, c := range cases {
+			t.Run(fmt.Sprintf("%s/jit=%v", c.name, jit), func(t *testing.T) {
+				code := c.code(NewAssembler()).Emit(OpRet).MustBytes()
+				cls := buildClass("M"+c.name, consts, Method{
+					Name: "m", Return: c.ret, MaxStack: c.max, Code: code,
+				})
+				lc := mustLoad(t, vm, fmt.Sprintf("ns-%s-%v", c.name, jit), cls)
+				ret, _, err := lc.Call("m", nil, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ret.T != c.want.T || ret.I != c.want.I || ret.F != c.want.F || ret.S != c.want.S {
+					t.Errorf("got %v, want %v", ret, c.want)
+				}
+			})
+		}
+	}
+}
+
+func TestBytesOps(t *testing.T) {
+	// make an array of size n, fill b[i]=i*2, return b[3].
+	code := NewAssembler().
+		EmitU16(OpLoad, 0).Emit(OpBNew).EmitU16(OpStore, 1).
+		// b[3] = 9
+		EmitU16(OpLoad, 1).
+		Emit(OpIConst1).Emit(OpIConst1).Emit(OpIAdd).Emit(OpIConst1).Emit(OpIAdd). // 3
+		EmitU16(OpLdc, 0).                                                         // 9
+		Emit(OpBSet).
+		EmitU16(OpLoad, 1).Emit(OpIConst1).Emit(OpIConst1).Emit(OpIAdd).Emit(OpIConst1).Emit(OpIAdd).Emit(OpBGet).
+		Emit(OpRet).
+		MustBytes()
+	cls := buildClass("B", []Const{{Kind: ConstInt, Int: 9}}, Method{
+		Name: "m", Params: []VType{TInt}, Locals: []VType{TInt, TBytes},
+		Return: TInt, MaxStack: 4, Code: code,
+	})
+	for _, jit := range []bool{false, true} {
+		vm := newTestVM(!jit)
+		lc := mustLoad(t, vm, "b", cls)
+		ret, usage, err := lc.Call("m", []Value{IntVal(10)}, nil)
+		if err != nil || ret.I != 9 {
+			t.Errorf("jit=%v: got %v, %v; want 9", jit, ret, err)
+		}
+		if usage.AllocBytes != 10 {
+			t.Errorf("jit=%v: AllocBytes = %d, want 10", jit, usage.AllocBytes)
+		}
+	}
+}
+
+func TestBEqAndConstBytes(t *testing.T) {
+	consts := []Const{{Kind: ConstBytes, Bytes: []byte{1, 2, 3}}}
+	code := NewAssembler().
+		EmitU16(OpLdc, 0).EmitU16(OpLoad, 0).Emit(OpBEq).Emit(OpRet).
+		MustBytes()
+	cls := buildClass("BE", consts, Method{
+		Name: "m", Params: []VType{TBytes}, Locals: []VType{TBytes},
+		Return: TInt, MaxStack: 2, Code: code,
+	})
+	vm := newTestVM(false)
+	lc := mustLoad(t, vm, "be", cls)
+	ret, _, err := lc.Call("m", []Value{BytesVal([]byte{1, 2, 3})}, nil)
+	if err != nil || ret.I != 1 {
+		t.Errorf("equal arrays: %v, %v", ret, err)
+	}
+	ret, _, _ = lc.Call("m", []Value{BytesVal([]byte{1, 2})}, nil)
+	if ret.I != 0 {
+		t.Error("different arrays compared equal")
+	}
+}
+
+func trapKind(err error) (TrapKind, bool) {
+	var tr *Trap
+	if errors.As(err, &tr) {
+		return tr.Kind, true
+	}
+	return 0, false
+}
+
+func TestTraps(t *testing.T) {
+	divCode := NewAssembler().EmitU16(OpLoad, 0).Emit(OpIConst0).Emit(OpIDiv).Emit(OpRet).MustBytes()
+	modCode := NewAssembler().EmitU16(OpLoad, 0).Emit(OpIConst0).Emit(OpIMod).Emit(OpRet).MustBytes()
+	oobCode := NewAssembler().EmitU16(OpLoad, 0).EmitU16(OpLdc, 0).Emit(OpBGet).Emit(OpRet).MustBytes()
+	oobSet := NewAssembler().EmitU16(OpLoad, 0).EmitU16(OpLdc, 0).Emit(OpIConst1).Emit(OpBSet).Emit(OpIConst0).Emit(OpRet).MustBytes()
+	negNew := NewAssembler().EmitU16(OpLdc, 1).Emit(OpBNew).Emit(OpBLen).Emit(OpRet).MustBytes()
+	cls := buildClass("T", []Const{{Kind: ConstInt, Int: 1 << 40}, {Kind: ConstInt, Int: -5}},
+		Method{Name: "div0", Params: []VType{TInt}, Locals: []VType{TInt}, Return: TInt, MaxStack: 2, Code: divCode},
+		Method{Name: "mod0", Params: []VType{TInt}, Locals: []VType{TInt}, Return: TInt, MaxStack: 2, Code: modCode},
+		Method{Name: "oob", Params: []VType{TBytes}, Locals: []VType{TBytes}, Return: TInt, MaxStack: 2, Code: oobCode},
+		Method{Name: "oobset", Params: []VType{TBytes}, Locals: []VType{TBytes}, Return: TInt, MaxStack: 3, Code: oobSet},
+		Method{Name: "negnew", Return: TInt, MaxStack: 1, Code: negNew},
+	)
+	for _, jit := range []bool{false, true} {
+		vm := newTestVM(!jit)
+		lc := mustLoad(t, vm, fmt.Sprintf("traps-%v", jit), cls)
+		cases := []struct {
+			method string
+			args   []Value
+			want   TrapKind
+		}{
+			{"div0", []Value{IntVal(1)}, TrapDivZero},
+			{"mod0", []Value{IntVal(1)}, TrapDivZero},
+			{"oob", []Value{BytesVal([]byte{1})}, TrapBounds},
+			{"oobset", []Value{BytesVal([]byte{1})}, TrapBounds},
+			{"negnew", nil, TrapValue},
+		}
+		for _, c := range cases {
+			_, _, err := lc.Call(c.method, c.args, nil)
+			kind, ok := trapKind(err)
+			if !ok || kind != c.want {
+				t.Errorf("jit=%v %s: err=%v, want %s trap", jit, c.method, err, c.want)
+			}
+		}
+	}
+}
+
+func TestFuelLimit(t *testing.T) {
+	cls := buildClass("F", nil, sumLoopMethod())
+	for _, jit := range []bool{false, true} {
+		vm := newTestVM(!jit)
+		lc := mustLoad(t, vm, fmt.Sprintf("f-%v", jit), cls)
+		// A loop of 1e6 iterations needs ~1e7 instructions; give it 1000.
+		_, usage, err := lc.Call("sumloop", []Value{IntVal(1000000)}, &CallOptions{
+			Limits: Limits{Fuel: 1000},
+		})
+		kind, ok := trapKind(err)
+		if !ok || kind != TrapFuel {
+			t.Errorf("jit=%v: err=%v, want fuel trap", jit, err)
+		}
+		// Chunked loop-superinstruction accounting may land within one
+		// iteration of the budget.
+		if usage.Instructions < 980 || usage.Instructions > 1020 {
+			t.Errorf("jit=%v: instructions=%d, want ~1000", jit, usage.Instructions)
+		}
+		// Unlimited fuel must complete.
+		ret, _, err := lc.Call("sumloop", []Value{IntVal(1000)}, nil)
+		if err != nil || ret.I != 499500 {
+			t.Errorf("jit=%v unlimited: %v, %v", jit, ret, err)
+		}
+	}
+}
+
+func TestMemoryLimit(t *testing.T) {
+	// Allocate 100 arrays of `n` bytes in a loop.
+	code := NewAssembler().
+		Emit(OpIConst0).EmitU16(OpStore, 1).
+		Label("loop").
+		EmitU16(OpLoad, 1).EmitU16(OpLdc, 0).Emit(OpILt).
+		Jump(OpJmpZ, "done").
+		EmitU16(OpLoad, 0).Emit(OpBNew).Emit(OpPop).
+		EmitU16(OpLoad, 1).Emit(OpIConst1).Emit(OpIAdd).EmitU16(OpStore, 1).
+		Jump(OpJmp, "loop").
+		Label("done").Emit(OpIConst0).Emit(OpRet).MustBytes()
+	cls := buildClass("M", []Const{{Kind: ConstInt, Int: 100}}, Method{
+		Name: "alloc", Params: []VType{TInt}, Locals: []VType{TInt, TInt},
+		Return: TInt, MaxStack: 2, Code: code,
+	})
+	for _, jit := range []bool{false, true} {
+		vm := newTestVM(!jit)
+		lc := mustLoad(t, vm, fmt.Sprintf("m-%v", jit), cls)
+		_, _, err := lc.Call("alloc", []Value{IntVal(1024)}, &CallOptions{
+			Limits: Limits{MaxAllocBytes: 10 * 1024},
+		})
+		kind, ok := trapKind(err)
+		if !ok || kind != TrapMemory {
+			t.Errorf("jit=%v: err=%v, want memory trap", jit, err)
+		}
+		// Under the limit must succeed.
+		_, usage, err := lc.Call("alloc", []Value{IntVal(10)}, &CallOptions{
+			Limits: Limits{MaxAllocBytes: 10 * 1024},
+		})
+		if err != nil {
+			t.Errorf("jit=%v small alloc: %v", jit, err)
+		}
+		if usage.AllocBytes != 1000 {
+			t.Errorf("jit=%v AllocBytes = %d, want 1000", jit, usage.AllocBytes)
+		}
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	// infinite recursion: f() calls f().
+	code := NewAssembler().EmitU16(OpCall, 0).Emit(OpRet).MustBytes()
+	cls := buildClass("D", nil, Method{Name: "f", Return: TInt, MaxStack: 1, Code: code})
+	for _, jit := range []bool{false, true} {
+		vm := newTestVM(!jit)
+		lc := mustLoad(t, vm, fmt.Sprintf("d-%v", jit), cls)
+		_, usage, err := lc.Call("f", nil, &CallOptions{Limits: Limits{MaxCallDepth: 50}})
+		kind, ok := trapKind(err)
+		if !ok || kind != TrapDepth {
+			t.Errorf("jit=%v: err=%v, want depth trap", jit, err)
+		}
+		if usage.MaxDepth != 50 {
+			t.Errorf("jit=%v: MaxDepth=%d, want 50", jit, usage.MaxDepth)
+		}
+	}
+}
+
+// testCallback implements Callback over a byte slice.
+type testCallback struct {
+	data    []byte
+	touches int
+}
+
+func (c *testCallback) Size(handle int64) (int64, error) { return int64(len(c.data)), nil }
+func (c *testCallback) Get(handle, off int64) (byte, error) {
+	if off < 0 || off >= int64(len(c.data)) {
+		return 0, fmt.Errorf("offset %d out of range", off)
+	}
+	return c.data[off], nil
+}
+func (c *testCallback) Read(handle, off, n int64) ([]byte, error) {
+	if off < 0 || off+n > int64(len(c.data)) || n < 0 {
+		return nil, fmt.Errorf("range out of bounds")
+	}
+	out := make([]byte, n)
+	copy(out, c.data[off:])
+	return out, nil
+}
+func (c *testCallback) Touch(handle int64) error { c.touches++; return nil }
+
+func nativeClass() *Class {
+	consts := []Const{
+		{Kind: ConstStr, Str: "cb.size"},
+		{Kind: ConstStr, Str: "cb.get"},
+		{Kind: ConstStr, Str: "cb.touch"},
+		{Kind: ConstStr, Str: "file.open"},
+		{Kind: ConstStr, Str: "/etc/passwd"},
+		{Kind: ConstStr, Str: "cb.read"},
+	}
+	// size(handle) -> cb.size(handle)
+	sizeCode := NewAssembler().EmitU16(OpLoad, 0).EmitNative(0, 1).Emit(OpRet).MustBytes()
+	// get3(handle) -> cb.get(handle, 3)
+	getCode := NewAssembler().
+		EmitU16(OpLoad, 0).Emit(OpIConst1).Emit(OpIConst1).Emit(OpIAdd).Emit(OpIConst1).Emit(OpIAdd).
+		EmitNative(1, 2).Emit(OpRet).MustBytes()
+	// touchN(handle, n): call cb.touch n times, return 0.
+	touchCode := NewAssembler().
+		Emit(OpIConst0).EmitU16(OpStore, 2).
+		Label("loop").
+		EmitU16(OpLoad, 2).EmitU16(OpLoad, 1).Emit(OpILt).
+		Jump(OpJmpZ, "done").
+		EmitU16(OpLoad, 0).EmitNative(2, 1).Emit(OpPop).
+		EmitU16(OpLoad, 2).Emit(OpIConst1).Emit(OpIAdd).EmitU16(OpStore, 2).
+		Jump(OpJmp, "loop").
+		Label("done").Emit(OpIConst0).Emit(OpRet).MustBytes()
+	// evil(): file.open("/etc/passwd")
+	evilCode := NewAssembler().EmitU16(OpLdc, 4).EmitNative(3, 1).Emit(OpRet).MustBytes()
+	// readlen(handle): len(cb.read(handle, 1, 2))
+	readCode := NewAssembler().
+		EmitU16(OpLoad, 0).Emit(OpIConst1).Emit(OpIConst1).Emit(OpIConst1).Emit(OpIAdd).
+		EmitNative(5, 3).Emit(OpBLen).Emit(OpRet).MustBytes()
+	return buildClass("Native", consts,
+		Method{Name: "size", Params: []VType{TInt}, Locals: []VType{TInt}, Return: TInt, MaxStack: 2, Code: sizeCode},
+		Method{Name: "get3", Params: []VType{TInt}, Locals: []VType{TInt}, Return: TInt, MaxStack: 3, Code: getCode},
+		Method{Name: "touchN", Params: []VType{TInt, TInt}, Locals: []VType{TInt, TInt, TInt}, Return: TInt, MaxStack: 2, Code: touchCode},
+		Method{Name: "evil", Return: TInt, MaxStack: 1, Code: evilCode},
+		Method{Name: "readlen", Params: []VType{TInt}, Locals: []VType{TInt}, Return: TInt, MaxStack: 4, Code: readCode},
+	)
+}
+
+func TestNativeCallbacks(t *testing.T) {
+	for _, jit := range []bool{false, true} {
+		vm := New(Options{Security: DefaultPolicy(), DisableJIT: !jit})
+		lc := mustLoad(t, vm, "cb", nativeClass())
+		cb := &testCallback{data: []byte{10, 20, 30, 40, 50}}
+		opts := &CallOptions{Callback: cb}
+
+		ret, _, err := lc.Call("size", []Value{IntVal(1)}, opts)
+		if err != nil || ret.I != 5 {
+			t.Errorf("jit=%v size: %v, %v", jit, ret, err)
+		}
+		ret, _, err = lc.Call("get3", []Value{IntVal(1)}, opts)
+		if err != nil || ret.I != 40 {
+			t.Errorf("jit=%v get3: %v, %v", jit, ret, err)
+		}
+		ret, usage, err := lc.Call("touchN", []Value{IntVal(1), IntVal(7)}, opts)
+		if err != nil || ret.I != 0 {
+			t.Errorf("jit=%v touchN: %v, %v", jit, ret, err)
+		}
+		if usage.NativeCalls != 7 || cb.touches != 7 {
+			t.Errorf("jit=%v: NativeCalls=%d touches=%d, want 7", jit, usage.NativeCalls, cb.touches)
+		}
+		cb.touches = 0
+		ret, _, err = lc.Call("readlen", []Value{IntVal(1)}, opts)
+		if err != nil || ret.I != 2 {
+			t.Errorf("jit=%v readlen: %v, %v", jit, ret, err)
+		}
+	}
+}
+
+func TestSecurityManagerDeniesAndAudits(t *testing.T) {
+	policy := DefaultPolicy()
+	vm := New(Options{Security: policy})
+	lc := mustLoad(t, vm, "sec", nativeClass())
+	_, _, err := lc.Call("evil", nil, nil)
+	kind, ok := trapKind(err)
+	if !ok || kind != TrapSecurity {
+		t.Fatalf("evil: err=%v, want security trap", err)
+	}
+	audit := policy.Audit()
+	if len(audit) != 1 || !audit[0].Denied || audit[0].Class != "Native" || audit[0].Perm != PermFile {
+		t.Errorf("audit trail wrong: %+v", audit)
+	}
+	// A permissive policy lets the call through to the (unimplemented)
+	// native, which then fails as a native trap, not a security trap.
+	_, _, err = lc.Call("evil", nil, &CallOptions{Security: AllowAll()})
+	kind, ok = trapKind(err)
+	if !ok || kind != TrapNative {
+		t.Errorf("evil with AllowAll: err=%v, want native trap", err)
+	}
+}
+
+func TestCallbackWithoutHandlerTraps(t *testing.T) {
+	vm := New(Options{Security: DefaultPolicy()})
+	lc := mustLoad(t, vm, "nocb", nativeClass())
+	_, _, err := lc.Call("size", []Value{IntVal(1)}, nil)
+	kind, ok := trapKind(err)
+	if !ok || kind != TrapNative {
+		t.Errorf("err=%v, want native trap", err)
+	}
+}
+
+func TestCallArgValidation(t *testing.T) {
+	vm := newTestVM(false)
+	lc := mustLoad(t, vm, "args", buildClass("A", nil, addMethod()))
+	if _, _, err := lc.Call("add", []Value{IntVal(1)}, nil); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	if _, _, err := lc.Call("add", []Value{IntVal(1), FloatVal(2)}, nil); err == nil {
+		t.Error("wrong arg type should fail")
+	}
+	if _, _, err := lc.Call("nosuch", nil, nil); err == nil {
+		t.Error("missing method should fail")
+	}
+}
+
+func TestLoaderNamespaceIsolation(t *testing.T) {
+	vm := newTestVM(false)
+	c1 := buildClass("Dup", nil, addMethod())
+	c2 := buildClass("Dup", nil, sumLoopMethod())
+	if _, err := vm.NewLoader("alice").LoadClass(c1); err != nil {
+		t.Fatal(err)
+	}
+	// Same name in another namespace: fine.
+	if _, err := vm.NewLoader("bob").LoadClass(c2); err != nil {
+		t.Errorf("cross-namespace duplicate rejected: %v", err)
+	}
+	// Same name in the same namespace: rejected.
+	if _, err := vm.NewLoader("alice").LoadClass(c2); err == nil {
+		t.Error("same-namespace duplicate accepted")
+	}
+	// Lookups are namespace-scoped.
+	a, _ := vm.NewLoader("alice").Lookup("Dup")
+	b, _ := vm.NewLoader("bob").Lookup("Dup")
+	if a == nil || b == nil || a == b {
+		t.Error("namespaces not isolated")
+	}
+	if ns := vm.Namespaces(); len(ns) != 2 || ns[0] != "alice" || ns[1] != "bob" {
+		t.Errorf("Namespaces = %v", ns)
+	}
+	vm.NewLoader("alice").Unload("Dup")
+	if _, ok := vm.NewLoader("alice").Lookup("Dup"); ok {
+		t.Error("unload failed")
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	vm := newTestVM(false)
+	// Unresolved native.
+	badName := buildClass("L1", []Const{{Kind: ConstStr, Str: "no.such"}}, Method{
+		Name: "m", Return: TInt, MaxStack: 1,
+		Code: NewAssembler().EmitNative(0, 0).Emit(OpRet).MustBytes(),
+	})
+	if _, err := vm.NewLoader("l").LoadClass(badName); err == nil || !strings.Contains(err.Error(), "unresolved") {
+		t.Errorf("unresolved native: %v", err)
+	}
+	// Arity mismatch with the registry.
+	badArity := buildClass("L2", []Const{{Kind: ConstStr, Str: "cb.size"}}, Method{
+		Name: "m", Return: TInt, MaxStack: 2,
+		Code: NewAssembler().Emit(OpIConst0).Emit(OpIConst0).EmitNative(0, 2).Emit(OpRet).MustBytes(),
+	})
+	if _, err := vm.NewLoader("l").LoadClass(badArity); err == nil || !strings.Contains(err.Error(), "wants") {
+		t.Errorf("native arity: %v", err)
+	}
+}
+
+func TestClassFileRoundTrip(t *testing.T) {
+	c := buildClass("RT",
+		[]Const{
+			{Kind: ConstInt, Int: -99},
+			{Kind: ConstFloat, Float: 3.25},
+			{Kind: ConstStr, Str: "hello"},
+			{Kind: ConstBytes, Bytes: []byte{1, 2, 3}},
+		},
+		addMethod(), sumBytesMethod(),
+	)
+	data := EncodeClass(c)
+	got, err := DecodeClass(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "RT" || len(got.Consts) != 4 || len(got.Methods) != 2 {
+		t.Fatalf("decoded shape wrong: %+v", got)
+	}
+	if got.Consts[0].Int != -99 || got.Consts[1].Float != 3.25 ||
+		got.Consts[2].Str != "hello" || string(got.Consts[3].Bytes) != "\x01\x02\x03" {
+		t.Error("constants corrupted")
+	}
+	if got.Methods[1].Name != "sumbytes" || got.Methods[1].MaxStack != 3 {
+		t.Error("method metadata corrupted")
+	}
+	// The decoded class must load and run.
+	vm := newTestVM(false)
+	lc, err := vm.NewLoader("rt").Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, _, err := lc.Call("add", []Value{IntVal(2), IntVal(3)}, nil)
+	if err != nil || ret.I != 5 {
+		t.Errorf("decoded class misbehaves: %v, %v", ret, err)
+	}
+}
+
+func TestDecodeClassRejectsCorruption(t *testing.T) {
+	c := buildClass("C", []Const{{Kind: ConstStr, Str: "x"}}, addMethod())
+	data := EncodeClass(c)
+	if _, err := DecodeClass(data[:len(data)-3]); err == nil {
+		t.Error("truncated class accepted")
+	}
+	bad := append([]byte{}, data...)
+	bad[0] = 'X'
+	if _, err := DecodeClass(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := DecodeClass(append(data, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	if _, err := DecodeClass(make([]byte, MaxClassFileSize+1)); err == nil {
+		t.Error("oversized class accepted")
+	}
+}
+
+func TestDisassembler(t *testing.T) {
+	c := buildClass("Dis", []Const{{Kind: ConstStr, Str: "cb.size"}, {Kind: ConstInt, Int: 5}},
+		sumLoopMethod(),
+		Method{Name: "n", Params: []VType{TInt}, Locals: []VType{TInt}, Return: TInt, MaxStack: 2,
+			Code: NewAssembler().EmitU16(OpLoad, 0).EmitNative(0, 1).Emit(OpRet).MustBytes()},
+	)
+	out := Disassemble(c, &c.Methods[0])
+	for _, want := range []string{"sumloop", "load", "ilt", "jmpz", "ret", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+	out = Disassemble(c, &c.Methods[1])
+	if !strings.Contains(out, "cb.size/1") {
+		t.Errorf("native disassembly wrong:\n%s", out)
+	}
+}
+
+func TestBoundaryConversion(t *testing.T) {
+	cases := []struct {
+		in   types.Value
+		want Value
+	}{
+		{types.NewInt(5), IntVal(5)},
+		{types.NewFloat(2.5), FloatVal(2.5)},
+		{types.NewBool(true), IntVal(1)},
+		{types.NewBool(false), IntVal(0)},
+		{types.NewString("x"), StrVal("x")},
+		{types.NewBytes([]byte{7}), BytesVal([]byte{7})},
+	}
+	for _, c := range cases {
+		got, err := ToVM(c.in)
+		if err != nil || got.T != c.want.T || got.I != c.want.I {
+			t.Errorf("ToVM(%v) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ToVM(types.Null()); err == nil {
+		t.Error("NULL should not convert")
+	}
+	back, err := FromVM(IntVal(1), types.KindBool)
+	if err != nil || !back.Bool {
+		t.Errorf("FromVM bool: %v, %v", back, err)
+	}
+	if _, err := FromVM(StrVal("x"), types.KindInt); err == nil {
+		t.Error("type-mismatched FromVM should fail")
+	}
+	if v, err := FromVM(IntVal(3), types.KindFloat); err != nil || v.Float != 3 {
+		t.Errorf("int->float widening: %v, %v", v, err)
+	}
+}
+
+func TestForceInterpreterMatchesJIT(t *testing.T) {
+	vm := newTestVM(false) // JIT on
+	lc := mustLoad(t, vm, "fi", buildClass("FI", nil, sumLoopMethod(), fibMethodAt(1)))
+	for _, m := range []struct {
+		name string
+		arg  int64
+	}{{"sumloop", 500}, {"fib", 12}} {
+		a, _, err1 := lc.Call(m.name, []Value{IntVal(m.arg)}, nil)
+		b, _, err2 := lc.Call(m.name, []Value{IntVal(m.arg)}, &CallOptions{ForceInterpreter: true})
+		if err1 != nil || err2 != nil || a.I != b.I {
+			t.Errorf("%s: jit=%v(%v) interp=%v(%v)", m.name, a, err1, b, err2)
+		}
+	}
+}
+
+func TestMinInt64Division(t *testing.T) {
+	// MinInt64 / -1 must not panic the host (Go would); it wraps.
+	consts := []Const{{Kind: ConstInt, Int: -9223372036854775808}, {Kind: ConstInt, Int: -1}}
+	div := NewAssembler().EmitU16(OpLdc, 0).EmitU16(OpLdc, 1).Emit(OpIDiv).Emit(OpRet).MustBytes()
+	mod := NewAssembler().EmitU16(OpLdc, 0).EmitU16(OpLdc, 1).Emit(OpIMod).Emit(OpRet).MustBytes()
+	cls := buildClass("Min", consts,
+		Method{Name: "div", Return: TInt, MaxStack: 2, Code: div},
+		Method{Name: "mod", Return: TInt, MaxStack: 2, Code: mod},
+	)
+	for _, jit := range []bool{false, true} {
+		vm := newTestVM(!jit)
+		lc := mustLoad(t, vm, fmt.Sprintf("min-%v", jit), cls)
+		ret, _, err := lc.Call("div", nil, nil)
+		if err != nil || ret.I != -9223372036854775808 {
+			t.Errorf("jit=%v div: %v, %v", jit, ret, err)
+		}
+		ret, _, err = lc.Call("mod", nil, nil)
+		if err != nil || ret.I != 0 {
+			t.Errorf("jit=%v mod: %v, %v", jit, ret, err)
+		}
+	}
+}

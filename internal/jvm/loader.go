@@ -1,0 +1,235 @@
+package jvm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// instr is a pre-decoded instruction. Jump targets are rewritten from
+// byte offsets to instruction indexes at load time.
+type instr struct {
+	op Opcode
+	a  int32 // cp index / local / jump target (instr index) / method / native index
+	b  int32 // argc (native only)
+}
+
+// loadedMethod is a verified, pre-decoded, possibly JIT-compiled method.
+type loadedMethod struct {
+	m       *Method
+	instrs  []instr
+	natives []*NativeEntry // indexed by instr.a of OpNative
+	jit     []jitOp        // nil when the loader's VM has JIT disabled
+}
+
+// LoadedClass is a verified class bound to a loader namespace, ready to
+// execute. It is immutable after loading and safe for concurrent calls.
+type LoadedClass struct {
+	class  *Class
+	loader *ClassLoader
+	meths  []loadedMethod
+}
+
+// Name returns the class name.
+func (lc *LoadedClass) Name() string { return lc.class.Name }
+
+// Class returns the underlying class definition (read-only).
+func (lc *LoadedClass) Class() *Class { return lc.class }
+
+// HasMethod reports whether the class defines the named method.
+func (lc *LoadedClass) HasMethod(name string) bool {
+	return lc.class.MethodIndex(name) >= 0
+}
+
+// VM hosts class loaders and executes Jaguar code. One VM is embedded
+// in the database server at startup (the paper: "a single JVM is
+// created when the database server starts up").
+type VM struct {
+	natives  *NativeRegistry
+	security SecurityManager
+	useJIT   bool
+
+	mu      sync.Mutex
+	loaders map[string]*ClassLoader
+}
+
+// Options configures a VM.
+type Options struct {
+	// Natives is the native API exposed to loaded classes. Nil means
+	// the built-in registry.
+	Natives *NativeRegistry
+	// Security is consulted on every native call. Nil means the
+	// default deny-mostly policy.
+	Security SecurityManager
+	// DisableJIT forces pure interpretation (the "no JIT" ablation).
+	DisableJIT bool
+}
+
+// New creates a VM.
+func New(opts Options) *VM {
+	n := opts.Natives
+	if n == nil {
+		n = NewNativeRegistry()
+	}
+	s := opts.Security
+	if s == nil {
+		s = DefaultPolicy()
+	}
+	return &VM{
+		natives:  n,
+		security: s,
+		useJIT:   !opts.DisableJIT,
+		loaders:  make(map[string]*ClassLoader),
+	}
+}
+
+// Security returns the VM's security manager.
+func (vm *VM) Security() SecurityManager { return vm.security }
+
+// ClassLoader loads classes into an isolated namespace. Two loaders may
+// hold classes with the same name without interference; a UDF loaded by
+// one loader cannot name or reach classes of another (paper §6.1's
+// class-loader isolation).
+type ClassLoader struct {
+	vm        *VM
+	namespace string
+
+	mu      sync.Mutex
+	classes map[string]*LoadedClass
+}
+
+// NewLoader creates (or returns the existing) loader for a namespace.
+// Use one namespace per UDF principal.
+func (vm *VM) NewLoader(namespace string) *ClassLoader {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	if l, ok := vm.loaders[namespace]; ok {
+		return l
+	}
+	l := &ClassLoader{vm: vm, namespace: namespace, classes: make(map[string]*LoadedClass)}
+	vm.loaders[namespace] = l
+	return l
+}
+
+// Namespaces lists the loader namespaces currently present.
+func (vm *VM) Namespaces() []string {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	out := make([]string, 0, len(vm.loaders))
+	for ns := range vm.loaders {
+		out = append(out, ns)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Namespace returns the loader's namespace name.
+func (l *ClassLoader) Namespace() string { return l.namespace }
+
+// Load verifies, links and installs a class from class-file bytes. The
+// pipeline is exactly the paper's: parse -> bytecode verify -> link
+// natives -> (JIT) compile. Any failure rejects the class entirely.
+func (l *ClassLoader) Load(data []byte) (*LoadedClass, error) {
+	c, err := DecodeClass(data)
+	if err != nil {
+		return nil, err
+	}
+	return l.LoadClass(c)
+}
+
+// LoadClass installs an in-memory class definition. It is verified and
+// linked exactly like file bytes; there is no trusted path around the
+// verifier. The class must not be mutated after loading.
+func (l *ClassLoader) LoadClass(c *Class) (*LoadedClass, error) {
+	if err := c.Verify(); err != nil {
+		return nil, err
+	}
+	lc := &LoadedClass{class: c, loader: l, meths: make([]loadedMethod, len(c.Methods))}
+	for i := range c.Methods {
+		lm, err := l.link(c, &c.Methods[i])
+		if err != nil {
+			return nil, err
+		}
+		lc.meths[i] = lm
+	}
+	if l.vm.useJIT {
+		for i := range lc.meths {
+			lc.meths[i].jit = compileJIT(lc, &lc.meths[i])
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.classes[c.Name]; dup {
+		return nil, fmt.Errorf("jvm: class %q already loaded in namespace %q", c.Name, l.namespace)
+	}
+	l.classes[c.Name] = lc
+	return lc, nil
+}
+
+// Lookup finds a class previously loaded in this namespace.
+func (l *ClassLoader) Lookup(name string) (*LoadedClass, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lc, ok := l.classes[name]
+	return lc, ok
+}
+
+// Unload removes a class from the namespace.
+func (l *ClassLoader) Unload(name string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.classes, name)
+}
+
+// link pre-decodes a verified method's code and resolves its native
+// references against the VM registry.
+func (l *ClassLoader) link(c *Class, m *Method) (loadedMethod, error) {
+	lm := loadedMethod{m: m}
+	// First pass: instruction starts -> instruction indexes.
+	byteToIdx := make(map[int]int32)
+	pc := 0
+	for pc < len(m.Code) {
+		op := Opcode(m.Code[pc])
+		byteToIdx[pc] = int32(len(byteToIdx))
+		pc += 1 + op.OperandBytes()
+	}
+	// Second pass: decode.
+	pc = 0
+	for pc < len(m.Code) {
+		op := Opcode(m.Code[pc])
+		in := instr{op: op}
+		next := pc + 1 + op.OperandBytes()
+		switch op {
+		case OpLdc, OpLoad, OpStore, OpCall:
+			in.a = int32(binary.LittleEndian.Uint16(m.Code[pc+1:]))
+		case OpJmp, OpJmpZ, OpJmpN:
+			rel := int32(binary.LittleEndian.Uint32(m.Code[pc+1:]))
+			target := next + int(rel)
+			idx, ok := byteToIdx[target]
+			if !ok {
+				return lm, fmt.Errorf("jvm: link %s.%s: jump target %d is not an instruction", c.Name, m.Name, target)
+			}
+			in.a = idx
+		case OpNative:
+			cpIdx := int(binary.LittleEndian.Uint16(m.Code[pc+1:]))
+			argc := int32(m.Code[pc+3])
+			name := c.Consts[cpIdx].Str
+			entry, ok := l.vm.natives.Lookup(name)
+			if !ok {
+				return lm, fmt.Errorf("jvm: link %s.%s: unresolved native function %q", c.Name, m.Name, name)
+			}
+			if int(argc) != len(entry.Params) {
+				return lm, fmt.Errorf("jvm: link %s.%s: native %q called with %d args, wants %d",
+					c.Name, m.Name, name, argc, len(entry.Params))
+			}
+			in.a = int32(len(lm.natives))
+			in.b = argc
+			lm.natives = append(lm.natives, entry)
+			m.NativeRef = append(m.NativeRef, name)
+		}
+		lm.instrs = append(lm.instrs, in)
+		pc = next
+	}
+	return lm, nil
+}

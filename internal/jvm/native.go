@@ -1,0 +1,194 @@
+package jvm
+
+import (
+	"fmt"
+	"time"
+)
+
+// Value is a Jaguar VM runtime value: a small tagged union sized for
+// fast stack traffic inside the interpreter and JIT.
+type Value struct {
+	T VType
+	I int64
+	F float64
+	S string
+	B []byte
+}
+
+// IntVal builds an int value.
+func IntVal(i int64) Value { return Value{T: TInt, I: i} }
+
+// FloatVal builds a float value.
+func FloatVal(f float64) Value { return Value{T: TFloat, F: f} }
+
+// StrVal builds a string value.
+func StrVal(s string) Value { return Value{T: TStr, S: s} }
+
+// BytesVal builds a byte-array value (aliased, not copied).
+func BytesVal(b []byte) Value { return Value{T: TBytes, B: b} }
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.T {
+	case TInt:
+		return fmt.Sprintf("%d", v.I)
+	case TFloat:
+		return fmt.Sprintf("%g", v.F)
+	case TStr:
+		return fmt.Sprintf("%q", v.S)
+	case TBytes:
+		return fmt.Sprintf("bytes[%d]", len(v.B))
+	default:
+		return "?"
+	}
+}
+
+// Callback is the server-side interface a UDF reaches through native
+// calls (the paper's "callbacks": a UDF given a handle to a large
+// object asks the server for the pieces it needs).
+type Callback interface {
+	// Size returns the total size of the object behind handle.
+	Size(handle int64) (int64, error)
+	// Get returns one byte of the object.
+	Get(handle, offset int64) (byte, error)
+	// Read returns a range of the object.
+	Read(handle, offset, length int64) ([]byte, error)
+	// Touch is a pure boundary crossing carrying no data; the Fig. 8
+	// experiment uses it to isolate the cost of the crossing itself.
+	Touch(handle int64) error
+}
+
+// NativeCtx carries per-invocation context into native functions.
+type NativeCtx struct {
+	ClassName string
+	Security  SecurityManager
+	Callback  Callback
+	Logf      func(format string, args ...any)
+	// account charges an allocation against the invocation's memory
+	// budget; native functions that materialize data must call it.
+	account func(bytes int64) error
+}
+
+// NativeFunc implements one native entry point callable from bytecode.
+type NativeFunc func(ctx *NativeCtx, args []Value) (Value, error)
+
+// NativeEntry describes a registered native function: its implementation,
+// required permission, and signature (checked at call time, like JNI).
+type NativeEntry struct {
+	Name   string
+	Perm   Permission
+	Params []VType
+	Result VType
+	Fn     NativeFunc
+}
+
+// NativeRegistry maps native function names to entries. The registry is
+// fixed at VM construction; class loading fails if a class references
+// an unregistered native ("link error"), so verified classes can only
+// ever reach registered entry points.
+type NativeRegistry struct {
+	entries map[string]*NativeEntry
+}
+
+// NewNativeRegistry returns a registry with the built-in API installed.
+func NewNativeRegistry() *NativeRegistry {
+	r := &NativeRegistry{entries: make(map[string]*NativeEntry)}
+	r.registerBuiltins()
+	return r
+}
+
+// Register adds or replaces a native entry.
+func (r *NativeRegistry) Register(e *NativeEntry) {
+	r.entries[e.Name] = e
+}
+
+// Lookup resolves a native name.
+func (r *NativeRegistry) Lookup(name string) (*NativeEntry, bool) {
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+func (r *NativeRegistry) registerBuiltins() {
+	r.Register(&NativeEntry{
+		Name: "cb.size", Perm: PermCallback,
+		Params: []VType{TInt}, Result: TInt,
+		Fn: func(ctx *NativeCtx, args []Value) (Value, error) {
+			if ctx.Callback == nil {
+				return Value{}, fmt.Errorf("no callback handler installed")
+			}
+			n, err := ctx.Callback.Size(args[0].I)
+			return IntVal(n), err
+		},
+	})
+	r.Register(&NativeEntry{
+		Name: "cb.get", Perm: PermCallback,
+		Params: []VType{TInt, TInt}, Result: TInt,
+		Fn: func(ctx *NativeCtx, args []Value) (Value, error) {
+			if ctx.Callback == nil {
+				return Value{}, fmt.Errorf("no callback handler installed")
+			}
+			b, err := ctx.Callback.Get(args[0].I, args[1].I)
+			return IntVal(int64(b)), err
+		},
+	})
+	r.Register(&NativeEntry{
+		Name: "cb.read", Perm: PermCallback,
+		Params: []VType{TInt, TInt, TInt}, Result: TBytes,
+		Fn: func(ctx *NativeCtx, args []Value) (Value, error) {
+			if ctx.Callback == nil {
+				return Value{}, fmt.Errorf("no callback handler installed")
+			}
+			data, err := ctx.Callback.Read(args[0].I, args[1].I, args[2].I)
+			if err != nil {
+				return Value{}, err
+			}
+			if err := ctx.account(int64(len(data))); err != nil {
+				return Value{}, err
+			}
+			return BytesVal(data), nil
+		},
+	})
+	r.Register(&NativeEntry{
+		Name: "cb.touch", Perm: PermCallback,
+		Params: []VType{TInt}, Result: TInt,
+		Fn: func(ctx *NativeCtx, args []Value) (Value, error) {
+			if ctx.Callback == nil {
+				return Value{}, fmt.Errorf("no callback handler installed")
+			}
+			return IntVal(0), ctx.Callback.Touch(args[0].I)
+		},
+	})
+	r.Register(&NativeEntry{
+		Name: "sys.log", Perm: PermLog,
+		Params: []VType{TStr}, Result: TInt,
+		Fn: func(ctx *NativeCtx, args []Value) (Value, error) {
+			if ctx.Logf != nil {
+				ctx.Logf("[%s] %s", ctx.ClassName, args[0].S)
+			}
+			return IntVal(0), nil
+		},
+	})
+	r.Register(&NativeEntry{
+		Name: "sys.time", Perm: PermTime,
+		Params: nil, Result: TInt,
+		Fn: func(ctx *NativeCtx, args []Value) (Value, error) {
+			return IntVal(time.Now().UnixNano()), nil
+		},
+	})
+	// file.* exist so the security manager has something meaningful to
+	// deny; the default policy never grants PermFile to UDFs.
+	r.Register(&NativeEntry{
+		Name: "file.open", Perm: PermFile,
+		Params: []VType{TStr}, Result: TInt,
+		Fn: func(ctx *NativeCtx, args []Value) (Value, error) {
+			return Value{}, fmt.Errorf("file access is not implemented for UDFs")
+		},
+	})
+	r.Register(&NativeEntry{
+		Name: "file.write", Perm: PermFile,
+		Params: []VType{TInt, TBytes}, Result: TInt,
+		Fn: func(ctx *NativeCtx, args []Value) (Value, error) {
+			return Value{}, fmt.Errorf("file access is not implemented for UDFs")
+		},
+	})
+}

@@ -1,0 +1,117 @@
+package jvm
+
+import (
+	"fmt"
+	"math"
+)
+
+// TrapKind classifies run-time traps raised by Jaguar code. Traps are
+// always contained: they abort the UDF invocation with an error and
+// never damage the hosting server (the paper's central security goal).
+type TrapKind uint8
+
+// Trap kinds.
+const (
+	TrapBounds   TrapKind = iota // array index out of range
+	TrapDivZero                  // integer division or modulo by zero
+	TrapValue                    // value out of domain (e.g. byte store > 255)
+	TrapFuel                     // instruction budget exhausted
+	TrapMemory                   // allocation budget exhausted
+	TrapDepth                    // call depth exceeded
+	TrapSecurity                 // security manager denied an operation
+	TrapNative                   // a native function reported an error
+)
+
+// String names the trap kind.
+func (k TrapKind) String() string {
+	switch k {
+	case TrapBounds:
+		return "bounds"
+	case TrapDivZero:
+		return "divide-by-zero"
+	case TrapValue:
+		return "value"
+	case TrapFuel:
+		return "fuel"
+	case TrapMemory:
+		return "memory"
+	case TrapDepth:
+		return "call-depth"
+	case TrapSecurity:
+		return "security"
+	case TrapNative:
+		return "native"
+	default:
+		return fmt.Sprintf("trap(%d)", uint8(k))
+	}
+}
+
+// Trap is a contained run-time failure of Jaguar code.
+type Trap struct {
+	Kind   TrapKind
+	Class  string
+	Method string
+	Detail string
+}
+
+// Error implements the error interface.
+func (t *Trap) Error() string {
+	return fmt.Sprintf("jvm: %s trap in %s.%s: %s", t.Kind, t.Class, t.Method, t.Detail)
+}
+
+// Limits is the per-invocation resource policy. The zero value means
+// "unlimited", matching the paper's observation that 1998 JVMs had no
+// resource management; production deployments should always set it.
+type Limits struct {
+	// Fuel bounds the number of VM instructions executed (0 = unlimited).
+	Fuel int64
+	// MaxAllocBytes bounds bytes allocated by bnew/sconcat/cb.read
+	// (0 = unlimited).
+	MaxAllocBytes int64
+	// MaxCallDepth bounds method-call nesting (0 = default of 256).
+	MaxCallDepth int
+}
+
+// DefaultCallDepth is used when Limits.MaxCallDepth is zero.
+const DefaultCallDepth = 256
+
+// Usage reports the resources a UDF invocation actually consumed; it is
+// the accounting side of the paper's §6.2 proposal (J-Kernel style).
+type Usage struct {
+	Instructions int64
+	AllocBytes   int64
+	NativeCalls  int64
+	MaxDepth     int
+}
+
+// Add accumulates another usage record (for per-query aggregation).
+func (u *Usage) Add(o Usage) {
+	u.Instructions += o.Instructions
+	u.AllocBytes += o.AllocBytes
+	u.NativeCalls += o.NativeCalls
+	if o.MaxDepth > u.MaxDepth {
+		u.MaxDepth = o.MaxDepth
+	}
+}
+
+// fuelBudget converts a Limits fuel figure to an internal countdown.
+func (l Limits) fuelBudget() int64 {
+	if l.Fuel <= 0 {
+		return math.MaxInt64
+	}
+	return l.Fuel
+}
+
+func (l Limits) memBudget() int64 {
+	if l.MaxAllocBytes <= 0 {
+		return math.MaxInt64
+	}
+	return l.MaxAllocBytes
+}
+
+func (l Limits) depthBudget() int {
+	if l.MaxCallDepth <= 0 {
+		return DefaultCallDepth
+	}
+	return l.MaxCallDepth
+}

@@ -1,0 +1,107 @@
+package jvm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Permission names a guarded capability that a native function requires.
+type Permission string
+
+// The built-in permissions.
+const (
+	PermCallback Permission = "callback" // talk back to the database server
+	PermLog      Permission = "log"      // emit log lines
+	PermTime     Permission = "time"     // read the wall clock
+	PermFile     Permission = "file"     // file system access (denied by default)
+)
+
+// SecurityManager is consulted on every native call, mirroring the Java
+// security manager the paper describes in §6.1. Implementations must be
+// safe for concurrent use.
+type SecurityManager interface {
+	// Check returns nil to permit the operation. class identifies the
+	// calling UDF class (for auditing), detail the specific operation.
+	Check(class string, perm Permission, detail string) error
+}
+
+// AuditEntry records a security decision for later inspection — the
+// auditing capability the paper notes Java lacked.
+type AuditEntry struct {
+	Time   time.Time
+	Class  string
+	Perm   Permission
+	Detail string
+	Denied bool
+}
+
+// Policy is the standard SecurityManager: an allow-list of permissions
+// with an audit trail of denials (and optionally of grants).
+type Policy struct {
+	mu       sync.Mutex
+	allowed  map[Permission]bool
+	audit    []AuditEntry
+	auditAll bool
+	maxAudit int
+}
+
+// NewPolicy builds a policy allowing exactly the given permissions.
+func NewPolicy(allowed ...Permission) *Policy {
+	p := &Policy{allowed: make(map[Permission]bool, len(allowed)), maxAudit: 10000}
+	for _, a := range allowed {
+		p.allowed[a] = true
+	}
+	return p
+}
+
+// DefaultPolicy returns the server's default UDF policy: callbacks and
+// logging are permitted; the clock and the file system are not.
+func DefaultPolicy() *Policy {
+	return NewPolicy(PermCallback, PermLog)
+}
+
+// AuditAll makes the policy record granted operations too, not just
+// denials.
+func (p *Policy) AuditAll() *Policy {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.auditAll = true
+	return p
+}
+
+// Check implements SecurityManager.
+func (p *Policy) Check(class string, perm Permission, detail string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ok := p.allowed[perm]
+	if !ok || p.auditAll {
+		if len(p.audit) < p.maxAudit {
+			p.audit = append(p.audit, AuditEntry{
+				Time: time.Now(), Class: class, Perm: perm, Detail: detail, Denied: !ok,
+			})
+		}
+	}
+	if !ok {
+		return fmt.Errorf("permission %q denied for class %q (%s)", perm, class, detail)
+	}
+	return nil
+}
+
+// Audit returns a copy of the audit trail.
+func (p *Policy) Audit() []AuditEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]AuditEntry, len(p.audit))
+	copy(out, p.audit)
+	return out
+}
+
+// allowAllManager permits everything; used for trusted code and tests.
+type allowAllManager struct{}
+
+func (allowAllManager) Check(string, Permission, string) error { return nil }
+
+// AllowAll returns a SecurityManager that permits every operation.
+// Only use it for trusted, server-owned classes.
+func AllowAll() SecurityManager { return allowAllManager{} }

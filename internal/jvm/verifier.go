@@ -1,0 +1,404 @@
+package jvm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MaxStackLimit bounds the per-method operand stack the verifier will
+// accept, independent of what the class file declares.
+const MaxStackLimit = 4096
+
+// MaxLocalsLimit bounds per-method local-variable counts.
+const MaxLocalsLimit = 4096
+
+// VerifyError describes a verification failure with its location.
+type VerifyError struct {
+	Class  string
+	Method string
+	PC     int
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("jvm: verify %s.%s at pc %d: %s", e.Class, e.Method, e.PC, e.Reason)
+}
+
+// Verify checks every method of the class: opcode validity, operand
+// bounds, jump-target alignment, constant-pool and local indexes,
+// operand-stack typing (by abstract interpretation with a worklist),
+// declared stack bounds, and that no path falls off the end of the
+// code. A class that passes Verify cannot underflow or overflow its
+// stack, cannot read or write out-of-range locals, and can only fail
+// at run time with the checked traps (bounds, division, resources).
+func (c *Class) Verify() error {
+	if c.Name == "" {
+		return fmt.Errorf("jvm: verify: class has no name")
+	}
+	if len(c.Methods) == 0 {
+		return fmt.Errorf("jvm: verify %s: class has no methods", c.Name)
+	}
+	for i := range c.Methods {
+		if err := verifyMethod(c, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// instruction boundaries: pc -> true if an instruction starts there.
+func instructionStarts(code []byte) (map[int]bool, error) {
+	starts := make(map[int]bool)
+	pc := 0
+	for pc < len(code) {
+		op := Opcode(code[pc])
+		if !op.Valid() {
+			return nil, fmt.Errorf("invalid opcode %d at pc %d", code[pc], pc)
+		}
+		starts[pc] = true
+		pc += 1 + op.OperandBytes()
+	}
+	if pc != len(code) {
+		return nil, fmt.Errorf("truncated instruction at end of code")
+	}
+	return starts, nil
+}
+
+func verifyMethod(c *Class, mi int) error {
+	m := &c.Methods[mi]
+	fail := func(pc int, format string, args ...any) error {
+		return &VerifyError{Class: c.Name, Method: m.Name, PC: pc, Reason: fmt.Sprintf(format, args...)}
+	}
+	if len(m.Code) == 0 {
+		return fail(0, "empty code")
+	}
+	if m.MaxStack < 0 || m.MaxStack > MaxStackLimit {
+		return fail(0, "declared max stack %d out of range", m.MaxStack)
+	}
+	if len(m.Locals) > MaxLocalsLimit {
+		return fail(0, "%d locals exceed the limit", len(m.Locals))
+	}
+	if len(m.Params) > len(m.Locals) {
+		return fail(0, "%d params but only %d locals", len(m.Params), len(m.Locals))
+	}
+	for i, p := range m.Params {
+		if m.Locals[i] != p {
+			return fail(0, "local %d type %s does not match param type %s", i, m.Locals[i], p)
+		}
+	}
+	for i, l := range m.Locals {
+		if l > TBytes {
+			return fail(0, "local %d has invalid type %d", i, l)
+		}
+	}
+	if m.Return > TBytes {
+		return fail(0, "invalid return type %d", m.Return)
+	}
+
+	starts, err := instructionStarts(m.Code)
+	if err != nil {
+		return fail(0, "%s", err)
+	}
+
+	// Abstract interpretation. entry[pc] holds the stack-type state at
+	// the entry of each reachable instruction.
+	entry := make(map[int][]VType)
+	entry[0] = []VType{}
+	work := []int{0}
+
+	// push a successor state; states at join points must agree exactly.
+	flow := func(pc int, state []VType) error {
+		if !starts[pc] {
+			return fail(pc, "jump or fall-through into the middle of an instruction")
+		}
+		if prev, seen := entry[pc]; seen {
+			if len(prev) != len(state) {
+				return fail(pc, "inconsistent stack depth at join (%d vs %d)", len(prev), len(state))
+			}
+			for i := range prev {
+				if prev[i] != state[i] {
+					return fail(pc, "inconsistent stack type at join slot %d (%s vs %s)", i, prev[i], state[i])
+				}
+			}
+			return nil
+		}
+		entry[pc] = state
+		work = append(work, pc)
+		return nil
+	}
+
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		// Copy the entry state into a mutable stack.
+		stack := append([]VType(nil), entry[pc]...)
+		op := Opcode(m.Code[pc])
+		next := pc + 1 + op.OperandBytes()
+
+		pop := func(want VType) error {
+			if len(stack) == 0 {
+				return fail(pc, "%s: stack underflow", op.Name())
+			}
+			got := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if got != want {
+				return fail(pc, "%s: expected %s on stack, found %s", op.Name(), want, got)
+			}
+			return nil
+		}
+		popAny := func() (VType, error) {
+			if len(stack) == 0 {
+				return 0, fail(pc, "%s: stack underflow", op.Name())
+			}
+			got := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			return got, nil
+		}
+		push := func(t VType) error {
+			stack = append(stack, t)
+			if len(stack) > m.MaxStack {
+				return fail(pc, "%s: stack grows past declared max %d", op.Name(), m.MaxStack)
+			}
+			return nil
+		}
+		u16 := func() int { return int(binary.LittleEndian.Uint16(m.Code[pc+1:])) }
+		rel := func() int {
+			return next + int(int32(binary.LittleEndian.Uint32(m.Code[pc+1:])))
+		}
+
+		var verr error
+		binaryOp := func(t VType) {
+			if verr == nil {
+				verr = pop(t)
+			}
+			if verr == nil {
+				verr = pop(t)
+			}
+			if verr == nil {
+				verr = push(t)
+			}
+		}
+		compareOp := func(t VType) {
+			if verr == nil {
+				verr = pop(t)
+			}
+			if verr == nil {
+				verr = pop(t)
+			}
+			if verr == nil {
+				verr = push(TInt)
+			}
+		}
+		terminal := false
+
+		switch op {
+		case OpNop:
+		case OpLdc:
+			idx := u16()
+			if idx >= len(c.Consts) {
+				return fail(pc, "ldc: constant index %d out of range (%d consts)", idx, len(c.Consts))
+			}
+			verr = push(c.Consts[idx].VType())
+		case OpIConst0, OpIConst1:
+			verr = push(TInt)
+		case OpDup:
+			if len(stack) == 0 {
+				return fail(pc, "dup: stack underflow")
+			}
+			verr = push(stack[len(stack)-1])
+		case OpPop:
+			_, verr = popAny()
+		case OpSwap:
+			if len(stack) < 2 {
+				return fail(pc, "swap: stack underflow")
+			}
+			stack[len(stack)-1], stack[len(stack)-2] = stack[len(stack)-2], stack[len(stack)-1]
+		case OpLoad:
+			idx := u16()
+			if idx >= len(m.Locals) {
+				return fail(pc, "load: local %d out of range (%d locals)", idx, len(m.Locals))
+			}
+			verr = push(m.Locals[idx])
+		case OpStore:
+			idx := u16()
+			if idx >= len(m.Locals) {
+				return fail(pc, "store: local %d out of range (%d locals)", idx, len(m.Locals))
+			}
+			verr = pop(m.Locals[idx])
+		case OpIAdd, OpISub, OpIMul, OpIDiv, OpIMod:
+			binaryOp(TInt)
+		case OpINeg:
+			verr = pop(TInt)
+			if verr == nil {
+				verr = push(TInt)
+			}
+		case OpFAdd, OpFSub, OpFMul, OpFDiv:
+			binaryOp(TFloat)
+		case OpFNeg:
+			verr = pop(TFloat)
+			if verr == nil {
+				verr = push(TFloat)
+			}
+		case OpI2F:
+			verr = pop(TInt)
+			if verr == nil {
+				verr = push(TFloat)
+			}
+		case OpF2I:
+			verr = pop(TFloat)
+			if verr == nil {
+				verr = push(TInt)
+			}
+		case OpIEq, OpINe, OpILt, OpILe, OpIGt, OpIGe:
+			compareOp(TInt)
+		case OpFEq, OpFNe, OpFLt, OpFLe, OpFGt, OpFGe:
+			compareOp(TFloat)
+		case OpSEq:
+			compareOp(TStr)
+		case OpSLen:
+			verr = pop(TStr)
+			if verr == nil {
+				verr = push(TInt)
+			}
+		case OpSConcat:
+			verr = pop(TStr)
+			if verr == nil {
+				verr = pop(TStr)
+			}
+			if verr == nil {
+				verr = push(TStr)
+			}
+		case OpBLen:
+			verr = pop(TBytes)
+			if verr == nil {
+				verr = push(TInt)
+			}
+		case OpBGet:
+			verr = pop(TInt)
+			if verr == nil {
+				verr = pop(TBytes)
+			}
+			if verr == nil {
+				verr = push(TInt)
+			}
+		case OpBSet:
+			verr = pop(TInt) // value
+			if verr == nil {
+				verr = pop(TInt) // index
+			}
+			if verr == nil {
+				verr = pop(TBytes)
+			}
+		case OpBNew:
+			verr = pop(TInt)
+			if verr == nil {
+				verr = push(TBytes)
+			}
+		case OpBEq:
+			compareOp(TBytes)
+		case OpNot:
+			verr = pop(TInt)
+			if verr == nil {
+				verr = push(TInt)
+			}
+		case OpJmp:
+			target := rel()
+			if target < 0 || target >= len(m.Code) {
+				return fail(pc, "jmp: target %d out of range", target)
+			}
+			if err := flow(target, stack); err != nil {
+				return err
+			}
+			terminal = true
+		case OpJmpZ, OpJmpN:
+			verr = pop(TInt)
+			if verr == nil {
+				target := rel()
+				if target < 0 || target >= len(m.Code) {
+					return fail(pc, "%s: target %d out of range", op.Name(), target)
+				}
+				if err := flow(target, stack); err != nil {
+					return err
+				}
+			}
+		case OpCall:
+			idx := u16()
+			if idx >= len(c.Methods) {
+				return fail(pc, "call: method index %d out of range", idx)
+			}
+			callee := &c.Methods[idx]
+			for i := len(callee.Params) - 1; i >= 0; i-- {
+				if verr == nil {
+					verr = pop(callee.Params[i])
+				}
+			}
+			if verr == nil {
+				verr = push(callee.Return)
+			}
+		case OpNative:
+			idx := u16()
+			argc := int(m.Code[pc+3])
+			if idx >= len(c.Consts) || c.Consts[idx].Kind != ConstStr {
+				return fail(pc, "native: constant %d is not a string name", idx)
+			}
+			// Native signatures are dynamic at the VM level (like JNI);
+			// we only verify arity against the stack and let the native
+			// registry type-check at link/call time. Arguments may be
+			// any type; the result is typed by convention from the name
+			// registry, checked by the loader. Here: pop argc, push int
+			// unless the loader recorded a different result type — the
+			// verifier uses the conservative NativeResultType hook.
+			for i := 0; i < argc; i++ {
+				if _, err := popAny(); err != nil {
+					return err
+				}
+			}
+			verr = push(nativeResultType(c.Consts[idx].Str))
+		case OpRet:
+			verr = pop(m.Return)
+			if verr == nil && len(stack) != 0 {
+				return fail(pc, "ret with %d values left on stack", len(stack))
+			}
+			terminal = true
+		default:
+			return fail(pc, "unhandled opcode %s", op.Name())
+		}
+		if verr != nil {
+			return verr
+		}
+		if !terminal {
+			if next >= len(m.Code) {
+				return fail(pc, "control falls off the end of the code")
+			}
+			if err := flow(next, stack); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// nativeResultType gives the verifier the result type of well-known
+// native functions. Unknown natives default to int; the loader rejects
+// natives that are not registered, so this default can never cause an
+// unsound execution — linking fails first.
+func nativeResultType(name string) VType {
+	if t, ok := nativeSignatures[name]; ok {
+		return t
+	}
+	return TInt
+}
+
+// nativeSignatures lists result types of the built-in native API that
+// UDFs may call (subject to the security manager).
+var nativeSignatures = map[string]VType{
+	"cb.size":    TInt,   // cb.size(handle) -> total object size
+	"cb.get":     TInt,   // cb.get(handle, offset) -> byte value
+	"cb.read":    TBytes, // cb.read(handle, offset, len) -> bytes
+	"cb.touch":   TInt,   // cb.touch(handle) -> 0; pure boundary crossing
+	"sys.log":    TInt,   // sys.log(str) -> 0
+	"sys.time":   TInt,   // sys.time() -> wall clock nanos (often denied)
+	"file.open":  TInt,   // always denied by default policy; exists to test the security manager
+	"file.write": TInt,   // likewise
+}

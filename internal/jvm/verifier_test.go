@@ -1,0 +1,292 @@
+package jvm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// mustFailVerify asserts the class is rejected with a message containing
+// wantSubstr.
+func mustFailVerify(t *testing.T, c *Class, wantSubstr string) {
+	t.Helper()
+	err := c.Verify()
+	if err == nil {
+		t.Fatalf("class %q verified, want failure containing %q", c.Name, wantSubstr)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Errorf("error %q does not contain %q", err, wantSubstr)
+	}
+}
+
+func m1(name string, ret VType, maxStack int, code []byte, locals ...VType) Method {
+	return Method{Name: name, Return: ret, Locals: locals, MaxStack: maxStack, Code: code}
+}
+
+func TestVerifyRejectsInvalidOpcode(t *testing.T) {
+	c := buildClass("V", nil, m1("m", TInt, 1, []byte{0xEE}))
+	mustFailVerify(t, c, "invalid opcode")
+}
+
+func TestVerifyRejectsTruncatedInstruction(t *testing.T) {
+	// ldc with only one operand byte.
+	c := buildClass("V", nil, m1("m", TInt, 1, []byte{byte(OpLdc), 0x00}))
+	mustFailVerify(t, c, "truncated")
+}
+
+func TestVerifyRejectsStackUnderflow(t *testing.T) {
+	code := NewAssembler().Emit(OpIAdd).Emit(OpRet).MustBytes()
+	mustFailVerify(t, buildClass("V", nil, m1("m", TInt, 2, code)), "underflow")
+}
+
+func TestVerifyRejectsStackOverflow(t *testing.T) {
+	code := NewAssembler().Emit(OpIConst0).Emit(OpIConst0).Emit(OpIConst0).Emit(OpPop).Emit(OpPop).Emit(OpRet).MustBytes()
+	mustFailVerify(t, buildClass("V", nil, m1("m", TInt, 2, code)), "grows past declared max")
+}
+
+func TestVerifyRejectsTypeConfusion(t *testing.T) {
+	// int + float must not verify: there is no way to treat a float's
+	// bits as an int (the classic sandbox escape in unverified VMs).
+	c := buildClass("V", []Const{{Kind: ConstFloat, Float: 1.5}}, m1("m", TInt, 2,
+		NewAssembler().Emit(OpIConst0).EmitU16(OpLdc, 0).Emit(OpIAdd).Emit(OpRet).MustBytes()))
+	mustFailVerify(t, c, "expected int")
+}
+
+func TestVerifyRejectsBytesAsInt(t *testing.T) {
+	c := buildClass("V", nil, Method{
+		Name: "m", Params: []VType{TBytes}, Locals: []VType{TBytes},
+		Return: TInt, MaxStack: 2,
+		Code: NewAssembler().EmitU16(OpLoad, 0).Emit(OpIConst1).Emit(OpIAdd).Emit(OpRet).MustBytes(),
+	})
+	mustFailVerify(t, c, "expected int")
+}
+
+func TestVerifyRejectsBadLocalIndex(t *testing.T) {
+	code := NewAssembler().EmitU16(OpLoad, 5).Emit(OpRet).MustBytes()
+	mustFailVerify(t, buildClass("V", nil, m1("m", TInt, 1, code, TInt)), "out of range")
+	code = NewAssembler().Emit(OpIConst0).EmitU16(OpStore, 9).Emit(OpIConst0).Emit(OpRet).MustBytes()
+	mustFailVerify(t, buildClass("V", nil, m1("m", TInt, 1, code, TInt)), "out of range")
+}
+
+func TestVerifyRejectsLocalTypeMismatch(t *testing.T) {
+	// Storing an int into a bytes-typed local.
+	code := NewAssembler().Emit(OpIConst0).EmitU16(OpStore, 0).Emit(OpIConst0).Emit(OpRet).MustBytes()
+	mustFailVerify(t, buildClass("V", nil, m1("m", TInt, 1, code, TBytes)), "expected bytes")
+}
+
+func TestVerifyRejectsBadConstIndex(t *testing.T) {
+	code := NewAssembler().EmitU16(OpLdc, 7).Emit(OpRet).MustBytes()
+	mustFailVerify(t, buildClass("V", nil, m1("m", TInt, 1, code)), "constant index")
+}
+
+func TestVerifyRejectsJumpOutOfRange(t *testing.T) {
+	a := NewAssembler()
+	a.code = append(a.code, byte(OpJmp), 0xF0, 0xFF, 0xFF, 0xFF) // jmp far negative
+	a.code = append(a.code, byte(OpRet))
+	c := buildClass("V", nil, m1("m", TInt, 1, a.code))
+	mustFailVerify(t, c, "target")
+}
+
+func TestVerifyRejectsJumpIntoInstruction(t *testing.T) {
+	// jmp to the middle of the ldc instruction (offset 1 byte after
+	// the 5-byte jmp: into ldc's operand).
+	code := []byte{
+		byte(OpJmp), 1, 0, 0, 0, // jumps to pc 6 = middle of ldc at 5
+		byte(OpLdc), 0, 0,
+		byte(OpRet),
+	}
+	c := buildClass("V", []Const{{Kind: ConstInt, Int: 1}}, m1("m", TInt, 1, code))
+	mustFailVerify(t, c, "middle of an instruction")
+}
+
+func TestVerifyRejectsFallOffEnd(t *testing.T) {
+	code := NewAssembler().Emit(OpIConst0).Emit(OpPop).MustBytes()
+	mustFailVerify(t, buildClass("V", nil, m1("m", TInt, 1, code)), "falls off the end")
+}
+
+func TestVerifyRejectsWrongReturnType(t *testing.T) {
+	code := NewAssembler().EmitU16(OpLdc, 0).Emit(OpRet).MustBytes()
+	c := buildClass("V", []Const{{Kind: ConstFloat, Float: 1}}, m1("m", TInt, 1, code))
+	mustFailVerify(t, c, "expected int")
+}
+
+func TestVerifyRejectsRetWithExtraStack(t *testing.T) {
+	code := NewAssembler().Emit(OpIConst0).Emit(OpIConst1).Emit(OpRet).MustBytes()
+	mustFailVerify(t, buildClass("V", nil, m1("m", TInt, 2, code)), "left on stack")
+}
+
+func TestVerifyRejectsInconsistentJoin(t *testing.T) {
+	// Two paths reach the same point with different stack depths.
+	code := NewAssembler().
+		EmitU16(OpLoad, 0).
+		Jump(OpJmpZ, "join").
+		Emit(OpIConst0). // this path has one extra value
+		Label("join").
+		Emit(OpIConst1).Emit(OpRet).
+		MustBytes()
+	c := buildClass("V", nil, Method{
+		Name: "m", Params: []VType{TInt}, Locals: []VType{TInt},
+		Return: TInt, MaxStack: 3, Code: code,
+	})
+	mustFailVerify(t, c, "join")
+}
+
+func TestVerifyRejectsInconsistentJoinTypes(t *testing.T) {
+	code := NewAssembler().
+		EmitU16(OpLoad, 0).
+		Jump(OpJmpZ, "other").
+		Emit(OpIConst0).
+		Jump(OpJmp, "join").
+		Label("other").
+		EmitU16(OpLdc, 0).
+		Jump(OpJmp, "join").
+		Label("join").
+		Emit(OpPop).Emit(OpIConst1).Emit(OpRet).
+		MustBytes()
+	c := buildClass("V", []Const{{Kind: ConstFloat, Float: 0}}, Method{
+		Name: "m", Params: []VType{TInt}, Locals: []VType{TInt},
+		Return: TInt, MaxStack: 3, Code: code,
+	})
+	mustFailVerify(t, c, "inconsistent stack type")
+}
+
+func TestVerifyRejectsBadCallIndex(t *testing.T) {
+	code := NewAssembler().EmitU16(OpCall, 9).Emit(OpRet).MustBytes()
+	mustFailVerify(t, buildClass("V", nil, m1("m", TInt, 1, code)), "method index")
+}
+
+func TestVerifyRejectsCallArgMismatch(t *testing.T) {
+	// add wants (int, int); pass (int, float).
+	code := NewAssembler().Emit(OpIConst0).EmitU16(OpLdc, 0).EmitU16(OpCall, 0).Emit(OpRet).MustBytes()
+	c := buildClass("V", []Const{{Kind: ConstFloat, Float: 1}},
+		addMethod(),
+		m1("m", TInt, 2, code),
+	)
+	mustFailVerify(t, c, "expected int on stack, found float")
+}
+
+func TestVerifyRejectsNativeNameNotString(t *testing.T) {
+	code := NewAssembler().EmitNative(0, 0).Emit(OpRet).MustBytes()
+	c := buildClass("V", []Const{{Kind: ConstInt, Int: 3}}, m1("m", TInt, 1, code))
+	mustFailVerify(t, c, "not a string")
+}
+
+func TestVerifyRejectsMetaErrors(t *testing.T) {
+	ret := NewAssembler().Emit(OpIConst0).Emit(OpRet).MustBytes()
+	cases := []struct {
+		name string
+		c    *Class
+		want string
+	}{
+		{"no name", &Class{Methods: []Method{m1("m", TInt, 1, ret)}}, "no name"},
+		{"no methods", &Class{Name: "X"}, "no methods"},
+		{"empty code", buildClass("X", nil, m1("m", TInt, 1, nil)), "empty code"},
+		{"huge maxstack", buildClass("X", nil, m1("m", TInt, MaxStackLimit+1, ret)), "out of range"},
+		{"param local mismatch", buildClass("X", nil, Method{
+			Name: "m", Params: []VType{TInt}, Locals: []VType{TFloat},
+			Return: TInt, MaxStack: 1, Code: ret,
+		}), "does not match param"},
+		{"more params than locals", buildClass("X", nil, Method{
+			Name: "m", Params: []VType{TInt, TInt}, Locals: []VType{TInt},
+			Return: TInt, MaxStack: 1, Code: ret,
+		}), "params but only"},
+		{"bad local type", buildClass("X", nil, Method{
+			Name: "m", Locals: []VType{VType(9)},
+			Return: TInt, MaxStack: 1, Code: ret,
+		}), "invalid type"},
+		{"bad return type", buildClass("X", nil, Method{
+			Name: "m", Return: VType(9), MaxStack: 1, Code: ret,
+		}), "invalid return type"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mustFailVerify(t, c.c, c.want)
+		})
+	}
+}
+
+func TestVerifyAcceptsNestedLoops(t *testing.T) {
+	a := NewAssembler().
+		Emit(OpIConst0).EmitU16(OpStore, 1).
+		Label("outer").
+		EmitU16(OpLoad, 1).EmitU16(OpLoad, 0).Emit(OpILt).
+		Jump(OpJmpZ, "done").
+		Emit(OpIConst0).EmitU16(OpStore, 2).
+		Label("inner").
+		EmitU16(OpLoad, 2).EmitU16(OpLoad, 0).Emit(OpILt).
+		Jump(OpJmpZ, "inext").
+		EmitU16(OpLoad, 3).Emit(OpIConst1).Emit(OpIAdd).EmitU16(OpStore, 3).
+		EmitU16(OpLoad, 2).Emit(OpIConst1).Emit(OpIAdd).EmitU16(OpStore, 2).
+		Jump(OpJmp, "inner").
+		Label("inext").
+		EmitU16(OpLoad, 1).Emit(OpIConst1).Emit(OpIAdd).EmitU16(OpStore, 1).
+		Jump(OpJmp, "outer").
+		Label("done").
+		EmitU16(OpLoad, 3).Emit(OpRet)
+	code, err := a.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := buildClass("Nest", nil, Method{
+		Name: "m", Params: []VType{TInt}, Locals: []VType{TInt, TInt, TInt, TInt},
+		Return: TInt, MaxStack: 2, Code: code,
+	})
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	vm := newTestVM(false)
+	lc := mustLoad(t, vm, "nest", c)
+	ret, _, err := lc.Call("m", []Value{IntVal(5)}, nil)
+	if err != nil || ret.I != 25 {
+		t.Errorf("nested loops = %v, %v; want 25", ret, err)
+	}
+}
+
+// Property: the verifier never panics and never lets through code that
+// subsequently crashes the interpreter with anything but a Trap.
+// Random byte strings exercise the full decode/verify/execute pipeline.
+func TestQuickVerifierIsTotal(t *testing.T) {
+	vm := newTestVM(false)
+	n := 0
+	prop := func(code []byte, maxStack uint8) bool {
+		n++
+		c := buildClass("Fuzz", []Const{{Kind: ConstInt, Int: 1}}, Method{
+			Name: "m", Return: TInt, MaxStack: int(maxStack%16) + 1, Code: code,
+		})
+		if err := c.Verify(); err != nil {
+			return true // rejection is fine
+		}
+		// Verified code must run to a value or a trap, never panic.
+		lc, err := vm.NewLoader("fuzz").LoadClass(c)
+		if err != nil {
+			vm.NewLoader("fuzz").Unload("Fuzz")
+			return true
+		}
+		defer vm.NewLoader("fuzz").Unload("Fuzz")
+		_, _, err = lc.Call("m", nil, &CallOptions{Limits: Limits{Fuel: 10000}})
+		if err != nil {
+			_, isTrap := trapKind(err)
+			return isTrap
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifierAllowsAssemblerPrograms(t *testing.T) {
+	// Sanity: all the shared test fixtures verify.
+	classes := []*Class{
+		buildClass("A", nil, addMethod()),
+		buildClass("B", nil, sumLoopMethod()),
+		buildClass("C", nil, sumBytesMethod()),
+		buildClass("D", nil, fibMethodAt(0)),
+		nativeClass(),
+	}
+	for _, c := range classes {
+		if err := c.Verify(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"predator/internal/exec"
+	"predator/internal/expr"
+	"predator/internal/sql"
+	"predator/internal/types"
+)
+
+// planAggregate builds the aggregation path: the input is grouped by
+// the GROUP BY expressions, aggregate calls are computed per group, and
+// the SELECT items / HAVING / ORDER BY are rewritten to reference the
+// aggregate operator's output columns.
+func (p *Planner) planAggregate(sel *sql.Select, input exec.Operator, binder *expr.Binder) (exec.Operator, error) {
+	// 1. Bind the GROUP BY expressions against the input scope.
+	var groups []expr.Bound
+	var groupStrs []string
+	for _, g := range sel.GroupBy {
+		bound, err := binder.Bind(g)
+		if err != nil {
+			return nil, err
+		}
+		groups = append(groups, bound)
+		groupStrs = append(groupStrs, normalizeSQL(g))
+	}
+
+	// 2. Collect distinct aggregate calls from items, HAVING, ORDER BY.
+	var specs []expr.AggSpec
+	specIdx := make(map[string]int)
+	collect := func(e sql.Expr) error {
+		return walkAggregates(e, func(fc *sql.FuncCall) error {
+			key := normalizeSQL(fc)
+			if _, seen := specIdx[key]; seen {
+				return nil
+			}
+			spec := expr.AggSpec{Func: expr.AggFunc(strings.ToUpper(fc.Name)), Name: key}
+			if fc.Star {
+				if spec.Func != expr.AggCount {
+					return fmt.Errorf("plan: %s(*) is not supported", spec.Func)
+				}
+			} else {
+				if len(fc.Args) != 1 {
+					return fmt.Errorf("plan: %s takes exactly one argument", spec.Func)
+				}
+				arg, err := binder.Bind(fc.Args[0])
+				if err != nil {
+					return err
+				}
+				spec.Arg = arg
+			}
+			if _, err := spec.ResultKind(); err != nil {
+				return err
+			}
+			specIdx[key] = len(specs)
+			specs = append(specs, spec)
+			return nil
+		})
+	}
+	for _, item := range sel.Items {
+		if item.Star {
+			return nil, fmt.Errorf("plan: SELECT * cannot be combined with aggregation")
+		}
+		if err := collect(item.Expr); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Having != nil {
+		if err := collect(sel.Having); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range sel.OrderBy {
+		if err := collect(o.Expr); err != nil {
+			return nil, err
+		}
+	}
+
+	// 3. The aggregate operator's output scope: groups then aggregates,
+	// named with synthetic identifiers the rewriter targets.
+	names := make([]string, 0, len(groups)+len(specs))
+	outScope := expr.NewScope()
+	outSchema := &types.Schema{}
+	for i, g := range groups {
+		name := fmt.Sprintf("#g%d", i)
+		names = append(names, name)
+		outSchema.Columns = append(outSchema.Columns, types.Column{Name: name, Kind: g.Kind()})
+	}
+	for i := range specs {
+		k, err := specs[i].ResultKind()
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("#a%d", i)
+		names = append(names, name)
+		outSchema.Columns = append(outSchema.Columns, types.Column{Name: name, Kind: k})
+	}
+	outScope.AddTable("", outSchema)
+	outBinder := &expr.Binder{Scope: outScope, Registry: p.Registry}
+
+	// 4. Rewriter: group expressions and aggregate calls become column
+	// references into the aggregate output.
+	var rewrite func(e sql.Expr) (sql.Expr, error)
+	rewrite = func(e sql.Expr) (sql.Expr, error) {
+		key := normalizeSQL(e)
+		for i, gs := range groupStrs {
+			if key == gs {
+				return &sql.ColumnRef{Column: fmt.Sprintf("#g%d", i)}, nil
+			}
+		}
+		switch n := e.(type) {
+		case *sql.FuncCall:
+			if expr.IsAggregateName(n.Name) {
+				idx, ok := specIdx[key]
+				if !ok {
+					return nil, fmt.Errorf("plan: internal: aggregate %s not collected", key)
+				}
+				return &sql.ColumnRef{Column: fmt.Sprintf("#a%d", idx)}, nil
+			}
+			args := make([]sql.Expr, len(n.Args))
+			for i, a := range n.Args {
+				ra, err := rewrite(a)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = ra
+			}
+			return &sql.FuncCall{Name: n.Name, Args: args}, nil
+		case *sql.BinaryExpr:
+			l, err := rewrite(n.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := rewrite(n.R)
+			if err != nil {
+				return nil, err
+			}
+			return &sql.BinaryExpr{Op: n.Op, L: l, R: r}, nil
+		case *sql.UnaryExpr:
+			x, err := rewrite(n.X)
+			if err != nil {
+				return nil, err
+			}
+			return &sql.UnaryExpr{Op: n.Op, X: x}, nil
+		case *sql.IsNull:
+			x, err := rewrite(n.X)
+			if err != nil {
+				return nil, err
+			}
+			return &sql.IsNull{X: x, Negate: n.Negate}, nil
+		case *sql.ColumnRef:
+			return nil, fmt.Errorf("plan: column %s must appear in GROUP BY or inside an aggregate", n)
+		default:
+			return e, nil
+		}
+	}
+	bindRewritten := func(e sql.Expr) (expr.Bound, error) {
+		re, err := rewrite(e)
+		if err != nil {
+			return nil, err
+		}
+		return outBinder.Bind(re)
+	}
+
+	// 5. Assemble: Aggregate -> Having -> Sort -> Limit -> Project.
+	var root exec.Operator = &exec.Aggregate{
+		Input:  input,
+		Groups: groups,
+		Specs:  specs,
+		Names:  names,
+	}
+	if sel.Having != nil {
+		pred, err := bindRewritten(sel.Having)
+		if err != nil {
+			return nil, err
+		}
+		if pred.Kind() != types.KindBool {
+			return nil, fmt.Errorf("plan: HAVING predicate is %s, not BOOL", pred.Kind())
+		}
+		root = &exec.Filter{Input: root, Pred: pred}
+	}
+	if len(sel.OrderBy) > 0 {
+		keys := make([]exec.SortKey, len(sel.OrderBy))
+		for i, o := range sel.OrderBy {
+			target := o.Expr
+			// A bare name matching a SELECT alias orders by that item.
+			if ref, ok := o.Expr.(*sql.ColumnRef); ok && ref.Table == "" {
+				for _, item := range sel.Items {
+					if strings.EqualFold(item.Alias, ref.Column) {
+						target = item.Expr
+						break
+					}
+				}
+			}
+			bound, err := bindRewritten(target)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = exec.SortKey{Expr: bound, Desc: o.Desc}
+		}
+		root = &exec.Sort{Input: root, Keys: keys}
+	}
+	if sel.Limit >= 0 {
+		root = &exec.Limit{Input: root, N: sel.Limit}
+	}
+	projExprs := make([]expr.Bound, len(sel.Items))
+	projNames := make([]string, len(sel.Items))
+	for i, item := range sel.Items {
+		bound, err := bindRewritten(item.Expr)
+		if err != nil {
+			return nil, err
+		}
+		projExprs[i] = bound
+		name := item.Alias
+		if name == "" {
+			name = normalizeSQL(item.Expr)
+		}
+		projNames[i] = name
+	}
+	return &exec.Project{Input: root, Exprs: projExprs, Names: projNames}, nil
+}
+
+// walkAggregates visits every top-most aggregate call in e.
+func walkAggregates(e sql.Expr, fn func(*sql.FuncCall) error) error {
+	switch n := e.(type) {
+	case *sql.FuncCall:
+		if expr.IsAggregateName(n.Name) {
+			for _, a := range n.Args {
+				if containsAggregate(a) {
+					return fmt.Errorf("plan: nested aggregates are not supported")
+				}
+			}
+			return fn(n)
+		}
+		for _, a := range n.Args {
+			if err := walkAggregates(a, fn); err != nil {
+				return err
+			}
+		}
+	case *sql.BinaryExpr:
+		if err := walkAggregates(n.L, fn); err != nil {
+			return err
+		}
+		return walkAggregates(n.R, fn)
+	case *sql.UnaryExpr:
+		return walkAggregates(n.X, fn)
+	case *sql.IsNull:
+		return walkAggregates(n.X, fn)
+	}
+	return nil
+}
+
+// normalizeSQL renders an expression canonically (lower-cased) so that
+// GROUP BY keys can be matched against SELECT items textually.
+func normalizeSQL(e sql.Expr) string {
+	return strings.ToLower(e.String())
+}

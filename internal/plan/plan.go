@@ -1,0 +1,288 @@
+// Package plan turns parsed SELECT statements into physical operator
+// trees. The optimizer implements the two UDF-relevant techniques the
+// paper's related work highlights ([Hel95], [Jhi88]):
+//
+//   - predicate pushdown: conjuncts that touch a single base table are
+//     evaluated directly above its scan, below any joins;
+//   - expensive-predicate placement: conjuncts are ordered by rank
+//     (selectivity-1)/cost, so cheap selective predicates run before
+//     expensive UDF predicates.
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"predator/internal/catalog"
+	"predator/internal/core"
+	"predator/internal/exec"
+	"predator/internal/expr"
+	"predator/internal/sql"
+	"predator/internal/types"
+)
+
+// Planner builds executable plans.
+type Planner struct {
+	Catalog  *catalog.Catalog
+	Registry *core.Registry
+}
+
+// PlanSelect compiles a SELECT into an operator tree.
+func (p *Planner) PlanSelect(sel *sql.Select) (exec.Operator, error) {
+	if len(sel.From) == 0 {
+		return nil, fmt.Errorf("plan: SELECT requires a FROM clause")
+	}
+	// Resolve base tables (comma list plus JOIN clauses).
+	type baseTable struct {
+		ref    sql.TableRef
+		tbl    *catalog.Table
+		on     sql.Expr // join condition, nil for comma/cross
+		offset int      // column offset in the combined row
+	}
+	var bases []baseTable
+	for _, ref := range sel.From {
+		tbl, ok := p.Catalog.Table(ref.Table)
+		if !ok {
+			return nil, fmt.Errorf("plan: table %q does not exist", ref.Table)
+		}
+		bases = append(bases, baseTable{ref: ref, tbl: tbl})
+	}
+	for _, j := range sel.Joins {
+		tbl, ok := p.Catalog.Table(j.Table.Table)
+		if !ok {
+			return nil, fmt.Errorf("plan: table %q does not exist", j.Table.Table)
+		}
+		bases = append(bases, baseTable{ref: j.Table, tbl: tbl, on: j.On})
+	}
+	// Build the combined scope and per-table offsets.
+	scope := expr.NewScope()
+	for i := range bases {
+		b := &bases[i]
+		b.offset = scope.Arity()
+		qual := b.ref.Alias
+		if qual == "" {
+			qual = b.ref.Table
+		}
+		scope.AddTable(qual, b.tbl.Schema)
+	}
+	binder := &expr.Binder{Scope: scope, Registry: p.Registry}
+
+	// Collect all conjuncts: WHERE plus JOIN ... ON conditions.
+	var conjuncts []expr.Bound
+	addConjuncts := func(e sql.Expr) error {
+		for _, c := range splitConjuncts(e) {
+			bound, err := binder.Bind(c)
+			if err != nil {
+				return err
+			}
+			if bound.Kind() != types.KindBool {
+				return fmt.Errorf("plan: predicate %s is %s, not BOOL", bound, bound.Kind())
+			}
+			conjuncts = append(conjuncts, bound)
+		}
+		return nil
+	}
+	for _, b := range bases {
+		if b.on != nil {
+			if err := addConjuncts(b.on); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if sel.Where != nil {
+		if err := addConjuncts(sel.Where); err != nil {
+			return nil, err
+		}
+	}
+
+	// Partition conjuncts: pushable to one base table vs join-level.
+	// tableOf maps a combined-row column index to its base table.
+	tableOf := func(col int) int {
+		for i := len(bases) - 1; i >= 0; i-- {
+			if col >= bases[i].offset {
+				return i
+			}
+		}
+		return 0
+	}
+	pushed := make([][]expr.Bound, len(bases))
+	var joinLevel []expr.Bound
+	for _, c := range conjuncts {
+		cols := expr.ColumnsUsed(c)
+		target := -1
+		ok := true
+		for col := range cols {
+			ti := tableOf(col)
+			if target == -1 {
+				target = ti
+			} else if target != ti {
+				ok = false
+				break
+			}
+		}
+		if ok && target >= 0 {
+			pushed[target] = append(pushed[target], expr.ShiftCols(c, bases[target].offset))
+		} else {
+			joinLevel = append(joinLevel, c)
+		}
+	}
+
+	// Build per-table scan + ordered filters, then the left-deep join.
+	var root exec.Operator
+	for i := range bases {
+		b := &bases[i]
+		var op exec.Operator = &exec.SeqScan{
+			Table: b.ref.Table,
+			Heap:  b.tbl.Heap(),
+			Sch:   b.tbl.Schema,
+		}
+		for _, pred := range orderByRank(pushed[i]) {
+			op = &exec.Filter{Input: op, Pred: pred}
+		}
+		if root == nil {
+			root = op
+		} else {
+			root = &exec.NestedLoopJoin{Left: root, Right: op}
+		}
+	}
+	for _, pred := range orderByRank(joinLevel) {
+		root = &exec.Filter{Input: root, Pred: pred}
+	}
+
+	// Aggregation?
+	hasAgg := len(sel.GroupBy) > 0 || sel.Having != nil
+	for _, item := range sel.Items {
+		if !item.Star && containsAggregate(item.Expr) {
+			hasAgg = true
+		}
+	}
+	if hasAgg {
+		return p.planAggregate(sel, root, binder)
+	}
+
+	// Plain projection path.
+	var projExprs []expr.Bound
+	var projNames []string
+	aliases := make(map[string]expr.Bound)
+	for _, item := range sel.Items {
+		if item.Star {
+			sch := scope.Schema()
+			for i, col := range sch.Columns {
+				projExprs = append(projExprs, &expr.Col{Index: i, K: col.Kind, Name: col.Name})
+				projNames = append(projNames, col.Name)
+			}
+			continue
+		}
+		bound, err := binder.Bind(item.Expr)
+		if err != nil {
+			return nil, err
+		}
+		projExprs = append(projExprs, bound)
+		projNames = append(projNames, item.Alias)
+		if item.Alias != "" {
+			aliases[strings.ToLower(item.Alias)] = bound
+		}
+	}
+	// ORDER BY binds against the pre-projection scope (so sorting by
+	// non-projected columns works); a bare name that matches a SELECT
+	// alias resolves to that item's expression.
+	if len(sel.OrderBy) > 0 {
+		keys := make([]exec.SortKey, len(sel.OrderBy))
+		for i, o := range sel.OrderBy {
+			var bound expr.Bound
+			if ref, ok := o.Expr.(*sql.ColumnRef); ok && ref.Table == "" {
+				if b, hit := aliases[strings.ToLower(ref.Column)]; hit {
+					bound = b
+				}
+			}
+			if bound == nil {
+				b, err := binder.Bind(o.Expr)
+				if err != nil {
+					return nil, err
+				}
+				bound = b
+			}
+			keys[i] = exec.SortKey{Expr: bound, Desc: o.Desc}
+		}
+		root = &exec.Sort{Input: root, Keys: keys}
+	}
+	if sel.Limit >= 0 {
+		root = &exec.Limit{Input: root, N: sel.Limit}
+	}
+	return &exec.Project{Input: root, Exprs: projExprs, Names: projNames}, nil
+}
+
+// splitConjuncts flattens a predicate into its AND-ed conjuncts.
+func splitConjuncts(e sql.Expr) []sql.Expr {
+	if b, ok := e.(*sql.BinaryExpr); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []sql.Expr{e}
+}
+
+// orderByRank sorts predicates by the Hellerstein rank
+// (selectivity-1)/cost ascending: the most profitable predicate (cheap
+// and selective) runs first, expensive UDF predicates run last.
+func orderByRank(preds []expr.Bound) []expr.Bound {
+	out := append([]expr.Bound(nil), preds...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return rank(out[i]) < rank(out[j])
+	})
+	return out
+}
+
+func rank(p expr.Bound) float64 {
+	cost := p.Cost()
+	if cost <= 0 {
+		cost = 0.01
+	}
+	return (selectivity(p) - 1) / cost
+}
+
+// selectivity estimates the fraction of rows a predicate keeps. These
+// are textbook defaults; the shape (equality is selective, OR is not)
+// is what matters for ordering.
+func selectivity(p expr.Bound) float64 {
+	switch n := p.(type) {
+	case *expr.Cmp:
+		if n.Op == "=" {
+			return 0.1
+		}
+		return 0.3
+	case *expr.NullTest:
+		return 0.1
+	case *expr.Logic:
+		if n.Op == "OR" {
+			return 0.7
+		}
+		return selectivity(n.L) * selectivity(n.R)
+	case *expr.Not:
+		return 1 - selectivity(n.X)
+	default:
+		return 0.5
+	}
+}
+
+// containsAggregate reports whether an unbound expression contains an
+// aggregate function call.
+func containsAggregate(e sql.Expr) bool {
+	switch n := e.(type) {
+	case *sql.FuncCall:
+		if expr.IsAggregateName(n.Name) {
+			return true
+		}
+		for _, a := range n.Args {
+			if containsAggregate(a) {
+				return true
+			}
+		}
+	case *sql.BinaryExpr:
+		return containsAggregate(n.L) || containsAggregate(n.R)
+	case *sql.UnaryExpr:
+		return containsAggregate(n.X)
+	case *sql.IsNull:
+		return containsAggregate(n.X)
+	}
+	return false
+}

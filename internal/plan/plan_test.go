@@ -1,0 +1,230 @@
+package plan
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"predator/internal/catalog"
+	"predator/internal/core"
+	"predator/internal/exec"
+	"predator/internal/expr"
+	"predator/internal/sql"
+	"predator/internal/storage"
+	"predator/internal/types"
+)
+
+// testPlanner builds a planner over a scratch catalog with tables
+// emp(id INT, name STRING, dept INT, pay FLOAT) and dept(id INT,
+// dname STRING), plus a registered UDF "slow(int) bool".
+func testPlanner(t *testing.T) (*Planner, *expr.Ctx) {
+	t.Helper()
+	disk, err := storage.OpenDisk(filepath.Join(t.TempDir(), "plan.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { disk.Close() })
+	pool := storage.NewBufferPool(disk, 64)
+	cat, err := catalog.Open(disk, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp, err := cat.CreateTable("emp", types.NewSchema(
+		types.Column{Name: "id", Kind: types.KindInt},
+		types.Column{Name: "name", Kind: types.KindString},
+		types.Column{Name: "dept", Kind: types.KindInt},
+		types.Column{Name: "pay", Kind: types.KindFloat},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range []struct {
+		name string
+		dept int64
+		pay  float64
+	}{
+		{"ann", 1, 100}, {"bob", 1, 200}, {"cat", 2, 300}, {"dan", 2, 400}, {"eve", 3, 500},
+	} {
+		row := types.Row{types.NewInt(int64(i + 1)), types.NewString(e.name), types.NewInt(e.dept), types.NewFloat(e.pay)}
+		rec, _ := types.EncodeRow(nil, emp.Schema, row)
+		if _, err := emp.Heap().Insert(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dept, err := cat.CreateTable("dept", types.NewSchema(
+		types.Column{Name: "id", Kind: types.KindInt},
+		types.Column{Name: "dname", Kind: types.KindString},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range []string{"eng", "ops", "hr"} {
+		row := types.Row{types.NewInt(int64(i + 1)), types.NewString(n)}
+		rec, _ := types.EncodeRow(nil, dept.Schema, row)
+		if _, err := dept.Heap().Insert(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := core.NewRegistry()
+	reg.Register(core.NewNative("slow", []types.Kind{types.KindInt}, types.KindBool,
+		func(ctx *core.Ctx, args []types.Value) (types.Value, error) {
+			return types.NewBool(args[0].Int%2 == 0), nil
+		}))
+	return &Planner{Catalog: cat, Registry: reg}, &expr.Ctx{}
+}
+
+func planQuery(t *testing.T, p *Planner, q string) exec.Operator {
+	t.Helper()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := p.PlanSelect(stmt.(*sql.Select))
+	if err != nil {
+		t.Fatalf("plan %q: %v", q, err)
+	}
+	return op
+}
+
+func runQuery(t *testing.T, p *Planner, ec *expr.Ctx, q string) []types.Row {
+	t.Helper()
+	op := planQuery(t, p, q)
+	rows, err := exec.Run(op, ec)
+	if err != nil {
+		t.Fatalf("run %q: %v", q, err)
+	}
+	return rows
+}
+
+func TestPlanSimpleSelect(t *testing.T) {
+	p, ec := testPlanner(t)
+	rows := runQuery(t, p, ec, `SELECT name FROM emp WHERE pay > 250 ORDER BY name`)
+	if len(rows) != 3 || rows[0][0].Str != "cat" || rows[2][0].Str != "eve" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestPlanPushdownBelowJoin(t *testing.T) {
+	p, _ := testPlanner(t)
+	op := planQuery(t, p, `
+		SELECT e.name FROM emp e JOIN dept d ON e.dept = d.id
+		WHERE e.pay > 150 AND d.dname = 'ops'`)
+	tree := exec.ExplainTree(op)
+	// Both single-table predicates must appear below the join.
+	joinLine := strings.Index(tree, "NestedLoopJoin")
+	payLine := strings.Index(tree, "pay")
+	dnameLine := strings.Index(tree, "dname")
+	if joinLine < 0 || payLine < 0 || dnameLine < 0 {
+		t.Fatalf("tree missing parts:\n%s", tree)
+	}
+	if payLine < joinLine || dnameLine < joinLine {
+		t.Errorf("predicates not pushed below join:\n%s", tree)
+	}
+	// And the join predicate stays at join level (above the scans).
+	if !strings.Contains(tree, "e.dept = d.id") {
+		t.Errorf("join predicate lost:\n%s", tree)
+	}
+}
+
+func TestPlanJoinResults(t *testing.T) {
+	p, ec := testPlanner(t)
+	rows := runQuery(t, p, ec, `
+		SELECT e.name, d.dname FROM emp e JOIN dept d ON e.dept = d.id
+		WHERE d.dname = 'eng' ORDER BY e.name`)
+	if len(rows) != 2 || rows[0][0].Str != "ann" || rows[0][1].Str != "eng" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestPlanExpensivePredicateLast(t *testing.T) {
+	p, _ := testPlanner(t)
+	op := planQuery(t, p, `SELECT id FROM emp WHERE slow(id) AND pay > 100 AND id = 4`)
+	tree := exec.ExplainTree(op)
+	// Reading top-down: slow (most expensive) first line, then pay,
+	// then id = 4 (cheap + selective) nearest the scan.
+	slowPos := strings.Index(tree, "slow")
+	payPos := strings.Index(tree, "pay")
+	idPos := strings.Index(tree, "(id = 4)")
+	scanPos := strings.Index(tree, "SeqScan")
+	if !(slowPos < payPos && payPos < idPos && idPos < scanPos) {
+		t.Errorf("rank ordering wrong:\n%s", tree)
+	}
+}
+
+func TestPlanAggregates(t *testing.T) {
+	p, ec := testPlanner(t)
+	rows := runQuery(t, p, ec, `
+		SELECT dept, COUNT(*) n, SUM(pay) FROM emp
+		GROUP BY dept HAVING COUNT(*) > 1 ORDER BY dept`)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0].Int != 1 || rows[0][1].Int != 2 || rows[0][2].Float != 300 {
+		t.Errorf("group 1 = %v", rows[0])
+	}
+	if rows[1][0].Int != 2 || rows[1][2].Float != 700 {
+		t.Errorf("group 2 = %v", rows[1])
+	}
+}
+
+func TestPlanAggregateExprOverGroups(t *testing.T) {
+	p, ec := testPlanner(t)
+	rows := runQuery(t, p, ec, `
+		SELECT dept * 10, AVG(pay) / 100.0 FROM emp GROUP BY dept ORDER BY dept * 10`)
+	if len(rows) != 3 || rows[0][0].Int != 10 || rows[0][1].Float != 1.5 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestPlanOrderByAlias(t *testing.T) {
+	p, ec := testPlanner(t)
+	rows := runQuery(t, p, ec, `SELECT name, pay * 2 AS dbl FROM emp ORDER BY dbl DESC LIMIT 2`)
+	if len(rows) != 2 || rows[0][0].Str != "eve" || rows[0][1].Float != 1000 {
+		t.Errorf("rows = %v", rows)
+	}
+	// Aggregate path too.
+	rows = runQuery(t, p, ec, `SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept ORDER BY n DESC, dept`)
+	if rows[0][1].Int != 2 || rows[2][1].Int != 1 {
+		t.Errorf("agg alias order = %v", rows)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	p, _ := testPlanner(t)
+	cases := []string{
+		`SELECT * FROM nosuch`,
+		`SELECT nosuch FROM emp`,
+		`SELECT name FROM emp WHERE pay`,             // non-bool predicate
+		`SELECT name, COUNT(*) FROM emp`,             // loose column with aggregate
+		`SELECT * FROM emp GROUP BY dept`,            // star with aggregation
+		`SELECT SUM(COUNT(*)) FROM emp`,              // nested aggregates
+		`SELECT AVG(*) FROM emp`,                     // star on non-count
+		`SELECT SUM(pay, pay) FROM emp`,              // aggregate arity
+		`SELECT SUM(name) FROM emp`,                  // SUM over string
+		`SELECT e.id FROM emp e, emp f WHERE id = 1`, // ambiguous
+	}
+	for _, q := range cases {
+		stmt, err := sql.Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		if _, err := p.PlanSelect(stmt.(*sql.Select)); err == nil {
+			t.Errorf("plan %q succeeded, want error", q)
+		}
+	}
+}
+
+func TestSelectivityEstimates(t *testing.T) {
+	p, _ := testPlanner(t)
+	_ = p
+	eq := &expr.Cmp{Op: "=", L: &expr.Col{Index: 0, K: types.KindInt, Name: "x"}, R: &expr.Const{Value: types.NewInt(1)}}
+	lt := &expr.Cmp{Op: "<", L: &expr.Col{Index: 0, K: types.KindInt, Name: "x"}, R: &expr.Const{Value: types.NewInt(1)}}
+	if selectivity(eq) >= selectivity(lt) {
+		t.Error("equality should be more selective than range")
+	}
+	or := &expr.Logic{Op: "OR", L: eq, R: lt}
+	and := &expr.Logic{Op: "AND", L: eq, R: lt}
+	if selectivity(or) <= selectivity(and) {
+		t.Error("OR should be less selective than AND")
+	}
+}

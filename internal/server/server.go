@@ -1,0 +1,234 @@
+// Package server exposes a PREDATOR-Go engine over TCP. Like the
+// paper's PREDATOR, the server is a single multi-threaded process with
+// (at least) one thread — here a goroutine — per connected client.
+// Clients issue SQL, upload verified Jaguar UDF classes (the §6.4
+// migration path), and register large objects for callback access.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strings"
+	"sync"
+
+	"predator/internal/engine"
+	"predator/internal/types"
+	"predator/internal/wire"
+)
+
+// Server serves one engine over a listener.
+type Server struct {
+	eng  *engine.Engine
+	logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]bool
+	wg       sync.WaitGroup
+	shutdown bool
+}
+
+// Options configures a server.
+type Options struct {
+	// Logf receives connection lifecycle logs (nil = log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// New wraps an engine in a server.
+func New(eng *engine.Engine, opts Options) *Server {
+	logf := opts.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &Server{eng: eng, logf: logf, conns: make(map[net.Conn]bool)}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:5442")
+// and returns immediately; the returned address is the bound one (use
+// ":0" to pick a free port).
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		// One goroutine per client: the PREDATOR threading model.
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the listener and all sessions, then closes the engine.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.shutdown = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return s.eng.Close()
+}
+
+// session is one client connection's state.
+type session struct {
+	user string
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	c := wire.NewConn(conn)
+	sess := &session{user: "anonymous"}
+	for {
+		typ, payload, err := c.Recv()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("server: connection %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		if typ == wire.MsgQuit {
+			return
+		}
+		if err := s.handle(c, sess, typ, payload); err != nil {
+			s.logf("server: reply to %s failed: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+func (s *Server) handle(c *wire.Conn, sess *session, typ byte, payload []byte) error {
+	sendErr := func(err error) error {
+		w := &wire.Writer{}
+		w.Str(err.Error())
+		return c.Send(wire.MsgError, w.Buf)
+	}
+	switch typ {
+	case wire.MsgHello:
+		r := &wire.Reader{Buf: payload}
+		user := r.Str()
+		if r.Err != nil {
+			return sendErr(r.Err)
+		}
+		if user != "" {
+			sess.user = user
+		}
+		w := &wire.Writer{}
+		w.Str("welcome " + sess.user)
+		return c.Send(wire.MsgOK, w.Buf)
+	case wire.MsgPing:
+		return c.Send(wire.MsgOK, (&wire.Writer{}).Str("pong").Buf)
+	case wire.MsgQuery:
+		r := &wire.Reader{Buf: payload}
+		q := r.Str()
+		if r.Err != nil {
+			return sendErr(r.Err)
+		}
+		res, err := s.eng.Exec(q)
+		if err != nil {
+			return sendErr(err)
+		}
+		return c.Send(wire.MsgResult, wire.EncodeResult(res.Schema, res.Rows, res.RowsAffected, res.Message, res.Plan))
+	case wire.MsgRegister:
+		r := &wire.Reader{Buf: payload}
+		name := r.Str()
+		method := r.Str()
+		classBytes := r.Bytes()
+		nargs := int(r.Uvarint())
+		args := make([]types.Kind, nargs)
+		for i := range args {
+			args[i] = types.Kind(r.Byte())
+		}
+		ret := types.Kind(r.Byte())
+		isolated := r.Byte() != 0
+		persist := r.Byte() != 0
+		if r.Err != nil {
+			return sendErr(r.Err)
+		}
+		// The upload path re-verifies the class inside the engine's VM;
+		// nothing the client sends is trusted.
+		if err := s.eng.RegisterJaguarClass(name, classBytes, method, args, ret, isolated, persist); err != nil {
+			return sendErr(err)
+		}
+		s.logf("server: user %s registered UDF %s (%d bytes of class)", sess.user, name, len(classBytes))
+		return c.Send(wire.MsgOK, (&wire.Writer{}).Str("function "+name+" registered").Buf)
+	case wire.MsgPutObject:
+		r := &wire.Reader{Buf: payload}
+		data := r.Bytes()
+		if r.Err != nil {
+			return sendErr(r.Err)
+		}
+		h := s.eng.Objects().Put(data)
+		return c.Send(wire.MsgHandle, (&wire.Writer{}).Varint(h).Buf)
+	case wire.MsgFetchClass:
+		r := &wire.Reader{Buf: payload}
+		name := r.Str()
+		if r.Err != nil {
+			return sendErr(r.Err)
+		}
+		f, ok := s.eng.Catalog().Function(name)
+		if !ok || len(f.Code) == 0 {
+			return sendErr(fmt.Errorf("server: no portable class stored for function %q", name))
+		}
+		w := &wire.Writer{}
+		w.Str(f.Name)
+		w.Bytes(f.Code)
+		w.Uvarint(uint64(len(f.ArgKinds)))
+		for _, k := range f.ArgKinds {
+			w.Byte(byte(k))
+		}
+		w.Byte(byte(f.Return))
+		return c.Send(wire.MsgClass, w.Buf)
+	default:
+		return sendErr(fmt.Errorf("server: unknown request type 0x%02x", typ))
+	}
+}
+
+// Addr returns the bound listen address ("" before Listen).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// String identifies the server for logs.
+func (s *Server) String() string {
+	return strings.TrimSpace("predator-server@" + s.Addr())
+}

@@ -1,0 +1,223 @@
+// Package sql implements the SQL dialect of PREDATOR-Go: lexer, AST
+// and recursive-descent parser for the statement forms the engine
+// supports, including the extensibility DDL (CREATE FUNCTION) that
+// registers Jaguar UDFs from SQL.
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"predator/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmtNode() }
+
+// CreateTable is CREATE TABLE name (col TYPE, ...).
+type CreateTable struct {
+	Name    string
+	Columns []types.Column
+}
+
+// DropTable is DROP TABLE name.
+type DropTable struct {
+	Name string
+}
+
+// Insert is INSERT INTO name VALUES (...), (...).
+type Insert struct {
+	Table string
+	Rows  [][]Expr
+}
+
+// Select is a SELECT query.
+type Select struct {
+	// Items are the projection list; a single Star item means "*".
+	Items   []SelectItem
+	From    []TableRef
+	Joins   []Join
+	Where   Expr // may be nil
+	GroupBy []Expr
+	Having  Expr // may be nil
+	OrderBy []OrderItem
+	Limit   int64 // -1 = no limit
+}
+
+// SelectItem is one projection expression with an optional alias.
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+// TableRef is a table in the FROM list with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Join is an explicit JOIN clause attached to the FROM list.
+type Join struct {
+	Table TableRef
+	On    Expr // may be nil (cross join)
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// CreateFunction is the extensibility DDL:
+//
+//	CREATE FUNCTION name(T1, T2, ...) RETURNS T
+//	    LANGUAGE JAGUAR [ISOLATED] AS 'source text'
+//
+// The function body is Jaguar source; it is compiled, verified and
+// registered (persistently) by the engine.
+type CreateFunction struct {
+	Name     string
+	Args     []types.Kind
+	Return   types.Kind
+	Language string // "jaguar"
+	Isolated bool
+	Body     string
+	Replace  bool // CREATE OR REPLACE
+}
+
+// DropFunction is DROP FUNCTION name.
+type DropFunction struct {
+	Name string
+}
+
+// Show is SHOW TABLES | SHOW FUNCTIONS.
+type Show struct {
+	What string // "tables" or "functions"
+}
+
+// Explain wraps a SELECT to print its plan.
+type Explain struct {
+	Query *Select
+}
+
+// Delete is DELETE FROM name [WHERE cond].
+type Delete struct {
+	Table string
+	Where Expr // may be nil
+}
+
+// Update is UPDATE name SET col = expr, ... [WHERE cond].
+type Update struct {
+	Table string
+	Sets  []SetClause
+	Where Expr // may be nil
+}
+
+// SetClause is one col = expr assignment in an UPDATE.
+type SetClause struct {
+	Column string
+	Value  Expr
+}
+
+func (*CreateTable) stmtNode()    {}
+func (*DropTable) stmtNode()      {}
+func (*Insert) stmtNode()         {}
+func (*Select) stmtNode()         {}
+func (*CreateFunction) stmtNode() {}
+func (*DropFunction) stmtNode()   {}
+func (*Show) stmtNode()           {}
+func (*Explain) stmtNode()        {}
+func (*Delete) stmtNode()         {}
+func (*Update) stmtNode()         {}
+
+// Expr is an unbound (pre-name-resolution) SQL expression.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Literal is a constant value (INT, FLOAT, STRING, BYTES, BOOL or NULL).
+type Literal struct {
+	Value types.Value
+}
+
+// ColumnRef references a column, optionally qualified by table/alias.
+type ColumnRef struct {
+	Table  string // may be empty
+	Column string
+}
+
+// BinaryExpr is a binary operation. Op is one of:
+// + - * / % = <> < <= > >= AND OR
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// UnaryExpr is -x or NOT x.
+type UnaryExpr struct {
+	Op string // "-" or "NOT"
+	X  Expr
+}
+
+// IsNull is x IS [NOT] NULL.
+type IsNull struct {
+	X      Expr
+	Negate bool
+}
+
+// FuncCall is a scalar function call: a built-in or a registered UDF.
+type FuncCall struct {
+	Name string
+	Args []Expr
+	// Star marks COUNT(*).
+	Star bool
+}
+
+func (*Literal) exprNode()    {}
+func (*ColumnRef) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+func (*IsNull) exprNode()     {}
+func (*FuncCall) exprNode()   {}
+
+// String renders expressions in SQL-ish syntax for plans and errors.
+
+func (l *Literal) String() string { return l.Value.String() }
+
+func (c *ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+func (b *BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+func (u *UnaryExpr) String() string {
+	if u.Op == "NOT" {
+		return fmt.Sprintf("(NOT %s)", u.X)
+	}
+	return fmt.Sprintf("(-%s)", u.X)
+}
+
+func (i *IsNull) String() string {
+	if i.Negate {
+		return fmt.Sprintf("(%s IS NOT NULL)", i.X)
+	}
+	return fmt.Sprintf("(%s IS NULL)", i.X)
+}
+
+func (f *FuncCall) String() string {
+	if f.Star {
+		return strings.ToUpper(f.Name) + "(*)"
+	}
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return f.Name + "(" + strings.Join(parts, ", ") + ")"
+}

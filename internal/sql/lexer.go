@@ -1,0 +1,193 @@
+package sql
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// tokKind classifies SQL tokens.
+type tokKind uint8
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkKeyword
+	tkInt
+	tkFloat
+	tkString
+	tkBytes // X'ABCD' hex literal
+	tkOp    // punctuation and operators
+)
+
+// token is one SQL token.
+type token struct {
+	kind tokKind
+	text string // keyword: upper-cased; ident: as written
+	i    int64
+	f    float64
+	s    string // string literal value / hex bytes
+	pos  int    // byte offset, for error messages
+}
+
+// sqlKeywords is the reserved-word set.
+var sqlKeywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "CREATE": true, "TABLE": true, "DROP": true, "FUNCTION": true,
+	"RETURNS": true, "LANGUAGE": true, "AS": true, "ISOLATED": true, "AND": true,
+	"OR": true, "NOT": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"ORDER": true, "BY": true, "GROUP": true, "HAVING": true, "LIMIT": true,
+	"ASC": true, "DESC": true, "JOIN": true, "ON": true, "IS": true,
+	"SHOW": true, "TABLES": true, "FUNCTIONS": true, "EXPLAIN": true,
+	"DELETE": true, "REPLACE": true, "INNER": true, "UPDATE": true, "SET": true,
+}
+
+// lexSQL tokenizes a SQL string.
+func lexSQL(src string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case isSQLAlpha(c):
+			start := i
+			for i < len(src) && (isSQLAlpha(src[i]) || isSQLDigit(src[i])) {
+				i++
+			}
+			word := src[start:i]
+			upper := strings.ToUpper(word)
+			// X'...' hex bytes literal.
+			if upper == "X" && i < len(src) && src[i] == '\'' {
+				end := strings.IndexByte(src[i+1:], '\'')
+				if end < 0 {
+					return nil, fmt.Errorf("sql: unterminated hex literal at offset %d", start)
+				}
+				hexStr := src[i+1 : i+1+end]
+				data, err := hex.DecodeString(hexStr)
+				if err != nil {
+					return nil, fmt.Errorf("sql: bad hex literal %q", hexStr)
+				}
+				out = append(out, token{kind: tkBytes, s: string(data), pos: start})
+				i += end + 2
+				continue
+			}
+			if sqlKeywords[upper] {
+				out = append(out, token{kind: tkKeyword, text: upper, pos: start})
+			} else {
+				out = append(out, token{kind: tkIdent, text: word, pos: start})
+			}
+		case isSQLDigit(c) || (c == '.' && i+1 < len(src) && isSQLDigit(src[i+1])):
+			start := i
+			isFloat := false
+			for i < len(src) && isSQLDigit(src[i]) {
+				i++
+			}
+			if i < len(src) && src[i] == '.' {
+				isFloat = true
+				i++
+				for i < len(src) && isSQLDigit(src[i]) {
+					i++
+				}
+			}
+			if i < len(src) && (src[i] == 'e' || src[i] == 'E') {
+				j := i + 1
+				if j < len(src) && (src[j] == '+' || src[j] == '-') {
+					j++
+				}
+				if j < len(src) && isSQLDigit(src[j]) {
+					isFloat = true
+					i = j
+					for i < len(src) && isSQLDigit(src[i]) {
+						i++
+					}
+				}
+			}
+			text := src[start:i]
+			if isFloat {
+				f, err := strconv.ParseFloat(text, 64)
+				if err != nil {
+					return nil, fmt.Errorf("sql: bad float literal %q", text)
+				}
+				out = append(out, token{kind: tkFloat, f: f, pos: start})
+			} else {
+				n, err := strconv.ParseInt(text, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("sql: integer literal %q out of range", text)
+				}
+				out = append(out, token{kind: tkInt, i: n, pos: start})
+			}
+		case c == '$' && i+1 < len(src) && src[i+1] == '$':
+			// Dollar-quoted string ($$ ... $$), used for UDF bodies so
+			// Jaguar source does not need quote doubling.
+			start := i
+			end := strings.Index(src[i+2:], "$$")
+			if end < 0 {
+				return nil, fmt.Errorf("sql: unterminated $$ string at offset %d", start)
+			}
+			out = append(out, token{kind: tkString, s: src[i+2 : i+2+end], pos: start})
+			i += end + 4
+		case c == '\'':
+			start := i
+			i++
+			var b strings.Builder
+			closed := false
+			for i < len(src) {
+				if src[i] == '\'' {
+					// '' escapes a quote inside the literal.
+					if i+1 < len(src) && src[i+1] == '\'' {
+						b.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				b.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			out = append(out, token{kind: tkString, s: b.String(), pos: start})
+		default:
+			start := i
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<>", "<=", ">=", "!=":
+				op := two
+				if op == "!=" {
+					op = "<>"
+				}
+				out = append(out, token{kind: tkOp, text: op, pos: start})
+				i += 2
+				continue
+			}
+			switch c {
+			case '(', ')', ',', ';', '+', '-', '*', '/', '%', '=', '<', '>', '.':
+				out = append(out, token{kind: tkOp, text: string(c), pos: start})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", string(c), i)
+			}
+		}
+	}
+	out = append(out, token{kind: tkEOF, pos: len(src)})
+	return out, nil
+}
+
+func isSQLAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isSQLDigit(c byte) bool { return c >= '0' && c <= '9' }

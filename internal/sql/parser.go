@@ -1,0 +1,751 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"predator/internal/types"
+)
+
+// Parse parses one SQL statement (a trailing semicolon is allowed).
+func Parse(src string) (Statement, error) {
+	toks, err := lexSQL(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks, src: src}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tkOp, ";")
+	if p.cur().kind != tkEOF {
+		return nil, p.errHere("unexpected trailing input")
+	}
+	return stmt, nil
+}
+
+// ParseExpr parses a standalone expression (used by tests and tools).
+func ParseExpr(src string) (Expr, error) {
+	toks, err := lexSQL(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks, src: src}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tkEOF {
+		return nil, p.errHere("unexpected trailing input")
+	}
+	return e, nil
+}
+
+type sqlParser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *sqlParser) cur() token  { return p.toks[p.pos] }
+func (p *sqlParser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *sqlParser) errHere(format string, args ...any) error {
+	t := p.cur()
+	where := t.text
+	if where == "" {
+		switch t.kind {
+		case tkEOF:
+			where = "end of input"
+		case tkString:
+			where = "string literal"
+		default:
+			where = "literal"
+		}
+	}
+	return fmt.Errorf("sql: %s (near %q, offset %d)", fmt.Sprintf(format, args...), where, t.pos)
+}
+
+// accept consumes the token if it matches kind and (case-insensitive)
+// text; text "" matches any.
+func (p *sqlParser) accept(kind tokKind, text string) bool {
+	t := p.cur()
+	if t.kind != kind {
+		return false
+	}
+	if text != "" && !strings.EqualFold(t.text, text) {
+		return false
+	}
+	p.pos++
+	return true
+}
+
+func (p *sqlParser) expectKeyword(kw string) error {
+	if !p.accept(tkKeyword, kw) {
+		return p.errHere("expected %s", kw)
+	}
+	return nil
+}
+
+func (p *sqlParser) expectOp(op string) error {
+	if !p.accept(tkOp, op) {
+		return p.errHere("expected %q", op)
+	}
+	return nil
+}
+
+func (p *sqlParser) ident() (string, error) {
+	t := p.cur()
+	if t.kind != tkIdent {
+		return "", p.errHere("expected identifier")
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *sqlParser) typeName() (types.Kind, error) {
+	t := p.cur()
+	if t.kind != tkIdent && t.kind != tkKeyword {
+		return types.KindInvalid, p.errHere("expected type name")
+	}
+	k, err := types.KindFromName(t.text)
+	if err != nil {
+		return types.KindInvalid, p.errHere("unknown type %q", t.text)
+	}
+	p.pos++
+	return k, nil
+}
+
+func (p *sqlParser) statement() (Statement, error) {
+	t := p.cur()
+	if t.kind != tkKeyword {
+		return nil, p.errHere("expected a statement keyword")
+	}
+	switch t.text {
+	case "CREATE":
+		return p.createStmt()
+	case "DROP":
+		return p.dropStmt()
+	case "INSERT":
+		return p.insertStmt()
+	case "SELECT":
+		return p.selectStmt()
+	case "SHOW":
+		return p.showStmt()
+	case "EXPLAIN":
+		p.next()
+		q, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &Explain{Query: q.(*Select)}, nil
+	case "DELETE":
+		return p.deleteStmt()
+	case "UPDATE":
+		return p.updateStmt()
+	default:
+		return nil, p.errHere("unsupported statement %s", t.text)
+	}
+}
+
+func (p *sqlParser) updateStmt() (Statement, error) {
+	p.next() // UPDATE
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	u := &Update{Table: name}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		u.Sets = append(u.Sets, SetClause{Column: col, Value: val})
+		if p.accept(tkOp, ",") {
+			continue
+		}
+		break
+	}
+	if p.accept(tkKeyword, "WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		u.Where = e
+	}
+	return u, nil
+}
+
+func (p *sqlParser) createStmt() (Statement, error) {
+	p.next() // CREATE
+	replace := false
+	if p.accept(tkKeyword, "OR") {
+		if err := p.expectKeyword("REPLACE"); err != nil {
+			return nil, err
+		}
+		replace = true
+	}
+	switch {
+	case p.accept(tkKeyword, "TABLE"):
+		if replace {
+			return nil, p.errHere("CREATE OR REPLACE is only supported for functions")
+		}
+		return p.createTable()
+	case p.accept(tkKeyword, "FUNCTION"):
+		return p.createFunction(replace)
+	default:
+		return nil, p.errHere("expected TABLE or FUNCTION after CREATE")
+	}
+}
+
+func (p *sqlParser) createTable() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Name: name}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		kind, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		ct.Columns = append(ct.Columns, types.Column{Name: col, Kind: kind})
+		if p.accept(tkOp, ",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+func (p *sqlParser) createFunction(replace bool) (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	cf := &CreateFunction{Name: name, Replace: replace}
+	for p.cur().kind != tkOp || p.cur().text != ")" {
+		if len(cf.Args) > 0 {
+			if err := p.expectOp(","); err != nil {
+				return nil, err
+			}
+		}
+		// Optional parameter name before the type.
+		if p.cur().kind == tkIdent && p.toks[p.pos+1].kind == tkIdent {
+			p.next()
+		}
+		k, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		cf.Args = append(cf.Args, k)
+	}
+	p.next() // ')'
+	if err := p.expectKeyword("RETURNS"); err != nil {
+		return nil, err
+	}
+	ret, err := p.typeName()
+	if err != nil {
+		return nil, err
+	}
+	cf.Return = ret
+	if err := p.expectKeyword("LANGUAGE"); err != nil {
+		return nil, err
+	}
+	lang, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	cf.Language = strings.ToLower(lang)
+	if p.accept(tkKeyword, "ISOLATED") {
+		cf.Isolated = true
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	body := p.cur()
+	if body.kind != tkString {
+		return nil, p.errHere("expected function body string after AS")
+	}
+	p.next()
+	cf.Body = body.s
+	if p.accept(tkKeyword, "ISOLATED") {
+		cf.Isolated = true
+	}
+	return cf, nil
+}
+
+func (p *sqlParser) dropStmt() (Statement, error) {
+	p.next() // DROP
+	switch {
+	case p.accept(tkKeyword, "TABLE"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropTable{Name: name}, nil
+	case p.accept(tkKeyword, "FUNCTION"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropFunction{Name: name}, nil
+	default:
+		return nil, p.errHere("expected TABLE or FUNCTION after DROP")
+	}
+}
+
+func (p *sqlParser) insertStmt() (Statement, error) {
+	p.next() // INSERT
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: name}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.accept(tkOp, ",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if p.accept(tkOp, ",") {
+			continue
+		}
+		break
+	}
+	return ins, nil
+}
+
+func (p *sqlParser) deleteStmt() (Statement, error) {
+	p.next() // DELETE
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d := &Delete{Table: name}
+	if p.accept(tkKeyword, "WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		d.Where = e
+	}
+	return d, nil
+}
+
+func (p *sqlParser) showStmt() (Statement, error) {
+	p.next() // SHOW
+	switch {
+	case p.accept(tkKeyword, "TABLES"):
+		return &Show{What: "tables"}, nil
+	case p.accept(tkKeyword, "FUNCTIONS"):
+		return &Show{What: "functions"}, nil
+	default:
+		return nil, p.errHere("expected TABLES or FUNCTIONS after SHOW")
+	}
+}
+
+func (p *sqlParser) selectStmt() (Statement, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{Limit: -1}
+	for {
+		if p.accept(tkOp, "*") {
+			sel.Items = append(sel.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.accept(tkKeyword, "AS") {
+				alias, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = alias
+			} else if p.cur().kind == tkIdent {
+				item.Alias = p.next().text
+			}
+			sel.Items = append(sel.Items, item)
+		}
+		if p.accept(tkOp, ",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, ref)
+		if p.accept(tkOp, ",") {
+			continue
+		}
+		break
+	}
+	for p.accept(tkKeyword, "INNER") || p.cur().kind == tkKeyword && p.cur().text == "JOIN" {
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return nil, err
+		}
+		ref, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		j := Join{Table: ref}
+		if p.accept(tkKeyword, "ON") {
+			on, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			j.On = on
+		}
+		sel.Joins = append(sel.Joins, j)
+	}
+	if p.accept(tkKeyword, "WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.accept(tkKeyword, "GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if p.accept(tkOp, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.accept(tkKeyword, "HAVING") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	if p.accept(tkKeyword, "ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(tkKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tkKeyword, "ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if p.accept(tkOp, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.accept(tkKeyword, "LIMIT") {
+		t := p.cur()
+		if t.kind != tkInt || t.i < 0 {
+			return nil, p.errHere("expected a non-negative integer after LIMIT")
+		}
+		p.next()
+		sel.Limit = t.i
+	}
+	return sel, nil
+}
+
+func (p *sqlParser) tableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: name}
+	if p.accept(tkKeyword, "AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = alias
+	} else if p.cur().kind == tkIdent {
+		ref.Alias = p.next().text
+	}
+	return ref, nil
+}
+
+// Expression grammar (precedence climbing):
+//
+//	OR
+//	AND
+//	NOT
+//	comparison (= <> < <= > >=, IS NULL)
+//	+ -
+//	* / %
+//	unary -
+//	primary
+
+func (p *sqlParser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *sqlParser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tkKeyword, "OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tkKeyword, "AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) notExpr() (Expr, error) {
+	if p.accept(tkKeyword, "NOT") {
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *sqlParser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tkKeyword, "IS") {
+		neg := p.accept(tkKeyword, "NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{X: l, Negate: neg}, nil
+	}
+	t := p.cur()
+	if t.kind == tkOp {
+		switch t.text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			p.next()
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: t.text, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tkOp || (t.text != "+" && t.text != "-") {
+			return l, nil
+		}
+		p.next()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: t.text, L: l, R: r}
+	}
+}
+
+func (p *sqlParser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tkOp || (t.text != "*" && t.text != "/" && t.text != "%") {
+			return l, nil
+		}
+		p.next()
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: t.text, L: l, R: r}
+	}
+}
+
+func (p *sqlParser) unaryExpr() (Expr, error) {
+	if p.cur().kind == tkOp && p.cur().text == "-" {
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	}
+	return p.primaryExpr()
+}
+
+func (p *sqlParser) primaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tkInt:
+		p.next()
+		return &Literal{Value: types.NewInt(t.i)}, nil
+	case tkFloat:
+		p.next()
+		return &Literal{Value: types.NewFloat(t.f)}, nil
+	case tkString:
+		p.next()
+		return &Literal{Value: types.NewString(t.s)}, nil
+	case tkBytes:
+		p.next()
+		return &Literal{Value: types.NewBytes([]byte(t.s))}, nil
+	case tkKeyword:
+		switch t.text {
+		case "NULL":
+			p.next()
+			return &Literal{Value: types.Null()}, nil
+		case "TRUE":
+			p.next()
+			return &Literal{Value: types.NewBool(true)}, nil
+		case "FALSE":
+			p.next()
+			return &Literal{Value: types.NewBool(false)}, nil
+		}
+		return nil, p.errHere("unexpected keyword %s in expression", t.text)
+	case tkOp:
+		if t.text == "(" {
+			p.next()
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, p.errHere("expected expression")
+	case tkIdent:
+		p.next()
+		// Function call?
+		if p.cur().kind == tkOp && p.cur().text == "(" {
+			p.next()
+			fc := &FuncCall{Name: t.text}
+			if p.accept(tkOp, "*") {
+				fc.Star = true
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return fc, nil
+			}
+			for p.cur().kind != tkOp || p.cur().text != ")" {
+				if len(fc.Args) > 0 {
+					if err := p.expectOp(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				fc.Args = append(fc.Args, a)
+			}
+			p.next() // ')'
+			return fc, nil
+		}
+		// Qualified column?
+		if p.cur().kind == tkOp && p.cur().text == "." {
+			p.next()
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: t.text, Column: col}, nil
+		}
+		return &ColumnRef{Column: t.text}, nil
+	default:
+		return nil, p.errHere("expected expression")
+	}
+}

@@ -1,0 +1,266 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"predator/internal/types"
+)
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func TestParseCreateTable(t *testing.T) {
+	stmt := mustParse(t, `CREATE TABLE stocks (id INT, sym STRING, price FLOAT, hist BYTES, live BOOL)`)
+	ct, ok := stmt.(*CreateTable)
+	if !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	if ct.Name != "stocks" || len(ct.Columns) != 5 {
+		t.Fatalf("ct = %+v", ct)
+	}
+	want := []types.Kind{types.KindInt, types.KindString, types.KindFloat, types.KindBytes, types.KindBool}
+	for i, k := range want {
+		if ct.Columns[i].Kind != k {
+			t.Errorf("col %d kind = %s, want %s", i, ct.Columns[i].Kind, k)
+		}
+	}
+}
+
+func TestParseInsertMultiRow(t *testing.T) {
+	stmt := mustParse(t, `INSERT INTO t VALUES (1, 'a', X'FF00', NULL, TRUE), (2, 'b''c', X'', 1.5, FALSE)`)
+	ins := stmt.(*Insert)
+	if ins.Table != "t" || len(ins.Rows) != 2 || len(ins.Rows[0]) != 5 {
+		t.Fatalf("ins = %+v", ins)
+	}
+	lit := ins.Rows[0][2].(*Literal)
+	if lit.Value.Kind != types.KindBytes || len(lit.Value.Bytes) != 2 || lit.Value.Bytes[0] != 0xFF {
+		t.Errorf("hex literal = %v", lit.Value)
+	}
+	esc := ins.Rows[1][1].(*Literal)
+	if esc.Value.Str != "b'c" {
+		t.Errorf("escaped string = %q", esc.Value.Str)
+	}
+	if !ins.Rows[0][3].(*Literal).Value.IsNull() {
+		t.Error("NULL literal lost")
+	}
+	if !ins.Rows[0][4].(*Literal).Value.Bool {
+		t.Error("TRUE literal lost")
+	}
+}
+
+func TestParseSelectFull(t *testing.T) {
+	stmt := mustParse(t, `
+		SELECT s.sym, COUNT(*) AS n, AVG(s.price) avgp
+		FROM stocks s JOIN sectors c ON s.type = c.name
+		WHERE s.price > 10 AND NOT (s.sym = 'X') OR s.price IS NOT NULL
+		GROUP BY s.sym
+		HAVING COUNT(*) > 1
+		ORDER BY n DESC, s.sym ASC
+		LIMIT 10`)
+	sel := stmt.(*Select)
+	if len(sel.Items) != 3 || sel.Items[1].Alias != "n" || sel.Items[2].Alias != "avgp" {
+		t.Errorf("items = %+v", sel.Items)
+	}
+	if len(sel.From) != 1 || sel.From[0].Alias != "s" {
+		t.Errorf("from = %+v", sel.From)
+	}
+	if len(sel.Joins) != 1 || sel.Joins[0].Table.Alias != "c" || sel.Joins[0].On == nil {
+		t.Errorf("joins = %+v", sel.Joins)
+	}
+	if sel.Where == nil || len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Error("where/group/having missing")
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("orderby = %+v", sel.OrderBy)
+	}
+	if sel.Limit != 10 {
+		t.Errorf("limit = %d", sel.Limit)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	e, err := ParseExpr(`a + b * c - d`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.String(); got != "((a + (b * c)) - d)" {
+		t.Errorf("precedence = %s", got)
+	}
+	e, _ = ParseExpr(`a = 1 AND b = 2 OR c = 3`)
+	if got := e.String(); got != "(((a = 1) AND (b = 2)) OR (c = 3))" {
+		t.Errorf("logic precedence = %s", got)
+	}
+	e, _ = ParseExpr(`NOT a = 1`)
+	if got := e.String(); got != "(NOT (a = 1))" {
+		t.Errorf("NOT binds loosest of the three = %s", got)
+	}
+	e, _ = ParseExpr(`-a * b`)
+	if got := e.String(); got != "((-a) * b)" {
+		t.Errorf("unary minus = %s", got)
+	}
+	e, _ = ParseExpr(`(a + b) * c`)
+	if got := e.String(); got != "((a + b) * c)" {
+		t.Errorf("parens = %s", got)
+	}
+}
+
+func TestParseOperatorSpellings(t *testing.T) {
+	for _, src := range []string{`a <> b`, `a != b`} {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.(*BinaryExpr).Op != "<>" {
+			t.Errorf("%s parsed as %s", src, e.(*BinaryExpr).Op)
+		}
+	}
+}
+
+func TestParseCreateFunction(t *testing.T) {
+	stmt := mustParse(t, `CREATE OR REPLACE FUNCTION f(h BYTES, n INT) RETURNS FLOAT
+		LANGUAGE jaguar ISOLATED AS $$ func f(h bytes, n int) float { return 1.0; } $$`)
+	cf := stmt.(*CreateFunction)
+	if cf.Name != "f" || !cf.Replace || !cf.Isolated || cf.Language != "jaguar" {
+		t.Errorf("cf = %+v", cf)
+	}
+	if len(cf.Args) != 2 || cf.Args[0] != types.KindBytes || cf.Return != types.KindFloat {
+		t.Errorf("signature = %v -> %v", cf.Args, cf.Return)
+	}
+	if !strings.Contains(cf.Body, "func f") {
+		t.Errorf("body = %q", cf.Body)
+	}
+	// Quoted-string bodies with '' escaping also work.
+	stmt = mustParse(t, `CREATE FUNCTION g() RETURNS INT LANGUAGE jaguar AS 'func g() int { log(''hi''); return 0; }'`)
+	cf = stmt.(*CreateFunction)
+	if !strings.Contains(cf.Body, "log('hi')") {
+		t.Errorf("body = %q", cf.Body)
+	}
+}
+
+func TestParseDeleteShowExplainDrop(t *testing.T) {
+	d := mustParse(t, `DELETE FROM t WHERE x > 1`).(*Delete)
+	if d.Table != "t" || d.Where == nil {
+		t.Errorf("delete = %+v", d)
+	}
+	d = mustParse(t, `DELETE FROM t`).(*Delete)
+	if d.Where != nil {
+		t.Error("where should be nil")
+	}
+	s := mustParse(t, `SHOW TABLES`).(*Show)
+	if s.What != "tables" {
+		t.Errorf("show = %+v", s)
+	}
+	s = mustParse(t, `SHOW FUNCTIONS;`).(*Show)
+	if s.What != "functions" {
+		t.Errorf("show = %+v", s)
+	}
+	ex := mustParse(t, `EXPLAIN SELECT * FROM t`).(*Explain)
+	if len(ex.Query.Items) != 1 || !ex.Query.Items[0].Star {
+		t.Errorf("explain = %+v", ex.Query)
+	}
+	if _, ok := mustParse(t, `DROP TABLE t`).(*DropTable); !ok {
+		t.Error("drop table")
+	}
+	if _, ok := mustParse(t, `DROP FUNCTION f`).(*DropFunction); !ok {
+		t.Error("drop function")
+	}
+}
+
+func TestParseCommentsAndWhitespace(t *testing.T) {
+	stmt := mustParse(t, `
+		-- leading comment
+		SELECT x -- trailing comment
+		FROM t -- another
+	`)
+	if _, ok := stmt.(*Select); !ok {
+		t.Errorf("got %T", stmt)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	sel := mustParse(t, `SELECT COUNT(*), SUM(x) FROM t`).(*Select)
+	fc := sel.Items[0].Expr.(*FuncCall)
+	if !fc.Star || !strings.EqualFold(fc.Name, "count") {
+		t.Errorf("count(*) = %+v", fc)
+	}
+}
+
+func TestParseErrorsSQL(t *testing.T) {
+	cases := []string{
+		``,
+		`SELEC * FROM t`,
+		`SELECT`,
+		`SELECT * FROM`,
+		`SELECT * FROM t WHERE`,
+		`SELECT * FROM t LIMIT -1`,
+		`SELECT * FROM t LIMIT x`,
+		`CREATE TABLE t`,
+		`CREATE TABLE t ()`,
+		`CREATE TABLE t (x POINT)`,
+		`CREATE OR REPLACE TABLE t (x INT)`,
+		`CREATE FUNCTION f() RETURNS INT LANGUAGE jaguar AS 42`,
+		`INSERT INTO t (1)`,
+		`INSERT INTO t VALUES 1`,
+		`DROP t`,
+		`SHOW COLUMNS`,
+		`SELECT * FROM t; extra`,
+		`SELECT 'unterminated FROM t`,
+		`SELECT X'zz' FROM t`,
+		`SELECT $$open FROM t`,
+		`SELECT a . FROM t`,
+		`SELECT (a FROM t`,
+		`SELECT 99999999999999999999 FROM t`,
+		`SELECT # FROM t`,
+		`SELECT a FROM t WHERE a IS`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+// Property: the lexer never panics and either tokenizes or errors for
+// arbitrary input.
+func TestQuickLexerTotal(t *testing.T) {
+	prop := func(src string) bool {
+		toks, err := lexSQL(src)
+		if err != nil {
+			return true
+		}
+		return len(toks) > 0 && toks[len(toks)-1].kind == tkEOF
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: parsing an expression and re-parsing its String() yields
+// the same rendering (the printer emits valid, stable syntax).
+func TestQuickExprStringStable(t *testing.T) {
+	seeds := []string{
+		`a + b * 2`, `f(x, y) >= 3.5`, `NOT (a = 1 OR b IS NULL)`,
+		`t.col - -4`, `'str' = other`, `LENGTH(h) % 2 = 0`,
+	}
+	for _, src := range seeds {
+		e1, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		e2, err := ParseExpr(e1.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", e1.String(), err)
+		}
+		if e1.String() != e2.String() {
+			t.Errorf("unstable: %q -> %q", e1.String(), e2.String())
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// BufferPool caches pages in memory with LRU replacement and pin
+// counting. All page access in the engine goes through the pool; the
+// Fig. 4 calibration measures exactly this path.
+type BufferPool struct {
+	mu       sync.Mutex
+	disk     *DiskManager
+	capacity int
+	frames   map[PageID]*frame
+	lru      *list.List // unpinned frames, front = least recently used
+
+	stats BufferStats
+}
+
+// BufferStats reports cache behaviour.
+type BufferStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+type frame struct {
+	id     PageID
+	buf    [PageSize]byte
+	pins   int
+	dirty  bool
+	lruEle *list.Element // non-nil iff unpinned and resident
+}
+
+// PinnedPage is a handle to a pinned buffer frame. Callers must call
+// Unpin exactly once; Data is invalid afterwards.
+type PinnedPage struct {
+	pool  *BufferPool
+	frame *frame
+}
+
+// ID returns the pinned page's ID.
+func (pp *PinnedPage) ID() PageID { return pp.frame.id }
+
+// Data returns the page buffer. Mutating it requires marking the page
+// dirty at Unpin time.
+func (pp *PinnedPage) Data() []byte { return pp.frame.buf[:] }
+
+// Page returns a slotted-page view of the buffer.
+func (pp *PinnedPage) Page() *Page { return AsPage(pp.frame.buf[:]) }
+
+// Unpin releases the pin. If dirty is true the page will be written
+// back before eviction (or at FlushAll).
+func (pp *PinnedPage) Unpin(dirty bool) {
+	pp.pool.unpin(pp.frame, dirty)
+	pp.frame = nil
+}
+
+// NewBufferPool creates a pool caching up to capacity pages.
+func NewBufferPool(disk *DiskManager, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		disk:     disk,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Fetch pins the page with the given ID, reading it from disk on a miss.
+func (bp *BufferPool) Fetch(id PageID) (*PinnedPage, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[id]; ok {
+		bp.stats.Hits++
+		bp.pinLocked(f)
+		return &PinnedPage{pool: bp, frame: f}, nil
+	}
+	bp.stats.Misses++
+	f, err := bp.allocFrameLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := bp.disk.Read(id, f.buf[:]); err != nil {
+		delete(bp.frames, id)
+		return nil, err
+	}
+	return &PinnedPage{pool: bp, frame: f}, nil
+}
+
+// Allocate creates a brand-new page (formatted as an empty slotted
+// page) and returns it pinned.
+func (bp *BufferPool) Allocate() (*PinnedPage, error) {
+	id, err := bp.disk.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, err := bp.allocFrameLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	AsPage(f.buf[:]).Init()
+	f.dirty = true
+	return &PinnedPage{pool: bp, frame: f}, nil
+}
+
+// allocFrameLocked finds a frame for id, evicting if needed, and pins it.
+func (bp *BufferPool) allocFrameLocked(id PageID) (*frame, error) {
+	if len(bp.frames) >= bp.capacity {
+		if err := bp.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	f := &frame{id: id, pins: 1}
+	bp.frames[id] = f
+	return f, nil
+}
+
+func (bp *BufferPool) evictLocked() error {
+	ele := bp.lru.Front()
+	if ele == nil {
+		return fmt.Errorf("storage: buffer pool exhausted (%d pages, all pinned)", bp.capacity)
+	}
+	victim := ele.Value.(*frame)
+	if victim.dirty {
+		if err := bp.disk.Write(victim.id, victim.buf[:]); err != nil {
+			return err
+		}
+	}
+	bp.lru.Remove(ele)
+	delete(bp.frames, victim.id)
+	bp.stats.Evictions++
+	return nil
+}
+
+func (bp *BufferPool) pinLocked(f *frame) {
+	if f.lruEle != nil {
+		bp.lru.Remove(f.lruEle)
+		f.lruEle = nil
+	}
+	f.pins++
+}
+
+func (bp *BufferPool) unpin(f *frame, dirty bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("storage: unpin of unpinned page %d", f.id))
+	}
+	if dirty {
+		f.dirty = true
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.lruEle = bp.lru.PushBack(f)
+	}
+}
+
+// Drop removes a page from the pool without writing it back. Used when
+// the page has been freed on disk. The page must not be pinned.
+func (bp *BufferPool) Drop(id PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[id]; ok && f.pins == 0 {
+		if f.lruEle != nil {
+			bp.lru.Remove(f.lruEle)
+		}
+		delete(bp.frames, id)
+	}
+}
+
+// FlushAll writes every dirty resident page back to disk.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, f := range bp.frames {
+		if f.dirty {
+			if err := bp.disk.Write(f.id, f.buf[:]); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of hit/miss/eviction counters.
+func (bp *BufferPool) Stats() BufferStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}

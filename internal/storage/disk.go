@@ -1,0 +1,239 @@
+// Package storage implements the storage manager of PREDATOR-Go: a
+// file-backed disk manager, slotted pages, an LRU buffer pool, and heap
+// files with RID-addressed records. It plays the role of the Shore
+// storage manager in the paper's PREDATOR stack.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// PageSize is the size of every on-disk page in bytes.
+const PageSize = 8192
+
+// PageID identifies a page within a database file. Page 0 is the meta
+// page and is never handed out.
+type PageID uint32
+
+// InvalidPageID is the nil page reference (end of chains, etc.).
+const InvalidPageID PageID = 0xFFFFFFFF
+
+const (
+	metaMagic   = 0x50524544 // "PRED"
+	metaVersion = 1
+)
+
+// ErrClosed is returned by operations on a closed disk manager.
+var ErrClosed = errors.New("storage: disk manager is closed")
+
+// DiskManager allocates, reads and writes fixed-size pages in a single
+// database file. Deallocated pages are kept on a persistent free list
+// (chained through the first 4 bytes of each free page) and reused by
+// subsequent allocations.
+type DiskManager struct {
+	mu       sync.Mutex
+	f        *os.File
+	numPages uint32 // includes the meta page
+	freeHead PageID
+	closed   bool
+
+	// Stats counts physical I/O for calibration experiments.
+	stats DiskStats
+}
+
+// DiskStats reports physical page I/O counts.
+type DiskStats struct {
+	Reads  uint64
+	Writes uint64
+	Allocs uint64
+}
+
+// OpenDisk opens (or creates) the database file at path.
+func OpenDisk(path string) (*DiskManager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	d := &DiskManager{f: f}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat %s: %w", path, err)
+	}
+	if info.Size() == 0 {
+		// Fresh file: write the meta page.
+		d.numPages = 1
+		d.freeHead = InvalidPageID
+		if err := d.writeMetaLocked(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return d, nil
+	}
+	if info.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s has size %d, not a multiple of the page size", path, info.Size())
+	}
+	var meta [PageSize]byte
+	if _, err := f.ReadAt(meta[:], 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: read meta page: %w", err)
+	}
+	if binary.LittleEndian.Uint32(meta[0:]) != metaMagic {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s is not a PREDATOR database file", path)
+	}
+	if v := binary.LittleEndian.Uint32(meta[4:]); v != metaVersion {
+		f.Close()
+		return nil, fmt.Errorf("storage: unsupported database version %d", v)
+	}
+	d.numPages = binary.LittleEndian.Uint32(meta[8:])
+	d.freeHead = PageID(binary.LittleEndian.Uint32(meta[12:]))
+	return d, nil
+}
+
+func (d *DiskManager) writeMetaLocked() error {
+	var meta [PageSize]byte
+	binary.LittleEndian.PutUint32(meta[0:], metaMagic)
+	binary.LittleEndian.PutUint32(meta[4:], metaVersion)
+	binary.LittleEndian.PutUint32(meta[8:], d.numPages)
+	binary.LittleEndian.PutUint32(meta[12:], uint32(d.freeHead))
+	if _, err := d.f.WriteAt(meta[:], 0); err != nil {
+		return fmt.Errorf("storage: write meta page: %w", err)
+	}
+	return nil
+}
+
+// Allocate returns a fresh page ID, reusing a freed page if one exists.
+// The page contents are undefined; callers must initialize them.
+func (d *DiskManager) Allocate() (PageID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return InvalidPageID, ErrClosed
+	}
+	d.stats.Allocs++
+	if d.freeHead != InvalidPageID {
+		id := d.freeHead
+		var hdr [4]byte
+		if _, err := d.f.ReadAt(hdr[:], int64(id)*PageSize); err != nil {
+			return InvalidPageID, fmt.Errorf("storage: read free page %d: %w", id, err)
+		}
+		d.freeHead = PageID(binary.LittleEndian.Uint32(hdr[:]))
+		if err := d.writeMetaLocked(); err != nil {
+			return InvalidPageID, err
+		}
+		return id, nil
+	}
+	id := PageID(d.numPages)
+	d.numPages++
+	// Extend the file so reads of the new page succeed.
+	var zero [PageSize]byte
+	if _, err := d.f.WriteAt(zero[:], int64(id)*PageSize); err != nil {
+		d.numPages--
+		return InvalidPageID, fmt.Errorf("storage: extend file for page %d: %w", id, err)
+	}
+	if err := d.writeMetaLocked(); err != nil {
+		return InvalidPageID, err
+	}
+	return id, nil
+}
+
+// Free returns a page to the free list for reuse.
+func (d *DiskManager) Free(id PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if id == 0 || uint32(id) >= d.numPages {
+		return fmt.Errorf("storage: cannot free page %d", id)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(d.freeHead))
+	if _, err := d.f.WriteAt(hdr[:], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: write free link on page %d: %w", id, err)
+	}
+	d.freeHead = id
+	return d.writeMetaLocked()
+}
+
+// Read fills buf (which must be PageSize bytes) with the page contents.
+func (d *DiskManager) Read(id PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if len(buf) != PageSize {
+		return fmt.Errorf("storage: read buffer is %d bytes, want %d", len(buf), PageSize)
+	}
+	if id == 0 || uint32(id) >= d.numPages {
+		return fmt.Errorf("storage: read of invalid page %d (file has %d pages)", id, d.numPages)
+	}
+	d.stats.Reads++
+	if _, err := d.f.ReadAt(buf, int64(id)*PageSize); err != nil && err != io.EOF {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	return nil
+}
+
+// Write stores buf (PageSize bytes) as the page contents.
+func (d *DiskManager) Write(id PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if len(buf) != PageSize {
+		return fmt.Errorf("storage: write buffer is %d bytes, want %d", len(buf), PageSize)
+	}
+	if id == 0 || uint32(id) >= d.numPages {
+		return fmt.Errorf("storage: write of invalid page %d", id)
+	}
+	d.stats.Writes++
+	if _, err := d.f.WriteAt(buf, int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+// NumPages returns the number of pages in the file (including meta).
+func (d *DiskManager) NumPages() uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.numPages
+}
+
+// Stats returns a snapshot of physical I/O counters.
+func (d *DiskManager) Stats() DiskStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Sync flushes the file to stable storage.
+func (d *DiskManager) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return d.f.Sync()
+}
+
+// Close releases the underlying file. Further operations fail.
+func (d *DiskManager) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.f.Close()
+}

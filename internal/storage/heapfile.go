@@ -1,0 +1,344 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// RID identifies a record: the page that holds it and its slot number.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// String renders the RID as "page.slot".
+func (r RID) String() string { return fmt.Sprintf("%d.%d", r.Page, r.Slot) }
+
+// Overflow page layout (for records larger than MaxInlineRecord):
+//
+//	offset 0: next PageID (4 bytes)
+//	offset 4: used        (2 bytes)
+//	offset 6: payload
+const (
+	overflowHeaderSize = 6
+	overflowCapacity   = PageSize - overflowHeaderSize
+)
+
+// HeapFile is an unordered collection of records stored in a chain of
+// slotted pages. Records larger than MaxInlineRecord spill into
+// overflow-page chains, which keeps the paper's 10,000-byte ByteArray
+// tuples storable on 8 KiB pages.
+type HeapFile struct {
+	pool  *BufferPool
+	disk  *DiskManager
+	first PageID
+	last  PageID // cached hint for fast appends; revalidated on use
+}
+
+// CreateHeapFile allocates a new, empty heap file and returns it. The
+// returned FirstPage must be recorded (e.g. in the catalog) to reopen
+// the file later.
+func CreateHeapFile(disk *DiskManager, pool *BufferPool) (*HeapFile, error) {
+	pp, err := pool.Allocate()
+	if err != nil {
+		return nil, fmt.Errorf("storage: create heap file: %w", err)
+	}
+	first := pp.ID()
+	pp.Unpin(true)
+	return &HeapFile{pool: pool, disk: disk, first: first, last: first}, nil
+}
+
+// OpenHeapFile reopens a heap file by its first page.
+func OpenHeapFile(disk *DiskManager, pool *BufferPool, first PageID) *HeapFile {
+	return &HeapFile{pool: pool, disk: disk, first: first, last: first}
+}
+
+// FirstPage returns the head of the page chain (the file's identity).
+func (h *HeapFile) FirstPage() PageID { return h.first }
+
+// Insert stores rec and returns its RID. rec is copied.
+func (h *HeapFile) Insert(rec []byte) (RID, error) {
+	if len(rec) > MaxInlineRecord {
+		return h.insertLarge(rec)
+	}
+	pp, err := h.lastPageWithRoom(len(rec) + slotSize)
+	if err != nil {
+		return RID{}, err
+	}
+	slot, err := pp.Page().Insert(rec)
+	if err != nil {
+		pp.Unpin(false)
+		return RID{}, err
+	}
+	rid := RID{Page: pp.ID(), Slot: uint16(slot)}
+	pp.Unpin(true)
+	return rid, nil
+}
+
+func (h *HeapFile) insertLarge(rec []byte) (RID, error) {
+	// Write the overflow chain first, then the stub.
+	var first, prev PageID = InvalidPageID, InvalidPageID
+	for off := 0; off < len(rec); {
+		pp, err := h.pool.Allocate()
+		if err != nil {
+			return RID{}, fmt.Errorf("storage: allocate overflow page: %w", err)
+		}
+		buf := pp.Data()
+		binary.LittleEndian.PutUint32(buf[0:], uint32(InvalidPageID))
+		n := len(rec) - off
+		if n > overflowCapacity {
+			n = overflowCapacity
+		}
+		binary.LittleEndian.PutUint16(buf[4:], uint16(n))
+		copy(buf[overflowHeaderSize:], rec[off:off+n])
+		id := pp.ID()
+		pp.Unpin(true)
+		if first == InvalidPageID {
+			first = id
+		} else {
+			// Link the previous overflow page to this one.
+			prevPP, err := h.pool.Fetch(prev)
+			if err != nil {
+				return RID{}, err
+			}
+			binary.LittleEndian.PutUint32(prevPP.Data()[0:], uint32(id))
+			prevPP.Unpin(true)
+		}
+		prev = id
+		off += n
+	}
+	pp, err := h.lastPageWithRoom(largeStubSize + slotSize)
+	if err != nil {
+		return RID{}, err
+	}
+	slot, err := pp.Page().insertLargeStub(first, uint32(len(rec)))
+	if err != nil {
+		pp.Unpin(false)
+		return RID{}, err
+	}
+	rid := RID{Page: pp.ID(), Slot: uint16(slot)}
+	pp.Unpin(true)
+	return rid, nil
+}
+
+// lastPageWithRoom returns a pinned page with at least need bytes free,
+// appending a new page to the chain if necessary.
+func (h *HeapFile) lastPageWithRoom(need int) (*PinnedPage, error) {
+	// Start from the cached last-page hint and walk forward.
+	id := h.last
+	if id == InvalidPageID {
+		id = h.first
+	}
+	for {
+		pp, err := h.pool.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		pg := pp.Page()
+		next := pg.Next()
+		if next == InvalidPageID {
+			h.last = id
+			if pg.FreeSpace() >= need {
+				return pp, nil
+			}
+			// Chain a new page.
+			newPP, err := h.pool.Allocate()
+			if err != nil {
+				pp.Unpin(false)
+				return nil, err
+			}
+			pg.SetNext(newPP.ID())
+			pp.Unpin(true)
+			h.last = newPP.ID()
+			return newPP, nil
+		}
+		pp.Unpin(false)
+		id = next
+	}
+}
+
+// Get returns a copy of the record at rid, or ok=false if the record
+// was deleted or never existed.
+func (h *HeapFile) Get(rid RID) ([]byte, bool, error) {
+	pp, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return nil, false, err
+	}
+	defer pp.Unpin(false)
+	rec, isLarge, first, totalLen, ok := pp.Page().Record(int(rid.Slot))
+	if !ok {
+		return nil, false, nil
+	}
+	if !isLarge {
+		out := make([]byte, len(rec))
+		copy(out, rec)
+		return out, true, nil
+	}
+	out, err := h.readOverflow(first, totalLen)
+	if err != nil {
+		return nil, false, err
+	}
+	return out, true, nil
+}
+
+func (h *HeapFile) readOverflow(first PageID, totalLen uint32) ([]byte, error) {
+	out := make([]byte, 0, totalLen)
+	id := first
+	for id != InvalidPageID {
+		pp, err := h.pool.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		buf := pp.Data()
+		next := PageID(binary.LittleEndian.Uint32(buf[0:]))
+		used := int(binary.LittleEndian.Uint16(buf[4:]))
+		if used > overflowCapacity {
+			pp.Unpin(false)
+			return nil, fmt.Errorf("storage: corrupt overflow page %d (used=%d)", id, used)
+		}
+		out = append(out, buf[overflowHeaderSize:overflowHeaderSize+used]...)
+		pp.Unpin(false)
+		id = next
+	}
+	if uint32(len(out)) != totalLen {
+		return nil, fmt.Errorf("storage: overflow chain yielded %d bytes, want %d", len(out), totalLen)
+	}
+	return out, nil
+}
+
+// Delete removes the record at rid, freeing any overflow chain. It
+// reports whether a live record was deleted.
+func (h *HeapFile) Delete(rid RID) (bool, error) {
+	pp, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return false, err
+	}
+	wasLarge, first, ok := pp.Page().Delete(int(rid.Slot))
+	pp.Unpin(ok)
+	if !ok {
+		return false, nil
+	}
+	if wasLarge {
+		if err := h.freeOverflow(first); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+func (h *HeapFile) freeOverflow(first PageID) error {
+	id := first
+	for id != InvalidPageID {
+		pp, err := h.pool.Fetch(id)
+		if err != nil {
+			return err
+		}
+		next := PageID(binary.LittleEndian.Uint32(pp.Data()[0:]))
+		pp.Unpin(false)
+		h.pool.Drop(id)
+		if err := h.disk.Free(id); err != nil {
+			return err
+		}
+		id = next
+	}
+	return nil
+}
+
+// Destroy frees every page of the heap file, including overflow chains.
+// The heap file must not be used afterwards.
+func (h *HeapFile) Destroy() error {
+	id := h.first
+	for id != InvalidPageID {
+		pp, err := h.pool.Fetch(id)
+		if err != nil {
+			return err
+		}
+		pg := pp.Page()
+		next := pg.Next()
+		// Free overflow chains of live large records on this page.
+		for slot := 0; slot < pg.NumSlots(); slot++ {
+			_, isLarge, first, _, ok := pg.Record(slot)
+			if ok && isLarge {
+				if err := h.freeOverflow(first); err != nil {
+					pp.Unpin(false)
+					return err
+				}
+			}
+		}
+		pp.Unpin(false)
+		h.pool.Drop(id)
+		if err := h.disk.Free(id); err != nil {
+			return err
+		}
+		id = next
+	}
+	h.first = InvalidPageID
+	h.last = InvalidPageID
+	return nil
+}
+
+// Scan returns an iterator over all live records in the file.
+func (h *HeapFile) Scan() *Scanner {
+	return &Scanner{hf: h, page: h.first, slot: 0}
+}
+
+// Scanner iterates a heap file page by page, slot by slot.
+type Scanner struct {
+	hf   *HeapFile
+	page PageID
+	slot int
+	err  error
+
+	rid RID
+	rec []byte
+}
+
+// Next advances to the next live record. It returns false at the end
+// of the file or on error (check Err).
+func (s *Scanner) Next() bool {
+	for s.page != InvalidPageID {
+		pp, err := s.hf.pool.Fetch(s.page)
+		if err != nil {
+			s.err = err
+			return false
+		}
+		pg := pp.Page()
+		for s.slot < pg.NumSlots() {
+			rec, isLarge, first, totalLen, ok := pg.Record(s.slot)
+			s.slot++
+			if !ok {
+				continue
+			}
+			s.rid = RID{Page: s.page, Slot: uint16(s.slot - 1)}
+			if isLarge {
+				pp.Unpin(false)
+				out, err := s.hf.readOverflow(first, totalLen)
+				if err != nil {
+					s.err = err
+					return false
+				}
+				s.rec = out
+				return true
+			}
+			out := make([]byte, len(rec))
+			copy(out, rec)
+			s.rec = out
+			pp.Unpin(false)
+			return true
+		}
+		next := pg.Next()
+		pp.Unpin(false)
+		s.page = next
+		s.slot = 0
+	}
+	return false
+}
+
+// Record returns the current record (a copy owned by the caller).
+func (s *Scanner) Record() []byte { return s.rec }
+
+// RID returns the current record's RID.
+func (s *Scanner) RID() RID { return s.rid }
+
+// Err returns the first error encountered during the scan, if any.
+func (s *Scanner) Err() error { return s.err }

@@ -1,0 +1,527 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func newDisk(t *testing.T) *DiskManager {
+	t.Helper()
+	d, err := OpenDisk(filepath.Join(t.TempDir(), "test.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func TestDiskAllocateReadWrite(t *testing.T) {
+	d := newDisk(t)
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 {
+		t.Fatal("meta page handed out")
+	}
+	buf := make([]byte, PageSize)
+	copy(buf, "hello page")
+	if err := d.Write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, PageSize)
+	if err := d.Read(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, got) {
+		t.Error("read returned different contents than written")
+	}
+}
+
+func TestDiskInvalidAccess(t *testing.T) {
+	d := newDisk(t)
+	buf := make([]byte, PageSize)
+	if err := d.Read(0, buf); err == nil {
+		t.Error("reading meta page via Read should fail")
+	}
+	if err := d.Read(42, buf); err == nil {
+		t.Error("reading unallocated page should fail")
+	}
+	if err := d.Write(42, buf); err == nil {
+		t.Error("writing unallocated page should fail")
+	}
+	if err := d.Read(1, buf[:10]); err == nil {
+		t.Error("short buffer should fail")
+	}
+}
+
+func TestDiskFreeListReuse(t *testing.T) {
+	d := newDisk(t)
+	a, _ := d.Allocate()
+	b, _ := d.Allocate()
+	if err := d.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := d.Allocate()
+	e, _ := d.Allocate()
+	if c != b || e != a {
+		t.Errorf("free pages not reused LIFO: got %d,%d want %d,%d", c, e, b, a)
+	}
+	f, _ := d.Allocate()
+	if f != 3 {
+		t.Errorf("expected fresh page 3 after free list drained, got %d", f)
+	}
+}
+
+func TestDiskPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "persist.db")
+	d, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := d.Allocate()
+	buf := make([]byte, PageSize)
+	copy(buf, "persisted")
+	if err := d.Write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	freed, _ := d.Allocate()
+	if err := d.Free(freed); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	got := make([]byte, PageSize)
+	if err := d2.Read(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:9]) != "persisted" {
+		t.Error("page contents lost across reopen")
+	}
+	// The free list must survive reopen too.
+	reused, _ := d2.Allocate()
+	if reused != freed {
+		t.Errorf("free list not persisted: got %d want %d", reused, freed)
+	}
+}
+
+func TestDiskClosed(t *testing.T) {
+	d := newDisk(t)
+	d.Close()
+	if _, err := d.Allocate(); err != ErrClosed {
+		t.Errorf("Allocate after close: %v, want ErrClosed", err)
+	}
+	if err := d.Read(1, make([]byte, PageSize)); err != ErrClosed {
+		t.Errorf("Read after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestDiskRejectsForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "junk.db")
+	junk := make([]byte, PageSize)
+	copy(junk, "not a database")
+	if err := os.WriteFile(path, junk, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(path); err == nil {
+		t.Error("opening a non-PREDATOR file should fail")
+	}
+	// A file that is not a multiple of the page size must be rejected.
+	path2 := filepath.Join(dir, "short.db")
+	if err := os.WriteFile(path2, junk[:100], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(path2); err == nil {
+		t.Error("opening a short file should fail")
+	}
+}
+
+func TestPageInsertAndRecord(t *testing.T) {
+	var buf [PageSize]byte
+	p := AsPage(buf[:])
+	p.Init()
+	recs := [][]byte{[]byte("alpha"), []byte("beta"), []byte("")}
+	for i, r := range recs {
+		slot, err := p.Insert(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slot != i {
+			t.Errorf("slot = %d, want %d", slot, i)
+		}
+	}
+	for i, want := range recs {
+		got, isLarge, _, _, ok := p.Record(i)
+		if !ok || isLarge {
+			t.Fatalf("Record(%d) missing or large", i)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("Record(%d) = %q, want %q", i, got, want)
+		}
+	}
+	if _, _, _, _, ok := p.Record(3); ok {
+		t.Error("Record(3) should be absent")
+	}
+	if _, _, _, _, ok := p.Record(-1); ok {
+		t.Error("Record(-1) should be absent")
+	}
+}
+
+func TestPageDeleteTombstone(t *testing.T) {
+	var buf [PageSize]byte
+	p := AsPage(buf[:])
+	p.Init()
+	p.Insert([]byte("a"))
+	p.Insert([]byte("b"))
+	if _, _, ok := p.Delete(0); !ok {
+		t.Fatal("delete of live record failed")
+	}
+	if _, _, ok := p.Delete(0); ok {
+		t.Error("double delete should report not-ok")
+	}
+	if _, _, _, _, ok := p.Record(0); ok {
+		t.Error("deleted record still visible")
+	}
+	if got, _, _, _, ok := p.Record(1); !ok || string(got) != "b" {
+		t.Error("neighbor record damaged by delete")
+	}
+}
+
+func TestPageFull(t *testing.T) {
+	var buf [PageSize]byte
+	p := AsPage(buf[:])
+	p.Init()
+	rec := make([]byte, 1000)
+	n := 0
+	for {
+		if _, err := p.Insert(rec); err != nil {
+			break
+		}
+		n++
+	}
+	if n != (PageSize-pageHeaderSize)/(1000+slotSize) {
+		t.Errorf("fit %d 1000-byte records, want %d", n, (PageSize-pageHeaderSize)/(1000+slotSize))
+	}
+	if p.CanFit(PageSize) {
+		t.Error("CanFit(PageSize) should be false")
+	}
+}
+
+func TestPageChainLink(t *testing.T) {
+	var buf [PageSize]byte
+	p := AsPage(buf[:])
+	p.Init()
+	if p.Next() != InvalidPageID {
+		t.Error("fresh page should have no next")
+	}
+	p.SetNext(77)
+	if p.Next() != 77 {
+		t.Error("SetNext not reflected in Next")
+	}
+}
+
+func newPool(t *testing.T, capacity int) (*DiskManager, *BufferPool) {
+	d := newDisk(t)
+	return d, NewBufferPool(d, capacity)
+}
+
+func TestBufferPoolHitMiss(t *testing.T) {
+	d, bp := newPool(t, 4)
+	_ = d
+	pp, err := bp.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := pp.ID()
+	copy(pp.Data(), "cached")
+	pp.Unpin(true)
+
+	pp2, err := bp.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pp2.Data()[:6]) != "cached" {
+		t.Error("fetch returned wrong contents")
+	}
+	pp2.Unpin(false)
+	st := bp.Stats()
+	if st.Hits != 1 || st.Misses != 0 {
+		t.Errorf("stats = %+v, want 1 hit 0 misses", st)
+	}
+}
+
+func TestBufferPoolEvictionWritesBack(t *testing.T) {
+	d, bp := newPool(t, 2)
+	ids := make([]PageID, 3)
+	for i := range ids {
+		pp, err := bp.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = pp.ID()
+		pp.Data()[0] = byte(100 + i)
+		pp.Unpin(true)
+	}
+	// Page 0 of ids must have been evicted and written back.
+	if bp.Stats().Evictions == 0 {
+		t.Fatal("expected at least one eviction")
+	}
+	buf := make([]byte, PageSize)
+	if err := d.Read(ids[0], buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 100 {
+		t.Error("evicted dirty page not written back")
+	}
+	// Re-fetching it must be a miss that reads the stored data.
+	pp, err := bp.Fetch(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Data()[0] != 100 {
+		t.Error("refetched page has wrong contents")
+	}
+	pp.Unpin(false)
+}
+
+func TestBufferPoolAllPinned(t *testing.T) {
+	_, bp := newPool(t, 2)
+	a, _ := bp.Allocate()
+	b, _ := bp.Allocate()
+	if _, err := bp.Allocate(); err == nil {
+		t.Error("allocating with all frames pinned should fail")
+	}
+	a.Unpin(false)
+	b.Unpin(false)
+	c, err := bp.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Unpin(false)
+}
+
+func TestBufferPoolFlushAll(t *testing.T) {
+	d, bp := newPool(t, 4)
+	pp, _ := bp.Allocate()
+	id := pp.ID()
+	pp.Data()[10] = 0xAB
+	pp.Unpin(true)
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	if err := d.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[10] != 0xAB {
+		t.Error("FlushAll did not persist dirty page")
+	}
+}
+
+func newHeap(t *testing.T) (*HeapFile, *BufferPool, *DiskManager) {
+	d, bp := newPool(t, 16)
+	hf, err := CreateHeapFile(d, bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hf, bp, d
+}
+
+func TestHeapInsertGet(t *testing.T) {
+	hf, _, _ := newHeap(t)
+	rid, err := hf.Insert([]byte("record one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := hf.Get(rid)
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if string(got) != "record one" {
+		t.Errorf("Get = %q", got)
+	}
+	if _, ok, _ := hf.Get(RID{Page: rid.Page, Slot: 99}); ok {
+		t.Error("Get of missing slot should report not-ok")
+	}
+}
+
+func TestHeapMultiPageAndScan(t *testing.T) {
+	hf, _, _ := newHeap(t)
+	const n = 50
+	want := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		rec := make([]byte, 500)
+		copy(rec, fmt.Sprintf("rec-%03d", i))
+		if _, err := hf.Insert(rec); err != nil {
+			t.Fatal(err)
+		}
+		want[string(rec[:7])] = true
+	}
+	sc := hf.Scan()
+	got := 0
+	for sc.Next() {
+		key := string(sc.Record()[:7])
+		if !want[key] {
+			t.Errorf("unexpected record %q", key)
+		}
+		delete(want, key)
+		got++
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	if got != n {
+		t.Errorf("scanned %d records, want %d", got, n)
+	}
+}
+
+func TestHeapLargeRecords(t *testing.T) {
+	hf, _, _ := newHeap(t)
+	sizes := []int{MaxInlineRecord + 1, 10000, 3 * PageSize, 100000}
+	for _, size := range sizes {
+		rec := make([]byte, size)
+		rnd := rand.New(rand.NewSource(int64(size)))
+		rnd.Read(rec)
+		rid, err := hf.Insert(rec)
+		if err != nil {
+			t.Fatalf("Insert(%d bytes): %v", size, err)
+		}
+		got, ok, err := hf.Get(rid)
+		if err != nil || !ok {
+			t.Fatalf("Get(%d bytes): ok=%v err=%v", size, ok, err)
+		}
+		if !bytes.Equal(got, rec) {
+			t.Errorf("large record of %d bytes corrupted", size)
+		}
+	}
+}
+
+func TestHeapLargeRecordScan(t *testing.T) {
+	hf, _, _ := newHeap(t)
+	big := make([]byte, 25000)
+	for i := range big {
+		big[i] = byte(i % 251)
+	}
+	hf.Insert([]byte("small"))
+	hf.Insert(big)
+	hf.Insert([]byte("tail"))
+	var sizes []int
+	sc := hf.Scan()
+	for sc.Next() {
+		sizes = append(sizes, len(sc.Record()))
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	if len(sizes) != 3 || sizes[1] != 25000 {
+		t.Errorf("scan sizes = %v", sizes)
+	}
+}
+
+func TestHeapDelete(t *testing.T) {
+	hf, _, d := newHeap(t)
+	r1, _ := hf.Insert([]byte("keep"))
+	r2, _ := hf.Insert([]byte("drop"))
+	big := make([]byte, 30000)
+	r3, _ := hf.Insert(big)
+	pagesBefore := d.NumPages()
+
+	if ok, err := hf.Delete(r2); err != nil || !ok {
+		t.Fatalf("Delete: ok=%v err=%v", ok, err)
+	}
+	if ok, _ := hf.Delete(r2); ok {
+		t.Error("double delete should report false")
+	}
+	if ok, err := hf.Delete(r3); err != nil || !ok {
+		t.Fatalf("Delete large: ok=%v err=%v", ok, err)
+	}
+	// Freed overflow pages must be reusable.
+	if _, err := hf.Insert(big); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumPages() != pagesBefore {
+		t.Errorf("overflow pages not reused: %d pages before, %d after", pagesBefore, d.NumPages())
+	}
+	if _, ok, _ := hf.Get(r2); ok {
+		t.Error("deleted record still readable")
+	}
+	if got, ok, _ := hf.Get(r1); !ok || string(got) != "keep" {
+		t.Error("surviving record damaged")
+	}
+	// Scan must skip tombstones.
+	count := 0
+	for sc := hf.Scan(); sc.Next(); {
+		count++
+	}
+	if count != 2 {
+		t.Errorf("scan after delete found %d records, want 2", count)
+	}
+}
+
+func TestHeapReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reopen.db")
+	d, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := NewBufferPool(d, 8)
+	hf, err := CreateHeapFile(d, bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := hf.FirstPage()
+	hf.Insert([]byte("survivor"))
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	d2, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	bp2 := NewBufferPool(d2, 8)
+	hf2 := OpenHeapFile(d2, bp2, first)
+	sc := hf2.Scan()
+	if !sc.Next() || string(sc.Record()) != "survivor" {
+		t.Fatalf("record lost across reopen (err=%v)", sc.Err())
+	}
+}
+
+// Property: any sequence of records (sizes 0..20000) round-trips
+// through insert + get.
+func TestQuickHeapRoundTrip(t *testing.T) {
+	hf, _, _ := newHeap(t)
+	prop := func(seed int64, sizeBits uint16) bool {
+		size := int(sizeBits) % 20000
+		rec := make([]byte, size)
+		rand.New(rand.NewSource(seed)).Read(rec)
+		rid, err := hf.Insert(rec)
+		if err != nil {
+			return false
+		}
+		got, ok, err := hf.Get(rid)
+		return err == nil && ok && bytes.Equal(got, rec)
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

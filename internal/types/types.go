@@ -1,0 +1,141 @@
+// Package types defines the value system of the PREDATOR-Go engine:
+// the abstract data types (ADTs) supported in relations, typed values,
+// schemas, and the on-disk record encoding.
+//
+// The paper's experiments revolve around the ByteArray ADT (modeled here
+// as Kind KindBytes); the remaining scalar types make the engine usable
+// as a general object-relational system.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind identifies an abstract data type supported by the engine.
+type Kind uint8
+
+// The supported ADT kinds.
+const (
+	KindInvalid Kind = iota
+	KindInt          // 64-bit signed integer
+	KindFloat        // 64-bit IEEE-754 float
+	KindBool         // boolean
+	KindString       // variable-length UTF-8 string
+	KindBytes        // variable-length byte array (the paper's ByteArray ADT)
+)
+
+// String returns the SQL-facing name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindBool:
+		return "BOOL"
+	case KindString:
+		return "STRING"
+	case KindBytes:
+		return "BYTES"
+	default:
+		return fmt.Sprintf("INVALID(%d)", uint8(k))
+	}
+}
+
+// KindFromName resolves a SQL type name (case-insensitive) to a Kind.
+// It accepts the common aliases used in the examples and tests.
+func KindFromName(name string) (Kind, error) {
+	switch strings.ToUpper(name) {
+	case "INT", "INTEGER", "BIGINT":
+		return KindInt, nil
+	case "FLOAT", "DOUBLE", "REAL":
+		return KindFloat, nil
+	case "BOOL", "BOOLEAN":
+		return KindBool, nil
+	case "STRING", "TEXT", "VARCHAR", "CHAR":
+		return KindString, nil
+	case "BYTES", "BYTEARRAY", "BLOB", "BINARY":
+		return KindBytes, nil
+	default:
+		return KindInvalid, fmt.Errorf("types: unknown type name %q", name)
+	}
+}
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of columns describing a relation or a
+// derived row shape.
+type Schema struct {
+	Columns []Column
+}
+
+// NewSchema builds a schema from the given columns.
+func NewSchema(cols ...Column) *Schema {
+	return &Schema{Columns: cols}
+}
+
+// Arity returns the number of columns.
+func (s *Schema) Arity() int { return len(s.Columns) }
+
+// ColumnIndex returns the index of the named column (case-insensitive),
+// or -1 if the schema has no such column.
+func (s *Schema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Project returns a new schema containing the columns at the given
+// indexes, in order.
+func (s *Schema) Project(idxs []int) *Schema {
+	out := &Schema{Columns: make([]Column, len(idxs))}
+	for i, idx := range idxs {
+		out.Columns[i] = s.Columns[idx]
+	}
+	return out
+}
+
+// Concat returns a schema holding this schema's columns followed by
+// other's columns. Used for join outputs.
+func (s *Schema) Concat(other *Schema) *Schema {
+	out := &Schema{Columns: make([]Column, 0, len(s.Columns)+len(other.Columns))}
+	out.Columns = append(out.Columns, s.Columns...)
+	out.Columns = append(out.Columns, other.Columns...)
+	return out
+}
+
+// String renders the schema as "(name TYPE, ...)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Kind)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Equal reports whether two schemas have identical column names and kinds.
+func (s *Schema) Equal(other *Schema) bool {
+	if len(s.Columns) != len(other.Columns) {
+		return false
+	}
+	for i := range s.Columns {
+		if !strings.EqualFold(s.Columns[i].Name, other.Columns[i].Name) ||
+			s.Columns[i].Kind != other.Columns[i].Kind {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,202 @@
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Value is a single typed datum. The zero Value is NULL (KindInvalid).
+//
+// Value is a small tagged union rather than an interface so that rows of
+// scalars do not allocate; the Bytes/Str fields alias the underlying
+// storage and must be copied by callers that retain them across buffer
+// pool unpins.
+type Value struct {
+	Kind  Kind
+	Int   int64
+	Float float64
+	Bool  bool
+	Str   string
+	Bytes []byte
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// NewInt returns an INT value.
+func NewInt(v int64) Value { return Value{Kind: KindInt, Int: v} }
+
+// NewFloat returns a FLOAT value.
+func NewFloat(v float64) Value { return Value{Kind: KindFloat, Float: v} }
+
+// NewBool returns a BOOL value.
+func NewBool(v bool) Value { return Value{Kind: KindBool, Bool: v} }
+
+// NewString returns a STRING value.
+func NewString(v string) Value { return Value{Kind: KindString, Str: v} }
+
+// NewBytes returns a BYTES value. The slice is aliased, not copied.
+func NewBytes(v []byte) Value { return Value{Kind: KindBytes, Bytes: v} }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.Kind == KindInvalid }
+
+// Clone returns a deep copy of the value (its byte array, if any, is
+// copied so the result does not alias page memory).
+func (v Value) Clone() Value {
+	if v.Kind == KindBytes && v.Bytes != nil {
+		cp := make([]byte, len(v.Bytes))
+		copy(cp, v.Bytes)
+		v.Bytes = cp
+	}
+	return v
+}
+
+// AsFloat converts INT or FLOAT to float64 for mixed arithmetic.
+func (v Value) AsFloat() float64 {
+	if v.Kind == KindInt {
+		return float64(v.Int)
+	}
+	return v.Float
+}
+
+// String renders the value in SQL literal style.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInvalid:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	case KindBool:
+		if v.Bool {
+			return "TRUE"
+		}
+		return "FALSE"
+	case KindString:
+		return "'" + strings.ReplaceAll(v.Str, "'", "''") + "'"
+	case KindBytes:
+		if len(v.Bytes) <= 16 {
+			return fmt.Sprintf("X'%x'", v.Bytes)
+		}
+		return fmt.Sprintf("X'%x...'(%d bytes)", v.Bytes[:16], len(v.Bytes))
+	default:
+		return fmt.Sprintf("?kind=%d", v.Kind)
+	}
+}
+
+// Compare orders two values of the same kind. It returns a negative
+// number, zero, or a positive number as v sorts before, equal to, or
+// after other. NULL sorts before every non-NULL value. Comparing values
+// of different non-NULL kinds returns an error, except INT/FLOAT which
+// compare numerically.
+func (v Value) Compare(other Value) (int, error) {
+	if v.IsNull() || other.IsNull() {
+		switch {
+		case v.IsNull() && other.IsNull():
+			return 0, nil
+		case v.IsNull():
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	if v.Kind != other.Kind {
+		if (v.Kind == KindInt || v.Kind == KindFloat) &&
+			(other.Kind == KindInt || other.Kind == KindFloat) {
+			return cmpFloat(v.AsFloat(), other.AsFloat()), nil
+		}
+		return 0, fmt.Errorf("types: cannot compare %s with %s", v.Kind, other.Kind)
+	}
+	switch v.Kind {
+	case KindInt:
+		switch {
+		case v.Int < other.Int:
+			return -1, nil
+		case v.Int > other.Int:
+			return 1, nil
+		}
+		return 0, nil
+	case KindFloat:
+		return cmpFloat(v.Float, other.Float), nil
+	case KindBool:
+		switch {
+		case !v.Bool && other.Bool:
+			return -1, nil
+		case v.Bool && !other.Bool:
+			return 1, nil
+		}
+		return 0, nil
+	case KindString:
+		return strings.Compare(v.Str, other.Str), nil
+	case KindBytes:
+		return bytesCompare(v.Bytes, other.Bytes), nil
+	default:
+		return 0, fmt.Errorf("types: cannot compare values of kind %s", v.Kind)
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	case math.IsNaN(a) && !math.IsNaN(b):
+		return -1
+	case !math.IsNaN(a) && math.IsNaN(b):
+		return 1
+	}
+	return 0
+}
+
+func bytesCompare(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// Row is an ordered tuple of values matching some schema.
+type Row []Value
+
+// Clone deep-copies a row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	for i, v := range r {
+		out[i] = v.Clone()
+	}
+	return out
+}
+
+// String renders the row as "(v1, v2, ...)".
+func (r Row) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range r {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

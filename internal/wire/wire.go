@@ -1,0 +1,281 @@
+// Package wire defines the client/server protocol of PREDATOR-Go: a
+// framed, length-prefixed binary protocol over TCP. The same streamed
+// value encoding (package types) used on disk is used on the wire,
+// which is the property that makes Jaguar UDFs location-portable: a
+// UDF reads its arguments from a stream and writes its result to a
+// stream whether it runs at the client or the server (paper §6.4).
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"predator/internal/types"
+)
+
+// Protocol message types.
+const (
+	// Requests.
+	MsgHello      byte = 0x01 // user string
+	MsgQuery      byte = 0x02 // sql string
+	MsgRegister   byte = 0x03 // UDF upload (class bytes)
+	MsgPutObject  byte = 0x04 // large object for callback handles
+	MsgPing       byte = 0x05
+	MsgQuit       byte = 0x06
+	MsgFetchClass byte = 0x07 // download a registered UDF's class bytes
+
+	// Responses.
+	MsgOK     byte = 0x81 // optional message string
+	MsgError  byte = 0x82 // error string
+	MsgResult byte = 0x83 // schema + rows (+ message/plan)
+	MsgHandle byte = 0x84 // int64 handle
+	MsgClass  byte = 0x85 // class bytes + metadata
+)
+
+// MaxFrame bounds one protocol frame (64 MiB).
+const MaxFrame = 64 << 20
+
+// Conn wraps a stream with buffered framing. Not safe for concurrent
+// use; callers serialize request/response pairs.
+type Conn struct {
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+// NewConn wraps a transport.
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{r: bufio.NewReaderSize(rw, 64<<10), w: bufio.NewWriterSize(rw, 64<<10)}
+}
+
+// Send writes one frame.
+func (c *Conn) Send(typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := c.w.Write(payload); err != nil {
+		return fmt.Errorf("wire: write payload: %w", err)
+	}
+	return c.w.Flush()
+}
+
+// Recv reads one frame.
+func (c *Conn) Recv() (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: read payload: %w", err)
+	}
+	return hdr[4], payload, nil
+}
+
+// Writer builds frame payloads.
+type Writer struct {
+	Buf []byte
+}
+
+// Str appends a length-prefixed string.
+func (w *Writer) Str(s string) *Writer {
+	w.Buf = binary.AppendUvarint(w.Buf, uint64(len(s)))
+	w.Buf = append(w.Buf, s...)
+	return w
+}
+
+// Bytes appends a length-prefixed byte slice.
+func (w *Writer) Bytes(b []byte) *Writer {
+	w.Buf = binary.AppendUvarint(w.Buf, uint64(len(b)))
+	w.Buf = append(w.Buf, b...)
+	return w
+}
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) *Writer {
+	w.Buf = binary.AppendUvarint(w.Buf, v)
+	return w
+}
+
+// Varint appends a signed varint.
+func (w *Writer) Varint(v int64) *Writer {
+	w.Buf = binary.AppendVarint(w.Buf, v)
+	return w
+}
+
+// Byte appends one raw byte.
+func (w *Writer) Byte(b byte) *Writer {
+	w.Buf = append(w.Buf, b)
+	return w
+}
+
+// Value appends an encoded value.
+func (w *Writer) Value(v types.Value) *Writer {
+	w.Buf = types.EncodeValue(w.Buf, v)
+	return w
+}
+
+// Schema appends an encoded schema.
+func (w *Writer) Schema(s *types.Schema) *Writer {
+	w.Uvarint(uint64(s.Arity()))
+	for _, col := range s.Columns {
+		w.Str(col.Name)
+		w.Byte(byte(col.Kind))
+	}
+	return w
+}
+
+// Reader parses frame payloads.
+type Reader struct {
+	Buf []byte
+	Off int
+	Err error
+}
+
+func (r *Reader) fail() {
+	if r.Err == nil {
+		r.Err = fmt.Errorf("wire: truncated frame at offset %d", r.Off)
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.Err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.Buf[r.Off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.Off += n
+	return v
+}
+
+// Varint reads a signed varint.
+func (r *Reader) Varint() int64 {
+	if r.Err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.Buf[r.Off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.Off += n
+	return v
+}
+
+// Byte reads one raw byte.
+func (r *Reader) Byte() byte {
+	if r.Err != nil || r.Off >= len(r.Buf) {
+		r.fail()
+		return 0
+	}
+	b := r.Buf[r.Off]
+	r.Off++
+	return b
+}
+
+// Bytes reads a length-prefixed byte slice (copied).
+func (r *Reader) Bytes() []byte {
+	n := int(r.Uvarint())
+	if r.Err != nil || n < 0 || r.Off+n > len(r.Buf) {
+		r.fail()
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.Buf[r.Off:])
+	r.Off += n
+	return out
+}
+
+// Str reads a length-prefixed string.
+func (r *Reader) Str() string { return string(r.Bytes()) }
+
+// Value reads an encoded value.
+func (r *Reader) Value() types.Value {
+	if r.Err != nil {
+		return types.Value{}
+	}
+	v, n, err := types.DecodeValue(r.Buf[r.Off:])
+	if err != nil {
+		r.Err = err
+		return types.Value{}
+	}
+	r.Off += n
+	return v.Clone()
+}
+
+// Schema reads an encoded schema.
+func (r *Reader) Schema() *types.Schema {
+	n := int(r.Uvarint())
+	if r.Err != nil || n < 0 || n > 1<<16 {
+		r.fail()
+		return nil
+	}
+	s := &types.Schema{Columns: make([]types.Column, 0, n)}
+	for i := 0; i < n; i++ {
+		name := r.Str()
+		kind := types.Kind(r.Byte())
+		s.Columns = append(s.Columns, types.Column{Name: name, Kind: kind})
+	}
+	return s
+}
+
+// EncodeResult serializes a query result (schema, rows, message, plan).
+func EncodeResult(schema *types.Schema, rows []types.Row, affected int64, message, plan string) []byte {
+	w := &Writer{}
+	hasSchema := schema != nil
+	if hasSchema {
+		w.Byte(1)
+		w.Schema(schema)
+		w.Uvarint(uint64(len(rows)))
+		for _, row := range rows {
+			for _, v := range row {
+				w.Value(v)
+			}
+		}
+	} else {
+		w.Byte(0)
+	}
+	w.Varint(affected)
+	w.Str(message)
+	w.Str(plan)
+	return w.Buf
+}
+
+// DecodeResult parses a query result.
+func DecodeResult(payload []byte) (schema *types.Schema, rows []types.Row, affected int64, message, plan string, err error) {
+	r := &Reader{Buf: payload}
+	if r.Byte() == 1 {
+		schema = r.Schema()
+		n := int(r.Uvarint())
+		if n < 0 || n > MaxFrame {
+			return nil, nil, 0, "", "", fmt.Errorf("wire: implausible row count %d", n)
+		}
+		rows = make([]types.Row, 0, n)
+		for i := 0; i < n && r.Err == nil; i++ {
+			row := make(types.Row, schema.Arity())
+			for j := range row {
+				row[j] = r.Value()
+			}
+			rows = append(rows, row)
+		}
+	}
+	affected = r.Varint()
+	message = r.Str()
+	plan = r.Str()
+	if r.Err != nil {
+		return nil, nil, 0, "", "", r.Err
+	}
+	return schema, rows, affected, message, plan, nil
+}

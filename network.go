@@ -1,0 +1,38 @@
+package predator
+
+import (
+	"predator/internal/client"
+	"predator/internal/server"
+)
+
+// Server exposes a DB over TCP (one goroutine per client session, the
+// PREDATOR threading model).
+type Server struct {
+	srv *server.Server
+}
+
+// Client is a connection to a PREDATOR-Go server, including the
+// portable-UDF workflow (compile locally, test locally, migrate).
+type Client = client.Client
+
+// UDFSpec describes a portable UDF for the client migration workflow.
+type UDFSpec = client.UDFSpec
+
+// NewServer wraps a DB in a network server. Closing the server closes
+// the DB.
+func NewServer(db *DB, logf func(format string, args ...any)) *Server {
+	return &Server{srv: server.New(db.eng, server.Options{Logf: logf})}
+}
+
+// Listen binds addr (use ":0" for an ephemeral port) and starts
+// serving; it returns the bound address.
+func (s *Server) Listen(addr string) (string, error) { return s.srv.Listen(addr) }
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.srv.Addr() }
+
+// Close stops serving and closes the underlying DB.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Dial connects to a PREDATOR-Go server.
+func Dial(addr, user string) (*Client, error) { return client.Dial(addr, user) }

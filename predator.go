@@ -1,0 +1,213 @@
+// Package predator is PREDATOR-Go: an embeddable object-relational
+// database engine with secure, portable extensibility — a from-scratch
+// Go reproduction of "Secure and Portable Database Extensibility"
+// (Godfrey, Mayr, Seshadri, von Eicken; SIGMOD 1998).
+//
+// The engine supports user-defined functions (UDFs) under every
+// server-side execution design the paper studies:
+//
+//   - Design 1 ("C++"): trusted native Go, in-process — fastest, unsafe.
+//   - Design 2 ("IC++"): native code in an isolated executor process.
+//   - Design 3 ("JNI"): Jaguar bytecode in the embedded, verified VM.
+//   - Design 4: Jaguar bytecode in an isolated executor process.
+//   - "BC++": native Go with explicit SFI bounds checks.
+//
+// Quick start:
+//
+//	db, err := predator.Open("stocks.db")
+//	defer db.Close()
+//	db.Exec(`CREATE TABLE stocks (sym STRING, history BYTES)`)
+//	db.Exec(`CREATE FUNCTION investval(bytes) RETURNS float LANGUAGE jaguar AS $$
+//	    func investval(h bytes) float {
+//	        var sum int = 0;
+//	        for (var i int = 0; i < len(h); i = i + 1) { sum = sum + h[i]; }
+//	        if (len(h) == 0) { return 0.0; }
+//	        return float(sum) / float(len(h));
+//	    }
+//	$$`)
+//	res, err := db.Exec(`SELECT sym FROM stocks WHERE investval(history) > 5.0`)
+//
+// Programs that register isolated (Design 2/4) UDFs must call
+// MaybeRunExecutor first thing in main; see that function's docs.
+package predator
+
+import (
+	"predator/internal/core"
+	"predator/internal/engine"
+	"predator/internal/isolate"
+	"predator/internal/jaguar"
+	"predator/internal/jvm"
+	"predator/internal/types"
+)
+
+// Re-exported value machinery so callers never import internal packages.
+type (
+	// Value is a single typed SQL datum.
+	Value = types.Value
+	// Row is one result tuple.
+	Row = types.Row
+	// Kind identifies a column/value type.
+	Kind = types.Kind
+	// Schema describes result columns.
+	Schema = types.Schema
+	// Column is one schema column.
+	Column = types.Column
+	// Result is the outcome of one SQL statement.
+	Result = engine.Result
+	// UDFContext is passed to native UDF implementations.
+	UDFContext = core.Ctx
+	// NativeUDF is the Go signature of a native UDF.
+	NativeUDF = core.NativeFunc
+	// NativeTable maps isolated native UDF names to implementations
+	// for executor processes.
+	NativeTable = isolate.NativeTable
+	// ResourceLimits is a per-invocation UDF resource policy.
+	ResourceLimits = jvm.Limits
+	// SecurityPolicy is the allow-list security manager for VM UDFs.
+	SecurityPolicy = jvm.Policy
+	// Permission names a guarded capability.
+	Permission = jvm.Permission
+	// CheckedBytes is the SFI accessor for BC++-style UDFs.
+	CheckedBytes = core.CheckedBytes
+)
+
+// Value type kinds.
+const (
+	KindInt    = types.KindInt
+	KindFloat  = types.KindFloat
+	KindBool   = types.KindBool
+	KindString = types.KindString
+	KindBytes  = types.KindBytes
+)
+
+// Permissions grantable to VM UDFs.
+const (
+	PermCallback = jvm.PermCallback
+	PermLog      = jvm.PermLog
+	PermTime     = jvm.PermTime
+	PermFile     = jvm.PermFile
+)
+
+// Value constructors.
+var (
+	// NewInt builds an INT value.
+	NewInt = types.NewInt
+	// NewFloat builds a FLOAT value.
+	NewFloat = types.NewFloat
+	// NewBool builds a BOOL value.
+	NewBool = types.NewBool
+	// NewString builds a STRING value.
+	NewString = types.NewString
+	// NewBytes builds a BYTES value.
+	NewBytes = types.NewBytes
+	// Null builds the NULL value.
+	Null = types.Null
+	// NewPolicy builds a security policy allowing exactly the listed
+	// permissions.
+	NewPolicy = jvm.NewPolicy
+	// NewCheckedBytes wraps a slice in the SFI accessor.
+	NewCheckedBytes = core.NewCheckedBytes
+)
+
+// DB is an open PREDATOR-Go database.
+type DB struct {
+	eng *engine.Engine
+}
+
+// Option customizes Open.
+type Option func(*engine.Options)
+
+// WithBufferPoolPages sets the page-cache capacity.
+func WithBufferPoolPages(n int) Option {
+	return func(o *engine.Options) { o.BufferPoolPages = n }
+}
+
+// WithSecurityPolicy sets the VM security manager for Jaguar UDFs.
+func WithSecurityPolicy(p *SecurityPolicy) Option {
+	return func(o *engine.Options) { o.Security = p }
+}
+
+// WithJITDisabled forces the Jaguar VM interpreter (ablation use).
+func WithJITDisabled() Option {
+	return func(o *engine.Options) { o.DisableJIT = true }
+}
+
+// WithUDFLimits sets the default per-invocation resource policy for
+// Jaguar UDFs (fuel instructions, allocation bytes, call depth).
+func WithUDFLimits(l ResourceLimits) Option {
+	return func(o *engine.Options) { o.UDFLimits = l }
+}
+
+// WithLogger routes UDF sys.log output and engine notices.
+func WithLogger(logf func(format string, args ...any)) Option {
+	return func(o *engine.Options) { o.Logf = logf }
+}
+
+// Open opens (or creates) a database file.
+func Open(path string, opts ...Option) (*DB, error) {
+	var eopts engine.Options
+	for _, o := range opts {
+		o(&eopts)
+	}
+	eng, err := engine.Open(path, eopts)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng}, nil
+}
+
+// Close flushes and closes the database.
+func (db *DB) Close() error { return db.eng.Close() }
+
+// Exec runs one SQL statement.
+func (db *DB) Exec(sql string) (*Result, error) { return db.eng.Exec(sql) }
+
+// Engine exposes the underlying engine for advanced embedding.
+func (db *DB) Engine() *engine.Engine { return db.eng }
+
+// RegisterNativeUDF installs a trusted, in-process Go UDF (Design 1).
+func (db *DB) RegisterNativeUDF(name string, args []Kind, ret Kind, fn NativeUDF) error {
+	return db.eng.RegisterNative(name, args, ret, fn)
+}
+
+// RegisterSFIUDF installs a bounds-checked native UDF ("BC++"). The
+// implementation should access byte arguments via NewCheckedBytes.
+func (db *DB) RegisterSFIUDF(name string, args []Kind, ret Kind, fn NativeUDF) error {
+	return db.eng.RegisterSFINative(name, args, ret, fn)
+}
+
+// RegisterIsolatedNativeUDF installs a Design 2 UDF. The name must be
+// present in the NativeTable the program passed to MaybeRunExecutor.
+func (db *DB) RegisterIsolatedNativeUDF(name string, args []Kind, ret Kind) error {
+	return db.eng.RegisterNativeIsolated(name, args, ret)
+}
+
+// RegisterJaguarUDF compiles Jaguar source and installs it (Design 3,
+// or Design 4 when isolated is true). persist stores the verified
+// class in the catalog so the function survives restarts.
+func (db *DB) RegisterJaguarUDF(name, source string, args []Kind, ret Kind, isolated, persist bool) error {
+	return db.eng.RegisterJaguar(name, source, args, ret, isolated, persist)
+}
+
+// PutObject stores a large object server-side and returns the handle
+// UDFs can use with the cb_* callback builtins.
+func (db *DB) PutObject(data []byte) int64 { return db.eng.Objects().Put(data) }
+
+// RemoveObject drops a stored object.
+func (db *DB) RemoveObject(handle int64) { db.eng.Objects().Remove(handle) }
+
+// MaybeRunExecutor turns the process into a UDF executor when spawned
+// as one (Designs 2/4); it must be the first call in main for any
+// program that uses isolated UDFs:
+//
+//	func main() {
+//	    predator.MaybeRunExecutor(myNatives)
+//	    ...
+//	}
+func MaybeRunExecutor(natives NativeTable) { isolate.MaybeRunExecutor(natives) }
+
+// CompileJaguar compiles Jaguar source to verified-loadable class
+// bytes (the portable unit clients upload to servers).
+func CompileJaguar(source, className string) ([]byte, error) {
+	return jaguar.CompileToBytes(source, className)
+}
