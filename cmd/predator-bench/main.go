@@ -130,6 +130,9 @@ func main() {
 	if sel("cbbatch") {
 		show(bench.AblationCallbackBatch(h, 1000))
 	}
+	st := isolate.ReadStats()
+	fmt.Printf("executor supervision: starts=%d invocations=%d timeouts=%d kills=%d restarts=%d evictions=%d\n",
+		st.Starts, st.Invocations, st.Timeouts, st.Kills, st.Restarts, st.Evictions)
 	fmt.Printf("finished %s\n", time.Now().Format(time.RFC3339))
 }
 

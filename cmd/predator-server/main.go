@@ -18,6 +18,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"predator"
 )
@@ -27,13 +28,16 @@ func main() {
 	predator.MaybeRunExecutor(nil)
 
 	var (
-		dbPath  = flag.String("db", "predator.db", "database file")
-		listen  = flag.String("listen", "127.0.0.1:5442", "listen address")
-		pool    = flag.Int("buffer-pages", 4096, "buffer pool size in pages")
-		fuel    = flag.Int64("udf-fuel", 100_000_000, "UDF instruction budget per invocation (0 = unlimited)")
-		mem     = flag.Int64("udf-mem", 64<<20, "UDF allocation budget in bytes per invocation (0 = unlimited)")
-		nojit   = flag.Bool("no-jit", false, "disable the Jaguar VM JIT (interpreter only)")
-		verbose = flag.Bool("v", false, "verbose connection logging")
+		dbPath   = flag.String("db", "predator.db", "database file")
+		listen   = flag.String("listen", "127.0.0.1:5442", "listen address")
+		pool     = flag.Int("buffer-pages", 4096, "buffer pool size in pages")
+		fuel     = flag.Int64("udf-fuel", 100_000_000, "UDF instruction budget per invocation (0 = unlimited)")
+		mem      = flag.Int64("udf-mem", 64<<20, "UDF allocation budget in bytes per invocation (0 = unlimited)")
+		nojit    = flag.Bool("no-jit", false, "disable the Jaguar VM JIT (interpreter only)")
+		verbose  = flag.Bool("v", false, "verbose connection logging")
+		stmtTo   = flag.Duration("statement-timeout", 0, "default per-statement deadline (0 = none; sessions may SET STATEMENT_TIMEOUT)")
+		readTo   = flag.Duration("read-timeout", 10*time.Minute, "per-connection idle read deadline (0 = none)")
+		invokeTo = flag.Duration("udf-invoke-timeout", 2*time.Minute, "isolated UDF invocation deadline; expiry kills the executor (0 = none)")
 	)
 	flag.Parse()
 
@@ -46,6 +50,8 @@ func main() {
 		predator.WithBufferPoolPages(*pool),
 		predator.WithUDFLimits(predator.ResourceLimits{Fuel: *fuel, MaxAllocBytes: *mem}),
 		predator.WithLogger(logf),
+		predator.WithStatementTimeout(*stmtTo),
+		predator.WithSupervision(predator.Supervision{InvokeTimeout: *invokeTo}),
 	}
 	if *nojit {
 		opts = append(opts, predator.WithJITDisabled())
@@ -55,7 +61,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "predator-server: %v\n", err)
 		os.Exit(1)
 	}
-	srv := predator.NewServer(db, log.Printf)
+	srv := predator.NewServerWith(db, predator.ServerOptions{
+		Logf:             log.Printf,
+		ReadTimeout:      *readTo,
+		StatementTimeout: *stmtTo,
+	})
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "predator-server: %v\n", err)

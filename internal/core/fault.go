@@ -1,0 +1,93 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FaultClass classifies what went wrong when a UDF invocation fails.
+// The distinction matters for recovery policy: a UDF fault leaves the
+// executor healthy and reusable, while executor, protocol and timeout
+// faults mean the executor process has been (or must be) destroyed.
+type FaultClass uint8
+
+const (
+	// FaultNone marks an error that carries no fault classification.
+	FaultNone FaultClass = iota
+	// FaultUDF is the UDF's own failure (error return, bad class,
+	// unknown name, resource-limit trip). The executor stays usable.
+	FaultUDF
+	// FaultExecutor is an executor process failure: it crashed, exited,
+	// could not be started, or its pipe broke mid-conversation.
+	FaultExecutor
+	// FaultProtocol is a framing or encoding violation on the executor
+	// pipe — a babbling child. The supervisor kills the process, since
+	// a desynchronized stream can never be trusted again.
+	FaultProtocol
+	// FaultTimeout is a deadline expiry (per-invocation, per-setup or
+	// statement deadline). The supervisor SIGKILLs the executor.
+	FaultTimeout
+)
+
+// String names the class for logs and error text.
+func (c FaultClass) String() string {
+	switch c {
+	case FaultUDF:
+		return "udf"
+	case FaultExecutor:
+		return "executor"
+	case FaultProtocol:
+		return "protocol"
+	case FaultTimeout:
+		return "timeout"
+	default:
+		return "none"
+	}
+}
+
+// Fault is a classified UDF-execution error. It wraps the underlying
+// cause and records the protocol operation that failed.
+type Fault struct {
+	Class FaultClass
+	// Op is the operation in flight: "start", "setup", "invoke",
+	// "callback", "ping", "statement".
+	Op  string
+	Err error
+}
+
+// NewFault builds a classified fault.
+func NewFault(class FaultClass, op string, err error) *Fault {
+	return &Fault{Class: class, Op: op, Err: err}
+}
+
+// Faultf builds a classified fault from a format string.
+func Faultf(class FaultClass, op, format string, args ...any) *Fault {
+	return &Fault{Class: class, Op: op, Err: fmt.Errorf(format, args...)}
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("isolate: %s fault during %s: %v", f.Class, f.Op, f.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (f *Fault) Unwrap() error { return f.Err }
+
+// FaultClassOf extracts the fault class from an error chain
+// (FaultNone when the error carries no classification).
+func FaultClassOf(err error) FaultClass {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f.Class
+	}
+	return FaultNone
+}
+
+// IsTimeout reports whether the error is a deadline-expiry fault.
+func IsTimeout(err error) bool { return FaultClassOf(err) == FaultTimeout }
+
+// Fatal reports whether the fault destroyed (or requires destroying)
+// the executor that produced it.
+func (f *Fault) Fatal() bool {
+	return f.Class == FaultExecutor || f.Class == FaultProtocol || f.Class == FaultTimeout
+}

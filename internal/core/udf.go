@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"predator/internal/jvm"
 	"predator/internal/types"
@@ -81,6 +82,10 @@ func (d Design) Safe() bool {
 type Ctx struct {
 	Callback jvm.Callback
 	Logf     func(format string, args ...any)
+	// Deadline, when non-zero, is the statement deadline this
+	// invocation runs under (SET STATEMENT_TIMEOUT). Isolated designs
+	// kill the executor process when it expires mid-invocation.
+	Deadline time.Time
 }
 
 // NativeFunc is the Go signature of a native UDF implementation.

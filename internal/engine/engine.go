@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"predator/internal/catalog"
 	"predator/internal/core"
@@ -37,6 +38,14 @@ type Options struct {
 	UDFLimits jvm.Limits
 	// Logf receives UDF sys.log output and engine notices (nil = drop).
 	Logf func(format string, args ...any)
+	// StatementTimeout is the default per-statement deadline for new
+	// sessions (0 = none). Sessions override it with
+	// SET STATEMENT_TIMEOUT.
+	StatementTimeout time.Duration
+	// Supervision is the executor supervision policy (deadlines,
+	// restart budget) applied to isolated UDFs. Zero-value fields take
+	// isolate.DefaultSupervision defaults.
+	Supervision isolate.Supervision
 }
 
 // Engine is an open database.
@@ -50,6 +59,7 @@ type Engine struct {
 	planner *plan.Planner
 	objects *ObjectStore
 	opts    Options
+	defSess *Session
 	closed  bool
 }
 
@@ -82,6 +92,7 @@ func Open(path string, opts Options) (*Engine, error) {
 		opts:    opts,
 	}
 	e.planner = &plan.Planner{Catalog: cat, Registry: e.reg}
+	e.defSess = e.NewSession()
 	// Restore persisted Jaguar UDFs.
 	for _, f := range cat.Functions() {
 		if f.Language != "jaguar" || len(f.Code) == 0 {
@@ -142,17 +153,21 @@ type Result struct {
 	Plan string
 }
 
-// Exec parses and executes one SQL statement.
+// Exec parses and executes one SQL statement on the engine's default
+// session (per-connection work should use NewSession).
 func (e *Engine) Exec(sqlText string) (*Result, error) {
-	stmt, err := sql.Parse(sqlText)
-	if err != nil {
-		return nil, err
-	}
-	return e.ExecStmt(stmt)
+	return e.defSess.Exec(sqlText)
 }
 
-// ExecStmt executes a parsed statement.
+// ExecStmt executes a parsed statement on the default session.
 func (e *Engine) ExecStmt(stmt sql.Statement) (*Result, error) {
+	return e.defSess.ExecStmt(stmt)
+}
+
+// execStmtDeadline executes a parsed statement under a statement
+// deadline (zero = none); sessions call it after handling SET.
+func (e *Engine) execStmtDeadline(stmt sql.Statement, deadline time.Time) (*Result, error) {
+	ec := e.evalCtx(deadline)
 	switch n := stmt.(type) {
 	case *sql.CreateTable:
 		schema := &types.Schema{Columns: n.Columns}
@@ -166,13 +181,13 @@ func (e *Engine) ExecStmt(stmt sql.Statement) (*Result, error) {
 		}
 		return &Result{Message: fmt.Sprintf("table %s dropped", n.Name)}, nil
 	case *sql.Insert:
-		return e.execInsert(n)
+		return e.execInsert(n, ec)
 	case *sql.Delete:
-		return e.execDelete(n)
+		return e.execDelete(n, ec)
 	case *sql.Update:
-		return e.execUpdate(n)
+		return e.execUpdate(n, ec)
 	case *sql.Select:
-		return e.execSelect(n)
+		return e.execSelect(n, ec)
 	case *sql.Explain:
 		op, err := e.planner.PlanSelect(n.Query)
 		if err != nil {
@@ -198,29 +213,31 @@ func (e *Engine) ExecStmt(stmt sql.Statement) (*Result, error) {
 	}
 }
 
-func (e *Engine) evalCtx() *expr.Ctx {
-	return &expr.Ctx{UDF: &core.Ctx{Callback: e.objects, Logf: e.opts.Logf}}
+func (e *Engine) evalCtx(deadline time.Time) *expr.Ctx {
+	return &expr.Ctx{
+		UDF:      &core.Ctx{Callback: e.objects, Logf: e.opts.Logf, Deadline: deadline},
+		Deadline: deadline,
+	}
 }
 
-func (e *Engine) execSelect(sel *sql.Select) (*Result, error) {
+func (e *Engine) execSelect(sel *sql.Select, ec *expr.Ctx) (*Result, error) {
 	op, err := e.planner.PlanSelect(sel)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := exec.Run(op, e.evalCtx())
+	rows, err := exec.Run(op, ec)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{Schema: op.Schema(), Rows: rows}, nil
 }
 
-func (e *Engine) execInsert(ins *sql.Insert) (*Result, error) {
+func (e *Engine) execInsert(ins *sql.Insert, ec *expr.Ctx) (*Result, error) {
 	tbl, ok := e.cat.Table(ins.Table)
 	if !ok {
 		return nil, fmt.Errorf("engine: table %q does not exist", ins.Table)
 	}
 	binder := &expr.Binder{Scope: expr.NewScope(), Registry: e.reg}
-	ec := e.evalCtx()
 	var n int64
 	for _, exprs := range ins.Rows {
 		if len(exprs) != tbl.Schema.Arity() {
@@ -255,7 +272,7 @@ func (e *Engine) execInsert(ins *sql.Insert) (*Result, error) {
 	return &Result{RowsAffected: n}, nil
 }
 
-func (e *Engine) execDelete(del *sql.Delete) (*Result, error) {
+func (e *Engine) execDelete(del *sql.Delete, ec *expr.Ctx) (*Result, error) {
 	tbl, ok := e.cat.Table(del.Table)
 	if !ok {
 		return nil, fmt.Errorf("engine: table %q does not exist", del.Table)
@@ -274,7 +291,6 @@ func (e *Engine) execDelete(del *sql.Delete) (*Result, error) {
 		}
 		pred = p
 	}
-	ec := e.evalCtx()
 	// Collect matching RIDs first, then delete (no mutation mid-scan).
 	var rids []storage.RID
 	sc := tbl.Heap().Scan()
@@ -310,7 +326,7 @@ func (e *Engine) execDelete(del *sql.Delete) (*Result, error) {
 	return &Result{RowsAffected: n}, nil
 }
 
-func (e *Engine) execUpdate(upd *sql.Update) (*Result, error) {
+func (e *Engine) execUpdate(upd *sql.Update, ec *expr.Ctx) (*Result, error) {
 	tbl, ok := e.cat.Table(upd.Table)
 	if !ok {
 		return nil, fmt.Errorf("engine: table %q does not exist", upd.Table)
@@ -352,7 +368,6 @@ func (e *Engine) execUpdate(upd *sql.Update) (*Result, error) {
 		}
 		pred = p
 	}
-	ec := e.evalCtx()
 	// Phase 1: collect matching rows (no mutation mid-scan); the new
 	// row values are computed against the pre-update image.
 	type change struct {
@@ -520,7 +535,7 @@ func (e *Engine) installJaguarClassMethod(name string, classBytes []byte, method
 			Method:     method,
 			Limits:     e.opts.UDFLimits,
 		})
-		return e.reg.Register(u)
+		return e.reg.Register(isolate.WithSupervision(u, e.opts.Supervision))
 	}
 	// Each UDF loads in its own namespace: class-loader isolation.
 	loader := e.vm.NewLoader("udf:" + strings.ToLower(name))
@@ -557,7 +572,8 @@ func (e *Engine) RegisterSFINative(name string, args []types.Kind, ret types.Kin
 // must also be present in the NativeTable passed to
 // isolate.MaybeRunExecutor by this program's main.
 func (e *Engine) RegisterNativeIsolated(name string, args []types.Kind, ret types.Kind) error {
-	return e.reg.Register(isolate.NewNativeIsolated(name, args, ret))
+	u := isolate.NewNativeIsolated(name, args, ret)
+	return e.reg.Register(isolate.WithSupervision(u, e.opts.Supervision))
 }
 
 // classNameFor derives the Jaguar class name for a SQL function.

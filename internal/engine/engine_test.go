@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"predator/internal/core"
 	"predator/internal/isolate"
@@ -16,6 +17,12 @@ import (
 var testNatives = isolate.NativeTable{
 	"iso_double": func(ctx *core.Ctx, args []types.Value) (types.Value, error) {
 		return types.NewInt(args[0].Int * 2), nil
+	},
+	// iso_hang loops forever: only executor supervision can stop it.
+	"iso_hang": func(ctx *core.Ctx, args []types.Value) (types.Value, error) {
+		for {
+			time.Sleep(time.Hour)
+		}
 	},
 }
 

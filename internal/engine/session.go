@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"predator/internal/sql"
+	"predator/internal/types"
+)
+
+// Session is one client's execution context over a shared engine. It
+// holds per-session settings — today the statement timeout — and runs
+// statements under them. Sessions are cheap; the server creates one
+// per connection, and Engine.Exec uses a default session.
+type Session struct {
+	eng *Engine
+
+	mu          sync.Mutex
+	stmtTimeout time.Duration
+}
+
+// NewSession creates a session with the engine's default settings.
+func (e *Engine) NewSession() *Session {
+	return &Session{eng: e, stmtTimeout: e.opts.StatementTimeout}
+}
+
+// StatementTimeout reports the session's statement timeout (0 = none).
+func (s *Session) StatementTimeout() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stmtTimeout
+}
+
+// SetStatementTimeout sets the statement timeout programmatically
+// (negative values are clamped to 0 = disabled).
+func (s *Session) SetStatementTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	s.stmtTimeout = d
+	s.mu.Unlock()
+}
+
+// Exec parses and executes one SQL statement under this session.
+func (s *Session) Exec(sqlText string) (*Result, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(stmt)
+}
+
+// ExecStmt executes a parsed statement under this session: SET is
+// applied to session state; everything else runs under the session's
+// statement deadline, which cancels the plan between rows and kills
+// any isolated executor still working when it expires.
+func (s *Session) ExecStmt(stmt sql.Statement) (*Result, error) {
+	if set, ok := stmt.(*sql.Set); ok {
+		return s.execSet(set)
+	}
+	var deadline time.Time
+	if t := s.StatementTimeout(); t > 0 {
+		deadline = time.Now().Add(t)
+	}
+	return s.eng.execStmtDeadline(stmt, deadline)
+}
+
+// execSet applies a SET statement to session state.
+func (s *Session) execSet(set *sql.Set) (*Result, error) {
+	lit, ok := set.Value.(*sql.Literal)
+	if !ok {
+		return nil, fmt.Errorf("engine: SET %s requires a literal value", set.Name)
+	}
+	switch set.Name {
+	case "statement_timeout":
+		d, err := timeoutFromLiteral(lit.Value)
+		if err != nil {
+			return nil, fmt.Errorf("engine: SET statement_timeout: %w", err)
+		}
+		s.SetStatementTimeout(d)
+		if d == 0 {
+			return &Result{Message: "statement_timeout disabled"}, nil
+		}
+		return &Result{Message: fmt.Sprintf("statement_timeout set to %v", d)}, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown session variable %q", set.Name)
+	}
+}
+
+// timeoutFromLiteral converts a SET literal to a duration: an INT is
+// milliseconds, a STRING is a Go duration ("250ms", "2s"); 0 disables.
+func timeoutFromLiteral(v types.Value) (time.Duration, error) {
+	switch v.Kind {
+	case types.KindInt:
+		if v.Int < 0 {
+			return 0, fmt.Errorf("negative timeout %d", v.Int)
+		}
+		return time.Duration(v.Int) * time.Millisecond, nil
+	case types.KindString:
+		d, err := time.ParseDuration(v.Str)
+		if err != nil {
+			return 0, fmt.Errorf("bad duration %q", v.Str)
+		}
+		if d < 0 {
+			return 0, fmt.Errorf("negative timeout %q", v.Str)
+		}
+		return d, nil
+	default:
+		return 0, fmt.Errorf("value must be milliseconds (INT) or a duration string")
+	}
+}

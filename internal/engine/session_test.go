@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"predator/internal/core"
+	"predator/internal/isolate"
+	"predator/internal/types"
+)
+
+func TestSetStatementTimeoutParsing(t *testing.T) {
+	e := openEngine(t)
+	s := e.NewSession()
+
+	res, err := s.Exec(`SET STATEMENT_TIMEOUT = 250`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Message, "250ms") || s.StatementTimeout() != 250*time.Millisecond {
+		t.Errorf("INT millis: message %q, timeout %v", res.Message, s.StatementTimeout())
+	}
+
+	if _, err := s.Exec(`SET STATEMENT_TIMEOUT = '2s'`); err != nil {
+		t.Fatal(err)
+	}
+	if s.StatementTimeout() != 2*time.Second {
+		t.Errorf("duration string: timeout %v", s.StatementTimeout())
+	}
+
+	res, err = s.Exec(`SET STATEMENT_TIMEOUT = 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Message, "disabled") || s.StatementTimeout() != 0 {
+		t.Errorf("disable: message %q, timeout %v", res.Message, s.StatementTimeout())
+	}
+
+	for _, q := range []string{
+		`SET STATEMENT_TIMEOUT = -5`,
+		`SET STATEMENT_TIMEOUT = '-1s'`,
+		`SET STATEMENT_TIMEOUT = 'nonsense'`,
+		`SET STATEMENT_TIMEOUT = 1.5`,
+		`SET NOSUCH_VARIABLE = 1`,
+	} {
+		if _, err := s.Exec(q); err == nil {
+			t.Errorf("%q succeeded, want error", q)
+		}
+	}
+}
+
+func TestStatementTimeoutScopedPerSession(t *testing.T) {
+	e := openEngine(t)
+	a, b := e.NewSession(), e.NewSession()
+	if _, err := a.Exec(`SET STATEMENT_TIMEOUT = 100`); err != nil {
+		t.Fatal(err)
+	}
+	if b.StatementTimeout() != 0 {
+		t.Errorf("session b inherited session a's timeout: %v", b.StatementTimeout())
+	}
+	if a.StatementTimeout() != 100*time.Millisecond {
+		t.Errorf("session a timeout = %v", a.StatementTimeout())
+	}
+}
+
+func TestStatementTimeoutCancelsInProcessScan(t *testing.T) {
+	// A slow trusted (in-process) UDF: the deadline cannot kill it
+	// mid-call, but the executor loop checks between rows.
+	e := openEngine(t)
+	mustExec(t, e, `CREATE TABLE n (x INT)`)
+	mustExec(t, e, `INSERT INTO n VALUES (1), (2), (3), (4), (5), (6), (7), (8), (9), (10)`)
+	err := e.RegisterNative("slow", []types.Kind{types.KindInt}, types.KindInt,
+		func(ctx *core.Ctx, args []types.Value) (types.Value, error) {
+			time.Sleep(50 * time.Millisecond)
+			return args[0], nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.NewSession()
+	if _, err := s.Exec(`SET STATEMENT_TIMEOUT = 120`); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = s.Exec(`SELECT slow(x) FROM n`)
+	if !core.IsTimeout(err) {
+		t.Fatalf("slow scan returned %v, want timeout fault", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("timeout fired after %v", elapsed)
+	}
+	// The session keeps working.
+	if _, err := s.Exec(`SET STATEMENT_TIMEOUT = 0`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Exec(`SELECT COUNT(*) FROM n`)
+	if err != nil || res.Rows[0][0].Int != 10 {
+		t.Errorf("post-timeout query = %v, %v", res, err)
+	}
+}
+
+func TestStatementTimeoutKillsHungIsolatedUDF(t *testing.T) {
+	// The ISSUE acceptance path at the engine layer: an isolated UDF
+	// that loops forever is killed by the statement deadline, the query
+	// fails with a timeout fault, and the same session's next query —
+	// using the same UDF — succeeds with a fresh executor.
+	path := filepath.Join(t.TempDir(), "hang.db")
+	e, err := Open(path, Options{Supervision: isolate.Supervision{
+		RestartBackoff: 5 * time.Millisecond,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	mustExec(t, e, `CREATE TABLE n (x INT)`)
+	mustExec(t, e, `INSERT INTO n VALUES (1)`)
+	if err := e.RegisterNativeIsolated("iso_hang", []types.Kind{types.KindInt}, types.KindInt); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterNativeIsolated("iso_double", []types.Kind{types.KindInt}, types.KindInt); err != nil {
+		t.Fatal(err)
+	}
+	s := e.NewSession()
+	if _, err := s.Exec(`SET STATEMENT_TIMEOUT = 300`); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = s.Exec(`SELECT iso_hang(x) FROM n`)
+	elapsed := time.Since(start)
+	if core.FaultClassOf(err) != core.FaultTimeout {
+		t.Fatalf("hung isolated UDF returned %v (class %v), want FaultTimeout", err, core.FaultClassOf(err))
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("deadline took %v to fire", elapsed)
+	}
+	// Same session, next query succeeds (isolated design still works).
+	res, err := s.Exec(`SELECT iso_double(x) FROM n`)
+	if err != nil || res.Rows[0][0].Int != 2 {
+		t.Errorf("post-kill isolated query = %v, %v", res, err)
+	}
+}
+
+func TestEngineDefaultStatementTimeoutOption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "opt.db")
+	e, err := Open(path, Options{StatementTimeout: 42 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if got := e.NewSession().StatementTimeout(); got != 42*time.Millisecond {
+		t.Errorf("session seeded with %v, want 42ms", got)
+	}
+}

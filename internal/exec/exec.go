@@ -93,6 +93,11 @@ func (f *Filter) Open(ec *expr.Ctx) error {
 // Next implements Operator.
 func (f *Filter) Next() (types.Row, error) {
 	for {
+		// Poll the statement deadline here so a selective filter over a
+		// large input cancels promptly even when it emits no rows.
+		if err := f.ec.Check(); err != nil {
+			return nil, err
+		}
 		row, err := f.Input.Next()
 		if err != nil || row == nil {
 			return nil, err
@@ -451,6 +456,9 @@ func Run(op Operator, ec *expr.Ctx) ([]types.Row, error) {
 	defer op.Close()
 	var out []types.Row
 	for {
+		if err := ec.Check(); err != nil {
+			return nil, err
+		}
 		row, err := op.Next()
 		if err != nil {
 			return nil, err

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"predator/internal/core"
 	"predator/internal/types"
@@ -20,8 +21,25 @@ import (
 
 // Ctx carries per-query evaluation context into expressions.
 type Ctx struct {
-	// UDF is handed to UDF invocations (callback handler, logging).
+	// UDF is handed to UDF invocations (callback handler, logging,
+	// statement deadline).
 	UDF *core.Ctx
+	// Deadline, when non-zero, is the statement deadline
+	// (SET STATEMENT_TIMEOUT). Operators poll Check between rows.
+	Deadline time.Time
+}
+
+// Check reports a FaultTimeout once the statement deadline has passed.
+// It is cheap enough to call per row; a nil or deadline-free context
+// always passes.
+func (ec *Ctx) Check() error {
+	if ec == nil || ec.Deadline.IsZero() {
+		return nil
+	}
+	if time.Now().After(ec.Deadline) {
+		return core.Faultf(core.FaultTimeout, "statement", "statement timeout exceeded")
+	}
+	return nil
 }
 
 // Bound is a resolved, evaluable expression.

@@ -38,10 +38,12 @@ func MaybeRunExecutor(natives NativeTable) {
 // that run the executor loop in-process over synthetic pipes.
 func RunExecutor(r io.Reader, w io.Writer, natives NativeTable) error {
 	c := newConn(r, w)
+	fault := parseFaultSpec(os.Getenv(FaultEnv))
+	fault.fire("ready", c)
 	if err := c.send(msgReady, nil); err != nil {
 		return err
 	}
-	st := &childState{conn: c, natives: natives}
+	st := &childState{conn: c, natives: natives, fault: fault}
 	for {
 		f, err := c.recv()
 		if err != nil {
@@ -53,12 +55,20 @@ func RunExecutor(r io.Reader, w io.Writer, natives NativeTable) error {
 		}
 		switch f.typ {
 		case msgSetupNative:
+			fault.fire("setup", c)
 			st.setupNative(f.payload)
 		case msgSetupVM:
+			fault.fire("setup", c)
 			st.setupVM(f.payload)
 		case msgInvoke:
+			fault.fire("invoke", c)
 			st.invoke(f.payload)
+		case msgPing:
+			if err := c.send(msgPong, nil); err != nil {
+				return err
+			}
 		case msgShutdown:
+			fault.fire("shutdown", c)
 			return nil
 		default:
 			if err := c.send(msgError, appendString(nil, fmt.Sprintf("unexpected message %d", f.typ))); err != nil {
@@ -72,6 +82,7 @@ func RunExecutor(r io.Reader, w io.Writer, natives NativeTable) error {
 type childState struct {
 	conn    *conn
 	natives NativeTable
+	fault   *faultPlan
 
 	// Exactly one of these is set after setup.
 	nativeFn core.NativeFunc
@@ -139,7 +150,7 @@ func (st *childState) invoke(payload []byte) {
 		st.fail("bad invoke frame: %v", r.err)
 		return
 	}
-	cb := &proxyCallback{conn: st.conn}
+	cb := &proxyCallback{conn: st.conn, fault: st.fault}
 	var (
 		out types.Value
 		err error
@@ -156,6 +167,7 @@ func (st *childState) invoke(payload []byte) {
 		st.fail("%v", err)
 		return
 	}
+	st.fault.fire("result", st.conn)
 	_ = st.conn.send(msgResult, types.EncodeValue(nil, out))
 }
 
@@ -200,10 +212,12 @@ func (st *childState) invokeVM(cb jvm.Callback, args []types.Value) (types.Value
 // (each call is a full process-boundary round trip — the effect the
 // paper's Figure 8 measures for IC++).
 type proxyCallback struct {
-	conn *conn
+	conn  *conn
+	fault *faultPlan
 }
 
 func (p *proxyCallback) roundTrip(op byte, handle, off, length int64) (*preader, error) {
+	p.fault.fire("callback", p.conn)
 	buf := []byte{op}
 	buf = binary.AppendVarint(buf, handle)
 	buf = binary.AppendVarint(buf, off)

@@ -16,6 +16,7 @@ package isolate
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -28,6 +29,10 @@ const ExecutorEnv = "PREDATOR_UDF_EXECUTOR"
 // maxFrame bounds a single protocol frame (64 MiB).
 const maxFrame = 64 << 20
 
+// errFrameSize marks a framing violation — the peer announced an
+// impossible frame (a babbling child), distinct from a broken pipe.
+var errFrameSize = errors.New("frame exceeds size limit")
+
 // Message types.
 const (
 	msgSetupNative byte = iota + 1 // name
@@ -39,6 +44,8 @@ const (
 	msgCBResult                    // ok flag, payload
 	msgShutdown                    // none
 	msgReady                       // none
+	msgPing                        // none (health check)
+	msgPong                        // none (health check reply)
 )
 
 // Callback operation codes inside msgCallback frames.
@@ -87,7 +94,7 @@ func (c *conn) recv() (frame, error) {
 	}
 	n := binary.LittleEndian.Uint32(hdr[:4])
 	if n > maxFrame {
-		return frame{}, fmt.Errorf("isolate: frame of %d bytes exceeds limit", n)
+		return frame{}, fmt.Errorf("isolate: frame of %d bytes: %w", n, errFrameSize)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(c.r, payload); err != nil {

@@ -1,0 +1,145 @@
+package isolate
+
+import (
+	"sync/atomic"
+	"time"
+
+	"predator/internal/core"
+)
+
+// Supervision is the policy the parent enforces on executor processes.
+// A zero value means "defaults" (see withDefaults); explicit zero
+// semantics are documented per field.
+type Supervision struct {
+	// StartTimeout bounds process launch plus the readiness handshake.
+	StartTimeout time.Duration
+	// SetupTimeout bounds one setup round trip (native bind / VM load).
+	SetupTimeout time.Duration
+	// InvokeTimeout bounds one invocation including all of its
+	// callbacks. Zero means no per-invocation bound: only the
+	// statement deadline (core.Ctx.Deadline), if any, applies.
+	InvokeTimeout time.Duration
+	// PingTimeout bounds the pool's idle-executor health probe.
+	PingTimeout time.Duration
+	// ShutdownGrace is how long Close waits for a polite exit before
+	// escalating to SIGKILL.
+	ShutdownGrace time.Duration
+	// MaxRestarts caps restart attempts after a start or setup failure
+	// (so a UDF whose executor can never come up fails the query after
+	// a bounded effort instead of retrying forever).
+	MaxRestarts int
+	// RestartBackoff is the delay before the first restart; it doubles
+	// per attempt.
+	RestartBackoff time.Duration
+}
+
+// DefaultSupervision is the policy applied where none is configured.
+var DefaultSupervision = Supervision{
+	StartTimeout:   10 * time.Second,
+	SetupTimeout:   10 * time.Second,
+	InvokeTimeout:  0, // unbounded unless a statement deadline applies
+	PingTimeout:    time.Second,
+	ShutdownGrace:  time.Second,
+	MaxRestarts:    2,
+	RestartBackoff: 25 * time.Millisecond,
+}
+
+// withDefaults fills unset fields from DefaultSupervision.
+func (s Supervision) withDefaults() Supervision {
+	d := DefaultSupervision
+	if s.StartTimeout <= 0 {
+		s.StartTimeout = d.StartTimeout
+	}
+	if s.SetupTimeout <= 0 {
+		s.SetupTimeout = d.SetupTimeout
+	}
+	if s.PingTimeout <= 0 {
+		s.PingTimeout = d.PingTimeout
+	}
+	if s.ShutdownGrace <= 0 {
+		s.ShutdownGrace = d.ShutdownGrace
+	}
+	if s.MaxRestarts < 0 {
+		s.MaxRestarts = 0
+	}
+	if s.RestartBackoff <= 0 {
+		s.RestartBackoff = d.RestartBackoff
+	}
+	return s
+}
+
+// Stats are cumulative supervision counters for the whole process,
+// exposed for the bench harness and operational visibility.
+type Stats struct {
+	Starts      int64 // executor processes launched
+	Invocations int64 // Invoke calls entered
+	Timeouts    int64 // deadline expiries that killed an executor
+	Kills       int64 // SIGKILLs delivered (timeouts, protocol faults, impolite shutdowns)
+	Restarts    int64 // start/setup retry attempts
+	Evictions   int64 // dead idle executors evicted by pool health checks
+}
+
+var stats struct {
+	starts, invocations, timeouts, kills, restarts, evictions atomic.Int64
+}
+
+// ReadStats snapshots the process-wide supervision counters.
+func ReadStats() Stats {
+	return Stats{
+		Starts:      stats.starts.Load(),
+		Invocations: stats.invocations.Load(),
+		Timeouts:    stats.timeouts.Load(),
+		Kills:       stats.kills.Load(),
+		Restarts:    stats.restarts.Load(),
+		Evictions:   stats.evictions.Load(),
+	}
+}
+
+// startSupervised launches an executor and runs setup on it, retrying
+// with exponential backoff on start/setup failures up to
+// sup.MaxRestarts times. Deterministic rejections (FaultUDF — unknown
+// native name, corrupt class) are returned immediately: restarting
+// cannot fix the UDF itself.
+func startSupervised(sup Supervision, setup func(*Executor) error) (*Executor, error) {
+	sup = sup.withDefaults()
+	backoff := sup.RestartBackoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			stats.restarts.Add(1)
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		var e *Executor
+		e, err = StartExecutorWith(sup)
+		if err == nil {
+			if setup == nil {
+				return e, nil
+			}
+			err = setup(e)
+			if err == nil {
+				return e, nil
+			}
+			e.Close()
+			if core.FaultClassOf(err) == core.FaultUDF {
+				return nil, err
+			}
+		}
+		if attempt >= sup.MaxRestarts {
+			return nil, err
+		}
+	}
+}
+
+// deadlineFor merges the per-invocation bound with the statement
+// deadline, returning the earliest (zero = unbounded).
+func deadlineFor(invokeTimeout time.Duration, ctx *core.Ctx) time.Time {
+	var dl time.Time
+	if invokeTimeout > 0 {
+		dl = time.Now().Add(invokeTimeout)
+	}
+	if ctx != nil && !ctx.Deadline.IsZero() && (dl.IsZero() || ctx.Deadline.Before(dl)) {
+		dl = ctx.Deadline
+	}
+	return dl
+}

@@ -19,6 +19,7 @@ type udf struct {
 	args   []types.Kind
 	ret    types.Kind
 	design core.Design
+	sup    Supervision
 
 	// Setup for the executor (one of):
 	nativeName string
@@ -33,7 +34,7 @@ type udf struct {
 // must be in the executor binary's NativeTable) runs out of process.
 func NewNativeIsolated(name string, args []types.Kind, ret types.Kind) core.UDF {
 	return &udf{
-		name: name, args: args, ret: ret,
+		name: name, args: args, ret: ret, sup: DefaultSupervision,
 		design: core.DesignNativeIsolated, nativeName: name,
 	}
 }
@@ -43,7 +44,7 @@ func NewNativeIsolated(name string, args []types.Kind, ret types.Kind) core.UDF 
 func NewVMIsolated(name string, args []types.Kind, ret types.Kind, setup VMSetup) core.UDF {
 	s := setup
 	return &udf{
-		name: name, args: args, ret: ret,
+		name: name, args: args, ret: ret, sup: DefaultSupervision,
 		design: core.DesignVMIsolated, vm: &s,
 	}
 }
@@ -60,6 +61,17 @@ func WithPool(u core.UDF, p *Pool) core.UDF {
 	return iu
 }
 
+// WithSupervision overrides the UDF's supervision policy (deadlines,
+// restart budget). Must be called before the first Invoke.
+func WithSupervision(u core.UDF, sup Supervision) core.UDF {
+	iu, ok := u.(*udf)
+	if !ok {
+		return u
+	}
+	iu.sup = sup.withDefaults()
+	return iu
+}
+
 func (u *udf) Name() string           { return u.name }
 func (u *udf) ArgKinds() []types.Kind { return u.args }
 func (u *udf) ReturnKind() types.Kind { return u.ret }
@@ -72,19 +84,16 @@ func (u *udf) setup(e *Executor) error {
 	return e.SetupNative(u.nativeName)
 }
 
-// executor returns the UDF's executor, starting it if needed.
+// executor returns the UDF's executor, starting (with bounded
+// restart-and-backoff) if needed.
 func (u *udf) executor() (*Executor, error) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	if u.exec != nil {
 		return u.exec, nil
 	}
-	e, err := StartExecutor()
+	e, err := startSupervised(u.sup, u.setup)
 	if err != nil {
-		return nil, err
-	}
-	if err := u.setup(e); err != nil {
-		e.Close()
 		return nil, err
 	}
 	u.exec = e
@@ -109,10 +118,10 @@ func (u *udf) Invoke(ctx *core.Ctx, args []types.Value) (types.Value, error) {
 		return types.Value{}, err
 	}
 	out, err := e.Invoke(ctx, args)
-	if err != nil {
-		// A broken pipe means the executor died (e.g. the UDF crashed
-		// its own process — which is the point of isolation). Drop the
-		// executor so the next invocation gets a fresh one.
+	if err != nil && core.FaultClassOf(err) != core.FaultUDF {
+		// The executor died, babbled or timed out (the supervisor has
+		// already killed and reaped it). Drop the handle so the next
+		// invocation gets a fresh one; a plain UDF error keeps it.
 		u.mu.Lock()
 		if u.exec == e {
 			u.exec = nil
@@ -121,7 +130,7 @@ func (u *udf) Invoke(ctx *core.Ctx, args []types.Value) (types.Value, error) {
 		e.Close()
 		return types.Value{}, err
 	}
-	return out, nil
+	return out, err
 }
 
 func (u *udf) Close() error {
@@ -137,68 +146,140 @@ func (u *udf) Close() error {
 
 // Pool is a shared pool of pre-started executors keyed by UDF, used by
 // the executor-reuse ablation (the paper notes executors "could be
-// assigned from a pre-allocated pool").
+// assigned from a pre-allocated pool"). The pool health-checks idle
+// executors before lending them out, evicts dead ones, and can cap the
+// total number of live executor processes.
 type Pool struct {
-	mu    sync.Mutex
-	idle  map[string][]*Executor
-	limit int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	idle    map[string][]*Executor
+	limit   int // idle executors kept per UDF
+	maxLive int // cap on total live executors (0 = unlimited)
+	live    int // executors currently alive (idle + lent out)
+	closed  bool
+	sup     Supervision
 }
 
-// NewPool creates a pool keeping up to perUDF idle executors per UDF.
+// NewPool creates a pool keeping up to perUDF idle executors per UDF,
+// with no cap on total live executors and default supervision.
 func NewPool(perUDF int) *Pool {
+	return NewPoolWith(perUDF, 0, DefaultSupervision)
+}
+
+// NewPoolWith creates a pool keeping up to perUDF idle executors per
+// UDF and at most maxLive live executor processes in total (0 = no
+// cap); Get blocks while the cap is reached.
+func NewPoolWith(perUDF, maxLive int, sup Supervision) *Pool {
 	if perUDF < 1 {
 		perUDF = 1
 	}
-	return &Pool{idle: make(map[string][]*Executor), limit: perUDF}
+	p := &Pool{
+		idle:    make(map[string][]*Executor),
+		limit:   perUDF,
+		maxLive: maxLive,
+		sup:     sup.withDefaults(),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
 }
 
-// Get borrows (or starts and binds) an executor for the UDF.
+// Get borrows (or starts and binds) an executor for the UDF. Idle
+// executors are health-checked before being lent out; dead ones are
+// evicted and replaced.
 func (p *Pool) Get(u *udf) (*Executor, error) {
-	p.mu.Lock()
-	list := p.idle[u.name]
-	if len(list) > 0 {
-		e := list[len(list)-1]
-		p.idle[u.name] = list[:len(list)-1]
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, fmt.Errorf("isolate: pool is closed")
+		}
+		if list := p.idle[u.name]; len(list) > 0 {
+			e := list[len(list)-1]
+			p.idle[u.name] = list[:len(list)-1]
+			p.mu.Unlock()
+			// Verify the executor survived idling: process alive and
+			// protocol loop answering. Evict and retry otherwise.
+			if e.Alive() && e.Ping(p.sup.PingTimeout) == nil {
+				return e, nil
+			}
+			stats.evictions.Add(1)
+			p.release(e)
+			continue
+		}
+		// Nothing idle: start a fresh executor, respecting the cap.
+		// After a wakeup, re-run the whole loop — the freed capacity
+		// may have arrived as an idle executor for this UDF.
+		if p.maxLive > 0 && p.live >= p.maxLive {
+			p.cond.Wait()
+			p.mu.Unlock()
+			continue
+		}
+		p.live++
 		p.mu.Unlock()
+		e, err := startSupervised(p.sup, u.setup)
+		if err != nil {
+			p.mu.Lock()
+			p.live--
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			return nil, err
+		}
 		return e, nil
 	}
-	p.mu.Unlock()
-	e, err := StartExecutor()
-	if err != nil {
-		return nil, err
-	}
-	if err := u.setup(e); err != nil {
-		e.Close()
-		return nil, err
-	}
-	return e, nil
 }
 
-// Put returns an executor to the pool (or closes it on error/overflow).
+// Put returns an executor to the pool. Executors that faulted, broke,
+// or exceed the idle limit are closed; a closed pool closes everything
+// handed back so late returns never leak processes.
 func (p *Pool) Put(u *udf, e *Executor, invokeErr error) {
-	if invokeErr != nil {
-		e.Close()
+	fatal := invokeErr != nil && core.FaultClassOf(invokeErr) != core.FaultUDF
+	if fatal || !e.Alive() {
+		p.release(e)
 		return
 	}
 	p.mu.Lock()
-	if len(p.idle[u.name]) < p.limit {
+	if !p.closed && len(p.idle[u.name]) < p.limit {
 		p.idle[u.name] = append(p.idle[u.name], e)
+		p.cond.Broadcast()
 		p.mu.Unlock()
 		return
 	}
 	p.mu.Unlock()
-	e.Close()
+	p.release(e)
 }
 
-// Close shuts down all idle executors.
-func (p *Pool) Close() error {
+// release closes an executor and gives its live slot back.
+func (p *Pool) release(e *Executor) {
+	e.Close()
+	p.mu.Lock()
+	p.live--
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// Live reports the number of live executors (idle + lent out).
+func (p *Pool) Live() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.live
+}
+
+// Close marks the pool closed and shuts down all idle executors.
+// Subsequent Get fails and subsequent Put closes the executor, so no
+// process outlives the pool.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	var all []*Executor
 	for k, list := range p.idle {
-		for _, e := range list {
-			e.Close()
-		}
+		all = append(all, list...)
 		delete(p.idle, k)
+	}
+	p.live -= len(all)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	for _, e := range all {
+		e.Close()
 	}
 	return nil
 }
@@ -206,6 +287,3 @@ func (p *Pool) Close() error {
 // Ensure interface satisfaction and keep jvm imported for VMSetup docs.
 var _ core.UDF = (*udf)(nil)
 var _ jvm.Callback = (*proxyCallback)(nil)
-
-// Err helpers shared by parent and child.
-var errNoUDF = fmt.Errorf("isolate: executor has no UDF bound")

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"predator/internal/core"
+	"predator/internal/engine"
+	"predator/internal/isolate"
+	"predator/internal/types"
+)
+
+var srvNatives = isolate.NativeTable{
+	"iso_hang": func(ctx *core.Ctx, args []types.Value) (types.Value, error) {
+		for {
+			time.Sleep(time.Hour)
+		}
+	},
+	"iso_ok": func(ctx *core.Ctx, args []types.Value) (types.Value, error) {
+		return types.NewInt(args[0].Int + 1), nil
+	},
+}
+
+func TestMain(m *testing.M) {
+	isolate.MaybeRunExecutor(srvNatives)
+	os.Exit(m.Run())
+}
+
+// startServerWith spins up an engine + server with explicit options and
+// returns the address plus the engine for server-side registration.
+func startServerWith(t *testing.T, opts Options, eopts engine.Options) (addr string, eng *engine.Engine) {
+	t.Helper()
+	eng, err := engine.Open(filepath.Join(t.TempDir(), "srv.db"), eopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	srv := New(eng, opts)
+	addr, err = srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr, eng
+}
+
+func TestStatementTimeoutOverWire(t *testing.T) {
+	// A client sets its session deadline, runs a query calling a hung
+	// isolated UDF, gets a timeout error — and the same connection (and
+	// other connections) keep serving.
+	addr, eng := startServerWith(t, Options{}, engine.Options{
+		Supervision: isolate.Supervision{RestartBackoff: 5 * time.Millisecond},
+	})
+	if err := eng.RegisterNativeIsolated("iso_hang", []types.Kind{types.KindInt}, types.KindInt); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterNativeIsolated("iso_ok", []types.Kind{types.KindInt}, types.KindInt); err != nil {
+		t.Fatal(err)
+	}
+	cl := dial(t, addr)
+	if _, err := cl.Exec(`CREATE TABLE n (x INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec(`INSERT INTO n VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Exec(`SET STATEMENT_TIMEOUT = 300`)
+	if err != nil || !strings.Contains(res.Message, "300ms") {
+		t.Fatalf("SET over wire = %v, %v", res, err)
+	}
+	start := time.Now()
+	_, err = cl.Exec(`SELECT iso_hang(x) FROM n`)
+	if err == nil || !strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("hung UDF over wire = %v, want timeout error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("timeout took %v to reach the client", elapsed)
+	}
+	// Same connection still works, including fresh isolated UDF calls.
+	res, err = cl.Exec(`SELECT iso_ok(x) FROM n`)
+	if err != nil || res.Rows[0][0].Int != 2 {
+		t.Errorf("post-timeout query = %v, %v", res, err)
+	}
+	// A second connection is unaffected by the first one's timeout.
+	cl2 := dial(t, addr)
+	if res, err := cl2.Exec(`SELECT COUNT(*) FROM n`); err != nil || res.Rows[0][0].Int != 1 {
+		t.Errorf("second connection = %v, %v", res, err)
+	}
+}
+
+func TestServerDefaultStatementTimeout(t *testing.T) {
+	// Options.StatementTimeout seeds every connection without any SET.
+	addr, eng := startServerWith(t,
+		Options{StatementTimeout: 300 * time.Millisecond},
+		engine.Options{Supervision: isolate.Supervision{RestartBackoff: 5 * time.Millisecond}})
+	if err := eng.RegisterNativeIsolated("iso_hang", []types.Kind{types.KindInt}, types.KindInt); err != nil {
+		t.Fatal(err)
+	}
+	cl := dial(t, addr)
+	if _, err := cl.Exec(`CREATE TABLE n (x INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec(`INSERT INTO n VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec(`SELECT iso_hang(x) FROM n`); err == nil || !strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("default timeout not applied: %v", err)
+	}
+}
+
+func TestReadTimeoutDisconnectsIdleClient(t *testing.T) {
+	addr, _ := startServerWith(t, Options{ReadTimeout: 200 * time.Millisecond}, engine.Options{})
+	cl := dial(t, addr)
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(600 * time.Millisecond)
+	if err := cl.Ping(); err == nil {
+		t.Error("idle connection survived the read deadline")
+	}
+	// New connections are served normally.
+	cl2 := dial(t, addr)
+	if err := cl2.Ping(); err != nil {
+		t.Errorf("fresh connection after idle eviction: %v", err)
+	}
+}
+
+func TestPanickingUDFCostsOneQueryNotTheServer(t *testing.T) {
+	addr, eng := startServerWith(t, Options{}, engine.Options{})
+	err := eng.RegisterNative("boom", []types.Kind{types.KindInt}, types.KindInt,
+		func(ctx *core.Ctx, args []types.Value) (types.Value, error) {
+			panic("deliberate panic in trusted UDF")
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := dial(t, addr)
+	if _, err := cl.Exec(`CREATE TABLE n (x INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec(`INSERT INTO n VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.Exec(`SELECT boom(x) FROM n`)
+	if err == nil || !strings.Contains(err.Error(), "internal error") {
+		t.Fatalf("panicking UDF = %v, want internal error reply", err)
+	}
+	// The same connection keeps serving after the panic.
+	if res, err := cl.Exec(`SELECT COUNT(*) FROM n`); err != nil || res.Rows[0][0].Int != 1 {
+		t.Errorf("connection dead after handler panic: %v, %v", res, err)
+	}
+	// And so do other connections.
+	cl2 := dial(t, addr)
+	if err := cl2.Ping(); err != nil {
+		t.Errorf("server dead after handler panic: %v", err)
+	}
+}

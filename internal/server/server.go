@@ -11,8 +11,10 @@ import (
 	"io"
 	"log"
 	"net"
+	"runtime/debug"
 	"strings"
 	"sync"
+	"time"
 
 	"predator/internal/engine"
 	"predator/internal/types"
@@ -23,6 +25,7 @@ import (
 type Server struct {
 	eng  *engine.Engine
 	logf func(format string, args ...any)
+	opts Options
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -35,6 +38,14 @@ type Server struct {
 type Options struct {
 	// Logf receives connection lifecycle logs (nil = log.Printf).
 	Logf func(format string, args ...any)
+	// ReadTimeout is the per-connection idle read deadline: a client
+	// that sends nothing for this long is disconnected, so wedged or
+	// vanished clients never pin a session goroutine forever
+	// (0 = no deadline).
+	ReadTimeout time.Duration
+	// StatementTimeout seeds each connection's session deadline;
+	// clients adjust theirs with SET STATEMENT_TIMEOUT (0 = none).
+	StatementTimeout time.Duration
 }
 
 // New wraps an engine in a server.
@@ -43,7 +54,7 @@ func New(eng *engine.Engine, opts Options) *Server {
 	if logf == nil {
 		logf = log.Printf
 	}
-	return &Server{eng: eng, logf: logf, conns: make(map[net.Conn]bool)}
+	return &Server{eng: eng, logf: logf, opts: opts, conns: make(map[net.Conn]bool)}
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:5442")
@@ -107,13 +118,27 @@ func (s *Server) Close() error {
 // session is one client connection's state.
 type session struct {
 	user string
+	// eng is the per-connection engine session: statement deadlines set
+	// with SET STATEMENT_TIMEOUT are scoped to this connection.
+	eng *engine.Session
 }
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	// A panicking handler must cost at most this one connection, never
+	// the server: recover, log, drop the client.
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("server: connection %s: panic: %v\n%s", conn.RemoteAddr(), r, debug.Stack())
+		}
+	}()
 	c := wire.NewConn(conn)
-	sess := &session{user: "anonymous"}
+	sess := &session{user: "anonymous", eng: s.eng.NewSession()}
+	sess.eng.SetStatementTimeout(s.opts.StatementTimeout)
 	for {
+		if s.opts.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
+		}
 		typ, payload, err := c.Recv()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
@@ -131,12 +156,21 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-func (s *Server) handle(c *wire.Conn, sess *session, typ byte, payload []byte) error {
+func (s *Server) handle(c *wire.Conn, sess *session, typ byte, payload []byte) (err error) {
 	sendErr := func(err error) error {
 		w := &wire.Writer{}
 		w.Str(err.Error())
 		return c.Send(wire.MsgError, w.Buf)
 	}
+	// A panic inside a handler (a misbehaving in-process UDF, a bad
+	// frame tripping a decoder bug) becomes an error reply; the
+	// connection keeps serving.
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("server: request 0x%02x from %s panicked: %v\n%s", typ, sess.user, r, debug.Stack())
+			err = sendErr(fmt.Errorf("server: internal error: %v", r))
+		}
+	}()
 	switch typ {
 	case wire.MsgHello:
 		r := &wire.Reader{Buf: payload}
@@ -158,7 +192,7 @@ func (s *Server) handle(c *wire.Conn, sess *session, typ byte, payload []byte) e
 		if r.Err != nil {
 			return sendErr(r.Err)
 		}
-		res, err := s.eng.Exec(q)
+		res, err := sess.eng.Exec(q)
 		if err != nil {
 			return sendErr(err)
 		}

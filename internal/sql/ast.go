@@ -96,6 +96,18 @@ type Show struct {
 	What string // "tables" or "functions"
 }
 
+// Set is a session variable assignment:
+//
+//	SET STATEMENT_TIMEOUT = 250      -- milliseconds
+//	SET STATEMENT_TIMEOUT = '2s'     -- duration string
+//	SET STATEMENT_TIMEOUT = 0        -- disable
+//
+// Name is lower-cased; Value is a literal expression.
+type Set struct {
+	Name  string
+	Value Expr
+}
+
 // Explain wraps a SELECT to print its plan.
 type Explain struct {
 	Query *Select
@@ -130,6 +142,7 @@ func (*Show) stmtNode()           {}
 func (*Explain) stmtNode()        {}
 func (*Delete) stmtNode()         {}
 func (*Update) stmtNode()         {}
+func (*Set) stmtNode()            {}
 
 // Expr is an unbound (pre-name-resolution) SQL expression.
 type Expr interface {

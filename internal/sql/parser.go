@@ -144,9 +144,30 @@ func (p *sqlParser) statement() (Statement, error) {
 		return p.deleteStmt()
 	case "UPDATE":
 		return p.updateStmt()
+	case "SET":
+		return p.setStmt()
 	default:
 		return nil, p.errHere("unsupported statement %s", t.text)
 	}
+}
+
+func (p *sqlParser) setStmt() (Statement, error) {
+	p.next() // SET
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("="); err != nil {
+		return nil, err
+	}
+	val, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := val.(*Literal); !ok {
+		return nil, p.errHere("SET value must be a literal")
+	}
+	return &Set{Name: strings.ToLower(name), Value: val}, nil
 }
 
 func (p *sqlParser) updateStmt() (Statement, error) {

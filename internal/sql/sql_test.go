@@ -264,3 +264,36 @@ func TestQuickExprStringStable(t *testing.T) {
 		}
 	}
 }
+
+func TestParseSet(t *testing.T) {
+	stmt := mustParse(t, `SET STATEMENT_TIMEOUT = 250`)
+	set, ok := stmt.(*Set)
+	if !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	if set.Name != "statement_timeout" {
+		t.Errorf("name = %q (names must lower-case)", set.Name)
+	}
+	lit, ok := set.Value.(*Literal)
+	if !ok || lit.Value.Int != 250 {
+		t.Errorf("value = %#v", set.Value)
+	}
+
+	stmt = mustParse(t, `SET statement_timeout = '2s';`)
+	if lit := stmt.(*Set).Value.(*Literal); lit.Value.Str != "2s" {
+		t.Errorf("string value = %v", lit.Value)
+	}
+
+	for _, bad := range []string{
+		`SET`,
+		`SET x`,
+		`SET x =`,
+		`SET x = y`,      // non-literal value
+		`SET x = 1 OR 1`, // non-literal expression
+		`SET 1 = 2`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}

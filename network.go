@@ -18,10 +18,19 @@ type Client = client.Client
 // UDFSpec describes a portable UDF for the client migration workflow.
 type UDFSpec = client.UDFSpec
 
+// ServerOptions configures a network server (connection read deadline,
+// default statement timeout, logging).
+type ServerOptions = server.Options
+
 // NewServer wraps a DB in a network server. Closing the server closes
 // the DB.
 func NewServer(db *DB, logf func(format string, args ...any)) *Server {
 	return &Server{srv: server.New(db.eng, server.Options{Logf: logf})}
+}
+
+// NewServerWith wraps a DB in a network server with explicit options.
+func NewServerWith(db *DB, opts ServerOptions) *Server {
+	return &Server{srv: server.New(db.eng, opts)}
 }
 
 // Listen binds addr (use ":0" for an ephemeral port) and starts

@@ -32,6 +32,8 @@
 package predator
 
 import (
+	"time"
+
 	"predator/internal/core"
 	"predator/internal/engine"
 	"predator/internal/isolate"
@@ -69,7 +71,36 @@ type (
 	Permission = jvm.Permission
 	// CheckedBytes is the SFI accessor for BC++-style UDFs.
 	CheckedBytes = core.CheckedBytes
+	// Session is a per-client execution context (statement timeouts).
+	Session = engine.Session
+	// Supervision is the executor supervision policy for isolated UDFs
+	// (deadlines, restart budget, shutdown grace).
+	Supervision = isolate.Supervision
+	// ExecutorStats are process-wide executor supervision counters.
+	ExecutorStats = isolate.Stats
+	// Fault is a classified isolated-UDF execution error.
+	Fault = core.Fault
+	// FaultClass classifies a UDF execution failure.
+	FaultClass = core.FaultClass
 )
+
+// Fault classes (see core.FaultClass).
+const (
+	FaultUDF      = core.FaultUDF
+	FaultExecutor = core.FaultExecutor
+	FaultProtocol = core.FaultProtocol
+	FaultTimeout  = core.FaultTimeout
+)
+
+// FaultClassOf extracts the fault class from an error chain.
+func FaultClassOf(err error) FaultClass { return core.FaultClassOf(err) }
+
+// IsTimeout reports whether an error is a deadline-expiry fault.
+func IsTimeout(err error) bool { return core.IsTimeout(err) }
+
+// ReadExecutorStats snapshots the supervision counters (executor
+// starts, invocations, timeouts, kills, restarts, evictions).
+func ReadExecutorStats() ExecutorStats { return isolate.ReadStats() }
 
 // Value type kinds.
 const (
@@ -143,6 +174,18 @@ func WithLogger(logf func(format string, args ...any)) Option {
 	return func(o *engine.Options) { o.Logf = logf }
 }
 
+// WithSupervision sets the executor supervision policy for isolated
+// (Design 2/4) UDFs registered through this database.
+func WithSupervision(sup Supervision) Option {
+	return func(o *engine.Options) { o.Supervision = sup }
+}
+
+// WithStatementTimeout sets the default statement deadline for
+// sessions (overridable per session with SET STATEMENT_TIMEOUT).
+func WithStatementTimeout(d time.Duration) Option {
+	return func(o *engine.Options) { o.StatementTimeout = d }
+}
+
 // Open opens (or creates) a database file.
 func Open(path string, opts ...Option) (*DB, error) {
 	var eopts engine.Options
@@ -164,6 +207,10 @@ func (db *DB) Exec(sql string) (*Result, error) { return db.eng.Exec(sql) }
 
 // Engine exposes the underlying engine for advanced embedding.
 func (db *DB) Engine() *engine.Engine { return db.eng }
+
+// NewSession creates an independent session (own statement timeout);
+// servers give each client connection one.
+func (db *DB) NewSession() *Session { return db.eng.NewSession() }
 
 // RegisterNativeUDF installs a trusted, in-process Go UDF (Design 1).
 func (db *DB) RegisterNativeUDF(name string, args []Kind, ret Kind, fn NativeUDF) error {
