@@ -30,6 +30,7 @@ func main() {
 		rows       = flag.Int("rows", 0, "override relation cardinality")
 		calls      = flag.Int("calls", 0, "override UDF invocation count")
 		dir        = flag.String("dir", "", "workspace directory (default: temp)")
+		jsonDir    = flag.String("json-dir", ".", "directory for machine-readable BENCH_<experiment>.json files (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -57,8 +58,21 @@ func main() {
 		cfg.Rows, effectiveCalls(cfg), strings.Join(labels(), ", "))
 	fmt.Printf("started %s\n\n", time.Now().Format(time.RFC3339))
 
+	writeJSON := func(t *bench.Table) {
+		if *jsonDir == "" {
+			return
+		}
+		path, err := t.WriteJSON(*jsonDir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(wrote %s)\n\n", path)
+	}
+
 	if sel("table1") {
-		fmt.Println(bench.Table1().Render())
+		t := bench.Table1()
+		fmt.Println(t.Render())
+		writeJSON(t)
 	}
 
 	needHarness := sel("fig4") || sel("fig5") || sel("fig6") || sel("fig7") ||
@@ -83,13 +97,16 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(t.Render())
+		writeJSON(t)
 	}
 	show2 := func(a, r *bench.Table, err error) {
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(a.Render())
+		writeJSON(a)
 		fmt.Println(r.Render())
+		writeJSON(r)
 	}
 
 	if sel("fig4") {

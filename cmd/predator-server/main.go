@@ -38,6 +38,7 @@ func main() {
 		stmtTo   = flag.Duration("statement-timeout", 0, "default per-statement deadline (0 = none; sessions may SET STATEMENT_TIMEOUT)")
 		readTo   = flag.Duration("read-timeout", 10*time.Minute, "per-connection idle read deadline (0 = none)")
 		invokeTo = flag.Duration("udf-invoke-timeout", 2*time.Minute, "isolated UDF invocation deadline; expiry kills the executor (0 = none)")
+		metrics  = flag.String("metrics-addr", "", "HTTP listen address serving Prometheus metrics at /metrics (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -72,6 +73,14 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("predator-server: serving %s on %s", *dbPath, addr)
+	if *metrics != "" {
+		go func() {
+			log.Printf("predator-server: metrics on http://%s/metrics", *metrics)
+			if err := predator.ServeMetrics(*metrics); err != nil {
+				log.Printf("predator-server: metrics listener: %v", err)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// jsonTable is the machine-readable form of a Table. Cells are typed:
+// integers and floats come through as JSON numbers, rendered durations
+// ("1.234ms") as seconds, everything else as strings.
+type jsonTable struct {
+	ID      string   `json:"id"`
+	Title   string   `json:"title"`
+	Caption string   `json:"caption,omitempty"`
+	Header  []string `json:"header"`
+	Rows    [][]any  `json:"rows"`
+}
+
+// cellValue parses one rendered cell into its typed JSON value.
+func cellValue(s string) any {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return s
+	}
+	if n, err := strconv.ParseInt(t, 10, 64); err == nil {
+		return n
+	}
+	if f, err := strconv.ParseFloat(t, 64); err == nil {
+		return f
+	}
+	if d, err := time.ParseDuration(t); err == nil {
+		return d.Seconds()
+	}
+	return s
+}
+
+// WriteJSON writes the table as BENCH_<id>.json in dir and returns the
+// file path. The CI smoke job uploads these files as artifacts so runs
+// can be compared across commits without re-parsing the text tables.
+func (t *Table) WriteJSON(dir string) (string, error) {
+	doc := jsonTable{ID: t.ID, Title: t.Title, Caption: t.Caption, Header: t.Header}
+	for _, row := range t.Rows {
+		cells := make([]any, len(row))
+		for i, c := range row {
+			cells[i] = cellValue(c)
+		}
+		doc.Rows = append(doc.Rows, cells)
+	}
+	buf, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("bench: marshal %s: %w", t.ID, err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("bench: mkdir %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, "BENCH_"+t.ID+".json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	return path, nil
+}

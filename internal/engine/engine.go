@@ -17,6 +17,7 @@ import (
 	"predator/internal/isolate"
 	"predator/internal/jaguar"
 	"predator/internal/jvm"
+	"predator/internal/obs"
 	"predator/internal/plan"
 	"predator/internal/sql"
 	"predator/internal/storage"
@@ -164,10 +165,54 @@ func (e *Engine) ExecStmt(stmt sql.Statement) (*Result, error) {
 	return e.defSess.ExecStmt(stmt)
 }
 
+// stmtVerb classifies a statement for metrics labels.
+func stmtVerb(stmt sql.Statement) string {
+	switch stmt.(type) {
+	case *sql.Select:
+		return "select"
+	case *sql.Insert:
+		return "insert"
+	case *sql.Delete:
+		return "delete"
+	case *sql.Update:
+		return "update"
+	case *sql.Explain:
+		return "explain"
+	case *sql.Show:
+		return "show"
+	case *sql.CreateTable, *sql.CreateFunction:
+		return "create"
+	case *sql.DropTable, *sql.DropFunction:
+		return "drop"
+	default:
+		return "other"
+	}
+}
+
 // execStmtDeadline executes a parsed statement under a statement
 // deadline (zero = none); sessions call it after handling SET.
 func (e *Engine) execStmtDeadline(stmt sql.Statement, deadline time.Time) (*Result, error) {
+	return e.execStmtTraced(stmt, deadline, obs.NewTrace())
+}
+
+// execStmtTraced wraps statement execution with the per-verb latency
+// histogram and outcome counter, threading the query trace through.
+func (e *Engine) execStmtTraced(stmt sql.Statement, deadline time.Time, tr *obs.Trace) (*Result, error) {
+	verb := stmtVerb(stmt)
+	start := time.Now()
+	res, err := e.runStmt(stmt, deadline, tr)
+	obs.Default.Histogram("predator_stmt_seconds", "verb", verb).Observe(time.Since(start))
+	status := "ok"
+	if err != nil {
+		status = "error"
+	}
+	obs.Default.Counter("predator_stmt_total", "verb", verb, "status", status).Inc()
+	return res, err
+}
+
+func (e *Engine) runStmt(stmt sql.Statement, deadline time.Time, tr *obs.Trace) (*Result, error) {
 	ec := e.evalCtx(deadline)
+	ec.Trace = tr
 	switch n := stmt.(type) {
 	case *sql.CreateTable:
 		schema := &types.Schema{Columns: n.Columns}
@@ -189,11 +234,31 @@ func (e *Engine) execStmtDeadline(stmt sql.Statement, deadline time.Time) (*Resu
 	case *sql.Select:
 		return e.execSelect(n, ec)
 	case *sql.Explain:
+		sp := tr.Start("plan")
 		op, err := e.planner.PlanSelect(n.Query)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Plan: exec.ExplainTree(op)}, nil
+		plan.Annotate(op)
+		if !n.Analyze {
+			return &Result{Plan: exec.ExplainTree(op)}, nil
+		}
+		// EXPLAIN ANALYZE: run the probe-wrapped tree to completion,
+		// then render it — each node's line shows the planner estimate
+		// next to the recorded actuals — plus the trace footer (phase
+		// spans and aggregated UDF-invoke events).
+		root := exec.Instrument(op)
+		sp = tr.Start("execute")
+		rows, err := exec.Run(root, ec)
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+		rendered := exec.ExplainTree(root)
+		rendered += fmt.Sprintf("Rows returned: %d\n", len(rows))
+		rendered += tr.Render()
+		return &Result{Plan: rendered}, nil
 	case *sql.CreateFunction:
 		return e.execCreateFunction(n)
 	case *sql.DropFunction:
@@ -454,6 +519,16 @@ func (e *Engine) execShow(n *sql.Show) (*Result, error) {
 				types.NewString(u.Design().String()),
 				types.NewString(sig),
 			})
+		}
+		return &Result{Schema: sch, Rows: rows}, nil
+	case "stats":
+		sch := types.NewSchema(
+			types.Column{Name: "metric", Kind: types.KindString},
+			types.Column{Name: "value", Kind: types.KindString},
+		)
+		var rows []types.Row
+		for _, st := range obs.Default.Dump() {
+			rows = append(rows, types.Row{types.NewString(st.Name), types.NewString(st.Value)})
 		}
 		return &Result{Schema: sch, Rows: rows}, nil
 	default:

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"predator/internal/obs"
 	"predator/internal/sql"
 	"predator/internal/types"
 )
@@ -45,11 +46,14 @@ func (s *Session) SetStatementTimeout(d time.Duration) {
 
 // Exec parses and executes one SQL statement under this session.
 func (s *Session) Exec(sqlText string) (*Result, error) {
+	tr := obs.NewTrace()
+	sp := tr.Start("parse")
 	stmt, err := sql.Parse(sqlText)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecStmt(stmt)
+	return s.execStmtTraced(stmt, tr)
 }
 
 // ExecStmt executes a parsed statement under this session: SET is
@@ -57,6 +61,10 @@ func (s *Session) Exec(sqlText string) (*Result, error) {
 // statement deadline, which cancels the plan between rows and kills
 // any isolated executor still working when it expires.
 func (s *Session) ExecStmt(stmt sql.Statement) (*Result, error) {
+	return s.execStmtTraced(stmt, obs.NewTrace())
+}
+
+func (s *Session) execStmtTraced(stmt sql.Statement, tr *obs.Trace) (*Result, error) {
 	if set, ok := stmt.(*sql.Set); ok {
 		return s.execSet(set)
 	}
@@ -64,7 +72,7 @@ func (s *Session) ExecStmt(stmt sql.Statement) (*Result, error) {
 	if t := s.StatementTimeout(); t > 0 {
 		deadline = time.Now().Add(t)
 	}
-	return s.eng.execStmtDeadline(stmt, deadline)
+	return s.eng.execStmtTraced(stmt, deadline, tr)
 }
 
 // execSet applies a SET statement to session state.

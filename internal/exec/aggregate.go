@@ -13,6 +13,7 @@ import (
 // the aggregate results. With no group expressions it produces exactly
 // one row (global aggregation).
 type Aggregate struct {
+	estNote
 	Input  Operator
 	Groups []expr.Bound
 	Specs  []expr.AggSpec
@@ -232,12 +233,14 @@ func (a *Aggregate) Next() (types.Row, error) {
 // Close implements Operator.
 func (a *Aggregate) Close() error {
 	a.rows = nil
+	rowsAggregate.Add(int64(a.pos))
+	a.pos = 0
 	return a.Input.Close()
 }
 
 // Explain implements Operator.
 func (a *Aggregate) Explain() string {
-	return fmt.Sprintf("Aggregate(%d groups, %d aggs)", len(a.Groups), len(a.Specs))
+	return fmt.Sprintf("Aggregate(%d groups, %d aggs)", len(a.Groups), len(a.Specs)) + a.estSuffix()
 }
 
 // Children implements Operator.

@@ -1,0 +1,150 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"predator/internal/expr"
+	"predator/internal/obs"
+	"predator/internal/types"
+)
+
+// Per-operator rows-emitted counters. Operators count locally while
+// running and flush on Close so the per-row path never touches atomics.
+var (
+	rowsSeqScan   = obs.Default.Counter("predator_exec_rows_total", "op", "seqscan")
+	rowsFilter    = obs.Default.Counter("predator_exec_rows_total", "op", "filter")
+	rowsProject   = obs.Default.Counter("predator_exec_rows_total", "op", "project")
+	rowsJoin      = obs.Default.Counter("predator_exec_rows_total", "op", "nestedloopjoin")
+	rowsSort      = obs.Default.Counter("predator_exec_rows_total", "op", "sort")
+	rowsLimit     = obs.Default.Counter("predator_exec_rows_total", "op", "limit")
+	rowsAggregate = obs.Default.Counter("predator_exec_rows_total", "op", "aggregate")
+	rowsValues    = obs.Default.Counter("predator_exec_rows_total", "op", "values")
+)
+
+// Est holds planner estimates attached to an operator for EXPLAIN
+// output: expected output cardinality and, where meaningful, the access
+// path. Operators render it as a suffix of their Explain line.
+type Est struct {
+	// Rows is the estimated output cardinality.
+	Rows float64
+	// Access describes the access path (e.g. "heap chain, 12 pages").
+	// Empty for operators where the notion does not apply.
+	Access string
+}
+
+// estNote is embedded in every operator to carry optional estimates.
+// The plan package sets the promoted Est field on the EXPLAIN path only,
+// so normal execution never pays the estimation cost.
+type estNote struct {
+	Est *Est
+}
+
+// estSuffix renders the estimate annotation, or "" when unset.
+func (e *estNote) estSuffix() string {
+	if e.Est == nil {
+		return ""
+	}
+	if e.Est.Access != "" {
+		return fmt.Sprintf(" (est rows=%.0f via %s)", e.Est.Rows, e.Est.Access)
+	}
+	return fmt.Sprintf(" (est rows=%.0f)", e.Est.Rows)
+}
+
+// probe wraps an operator for EXPLAIN ANALYZE: it counts emitted rows
+// and accumulates inclusive wall time across Open/Next/Close. The
+// engine runs the instrumented tree to completion and then renders it
+// with ExplainTree, which picks up the actuals via probe.Explain.
+type probe struct {
+	inner Operator
+	rows  int64
+	dur   time.Duration
+}
+
+// Instrument wraps every operator of a plan tree in a probe. Operators
+// whose children cannot be re-attached (unknown types) are left
+// unwrapped, so the tree still executes correctly.
+func Instrument(op Operator) Operator {
+	kids := op.Children()
+	if len(kids) > 0 {
+		wrapped := make([]Operator, len(kids))
+		for i, c := range kids {
+			wrapped[i] = Instrument(c)
+		}
+		if !setChildren(op, wrapped) {
+			return op
+		}
+	}
+	return &probe{inner: op}
+}
+
+// setChildren re-attaches (probe-wrapped) children to their parent.
+// It reports whether the operator type is known.
+func setChildren(op Operator, kids []Operator) bool {
+	switch o := op.(type) {
+	case *SeqScan, *Values:
+		return true
+	case *Filter:
+		o.Input = kids[0]
+		return true
+	case *Project:
+		o.Input = kids[0]
+		return true
+	case *NestedLoopJoin:
+		o.Left, o.Right = kids[0], kids[1]
+		return true
+	case *Sort:
+		o.Input = kids[0]
+		return true
+	case *Limit:
+		o.Input = kids[0]
+		return true
+	case *Aggregate:
+		o.Input = kids[0]
+		return true
+	case *probe:
+		o.inner = kids[0]
+		return true
+	}
+	return false
+}
+
+// Schema implements Operator.
+func (p *probe) Schema() *types.Schema { return p.inner.Schema() }
+
+// Open implements Operator.
+func (p *probe) Open(ec *expr.Ctx) error {
+	start := time.Now()
+	err := p.inner.Open(ec)
+	p.dur += time.Since(start)
+	return err
+}
+
+// Next implements Operator.
+func (p *probe) Next() (types.Row, error) {
+	start := time.Now()
+	row, err := p.inner.Next()
+	p.dur += time.Since(start)
+	if row != nil {
+		p.rows++
+	}
+	return row, err
+}
+
+// Close implements Operator.
+func (p *probe) Close() error {
+	start := time.Now()
+	err := p.inner.Close()
+	p.dur += time.Since(start)
+	return err
+}
+
+// Explain implements Operator: the wrapped node's line plus actuals.
+func (p *probe) Explain() string {
+	return fmt.Sprintf("%s (actual rows=%d time=%s)",
+		p.inner.Explain(), p.rows, p.dur.Round(time.Microsecond))
+}
+
+// Children implements Operator. The inner operator's children are
+// themselves probes, so ExplainTree shows actuals at every level.
+func (p *probe) Children() []Operator { return p.inner.Children() }

@@ -31,10 +31,12 @@ type Operator interface {
 
 // SeqScan reads every live record of a heap file.
 type SeqScan struct {
+	estNote
 	Table   string
 	Heap    *storage.HeapFile
 	Sch     *types.Schema
 	scanner *storage.Scanner
+	rows    int64
 }
 
 // Schema implements Operator.
@@ -61,14 +63,20 @@ func (s *SeqScan) Next() (types.Row, error) {
 	if err != nil {
 		return nil, fmt.Errorf("exec: decode record %s of %s: %w", s.scanner.RID(), s.Table, err)
 	}
+	s.rows++
 	return row, nil
 }
 
 // Close implements Operator.
-func (s *SeqScan) Close() error { s.scanner = nil; return nil }
+func (s *SeqScan) Close() error {
+	s.scanner = nil
+	rowsSeqScan.Add(s.rows)
+	s.rows = 0
+	return nil
+}
 
 // Explain implements Operator.
-func (s *SeqScan) Explain() string { return fmt.Sprintf("SeqScan(%s)", s.Table) }
+func (s *SeqScan) Explain() string { return fmt.Sprintf("SeqScan(%s)", s.Table) + s.estSuffix() }
 
 // Children implements Operator.
 func (s *SeqScan) Children() []Operator { return nil }
@@ -76,9 +84,11 @@ func (s *SeqScan) Children() []Operator { return nil }
 // Filter passes through rows whose predicate evaluates to TRUE
 // (NULL and FALSE are both rejected, per SQL).
 type Filter struct {
+	estNote
 	Input Operator
 	Pred  expr.Bound
 	ec    *expr.Ctx
+	rows  int64
 }
 
 // Schema implements Operator.
@@ -107,17 +117,22 @@ func (f *Filter) Next() (types.Row, error) {
 			return nil, err
 		}
 		if !v.IsNull() && v.Bool {
+			f.rows++
 			return row, nil
 		}
 	}
 }
 
 // Close implements Operator.
-func (f *Filter) Close() error { return f.Input.Close() }
+func (f *Filter) Close() error {
+	rowsFilter.Add(f.rows)
+	f.rows = 0
+	return f.Input.Close()
+}
 
 // Explain implements Operator.
 func (f *Filter) Explain() string {
-	return fmt.Sprintf("Filter(%s) [cost=%.1f]", f.Pred, f.Pred.Cost())
+	return fmt.Sprintf("Filter(%s) [cost=%.1f]", f.Pred, f.Pred.Cost()) + f.estSuffix()
 }
 
 // Children implements Operator.
@@ -125,11 +140,13 @@ func (f *Filter) Children() []Operator { return []Operator{f.Input} }
 
 // Project computes a list of expressions per input row.
 type Project struct {
+	estNote
 	Input Operator
 	Exprs []expr.Bound
 	Names []string
 	ec    *expr.Ctx
 	sch   *types.Schema
+	rows  int64
 }
 
 // Schema implements Operator.
@@ -168,15 +185,20 @@ func (p *Project) Next() (types.Row, error) {
 		}
 		out[i] = v
 	}
+	p.rows++
 	return out, nil
 }
 
 // Close implements Operator.
-func (p *Project) Close() error { return p.Input.Close() }
+func (p *Project) Close() error {
+	rowsProject.Add(p.rows)
+	p.rows = 0
+	return p.Input.Close()
+}
 
 // Explain implements Operator.
 func (p *Project) Explain() string {
-	return fmt.Sprintf("Project(%d exprs)", len(p.Exprs))
+	return fmt.Sprintf("Project(%d exprs)", len(p.Exprs)) + p.estSuffix()
 }
 
 // Children implements Operator.
@@ -185,6 +207,7 @@ func (p *Project) Children() []Operator { return []Operator{p.Input} }
 // NestedLoopJoin joins two inputs with an optional ON predicate
 // (nil = cross join). The inner input is materialized once.
 type NestedLoopJoin struct {
+	estNote
 	Left, Right Operator
 	On          expr.Bound // evaluated over concatenated rows; may be nil
 	ec          *expr.Ctx
@@ -192,6 +215,7 @@ type NestedLoopJoin struct {
 	inner       []types.Row
 	cur         types.Row
 	idx         int
+	rows        int64
 }
 
 // Schema implements Operator.
@@ -254,6 +278,7 @@ func (j *NestedLoopJoin) Next() (types.Row, error) {
 					continue
 				}
 			}
+			j.rows++
 			return combined, nil
 		}
 		j.cur = nil
@@ -262,6 +287,8 @@ func (j *NestedLoopJoin) Next() (types.Row, error) {
 
 // Close implements Operator.
 func (j *NestedLoopJoin) Close() error {
+	rowsJoin.Add(j.rows)
+	j.rows = 0
 	err1 := j.Left.Close()
 	err2 := j.Right.Close()
 	j.inner = nil
@@ -274,9 +301,9 @@ func (j *NestedLoopJoin) Close() error {
 // Explain implements Operator.
 func (j *NestedLoopJoin) Explain() string {
 	if j.On == nil {
-		return "NestedLoopJoin(cross)"
+		return "NestedLoopJoin(cross)" + j.estSuffix()
 	}
-	return fmt.Sprintf("NestedLoopJoin(on %s)", j.On)
+	return fmt.Sprintf("NestedLoopJoin(on %s)", j.On) + j.estSuffix()
 }
 
 // Children implements Operator.
@@ -284,10 +311,12 @@ func (j *NestedLoopJoin) Children() []Operator { return []Operator{j.Left, j.Rig
 
 // Sort materializes and orders its input.
 type Sort struct {
+	estNote
 	Input Operator
 	Keys  []SortKey
 	rows  []types.Row
 	pos   int
+	out   int64
 }
 
 // SortKey is one ORDER BY key.
@@ -362,23 +391,27 @@ func (s *Sort) Next() (types.Row, error) {
 	}
 	row := s.rows[s.pos]
 	s.pos++
+	s.out++
 	return row, nil
 }
 
 // Close implements Operator.
 func (s *Sort) Close() error {
 	s.rows = nil
+	rowsSort.Add(s.out)
+	s.out = 0
 	return s.Input.Close()
 }
 
 // Explain implements Operator.
-func (s *Sort) Explain() string { return fmt.Sprintf("Sort(%d keys)", len(s.Keys)) }
+func (s *Sort) Explain() string { return fmt.Sprintf("Sort(%d keys)", len(s.Keys)) + s.estSuffix() }
 
 // Children implements Operator.
 func (s *Sort) Children() []Operator { return []Operator{s.Input} }
 
 // Limit stops after N rows.
 type Limit struct {
+	estNote
 	Input Operator
 	N     int64
 	seen  int64
@@ -407,16 +440,21 @@ func (l *Limit) Next() (types.Row, error) {
 }
 
 // Close implements Operator.
-func (l *Limit) Close() error { return l.Input.Close() }
+func (l *Limit) Close() error {
+	rowsLimit.Add(l.seen)
+	l.seen = 0
+	return l.Input.Close()
+}
 
 // Explain implements Operator.
-func (l *Limit) Explain() string { return fmt.Sprintf("Limit(%d)", l.N) }
+func (l *Limit) Explain() string { return fmt.Sprintf("Limit(%d)", l.N) + l.estSuffix() }
 
 // Children implements Operator.
 func (l *Limit) Children() []Operator { return []Operator{l.Input} }
 
 // Values produces a fixed list of rows (INSERT sources, tests).
 type Values struct {
+	estNote
 	Sch  *types.Schema
 	Rows []types.Row
 	pos  int
@@ -439,10 +477,14 @@ func (v *Values) Next() (types.Row, error) {
 }
 
 // Close implements Operator.
-func (v *Values) Close() error { return nil }
+func (v *Values) Close() error {
+	rowsValues.Add(int64(v.pos))
+	v.pos = 0
+	return nil
+}
 
 // Explain implements Operator.
-func (v *Values) Explain() string { return fmt.Sprintf("Values(%d rows)", len(v.Rows)) }
+func (v *Values) Explain() string { return fmt.Sprintf("Values(%d rows)", len(v.Rows)) + v.estSuffix() }
 
 // Children implements Operator.
 func (v *Values) Children() []Operator { return nil }

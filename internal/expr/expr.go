@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"predator/internal/core"
+	"predator/internal/obs"
 	"predator/internal/types"
 )
 
@@ -27,6 +28,9 @@ type Ctx struct {
 	// Deadline, when non-zero, is the statement deadline
 	// (SET STATEMENT_TIMEOUT). Operators poll Check between rows.
 	Deadline time.Time
+	// Trace, when non-nil, collects per-query spans and events
+	// (EXPLAIN ANALYZE). All Trace methods are nil-safe.
+	Trace *obs.Trace
 }
 
 // Check reports a FaultTimeout once the statement deadline has passed.

@@ -3,8 +3,10 @@ package expr
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"predator/internal/core"
+	"predator/internal/obs"
 	"predator/internal/types"
 )
 
@@ -134,6 +136,8 @@ func (b *BuiltinCall) Eval(ec *Ctx, row types.Row) (types.Value, error) {
 type udfCall struct {
 	udf  core.UDF
 	args []Bound
+	hist *obs.Histogram // invoke latency, labelled by execution design
+	ev   string         // trace event name ("udf:<name>")
 }
 
 // NewUDFCall binds a UDF invocation after checking the signature.
@@ -153,7 +157,10 @@ func NewUDFCall(u core.UDF, args []Bound) (Bound, error) {
 				u.Name(), i+1, kinds[i], a.Kind())
 		}
 	}
-	return &udfCall{udf: u, args: args}, nil
+	// Resolve the latency histogram once at bind time so Eval never
+	// touches the registry map on the per-row path.
+	hist := obs.Default.Histogram("predator_udf_invoke_seconds", "design", u.Design().String())
+	return &udfCall{udf: u, args: args, hist: hist, ev: "udf:" + strings.ToLower(u.Name())}, nil
 }
 
 // Kind implements Bound.
@@ -209,7 +216,14 @@ func (u *udfCall) Eval(ec *Ctx, row types.Row) (types.Value, error) {
 	if ec != nil {
 		ctx = ec.UDF
 	}
-	return u.udf.Invoke(ctx, vals)
+	start := time.Now()
+	out, err := u.udf.Invoke(ctx, vals)
+	d := time.Since(start)
+	u.hist.Observe(d)
+	if ec != nil {
+		ec.Trace.Event(u.ev, d)
+	}
+	return out, err
 }
 
 // castFloat widens an INT expression to FLOAT.

@@ -64,7 +64,7 @@ func StartExecutorWith(sup Supervision) (*Executor, error) {
 	if err := cmd.Start(); err != nil {
 		return nil, core.NewFault(core.FaultExecutor, "start", fmt.Errorf("start executor: %w", err))
 	}
-	stats.starts.Add(1)
+	cStarts.Inc()
 	e := &Executor{cmd: cmd, conn: newConn(stdout, stdin), sup: sup, waited: make(chan struct{})}
 	// Reap in the background: whatever way the child dies, its exit
 	// status is collected exactly once and no zombie remains.
@@ -105,7 +105,7 @@ func (e *Executor) recvDeadlineLocked(op string, deadline time.Time) (frame, err
 	}
 	d := time.Until(deadline)
 	if d <= 0 {
-		stats.timeouts.Add(1)
+		cTimeouts.Inc()
 		e.destroyLocked()
 		return frame{}, core.Faultf(core.FaultTimeout, op, "deadline expired before %s reply", op)
 	}
@@ -129,7 +129,7 @@ func (e *Executor) recvDeadlineLocked(op string, deadline time.Time) (frame, err
 		}
 		return r.f, nil
 	case <-t.C:
-		stats.timeouts.Add(1)
+		cTimeouts.Inc()
 		e.destroyLocked()
 		return frame{}, core.Faultf(core.FaultTimeout, op, "no reply within %v (executor killed)", d.Round(time.Millisecond))
 	}
@@ -171,7 +171,7 @@ func (e *Executor) destroyLocked() {
 		// Already exited and reaped.
 	default:
 		e.cmd.Process.Kill()
-		stats.kills.Add(1)
+		cKills.Inc()
 		<-e.waited
 	}
 }
@@ -292,7 +292,7 @@ func (e *Executor) PID() int { return e.cmd.Process.Pid }
 func (e *Executor) Invoke(ctx *core.Ctx, args []types.Value) (types.Value, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	stats.invocations.Add(1)
+	cInvocations.Inc()
 	deadline := deadlineFor(e.sup.InvokeTimeout, ctx)
 	buf := binary.AppendUvarint(nil, uint64(len(args)))
 	for _, a := range args {
@@ -394,7 +394,7 @@ func (e *Executor) Close() error {
 	case <-e.waited:
 	case <-t.C:
 		e.cmd.Process.Kill()
-		stats.kills.Add(1)
+		cKills.Inc()
 		<-e.waited
 	}
 	e.done = true

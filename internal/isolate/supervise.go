@@ -1,10 +1,10 @@
 package isolate
 
 import (
-	"sync/atomic"
 	"time"
 
 	"predator/internal/core"
+	"predator/internal/obs"
 )
 
 // Supervision is the policy the parent enforces on executor processes.
@@ -79,19 +79,39 @@ type Stats struct {
 	Evictions   int64 // dead idle executors evicted by pool health checks
 }
 
-var stats struct {
-	starts, invocations, timeouts, kills, restarts, evictions atomic.Int64
+// The supervision counters live in the process-wide obs registry
+// (predator_isolate_*); these handles are the package's write path.
+var (
+	cStarts      = obs.Default.Counter("predator_isolate_executor_starts_total")
+	cInvocations = obs.Default.Counter("predator_isolate_invocations_total")
+	cTimeouts    = obs.Default.Counter("predator_isolate_timeouts_total")
+	cKills       = obs.Default.Counter("predator_isolate_kills_total")
+	cRestarts    = obs.Default.Counter("predator_isolate_restarts_total")
+	cEvictions   = obs.Default.Counter("predator_isolate_pool_evictions_total")
+	cPoolLends   = obs.Default.Counter("predator_isolate_pool_lends_total")
+)
+
+// countFault records a classified invocation failure by fault class
+// (predator_isolate_faults_total{class="..."}).
+func countFault(err error) {
+	if class := core.FaultClassOf(err); class != core.FaultNone {
+		obs.Default.Counter("predator_isolate_faults_total", "class", class.String()).Inc()
+	}
 }
 
 // ReadStats snapshots the process-wide supervision counters.
+//
+// Deprecated: the counters now live in the obs registry under
+// predator_isolate_* (SHOW STATS, /metrics); this accessor remains as a
+// typed view for existing callers and reads the same underlying values.
 func ReadStats() Stats {
 	return Stats{
-		Starts:      stats.starts.Load(),
-		Invocations: stats.invocations.Load(),
-		Timeouts:    stats.timeouts.Load(),
-		Kills:       stats.kills.Load(),
-		Restarts:    stats.restarts.Load(),
-		Evictions:   stats.evictions.Load(),
+		Starts:      cStarts.Value(),
+		Invocations: cInvocations.Value(),
+		Timeouts:    cTimeouts.Value(),
+		Kills:       cKills.Value(),
+		Restarts:    cRestarts.Value(),
+		Evictions:   cEvictions.Value(),
 	}
 }
 
@@ -106,7 +126,7 @@ func startSupervised(sup Supervision, setup func(*Executor) error) (*Executor, e
 	var err error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
-			stats.restarts.Add(1)
+			cRestarts.Inc()
 			time.Sleep(backoff)
 			backoff *= 2
 		}

@@ -107,17 +107,21 @@ func (u *udf) Invoke(ctx *core.Ctx, args []types.Value) (types.Value, error) {
 	if u.pool != nil {
 		e, err := u.pool.Get(u)
 		if err != nil {
+			countFault(err)
 			return types.Value{}, err
 		}
 		out, err := e.Invoke(ctx, args)
 		u.pool.Put(u, e, err)
+		countFault(err)
 		return out, err
 	}
 	e, err := u.executor()
 	if err != nil {
+		countFault(err)
 		return types.Value{}, err
 	}
 	out, err := e.Invoke(ctx, args)
+	countFault(err)
 	if err != nil && core.FaultClassOf(err) != core.FaultUDF {
 		// The executor died, babbled or timed out (the supervisor has
 		// already killed and reaped it). Drop the handle so the next
@@ -200,9 +204,10 @@ func (p *Pool) Get(u *udf) (*Executor, error) {
 			// Verify the executor survived idling: process alive and
 			// protocol loop answering. Evict and retry otherwise.
 			if e.Alive() && e.Ping(p.sup.PingTimeout) == nil {
+				cPoolLends.Inc()
 				return e, nil
 			}
-			stats.evictions.Add(1)
+			cEvictions.Inc()
 			p.release(e)
 			continue
 		}
@@ -224,6 +229,7 @@ func (p *Pool) Get(u *udf) (*Executor, error) {
 			p.mu.Unlock()
 			return nil, err
 		}
+		cPoolLends.Inc()
 		return e, nil
 	}
 }

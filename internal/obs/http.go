@@ -1,0 +1,24 @@
+package obs
+
+import (
+	"net/http"
+)
+
+// Handler serves the registry in Prometheus text format. It answers
+// any path, so it can back a bare listener or be mounted at /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// Serve starts an HTTP listener on addr exposing the registry at
+// /metrics (and at /, for convenience). It returns the error from
+// http.ListenAndServe; callers normally run it on its own goroutine.
+func Serve(addr string, r *Registry) error {
+	mux := http.NewServeMux()
+	mux.Handle("/", Handler(r))
+	mux.Handle("/metrics", Handler(r))
+	return http.ListenAndServe(addr, mux)
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace is a lightweight per-query tracer. The engine opens one trace
+// per statement and records its phases (parse → plan → execute) as
+// spans; deeper layers aggregate repeated work (UDF invocations,
+// callbacks) as counted events instead of one span per occurrence, so
+// tracing a 10,000-row scan costs a few map updates, not 10,000
+// allocations.
+type Trace struct {
+	mu     sync.Mutex
+	spans  []*Span
+	events map[string]*Event
+	order  []string
+}
+
+// Span is one timed phase of a traced statement.
+type Span struct {
+	Name  string
+	start time.Time
+	tr    *Trace
+
+	mu sync.Mutex
+	d  time.Duration
+}
+
+// Event aggregates repeated occurrences of the same operation within
+// one trace (e.g. every invocation of one UDF).
+type Event struct {
+	Name  string
+	Count int64
+	Total time.Duration
+}
+
+// NewTrace starts an empty trace.
+func NewTrace() *Trace {
+	return &Trace{events: make(map[string]*Event)}
+}
+
+// Start opens a named span. End it with Span.End; an unended span
+// reports zero duration.
+func (t *Trace) Start(name string) *Span {
+	sp := &Span{Name: name, start: time.Now(), tr: t}
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+	return sp
+}
+
+// End closes the span, fixing its duration. Safe to call once.
+func (s *Span) End() {
+	d := time.Since(s.start)
+	s.mu.Lock()
+	s.d = d
+	s.mu.Unlock()
+}
+
+// Duration returns the span's recorded duration (0 if still open).
+func (s *Span) Duration() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d
+}
+
+// Event adds one occurrence of a named repeated operation. A nil trace
+// is a no-op, so instrumented code can call unconditionally.
+func (t *Trace) Event(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	ev, ok := t.events[name]
+	if !ok {
+		ev = &Event{Name: name}
+		t.events[name] = ev
+		t.order = append(t.order, name)
+	}
+	ev.Count++
+	ev.Total += d
+	t.mu.Unlock()
+}
+
+// SpanDuration returns the duration of the first span with the given
+// name (0 if absent or unended).
+func (t *Trace) SpanDuration(name string) time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, sp := range t.spans {
+		if sp.Name == name {
+			return sp.Duration()
+		}
+	}
+	return 0
+}
+
+// Events returns the aggregated events in first-seen order.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.order))
+	for _, name := range t.order {
+		out = append(out, *t.events[name])
+	}
+	return out
+}
+
+// Render formats the trace for human consumption (the EXPLAIN ANALYZE
+// footer): one line per phase span, then one per aggregated event.
+func (t *Trace) Render() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.spans...)
+	t.mu.Unlock()
+	var b strings.Builder
+	for _, sp := range spans {
+		fmt.Fprintf(&b, "%s: %s\n", sp.Name, sp.Duration().Round(time.Microsecond))
+	}
+	evs := t.Events()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Total > evs[j].Total })
+	for _, ev := range evs {
+		mean := time.Duration(0)
+		if ev.Count > 0 {
+			mean = ev.Total / time.Duration(ev.Count)
+		}
+		fmt.Fprintf(&b, "%s: %d calls, total %s, mean %s\n",
+			ev.Name, ev.Count, ev.Total.Round(time.Microsecond), mean.Round(time.Nanosecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"predator/internal/exec"
+)
+
+// Annotate walks a plan tree bottom-up and attaches cardinality
+// estimates (and access-path notes) to each operator for EXPLAIN
+// output. SeqScan estimates come from the heap file's page chain
+// (O(pages) per table), so this runs only on the EXPLAIN path, never
+// during normal execution.
+func Annotate(root exec.Operator) {
+	estimate(root)
+}
+
+// estimate returns the operator's estimated output cardinality and
+// stores it (with any access-path note) on the node.
+func estimate(op exec.Operator) float64 {
+	switch o := op.(type) {
+	case *exec.SeqScan:
+		rows := 1000.0
+		access := "heap chain"
+		if st, err := o.Heap.Stats(); err == nil {
+			rows = float64(st.Records)
+			access = fmt.Sprintf("heap chain, %d pages", st.Pages)
+		}
+		o.Est = &exec.Est{Rows: rows, Access: access}
+		return rows
+	case *exec.Filter:
+		rows := estimate(o.Input) * selectivity(o.Pred)
+		o.Est = &exec.Est{Rows: rows}
+		return rows
+	case *exec.Project:
+		rows := estimate(o.Input)
+		o.Est = &exec.Est{Rows: rows}
+		return rows
+	case *exec.NestedLoopJoin:
+		rows := estimate(o.Left) * estimate(o.Right)
+		if o.On != nil {
+			rows *= selectivity(o.On)
+		}
+		o.Est = &exec.Est{Rows: rows, Access: "inner materialized"}
+		return rows
+	case *exec.Sort:
+		rows := estimate(o.Input)
+		o.Est = &exec.Est{Rows: rows, Access: "materialized sort"}
+		return rows
+	case *exec.Limit:
+		rows := math.Min(estimate(o.Input), float64(o.N))
+		o.Est = &exec.Est{Rows: rows}
+		return rows
+	case *exec.Aggregate:
+		in := estimate(o.Input)
+		rows := 1.0
+		if len(o.Groups) > 0 {
+			// Textbook default: grouping keeps ~a tenth of the input.
+			rows = math.Max(1, in*0.1)
+		}
+		o.Est = &exec.Est{Rows: rows}
+		return rows
+	case *exec.Values:
+		rows := float64(len(o.Rows))
+		o.Est = &exec.Est{Rows: rows}
+		return rows
+	default:
+		// Unknown operator: estimate children for their annotations and
+		// pass through a neutral guess.
+		var rows float64 = 1000
+		for _, c := range op.Children() {
+			rows = estimate(c)
+		}
+		return rows
+	}
+}

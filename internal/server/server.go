@@ -17,8 +17,17 @@ import (
 	"time"
 
 	"predator/internal/engine"
+	"predator/internal/obs"
 	"predator/internal/types"
 	"predator/internal/wire"
+)
+
+// Process-wide server metrics.
+var (
+	obsConnsTotal = obs.Default.Counter("predator_server_connections_total")
+	obsConnsOpen  = obs.Default.Gauge("predator_server_connections_open")
+	obsQueriesIn  = obs.Default.Gauge("predator_server_queries_in_flight")
+	obsQueriesTot = obs.Default.Counter("predator_server_queries_total")
 )
 
 // Server serves one engine over a listener.
@@ -88,10 +97,13 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		}
 		s.conns[conn] = true
 		s.mu.Unlock()
+		obsConnsTotal.Inc()
+		obsConnsOpen.Add(1)
 		s.wg.Add(1)
 		// One goroutine per client: the PREDATOR threading model.
 		go func() {
 			defer s.wg.Done()
+			defer obsConnsOpen.Add(-1)
 			s.serveConn(conn)
 			s.mu.Lock()
 			delete(s.conns, conn)
@@ -192,7 +204,10 @@ func (s *Server) handle(c *wire.Conn, sess *session, typ byte, payload []byte) (
 		if r.Err != nil {
 			return sendErr(r.Err)
 		}
+		obsQueriesTot.Inc()
+		obsQueriesIn.Add(1)
 		res, err := sess.eng.Exec(q)
+		obsQueriesIn.Add(-1)
 		if err != nil {
 			return sendErr(err)
 		}

@@ -93,7 +93,7 @@ type DropFunction struct {
 
 // Show is SHOW TABLES | SHOW FUNCTIONS.
 type Show struct {
-	What string // "tables" or "functions"
+	What string // "tables", "functions" or "stats"
 }
 
 // Set is a session variable assignment:
@@ -111,6 +111,9 @@ type Set struct {
 // Explain wraps a SELECT to print its plan.
 type Explain struct {
 	Query *Select
+	// Analyze makes EXPLAIN execute the query and report actual
+	// per-operator row counts and wall time (EXPLAIN ANALYZE).
+	Analyze bool
 }
 
 // Delete is DELETE FROM name [WHERE cond].

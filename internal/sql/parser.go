@@ -135,11 +135,12 @@ func (p *sqlParser) statement() (Statement, error) {
 		return p.showStmt()
 	case "EXPLAIN":
 		p.next()
+		analyze := p.accept(tkKeyword, "ANALYZE")
 		q, err := p.selectStmt()
 		if err != nil {
 			return nil, err
 		}
-		return &Explain{Query: q.(*Select)}, nil
+		return &Explain{Query: q.(*Select), Analyze: analyze}, nil
 	case "DELETE":
 		return p.deleteStmt()
 	case "UPDATE":
@@ -408,8 +409,10 @@ func (p *sqlParser) showStmt() (Statement, error) {
 		return &Show{What: "tables"}, nil
 	case p.accept(tkKeyword, "FUNCTIONS"):
 		return &Show{What: "functions"}, nil
+	case p.accept(tkKeyword, "STATS"):
+		return &Show{What: "stats"}, nil
 	default:
-		return nil, p.errHere("expected TABLES or FUNCTIONS after SHOW")
+		return nil, p.errHere("expected TABLES, FUNCTIONS or STATS after SHOW")
 	}
 }
 

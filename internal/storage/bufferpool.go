@@ -4,6 +4,16 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+
+	"predator/internal/obs"
+)
+
+// Process-wide buffer-pool metrics (all pools report into them; the
+// per-pool Stats() snapshot remains for per-engine views).
+var (
+	obsPoolHits      = obs.Default.Counter("predator_storage_bufferpool_hits_total")
+	obsPoolMisses    = obs.Default.Counter("predator_storage_bufferpool_misses_total")
+	obsPoolEvictions = obs.Default.Counter("predator_storage_bufferpool_evictions_total")
 )
 
 // BufferPool caches pages in memory with LRU replacement and pin
@@ -77,10 +87,12 @@ func (bp *BufferPool) Fetch(id PageID) (*PinnedPage, error) {
 	defer bp.mu.Unlock()
 	if f, ok := bp.frames[id]; ok {
 		bp.stats.Hits++
+		obsPoolHits.Inc()
 		bp.pinLocked(f)
 		return &PinnedPage{pool: bp, frame: f}, nil
 	}
 	bp.stats.Misses++
+	obsPoolMisses.Inc()
 	f, err := bp.allocFrameLocked(id)
 	if err != nil {
 		return nil, err
@@ -136,6 +148,7 @@ func (bp *BufferPool) evictLocked() error {
 	bp.lru.Remove(ele)
 	delete(bp.frames, victim.id)
 	bp.stats.Evictions++
+	obsPoolEvictions.Inc()
 	return nil
 }
 

@@ -11,6 +11,15 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"predator/internal/obs"
+)
+
+// Process-wide physical-I/O metrics (all disk managers report here).
+var (
+	obsPageReads  = obs.Default.Counter("predator_storage_page_reads_total")
+	obsPageWrites = obs.Default.Counter("predator_storage_page_writes_total")
+	obsPageAllocs = obs.Default.Counter("predator_storage_page_allocs_total")
 )
 
 // PageSize is the size of every on-disk page in bytes.
@@ -118,6 +127,7 @@ func (d *DiskManager) Allocate() (PageID, error) {
 		return InvalidPageID, ErrClosed
 	}
 	d.stats.Allocs++
+	obsPageAllocs.Inc()
 	if d.freeHead != InvalidPageID {
 		id := d.freeHead
 		var hdr [4]byte
@@ -177,6 +187,7 @@ func (d *DiskManager) Read(id PageID, buf []byte) error {
 		return fmt.Errorf("storage: read of invalid page %d (file has %d pages)", id, d.numPages)
 	}
 	d.stats.Reads++
+	obsPageReads.Inc()
 	if _, err := d.f.ReadAt(buf, int64(id)*PageSize); err != nil && err != io.EOF {
 		return fmt.Errorf("storage: read page %d: %w", id, err)
 	}
@@ -197,6 +208,7 @@ func (d *DiskManager) Write(id PageID, buf []byte) error {
 		return fmt.Errorf("storage: write of invalid page %d", id)
 	}
 	d.stats.Writes++
+	obsPageWrites.Inc()
 	if _, err := d.f.WriteAt(buf, int64(id)*PageSize); err != nil {
 		return fmt.Errorf("storage: write page %d: %w", id, err)
 	}

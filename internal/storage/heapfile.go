@@ -277,6 +277,38 @@ func (h *HeapFile) Destroy() error {
 	return nil
 }
 
+// HeapStats summarizes a heap file's size for planner estimates.
+type HeapStats struct {
+	// Pages is the number of primary (non-overflow) pages in the chain.
+	Pages int
+	// Records is the number of live records.
+	Records int64
+}
+
+// Stats walks the page chain and counts pages and live records. It is
+// O(pages) and intended for EXPLAIN-time estimation, not per-row use.
+func (h *HeapFile) Stats() (HeapStats, error) {
+	var st HeapStats
+	id := h.first
+	for id != InvalidPageID {
+		pp, err := h.pool.Fetch(id)
+		if err != nil {
+			return st, err
+		}
+		pg := pp.Page()
+		st.Pages++
+		for slot := 0; slot < pg.NumSlots(); slot++ {
+			if _, _, _, _, ok := pg.Record(slot); ok {
+				st.Records++
+			}
+		}
+		next := pg.Next()
+		pp.Unpin(false)
+		id = next
+	}
+	return st, nil
+}
+
 // Scan returns an iterator over all live records in the file.
 func (h *HeapFile) Scan() *Scanner {
 	return &Scanner{hf: h, page: h.first, slot: 0}

@@ -12,7 +12,15 @@ import (
 	"fmt"
 	"io"
 
+	"predator/internal/obs"
 	"predator/internal/types"
+)
+
+// Process-wide wire traffic counters (frame headers included).
+var (
+	obsBytesIn  = obs.Default.Counter("predator_wire_bytes_in_total")
+	obsBytesOut = obs.Default.Counter("predator_wire_bytes_out_total")
+	obsFramesIn = obs.Default.Counter("predator_wire_frames_in_total")
 )
 
 // Protocol message types.
@@ -60,6 +68,7 @@ func (c *Conn) Send(typ byte, payload []byte) error {
 	if _, err := c.w.Write(payload); err != nil {
 		return fmt.Errorf("wire: write payload: %w", err)
 	}
+	obsBytesOut.Add(int64(len(hdr) + len(payload)))
 	return c.w.Flush()
 }
 
@@ -77,6 +86,8 @@ func (c *Conn) Recv() (byte, []byte, error) {
 	if _, err := io.ReadFull(c.r, payload); err != nil {
 		return 0, nil, fmt.Errorf("wire: read payload: %w", err)
 	}
+	obsBytesIn.Add(int64(len(hdr)) + int64(n))
+	obsFramesIn.Inc()
 	return hdr[4], payload, nil
 }
 

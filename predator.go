@@ -32,6 +32,7 @@
 package predator
 
 import (
+	"net/http"
 	"time"
 
 	"predator/internal/core"
@@ -39,6 +40,7 @@ import (
 	"predator/internal/isolate"
 	"predator/internal/jaguar"
 	"predator/internal/jvm"
+	"predator/internal/obs"
 	"predator/internal/types"
 )
 
@@ -101,6 +103,15 @@ func IsTimeout(err error) bool { return core.IsTimeout(err) }
 // ReadExecutorStats snapshots the supervision counters (executor
 // starts, invocations, timeouts, kills, restarts, evictions).
 func ReadExecutorStats() ExecutorStats { return isolate.ReadStats() }
+
+// MetricsHandler serves the process-wide metrics registry in Prometheus
+// text exposition format; mount it wherever the embedding program runs
+// its HTTP server (SHOW STATS exposes the same registry over SQL).
+func MetricsHandler() http.Handler { return obs.Handler(obs.Default) }
+
+// ServeMetrics starts an HTTP listener on addr exposing the metrics
+// registry at /metrics. It blocks; run it on its own goroutine.
+func ServeMetrics(addr string) error { return obs.Serve(addr, obs.Default) }
 
 // Value type kinds.
 const (
