@@ -7,8 +7,8 @@
 //	predator-bench -experiment fig7       # one experiment
 //	predator-bench -experiment table1,fig5,fig8
 //
-// Experiments: table1 fig4 fig5 fig6 fig7 fig8 jit verifier fuel pool
-// cbbatch, or "all".
+// Experiments: table1 fig4 fig5 fig5batch fig6 fig7 fig8 jit verifier
+// fuel pool cbbatch, or "all".
 package main
 
 import (
@@ -31,6 +31,7 @@ func main() {
 		calls      = flag.Int("calls", 0, "override UDF invocation count")
 		dir        = flag.String("dir", "", "workspace directory (default: temp)")
 		jsonDir    = flag.String("json-dir", ".", "directory for machine-readable BENCH_<experiment>.json files (empty = disabled)")
+		assertUp   = flag.Float64("assert-batch-speedup", 0, "fail unless the fig5batch IC++ batched/unbatched speedup reaches this factor")
 	)
 	flag.Parse()
 
@@ -75,8 +76,8 @@ func main() {
 		writeJSON(t)
 	}
 
-	needHarness := sel("fig4") || sel("fig5") || sel("fig6") || sel("fig7") ||
-		sel("fig8") || sel("jit") || sel("cbbatch")
+	needHarness := sel("fig4") || sel("fig5") || sel("fig5batch") || sel("fig6") ||
+		sel("fig7") || sel("fig8") || sel("jit") || sel("cbbatch")
 	var h *bench.Harness
 	if needHarness {
 		var err error
@@ -114,6 +115,23 @@ func main() {
 	}
 	if sel("fig5") {
 		show(bench.Fig5(h, ax))
+	}
+	if sel("fig5batch") {
+		tbl, speedup, err := bench.Fig5Batch(h)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tbl.Render())
+		fmt.Print(bench.BatchSpeedupSummary(speedup))
+		fmt.Println()
+		writeJSON(tbl)
+		if *assertUp > 0 {
+			got := speedup[bench.DesignICPP]
+			if got < *assertUp {
+				fatal(fmt.Errorf("fig5batch: IC++ batched speedup %.2fx below required %.2fx", got, *assertUp))
+			}
+			fmt.Printf("(batch speedup assertion passed: %.2fx >= %.2fx)\n\n", got, *assertUp)
+		}
 	}
 	if sel("fig6") {
 		show2(bench.Fig6(h, ax))

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+
+	"predator/internal/obs"
+)
+
+// BatchCaps are the batch-size points of the fig5_batch sweep. Cap 1 is
+// the legacy scalar protocol (one crossing per invocation); the rest
+// amortize the crossing over up to that many rows.
+var BatchCaps = []int{1, 8, 64, 256}
+
+// BatchDesigns are the designs the sweep plots: the integrated native
+// baseline (which never batches) and both isolated designs (where the
+// crossing is a process boundary and batching pays).
+var BatchDesigns = []string{DesignCPP, DesignICPP, DesignIJNI}
+
+// Fig5Batch extends the Fig. 5 invocation-cost calibration along a new
+// axis the 1998 system did not have: the UDF batch size. It runs the
+// no-op generic UDF over Rel100 at each batch cap, measuring rows/sec
+// and the actual boundary crossings consumed (from the per-design
+// predator_udf_crossings_total counter), and returns the per-design
+// speedup of the largest cap >= 64 over cap 1.
+func Fig5Batch(h *Harness) (*Table, map[string]float64, error) {
+	calls := h.Cfg.Calls
+	t := &Table{
+		ID:    "fig5_batch",
+		Title: "Batched Crossings: Invocation Cost vs Batch Size",
+		Caption: fmt.Sprintf("%d no-op UDF invocations over Rel100; rows/sec and boundary\n"+
+			"crossings per run vs the UDF batch cap. C++ is integrated (one\n"+
+			"crossing per call at every cap); IC++/IJNI amortize the process\n"+
+			"boundary across the batch.", calls),
+		Header: []string{"batch cap"},
+	}
+	for _, d := range BatchDesigns {
+		t.Header = append(t.Header, Label(d)+" rows/s", Label(d)+" crossings")
+	}
+
+	// rows/sec per design per cap, for the speedup summary.
+	rate := map[string]map[int]float64{}
+	for _, d := range BatchDesigns {
+		rate[d] = map[int]float64{}
+	}
+
+	defer h.Eng.SetUDFBatchRows(0) // restore the default cap
+	for _, cap := range BatchCaps {
+		h.Eng.SetUDFBatchRows(cap)
+		row := []string{fmt.Sprintf("%d", cap)}
+		for _, d := range BatchDesigns {
+			c := obs.Default.Counter("predator_udf_crossings_total", "design", Label(d))
+			before := c.Value()
+			dur, err := h.RunQuery(d, 100, 0, 0, 0, calls)
+			if err != nil {
+				return nil, nil, err
+			}
+			crossings := c.Value() - before
+			rps := float64(calls) / dur.Seconds()
+			rate[d][cap] = rps
+			row = append(row, fmt.Sprintf("%.0f", rps), fmt.Sprintf("%d", crossings))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+
+	speedup := map[string]float64{}
+	big := bestCapAtLeast(64)
+	for _, d := range BatchDesigns {
+		if base := rate[d][1]; base > 0 {
+			speedup[d] = rate[d][big] / base
+		}
+	}
+	return t, speedup, nil
+}
+
+// bestCapAtLeast picks the sweep's smallest cap >= min (the acceptance
+// assertion is phrased as "batch >= 64").
+func bestCapAtLeast(min int) int {
+	for _, c := range BatchCaps {
+		if c >= min {
+			return c
+		}
+	}
+	return BatchCaps[len(BatchCaps)-1]
+}
+
+// BatchSpeedupSummary renders the speedup map as a one-line-per-design
+// footer for the CLI.
+func BatchSpeedupSummary(speedup map[string]float64) string {
+	s := ""
+	for _, d := range BatchDesigns {
+		if v, ok := speedup[d]; ok {
+			s += fmt.Sprintf("%s batch-%d vs batch-1: %.2fx\n", Label(d), bestCapAtLeast(64), v)
+		}
+	}
+	return s
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"predator/internal/obs"
+	"predator/internal/types"
+)
+
+// BatchResult is one row's outcome in a batched invocation: either a
+// value or a per-row error. A per-row error does not poison sibling
+// rows — only a boundary fault (InvokeBatch returning non-nil) loses
+// the whole batch.
+type BatchResult struct {
+	Value types.Value
+	Err   error
+}
+
+// BatchUDF is the vectorized invocation capability: one call evaluates
+// n rows. All five designs implement it — integrated designs loop
+// inline (a batch is n ordinary calls), isolated designs carry the
+// whole batch across the process boundary in a single crossing, which
+// is what amortizes the paper's dominant per-invocation cost.
+type BatchUDF interface {
+	UDF
+	// InvokeBatch evaluates n = len(out) rows. args holds the argument
+	// vectors flattened row-major: row i's arguments are
+	// args[i*arity : (i+1)*arity]. Per-row failures land in out[i].Err;
+	// a non-nil return means the whole batch failed (boundary fault,
+	// timeout, crash) and out is unspecified.
+	InvokeBatch(ctx *Ctx, arity int, args []types.Value, out []BatchResult) error
+}
+
+// Per-design handles for the two crossing metrics, resolved once so the
+// per-invocation path is a couple of atomic adds.
+var (
+	designMetricsOnce sync.Once
+	designMetrics     [DesignSFINative + 1]struct {
+		crossings *obs.Counter
+		batchRows *obs.ValueHistogram
+	}
+)
+
+func metricsFor(d Design) *struct {
+	crossings *obs.Counter
+	batchRows *obs.ValueHistogram
+} {
+	designMetricsOnce.Do(func() {
+		for d := range designMetrics {
+			label := Design(d).String()
+			designMetrics[d].crossings = obs.Default.Counter("predator_udf_crossings_total", "design", label)
+			designMetrics[d].batchRows = obs.Default.ValueHistogram("predator_udf_batch_rows", "design", label)
+		}
+	})
+	if int(d) >= len(designMetrics) {
+		d = DesignNativeIntegrated
+	}
+	return &designMetrics[d]
+}
+
+// CountCrossings adds n boundary crossings for the design
+// (predator_udf_crossings_total{design}). Integrated designs cross once
+// per row regardless of batching; isolated designs cross once per batch
+// frame — the divergence of the two series is the amortization itself.
+func CountCrossings(d Design, n int64) {
+	metricsFor(d).crossings.Add(n)
+}
+
+// ObserveBatchRows records one batched invocation of n rows
+// (predator_udf_batch_rows{design}).
+func ObserveBatchRows(d Design, n int64) {
+	metricsFor(d).batchRows.Observe(n)
+}
+
+// CheckBatchShape validates InvokeBatch geometry shared by all designs.
+func CheckBatchShape(u UDF, arity int, args []types.Value, out []BatchResult) error {
+	if arity != len(u.ArgKinds()) {
+		return fmt.Errorf("core: %s batch arity %d, want %d", u.Name(), arity, len(u.ArgKinds()))
+	}
+	if len(args) != len(out)*arity {
+		return fmt.Errorf("core: %s batch has %d argument values for %d rows of arity %d",
+			u.Name(), len(args), len(out), arity)
+	}
+	return nil
+}

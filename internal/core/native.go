@@ -42,6 +42,7 @@ func (u *nativeUDF) Invoke(ctx *Ctx, args []types.Value) (types.Value, error) {
 	if err := CheckArgs(u, args); err != nil {
 		return types.Value{}, err
 	}
+	CountCrossings(u.design, 1)
 	out, err := u.fn(ctx, args)
 	if err != nil {
 		return types.Value{}, fmt.Errorf("core: %s: %w", u.name, err)
@@ -50,6 +51,22 @@ func (u *nativeUDF) Invoke(ctx *Ctx, args []types.Value) (types.Value, error) {
 		return types.Value{}, fmt.Errorf("core: %s returned %s, declared %s", u.name, out.Kind, u.ret)
 	}
 	return out, nil
+}
+
+// InvokeBatch implements BatchUDF by looping inline: integrated designs
+// have no boundary to amortize, so a batch is n ordinary calls (and
+// counts n crossings, keeping the metric honest about where batching
+// pays off).
+func (u *nativeUDF) InvokeBatch(ctx *Ctx, arity int, args []types.Value, out []BatchResult) error {
+	if err := CheckBatchShape(u, arity, args, out); err != nil {
+		return err
+	}
+	for i := range out {
+		v, err := u.Invoke(ctx, args[i*arity:(i+1)*arity])
+		out[i] = BatchResult{Value: v, Err: err}
+	}
+	ObserveBatchRows(u.design, int64(len(out)))
+	return nil
 }
 
 // CheckedBytes is the SFI view of a byte array: every access performs

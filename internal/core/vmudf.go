@@ -88,6 +88,7 @@ func (u *vmUDF) Invoke(ctx *Ctx, args []types.Value) (types.Value, error) {
 	if err := CheckArgs(u, args); err != nil {
 		return types.Value{}, err
 	}
+	CountCrossings(DesignVMIntegrated, 1)
 	// Boundary crossing: engine values -> VM values.
 	vargs := make([]jvm.Value, len(args))
 	for i, a := range args {
@@ -107,4 +108,18 @@ func (u *vmUDF) Invoke(ctx *Ctx, args []types.Value) (types.Value, error) {
 		return types.Value{}, fmt.Errorf("core: %s: %w", u.name, err)
 	}
 	return jvm.FromVM(ret, u.ret)
+}
+
+// InvokeBatch implements BatchUDF by looping inline: the VM boundary is
+// crossed once per row either way, so a batch is n ordinary calls.
+func (u *vmUDF) InvokeBatch(ctx *Ctx, arity int, args []types.Value, out []BatchResult) error {
+	if err := CheckBatchShape(u, arity, args, out); err != nil {
+		return err
+	}
+	for i := range out {
+		v, err := u.Invoke(ctx, args[i*arity:(i+1)*arity])
+		out[i] = BatchResult{Value: v, Err: err}
+	}
+	ObserveBatchRows(DesignVMIntegrated, int64(len(out)))
+	return nil
 }

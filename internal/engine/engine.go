@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"predator/internal/catalog"
@@ -47,6 +48,10 @@ type Options struct {
 	// restart budget) applied to isolated UDFs. Zero-value fields take
 	// isolate.DefaultSupervision defaults.
 	Supervision isolate.Supervision
+	// UDFBatchRows caps the rows carried per batched UDF crossing
+	// (0 = expr.DefaultBatchRows). Values of 1 or less than zero force
+	// the legacy one-crossing-per-tuple path.
+	UDFBatchRows int
 }
 
 // Engine is an open database.
@@ -62,6 +67,10 @@ type Engine struct {
 	opts    Options
 	defSess *Session
 	closed  bool
+
+	// batchRows is the live UDF batch cap (atomic: benchmarks retune it
+	// between runs without reopening the engine).
+	batchRows atomic.Int64
 }
 
 // Open opens (or creates) a database file and restores its catalog,
@@ -93,6 +102,7 @@ func Open(path string, opts Options) (*Engine, error) {
 		opts:    opts,
 	}
 	e.planner = &plan.Planner{Catalog: cat, Registry: e.reg}
+	e.SetUDFBatchRows(opts.UDFBatchRows)
 	e.defSess = e.NewSession()
 	// Restore persisted Jaguar UDFs.
 	for _, f := range cat.Functions() {
@@ -278,10 +288,27 @@ func (e *Engine) runStmt(stmt sql.Statement, deadline time.Time, tr *obs.Trace) 
 	}
 }
 
+// SetUDFBatchRows retunes the per-crossing UDF batch cap for statements
+// started after the call (0 = expr.DefaultBatchRows; 1 or negative
+// forces the legacy scalar path).
+func (e *Engine) SetUDFBatchRows(n int) {
+	if n == 0 {
+		n = expr.DefaultBatchRows
+	}
+	if n < 1 {
+		n = 1
+	}
+	e.batchRows.Store(int64(n))
+}
+
+// UDFBatchRows reports the current per-crossing UDF batch cap.
+func (e *Engine) UDFBatchRows() int { return int(e.batchRows.Load()) }
+
 func (e *Engine) evalCtx(deadline time.Time) *expr.Ctx {
 	return &expr.Ctx{
 		UDF:      &core.Ctx{Callback: e.objects, Logf: e.opts.Logf, Deadline: deadline},
 		Deadline: deadline,
+		UDFBatch: int(e.batchRows.Load()),
 	}
 }
 

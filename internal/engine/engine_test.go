@@ -24,6 +24,12 @@ var testNatives = isolate.NativeTable{
 			time.Sleep(time.Hour)
 		}
 	},
+	// iso_slow takes a fixed per-row time: used to drive a statement
+	// deadline into the gaps between batched invocations.
+	"iso_slow": func(ctx *core.Ctx, args []types.Value) (types.Value, error) {
+		time.Sleep(10 * time.Millisecond)
+		return args[0], nil
+	},
 }
 
 func TestMain(m *testing.M) {

@@ -94,9 +94,26 @@ func TestExplainAnalyzeIsolatedUDF(t *testing.T) {
 	if m == nil || m[1] != "20" {
 		t.Fatalf("project actuals wrong:\n%s", plan)
 	}
-	// The UDF-invoke trace event must agree with the row count.
-	if !regexp.MustCompile(`udf:iso_double: 20 calls`).MatchString(plan) {
+	// Isolated UDFs batch by default: 20 rows gather as windows of 8
+	// then 12, so the plan must show the batch stats and the trace must
+	// record one invoke event per crossing.
+	if !strings.Contains(plan, "(batched: 2 batches, mean 10.0 rows)") {
+		t.Errorf("missing batch stats on Project line:\n%s", plan)
+	}
+	if !regexp.MustCompile(`udf:iso_double: 2 calls`).MatchString(plan) {
 		t.Errorf("missing aggregated UDF event:\n%s", plan)
+	}
+
+	// With batching disabled the legacy path crosses once per row and
+	// the trace event count must agree with the row count.
+	e.SetUDFBatchRows(1)
+	defer e.SetUDFBatchRows(0)
+	plan = mustExec(t, e, `EXPLAIN ANALYZE SELECT iso_double(id) FROM wide WHERE id < 20`).Plan
+	if strings.Contains(plan, "(batched:") {
+		t.Errorf("batch stats present at batch cap 1:\n%s", plan)
+	}
+	if !regexp.MustCompile(`udf:iso_double: 20 calls`).MatchString(plan) {
+		t.Errorf("missing aggregated UDF event on scalar path:\n%s", plan)
 	}
 }
 
@@ -124,6 +141,53 @@ func TestShowStats(t *testing.T) {
 	}
 	if v := stats[`predator_exec_rows_total{op="seqscan"}`]; v == "0" || v == "" {
 		t.Errorf("seqscan rows counter not advancing: %q", v)
+	}
+}
+
+// TestBatchMetricsExposed is the acceptance cross-check for the batch
+// observability: after a batched isolated query, the process registry —
+// the same one the /metrics endpoint renders — must expose the crossing
+// counter and the batch-size histogram for the design, and the crossing
+// count must reflect the amortization (2 crossings for 20 rows).
+func TestBatchMetricsExposed(t *testing.T) {
+	e := openEngine(t)
+	seedWide(t, e, 50)
+	if err := e.RegisterNativeIsolated("iso_double", []types.Kind{types.KindInt}, types.KindInt); err != nil {
+		t.Fatal(err)
+	}
+	crossings := obs.Default.Counter("predator_udf_crossings_total", "design", "IC++")
+	batchRows := obs.Default.ValueHistogram("predator_udf_batch_rows", "design", "IC++")
+	beforeX, beforeN, beforeSum := crossings.Value(), batchRows.Count(), batchRows.Sum()
+	res := mustExec(t, e, `SELECT iso_double(id) FROM wide WHERE id < 20`)
+	if len(res.Rows) != 20 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	// 20 rows gather as windows of 8 then 12: two crossings, two batch
+	// observations summing to the row count.
+	if got := crossings.Value() - beforeX; got != 2 {
+		t.Errorf("crossings delta = %d, want 2", got)
+	}
+	if got := batchRows.Count() - beforeN; got != 2 {
+		t.Errorf("batch observations delta = %d, want 2", got)
+	}
+	if got := batchRows.Sum() - beforeSum; got != 20 {
+		t.Errorf("batch rows sum delta = %d, want 20", got)
+	}
+	// Both series render on the Prometheus surface (/metrics serves
+	// exactly this registry).
+	var sb strings.Builder
+	if err := obs.Default.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		`predator_udf_crossings_total{design="IC++"}`,
+		`predator_udf_batch_rows_bucket{design="IC++",le="8"}`,
+		`predator_udf_batch_rows_count{design="IC++"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics surface missing %q", want)
+		}
 	}
 }
 

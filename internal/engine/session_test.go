@@ -142,6 +142,49 @@ func TestStatementTimeoutKillsHungIsolatedUDF(t *testing.T) {
 	}
 }
 
+func TestStatementTimeoutFiresBetweenBatches(t *testing.T) {
+	// With batching on, the deadline must not wait for the full query:
+	// the batch loop shrinks windows as the deadline approaches and the
+	// gather-side check fires between batches, so the statement fails
+	// with a timeout fault while later batches are never launched.
+	e := openEngine(t)
+	mustExec(t, e, `CREATE TABLE n (x INT)`)
+	tbl, _ := e.Catalog().Table("n")
+	for i := 0; i < 60; i++ {
+		rec, err := types.EncodeRow(nil, tbl.Schema, types.Row{types.NewInt(int64(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tbl.Heap().Insert(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.RegisterNativeIsolated("iso_slow", []types.Kind{types.KindInt}, types.KindInt); err != nil {
+		t.Fatal(err)
+	}
+	s := e.NewSession()
+	if _, err := s.Exec(`SET STATEMENT_TIMEOUT = 150`); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := s.Exec(`SELECT iso_slow(x) FROM n`)
+	elapsed := time.Since(start)
+	if core.FaultClassOf(err) != core.FaultTimeout {
+		t.Fatalf("batched slow query returned %v (class %v), want FaultTimeout", err, core.FaultClassOf(err))
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("deadline took %v to fire under batching", elapsed)
+	}
+	// The session and the UDF keep working afterwards.
+	if _, err := s.Exec(`SET STATEMENT_TIMEOUT = 0`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Exec(`SELECT iso_slow(x) FROM n WHERE x < 2`)
+	if err != nil || len(res.Rows) != 2 {
+		t.Errorf("post-timeout batched query = %v, %v", res, err)
+	}
+}
+
 func TestEngineDefaultStatementTimeoutOption(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "opt.db")
 	e, err := Open(path, Options{StatementTimeout: 42 * time.Millisecond})

@@ -82,12 +82,16 @@ func (s *SeqScan) Explain() string { return fmt.Sprintf("SeqScan(%s)", s.Table) 
 func (s *SeqScan) Children() []Operator { return nil }
 
 // Filter passes through rows whose predicate evaluates to TRUE
-// (NULL and FALSE are both rejected, per SQL).
+// (NULL and FALSE are both rejected, per SQL). When the predicate is a
+// batchable UDF call and the context enables batching, rows are pulled
+// in windows and the predicate evaluates with amortized UDF crossings
+// (see batch.go); otherwise the legacy per-tuple loop runs unchanged.
 type Filter struct {
 	estNote
 	Input Operator
 	Pred  expr.Bound
 	ec    *expr.Ctx
+	bs    *batchState
 	rows  int64
 }
 
@@ -97,11 +101,15 @@ func (f *Filter) Schema() *types.Schema { return f.Input.Schema() }
 // Open implements Operator.
 func (f *Filter) Open(ec *expr.Ctx) error {
 	f.ec = ec
+	f.bs = batchFilterState(ec, f.Input, f.Pred)
 	return f.Input.Open(ec)
 }
 
 // Next implements Operator.
 func (f *Filter) Next() (types.Row, error) {
+	if f.bs != nil {
+		return f.nextBatched()
+	}
 	for {
 		// Poll the statement deadline here so a selective filter over a
 		// large input cancels promptly even when it emits no rows.
@@ -123,8 +131,27 @@ func (f *Filter) Next() (types.Row, error) {
 	}
 }
 
+func (f *Filter) nextBatched() (types.Row, error) {
+	for {
+		w, i, err := f.bs.next()
+		if err != nil || w == nil {
+			return nil, err
+		}
+		if w.res[i].Err != nil {
+			return nil, w.res[i].Err
+		}
+		if v := w.res[i].Value; !v.IsNull() && v.Bool {
+			f.rows++
+			return w.rows[i], nil
+		}
+	}
+}
+
 // Close implements Operator.
 func (f *Filter) Close() error {
+	if f.bs != nil {
+		f.bs.drain()
+	}
 	rowsFilter.Add(f.rows)
 	f.rows = 0
 	return f.Input.Close()
@@ -132,19 +159,23 @@ func (f *Filter) Close() error {
 
 // Explain implements Operator.
 func (f *Filter) Explain() string {
-	return fmt.Sprintf("Filter(%s) [cost=%.1f]", f.Pred, f.Pred.Cost()) + f.estSuffix()
+	return fmt.Sprintf("Filter(%s) [cost=%.1f]", f.Pred, f.Pred.Cost()) + f.estSuffix() + f.bs.suffix()
 }
 
 // Children implements Operator.
 func (f *Filter) Children() []Operator { return []Operator{f.Input} }
 
-// Project computes a list of expressions per input row.
+// Project computes a list of expressions per input row. When at least
+// one expression is a batchable UDF call and the context enables
+// batching, input rows are pulled in windows and those expressions
+// evaluate with amortized UDF crossings (see batch.go).
 type Project struct {
 	estNote
 	Input Operator
 	Exprs []expr.Bound
 	Names []string
 	ec    *expr.Ctx
+	bs    *batchState
 	sch   *types.Schema
 	rows  int64
 }
@@ -168,11 +199,20 @@ func (p *Project) Schema() *types.Schema {
 // Open implements Operator.
 func (p *Project) Open(ec *expr.Ctx) error {
 	p.ec = ec
+	p.bs = batchProjectState(ec, p.Input, p.Exprs)
 	return p.Input.Open(ec)
 }
 
 // Next implements Operator.
 func (p *Project) Next() (types.Row, error) {
+	if p.bs != nil {
+		w, i, err := p.bs.next()
+		if err != nil || w == nil {
+			return nil, err
+		}
+		p.rows++
+		return w.out[i], nil
+	}
 	row, err := p.Input.Next()
 	if err != nil || row == nil {
 		return nil, err
@@ -191,6 +231,9 @@ func (p *Project) Next() (types.Row, error) {
 
 // Close implements Operator.
 func (p *Project) Close() error {
+	if p.bs != nil {
+		p.bs.drain()
+	}
 	rowsProject.Add(p.rows)
 	p.rows = 0
 	return p.Input.Close()
@@ -198,7 +241,7 @@ func (p *Project) Close() error {
 
 // Explain implements Operator.
 func (p *Project) Explain() string {
-	return fmt.Sprintf("Project(%d exprs)", len(p.Exprs)) + p.estSuffix()
+	return fmt.Sprintf("Project(%d exprs)", len(p.Exprs)) + p.estSuffix() + p.bs.suffix()
 }
 
 // Children implements Operator.

@@ -221,7 +221,7 @@ func ShiftCols(e Bound, offset int) Bound {
 		for i, a := range n.args {
 			args[i] = ShiftCols(a, offset)
 		}
-		return &udfCall{udf: n.udf, args: args, hist: n.hist, ev: n.ev}
+		return &udfCall{udf: n.udf, args: args, batch: n.batch, hist: n.hist, ev: n.ev}
 	case *castFloat:
 		return &castFloat{x: ShiftCols(n.x, offset)}
 	default:

@@ -1,0 +1,66 @@
+package expr
+
+import (
+	"testing"
+
+	"predator/internal/core"
+	"predator/internal/sql"
+	"predator/internal/types"
+)
+
+// Benchmarks for the scalar evaluation hot path: per-call argument
+// slices used to be allocated on every Eval; they now live in a
+// grow-only scratch on the bound node. Run with -benchmem — the
+// interesting number is allocs/op.
+
+func benchBind(b *testing.B, src string, reg *core.Registry) Bound {
+	b.Helper()
+	e, err := sql.ParseExpr(src)
+	if err != nil {
+		b.Fatalf("parse %q: %v", src, err)
+	}
+	bound, err := (&Binder{Scope: testScope(), Registry: reg}).Bind(e)
+	if err != nil {
+		b.Fatalf("bind %q: %v", src, err)
+	}
+	return bound
+}
+
+func BenchmarkBuiltinEval(b *testing.B) {
+	bound := benchBind(b, `LENGTH(s) + GETBYTE(y, 1)`, nil)
+	row := testRow()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := bound.Eval(nil, row)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v.Int != 5 {
+			b.Fatalf("got %d, want 5", v.Int)
+		}
+	}
+}
+
+func BenchmarkUDFCallEval(b *testing.B) {
+	reg := core.NewRegistry()
+	if err := reg.Register(core.NewNative("add3", []types.Kind{types.KindInt, types.KindInt, types.KindInt},
+		types.KindInt, func(_ *core.Ctx, args []types.Value) (types.Value, error) {
+			return types.NewInt(args[0].Int + args[1].Int + args[2].Int), nil
+		})); err != nil {
+		b.Fatal(err)
+	}
+	bound := benchBind(b, `add3(i, i, i)`, reg)
+	row := testRow()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := bound.Eval(nil, row)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v.Int != 30 {
+			b.Fatalf("got %d, want 30", v.Int)
+		}
+	}
+}

@@ -92,6 +92,11 @@ type BuiltinCall struct {
 	Args []Bound
 	impl *builtinImpl
 	kind types.Kind
+
+	// scratch is reused across rows so the hot Eval path does not
+	// allocate an argument slice per tuple. A Bound tree belongs to one
+	// operator and is evaluated by one goroutine at a time.
+	scratch []types.Value
 }
 
 // Kind implements Bound.
@@ -117,7 +122,10 @@ func (b *BuiltinCall) String() string {
 
 // Eval implements Bound.
 func (b *BuiltinCall) Eval(ec *Ctx, row types.Row) (types.Value, error) {
-	vals := make([]types.Value, len(b.Args))
+	if cap(b.scratch) < len(b.Args) {
+		b.scratch = make([]types.Value, len(b.Args))
+	}
+	vals := b.scratch[:len(b.Args)]
 	for i, a := range b.Args {
 		v, err := a.Eval(ec, row)
 		if err != nil {
@@ -134,10 +142,20 @@ func (b *BuiltinCall) Eval(ec *Ctx, row types.Row) (types.Value, error) {
 // udfCall invokes a registered user-defined function. Strict: any NULL
 // argument yields NULL without crossing into the UDF.
 type udfCall struct {
-	udf  core.UDF
-	args []Bound
-	hist *obs.Histogram // invoke latency, labelled by execution design
-	ev   string         // trace event name ("udf:<name>")
+	udf   core.UDF
+	args  []Bound
+	batch core.BatchUDF  // non-nil when the UDF supports batched crossings
+	hist  *obs.Histogram // invoke latency, labelled by execution design
+	ev    string         // trace event name ("udf:<name>")
+
+	// Grow-only scratch reused across rows and windows (a Bound tree
+	// belongs to one operator and is evaluated by one goroutine at a
+	// time): per-row argument slice, batched row-major argument gather,
+	// submitted-row index map, and batch results.
+	scratch []types.Value
+	flat    []types.Value
+	outIdx  []int
+	res     []core.BatchResult
 }
 
 // NewUDFCall binds a UDF invocation after checking the signature.
@@ -160,16 +178,25 @@ func NewUDFCall(u core.UDF, args []Bound) (Bound, error) {
 	// Resolve the latency histogram once at bind time so Eval never
 	// touches the registry map on the per-row path.
 	hist := obs.Default.Histogram("predator_udf_invoke_seconds", "design", u.Design().String())
-	return &udfCall{udf: u, args: args, hist: hist, ev: "udf:" + strings.ToLower(u.Name())}, nil
+	batch, _ := u.(core.BatchUDF)
+	return &udfCall{udf: u, args: args, batch: batch, hist: hist, ev: "udf:" + strings.ToLower(u.Name())}, nil
 }
 
 // Kind implements Bound.
 func (u *udfCall) Kind() types.Kind { return u.udf.ReturnKind() }
 
+// costBatchRows is the batch size the optimizer assumes when a
+// process-isolated UDF supports batched crossings: the per-invocation
+// crossing cost is amortized over this many rows.
+const costBatchRows = 64
+
 // Cost implements Bound. UDF costs dominate everything else and vary by
 // design: crossing a process boundary is an order of magnitude more
 // expensive than crossing into the VM, which is more expensive than a
-// plain call (the Fig. 5 calibration quantifies this).
+// plain call (the Fig. 5 calibration quantifies this). Isolated designs
+// that can batch amortize the crossing over costBatchRows rows, leaving
+// a per-row residual (marshalling, dispatch) on top of the integrated
+// base.
 func (u *udfCall) Cost() float64 {
 	var base float64
 	switch u.udf.Design() {
@@ -181,8 +208,14 @@ func (u *udfCall) Cost() float64 {
 		base = 200
 	case core.DesignNativeIsolated:
 		base = 2000
+		if u.batch != nil {
+			base = 120 + 2000.0/costBatchRows
+		}
 	case core.DesignVMIsolated:
 		base = 2500
+		if u.batch != nil {
+			base = 220 + 2500.0/costBatchRows
+		}
 	}
 	for _, a := range u.args {
 		base += a.Cost()
@@ -201,7 +234,10 @@ func (u *udfCall) String() string {
 
 // Eval implements Bound.
 func (u *udfCall) Eval(ec *Ctx, row types.Row) (types.Value, error) {
-	vals := make([]types.Value, len(u.args))
+	if cap(u.scratch) < len(u.args) {
+		u.scratch = make([]types.Value, len(u.args))
+	}
+	vals := u.scratch[:len(u.args)]
 	for i, a := range u.args {
 		v, err := a.Eval(ec, row)
 		if err != nil {
@@ -224,6 +260,72 @@ func (u *udfCall) Eval(ec *Ctx, row types.Row) (types.Value, error) {
 		ec.Trace.Event(u.ev, d)
 	}
 	return out, err
+}
+
+// Batchable implements BatchBound. Only process-isolated designs
+// report true: for them a batch is genuinely one crossing, while an
+// integrated design gains nothing from batching and would only disturb
+// its per-invocation accounting (one histogram observation and one
+// trace event per actual call).
+func (u *udfCall) Batchable() bool {
+	return u.batch != nil && !u.udf.Design().Integrated()
+}
+
+// EvalBatch implements BatchBound: argument vectors for the whole
+// window are gathered (NULL-strict rows resolve to NULL locally, just
+// like Eval, without crossing into the UDF), the remainder is submitted
+// as one InvokeBatch, and results are scattered back by row index.
+func (u *udfCall) EvalBatch(ec *Ctx, rows []types.Row, out []core.BatchResult) error {
+	arity := len(u.args)
+	u.flat = u.flat[:0]
+	u.outIdx = u.outIdx[:0]
+	for ri, row := range rows {
+		mark := len(u.flat)
+		strictNull := false
+		for _, a := range u.args {
+			v, err := a.Eval(ec, row)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				strictNull = true
+				break
+			}
+			u.flat = append(u.flat, v)
+		}
+		if strictNull {
+			u.flat = u.flat[:mark]
+			out[ri] = core.BatchResult{Value: types.Null()}
+			continue
+		}
+		u.outIdx = append(u.outIdx, ri)
+	}
+	n := len(u.outIdx)
+	if n == 0 {
+		return nil
+	}
+	if cap(u.res) < n {
+		u.res = make([]core.BatchResult, n)
+	}
+	res := u.res[:n]
+	var ctx *core.Ctx
+	if ec != nil {
+		ctx = ec.UDF
+	}
+	start := time.Now()
+	err := u.batch.InvokeBatch(ctx, arity, u.flat, res)
+	d := time.Since(start)
+	u.hist.Observe(d)
+	if ec != nil {
+		ec.Trace.Event(u.ev, d)
+	}
+	if err != nil {
+		return err
+	}
+	for i, ri := range u.outIdx {
+		out[ri] = res[i]
+	}
+	return nil
 }
 
 // castFloat widens an INT expression to FLOAT.

@@ -1,0 +1,108 @@
+package isolate
+
+import (
+	"fmt"
+	"testing"
+
+	"predator/internal/core"
+	"predator/internal/jaguar"
+	"predator/internal/types"
+)
+
+// Micro-benchmarks for the process-boundary crossing itself: one scalar
+// Invoke per round trip versus one InvokeBatch carrying N rows. Run
+// with -benchmem to see the frame-buffer reuse on the recv path.
+
+func benchNativeIsolated(b *testing.B) core.BatchUDF {
+	b.Helper()
+	u := NewNativeIsolated("sumbytes", []types.Kind{types.KindBytes}, types.KindInt)
+	bu, ok := u.(core.BatchUDF)
+	if !ok {
+		b.Fatal("isolated UDF does not implement core.BatchUDF")
+	}
+	b.Cleanup(func() { u.Close() })
+	return bu
+}
+
+func benchVMIsolated(b *testing.B) core.BatchUDF {
+	b.Helper()
+	classBytes, err := jaguar.CompileToBytes(`
+	func sumb(data bytes) int {
+		var acc int = 0;
+		for (var j int = 0; j < len(data); j = j + 1) { acc = acc + data[j]; }
+		return acc;
+	}`, "SumB")
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := NewVMIsolated("sumb", []types.Kind{types.KindBytes}, types.KindInt, VMSetup{
+		ClassBytes: classBytes, Method: "sumb",
+	})
+	bu, ok := u.(core.BatchUDF)
+	if !ok {
+		b.Fatal("isolated VM UDF does not implement core.BatchUDF")
+	}
+	b.Cleanup(func() { u.Close() })
+	return bu
+}
+
+func benchUDF(b *testing.B, design string) core.BatchUDF {
+	b.Helper()
+	if design == "icpp" {
+		return benchNativeIsolated(b)
+	}
+	return benchVMIsolated(b)
+}
+
+func BenchmarkInvoke(b *testing.B) {
+	payload := types.NewBytes([]byte{1, 2, 3, 4})
+	for _, design := range []string{"icpp", "ijni"} {
+		b.Run(design, func(b *testing.B) {
+			u := benchUDF(b, design)
+			if _, err := u.Invoke(nil, []types.Value{payload}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := u.Invoke(nil, []types.Value{payload}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkInvokeBatch(b *testing.B) {
+	payload := types.NewBytes([]byte{1, 2, 3, 4})
+	for _, design := range []string{"icpp", "ijni"} {
+		for _, n := range []int{8, 64, 256} {
+			b.Run(fmt.Sprintf("%s/%d", design, n), func(b *testing.B) {
+				u := benchUDF(b, design)
+				args := make([]types.Value, n)
+				for i := range args {
+					args[i] = payload
+				}
+				out := make([]core.BatchResult, n)
+				if err := u.InvokeBatch(nil, 1, args, out); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := u.InvokeBatch(nil, 1, args, out); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				for i := range out {
+					if out[i].Err != nil {
+						b.Fatal(out[i].Err)
+					}
+					if out[i].Value.Int != 10 {
+						b.Fatalf("row %d = %d, want 10", i, out[i].Value.Int)
+					}
+				}
+				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+			})
+		}
+	}
+}

@@ -62,7 +62,10 @@ func RunExecutor(r io.Reader, w io.Writer, natives NativeTable) error {
 			st.setupVM(f.payload)
 		case msgInvoke:
 			fault.fire("invoke", c)
-			st.invoke(f.payload)
+			st.invoke(st.stable(f.payload))
+		case msgInvokeBatch:
+			fault.fire("invoke", c)
+			st.invokeBatch(st.stable(f.payload))
 		case msgPing:
 			if err := c.send(msgPong, nil); err != nil {
 				return err
@@ -89,6 +92,21 @@ type childState struct {
 	vmClass  *jvm.LoadedClass
 	vmMethod string
 	vmLimits jvm.Limits
+
+	// argBuf/respBuf are grow-only scratch buffers: invoke frames are
+	// copied out of the connection's receive scratch (which a nested
+	// callback round trip would clobber) and batch replies are built
+	// without per-batch allocation.
+	argBuf  []byte
+	respBuf []byte
+}
+
+// stable copies a frame payload into the child's own scratch so the
+// decoded argument values stay valid across callback round trips that
+// reuse the connection's receive buffer.
+func (st *childState) stable(payload []byte) []byte {
+	st.argBuf = append(st.argBuf[:0], payload...)
+	return st.argBuf
 }
 
 func (st *childState) fail(format string, args ...any) {
@@ -151,24 +169,62 @@ func (st *childState) invoke(payload []byte) {
 		return
 	}
 	cb := &proxyCallback{conn: st.conn, fault: st.fault}
-	var (
-		out types.Value
-		err error
-	)
-	switch {
-	case st.nativeFn != nil:
-		out, err = st.nativeFn(&core.Ctx{Callback: cb}, args)
-	case st.vmClass != nil:
-		out, err = st.invokeVM(cb, args)
-	default:
-		err = fmt.Errorf("executor has no UDF bound (missing setup)")
-	}
+	out, err := st.run(cb, args)
 	if err != nil {
 		st.fail("%v", err)
 		return
 	}
 	st.fault.fire("result", st.conn)
 	_ = st.conn.send(msgResult, types.EncodeValue(nil, out))
+}
+
+// run evaluates one row with whatever UDF is bound.
+func (st *childState) run(cb *proxyCallback, args []types.Value) (types.Value, error) {
+	switch {
+	case st.nativeFn != nil:
+		return st.nativeFn(&core.Ctx{Callback: cb}, args)
+	case st.vmClass != nil:
+		return st.invokeVM(cb, args)
+	default:
+		return types.Value{}, fmt.Errorf("executor has no UDF bound (missing setup)")
+	}
+}
+
+// invokeBatch evaluates every row of one msgInvokeBatch frame and
+// replies with a single msgResultBatch frame: one crossing in, one
+// crossing out, however many rows ride inside. Per-row UDF failures are
+// encoded as per-row errors; only a malformed frame aborts the batch.
+func (st *childState) invokeBatch(payload []byte) {
+	r := &preader{buf: payload}
+	n := int(r.uvarint())
+	arity := int(r.uvarint())
+	if r.err != nil || n < 0 || arity < 0 {
+		st.fail("bad batch invoke frame: %v", r.err)
+		return
+	}
+	cb := &proxyCallback{conn: st.conn, fault: st.fault}
+	resp := st.respBuf[:0]
+	resp = binary.AppendUvarint(resp, uint64(n))
+	args := make([]types.Value, arity)
+	for i := 0; i < n; i++ {
+		st.fault.fireBatchRow(i, st.conn)
+		for j := 0; j < arity; j++ {
+			args[j] = r.value()
+		}
+		if r.err != nil {
+			st.fail("bad batch invoke frame at row %d: %v", i, r.err)
+			return
+		}
+		out, err := st.run(cb, args)
+		if err != nil {
+			resp = appendString(append(resp, 1), err.Error())
+			continue
+		}
+		resp = types.EncodeValue(append(resp, 0), out)
+	}
+	st.fault.fire("result", st.conn)
+	st.respBuf = resp
+	_ = st.conn.send(msgResultBatch, resp)
 }
 
 func (st *childState) invokeVM(cb jvm.Callback, args []types.Value) (types.Value, error) {

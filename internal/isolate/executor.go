@@ -294,11 +294,14 @@ func (e *Executor) Invoke(ctx *core.Ctx, args []types.Value) (types.Value, error
 	defer e.mu.Unlock()
 	cInvocations.Inc()
 	deadline := deadlineFor(e.sup.InvokeTimeout, ctx)
-	buf := binary.AppendUvarint(nil, uint64(len(args)))
+	buf := takePayload()
+	buf = binary.AppendUvarint(buf, uint64(len(args)))
 	for _, a := range args {
 		buf = types.EncodeValue(buf, a)
 	}
-	if err := e.sendLocked("invoke", msgInvoke, buf); err != nil {
+	err := e.sendLocked("invoke", msgInvoke, buf)
+	putPayload(buf)
+	if err != nil {
 		return types.Value{}, err
 	}
 	for {
@@ -327,6 +330,89 @@ func (e *Executor) Invoke(ctx *core.Ctx, args []types.Value) (types.Value, error
 			return types.Value{}, core.Faultf(core.FaultProtocol, "invoke", "unexpected message %d during invoke", f.typ)
 		}
 	}
+}
+
+// InvokeBatch evaluates len(out) rows in one process-boundary crossing
+// (msgInvokeBatch carries every argument vector; msgResultBatch carries
+// every result). Callbacks are serviced mid-batch exactly as in Invoke.
+// Per-row UDF failures come back in out[i].Err and do not poison
+// sibling rows; a non-nil return is a whole-batch boundary fault
+// (timeout, crash, protocol violation) and the executor is destroyed
+// where the protocol demands it, same as the scalar path.
+func (e *Executor) InvokeBatch(ctx *core.Ctx, arity int, args []types.Value, out []core.BatchResult) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cInvocations.Inc()
+	deadline := deadlineFor(e.sup.InvokeTimeout, ctx)
+	buf := takePayload()
+	buf = binary.AppendUvarint(buf, uint64(len(out)))
+	buf = binary.AppendUvarint(buf, uint64(arity))
+	for _, a := range args {
+		buf = types.EncodeValue(buf, a)
+	}
+	err := e.sendLocked("invoke", msgInvokeBatch, buf)
+	putPayload(buf)
+	if err != nil {
+		return err
+	}
+	for {
+		f, err := e.recvDeadlineLocked("invoke", deadline)
+		if err != nil {
+			return err
+		}
+		switch f.typ {
+		case msgResultBatch:
+			return e.decodeBatchResultLocked(f.payload, out)
+		case msgError:
+			// Whole-batch rejection (bad frame, injected crash notice):
+			// the batch as a unit failed before per-row results existed.
+			r := &preader{buf: f.payload}
+			return core.Faultf(core.FaultUDF, "invoke", "UDF failed: %s", r.str())
+		case msgCallback:
+			if err := e.serveCallbackLocked(ctx, f.payload); err != nil {
+				return err
+			}
+		default:
+			e.destroyLocked()
+			return core.Faultf(core.FaultProtocol, "invoke", "unexpected message %d during batch invoke", f.typ)
+		}
+	}
+}
+
+// decodeBatchResultLocked unpacks a msgResultBatch payload into out.
+// Values are cloned out of the connection's receive scratch before the
+// next recv can reuse it.
+func (e *Executor) decodeBatchResultLocked(payload []byte, out []core.BatchResult) error {
+	r := &preader{buf: payload}
+	n := int(r.uvarint())
+	if r.err == nil && n != len(out) {
+		e.destroyLocked()
+		return core.Faultf(core.FaultProtocol, "invoke", "batch reply has %d rows, expected %d", n, len(out))
+	}
+	for i := range out {
+		switch status := r.byte(); status {
+		case 0:
+			v := r.value()
+			if r.err == nil {
+				out[i] = core.BatchResult{Value: v.Clone()}
+			}
+		case 1:
+			msg := r.str()
+			if r.err == nil {
+				out[i] = core.BatchResult{Err: core.Faultf(core.FaultUDF, "invoke",
+					"UDF failed at batch row %d: %s", i, msg)}
+			}
+		default:
+			if r.err == nil {
+				r.err = fmt.Errorf("bad batch row status %d at row %d", status, i)
+			}
+		}
+		if r.err != nil {
+			e.destroyLocked()
+			return core.NewFault(core.FaultProtocol, "invoke", r.err)
+		}
+	}
+	return nil
 }
 
 // serveCallbackLocked answers one callback request from the executor.

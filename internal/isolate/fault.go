@@ -3,6 +3,7 @@ package isolate
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -21,6 +22,8 @@ import (
 //	result   — after running the UDF, before sending its result
 //	callback — before forwarding a UDF callback to the parent
 //	shutdown — on receiving msgShutdown, before exiting
+//	batchrow — before evaluating row <arg> of a batched invocation
+//	           (e.g. "batchrow:crash:3"; crash and hang modes only)
 //
 // Modes:
 //
@@ -102,6 +105,30 @@ func (p *faultPlan) fire(point string, c *conn) {
 			// must classify this as a protocol fault and kill us.
 			c.w.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xEE})
 			c.w.Flush()
+		}
+	}
+}
+
+// fireBatchRow triggers the configured fault when it targets a specific
+// row of a batched invocation (point "batchrow", arg = the row index;
+// e.g. "batchrow:crash:3"). A crash sends a dying-gasp msgError naming
+// the in-flight row — so the parent's error can report which row was
+// being evaluated — then exits with the fault code; the supervisor
+// still observes the process death and restarts as usual.
+func (p *faultPlan) fireBatchRow(row int, c *conn) {
+	if p == nil || p.point != "batchrow" || p.arg != strconv.Itoa(row) {
+		return
+	}
+	switch p.mode {
+	case "crash":
+		if c != nil {
+			_ = c.send(msgError, appendString(nil, fmt.Sprintf("injected crash at batch row %d", row)))
+		}
+		fmt.Fprintf(os.Stderr, "udf-executor: injected crash at batch row %d\n", row)
+		os.Exit(faultExitCode)
+	case "hang":
+		for {
+			time.Sleep(time.Hour)
 		}
 	}
 }

@@ -26,6 +26,14 @@ var testNatives = NativeTable{
 	"fail": func(ctx *core.Ctx, args []types.Value) (types.Value, error) {
 		return types.Value{}, fmt.Errorf("deliberate failure")
 	},
+	// failodd fails for odd arguments — the per-row error case of a
+	// batched invocation (even-argument siblings must still succeed).
+	"failodd": func(ctx *core.Ctx, args []types.Value) (types.Value, error) {
+		if args[0].Int%2 != 0 {
+			return types.Value{}, fmt.Errorf("odd input %d rejected", args[0].Int)
+		}
+		return types.NewInt(args[0].Int * 10), nil
+	},
 	"crash": func(ctx *core.Ctx, args []types.Value) (types.Value, error) {
 		os.Exit(3) // simulates the UDF taking down its process
 		return types.Value{}, nil

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"predator/internal/types"
 )
@@ -46,6 +47,8 @@ const (
 	msgReady                       // none
 	msgPing                        // none (health check)
 	msgPong                        // none (health check reply)
+	msgInvokeBatch                 // n, arity, n*arity values (one crossing)
+	msgResultBatch                 // n, per row: status byte + value | error string
 )
 
 // Callback operation codes inside msgCallback frames.
@@ -66,6 +69,13 @@ type frame struct {
 type conn struct {
 	r *bufio.Reader
 	w *bufio.Writer
+
+	// rbuf is the grow-only receive scratch: recv decodes every frame
+	// into it instead of allocating per frame. A frame's payload is
+	// valid only until the next recv on this conn; callers that keep
+	// payload data across a recv (nested callback round trips, cloned
+	// result values) must copy it out first.
+	rbuf []byte
 }
 
 func newConn(r io.Reader, w io.Writer) *conn {
@@ -86,7 +96,8 @@ func (c *conn) send(typ byte, payload []byte) error {
 	return c.w.Flush()
 }
 
-// recv reads one frame.
+// recv reads one frame into the connection's grow-only scratch buffer.
+// The returned payload is only valid until the next recv (see conn).
 func (c *conn) recv() (frame, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
@@ -96,11 +107,29 @@ func (c *conn) recv() (frame, error) {
 	if n > maxFrame {
 		return frame{}, fmt.Errorf("isolate: frame of %d bytes: %w", n, errFrameSize)
 	}
-	payload := make([]byte, n)
+	if uint32(cap(c.rbuf)) < n {
+		c.rbuf = make([]byte, n)
+	}
+	payload := c.rbuf[:n]
 	if _, err := io.ReadFull(c.r, payload); err != nil {
 		return frame{}, fmt.Errorf("isolate: read frame payload: %w", err)
 	}
 	return frame{typ: hdr[4], payload: payload}, nil
+}
+
+// payloadPool recycles send-side payload builders so encoding a frame
+// (invoke arguments, batch results) does not allocate per crossing.
+var payloadPool = sync.Pool{New: func() any { return []byte(nil) }}
+
+// takePayload returns an empty builder with whatever capacity a prior
+// frame grew it to.
+func takePayload() []byte { return payloadPool.Get().([]byte)[:0] }
+
+// putPayload returns a builder to the pool after its frame is flushed.
+func putPayload(buf []byte) {
+	if cap(buf) <= maxFrame {
+		payloadPool.Put(buf[:0]) //nolint:staticcheck // slice header allocation is amortized
+	}
 }
 
 // Payload builders and parsers.

@@ -104,6 +104,7 @@ func (u *udf) Invoke(ctx *core.Ctx, args []types.Value) (types.Value, error) {
 	if err := core.CheckArgs(u, args); err != nil {
 		return types.Value{}, err
 	}
+	core.CountCrossings(u.design, 1)
 	if u.pool != nil {
 		e, err := u.pool.Get(u)
 		if err != nil {
@@ -122,19 +123,77 @@ func (u *udf) Invoke(ctx *core.Ctx, args []types.Value) (types.Value, error) {
 	}
 	out, err := e.Invoke(ctx, args)
 	countFault(err)
-	if err != nil && core.FaultClassOf(err) != core.FaultUDF {
+	if err != nil && (core.FaultClassOf(err) != core.FaultUDF || !e.Alive()) {
 		// The executor died, babbled or timed out (the supervisor has
 		// already killed and reaped it). Drop the handle so the next
-		// invocation gets a fresh one; a plain UDF error keeps it.
-		u.mu.Lock()
-		if u.exec == e {
-			u.exec = nil
-		}
-		u.mu.Unlock()
-		e.Close()
+		// invocation gets a fresh one; a plain UDF error keeps it —
+		// unless the child died right after reporting it (a dying
+		// gasp), in which case the handle is useless too.
+		u.dropExecutor(e)
 		return types.Value{}, err
 	}
 	return out, err
+}
+
+// dropExecutor discards a broken executor handle so the next invocation
+// starts a fresh one.
+func (u *udf) dropExecutor(e *Executor) {
+	u.mu.Lock()
+	if u.exec == e {
+		u.exec = nil
+	}
+	u.mu.Unlock()
+	e.Close()
+}
+
+// InvokeBatch carries the whole batch across the process boundary in a
+// single crossing — the amortization Designs 2 and 4 exist for. A batch
+// of one takes the scalar path, so batch size 1 stays byte-identical to
+// the legacy protocol (faults, timeouts and callbacks included).
+func (u *udf) InvokeBatch(ctx *core.Ctx, arity int, args []types.Value, out []core.BatchResult) error {
+	if err := core.CheckBatchShape(u, arity, args, out); err != nil {
+		return err
+	}
+	n := len(out)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		v, err := u.Invoke(ctx, args)
+		if err != nil {
+			if core.FaultClassOf(err) == core.FaultUDF {
+				out[0] = core.BatchResult{Err: err}
+				return nil
+			}
+			return err
+		}
+		out[0] = core.BatchResult{Value: v}
+		return nil
+	}
+	core.CountCrossings(u.design, 1)
+	core.ObserveBatchRows(u.design, int64(n))
+	if u.pool != nil {
+		e, err := u.pool.Get(u)
+		if err != nil {
+			countFault(err)
+			return err
+		}
+		err = e.InvokeBatch(ctx, arity, args, out)
+		u.pool.Put(u, e, err)
+		countFault(err)
+		return err
+	}
+	e, err := u.executor()
+	if err != nil {
+		countFault(err)
+		return err
+	}
+	err = e.InvokeBatch(ctx, arity, args, out)
+	countFault(err)
+	if err != nil && (core.FaultClassOf(err) != core.FaultUDF || !e.Alive()) {
+		u.dropExecutor(e)
+	}
+	return err
 }
 
 func (u *udf) Close() error {
@@ -292,4 +351,5 @@ func (p *Pool) Close() error {
 
 // Ensure interface satisfaction and keep jvm imported for VMSetup docs.
 var _ core.UDF = (*udf)(nil)
+var _ core.BatchUDF = (*udf)(nil)
 var _ jvm.Callback = (*proxyCallback)(nil)

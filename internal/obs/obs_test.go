@@ -58,6 +58,61 @@ func TestHistogramObserveAndQuantile(t *testing.T) {
 	}
 }
 
+func TestValueHistogram(t *testing.T) {
+	h := &ValueHistogram{}
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatal("empty value histogram should report zeros")
+	}
+	for _, v := range []int64{1, 2, 8, 8, 256} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 275 {
+		t.Fatalf("count=%d sum=%d, want 5/275", h.Count(), h.Sum())
+	}
+	if got := h.Mean(); got != 55 {
+		t.Errorf("mean = %v, want 55", got)
+	}
+	// Bucket boundaries: 1 lands in bucket 0 (le=1), 2 in bucket 1
+	// (le=2), 8s in bucket 3 (le=8), 256 in bucket 8 (le=256).
+	cum := h.cumulative()
+	for i, want := range map[int]int64{0: 1, 1: 2, 2: 2, 3: 4, 7: 4, 8: 5, vhistBuckets - 1: 5} {
+		if cum[i] != want {
+			t.Errorf("cumulative[%d] = %d, want %d", i, cum[i], want)
+		}
+	}
+	// Out-of-range values clamp into the +Inf bucket without skewing sum
+	// negative.
+	h.Observe(1 << 30)
+	h.Observe(-3)
+	if h.Count() != 7 {
+		t.Errorf("count = %d after edge observations, want 7", h.Count())
+	}
+}
+
+func TestValueHistogramScrape(t *testing.T) {
+	r := NewRegistry()
+	vh := r.ValueHistogram("predator_test_batch_rows", "design", "IC++")
+	vh.Observe(8)
+	vh.Observe(64)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		"# TYPE predator_test_batch_rows histogram",
+		`predator_test_batch_rows_bucket{design="IC++",le="8"} 1`,
+		`predator_test_batch_rows_bucket{design="IC++",le="64"} 2`,
+		`predator_test_batch_rows_bucket{design="IC++",le="+Inf"} 2`,
+		`predator_test_batch_rows_sum{design="IC++"} 72`,
+		`predator_test_batch_rows_count{design="IC++"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q\nbody:\n%s", want, body)
+		}
+	}
+}
+
 func TestRegistryConcurrent(t *testing.T) {
 	r := NewRegistry()
 	var wg sync.WaitGroup

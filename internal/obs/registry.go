@@ -155,6 +155,61 @@ func (h *Histogram) cumulative() [histBuckets]int64 {
 	return out
 }
 
+// ValueHistogram accumulates dimensionless counts (batch sizes, row
+// counts) into power-of-two buckets: bucket i covers values up to 2^i,
+// from 1 to 2^19, with a final +Inf bucket. Like Histogram, Observe is
+// a single atomic add with no allocation.
+type ValueHistogram struct {
+	buckets [vhistBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// vhistBuckets is 20 finite buckets (1 .. 2^19 = 524288) plus +Inf.
+const vhistBuckets = 21
+
+// vhistUpper returns the upper bound of finite bucket i.
+func vhistUpper(i int) int64 { return 1 << i }
+
+// Observe records one value.
+func (h *ValueHistogram) Observe(v int64) {
+	i := 0
+	for i < vhistBuckets-1 && v > vhistUpper(i) {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	if v > 0 {
+		h.sum.Add(v)
+	}
+}
+
+// Count returns the number of observations.
+func (h *ValueHistogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observed values.
+func (h *ValueHistogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the average observed value (0 with no observations).
+func (h *ValueHistogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// cumulative copies the bucket counts (cumulative, Prometheus-style).
+func (h *ValueHistogram) cumulative() [vhistBuckets]int64 {
+	var out [vhistBuckets]int64
+	var cum int64
+	for i := 0; i < vhistBuckets; i++ {
+		cum += h.buckets[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
 // metricKind distinguishes registry entries for rendering.
 type metricKind uint8
 
@@ -162,6 +217,7 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindHistogram
+	kindValueHistogram
 )
 
 // entry is one registered metric instance (a base name + label set).
@@ -172,6 +228,7 @@ type entry struct {
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
+	vh     *ValueHistogram
 }
 
 // id is the full identity used as the map key and SHOW STATS name.
@@ -238,6 +295,8 @@ func (r *Registry) lookup(name string, kind metricKind, labels []string) *entry 
 		e.g = &Gauge{}
 	case kindHistogram:
 		e.h = &Histogram{}
+	case kindValueHistogram:
+		e.vh = &ValueHistogram{}
 	}
 	r.entries[key] = e
 	return e
@@ -257,6 +316,12 @@ func (r *Registry) Gauge(name string, labels ...string) *Gauge {
 // Histogram returns (creating if needed) the named histogram.
 func (r *Registry) Histogram(name string, labels ...string) *Histogram {
 	return r.lookup(name, kindHistogram, labels).h
+}
+
+// ValueHistogram returns (creating if needed) the named count-valued
+// histogram (batch sizes and similar dimensionless distributions).
+func (r *Registry) ValueHistogram(name string, labels ...string) *ValueHistogram {
+	return r.lookup(name, kindValueHistogram, labels).vh
 }
 
 // Stat is one row of a registry dump (SHOW STATS).
@@ -298,6 +363,19 @@ func (r *Registry) Dump() []Stat {
 				derived("_p50_seconds", fmt.Sprintf("%.6f", e.h.Quantile(0.50).Seconds())),
 				derived("_p99_seconds", fmt.Sprintf("%.6f", e.h.Quantile(0.99).Seconds())),
 			)
+		case kindValueHistogram:
+			derived := func(suffix, val string) Stat {
+				name := e.name + suffix
+				if e.labels != "" {
+					name += "{" + e.labels + "}"
+				}
+				return Stat{name, val}
+			}
+			out = append(out,
+				derived("_count", fmt.Sprintf("%d", e.vh.Count())),
+				derived("_sum", fmt.Sprintf("%d", e.vh.Sum())),
+				derived("_mean", fmt.Sprintf("%.2f", e.vh.Mean())),
+			)
 		}
 	}
 	return out
@@ -327,7 +405,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			switch e.kind {
 			case kindGauge:
 				typ = "gauge"
-			case kindHistogram:
+			case kindHistogram, kindValueHistogram:
 				typ = "histogram"
 			}
 			fmt.Fprintf(&b, "# TYPE %s %s\n", e.name, typ)
@@ -357,6 +435,25 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 			fmt.Fprintf(&b, "%s_sum%s %.9f\n", e.name, suffix, e.h.Sum().Seconds())
 			fmt.Fprintf(&b, "%s_count%s %d\n", e.name, suffix, e.h.Count())
+		case kindValueHistogram:
+			cum := e.vh.cumulative()
+			for i := 0; i < vhistBuckets; i++ {
+				le := "+Inf"
+				if i < vhistBuckets-1 {
+					le = fmt.Sprintf("%d", vhistUpper(i))
+				}
+				labels := renderLabels([]string{"le", le})
+				if e.labels != "" {
+					labels = e.labels + "," + labels
+				}
+				fmt.Fprintf(&b, "%s_bucket{%s} %d\n", e.name, labels, cum[i])
+			}
+			suffix := ""
+			if e.labels != "" {
+				suffix = "{" + e.labels + "}"
+			}
+			fmt.Fprintf(&b, "%s_sum%s %d\n", e.name, suffix, e.vh.Sum())
+			fmt.Fprintf(&b, "%s_count%s %d\n", e.name, suffix, e.vh.Count())
 		}
 	}
 	_, err := io.WriteString(w, b.String())
