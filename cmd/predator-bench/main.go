@@ -8,7 +8,7 @@
 //	predator-bench -experiment table1,fig5,fig8
 //
 // Experiments: table1 fig4 fig5 fig5batch fig6 fig7 fig8 jit verifier
-// fuel pool cbbatch, or "all".
+// fuel pool cbbatch durability, or "all".
 package main
 
 import (
@@ -164,6 +164,10 @@ func main() {
 	}
 	if sel("cbbatch") {
 		show(bench.AblationCallbackBatch(h, 1000))
+	}
+	if sel("durability") {
+		// Scaled down: each row is an fsync under commit/always.
+		show(bench.DurabilityOverhead(cfg.Rows / 2))
 	}
 	st := isolate.ReadStats()
 	fmt.Printf("executor supervision: starts=%d invocations=%d timeouts=%d kills=%d restarts=%d evictions=%d\n",

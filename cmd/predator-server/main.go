@@ -39,6 +39,7 @@ func main() {
 		readTo   = flag.Duration("read-timeout", 10*time.Minute, "per-connection idle read deadline (0 = none)")
 		invokeTo = flag.Duration("udf-invoke-timeout", 2*time.Minute, "isolated UDF invocation deadline; expiry kills the executor (0 = none)")
 		metrics  = flag.String("metrics-addr", "", "HTTP listen address serving Prometheus metrics at /metrics (empty = disabled)")
+		durab    = flag.String("durability", "commit", "WAL fsync policy: none, commit or always")
 	)
 	flag.Parse()
 
@@ -53,6 +54,7 @@ func main() {
 		predator.WithLogger(logf),
 		predator.WithStatementTimeout(*stmtTo),
 		predator.WithSupervision(predator.Supervision{InvokeTimeout: *invokeTo}),
+		predator.WithDurability(*durab),
 	}
 	if *nojit {
 		opts = append(opts, predator.WithJITDisabled())
@@ -61,6 +63,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "predator-server: %v\n", err)
 		os.Exit(1)
+	}
+	if rec := db.Recovered(); rec.Ran {
+		log.Printf("predator-server: crash recovery replayed %d WAL records (%d bytes, torn tail: %v)",
+			rec.Records, rec.Bytes, rec.TornTail)
 	}
 	srv := predator.NewServerWith(db, predator.ServerOptions{
 		Logf:             log.Printf,

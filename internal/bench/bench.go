@@ -201,9 +201,12 @@ func NewHarness(cfg Config) (*Harness, error) {
 			return nil, err
 		}
 	}
+	// Durability off: the paper's figures measure the UDF crossing, not
+	// fsync latency (the durability experiment measures that separately).
 	eng, err := engine.Open(filepath.Join(h.dir, "bench.db"), engine.Options{
 		BufferPoolPages: 4096,
 		DisableJIT:      cfg.DisableJIT,
+		Durability:      "none",
 	})
 	if err != nil {
 		h.cleanupDir()

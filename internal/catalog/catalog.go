@@ -249,8 +249,14 @@ func (c *Catalog) Functions() []*Function {
 	return out
 }
 
-// Flush persists all dirty pages (catalog and data).
-func (c *Catalog) Flush() error { return c.pool.FlushAll() }
+// Flush persists all dirty pages (catalog and data) and forces them to
+// stable storage.
+func (c *Catalog) Flush() error {
+	if err := c.pool.FlushAll(); err != nil {
+		return err
+	}
+	return c.disk.Sync()
+}
 
 // Catalog record encoding
 

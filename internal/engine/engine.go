@@ -52,7 +52,21 @@ type Options struct {
 	// (0 = expr.DefaultBatchRows). Values of 1 or less than zero force
 	// the legacy one-crossing-per-tuple path.
 	UDFBatchRows int
+	// Durability selects the write-ahead-log fsync policy: "none"
+	// (no WAL — crashes may lose or corrupt recent writes), "commit"
+	// (WAL fsync at each acknowledged mutating statement; the default),
+	// or "always" (WAL fsync on every log append).
+	Durability string
+	// CheckpointBytes triggers an automatic checkpoint (flush-all +
+	// WAL truncation) once the log exceeds this size. 0 = the 8 MiB
+	// default; negative disables automatic checkpoints (manual
+	// CHECKPOINT statements still work).
+	CheckpointBytes int64
 }
+
+// defaultCheckpointBytes bounds WAL growth (and hence recovery time)
+// between automatic checkpoints.
+const defaultCheckpointBytes = 8 << 20
 
 // Engine is an open database.
 type Engine struct {
@@ -68,6 +82,12 @@ type Engine struct {
 	defSess *Session
 	closed  bool
 
+	// ckptMu serializes checkpoints against mutating statements:
+	// writers hold it shared, Checkpoint holds it exclusively, so the
+	// flush-all + WAL-truncate pair never captures a page mid-statement.
+	ckptMu    sync.RWMutex
+	ckptBytes int64 // auto-checkpoint threshold (<=0 = disabled)
+
 	// batchRows is the live UDF batch cap (atomic: benchmarks retune it
 	// between runs without reopening the engine).
 	batchRows atomic.Int64
@@ -82,9 +102,17 @@ func Open(path string, opts Options) (*Engine, error) {
 	if opts.Security == nil {
 		opts.Security = jvm.DefaultPolicy()
 	}
-	disk, err := storage.OpenDisk(path)
+	mode, err := storage.ParseDurability(opts.Durability)
 	if err != nil {
 		return nil, err
+	}
+	disk, err := storage.OpenDiskOptions(path, storage.DiskOptions{Durability: mode})
+	if err != nil {
+		return nil, err
+	}
+	if rec := disk.Recovered(); rec.Ran && opts.Logf != nil {
+		opts.Logf("engine: crash recovery replayed %d WAL records (%d bytes, torn tail: %v)",
+			rec.Records, rec.Bytes, rec.TornTail)
 	}
 	pool := storage.NewBufferPool(disk, opts.BufferPoolPages)
 	cat, err := catalog.Open(disk, pool)
@@ -102,6 +130,10 @@ func Open(path string, opts Options) (*Engine, error) {
 		opts:    opts,
 	}
 	e.planner = &plan.Planner{Catalog: cat, Registry: e.reg}
+	e.ckptBytes = opts.CheckpointBytes
+	if e.ckptBytes == 0 {
+		e.ckptBytes = defaultCheckpointBytes
+	}
 	e.SetUDFBatchRows(opts.UDFBatchRows)
 	e.defSess = e.NewSession()
 	// Restore persisted Jaguar UDFs.
@@ -117,7 +149,9 @@ func Open(path string, opts Options) (*Engine, error) {
 	return e, nil
 }
 
-// Close flushes and releases the database.
+// Close flushes every dirty page, checkpoints (data fsync + WAL
+// truncation) and releases the database, so a graceful stop never
+// relies on crash recovery at the next open.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -130,8 +164,45 @@ func (e *Engine) Close() error {
 		e.disk.Close()
 		return err
 	}
+	if err := e.disk.Checkpoint(); err != nil {
+		e.disk.Close()
+		return err
+	}
 	return e.disk.Close()
 }
+
+// Checkpoint flushes every dirty buffered page, fsyncs the data file
+// and truncates the write-ahead log. Also available as the SQL
+// CHECKPOINT statement.
+func (e *Engine) Checkpoint() error {
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	if err := e.pool.FlushAll(); err != nil {
+		return err
+	}
+	return e.disk.Checkpoint()
+}
+
+// maybeAutoCheckpoint runs a checkpoint when the WAL has outgrown the
+// configured bound. Called after a successful mutating statement, with
+// no checkpoint lock held.
+func (e *Engine) maybeAutoCheckpoint() {
+	if e.ckptBytes <= 0 || e.disk.WALSize() < e.ckptBytes {
+		return
+	}
+	if err := e.Checkpoint(); err != nil && e.opts.Logf != nil {
+		// The statement that triggered us already committed durably;
+		// surface the failure without failing it.
+		e.opts.Logf("engine: automatic checkpoint failed: %v", err)
+	}
+}
+
+// WALStats reports cumulative write-ahead-log activity.
+func (e *Engine) WALStats() storage.WALStats { return e.disk.WALStats() }
+
+// Recovered reports whether redo recovery ran when the database was
+// opened, and how much of the log it replayed.
+func (e *Engine) Recovered() storage.RecoveryInfo { return e.disk.Recovered() }
 
 // Registry exposes the UDF registry (for programmatic registration).
 func (e *Engine) Registry() *core.Registry { return e.reg }
@@ -194,9 +265,24 @@ func stmtVerb(stmt sql.Statement) string {
 		return "create"
 	case *sql.DropTable, *sql.DropFunction:
 		return "drop"
+	case *sql.Checkpoint:
+		return "checkpoint"
 	default:
 		return "other"
 	}
+}
+
+// mutates reports whether a statement changes persistent state and so
+// must be covered by the statement-boundary commit (and excluded from
+// a concurrent checkpoint's flush window).
+func mutates(stmt sql.Statement) bool {
+	switch stmt.(type) {
+	case *sql.Insert, *sql.Delete, *sql.Update,
+		*sql.CreateTable, *sql.DropTable,
+		*sql.CreateFunction, *sql.DropFunction:
+		return true
+	}
+	return false
 }
 
 // execStmtDeadline executes a parsed statement under a statement
@@ -221,6 +307,32 @@ func (e *Engine) execStmtTraced(stmt sql.Statement, deadline time.Time, tr *obs.
 }
 
 func (e *Engine) runStmt(stmt sql.Statement, deadline time.Time, tr *obs.Trace) (*Result, error) {
+	if _, ok := stmt.(*sql.Checkpoint); ok {
+		if err := e.Checkpoint(); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "checkpoint complete"}, nil
+	}
+	if !mutates(stmt) {
+		return e.runStmtInner(stmt, deadline, tr)
+	}
+	// Mutating statement: hold the checkpoint lock shared so a
+	// concurrent CHECKPOINT cannot flush + truncate mid-statement, and
+	// force the WAL at the statement boundary before acknowledging.
+	e.ckptMu.RLock()
+	res, err := e.runStmtInner(stmt, deadline, tr)
+	if err == nil {
+		err = e.disk.Commit()
+	}
+	e.ckptMu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	e.maybeAutoCheckpoint()
+	return res, nil
+}
+
+func (e *Engine) runStmtInner(stmt sql.Statement, deadline time.Time, tr *obs.Trace) (*Result, error) {
 	ec := e.evalCtx(deadline)
 	ec.Trace = tr
 	switch n := stmt.(type) {

@@ -108,6 +108,10 @@ type Set struct {
 	Value Expr
 }
 
+// Checkpoint is the CHECKPOINT statement: flush all dirty pages and
+// truncate the write-ahead log.
+type Checkpoint struct{}
+
 // Explain wraps a SELECT to print its plan.
 type Explain struct {
 	Query *Select
@@ -146,6 +150,7 @@ func (*Explain) stmtNode()        {}
 func (*Delete) stmtNode()         {}
 func (*Update) stmtNode()         {}
 func (*Set) stmtNode()            {}
+func (*Checkpoint) stmtNode()     {}
 
 // Expr is an unbound (pre-name-resolution) SQL expression.
 type Expr interface {

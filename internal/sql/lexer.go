@@ -42,6 +42,7 @@ var sqlKeywords = map[string]bool{
 	"SHOW": true, "TABLES": true, "FUNCTIONS": true, "EXPLAIN": true,
 	"ANALYZE": true, "STATS": true,
 	"DELETE": true, "REPLACE": true, "INNER": true, "UPDATE": true, "SET": true,
+	"CHECKPOINT": true,
 }
 
 // lexSQL tokenizes a SQL string.

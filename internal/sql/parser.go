@@ -147,6 +147,9 @@ func (p *sqlParser) statement() (Statement, error) {
 		return p.updateStmt()
 	case "SET":
 		return p.setStmt()
+	case "CHECKPOINT":
+		p.next()
+		return &Checkpoint{}, nil
 	default:
 		return nil, p.errHere("unsupported statement %s", t.text)
 	}

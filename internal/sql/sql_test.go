@@ -174,6 +174,18 @@ func TestParseDeleteShowExplainDrop(t *testing.T) {
 	}
 }
 
+func TestParseCheckpoint(t *testing.T) {
+	if _, ok := mustParse(t, `CHECKPOINT`).(*Checkpoint); !ok {
+		t.Error("checkpoint")
+	}
+	if _, ok := mustParse(t, `checkpoint;`).(*Checkpoint); !ok {
+		t.Error("checkpoint lower-case with terminator")
+	}
+	if _, err := Parse(`CHECKPOINT extra`); err == nil {
+		t.Error("trailing tokens after CHECKPOINT should fail")
+	}
+}
+
 func TestParseCommentsAndWhitespace(t *testing.T) {
 	stmt := mustParse(t, `
 		-- leading comment

@@ -19,6 +19,13 @@ var (
 // BufferPool caches pages in memory with LRU replacement and pin
 // counting. All page access in the engine goes through the pool; the
 // Fig. 4 calibration measures exactly this path.
+//
+// The pool enforces the WAL-before-data ordering for pages it caches:
+// a dirty page's after-image is appended to the log when its last pin
+// is released (and again before eviction or FlushAll if it was
+// re-dirtied), so no dirty page can reach the data file ahead of its
+// log record, and a statement-boundary Commit captures every page the
+// statement touched even if it is still only in memory.
 type BufferPool struct {
 	mu       sync.Mutex
 	disk     *DiskManager
@@ -37,11 +44,13 @@ type BufferStats struct {
 }
 
 type frame struct {
-	id     PageID
-	buf    [PageSize]byte
-	pins   int
-	dirty  bool
-	lruEle *list.Element // non-nil iff unpinned and resident
+	id      PageID
+	buf     [PageSize]byte
+	pins    int
+	dirty   bool
+	logged  bool          // dirty contents already have a WAL image
+	dropped bool          // detached from the pool; discard at unpin
+	lruEle  *list.Element // non-nil iff unpinned and resident
 }
 
 // PinnedPage is a handle to a pinned buffer frame. Callers must call
@@ -122,8 +131,14 @@ func (bp *BufferPool) Allocate() (*PinnedPage, error) {
 	return &PinnedPage{pool: bp, frame: f}, nil
 }
 
-// allocFrameLocked finds a frame for id, evicting if needed, and pins it.
+// allocFrameLocked finds a frame for id, evicting if needed, and pins
+// it. Any stale resident frame for the same ID (a freed page whose ID
+// the disk manager reused) is detached first so the old cached image
+// cannot shadow the new page.
 func (bp *BufferPool) allocFrameLocked(id PageID) (*frame, error) {
+	if old, ok := bp.frames[id]; ok {
+		bp.detachLocked(old)
+	}
 	if len(bp.frames) >= bp.capacity {
 		if err := bp.evictLocked(); err != nil {
 			return nil, err
@@ -141,14 +156,41 @@ func (bp *BufferPool) evictLocked() error {
 	}
 	victim := ele.Value.(*frame)
 	if victim.dirty {
+		if err := bp.logImageLocked(victim); err != nil {
+			return err
+		}
 		if err := bp.disk.Write(victim.id, victim.buf[:]); err != nil {
 			return err
 		}
 	}
-	bp.lru.Remove(ele)
-	delete(bp.frames, victim.id)
+	bp.detachLocked(victim)
 	bp.stats.Evictions++
 	obsPoolEvictions.Inc()
+	return nil
+}
+
+// detachLocked removes a frame from the pool's index and LRU list and
+// marks it dropped, so outstanding pins discard it at unpin instead of
+// returning it to the LRU.
+func (bp *BufferPool) detachLocked(f *frame) {
+	if f.lruEle != nil {
+		bp.lru.Remove(f.lruEle)
+		f.lruEle = nil
+	}
+	delete(bp.frames, f.id)
+	f.dropped = true
+}
+
+// logImageLocked appends the frame's after-image to the WAL if its
+// dirty contents are not logged yet.
+func (bp *BufferPool) logImageLocked(f *frame) error {
+	if f.logged {
+		return nil
+	}
+	if err := bp.disk.LogPageImage(f.id, f.buf[:]); err != nil {
+		return err
+	}
+	f.logged = true
 	return nil
 }
 
@@ -168,32 +210,49 @@ func (bp *BufferPool) unpin(f *frame, dirty bool) {
 	}
 	if dirty {
 		f.dirty = true
+		f.logged = false
 	}
 	f.pins--
+	if f.dropped {
+		return
+	}
 	if f.pins == 0 {
+		if f.dirty && !f.logged {
+			// Last pin released: the page's final contents for this
+			// statement are known, so get its redo image into the log
+			// before the statement can be acknowledged.
+			if err := bp.logImageLocked(f); err != nil {
+				// Leave the frame unlogged; eviction/FlushAll retries
+				// and surfaces the error on the write path.
+				f.logged = false
+			}
+		}
 		f.lruEle = bp.lru.PushBack(f)
 	}
 }
 
-// Drop removes a page from the pool without writing it back. Used when
-// the page has been freed on disk. The page must not be pinned.
+// Drop detaches a page from the pool without writing it back, even if
+// it is still pinned (outstanding pins discard the frame at unpin).
+// Used when the page has been freed on disk, where keeping the stale
+// image cached would corrupt a future reuse of the ID.
 func (bp *BufferPool) Drop(id PageID) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
-	if f, ok := bp.frames[id]; ok && f.pins == 0 {
-		if f.lruEle != nil {
-			bp.lru.Remove(f.lruEle)
-		}
-		delete(bp.frames, id)
+	if f, ok := bp.frames[id]; ok {
+		bp.detachLocked(f)
 	}
 }
 
-// FlushAll writes every dirty resident page back to disk.
+// FlushAll writes every dirty resident page back to disk, logging
+// still-unlogged images first.
 func (bp *BufferPool) FlushAll() error {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	for _, f := range bp.frames {
 		if f.dirty {
+			if err := bp.logImageLocked(f); err != nil {
+				return err
+			}
 			if err := bp.disk.Write(f.id, f.buf[:]); err != nil {
 				return err
 			}

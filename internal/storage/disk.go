@@ -1,13 +1,16 @@
 // Package storage implements the storage manager of PREDATOR-Go: a
-// file-backed disk manager, slotted pages, an LRU buffer pool, and heap
-// files with RID-addressed records. It plays the role of the Shore
-// storage manager in the paper's PREDATOR stack.
+// file-backed disk manager with write-ahead logging and per-page
+// checksums, slotted pages, an LRU buffer pool, and heap files with
+// RID-addressed records. It plays the role of the Shore storage
+// manager in the paper's PREDATOR stack, including the part the
+// in-memory layers used to pretend away: durability and recovery.
 package storage
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sync"
@@ -17,13 +20,27 @@ import (
 
 // Process-wide physical-I/O metrics (all disk managers report here).
 var (
-	obsPageReads  = obs.Default.Counter("predator_storage_page_reads_total")
-	obsPageWrites = obs.Default.Counter("predator_storage_page_writes_total")
-	obsPageAllocs = obs.Default.Counter("predator_storage_page_allocs_total")
+	obsPageReads     = obs.Default.Counter("predator_storage_page_reads_total")
+	obsPageWrites    = obs.Default.Counter("predator_storage_page_writes_total")
+	obsPageAllocs    = obs.Default.Counter("predator_storage_page_allocs_total")
+	obsChecksumFails = obs.Default.Counter("predator_storage_checksum_failures_total")
 )
 
-// PageSize is the size of every on-disk page in bytes.
+// PageSize is the size of every logical page in bytes. This is the
+// size upper layers (slotted pages, heap files) see; on disk each page
+// is wrapped in a frame that adds a checksum header.
 const PageSize = 8192
+
+// Each page is stored as a frame: a 16-byte header followed by the
+// PageSize payload. The header carries a CRC32-C over everything after
+// the checksum field (reserved bytes, LSN, payload), so torn or
+// bit-rotted pages are detected at read time, and the LSN of the WAL
+// record that last described the page (diagnostic only — recovery is
+// physical redo and does not consult it).
+const (
+	frameHeaderSize = 16 // crc32c(4) | reserved(4) | lsn(8)
+	DiskFrameSize   = frameHeaderSize + PageSize
+)
 
 // PageID identifies a page within a database file. Page 0 is the meta
 // page and is never handed out.
@@ -33,23 +50,90 @@ type PageID uint32
 const InvalidPageID PageID = 0xFFFFFFFF
 
 const (
-	metaMagic   = 0x50524544 // "PRED"
-	metaVersion = 1
+	metaMagic = 0x50524544 // "PRED"
+	// Version 2 introduced checksummed frames (and with them the WAL);
+	// version-1 files have no checksums and are not auto-upgraded.
+	metaVersion = 2
 )
 
 // ErrClosed is returned by operations on a closed disk manager.
 var ErrClosed = errors.New("storage: disk manager is closed")
 
+// ErrShortRead reports a page read that got fewer bytes than a full
+// frame — the file ends mid-page, i.e. a torn extension. (The old
+// behaviour was to swallow io.EOF and hand back a zeroed page.)
+var ErrShortRead = errors.New("storage: short page read (torn or truncated page)")
+
+// ErrChecksum reports a page whose stored CRC does not match its
+// contents — a torn write or on-disk corruption.
+var ErrChecksum = errors.New("storage: page checksum mismatch")
+
+// Durability selects when the write-ahead log is forced to stable
+// storage.
+type Durability int
+
+const (
+	// DurabilityNone disables the WAL entirely: no log, no checksums
+	// on the write path beyond frame stamping, crashes may lose or
+	// corrupt recent writes. Matches the pre-WAL engine and is what
+	// the paper-figure benchmarks use.
+	DurabilityNone Durability = iota
+	// DurabilityCommit fsyncs the WAL at statement boundaries (the
+	// engine calls Commit after each acknowledged mutation). Default.
+	DurabilityCommit
+	// DurabilityAlways fsyncs the WAL after every log append.
+	DurabilityAlways
+)
+
+// ParseDurability maps the user-facing spellings (none|commit|always,
+// "" = commit) to a Durability.
+func ParseDurability(s string) (Durability, error) {
+	switch s {
+	case "", "commit":
+		return DurabilityCommit, nil
+	case "none":
+		return DurabilityNone, nil
+	case "always":
+		return DurabilityAlways, nil
+	}
+	return DurabilityNone, fmt.Errorf("storage: unknown durability mode %q (want none, commit or always)", s)
+}
+
+func (m Durability) String() string {
+	switch m {
+	case DurabilityCommit:
+		return "commit"
+	case DurabilityAlways:
+		return "always"
+	default:
+		return "none"
+	}
+}
+
+// DiskOptions configures OpenDiskOptions.
+type DiskOptions struct {
+	Durability Durability
+}
+
 // DiskManager allocates, reads and writes fixed-size pages in a single
 // database file. Deallocated pages are kept on a persistent free list
 // (chained through the first 4 bytes of each free page) and reused by
-// subsequent allocations.
+// subsequent allocations. Every page is checksummed on disk; unless
+// durability is off, every write is preceded by a durable WAL record
+// and the log is replayed over the data file at open.
 type DiskManager struct {
 	mu       sync.Mutex
 	f        *os.File
 	numPages uint32 // includes the meta page
 	freeHead PageID
 	closed   bool
+
+	mode      Durability
+	wal       *wal
+	walPath   string
+	recovered RecoveryInfo
+
+	frame [DiskFrameSize]byte // scratch for frame I/O, guarded by mu
 
 	// Stats counts physical I/O for calibration experiments.
 	stats DiskStats
@@ -62,60 +146,206 @@ type DiskStats struct {
 	Allocs uint64
 }
 
-// OpenDisk opens (or creates) the database file at path.
+// WALPath returns the log file path for a database file path.
+func WALPath(dbPath string) string { return dbPath + ".wal" }
+
+// OpenDisk opens (or creates) the database file at path with the WAL
+// disabled (DurabilityNone). Recovery from a leftover log still runs.
 func OpenDisk(path string) (*DiskManager, error) {
+	return OpenDiskOptions(path, DiskOptions{Durability: DurabilityNone})
+}
+
+// OpenDiskOptions opens (or creates) the database file at path. If a
+// non-empty write-ahead log is found next to an existing database, its
+// valid prefix is replayed onto the data file before the manager is
+// handed out — regardless of the requested durability mode, since the
+// log describes writes the previous process acknowledged.
+func OpenDiskOptions(path string, opts DiskOptions) (*DiskManager, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open %s: %w", path, err)
 	}
-	d := &DiskManager{f: f}
+	d := &DiskManager{f: f, mode: opts.Durability, walPath: WALPath(path)}
 	info, err := f.Stat()
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("storage: stat %s: %w", path, err)
 	}
 	if info.Size() == 0 {
-		// Fresh file: write the meta page.
-		d.numPages = 1
-		d.freeHead = InvalidPageID
-		if err := d.writeMetaLocked(); err != nil {
+		// Fresh (or fully lost) data file: a leftover log describes a
+		// database that no longer exists, so discard rather than replay.
+		os.Remove(d.walPath)
+	} else {
+		d.recovered, err = replayWAL(d.walPath, f)
+		if err != nil {
 			f.Close()
 			return nil, err
 		}
-		return d, nil
+		if info, err = f.Stat(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("storage: stat %s: %w", path, err)
+		}
 	}
-	if info.Size()%PageSize != 0 {
-		f.Close()
-		return nil, fmt.Errorf("storage: %s has size %d, not a multiple of the page size", path, info.Size())
+	if info.Size() == 0 {
+		// Fresh file: write the meta page.
+		d.numPages = 1
+		d.freeHead = InvalidPageID
+		if err := writeFrameTo(f, 0, encodeMetaPayload(1, uint32(InvalidPageID)), 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else {
+		if info.Size()%DiskFrameSize != 0 {
+			f.Close()
+			return nil, fmt.Errorf("storage: %s has size %d, not a multiple of the %d-byte page frame", path, info.Size(), DiskFrameSize)
+		}
+		var meta [DiskFrameSize]byte
+		if _, err := f.ReadAt(meta[:], 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("storage: read meta page: %w", err)
+		}
+		if !verifyFrame(meta[:]) {
+			f.Close()
+			return nil, fmt.Errorf("storage: meta page of %s: %w", path, ErrChecksum)
+		}
+		payload := meta[frameHeaderSize:]
+		if binary.LittleEndian.Uint32(payload[0:]) != metaMagic {
+			f.Close()
+			return nil, fmt.Errorf("storage: %s is not a PREDATOR database file", path)
+		}
+		if v := binary.LittleEndian.Uint32(payload[4:]); v != metaVersion {
+			f.Close()
+			return nil, fmt.Errorf("storage: unsupported database version %d", v)
+		}
+		d.numPages = binary.LittleEndian.Uint32(payload[8:])
+		d.freeHead = PageID(binary.LittleEndian.Uint32(payload[12:]))
 	}
-	var meta [PageSize]byte
-	if _, err := f.ReadAt(meta[:], 0); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("storage: read meta page: %w", err)
+	if d.mode != DurabilityNone {
+		d.wal, err = openWAL(d.walPath)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else {
+		os.Remove(d.walPath)
 	}
-	if binary.LittleEndian.Uint32(meta[0:]) != metaMagic {
-		f.Close()
-		return nil, fmt.Errorf("storage: %s is not a PREDATOR database file", path)
-	}
-	if v := binary.LittleEndian.Uint32(meta[4:]); v != metaVersion {
-		f.Close()
-		return nil, fmt.Errorf("storage: unsupported database version %d", v)
-	}
-	d.numPages = binary.LittleEndian.Uint32(meta[8:])
-	d.freeHead = PageID(binary.LittleEndian.Uint32(meta[12:]))
 	return d, nil
 }
 
-func (d *DiskManager) writeMetaLocked() error {
-	var meta [PageSize]byte
-	binary.LittleEndian.PutUint32(meta[0:], metaMagic)
-	binary.LittleEndian.PutUint32(meta[4:], metaVersion)
-	binary.LittleEndian.PutUint32(meta[8:], d.numPages)
-	binary.LittleEndian.PutUint32(meta[12:], uint32(d.freeHead))
-	if _, err := d.f.WriteAt(meta[:], 0); err != nil {
-		return fmt.Errorf("storage: write meta page: %w", err)
+// Recovered reports whether (and how much) redo recovery ran at open.
+func (d *DiskManager) Recovered() RecoveryInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.recovered
+}
+
+// Durability returns the manager's fsync policy.
+func (d *DiskManager) Durability() Durability {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.mode
+}
+
+// stampFrame writes the frame header (LSN + CRC over everything after
+// the CRC field) in place. frame must be DiskFrameSize bytes with the
+// payload already copied in.
+func stampFrame(frame []byte, lsn uint64) {
+	binary.LittleEndian.PutUint32(frame[4:], 0) // reserved
+	binary.LittleEndian.PutUint64(frame[8:], lsn)
+	binary.LittleEndian.PutUint32(frame[0:], crc32.Checksum(frame[4:], walCRC))
+}
+
+// verifyFrame checks the stored CRC against the frame contents.
+func verifyFrame(frame []byte) bool {
+	return binary.LittleEndian.Uint32(frame[0:]) == crc32.Checksum(frame[4:], walCRC)
+}
+
+// writeFrameTo stamps payload into a frame and writes it at id's
+// offset in f. Shared by the open path, recovery and the write path.
+func writeFrameTo(f *os.File, id PageID, payload []byte, lsn uint64) error {
+	var frame [DiskFrameSize]byte
+	copy(frame[frameHeaderSize:], payload)
+	stampFrame(frame[:], lsn)
+	if _, err := f.WriteAt(frame[:], int64(id)*DiskFrameSize); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
 	}
 	return nil
+}
+
+// readFrameLocked reads and verifies page id into buf (PageSize bytes).
+func (d *DiskManager) readFrameLocked(id PageID, buf []byte) error {
+	n, err := d.f.ReadAt(d.frame[:], int64(id)*DiskFrameSize)
+	if n < DiskFrameSize {
+		if err == nil || err == io.EOF {
+			return fmt.Errorf("storage: read page %d: got %d of %d bytes: %w", id, n, DiskFrameSize, ErrShortRead)
+		}
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	if !verifyFrame(d.frame[:]) {
+		obsChecksumFails.Inc()
+		return fmt.Errorf("storage: read page %d: %w", id, ErrChecksum)
+	}
+	copy(buf, d.frame[frameHeaderSize:])
+	return nil
+}
+
+// syncWALForWriteLocked enforces WAL-before-data: any buffered or
+// unfsynced log records become durable before a data-file write.
+func (d *DiskManager) syncWALForWriteLocked() error {
+	if d.wal == nil || !d.wal.dirty() {
+		return nil
+	}
+	return d.wal.sync()
+}
+
+// writeFrameLocked stamps buf into a frame and writes it to the data
+// file, after forcing the WAL (the log record describing this state
+// must be durable first). faultPoint names the crash-injection point.
+func (d *DiskManager) writeFrameLocked(id PageID, buf []byte, faultPoint string) error {
+	if err := d.syncWALForWriteLocked(); err != nil {
+		return err
+	}
+	var lsn uint64
+	if d.wal != nil {
+		lsn = uint64(d.wal.size)
+	}
+	copy(d.frame[frameHeaderSize:], buf)
+	stampFrame(d.frame[:], lsn)
+	frame := d.frame
+	fireFault(faultPoint, func() {
+		// Torn page: only the first half of the frame reaches the file.
+		d.f.WriteAt(frame[:DiskFrameSize/2], int64(id)*DiskFrameSize)
+	})
+	if _, err := d.f.WriteAt(d.frame[:], int64(id)*DiskFrameSize); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+// logLocked appends a WAL record, fsyncing immediately under
+// DurabilityAlways. No-op when the WAL is off.
+func (d *DiskManager) logLocked(typ byte, id PageID, payload []byte) error {
+	if d.wal == nil {
+		return nil
+	}
+	if err := d.wal.append(typ, id, payload); err != nil {
+		return err
+	}
+	if d.mode == DurabilityAlways {
+		return d.wal.sync()
+	}
+	return nil
+}
+
+// writeMetaLocked logs and writes the meta page.
+func (d *DiskManager) writeMetaLocked() error {
+	var link [8]byte
+	binary.LittleEndian.PutUint32(link[0:], d.numPages)
+	binary.LittleEndian.PutUint32(link[4:], uint32(d.freeHead))
+	if err := d.logLocked(walMeta, 0, link[:]); err != nil {
+		return err
+	}
+	return d.writeFrameLocked(0, encodeMetaPayload(d.numPages, uint32(d.freeHead)), "metawrite")
 }
 
 // Allocate returns a fresh page ID, reusing a freed page if one exists.
@@ -130,11 +360,11 @@ func (d *DiskManager) Allocate() (PageID, error) {
 	obsPageAllocs.Inc()
 	if d.freeHead != InvalidPageID {
 		id := d.freeHead
-		var hdr [4]byte
-		if _, err := d.f.ReadAt(hdr[:], int64(id)*PageSize); err != nil {
+		var page [PageSize]byte
+		if err := d.readFrameLocked(id, page[:]); err != nil {
 			return InvalidPageID, fmt.Errorf("storage: read free page %d: %w", id, err)
 		}
-		d.freeHead = PageID(binary.LittleEndian.Uint32(hdr[:]))
+		d.freeHead = PageID(binary.LittleEndian.Uint32(page[:4]))
 		if err := d.writeMetaLocked(); err != nil {
 			return InvalidPageID, err
 		}
@@ -142,9 +372,14 @@ func (d *DiskManager) Allocate() (PageID, error) {
 	}
 	id := PageID(d.numPages)
 	d.numPages++
-	// Extend the file so reads of the new page succeed.
+	// Extend the file with a valid (zeroed, checksummed) frame so reads
+	// of the new page succeed and recovery can tell a hole from a tear.
 	var zero [PageSize]byte
-	if _, err := d.f.WriteAt(zero[:], int64(id)*PageSize); err != nil {
+	if err := d.logLocked(walPageImage, id, zero[:]); err != nil {
+		d.numPages--
+		return InvalidPageID, err
+	}
+	if err := d.writeFrameLocked(id, zero[:], "pagewrite"); err != nil {
 		d.numPages--
 		return InvalidPageID, fmt.Errorf("storage: extend file for page %d: %w", id, err)
 	}
@@ -154,7 +389,9 @@ func (d *DiskManager) Allocate() (PageID, error) {
 	return id, nil
 }
 
-// Free returns a page to the free list for reuse.
+// Free returns a page to the free list for reuse. Callers holding the
+// page in a buffer pool must Drop it first — the pool does this — so a
+// later Allocate of the same ID cannot observe the stale cached image.
 func (d *DiskManager) Free(id PageID) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -164,16 +401,21 @@ func (d *DiskManager) Free(id PageID) error {
 	if id == 0 || uint32(id) >= d.numPages {
 		return fmt.Errorf("storage: cannot free page %d", id)
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(d.freeHead))
-	if _, err := d.f.WriteAt(hdr[:], int64(id)*PageSize); err != nil {
+	var page [PageSize]byte
+	binary.LittleEndian.PutUint32(page[:4], uint32(d.freeHead))
+	if err := d.logLocked(walPageImage, id, page[:]); err != nil {
+		return err
+	}
+	if err := d.writeFrameLocked(id, page[:], "pagewrite"); err != nil {
 		return fmt.Errorf("storage: write free link on page %d: %w", id, err)
 	}
 	d.freeHead = id
 	return d.writeMetaLocked()
 }
 
-// Read fills buf (which must be PageSize bytes) with the page contents.
+// Read fills buf (which must be PageSize bytes) with the page
+// contents, verifying the frame checksum. A read past the end of the
+// file returns ErrShortRead; a corrupt frame returns ErrChecksum.
 func (d *DiskManager) Read(id PageID, buf []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -188,13 +430,13 @@ func (d *DiskManager) Read(id PageID, buf []byte) error {
 	}
 	d.stats.Reads++
 	obsPageReads.Inc()
-	if _, err := d.f.ReadAt(buf, int64(id)*PageSize); err != nil && err != io.EOF {
-		return fmt.Errorf("storage: read page %d: %w", id, err)
-	}
-	return nil
+	return d.readFrameLocked(id, buf)
 }
 
-// Write stores buf (PageSize bytes) as the page contents.
+// Write stores buf (PageSize bytes) as the page contents. The caller
+// (normally the buffer pool) must already have logged the page image
+// via LogPageImage when durability is on; Write forces the WAL before
+// touching the data file.
 func (d *DiskManager) Write(id PageID, buf []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -209,10 +451,112 @@ func (d *DiskManager) Write(id PageID, buf []byte) error {
 	}
 	d.stats.Writes++
 	obsPageWrites.Inc()
-	if _, err := d.f.WriteAt(buf, int64(id)*PageSize); err != nil {
-		return fmt.Errorf("storage: write page %d: %w", id, err)
+	return d.writeFrameLocked(id, buf, "pagewrite")
+}
+
+// LogPageImage appends a full after-image of the page to the WAL. The
+// buffer pool calls this when a dirty page's latest contents are about
+// to become (or must be able to become) durable. No-op without a WAL.
+func (d *DiskManager) LogPageImage(id PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
 	}
+	if d.wal == nil {
+		return nil
+	}
+	if len(buf) != PageSize {
+		return fmt.Errorf("storage: log buffer is %d bytes, want %d", len(buf), PageSize)
+	}
+	return d.logLocked(walPageImage, id, buf)
+}
+
+// Commit makes every logged change durable (WAL flush + fsync). The
+// engine calls this at statement boundaries under DurabilityCommit.
+func (d *DiskManager) Commit() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if d.wal == nil {
+		return nil
+	}
+	return d.wal.sync()
+}
+
+// Checkpoint fsyncs the data file and truncates the WAL. The caller
+// must have flushed every dirty buffered page first (BufferPool.
+// FlushAll), otherwise log records still needed for redo are lost.
+func (d *DiskManager) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := d.f.Sync(); err != nil {
+		return fmt.Errorf("storage: checkpoint data fsync: %w", err)
+	}
+	if d.wal == nil {
+		return nil
+	}
+	// Crash window under test: data is durable but the log has not been
+	// truncated yet, so recovery re-applies (idempotent) images.
+	fireFault("checkpoint", nil)
+	if err := d.wal.reset(); err != nil {
+		return err
+	}
+	obsWALCheckpoints.Inc()
 	return nil
+}
+
+// WALSize returns the current logical size of the write-ahead log in
+// bytes (0 when durability is off). The engine uses it to trigger
+// automatic checkpoints.
+func (d *DiskManager) WALSize() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.wal == nil {
+		return 0
+	}
+	return d.wal.size
+}
+
+// WALStats returns cumulative log activity for this manager.
+func (d *DiskManager) WALStats() WALStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.wal == nil {
+		return WALStats{}
+	}
+	return d.wal.stats
+}
+
+// VerifyChecksums reads every page frame in the file and returns the
+// IDs of pages whose checksum does not verify (or that are torn
+// short). Used by the crash harness and fsck-style tooling.
+func (d *DiskManager) VerifyChecksums() ([]PageID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	var bad []PageID
+	for id := PageID(0); uint32(id) < d.numPages; id++ {
+		n, err := d.f.ReadAt(d.frame[:], int64(id)*DiskFrameSize)
+		if n < DiskFrameSize {
+			if err != nil && err != io.EOF {
+				return bad, fmt.Errorf("storage: verify page %d: %w", id, err)
+			}
+			bad = append(bad, id)
+			continue
+		}
+		if !verifyFrame(d.frame[:]) {
+			bad = append(bad, id)
+		}
+	}
+	return bad, nil
 }
 
 // NumPages returns the number of pages in the file (including meta).
@@ -229,17 +573,26 @@ func (d *DiskManager) Stats() DiskStats {
 	return d.stats
 }
 
-// Sync flushes the file to stable storage.
+// Sync flushes the data file (and any pending WAL records) to stable
+// storage.
 func (d *DiskManager) Sync() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return ErrClosed
 	}
+	if d.wal != nil {
+		if err := d.wal.sync(); err != nil {
+			return err
+		}
+	}
 	return d.f.Sync()
 }
 
-// Close releases the underlying file. Further operations fail.
+// Close releases the underlying files. Further operations fail. Close
+// does not checkpoint; callers wanting a clean (no-recovery) shutdown
+// flush the buffer pool and call Checkpoint first, as Engine.Close
+// does.
 func (d *DiskManager) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -247,5 +600,14 @@ func (d *DiskManager) Close() error {
 		return nil
 	}
 	d.closed = true
-	return d.f.Close()
+	var firstErr error
+	if d.wal != nil {
+		if err := d.wal.close(); err != nil {
+			firstErr = err
+		}
+	}
+	if err := d.f.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }

@@ -1,0 +1,119 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Deterministic crash injection for the storage write path, used by the
+// crash-recovery harness (internal/crashtest) to prove that redo
+// recovery works rather than assert it. It follows the PREDATOR_FAULT
+// convention established for executor supervision (internal/isolate):
+// a spec names a protocol point and a failure mode,
+//
+//	point:mode[:n]
+//
+// Points (all inside DiskManager/WAL, fired with d.mu held):
+//
+//	walwrite   — before appending a record to the write-ahead log
+//	pagewrite  — before writing a page frame to the data file
+//	metawrite  — before writing the meta page frame
+//	checkpoint — after the data-file sync, before WAL truncation
+//
+// Modes:
+//
+//	crash — exit the process immediately (like SIGKILL: nothing flushed)
+//	torn  — perform the first half of the write, then exit (torn page /
+//	        torn log record)
+//	hang  — block forever; the supervising parent must SIGKILL us
+//
+// The optional :n makes the fault fire on the n-th hit of the point
+// (default 1), which is how the harness varies crash timing per seed.
+//
+// The spec is read from the PREDATOR_FAULT environment variable once
+// per process; specs whose point is not a storage point are ignored, so
+// the same variable keeps working for executor-protocol faults.
+const FaultEnv = "PREDATOR_FAULT"
+
+// faultExitCode distinguishes injected crashes from ordinary failures
+// (the same code the executor fault machinery uses).
+const faultExitCode = 42
+
+var storagePoints = map[string]bool{
+	"walwrite": true, "pagewrite": true, "metawrite": true, "checkpoint": true,
+}
+
+type diskFault struct {
+	point     string
+	mode      string
+	remaining atomic.Int64
+}
+
+var (
+	faultOnce sync.Once
+	faultPlan *diskFault
+)
+
+// loadFault parses PREDATOR_FAULT once; nil when unset, malformed, or
+// aimed at a non-storage point (a bad spec must never break storage).
+func loadFault() *diskFault {
+	faultOnce.Do(func() {
+		spec := os.Getenv(FaultEnv)
+		if spec == "" {
+			return
+		}
+		parts := strings.SplitN(spec, ":", 3)
+		if len(parts) < 2 || !storagePoints[parts[0]] {
+			return
+		}
+		p := &diskFault{point: parts[0], mode: parts[1]}
+		n := int64(1)
+		if len(parts) == 3 {
+			v, err := strconv.ParseInt(parts[2], 10, 64)
+			if err != nil || v < 1 {
+				return
+			}
+			n = v
+		}
+		p.remaining.Store(n)
+		faultPlan = p
+	})
+	return faultPlan
+}
+
+// fireFault triggers the configured fault if it targets point and its
+// countdown has elapsed. torn performs the partial write for torn mode
+// (nil = crash without partial effects).
+func fireFault(point string, torn func()) {
+	p := loadFault()
+	if p == nil || p.point != point {
+		return
+	}
+	if p.remaining.Add(-1) != 0 {
+		return
+	}
+	switch p.mode {
+	case "crash":
+		fmt.Fprintf(os.Stderr, "storage: injected crash at %s\n", point)
+		os.Exit(faultExitCode)
+	case "torn":
+		if torn != nil {
+			torn()
+		}
+		fmt.Fprintf(os.Stderr, "storage: injected torn write at %s\n", point)
+		os.Exit(faultExitCode)
+	case "hang":
+		// Block forever; the harness SIGKILLs us. A sleep loop rather
+		// than select{} so the runtime's deadlock detector does not
+		// turn the hang into an orderly exit.
+		fmt.Fprintf(os.Stderr, "storage: injected hang at %s\n", point)
+		for {
+			time.Sleep(time.Hour)
+		}
+	}
+}

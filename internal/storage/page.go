@@ -50,9 +50,17 @@ func (p *Page) Init() {
 	binary.LittleEndian.PutUint16(p.buf[6:], PageSize)
 }
 
-// Next returns the next page in the heap-file chain.
+// Next returns the next page in the heap-file chain. A zero link reads
+// as end-of-chain: page 0 is the meta page and can never be a chain
+// successor, and an all-zero page is the legitimate on-disk state of a
+// page that was allocated but never written before a crash (recovery
+// heals torn extensions to zeroed frames).
 func (p *Page) Next() PageID {
-	return PageID(binary.LittleEndian.Uint32(p.buf[0:]))
+	next := PageID(binary.LittleEndian.Uint32(p.buf[0:]))
+	if next == 0 {
+		return InvalidPageID
+	}
+	return next
 }
 
 // SetNext links the page to the next page in the chain.

@@ -1,0 +1,325 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+
+	"predator/internal/obs"
+)
+
+// Write-ahead logging. The WAL is a physical redo log: whole-page
+// after-images plus meta-page updates, CRC-framed so a torn tail is
+// detected and ignored at replay. The ordering invariant is the
+// classic one — a page's log record is durable before the page itself
+// is written to the data file — enforced by DiskManager, which flushes
+// and fsyncs the WAL ahead of every data-file write. Recovery replays
+// the valid record prefix onto the data file at open; checkpoints
+// (flush-all + data fsync) truncate the log.
+//
+// Record framing (little-endian, LSN = byte offset of the record):
+//
+//	type(1) | pageID(4) | payloadLen(4) | payload | crc32c(4)
+//
+// where the CRC covers everything before it. Record types:
+//
+//	walPageImage — payload is the full PageSize after-image of pageID
+//	walMeta      — payload is numPages(4) | freeHead(4)
+const (
+	walPageImage byte = 1
+	walMeta      byte = 2
+
+	walHeaderSize  = 9 // type + pageID + payloadLen
+	walTrailerSize = 4 // crc32c
+)
+
+// Process-wide WAL metrics.
+var (
+	obsWALAppends        = obs.Default.Counter("predator_wal_appends_total")
+	obsWALBytes          = obs.Default.Counter("predator_wal_bytes_total")
+	obsWALFsyncs         = obs.Default.Counter("predator_wal_fsyncs_total")
+	obsWALFsyncSeconds   = obs.Default.Histogram("predator_wal_fsync_seconds")
+	obsWALCheckpoints    = obs.Default.Counter("predator_wal_checkpoints_total")
+	obsWALRecoveries     = obs.Default.Counter("predator_wal_recoveries_total")
+	obsWALRecoveredRecs  = obs.Default.Counter("predator_wal_recovered_records_total")
+	obsWALRecoveredBytes = obs.Default.Counter("predator_wal_recovered_bytes_total")
+)
+
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// WALStats reports cumulative write-ahead-log activity for one disk
+// manager (process-wide equivalents live in the obs registry).
+type WALStats struct {
+	Appends uint64
+	Bytes   uint64
+	Fsyncs  uint64
+}
+
+// wal is the append side of the write-ahead log. It is owned by a
+// DiskManager and only ever called with d.mu held, so it needs no lock
+// of its own.
+type wal struct {
+	f      *os.File
+	w      *bufio.Writer
+	size   int64 // logical end offset (includes buffered records)
+	synced int64 // offset known durable on stable storage
+	err    error // sticky: first append/flush failure poisons the log
+	stats  WALStats
+}
+
+// openWAL creates (truncating) the log file at path. Any previous log
+// contents have already been consumed by recovery.
+func openWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open wal %s: %w", path, err)
+	}
+	return &wal{f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+// append frames and buffers one record. The record is not durable
+// until sync; callers enforce WAL-before-data ordering.
+func (l *wal) append(typ byte, page PageID, payload []byte) error {
+	if l.err != nil {
+		return l.err
+	}
+	rec := make([]byte, walHeaderSize+len(payload)+walTrailerSize)
+	rec[0] = typ
+	binary.LittleEndian.PutUint32(rec[1:], uint32(page))
+	binary.LittleEndian.PutUint32(rec[5:], uint32(len(payload)))
+	copy(rec[walHeaderSize:], payload)
+	crc := crc32.Checksum(rec[:walHeaderSize+len(payload)], walCRC)
+	binary.LittleEndian.PutUint32(rec[walHeaderSize+len(payload):], crc)
+	fireFault("walwrite", func() {
+		// Torn log write: half the record reaches the file, then the
+		// process dies. Replay must discard the fragment.
+		l.w.Flush()
+		l.f.Write(rec[:len(rec)/2])
+	})
+	if _, err := l.w.Write(rec); err != nil {
+		l.err = fmt.Errorf("storage: wal append: %w", err)
+		return l.err
+	}
+	l.size += int64(len(rec))
+	l.stats.Appends++
+	l.stats.Bytes += uint64(len(rec))
+	obsWALAppends.Inc()
+	obsWALBytes.Add(int64(len(rec)))
+	return nil
+}
+
+// dirty reports whether records are buffered or unfsynced.
+func (l *wal) dirty() bool { return l.size > l.synced }
+
+// sync makes every appended record durable (flush + fsync), observing
+// the fsync latency histogram. No-op when already durable.
+func (l *wal) sync() error {
+	if l.err != nil {
+		return l.err
+	}
+	if !l.dirty() {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		l.err = fmt.Errorf("storage: wal flush: %w", err)
+		return l.err
+	}
+	start := time.Now()
+	if err := l.f.Sync(); err != nil {
+		l.err = fmt.Errorf("storage: wal fsync: %w", err)
+		return l.err
+	}
+	obsWALFsyncSeconds.Observe(time.Since(start))
+	obsWALFsyncs.Inc()
+	l.stats.Fsyncs++
+	l.synced = l.size
+	return nil
+}
+
+// reset truncates the log after a checkpoint: every logged change is
+// on the data file, so the history is no longer needed.
+func (l *wal) reset() error {
+	if l.err != nil {
+		return l.err
+	}
+	l.w.Reset(l.f) // discard buffered records; they describe flushed pages
+	if err := l.f.Truncate(0); err != nil {
+		l.err = fmt.Errorf("storage: wal truncate: %w", err)
+		return l.err
+	}
+	if _, err := l.f.Seek(0, 0); err != nil {
+		l.err = fmt.Errorf("storage: wal seek: %w", err)
+		return l.err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.err = fmt.Errorf("storage: wal truncate fsync: %w", err)
+		return l.err
+	}
+	l.size = 0
+	l.synced = 0
+	return nil
+}
+
+// close flushes, fsyncs and releases the log file.
+func (l *wal) close() error {
+	syncErr := l.sync()
+	if err := l.f.Close(); err != nil && syncErr == nil {
+		return err
+	}
+	return syncErr
+}
+
+// RecoveryInfo describes the redo pass that ran (if any) when the
+// database was opened.
+type RecoveryInfo struct {
+	// Ran is true when a non-empty WAL was found and replayed.
+	Ran bool
+	// Records is the number of valid records applied.
+	Records int
+	// Bytes is the length of the valid record prefix.
+	Bytes int64
+	// TornTail is true when the log ended in a torn/corrupt record
+	// (expected after a mid-append crash; the fragment is discarded).
+	TornTail bool
+}
+
+// replayWAL applies the valid prefix of the log at walPath onto data
+// file f: page images are written in order (framed and checksummed)
+// and the last meta record, if any, rewrites the meta page. Torn or
+// corrupt records end the replay — they can only be the unsynced tail.
+func replayWAL(walPath string, f *os.File) (RecoveryInfo, error) {
+	var info RecoveryInfo
+	log, err := os.ReadFile(walPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return info, nil
+		}
+		return info, fmt.Errorf("storage: read wal %s: %w", walPath, err)
+	}
+	if len(log) == 0 {
+		return info, nil
+	}
+	info.Ran = true
+	var metaSeen bool
+	var numPages, freeHead uint32
+	off := 0
+	for {
+		if off+walHeaderSize+walTrailerSize > len(log) {
+			info.TornTail = off < len(log)
+			break
+		}
+		typ := log[off]
+		page := PageID(binary.LittleEndian.Uint32(log[off+1:]))
+		plen := int(binary.LittleEndian.Uint32(log[off+5:]))
+		end := off + walHeaderSize + plen + walTrailerSize
+		if plen < 0 || plen > PageSize || end > len(log) {
+			info.TornTail = true
+			break
+		}
+		want := binary.LittleEndian.Uint32(log[end-walTrailerSize:])
+		if crc32.Checksum(log[off:end-walTrailerSize], walCRC) != want {
+			info.TornTail = true
+			break
+		}
+		payload := log[off+walHeaderSize : off+walHeaderSize+plen]
+		switch typ {
+		case walPageImage:
+			if plen != PageSize {
+				info.TornTail = true
+			} else if err := writeFrameTo(f, page, payload, uint64(off)); err != nil {
+				return info, fmt.Errorf("storage: recovery: redo page %d: %w", page, err)
+			}
+		case walMeta:
+			if plen != 8 {
+				info.TornTail = true
+			} else {
+				metaSeen = true
+				numPages = binary.LittleEndian.Uint32(payload[0:])
+				freeHead = binary.LittleEndian.Uint32(payload[4:])
+			}
+		default:
+			info.TornTail = true
+		}
+		if info.TornTail {
+			break
+		}
+		info.Records++
+		off = end
+	}
+	info.Bytes = int64(off)
+	if metaSeen {
+		if err := writeFrameTo(f, 0, encodeMetaPayload(numPages, freeHead), uint64(off)); err != nil {
+			return info, fmt.Errorf("storage: recovery: redo meta page: %w", err)
+		}
+	}
+	if err := healFramesAfterReplay(f); err != nil {
+		return info, err
+	}
+	if err := f.Sync(); err != nil {
+		return info, fmt.Errorf("storage: recovery: data fsync: %w", err)
+	}
+	// The log is fully applied; truncate so it is not replayed twice.
+	if err := os.Truncate(walPath, 0); err != nil {
+		return info, fmt.Errorf("storage: recovery: truncate wal: %w", err)
+	}
+	obsWALRecoveries.Inc()
+	obsWALRecoveredRecs.Add(int64(info.Records))
+	obsWALRecoveredBytes.Add(info.Bytes)
+	return info, nil
+}
+
+// healFramesAfterReplay stamps valid empty frames over pages that the
+// meta page accounts for but that were never durably written — a crash
+// between the file extension and its first page write leaves either a
+// short file or an all-zero hole. Genuinely torn pages (non-zero, bad
+// CRC) are left alone so reads surface ErrChecksum.
+func healFramesAfterReplay(f *os.File) error {
+	var meta [DiskFrameSize]byte
+	if n, err := f.ReadAt(meta[:], 0); n < DiskFrameSize || !verifyFrame(meta[:]) {
+		// No readable meta page: nothing to heal against (the open path
+		// will report the real error).
+		_ = err
+		return nil
+	}
+	numPages := binary.LittleEndian.Uint32(meta[frameHeaderSize+8:])
+	var frame [DiskFrameSize]byte
+	zero := make([]byte, PageSize)
+	for id := PageID(1); uint32(id) < numPages; id++ {
+		n, err := f.ReadAt(frame[:], int64(id)*DiskFrameSize)
+		if err != nil && err != io.EOF {
+			return fmt.Errorf("storage: recovery: heal read page %d: %w", id, err)
+		}
+		if n == DiskFrameSize && verifyFrame(frame[:]) {
+			continue
+		}
+		short := n < DiskFrameSize
+		allZero := true
+		for _, b := range frame[:n] {
+			if b != 0 {
+				allZero = false
+				break
+			}
+		}
+		if short || allZero {
+			if err := writeFrameTo(f, id, zero, 0); err != nil {
+				return fmt.Errorf("storage: recovery: heal page %d: %w", id, err)
+			}
+		}
+	}
+	return nil
+}
+
+// encodeMetaPayload renders the meta page contents (the framing CRC is
+// added by the frame writer).
+func encodeMetaPayload(numPages, freeHead uint32) []byte {
+	payload := make([]byte, PageSize)
+	binary.LittleEndian.PutUint32(payload[0:], metaMagic)
+	binary.LittleEndian.PutUint32(payload[4:], metaVersion)
+	binary.LittleEndian.PutUint32(payload[8:], numPages)
+	binary.LittleEndian.PutUint32(payload[12:], freeHead)
+	return payload
+}

@@ -41,6 +41,7 @@ import (
 	"predator/internal/jaguar"
 	"predator/internal/jvm"
 	"predator/internal/obs"
+	"predator/internal/storage"
 	"predator/internal/types"
 )
 
@@ -197,6 +198,21 @@ func WithStatementTimeout(d time.Duration) Option {
 	return func(o *engine.Options) { o.StatementTimeout = d }
 }
 
+// WithDurability selects the write-ahead-log fsync policy: "none" (no
+// WAL; crashes may lose or corrupt recent writes), "commit" (fsync at
+// each acknowledged mutating statement; the default) or "always"
+// (fsync on every log append).
+func WithDurability(mode string) Option {
+	return func(o *engine.Options) { o.Durability = mode }
+}
+
+// WithCheckpointBytes sets the WAL size that triggers an automatic
+// checkpoint (0 = the 8 MiB default, negative = manual CHECKPOINT
+// statements only).
+func WithCheckpointBytes(n int64) Option {
+	return func(o *engine.Options) { o.CheckpointBytes = n }
+}
+
 // Open opens (or creates) a database file.
 func Open(path string, opts ...Option) (*DB, error) {
 	var eopts engine.Options
@@ -218,6 +234,18 @@ func (db *DB) Exec(sql string) (*Result, error) { return db.eng.Exec(sql) }
 
 // Engine exposes the underlying engine for advanced embedding.
 func (db *DB) Engine() *engine.Engine { return db.eng }
+
+// Checkpoint flushes every dirty page and truncates the write-ahead
+// log (same as the SQL CHECKPOINT statement).
+func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
+
+// RecoveryInfo describes the redo pass that ran (if any) when the
+// database file was opened.
+type RecoveryInfo = storage.RecoveryInfo
+
+// Recovered reports whether crash recovery replayed the write-ahead
+// log when this database was opened, and what it replayed.
+func (db *DB) Recovered() RecoveryInfo { return db.eng.Recovered() }
 
 // NewSession creates an independent session (own statement timeout);
 // servers give each client connection one.
