@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -32,6 +33,7 @@ func main() {
 		dir        = flag.String("dir", "", "workspace directory (default: temp)")
 		jsonDir    = flag.String("json-dir", ".", "directory for machine-readable BENCH_<experiment>.json files (empty = disabled)")
 		assertUp   = flag.Float64("assert-batch-speedup", 0, "fail unless the fig5batch IC++ batched/unbatched speedup reaches this factor")
+		traceDir   = flag.String("trace-dir", "", "export a Chrome trace of an isolated-UDF query into this directory (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -168,6 +170,16 @@ func main() {
 	if sel("durability") {
 		// Scaled down: each row is an fsync under commit/always.
 		show(bench.DurabilityOverhead(cfg.Rows / 2))
+	}
+	if *traceDir != "" && h != nil {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*traceDir, "trace-icpp.json")
+		if err := h.ExportTrace(bench.DesignICPP, 100, 20, path); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(wrote cross-process trace %s; load it in chrome://tracing)\n\n", path)
 	}
 	st := isolate.ReadStats()
 	fmt.Printf("executor supervision: starts=%d invocations=%d timeouts=%d kills=%d restarts=%d evictions=%d\n",

@@ -14,7 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,14 +38,31 @@ func main() {
 		stmtTo   = flag.Duration("statement-timeout", 0, "default per-statement deadline (0 = none; sessions may SET STATEMENT_TIMEOUT)")
 		readTo   = flag.Duration("read-timeout", 10*time.Minute, "per-connection idle read deadline (0 = none)")
 		invokeTo = flag.Duration("udf-invoke-timeout", 2*time.Minute, "isolated UDF invocation deadline; expiry kills the executor (0 = none)")
-		metrics  = flag.String("metrics-addr", "", "HTTP listen address serving Prometheus metrics at /metrics (empty = disabled)")
+		metrics  = flag.String("metrics-addr", "", "HTTP listen address serving Prometheus metrics at /metrics and profiles at /debug/pprof/ (empty = disabled)")
 		durab    = flag.String("durability", "commit", "WAL fsync policy: none, commit or always")
+		traceDir = flag.String("trace-dir", "", "directory for Chrome trace-event JSON exports; enables SET TRACE = 'on' (empty = explicit paths only)")
+		slowQ    = flag.Duration("slow-query", 0, "log statements slower than this threshold (0 = disabled)")
+		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
 
+	var logger *slog.Logger
+	if *logJSON {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	} else {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	predator.SetStructuredLogger(logger)
+
 	logf := func(format string, args ...any) {
 		if *verbose {
-			log.Printf(format, args...)
+			logger.Info(fmt.Sprintf(format, args...), "component", "server")
+		}
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "predator-server: trace dir: %v\n", err)
+			os.Exit(1)
 		}
 	}
 	opts := []predator.Option{
@@ -55,21 +72,27 @@ func main() {
 		predator.WithStatementTimeout(*stmtTo),
 		predator.WithSupervision(predator.Supervision{InvokeTimeout: *invokeTo}),
 		predator.WithDurability(*durab),
+		predator.WithTraceDir(*traceDir),
+		predator.WithSlowQueryThreshold(*slowQ),
 	}
 	if *nojit {
 		opts = append(opts, predator.WithJITDisabled())
 	}
+	start := time.Now()
 	db, err := predator.Open(*dbPath, opts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "predator-server: %v\n", err)
 		os.Exit(1)
 	}
+	logger.Info("database open",
+		"component", "server", "db", *dbPath, "duration", time.Since(start))
 	if rec := db.Recovered(); rec.Ran {
-		log.Printf("predator-server: crash recovery replayed %d WAL records (%d bytes, torn tail: %v)",
-			rec.Records, rec.Bytes, rec.TornTail)
+		logger.Info("crash recovery replayed WAL",
+			"component", "server", "records", rec.Records,
+			"bytes", rec.Bytes, "torn_tail", rec.TornTail)
 	}
 	srv := predator.NewServerWith(db, predator.ServerOptions{
-		Logf:             log.Printf,
+		Logf:             logf,
 		ReadTimeout:      *readTo,
 		StatementTimeout: *stmtTo,
 	})
@@ -78,12 +101,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "predator-server: %v\n", err)
 		os.Exit(1)
 	}
-	log.Printf("predator-server: serving %s on %s", *dbPath, addr)
+	logger.Info("serving", "component", "server", "db", *dbPath, "addr", addr)
 	if *metrics != "" {
 		go func() {
-			log.Printf("predator-server: metrics on http://%s/metrics", *metrics)
+			logger.Info("metrics listener up",
+				"component", "server", "metrics", "http://"+*metrics+"/metrics",
+				"pprof", "http://"+*metrics+"/debug/pprof/")
 			if err := predator.ServeMetrics(*metrics); err != nil {
-				log.Printf("predator-server: metrics listener: %v", err)
+				logger.Error("metrics listener failed", "component", "server", "error", err)
 			}
 		}()
 	}
@@ -91,9 +116,9 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("predator-server: shutting down")
+	logger.Info("shutting down", "component", "server")
 	if err := srv.Close(); err != nil {
-		log.Printf("predator-server: shutdown: %v", err)
+		logger.Error("shutdown failed", "component", "server", "error", err)
 		os.Exit(1)
 	}
 }

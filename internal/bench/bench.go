@@ -325,6 +325,23 @@ func (h *Harness) RunQuery(design string, baSize, indep, dep, ncb, calls int) (t
 	return time.Since(start), nil
 }
 
+// ExportTrace runs the benchmark query for one design with detailed
+// tracing enabled and writes the resulting Chrome trace-event JSON to
+// path (the cross-process trace artifact CI uploads from the smoke run).
+func (h *Harness) ExportTrace(design string, baSize, calls int, path string) error {
+	sess := h.Eng.NewSession()
+	if _, err := sess.Exec(fmt.Sprintf(`SET TRACE = '%s'`, path)); err != nil {
+		return err
+	}
+	q := fmt.Sprintf(`SELECT %s(ba, 10, 1, 1) FROM %s WHERE id < %d`,
+		funcName(design), RelName(baSize), calls)
+	if _, err := sess.Exec(q); err != nil {
+		return fmt.Errorf("bench: trace export: %w", err)
+	}
+	_, err := sess.Exec(`SET TRACE = 'off'`)
+	return err
+}
+
 // BaseCost times the calibration query with the trivial UDF (Fig. 4):
 // the table-access cost to subtract from later measurements.
 func (h *Harness) BaseCost(baSize, calls int) (time.Duration, error) {

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"predator/internal/jvm"
+	"predator/internal/obs"
 	"predator/internal/types"
 )
 
@@ -86,6 +87,12 @@ type Ctx struct {
 	// invocation runs under (SET STATEMENT_TIMEOUT). Isolated designs
 	// kill the executor process when it expires mid-invocation.
 	Deadline time.Time
+	// Trace, when non-nil and detailed, asks isolated designs to
+	// propagate trace context to the executor process and merge the
+	// child's spans back (EXPLAIN ANALYZE, SET TRACE). The engine only
+	// sets it when detailed tracing is on, so the ordinary hot path
+	// carries a nil pointer and pays nothing.
+	Trace *obs.Trace
 }
 
 // NativeFunc is the Go signature of a native UDF implementation.

@@ -62,6 +62,14 @@ type Options struct {
 	// default; negative disables automatic checkpoints (manual
 	// CHECKPOINT statements still work).
 	CheckpointBytes int64
+	// TraceDir enables SET TRACE = 'on' for sessions: each traced
+	// statement exports a Chrome trace-event JSON file into this
+	// directory (loadable in chrome://tracing or Perfetto). Sessions can
+	// always SET TRACE to an explicit file path, TraceDir or not.
+	TraceDir string
+	// SlowQuery emits a structured log entry (obs.Logger) for every
+	// statement slower than this threshold (0 = disabled).
+	SlowQuery time.Duration
 }
 
 // defaultCheckpointBytes bounds WAL growth (and hence recovery time)
@@ -110,9 +118,10 @@ func Open(path string, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	if rec := disk.Recovered(); rec.Ran && opts.Logf != nil {
-		opts.Logf("engine: crash recovery replayed %d WAL records (%d bytes, torn tail: %v)",
-			rec.Records, rec.Bytes, rec.TornTail)
+	if rec := disk.Recovered(); rec.Ran {
+		obs.Logger().Info("crash recovery replayed WAL",
+			"component", "engine", "path", path,
+			"records", rec.Records, "bytes", rec.Bytes, "torn_tail", rec.TornTail)
 	}
 	pool := storage.NewBufferPool(disk, opts.BufferPoolPages)
 	cat, err := catalog.Open(disk, pool)
@@ -190,10 +199,11 @@ func (e *Engine) maybeAutoCheckpoint() {
 	if e.ckptBytes <= 0 || e.disk.WALSize() < e.ckptBytes {
 		return
 	}
-	if err := e.Checkpoint(); err != nil && e.opts.Logf != nil {
+	if err := e.Checkpoint(); err != nil {
 		// The statement that triggered us already committed durably;
 		// surface the failure without failing it.
-		e.opts.Logf("engine: automatic checkpoint failed: %v", err)
+		obs.Logger().Error("automatic checkpoint failed",
+			"component", "engine", "error", err)
 	}
 }
 
@@ -291,19 +301,66 @@ func (e *Engine) execStmtDeadline(stmt sql.Statement, deadline time.Time) (*Resu
 	return e.execStmtTraced(stmt, deadline, obs.NewTrace())
 }
 
-// execStmtTraced wraps statement execution with the per-verb latency
-// histogram and outcome counter, threading the query trace through.
+// execStmtTraced runs a statement whose raw SQL text is unavailable
+// (parsed-statement entry points); it still gets per-verb metrics but
+// no statement-statistics entry.
 func (e *Engine) execStmtTraced(stmt sql.Statement, deadline time.Time, tr *obs.Trace) (*Result, error) {
+	return e.execStmtObserved(stmt, deadline, tr, "", 0)
+}
+
+// execStmtObserved wraps statement execution with the per-verb latency
+// histogram and outcome counter, the fingerprint-keyed statement
+// statistics (when the raw text is known), and the slow-query log.
+func (e *Engine) execStmtObserved(stmt sql.Statement, deadline time.Time, tr *obs.Trace, text string, sessID int64) (*Result, error) {
 	verb := stmtVerb(stmt)
+	walBefore := e.disk.WALStats().Bytes
 	start := time.Now()
 	res, err := e.runStmt(stmt, deadline, tr)
-	obs.Default.Histogram("predator_stmt_seconds", "verb", verb).Observe(time.Since(start))
+	d := time.Since(start)
+	obs.Default.Histogram("predator_stmt_seconds", "verb", verb).Observe(d)
 	status := "ok"
 	if err != nil {
 		status = "error"
 	}
 	obs.Default.Counter("predator_stmt_total", "verb", verb, "status", status).Inc()
+	fingerprint := ""
+	if text != "" {
+		fingerprint = sql.Normalize(text)
+		var rows int64
+		if res != nil {
+			rows = int64(len(res.Rows)) + res.RowsAffected
+		}
+		obs.Statements.Record(fingerprint, d, rows, traceCrossings(tr), int64(e.disk.WALStats().Bytes-walBefore))
+	}
+	if t := e.opts.SlowQuery; t > 0 && d >= t {
+		attrs := []any{
+			"component", "engine", "verb", verb, "status", status, "duration", d,
+		}
+		if sessID != 0 {
+			attrs = append(attrs, "session", sessID)
+		}
+		if text != "" {
+			attrs = append(attrs, "query", text, "fingerprint", fingerprint)
+		}
+		if s := tr.Summary(); s != "" {
+			attrs = append(attrs, "trace", s)
+		}
+		obs.Logger().Warn("slow query", attrs...)
+	}
 	return res, err
+}
+
+// traceCrossings counts UDF invocation events recorded in a trace (the
+// "udf:<name>" aggregates the expression layer emits — one per process
+// crossing for isolated designs, one per call for embedded ones).
+func traceCrossings(tr *obs.Trace) int64 {
+	var n int64
+	for _, ev := range tr.Events() {
+		if strings.HasPrefix(ev.Name, "udf:") {
+			n += ev.Count
+		}
+	}
+	return n
 }
 
 func (e *Engine) runStmt(stmt sql.Statement, deadline time.Time, tr *obs.Trace) (*Result, error) {
@@ -335,6 +392,12 @@ func (e *Engine) runStmt(stmt sql.Statement, deadline time.Time, tr *obs.Trace) 
 func (e *Engine) runStmtInner(stmt sql.Statement, deadline time.Time, tr *obs.Trace) (*Result, error) {
 	ec := e.evalCtx(deadline)
 	ec.Trace = tr
+	if tr.Detailed() {
+		// Detailed tracing reaches across the process boundary: isolated
+		// executors see the trace on the UDF context and ship their own
+		// spans back (merged in by the executor handle).
+		ec.UDF.Trace = tr
+	}
 	switch n := stmt.(type) {
 	case *sql.CreateTable:
 		schema := &types.Schema{Columns: n.Columns}
@@ -369,7 +432,11 @@ func (e *Engine) runStmtInner(stmt sql.Statement, deadline time.Time, tr *obs.Tr
 		// EXPLAIN ANALYZE: run the probe-wrapped tree to completion,
 		// then render it — each node's line shows the planner estimate
 		// next to the recorded actuals — plus the trace footer (phase
-		// spans and aggregated UDF-invoke events).
+		// spans and aggregated UDF-invoke events). Detailed tracing is
+		// forced on so executor-side spans (child/invoke, child/vm_exec)
+		// appear in the footer alongside the parent's.
+		tr.EnableDetail()
+		ec.UDF.Trace = tr
 		root := exec.Instrument(op)
 		sp = tr.Start("execute")
 		rows, err := exec.Run(root, ec)
@@ -425,11 +492,15 @@ func (e *Engine) evalCtx(deadline time.Time) *expr.Ctx {
 }
 
 func (e *Engine) execSelect(sel *sql.Select, ec *expr.Ctx) (*Result, error) {
+	sp := ec.Trace.Start("plan")
 	op, err := e.planner.PlanSelect(sel)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = ec.Trace.Start("execute")
 	rows, err := exec.Run(op, ec)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -668,6 +739,33 @@ func (e *Engine) execShow(n *sql.Show) (*Result, error) {
 		var rows []types.Row
 		for _, st := range obs.Default.Dump() {
 			rows = append(rows, types.Row{types.NewString(st.Name), types.NewString(st.Value)})
+		}
+		return &Result{Schema: sch, Rows: rows}, nil
+	case "statements":
+		sch := types.NewSchema(
+			types.Column{Name: "fingerprint", Kind: types.KindString},
+			types.Column{Name: "calls", Kind: types.KindInt},
+			types.Column{Name: "total_seconds", Kind: types.KindFloat},
+			types.Column{Name: "mean_seconds", Kind: types.KindFloat},
+			types.Column{Name: "p50_seconds", Kind: types.KindFloat},
+			types.Column{Name: "p99_seconds", Kind: types.KindFloat},
+			types.Column{Name: "rows", Kind: types.KindInt},
+			types.Column{Name: "udf_crossings", Kind: types.KindInt},
+			types.Column{Name: "wal_bytes", Kind: types.KindInt},
+		)
+		var rows []types.Row
+		for _, st := range obs.Statements.Snapshot() {
+			rows = append(rows, types.Row{
+				types.NewString(st.Fingerprint),
+				types.NewInt(st.Calls),
+				types.NewFloat(st.Total.Seconds()),
+				types.NewFloat(st.Mean.Seconds()),
+				types.NewFloat(st.P50.Seconds()),
+				types.NewFloat(st.P99.Seconds()),
+				types.NewInt(st.Rows),
+				types.NewInt(st.Crossings),
+				types.NewInt(st.WALBytes),
+			})
 		}
 		return &Result{Schema: sch, Rows: rows}, nil
 	default:

@@ -2,7 +2,10 @@ package engine
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"predator/internal/obs"
@@ -10,21 +13,34 @@ import (
 	"predator/internal/types"
 )
 
+// sessionIDs hands out process-unique session identifiers (for the
+// slow-query log and trace file names).
+var sessionIDs atomic.Int64
+
 // Session is one client's execution context over a shared engine. It
-// holds per-session settings — today the statement timeout — and runs
-// statements under them. Sessions are cheap; the server creates one
-// per connection, and Engine.Exec uses a default session.
+// holds per-session settings — the statement timeout and the tracing
+// mode — and runs statements under them. Sessions are cheap; the server
+// creates one per connection, and Engine.Exec uses a default session.
 type Session struct {
 	eng *Engine
+	id  int64
 
 	mu          sync.Mutex
 	stmtTimeout time.Duration
+	// traceMode selects per-statement Chrome trace export: "" = off,
+	// "on" = auto-named files in the engine's TraceDir, anything else =
+	// an explicit file path (overwritten per statement).
+	traceMode string
+	traceSeq  int64
 }
 
 // NewSession creates a session with the engine's default settings.
 func (e *Engine) NewSession() *Session {
-	return &Session{eng: e, stmtTimeout: e.opts.StatementTimeout}
+	return &Session{eng: e, id: sessionIDs.Add(1), stmtTimeout: e.opts.StatementTimeout}
 }
+
+// ID returns the session's process-unique identifier.
+func (s *Session) ID() int64 { return s.id }
 
 // StatementTimeout reports the session's statement timeout (0 = none).
 func (s *Session) StatementTimeout() time.Duration {
@@ -46,14 +62,26 @@ func (s *Session) SetStatementTimeout(d time.Duration) {
 
 // Exec parses and executes one SQL statement under this session.
 func (s *Session) Exec(sqlText string) (*Result, error) {
+	s.mu.Lock()
+	mode := s.traceMode
+	s.mu.Unlock()
 	tr := obs.NewTrace()
+	if mode != "" {
+		tr.EnableDetail()
+	}
 	sp := tr.Start("parse")
 	stmt, err := sql.Parse(sqlText)
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	return s.execStmtTraced(stmt, tr)
+	res, execErr := s.execStmtObserved(stmt, tr, sqlText)
+	if mode != "" {
+		if _, isSet := stmt.(*sql.Set); !isSet {
+			s.exportTrace(tr, mode)
+		}
+	}
+	return res, execErr
 }
 
 // ExecStmt executes a parsed statement under this session: SET is
@@ -65,6 +93,10 @@ func (s *Session) ExecStmt(stmt sql.Statement) (*Result, error) {
 }
 
 func (s *Session) execStmtTraced(stmt sql.Statement, tr *obs.Trace) (*Result, error) {
+	return s.execStmtObserved(stmt, tr, "")
+}
+
+func (s *Session) execStmtObserved(stmt sql.Statement, tr *obs.Trace, text string) (*Result, error) {
 	if set, ok := stmt.(*sql.Set); ok {
 		return s.execSet(set)
 	}
@@ -72,7 +104,29 @@ func (s *Session) execStmtTraced(stmt sql.Statement, tr *obs.Trace) (*Result, er
 	if t := s.StatementTimeout(); t > 0 {
 		deadline = time.Now().Add(t)
 	}
-	return s.eng.execStmtTraced(stmt, deadline, tr)
+	return s.eng.execStmtObserved(stmt, deadline, tr, text, s.id)
+}
+
+// exportTrace writes a statement's trace as Chrome trace-event JSON.
+// Failures are logged, never surfaced — tracing is diagnostics and must
+// not fail the statement it observed.
+func (s *Session) exportTrace(tr *obs.Trace, mode string) {
+	path := mode
+	if mode == "on" {
+		seq := atomic.AddInt64(&s.traceSeq, 1)
+		path = filepath.Join(s.eng.opts.TraceDir, fmt.Sprintf("trace-%d-%d.json", s.id, seq))
+	}
+	f, err := os.Create(path)
+	if err == nil {
+		err = tr.WriteChrome(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		obs.Logger().Warn("trace export failed",
+			"component", "engine", "session", s.id, "path", path, "error", err)
+	}
 }
 
 // execSet applies a SET statement to session state.
@@ -92,6 +146,31 @@ func (s *Session) execSet(set *sql.Set) (*Result, error) {
 			return &Result{Message: "statement_timeout disabled"}, nil
 		}
 		return &Result{Message: fmt.Sprintf("statement_timeout set to %v", d)}, nil
+	case "trace":
+		if lit.Value.Kind != types.KindString {
+			return nil, fmt.Errorf("engine: SET trace requires a string: 'on', 'off' or a file path")
+		}
+		switch v := lit.Value.Str; v {
+		case "off", "":
+			s.mu.Lock()
+			s.traceMode = ""
+			s.mu.Unlock()
+			return &Result{Message: "tracing disabled"}, nil
+		case "on":
+			dir := s.eng.opts.TraceDir
+			if dir == "" {
+				return nil, fmt.Errorf("engine: SET trace = 'on' needs a trace directory (start with -trace-dir, or SET trace to an explicit file path)")
+			}
+			s.mu.Lock()
+			s.traceMode = "on"
+			s.mu.Unlock()
+			return &Result{Message: fmt.Sprintf("tracing to %s", dir)}, nil
+		default:
+			s.mu.Lock()
+			s.traceMode = v
+			s.mu.Unlock()
+			return &Result{Message: fmt.Sprintf("tracing to %s", v)}, nil
+		}
 	default:
 		return nil, fmt.Errorf("engine: unknown session variable %q", set.Name)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"predator/internal/core"
 	"predator/internal/expr"
+	"predator/internal/obs"
 	"predator/internal/types"
 )
 
@@ -48,6 +49,7 @@ type window struct {
 	// recovery (e.g. the server's per-request recover) sees it exactly
 	// as on the scalar path.
 	panicked any
+	start    time.Time
 	dur      time.Duration
 }
 
@@ -116,6 +118,9 @@ func (b *batchState) next() (*window, int, error) {
 		}
 		if n := len(w.rows); n > 0 {
 			b.lastRowDur = w.dur / time.Duration(n)
+		}
+		if b.ec.Trace.Detailed() {
+			b.ec.Trace.AddSpan(obs.SpanRecord{Name: "batch/window", Start: w.start, Dur: w.dur})
 		}
 		if w.err != nil {
 			// The queued window dies with the query; Close drains
@@ -207,10 +212,10 @@ func (b *batchState) launch(w *window) {
 	b.rowsIn += int64(len(w.rows))
 	b.pending++
 	go func() {
-		start := time.Now()
+		w.start = time.Now()
 		defer func() {
 			w.panicked = recover()
-			w.dur = time.Since(start)
+			w.dur = time.Since(w.start)
 			b.inflight <- w
 		}()
 		w.err = b.eval(w)

@@ -1,0 +1,50 @@
+package expr
+
+import (
+	"testing"
+
+	"predator/internal/core"
+	"predator/internal/types"
+)
+
+// TestUDFCallEvalZeroAlloc pins the observability cost model: with
+// tracing disabled (no detailed trace, no slow-query capture), the UDF
+// scalar hot path must not allocate. The bind-time histogram handle,
+// the grow-only scratch and the nil-safe Trace.Event gate all exist to
+// keep this at zero; a regression here taxes every untraced query.
+func TestUDFCallEvalZeroAlloc(t *testing.T) {
+	reg := core.NewRegistry()
+	if err := reg.Register(core.NewNative("add3", []types.Kind{types.KindInt, types.KindInt, types.KindInt},
+		types.KindInt, func(_ *core.Ctx, args []types.Value) (types.Value, error) {
+			return types.NewInt(args[0].Int + args[1].Int + args[2].Int), nil
+		})); err != nil {
+		t.Fatal(err)
+	}
+	bound := benchBind(t, `add3(i, i, i)`, reg)
+	row := testRow()
+
+	for _, tc := range []struct {
+		name string
+		ec   *Ctx
+	}{
+		{"nil-ctx", nil},
+		{"untraced-ctx", &Ctx{}}, // non-nil ctx, nil Trace: the production shape
+	} {
+		// Warm the scratch so growth doesn't count as a steady-state alloc.
+		if _, err := bound.Eval(tc.ec, row); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			v, err := bound.Eval(tc.ec, row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Int != 30 {
+				t.Fatalf("got %d, want 30", v.Int)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: udfCall.Eval allocates %.1f/op, want 0", tc.name, allocs)
+		}
+	}
+}

@@ -13,7 +13,7 @@ import (
 // grow-only scratch on the bound node. Run with -benchmem — the
 // interesting number is allocs/op.
 
-func benchBind(b *testing.B, src string, reg *core.Registry) Bound {
+func benchBind(b testing.TB, src string, reg *core.Registry) Bound {
 	b.Helper()
 	e, err := sql.ParseExpr(src)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"predator/internal/core"
 	"predator/internal/jvm"
@@ -66,6 +67,8 @@ func RunExecutor(r io.Reader, w io.Writer, natives NativeTable) error {
 		case msgInvokeBatch:
 			fault.fire("invoke", c)
 			st.invokeBatch(st.stable(f.payload))
+		case msgTraceCtx:
+			st.armTrace(f.payload)
 		case msgPing:
 			if err := c.send(msgPong, nil); err != nil {
 				return err
@@ -99,6 +102,60 @@ type childState struct {
 	// without per-batch allocation.
 	argBuf  []byte
 	respBuf []byte
+
+	// traced marks the next invoke frame as span-recorded (armed by a
+	// preceding msgTraceCtx, cleared when the result ships). spanSeq
+	// allocates child-local span IDs; the parent remaps them on merge.
+	traced  bool
+	spanSeq uint64
+	spans   []childSpan
+
+	// Setup timing is captured unconditionally (once per executor, two
+	// clock reads) and shipped with the first traced result, so a trace
+	// shows executor startup cost even when setup predates tracing.
+	setupSpan   childSpan
+	setupUnsent bool
+}
+
+// armTrace marks the next invoke as traced. The payload (trace ID,
+// parent span ID) is decoded for validation; span parentage is
+// reconstructed parent-side when the shipped spans are merged.
+func (st *childState) armTrace(payload []byte) {
+	r := &preader{buf: payload}
+	r.uvarint() // trace ID
+	r.uvarint() // parent span ID
+	if r.err != nil {
+		st.fail("bad trace frame: %v", r.err)
+		return
+	}
+	st.traced = true
+}
+
+// newSpanID allocates a child-local span ID.
+func (st *childState) newSpanID() uint64 {
+	st.spanSeq++
+	return st.spanSeq
+}
+
+// addSpan records a span for the current shipment, dropping beyond the
+// protocol cap.
+func (st *childState) addSpan(s childSpan) {
+	if len(st.spans) < maxChildSpans {
+		st.spans = append(st.spans, s)
+	}
+}
+
+// sealSpans appends the recorded spans (plus the pending setup span, if
+// any) to a result payload and disarms tracing for the next frame.
+func (st *childState) sealSpans(resp []byte) []byte {
+	if st.setupUnsent {
+		st.addSpan(st.setupSpan)
+		st.setupUnsent = false
+	}
+	resp = appendChildSpans(resp, st.spans)
+	st.spans = st.spans[:0]
+	st.traced = false
+	return resp
 }
 
 // stable copies a frame payload into the child's own scratch so the
@@ -110,6 +167,10 @@ func (st *childState) stable(payload []byte) []byte {
 }
 
 func (st *childState) fail(format string, args ...any) {
+	// Error frames carry no span tail; drop any recorded spans so they
+	// do not leak into a later (differently traced) shipment.
+	st.traced = false
+	st.spans = st.spans[:0]
 	_ = st.conn.send(msgError, appendString(nil, fmt.Sprintf(format, args...)))
 }
 
@@ -120,6 +181,7 @@ func (st *childState) setupNative(payload []byte) {
 		st.fail("bad setup frame: %v", r.err)
 		return
 	}
+	start := time.Now()
 	fn, ok := st.natives[name]
 	if !ok {
 		st.fail("native UDF %q is not in the executor's native table", name)
@@ -127,6 +189,8 @@ func (st *childState) setupNative(payload []byte) {
 	}
 	st.nativeFn = fn
 	st.vmClass = nil
+	st.setupSpan = childSpan{id: st.newSpanID(), name: "child/setup", start: start, dur: time.Since(start)}
+	st.setupUnsent = true
 	_ = st.conn.send(msgReady, nil)
 }
 
@@ -144,6 +208,7 @@ func (st *childState) setupVM(payload []byte) {
 	// A fresh VM per executor: full isolation, default-deny policy is
 	// irrelevant here because the whole process is expendable, but the
 	// VM still re-verifies the class.
+	start := time.Now()
 	vm := jvm.New(jvm.Options{Security: jvm.AllowAll()})
 	lc, err := vm.NewLoader("executor").Load(append([]byte(nil), classBytes...))
 	if err != nil {
@@ -154,6 +219,8 @@ func (st *childState) setupVM(payload []byte) {
 	st.vmMethod = method
 	st.vmLimits = jvm.Limits{Fuel: fuel, MaxAllocBytes: mem, MaxCallDepth: int(depth)}
 	st.nativeFn = nil
+	st.setupSpan = childSpan{id: st.newSpanID(), name: "child/setup", start: start, dur: time.Since(start)}
+	st.setupUnsent = true
 	_ = st.conn.send(msgReady, nil)
 }
 
@@ -168,23 +235,35 @@ func (st *childState) invoke(payload []byte) {
 		st.fail("bad invoke frame: %v", r.err)
 		return
 	}
-	cb := &proxyCallback{conn: st.conn, fault: st.fault}
-	out, err := st.run(cb, args)
+	var inv childSpan
+	if st.traced {
+		inv = childSpan{id: st.newSpanID(), name: "child/invoke", start: time.Now()}
+	}
+	cb := &proxyCallback{conn: st.conn, fault: st.fault, st: st, parent: inv.id}
+	out, err := st.run(cb, args, inv.id)
 	if err != nil {
 		st.fail("%v", err)
 		return
 	}
 	st.fault.fire("result", st.conn)
-	_ = st.conn.send(msgResult, types.EncodeValue(nil, out))
+	resp := types.EncodeValue(st.respBuf[:0], out)
+	if st.traced {
+		inv.dur = time.Since(inv.start)
+		st.addSpan(inv)
+		resp = st.sealSpans(resp)
+	}
+	st.respBuf = resp
+	_ = st.conn.send(msgResult, resp)
 }
 
-// run evaluates one row with whatever UDF is bound.
-func (st *childState) run(cb *proxyCallback, args []types.Value) (types.Value, error) {
+// run evaluates one row with whatever UDF is bound. parent is the span
+// to hang VM-execution spans under (0 when untraced).
+func (st *childState) run(cb *proxyCallback, args []types.Value, parent uint64) (types.Value, error) {
 	switch {
 	case st.nativeFn != nil:
 		return st.nativeFn(&core.Ctx{Callback: cb}, args)
 	case st.vmClass != nil:
-		return st.invokeVM(cb, args)
+		return st.invokeVM(cb, args, parent)
 	default:
 		return types.Value{}, fmt.Errorf("executor has no UDF bound (missing setup)")
 	}
@@ -202,7 +281,11 @@ func (st *childState) invokeBatch(payload []byte) {
 		st.fail("bad batch invoke frame: %v", r.err)
 		return
 	}
-	cb := &proxyCallback{conn: st.conn, fault: st.fault}
+	var inv childSpan
+	if st.traced {
+		inv = childSpan{id: st.newSpanID(), name: "child/invoke", start: time.Now()}
+	}
+	cb := &proxyCallback{conn: st.conn, fault: st.fault, st: st, parent: inv.id}
 	resp := st.respBuf[:0]
 	resp = binary.AppendUvarint(resp, uint64(n))
 	args := make([]types.Value, arity)
@@ -215,7 +298,7 @@ func (st *childState) invokeBatch(payload []byte) {
 			st.fail("bad batch invoke frame at row %d: %v", i, r.err)
 			return
 		}
-		out, err := st.run(cb, args)
+		out, err := st.run(cb, args, inv.id)
 		if err != nil {
 			resp = appendString(append(resp, 1), err.Error())
 			continue
@@ -223,11 +306,16 @@ func (st *childState) invokeBatch(payload []byte) {
 		resp = types.EncodeValue(append(resp, 0), out)
 	}
 	st.fault.fire("result", st.conn)
+	if st.traced {
+		inv.dur = time.Since(inv.start)
+		st.addSpan(inv)
+		resp = st.sealSpans(resp)
+	}
 	st.respBuf = resp
 	_ = st.conn.send(msgResultBatch, resp)
 }
 
-func (st *childState) invokeVM(cb jvm.Callback, args []types.Value) (types.Value, error) {
+func (st *childState) invokeVM(cb jvm.Callback, args []types.Value, parent uint64) (types.Value, error) {
 	cls := st.vmClass.Class()
 	mi := cls.MethodIndex(st.vmMethod)
 	if mi < 0 {
@@ -245,10 +333,17 @@ func (st *childState) invokeVM(cb jvm.Callback, args []types.Value) (types.Value
 		}
 		vargs[i] = v
 	}
+	var start time.Time
+	if st.traced {
+		start = time.Now()
+	}
 	ret, _, err := st.vmClass.Call(st.vmMethod, vargs, &jvm.CallOptions{
 		Limits:   st.vmLimits,
 		Callback: cb,
 	})
+	if !start.IsZero() {
+		st.addSpan(childSpan{id: st.newSpanID(), parent: parent, name: "child/vm_exec", start: start, dur: time.Since(start)})
+	}
 	if err != nil {
 		return types.Value{}, err
 	}
@@ -270,10 +365,21 @@ func (st *childState) invokeVM(cb jvm.Callback, args []types.Value) (types.Value
 type proxyCallback struct {
 	conn  *conn
 	fault *faultPlan
+
+	// st/parent let a traced invoke record one child/callback_wait span
+	// per round trip (the paper's Figure 8 double crossing, now visible
+	// in a trace). st is nil-safe untraced: spans are only recorded
+	// while st.traced holds.
+	st     *childState
+	parent uint64
 }
 
 func (p *proxyCallback) roundTrip(op byte, handle, off, length int64) (*preader, error) {
 	p.fault.fire("callback", p.conn)
+	var start time.Time
+	if p.st != nil && p.st.traced {
+		start = time.Now()
+	}
 	buf := []byte{op}
 	buf = binary.AppendVarint(buf, handle)
 	buf = binary.AppendVarint(buf, off)
@@ -284,6 +390,9 @@ func (p *proxyCallback) roundTrip(op byte, handle, off, length int64) (*preader,
 	f, err := p.conn.recv()
 	if err != nil {
 		return nil, err
+	}
+	if !start.IsZero() {
+		p.st.addSpan(childSpan{id: p.st.newSpanID(), parent: p.parent, name: "child/callback_wait", start: start, dur: time.Since(start)})
 	}
 	if f.typ != msgCBResult {
 		return nil, fmt.Errorf("isolate: unexpected callback reply %d", f.typ)

@@ -294,12 +294,16 @@ func (e *Executor) Invoke(ctx *core.Ctx, args []types.Value) (types.Value, error
 	defer e.mu.Unlock()
 	cInvocations.Inc()
 	deadline := deadlineFor(e.sup.InvokeTimeout, ctx)
+	traced, err := e.sendTraceCtxLocked(ctx)
+	if err != nil {
+		return types.Value{}, err
+	}
 	buf := takePayload()
 	buf = binary.AppendUvarint(buf, uint64(len(args)))
 	for _, a := range args {
 		buf = types.EncodeValue(buf, a)
 	}
-	err := e.sendLocked("invoke", msgInvoke, buf)
+	err = e.sendLocked("invoke", msgInvoke, buf)
 	putPayload(buf)
 	if err != nil {
 		return types.Value{}, err
@@ -316,6 +320,9 @@ func (e *Executor) Invoke(ctx *core.Ctx, args []types.Value) (types.Value, error
 			if r.err != nil {
 				e.destroyLocked()
 				return types.Value{}, core.NewFault(core.FaultProtocol, "invoke", r.err)
+			}
+			if traced {
+				e.mergeChildSpansLocked(ctx, r)
 			}
 			return v.Clone(), nil
 		case msgError:
@@ -344,13 +351,17 @@ func (e *Executor) InvokeBatch(ctx *core.Ctx, arity int, args []types.Value, out
 	defer e.mu.Unlock()
 	cInvocations.Inc()
 	deadline := deadlineFor(e.sup.InvokeTimeout, ctx)
+	traced, err := e.sendTraceCtxLocked(ctx)
+	if err != nil {
+		return err
+	}
 	buf := takePayload()
 	buf = binary.AppendUvarint(buf, uint64(len(out)))
 	buf = binary.AppendUvarint(buf, uint64(arity))
 	for _, a := range args {
 		buf = types.EncodeValue(buf, a)
 	}
-	err := e.sendLocked("invoke", msgInvokeBatch, buf)
+	err = e.sendLocked("invoke", msgInvokeBatch, buf)
 	putPayload(buf)
 	if err != nil {
 		return err
@@ -362,7 +373,7 @@ func (e *Executor) InvokeBatch(ctx *core.Ctx, arity int, args []types.Value, out
 		}
 		switch f.typ {
 		case msgResultBatch:
-			return e.decodeBatchResultLocked(f.payload, out)
+			return e.decodeBatchResultLocked(f.payload, out, ctx, traced)
 		case msgError:
 			// Whole-batch rejection (bad frame, injected crash notice):
 			// the batch as a unit failed before per-row results existed.
@@ -379,10 +390,40 @@ func (e *Executor) InvokeBatch(ctx *core.Ctx, arity int, args []types.Value, out
 	}
 }
 
+// sendTraceCtxLocked precedes a traced invocation with a msgTraceCtx
+// frame so the child records and ships its own spans. Untraced
+// invocations send nothing — the wire stays byte-identical to the
+// untraced protocol.
+func (e *Executor) sendTraceCtxLocked(ctx *core.Ctx) (bool, error) {
+	if ctx == nil || !ctx.Trace.Detailed() {
+		return false, nil
+	}
+	buf := takePayload()
+	buf = binary.AppendUvarint(buf, uint64(ctx.Trace.ID()))
+	buf = binary.AppendUvarint(buf, 0) // parent span ID (reserved)
+	err := e.sendLocked("invoke", msgTraceCtx, buf)
+	putPayload(buf)
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// mergeChildSpansLocked folds the span tail of a traced result frame
+// into the invocation's trace, attributed to the child's PID. A missing
+// or malformed tail is ignored rather than failing the invocation: the
+// result value already decoded, and spans are diagnostics.
+func (e *Executor) mergeChildSpansLocked(ctx *core.Ctx, r *preader) {
+	recs := decodeChildSpans(r)
+	if len(recs) > 0 {
+		ctx.Trace.Merge(recs, e.PID())
+	}
+}
+
 // decodeBatchResultLocked unpacks a msgResultBatch payload into out.
 // Values are cloned out of the connection's receive scratch before the
 // next recv can reuse it.
-func (e *Executor) decodeBatchResultLocked(payload []byte, out []core.BatchResult) error {
+func (e *Executor) decodeBatchResultLocked(payload []byte, out []core.BatchResult, ctx *core.Ctx, traced bool) error {
 	r := &preader{buf: payload}
 	n := int(r.uvarint())
 	if r.err == nil && n != len(out) {
@@ -411,6 +452,9 @@ func (e *Executor) decodeBatchResultLocked(payload []byte, out []core.BatchResul
 			e.destroyLocked()
 			return core.NewFault(core.FaultProtocol, "invoke", r.err)
 		}
+	}
+	if traced {
+		e.mergeChildSpansLocked(ctx, r)
 	}
 	return nil
 }

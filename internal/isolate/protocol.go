@@ -49,6 +49,7 @@ const (
 	msgPong                        // none (health check reply)
 	msgInvokeBatch                 // n, arity, n*arity values (one crossing)
 	msgResultBatch                 // n, per row: status byte + value | error string
+	msgTraceCtx                    // trace id, parent span id (precedes a traced invoke)
 )
 
 // Callback operation codes inside msgCallback frames.

@@ -127,6 +127,9 @@ func startSupervised(sup Supervision, setup func(*Executor) error) (*Executor, e
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			cRestarts.Inc()
+			obs.Logger().Warn("restarting UDF executor",
+				"component", "isolate", "attempt", attempt,
+				"max_restarts", sup.MaxRestarts, "backoff", backoff, "error", err)
 			time.Sleep(backoff)
 			backoff *= 2
 		}

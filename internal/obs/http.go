@@ -2,23 +2,43 @@ package obs
 
 import (
 	"net/http"
+	"net/http/pprof"
 )
 
 // Handler serves the registry in Prometheus text format. It answers
 // any path, so it can back a bare listener or be mounted at /metrics.
+// Scrapes of the Default registry refresh the runtime gauges first, so
+// goroutine/heap/GC-pause series are current per scrape.
 func Handler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r == Default {
+			CaptureRuntime()
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
 	})
 }
 
 // Serve starts an HTTP listener on addr exposing the registry at
-// /metrics (and at /, for convenience). It returns the error from
+// /metrics (and at /, for convenience) plus the Go profiling endpoints
+// under /debug/pprof/ — CPU/heap/goroutine profiles on the same port
+// operators already scrape. It returns the error from
 // http.ListenAndServe; callers normally run it on its own goroutine.
 func Serve(addr string, r *Registry) error {
 	mux := http.NewServeMux()
 	mux.Handle("/", Handler(r))
 	mux.Handle("/metrics", Handler(r))
+	RegisterPprof(mux)
 	return http.ListenAndServe(addr, mux)
+}
+
+// RegisterPprof mounts the net/http/pprof handlers on mux under
+// /debug/pprof/ (exported so embedders serving their own mux get the
+// same profiling surface).
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"log/slog"
+	"os"
+	"sync/atomic"
+)
+
+// The process-wide structured logger: the engine's startup/recovery
+// notices, executor supervision events and the slow-query log all share
+// it (and therefore one handler/format). Defaults to slog text on
+// stderr; embedding programs swap it with SetLogger.
+var logger atomic.Pointer[slog.Logger]
+
+func init() {
+	logger.Store(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+}
+
+// Logger returns the shared structured logger. Never nil.
+func Logger() *slog.Logger { return logger.Load() }
+
+// SetLogger replaces the shared structured logger (nil restores the
+// default stderr text handler).
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	logger.Store(l)
+}

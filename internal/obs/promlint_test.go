@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampleRe matches one sample line of the text exposition format:
+// metric name, optional label set, space, numeric value.
+var sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9]+(\.[0-9]+)?([eE][-+]?[0-9]+)?|[-+]?Inf|NaN)$`)
+
+// lintExposition applies promtool-style checks to a rendered registry:
+// every line is a TYPE comment or a well-formed sample, each family has
+// exactly one TYPE line that precedes all of its samples, histogram
+// buckets are cumulative and end in a +Inf bucket equal to _count, and
+// no sample identity repeats.
+func lintExposition(t *testing.T, text string) {
+	t.Helper()
+	typed := map[string]string{} // family -> declared type
+	familySeen := map[string]bool{}
+	seenLine := map[string]bool{}
+	type histState struct {
+		prev   int64
+		le     []string
+		counts []int64
+		count  int64
+		gotCnt bool
+	}
+	hists := map[string]*histState{} // full series identity (name+shared labels)
+
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE comment: %q", ln+1, line)
+			}
+			fam, typ := parts[2], parts[3]
+			if _, dup := typed[fam]; dup {
+				t.Fatalf("line %d: duplicate TYPE for family %s", ln+1, fam)
+			}
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("line %d: unknown metric type %q", ln+1, typ)
+			}
+			if familySeen[fam] {
+				t.Fatalf("line %d: TYPE for %s appears after its samples", ln+1, fam)
+			}
+			typed[fam] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: not a valid sample line: %q", ln+1, line)
+		}
+		name, labels, valText := m[1], m[2], m[3]
+		identity := name + labels
+		if seenLine[identity] {
+			t.Fatalf("line %d: duplicate sample %s", ln+1, identity)
+		}
+		seenLine[identity] = true
+
+		fam := name
+		suffix := ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, s); base != name && typed[base] == "histogram" {
+				fam, suffix = base, s
+				break
+			}
+		}
+		typ, ok := typed[fam]
+		if !ok {
+			t.Fatalf("line %d: sample %s has no preceding TYPE", ln+1, name)
+		}
+		familySeen[fam] = true
+
+		if typ != "histogram" {
+			continue
+		}
+		// Histogram families: track bucket monotonicity and the
+		// +Inf == _count invariant per labelled series.
+		shared := labels
+		switch suffix {
+		case "_bucket":
+			le := ""
+			rest := []string{}
+			for _, kv := range strings.Split(strings.Trim(labels, "{}"), ",") {
+				if v, isLe := strings.CutPrefix(kv, `le="`); isLe {
+					le = strings.TrimSuffix(v, `"`)
+				} else if kv != "" {
+					rest = append(rest, kv)
+				}
+			}
+			if le == "" {
+				t.Fatalf("line %d: bucket sample without le label: %q", ln+1, line)
+			}
+			shared = strings.Join(rest, ",")
+			h := hists[fam+"{"+shared+"}"]
+			if h == nil {
+				h = &histState{}
+				hists[fam+"{"+shared+"}"] = h
+			}
+			v, err := strconv.ParseInt(valText, 10, 64)
+			if err != nil {
+				t.Fatalf("line %d: bucket value %q: %v", ln+1, valText, err)
+			}
+			if v < h.prev {
+				t.Fatalf("line %d: bucket counts not cumulative: %d after %d", ln+1, v, h.prev)
+			}
+			if le != "+Inf" {
+				if _, err := strconv.ParseFloat(le, 64); err != nil {
+					t.Fatalf("line %d: unparsable le=%q", ln+1, le)
+				}
+			}
+			h.prev = v
+			h.le = append(h.le, le)
+			h.counts = append(h.counts, v)
+		case "_count":
+			h := hists[fam+"{"+strings.Trim(shared, "{}")+"}"]
+			if shared == "" {
+				h = hists[fam+"{}"]
+			}
+			if h == nil {
+				t.Fatalf("line %d: %s_count with no buckets", ln+1, fam)
+			}
+			v, err := strconv.ParseInt(valText, 10, 64)
+			if err != nil {
+				t.Fatalf("line %d: count value %q: %v", ln+1, valText, err)
+			}
+			h.count = v
+			h.gotCnt = true
+		}
+	}
+
+	for id, h := range hists {
+		if len(h.le) == 0 || h.le[len(h.le)-1] != "+Inf" {
+			t.Fatalf("histogram %s: last bucket le=%v, want +Inf", id, h.le)
+		}
+		if !h.gotCnt {
+			t.Fatalf("histogram %s: missing _count sample", id)
+		}
+		if inf := h.counts[len(h.counts)-1]; inf != h.count {
+			t.Fatalf("histogram %s: +Inf bucket %d != _count %d", id, inf, h.count)
+		}
+	}
+	if len(hists) == 0 {
+		t.Fatal("lint saw no histogram series; exposition incomplete")
+	}
+}
+
+func TestPrometheusExpositionLint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lint_requests_total", "verb", "select", "status", "ok").Add(3)
+	r.Counter("lint_requests_total", "verb", "insert", "status", "error").Inc()
+	r.Gauge("lint_goroutines").Set(12)
+	h := r.Histogram("lint_latency_seconds", "verb", "select")
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	r.Histogram("lint_latency_seconds", "verb", "insert").Observe(time.Second)
+	vh := r.ValueHistogram("lint_batch_rows")
+	for _, v := range []int64{1, 8, 64, 100000} {
+		vh.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	lintExposition(t, b.String())
+}
+
+// TestDefaultRegistryLint lints the real process-wide registry — the
+// exact bytes /metrics serves — after refreshing the runtime gauges.
+func TestDefaultRegistryLint(t *testing.T) {
+	CaptureRuntime()
+	Default.Histogram("predator_stmt_seconds", "verb", "select").Observe(time.Millisecond)
+	var b strings.Builder
+	if err := Default.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	lintExposition(t, b.String())
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Go runtime gauges and the GC pause histogram, refreshed on demand by
+// CaptureRuntime (the /metrics handler calls it per scrape, so the
+// cost — one ReadMemStats — is paid by the scraper, not the hot path).
+var (
+	gGoroutines  = Default.Gauge("predator_go_goroutines")
+	gHeapAlloc   = Default.Gauge("predator_go_heap_alloc_bytes")
+	gHeapSys     = Default.Gauge("predator_go_heap_sys_bytes")
+	gHeapObjects = Default.Gauge("predator_go_heap_objects")
+	cGCCycles    = Default.Counter("predator_go_gc_cycles_total")
+	hGCPause     = Default.Histogram("predator_go_gc_pause_seconds")
+
+	runtimeMu sync.Mutex
+	lastNumGC uint32
+	lastGCTot int64
+)
+
+// CaptureRuntime refreshes the runtime gauges (goroutines, heap) in the
+// Default registry and folds GC pauses observed since the previous call
+// into the pause histogram.
+func CaptureRuntime() {
+	runtimeMu.Lock()
+	defer runtimeMu.Unlock()
+	gGoroutines.Set(int64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gHeapAlloc.Set(int64(ms.HeapAlloc))
+	gHeapSys.Set(int64(ms.HeapSys))
+	gHeapObjects.Set(int64(ms.HeapObjects))
+	cGCCycles.Add(int64(ms.NumGC) - lastGCTot)
+	lastGCTot = int64(ms.NumGC)
+	// PauseNs is a ring of the last 256 pauses indexed by NumGC; replay
+	// only the cycles completed since the previous capture.
+	newCycles := ms.NumGC - lastNumGC
+	if newCycles > uint32(len(ms.PauseNs)) {
+		newCycles = uint32(len(ms.PauseNs))
+	}
+	for i := uint32(0); i < newCycles; i++ {
+		idx := (ms.NumGC - i + uint32(len(ms.PauseNs)) - 1) % uint32(len(ms.PauseNs))
+		hGCPause.Observe(time.Duration(ms.PauseNs[idx]))
+	}
+	lastNumGC = ms.NumGC
+}

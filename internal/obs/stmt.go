@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// StatementRegistry aggregates per-statement execution statistics keyed
+// by normalized query fingerprint — the pg_stat_statements idea. Two
+// executions of the same statement shape with different literals land
+// in one entry. Entries are backed by metrics in a Registry (latency
+// histogram plus rows/crossings/WAL-bytes counters labelled by
+// fingerprint), so the /metrics endpoint surfaces them with no extra
+// plumbing; Snapshot serves SHOW STATEMENTS.
+//
+// The fingerprint space is capped: once maxEntries distinct shapes have
+// been seen, new shapes count into an overflow counter instead of
+// allocating unbounded label cardinality.
+type StatementRegistry struct {
+	reg        *Registry
+	maxEntries int
+
+	mu       sync.Mutex
+	entries  map[string]*stmtEntry
+	overflow *Counter
+}
+
+type stmtEntry struct {
+	fingerprint string
+	hist        *Histogram
+	rows        *Counter
+	crossings   *Counter
+	walBytes    *Counter
+}
+
+// defaultMaxStatements caps distinct fingerprints tracked per process.
+const defaultMaxStatements = 500
+
+// Statements is the process-wide statement-statistics registry, backed
+// by the Default metrics registry.
+var Statements = NewStatementRegistry(Default, defaultMaxStatements)
+
+// NewStatementRegistry builds a statement-statistics registry backed by
+// reg, tracking at most maxEntries distinct fingerprints (<=0 uses the
+// default cap).
+func NewStatementRegistry(reg *Registry, maxEntries int) *StatementRegistry {
+	if maxEntries <= 0 {
+		maxEntries = defaultMaxStatements
+	}
+	return &StatementRegistry{
+		reg:        reg,
+		maxEntries: maxEntries,
+		entries:    make(map[string]*stmtEntry),
+		overflow:   reg.Counter("predator_statements_overflow_total"),
+	}
+}
+
+// Record folds one statement execution into its fingerprint's entry.
+func (s *StatementRegistry) Record(fingerprint string, d time.Duration, rows, crossings, walBytes int64) {
+	if s == nil || fingerprint == "" {
+		return
+	}
+	s.mu.Lock()
+	e, ok := s.entries[fingerprint]
+	if !ok {
+		if len(s.entries) >= s.maxEntries {
+			s.mu.Unlock()
+			s.overflow.Inc()
+			return
+		}
+		e = &stmtEntry{
+			fingerprint: fingerprint,
+			hist:        s.reg.Histogram("predator_statement_seconds", "fingerprint", fingerprint),
+			rows:        s.reg.Counter("predator_statement_rows_total", "fingerprint", fingerprint),
+			crossings:   s.reg.Counter("predator_statement_udf_crossings_total", "fingerprint", fingerprint),
+			walBytes:    s.reg.Counter("predator_statement_wal_bytes_total", "fingerprint", fingerprint),
+		}
+		s.entries[fingerprint] = e
+	}
+	s.mu.Unlock()
+	e.hist.Observe(d)
+	e.rows.Add(rows)
+	e.crossings.Add(crossings)
+	e.walBytes.Add(walBytes)
+}
+
+// StatementStat is one fingerprint's aggregate, for SHOW STATEMENTS.
+type StatementStat struct {
+	Fingerprint string
+	Calls       int64
+	Total       time.Duration
+	Mean        time.Duration
+	P50         time.Duration
+	P99         time.Duration
+	Rows        int64
+	Crossings   int64
+	WALBytes    int64
+}
+
+// Snapshot returns every tracked fingerprint's aggregate, sorted by
+// total time descending (the shapes that dominate come first).
+func (s *StatementRegistry) Snapshot() []StatementStat {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	entries := make([]*stmtEntry, 0, len(s.entries))
+	for _, e := range s.entries {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	out := make([]StatementStat, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, StatementStat{
+			Fingerprint: e.fingerprint,
+			Calls:       e.hist.Count(),
+			Total:       e.hist.Sum(),
+			Mean:        e.hist.Mean(),
+			P50:         e.hist.Quantile(0.50),
+			P99:         e.hist.Quantile(0.99),
+			Rows:        e.rows.Value(),
+			Crossings:   e.crossings.Value(),
+			WALBytes:    e.walBytes.Value(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
+}

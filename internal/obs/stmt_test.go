@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStatementRegistryAggregates(t *testing.T) {
+	reg := NewRegistry()
+	sr := NewStatementRegistry(reg, 10)
+	fp := "SELECT price FROM stocks WHERE id < ?"
+	sr.Record(fp, 10*time.Millisecond, 3, 1, 128)
+	sr.Record(fp, 30*time.Millisecond, 5, 2, 0)
+	sr.Record("SELECT ?", time.Millisecond, 1, 0, 0)
+
+	snap := sr.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("want 2 fingerprints, got %d: %+v", len(snap), snap)
+	}
+	// Sorted by total time descending: the two-call entry dominates.
+	top := snap[0]
+	if top.Fingerprint != fp {
+		t.Fatalf("top fingerprint = %q, want %q", top.Fingerprint, fp)
+	}
+	if top.Calls != 2 {
+		t.Fatalf("calls = %d, want 2", top.Calls)
+	}
+	if top.Total != 40*time.Millisecond {
+		t.Fatalf("total = %v, want 40ms", top.Total)
+	}
+	if top.Rows != 8 || top.Crossings != 3 || top.WALBytes != 128 {
+		t.Fatalf("rows/crossings/wal = %d/%d/%d, want 8/3/128",
+			top.Rows, top.Crossings, top.WALBytes)
+	}
+	if top.Mean != 20*time.Millisecond {
+		t.Fatalf("mean = %v, want 20ms", top.Mean)
+	}
+
+	// The backing metrics surface on the registry's exposition too.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `predator_statement_rows_total{fingerprint="SELECT price FROM stocks WHERE id < ?"} 8`) {
+		t.Fatalf("statement rows counter missing from exposition:\n%s", b.String())
+	}
+}
+
+func TestStatementRegistryCap(t *testing.T) {
+	reg := NewRegistry()
+	sr := NewStatementRegistry(reg, 2)
+	sr.Record("A", time.Millisecond, 0, 0, 0)
+	sr.Record("B", time.Millisecond, 0, 0, 0)
+	sr.Record("C", time.Millisecond, 0, 0, 0) // over the cap: dropped
+	sr.Record("A", time.Millisecond, 0, 0, 0) // existing entries still record
+	if n := len(sr.Snapshot()); n != 2 {
+		t.Fatalf("tracked fingerprints = %d, want cap 2", n)
+	}
+	if v := reg.Counter("predator_statements_overflow_total").Value(); v != 1 {
+		t.Fatalf("overflow counter = %d, want 1", v)
+	}
+	for _, s := range sr.Snapshot() {
+		if s.Fingerprint == "A" && s.Calls != 2 {
+			t.Fatalf("capped registry stopped recording existing entry: calls=%d", s.Calls)
+		}
+	}
+}

@@ -1,10 +1,14 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"os"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,21 +18,62 @@ import (
 // callbacks) as counted events instead of one span per occurrence, so
 // tracing a 10,000-row scan costs a few map updates, not 10,000
 // allocations.
+//
+// Detailed tracing (EnableDetail) is the opt-in second gear used by
+// EXPLAIN ANALYZE and SET TRACE: spans get IDs and parent links,
+// executor processes ship their own spans back across the wire (merged
+// in via Merge), and the whole hierarchy can be exported as a Chrome
+// trace-event JSON file (WriteChrome) loadable in chrome://tracing or
+// Perfetto. Ordinary statements never pay for any of it.
 type Trace struct {
 	mu     sync.Mutex
+	id     int64
+	t0     time.Time
+	nextID int64
 	spans  []*Span
 	events map[string]*Event
 	order  []string
+
+	detailed atomic.Bool
+
+	// remote holds spans merged from other processes (executor
+	// children), capped so a pathological child cannot balloon the
+	// parent's memory; overflow still counts into the events aggregate.
+	remote        []SpanRecord
+	remoteDropped int64
 }
+
+// maxRemoteSpans bounds how many merged child spans one trace retains.
+const maxRemoteSpans = 8192
+
+// traceIDs hands out process-unique trace identifiers.
+var traceIDs atomic.Int64
 
 // Span is one timed phase of a traced statement.
 type Span struct {
-	Name  string
-	start time.Time
-	tr    *Trace
+	Name   string
+	ID     int64
+	Parent int64
+	start  time.Time
+	tr     *Trace
 
-	mu sync.Mutex
-	d  time.Duration
+	mu    sync.Mutex
+	ended bool
+	d     time.Duration
+}
+
+// SpanRecord is the portable form of a completed (or still-open) span:
+// what crosses process boundaries and what WriteChrome exports.
+type SpanRecord struct {
+	ID     int64
+	Parent int64
+	Name   string
+	Start  time.Time
+	Dur    time.Duration
+	// PID is the OS process the span was recorded in (0 = this process).
+	PID int
+	// Open marks a span that had not ended when the snapshot was taken.
+	Open bool
 }
 
 // Event aggregates repeated occurrences of the same operation within
@@ -41,24 +86,72 @@ type Event struct {
 
 // NewTrace starts an empty trace.
 func NewTrace() *Trace {
-	return &Trace{events: make(map[string]*Event)}
+	return &Trace{
+		id:     traceIDs.Add(1),
+		t0:     time.Now(),
+		events: make(map[string]*Event),
+	}
 }
 
-// Start opens a named span. End it with Span.End; an unended span
-// reports zero duration.
+// ID returns the process-unique trace identifier (0 for a nil trace).
+func (t *Trace) ID() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// EnableDetail switches the trace into detailed mode: span hierarchies,
+// cross-process span propagation and Chrome export. Nil-safe.
+func (t *Trace) EnableDetail() {
+	if t != nil {
+		t.detailed.Store(true)
+	}
+}
+
+// Detailed reports whether detailed tracing is on. Nil-safe, so hot
+// paths can gate their instrumentation on it unconditionally.
+func (t *Trace) Detailed() bool {
+	return t != nil && t.detailed.Load()
+}
+
+// Start opens a named top-level span. End it with Span.End; an unended
+// span renders as "(running)".
 func (t *Trace) Start(name string) *Span {
-	sp := &Span{Name: name, start: time.Now(), tr: t}
+	return t.startSpan(name, 0)
+}
+
+// StartChild opens a span nested under parent (nil parent = top level).
+func (t *Trace) StartChild(name string, parent *Span) *Span {
+	var pid int64
+	if parent != nil {
+		pid = parent.ID
+	}
+	return t.startSpan(name, pid)
+}
+
+func (t *Trace) startSpan(name string, parent int64) *Span {
+	if t == nil {
+		return &Span{Name: name, start: time.Now()}
+	}
 	t.mu.Lock()
+	t.nextID++
+	sp := &Span{Name: name, ID: t.nextID, Parent: parent, start: time.Now(), tr: t}
 	t.spans = append(t.spans, sp)
 	t.mu.Unlock()
 	return sp
 }
 
-// End closes the span, fixing its duration. Safe to call once.
+// End closes the span, fixing its duration. Idempotent: the first End
+// wins and later calls are no-ops, so defer-and-explicit-End patterns
+// cannot silently stretch a recorded duration.
 func (s *Span) End() {
 	d := time.Since(s.start)
 	s.mu.Lock()
-	s.d = d
+	if !s.ended {
+		s.ended = true
+		s.d = d
+	}
 	s.mu.Unlock()
 }
 
@@ -69,6 +162,27 @@ func (s *Span) Duration() time.Duration {
 	return s.d
 }
 
+// Ended reports whether End has been called.
+func (s *Span) Ended() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ended
+}
+
+// record snapshots the span for export.
+func (s *Span) record() SpanRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.d
+	if !s.ended {
+		d = time.Since(s.start)
+	}
+	return SpanRecord{
+		ID: s.ID, Parent: s.Parent, Name: s.Name,
+		Start: s.start, Dur: d, Open: !s.ended,
+	}
+}
+
 // Event adds one occurrence of a named repeated operation. A nil trace
 // is a no-op, so instrumented code can call unconditionally.
 func (t *Trace) Event(name string, d time.Duration) {
@@ -76,6 +190,11 @@ func (t *Trace) Event(name string, d time.Duration) {
 		return
 	}
 	t.mu.Lock()
+	t.eventLocked(name, d)
+	t.mu.Unlock()
+}
+
+func (t *Trace) eventLocked(name string, d time.Duration) {
 	ev, ok := t.events[name]
 	if !ok {
 		ev = &Event{Name: name}
@@ -84,7 +203,56 @@ func (t *Trace) Event(name string, d time.Duration) {
 	}
 	ev.Count++
 	ev.Total += d
-	t.mu.Unlock()
+}
+
+// AddSpan appends an already-measured span (a batch window, an operator
+// lifetime) to the trace, assigning it a fresh ID. It only records when
+// detailed tracing is on; the return is the assigned ID (0 if dropped).
+func (t *Trace) AddSpan(rec SpanRecord) int64 {
+	if !t.Detailed() {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	rec.ID = t.nextID
+	if len(t.remote) < maxRemoteSpans {
+		t.remote = append(t.remote, rec)
+	} else {
+		t.remoteDropped++
+	}
+	return rec.ID
+}
+
+// Merge folds spans recorded in another process into the trace. Span
+// IDs are remapped into this trace's ID space (parent links inside the
+// batch are preserved; a parent of 0 means top level). Every merged
+// span also counts into the events aggregate under its name, so Render
+// surfaces child-side work even when the span cap truncates the list.
+func (t *Trace) Merge(recs []SpanRecord, pid int) {
+	if t == nil || len(recs) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idMap := make(map[int64]int64, len(recs))
+	for _, r := range recs {
+		t.nextID++
+		idMap[r.ID] = t.nextID
+		r.ID = t.nextID
+		if mapped, ok := idMap[r.Parent]; ok {
+			r.Parent = mapped
+		} else {
+			r.Parent = 0
+		}
+		r.PID = pid
+		if len(t.remote) < maxRemoteSpans {
+			t.remote = append(t.remote, r)
+		} else {
+			t.remoteDropped++
+		}
+		t.eventLocked(r.Name, r.Dur)
+	}
 }
 
 // SpanDuration returns the duration of the first span with the given
@@ -117,8 +285,26 @@ func (t *Trace) Events() []Event {
 	return out
 }
 
+// Spans snapshots every span in the trace — local phase spans first,
+// then merged/added ones — as portable records.
+func (t *Trace) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	local := append([]*Span(nil), t.spans...)
+	remote := append([]SpanRecord(nil), t.remote...)
+	t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(local)+len(remote))
+	for _, sp := range local {
+		out = append(out, sp.record())
+	}
+	return append(out, remote...)
+}
+
 // Render formats the trace for human consumption (the EXPLAIN ANALYZE
 // footer): one line per phase span, then one per aggregated event.
+// Spans still open when rendered are marked "(running)".
 func (t *Trace) Render() string {
 	if t == nil {
 		return ""
@@ -128,6 +314,10 @@ func (t *Trace) Render() string {
 	t.mu.Unlock()
 	var b strings.Builder
 	for _, sp := range spans {
+		if !sp.Ended() {
+			fmt.Fprintf(&b, "%s: (running)\n", sp.Name)
+			continue
+		}
 		fmt.Fprintf(&b, "%s: %s\n", sp.Name, sp.Duration().Round(time.Microsecond))
 	}
 	evs := t.Events()
@@ -141,4 +331,93 @@ func (t *Trace) Render() string {
 			ev.Name, ev.Count, ev.Total.Round(time.Microsecond), mean.Round(time.Nanosecond))
 	}
 	return b.String()
+}
+
+// Summary renders the trace as one compact line for the slow-query log:
+// phase spans, then the top events by total time.
+func (t *Trace) Summary() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.spans...)
+	t.mu.Unlock()
+	parts := make([]string, 0, len(spans)+3)
+	for _, sp := range spans {
+		if !sp.Ended() {
+			parts = append(parts, sp.Name+"=(running)")
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s=%s", sp.Name, sp.Duration().Round(time.Microsecond)))
+	}
+	evs := t.Events()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Total > evs[j].Total })
+	if len(evs) > 3 {
+		evs = evs[:3]
+	}
+	for _, ev := range evs {
+		parts = append(parts, fmt.Sprintf("%s=%dx/%s", ev.Name, ev.Count, ev.Total.Round(time.Microsecond)))
+	}
+	return strings.Join(parts, " ")
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (the "JSON Array Format" both chrome://tracing and Perfetto load).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChrome exports the trace in Chrome trace-event JSON: one
+// complete ("ph":"X") event per span, with the recording process as the
+// event's pid, so a cross-process query renders as two process tracks
+// in chrome://tracing / Perfetto. Timestamps are wall-clock
+// microseconds; parent and child run on the same machine, so their
+// tracks align without clock translation.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: nil trace")
+	}
+	self := os.Getpid()
+	recs := t.Spans()
+	events := make([]chromeEvent, 0, len(recs))
+	for _, r := range recs {
+		pid := r.PID
+		if pid == 0 {
+			pid = self
+		}
+		ev := chromeEvent{
+			Name: r.Name,
+			Cat:  "predator",
+			Ph:   "X",
+			TS:   float64(r.Start.UnixNano()) / 1e3,
+			Dur:  float64(r.Dur.Nanoseconds()) / 1e3,
+			PID:  pid,
+			TID:  1,
+		}
+		if r.Open {
+			ev.Args = map[string]string{"open": "true"}
+		}
+		events = append(events, ev)
+	}
+	t.mu.Lock()
+	dropped := t.remoteDropped
+	id := t.id
+	t.mu.Unlock()
+	doc := struct {
+		TraceEvents []chromeEvent     `json:"traceEvents"`
+		Metadata    map[string]string `json:"metadata,omitempty"`
+	}{TraceEvents: events}
+	doc.Metadata = map[string]string{"trace_id": fmt.Sprintf("%d", id)}
+	if dropped > 0 {
+		doc.Metadata["dropped_spans"] = fmt.Sprintf("%d", dropped)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
 }

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTrace()
+	sp := tr.Start("phase")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	first := sp.Duration()
+	if first <= 0 {
+		t.Fatalf("duration after End = %v, want > 0", first)
+	}
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	if got := sp.Duration(); got != first {
+		t.Fatalf("second End changed duration: %v != %v", got, first)
+	}
+}
+
+func TestRenderMarksOpenSpans(t *testing.T) {
+	tr := NewTrace()
+	tr.Start("stuck")
+	done := tr.Start("done")
+	done.End()
+	out := tr.Render()
+	if !strings.Contains(out, "stuck: (running)") {
+		t.Fatalf("Render missing open-span marker:\n%s", out)
+	}
+	if strings.Contains(out, "done: (running)") {
+		t.Fatalf("Render marked an ended span as running:\n%s", out)
+	}
+	if !strings.Contains(tr.Summary(), "stuck=(running)") {
+		t.Fatalf("Summary missing open-span marker: %q", tr.Summary())
+	}
+}
+
+func TestMergeRemapsSpanIDs(t *testing.T) {
+	tr := NewTrace()
+	tr.EnableDetail()
+	local := tr.Start("parent-side") // occupies ID 1 in the parent's space
+	local.End()
+
+	// Child-local IDs deliberately collide with the parent's.
+	recs := []SpanRecord{
+		{ID: 1, Parent: 0, Name: "child/invoke", Dur: 5 * time.Millisecond},
+		{ID: 2, Parent: 1, Name: "child/vm_exec", Dur: 2 * time.Millisecond},
+		{ID: 3, Parent: 99, Name: "child/orphan", Dur: time.Millisecond},
+	}
+	tr.Merge(recs, 4242)
+
+	spans := tr.Spans()
+	byName := map[string]SpanRecord{}
+	for _, r := range spans {
+		byName[r.Name] = r
+	}
+	inv, vm, orphan := byName["child/invoke"], byName["child/vm_exec"], byName["child/orphan"]
+	if inv.ID == 1 {
+		t.Fatalf("merged span kept child-local ID 1; want remapped")
+	}
+	if vm.Parent != inv.ID {
+		t.Fatalf("child/vm_exec parent = %d, want remapped invoke ID %d", vm.Parent, inv.ID)
+	}
+	if orphan.Parent != 0 {
+		t.Fatalf("unmapped parent should remap to 0, got %d", orphan.Parent)
+	}
+	for _, r := range []SpanRecord{inv, vm, orphan} {
+		if r.PID != 4242 {
+			t.Fatalf("merged span %q PID = %d, want 4242", r.Name, r.PID)
+		}
+	}
+	// Merged spans also count into the events aggregate.
+	var sawInvoke bool
+	for _, ev := range tr.Events() {
+		if ev.Name == "child/invoke" && ev.Count == 1 && ev.Total == 5*time.Millisecond {
+			sawInvoke = true
+		}
+	}
+	if !sawInvoke {
+		t.Fatalf("merged span missing from events: %+v", tr.Events())
+	}
+}
+
+func TestAddSpanRequiresDetail(t *testing.T) {
+	tr := NewTrace()
+	if id := tr.AddSpan(SpanRecord{Name: "batch/window"}); id != 0 {
+		t.Fatalf("AddSpan on non-detailed trace returned %d, want 0", id)
+	}
+	if n := len(tr.Spans()); n != 0 {
+		t.Fatalf("non-detailed trace retained %d spans", n)
+	}
+	tr.EnableDetail()
+	if id := tr.AddSpan(SpanRecord{Name: "batch/window"}); id == 0 {
+		t.Fatal("AddSpan on detailed trace returned 0")
+	}
+}
+
+func TestWriteChromeCrossProcess(t *testing.T) {
+	tr := NewTrace()
+	tr.EnableDetail()
+	sp := tr.Start("execute")
+	sp.End()
+	tr.Merge([]SpanRecord{
+		{ID: 1, Name: "child/invoke", Start: time.Now(), Dur: time.Millisecond},
+	}, 777)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+		} `json:"traceEvents"`
+		Metadata map[string]string `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) < 2 {
+		t.Fatalf("want >= 2 trace events, got %d", len(doc.TraceEvents))
+	}
+	pids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q has ph=%q, want complete event \"X\"", ev.Name, ev.Ph)
+		}
+		pids[ev.PID] = true
+	}
+	if !pids[os.Getpid()] || !pids[777] {
+		t.Fatalf("want events from both processes (self=%d and 777), got pids %v", os.Getpid(), pids)
+	}
+	if doc.Metadata["trace_id"] == "" {
+		t.Fatal("Chrome trace missing trace_id metadata")
+	}
+}

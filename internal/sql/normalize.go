@@ -1,0 +1,37 @@
+package sql
+
+import "strings"
+
+// Normalize reduces a SQL statement to its fingerprint — the statement
+// shape with literals stripped — so executions that differ only in
+// constants aggregate under one SHOW STATEMENTS entry
+// (pg_stat_statements-style). It re-lexes the text, replaces every
+// literal token (integers, floats, strings, hex bytes) with '?',
+// upper-cases keywords and joins tokens with single spaces. Text that
+// does not lex returns trimmed-and-collapsed as-is, so even unparsable
+// statements fingerprint deterministically.
+func Normalize(text string) string {
+	toks, err := lexSQL(text)
+	if err != nil {
+		return strings.Join(strings.Fields(text), " ")
+	}
+	var b strings.Builder
+	b.Grow(len(text))
+	for _, t := range toks {
+		if t.kind == tkEOF {
+			break
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		switch t.kind {
+		case tkInt, tkFloat, tkString, tkBytes:
+			b.WriteByte('?')
+		case tkKeyword:
+			b.WriteString(t.text) // already upper-cased by the lexer
+		default:
+			b.WriteString(t.text)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,54 @@
+package sql
+
+import "testing"
+
+func TestNormalizeFingerprint(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{
+			"select price from stocks where id < 10",
+			"SELECT price FROM stocks WHERE id < ?",
+		},
+		{
+			"SELECT   price\n\tFROM stocks WHERE id < 99",
+			"SELECT price FROM stocks WHERE id < ?",
+		},
+		{
+			"insert into t values (1, 2.5, 'abc')",
+			"INSERT INTO t VALUES ( ? , ? , ? )",
+		},
+		{
+			"-- comment\nselect 1",
+			"SELECT ?",
+		},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// Executions differing only in literals must share one fingerprint;
+// different shapes must not.
+func TestNormalizeAggregatesLiterals(t *testing.T) {
+	a := Normalize("SELECT price FROM stocks WHERE id < 1")
+	b := Normalize("select price from stocks where id < 2000")
+	if a != b {
+		t.Fatalf("literal variants split: %q vs %q", a, b)
+	}
+	c := Normalize("SELECT sym FROM stocks WHERE id < 1")
+	if a == c {
+		t.Fatalf("distinct shapes collapsed: %q", a)
+	}
+}
+
+func TestNormalizeUnlexable(t *testing.T) {
+	// An unterminated string does not lex; the fallback collapses
+	// whitespace so even broken statements fingerprint deterministically.
+	got := Normalize("select  'oops\n from t")
+	if got != "select 'oops from t" {
+		t.Fatalf("fallback fingerprint = %q", got)
+	}
+}

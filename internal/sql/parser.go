@@ -414,8 +414,10 @@ func (p *sqlParser) showStmt() (Statement, error) {
 		return &Show{What: "functions"}, nil
 	case p.accept(tkKeyword, "STATS"):
 		return &Show{What: "stats"}, nil
+	case p.accept(tkKeyword, "STATEMENTS"):
+		return &Show{What: "statements"}, nil
 	default:
-		return nil, p.errHere("expected TABLES, FUNCTIONS or STATS after SHOW")
+		return nil, p.errHere("expected TABLES, FUNCTIONS, STATS or STATEMENTS after SHOW")
 	}
 }
 

@@ -32,6 +32,7 @@
 package predator
 
 import (
+	"log/slog"
 	"net/http"
 	"time"
 
@@ -212,6 +213,25 @@ func WithDurability(mode string) Option {
 func WithCheckpointBytes(n int64) Option {
 	return func(o *engine.Options) { o.CheckpointBytes = n }
 }
+
+// WithTraceDir enables SET TRACE = 'on' for sessions: each traced
+// statement exports a Chrome trace-event JSON file (loadable in
+// chrome://tracing or Perfetto) into dir. Sessions can always SET TRACE
+// to an explicit file path, with or without this option.
+func WithTraceDir(dir string) Option {
+	return func(o *engine.Options) { o.TraceDir = dir }
+}
+
+// WithSlowQueryThreshold emits a structured log entry (see
+// SetStructuredLogger) for every statement slower than d (0 disables).
+func WithSlowQueryThreshold(d time.Duration) Option {
+	return func(o *engine.Options) { o.SlowQuery = d }
+}
+
+// SetStructuredLogger routes the engine's structured logs — slow
+// queries, crash recovery, executor restarts — to l (nil restores the
+// default stderr text handler). Process-wide, like the metrics registry.
+func SetStructuredLogger(l *slog.Logger) { obs.SetLogger(l) }
 
 // Open opens (or creates) a database file.
 func Open(path string, opts ...Option) (*DB, error) {
