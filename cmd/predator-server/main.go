@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -43,6 +44,15 @@ func main() {
 		traceDir = flag.String("trace-dir", "", "directory for Chrome trace-event JSON exports; enables SET TRACE = 'on' (empty = explicit paths only)")
 		slowQ    = flag.Duration("slow-query", 0, "log statements slower than this threshold (0 = disabled)")
 		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+
+		maxConns  = flag.Int("max-conns", 0, "max concurrently connected clients; excess connections are shed with a retryable error (0 = unlimited)")
+		maxQs     = flag.Int("max-queries", 0, "max concurrently executing statements; excess queries are shed with a retryable error (0 = unlimited)")
+		admitWait = flag.Duration("admission-wait", 50*time.Millisecond, "how long an over-admitted query may wait for an execution slot before being shed (only with -max-queries)")
+		maxSess   = flag.Int("max-sessions-per-user", 0, "max concurrently open sessions per user (0 = unlimited)")
+		drainTo   = flag.Duration("drain-timeout", 15*time.Second, "grace for in-flight statements on SIGTERM/SIGINT before connections are cut (0 = immediate)")
+		quotaMem  = flag.Int64("quota-mem", 0, "default per-tenant statement memory ceiling in bytes (0 = unlimited; sessions may SET QUOTA_MEMORY)")
+		quotaCPU  = flag.Duration("quota-cpu", 0, "default per-tenant executor CPU budget per quota window (0 = unlimited; sessions may SET QUOTA_CPU)")
+		quotaWin  = flag.Duration("quota-cpu-window", 0, "window over which -quota-cpu accumulates (0 = 1s)")
 	)
 	flag.Parse()
 
@@ -74,6 +84,11 @@ func main() {
 		predator.WithDurability(*durab),
 		predator.WithTraceDir(*traceDir),
 		predator.WithSlowQueryThreshold(*slowQ),
+		predator.WithTenantQuota(predator.TenantQuota{
+			MemBytes:  *quotaMem,
+			CPUTime:   *quotaCPU,
+			CPUWindow: *quotaWin,
+		}),
 	}
 	if *nojit {
 		opts = append(opts, predator.WithJITDisabled())
@@ -92,9 +107,13 @@ func main() {
 			"bytes", rec.Bytes, "torn_tail", rec.TornTail)
 	}
 	srv := predator.NewServerWith(db, predator.ServerOptions{
-		Logf:             logf,
-		ReadTimeout:      *readTo,
-		StatementTimeout: *stmtTo,
+		Logf:                 logf,
+		ReadTimeout:          *readTo,
+		StatementTimeout:     *stmtTo,
+		MaxConns:             *maxConns,
+		MaxConcurrentQueries: *maxQs,
+		AdmissionWait:        *admitWait,
+		MaxSessionsPerUser:   *maxSess,
 	})
 	addr, err := srv.Listen(*listen)
 	if err != nil {
@@ -116,9 +135,21 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	logger.Info("shutting down", "component", "server")
-	if err := srv.Close(); err != nil {
+	// Graceful drain: stop accepting, let in-flight statements finish
+	// (and their results reach clients) within the grace, then cut the
+	// remaining connections. A second signal skips the grace.
+	logger.Info("draining", "component", "server", "grace", *drainTo)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTo)
+	go func() {
+		<-sig
+		logger.Info("second signal: aborting drain", "component", "server")
+		cancel()
+	}()
+	err = srv.Shutdown(ctx)
+	cancel()
+	if err != nil {
 		logger.Error("shutdown failed", "component", "server", "error", err)
 		os.Exit(1)
 	}
+	logger.Info("shutdown complete", "component", "server")
 }

@@ -4,6 +4,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"predator/internal/isolate"
 )
@@ -196,5 +197,23 @@ func TestAblationJIT(t *testing.T) {
 	}
 	if len(tbl.Rows) != 2 {
 		t.Errorf("rows = %v", tbl.Rows)
+	}
+}
+
+func TestOverloadShedding(t *testing.T) {
+	tbl, err := OverloadShedding(60 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %v", tbl.Rows)
+	}
+	// The shedding-on 16x cell must actually have shed work.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[0] != "on" || last[1] != "16x" {
+		t.Fatalf("unexpected final cell %v", last)
+	}
+	if last[4] == "0" {
+		t.Errorf("16x over-admission with shedding on shed nothing: %v", last)
 	}
 }

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"predator/internal/client"
+	"predator/internal/core"
+	"predator/internal/engine"
+	"predator/internal/server"
+	"predator/internal/types"
+)
+
+// OverloadShedding measures what admission control buys under
+// over-admission: clients at 1x, 4x and 16x the server's concurrent
+// query capacity hammer a small scan, with shedding off (unlimited
+// admission) and on (a bounded gate that refuses excess queries with a
+// retryable error). Reported per cell: acknowledged queries and their
+// throughput, shed count, and the p50/p99 latency of acknowledged
+// results — the number shedding exists to protect.
+func OverloadShedding(perCell time.Duration) (*Table, error) {
+	if perCell <= 0 {
+		perCell = 300 * time.Millisecond
+	}
+	const capacity = 4 // query slots when shedding is on
+	dir, err := os.MkdirTemp("", "predator-overload-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	type cell struct {
+		shedding string
+		factor   int
+		clients  int
+		acked    int
+		shed     int
+		qps      float64
+		p50, p99 time.Duration
+	}
+	var cells []cell
+	for _, shedding := range []bool{false, true} {
+		for _, factor := range []int{1, 4, 16} {
+			label := "off"
+			opts := server.Options{Logf: func(string, ...any) {}}
+			if shedding {
+				label = "on"
+				opts.MaxConcurrentQueries = capacity
+				opts.AdmissionWait = 2 * time.Millisecond
+			}
+			eng, err := engine.Open(filepath.Join(dir, fmt.Sprintf("ov-%s-%d.db", label, factor)), engine.Options{})
+			if err != nil {
+				return nil, err
+			}
+			// Each UDF call blocks briefly (modeling I/O) and then burns
+			// CPU, so a query really occupies its admission slot for the
+			// duration: the round trip alone would never fill the gate,
+			// especially on a single-core host.
+			err = eng.RegisterNative("ovburn", []types.Kind{types.KindInt}, types.KindInt,
+				func(ctx *core.Ctx, args []types.Value) (types.Value, error) {
+					time.Sleep(200 * time.Microsecond)
+					acc := args[0].Int
+					for i := 0; i < 50_000; i++ {
+						acc = acc*1103515245 + 12345
+					}
+					return types.NewInt(acc), nil
+				})
+			if err != nil {
+				eng.Close()
+				return nil, err
+			}
+			srv := server.New(eng, opts)
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				eng.Close()
+				return nil, err
+			}
+			setup, err := client.Dial(addr, "bench")
+			if err != nil {
+				srv.Close()
+				return nil, err
+			}
+			if _, err := setup.Exec("CREATE TABLE ov (id INT, pad STRING)"); err != nil {
+				srv.Close()
+				return nil, err
+			}
+			for i := 0; i < 64; i++ {
+				if _, err := setup.Exec(fmt.Sprintf("INSERT INTO ov VALUES (%d, 'xxxxxxxxxxxxxxxx')", i)); err != nil {
+					srv.Close()
+					return nil, err
+				}
+			}
+			setup.Close()
+
+			clients := capacity * factor
+			var (
+				mu    sync.Mutex
+				lats  []time.Duration
+				shed  int
+				wErrs error
+			)
+			var wg sync.WaitGroup
+			start := time.Now()
+			deadline := start.Add(perCell)
+			for w := 0; w < clients; w++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					cl, err := client.Dial(addr, fmt.Sprintf("w%d", id))
+					if err != nil {
+						mu.Lock()
+						wErrs = err
+						mu.Unlock()
+						return
+					}
+					defer cl.Close()
+					for time.Now().Before(deadline) {
+						t0 := time.Now()
+						_, err := cl.Exec("SELECT ovburn(id) FROM ov WHERE id < 4")
+						d := time.Since(t0)
+						mu.Lock()
+						switch {
+						case err == nil:
+							lats = append(lats, d)
+						case client.IsRetryable(err):
+							shed++
+						default:
+							wErrs = err
+						}
+						mu.Unlock()
+					}
+				}(w)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			srv.Close()
+			if wErrs != nil {
+				return nil, fmt.Errorf("bench: overload worker: %w", wErrs)
+			}
+			if len(lats) == 0 {
+				return nil, fmt.Errorf("bench: overload %sx%d: no query ever acknowledged", label, factor)
+			}
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			cells = append(cells, cell{
+				shedding: label,
+				factor:   factor,
+				clients:  clients,
+				acked:    len(lats),
+				shed:     shed,
+				qps:      float64(len(lats)) / elapsed.Seconds(),
+				p50:      lats[len(lats)/2],
+				p99:      lats[len(lats)*99/100],
+			})
+		}
+	}
+
+	t := &Table{
+		ID:      "overload",
+		Title:   "Overload shedding: acked throughput and latency vs over-admission",
+		Caption: fmt.Sprintf("%v per cell; capacity %d query slots when shedding is on; clients = capacity x factor. Shed queries got a typed retryable error and never executed.", perCell, capacity),
+		Header:  []string{"shedding", "over-admission", "clients", "acked", "shed", "acked qps", "p50", "p99"},
+	}
+	for _, c := range cells {
+		t.Rows = append(t.Rows, []string{
+			c.shedding,
+			fmt.Sprintf("%dx", c.factor),
+			fmt.Sprintf("%d", c.clients),
+			fmt.Sprintf("%d", c.acked),
+			fmt.Sprintf("%d", c.shed),
+			fmt.Sprintf("%.0f", c.qps),
+			c.p50.Round(10 * time.Microsecond).String(),
+			c.p99.Round(10 * time.Microsecond).String(),
+		})
+	}
+	return t, nil
+}

@@ -10,6 +10,7 @@
 package client
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -75,10 +76,35 @@ func (cl *Client) Close() error {
 	return cl.conn.Close()
 }
 
+// ServerError is a typed server-side failure. Code is the server's
+// fault classification ("overload", "quota", "timeout", ...; empty for
+// unclassified errors and pre-flags servers), and Retryable reports
+// whether the statement can be resubmitted as-is after backing off.
+type ServerError struct {
+	Msg       string
+	Code      string
+	Retryable bool
+}
+
+// Error implements error.
+func (e *ServerError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("client: server error [%s]: %s", e.Code, e.Msg)
+	}
+	return "client: server error: " + e.Msg
+}
+
+// IsRetryable reports whether err is a server error that is safe to
+// retry as-is (admission shed, statement-timeout kill).
+func IsRetryable(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && se.Retryable
+}
+
 func decodeError(typ byte, payload []byte) error {
 	if typ == wire.MsgError {
-		r := &wire.Reader{Buf: payload}
-		return fmt.Errorf("client: server error: %s", r.Str())
+		msg, code, retryable := wire.DecodeError(payload)
+		return &ServerError{Msg: msg, Code: code, Retryable: retryable}
 	}
 	return fmt.Errorf("client: unexpected response type 0x%02x", typ)
 }

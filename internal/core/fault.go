@@ -27,6 +27,12 @@ const (
 	// FaultTimeout is a deadline expiry (per-invocation, per-setup or
 	// statement deadline). The supervisor SIGKILLs the executor.
 	FaultTimeout
+	// FaultQuota is a tenant resource-quota trip (memory or CPU budget
+	// exceeded). The statement is aborted; executors stay healthy.
+	FaultQuota
+	// FaultOverload is load shedding: the server or a circuit breaker
+	// rejected the work before it started. Always safe to retry.
+	FaultOverload
 )
 
 // String names the class for logs and error text.
@@ -40,6 +46,10 @@ func (c FaultClass) String() string {
 		return "protocol"
 	case FaultTimeout:
 		return "timeout"
+	case FaultQuota:
+		return "quota"
+	case FaultOverload:
+		return "overload"
 	default:
 		return "none"
 	}
@@ -85,6 +95,19 @@ func FaultClassOf(err error) FaultClass {
 
 // IsTimeout reports whether the error is a deadline-expiry fault.
 func IsTimeout(err error) bool { return FaultClassOf(err) == FaultTimeout }
+
+// Retryable reports whether the failed work can safely be resubmitted
+// as-is: overload sheds never started the statement, and timeout kills
+// are transient by construction. Quota, UDF, executor and protocol
+// faults are deterministic — retrying without change would fail again.
+func Retryable(err error) bool {
+	switch FaultClassOf(err) {
+	case FaultOverload, FaultTimeout:
+		return true
+	default:
+		return false
+	}
+}
 
 // Fatal reports whether the fault destroyed (or requires destroying)
 // the executor that produced it.

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"predator/internal/govern"
 	"predator/internal/jvm"
 	"predator/internal/obs"
 	"predator/internal/types"
@@ -93,6 +94,11 @@ type Ctx struct {
 	// sets it when detailed tracing is on, so the ordinary hot path
 	// carries a nil pointer and pays nothing.
 	Trace *obs.Trace
+	// Tenant, when non-nil, is the resource-governance account the
+	// statement runs under. Isolated designs charge executor crossing
+	// time to it (govern.Tenant.AddCPU); ungoverned paths leave it nil
+	// and pay one nil check.
+	Tenant *govern.Tenant
 }
 
 // NativeFunc is the Go signature of a native UDF implementation.

@@ -15,6 +15,7 @@ import (
 	"predator/internal/core"
 	"predator/internal/exec"
 	"predator/internal/expr"
+	"predator/internal/govern"
 	"predator/internal/isolate"
 	"predator/internal/jaguar"
 	"predator/internal/jvm"
@@ -70,6 +71,11 @@ type Options struct {
 	// SlowQuery emits a structured log entry (obs.Logger) for every
 	// statement slower than this threshold (0 = disabled).
 	SlowQuery time.Duration
+	// Quota is the default per-tenant resource quota (memory ceiling
+	// for materialized statement results, windowed executor CPU
+	// budget). Zero fields are unlimited. Sessions tune their own
+	// tenant with SET QUOTA_MEMORY / SET QUOTA_CPU.
+	Quota govern.Quota
 }
 
 // defaultCheckpointBytes bounds WAL growth (and hence recovery time)
@@ -87,6 +93,7 @@ type Engine struct {
 	planner *plan.Planner
 	objects *ObjectStore
 	opts    Options
+	gov     *govern.Governor
 	defSess *Session
 	closed  bool
 
@@ -139,6 +146,7 @@ func Open(path string, opts Options) (*Engine, error) {
 		opts:    opts,
 	}
 	e.planner = &plan.Planner{Catalog: cat, Registry: e.reg}
+	e.gov = govern.NewGovernor(opts.Quota)
 	e.ckptBytes = opts.CheckpointBytes
 	if e.ckptBytes == 0 {
 		e.ckptBytes = defaultCheckpointBytes
@@ -216,6 +224,9 @@ func (e *Engine) Recovered() storage.RecoveryInfo { return e.disk.Recovered() }
 
 // Registry exposes the UDF registry (for programmatic registration).
 func (e *Engine) Registry() *core.Registry { return e.reg }
+
+// Governor exposes the per-tenant resource governor.
+func (e *Engine) Governor() *govern.Governor { return e.gov }
 
 // Catalog exposes the system catalog.
 func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
@@ -305,17 +316,18 @@ func (e *Engine) execStmtDeadline(stmt sql.Statement, deadline time.Time) (*Resu
 // (parsed-statement entry points); it still gets per-verb metrics but
 // no statement-statistics entry.
 func (e *Engine) execStmtTraced(stmt sql.Statement, deadline time.Time, tr *obs.Trace) (*Result, error) {
-	return e.execStmtObserved(stmt, deadline, tr, "", 0)
+	return e.execStmtObserved(stmt, deadline, tr, "", 0, nil)
 }
 
 // execStmtObserved wraps statement execution with the per-verb latency
 // histogram and outcome counter, the fingerprint-keyed statement
 // statistics (when the raw text is known), and the slow-query log.
-func (e *Engine) execStmtObserved(stmt sql.Statement, deadline time.Time, tr *obs.Trace, text string, sessID int64) (*Result, error) {
+// ten, when non-nil, is the tenant whose quotas govern the statement.
+func (e *Engine) execStmtObserved(stmt sql.Statement, deadline time.Time, tr *obs.Trace, text string, sessID int64, ten *govern.Tenant) (*Result, error) {
 	verb := stmtVerb(stmt)
 	walBefore := e.disk.WALStats().Bytes
 	start := time.Now()
-	res, err := e.runStmt(stmt, deadline, tr)
+	res, err := e.runStmt(stmt, deadline, tr, ten)
 	d := time.Since(start)
 	obs.Default.Histogram("predator_stmt_seconds", "verb", verb).Observe(d)
 	status := "ok"
@@ -363,7 +375,7 @@ func traceCrossings(tr *obs.Trace) int64 {
 	return n
 }
 
-func (e *Engine) runStmt(stmt sql.Statement, deadline time.Time, tr *obs.Trace) (*Result, error) {
+func (e *Engine) runStmt(stmt sql.Statement, deadline time.Time, tr *obs.Trace, ten *govern.Tenant) (*Result, error) {
 	if _, ok := stmt.(*sql.Checkpoint); ok {
 		if err := e.Checkpoint(); err != nil {
 			return nil, err
@@ -371,13 +383,13 @@ func (e *Engine) runStmt(stmt sql.Statement, deadline time.Time, tr *obs.Trace) 
 		return &Result{Message: "checkpoint complete"}, nil
 	}
 	if !mutates(stmt) {
-		return e.runStmtInner(stmt, deadline, tr)
+		return e.runStmtInner(stmt, deadline, tr, ten)
 	}
 	// Mutating statement: hold the checkpoint lock shared so a
 	// concurrent CHECKPOINT cannot flush + truncate mid-statement, and
 	// force the WAL at the statement boundary before acknowledging.
 	e.ckptMu.RLock()
-	res, err := e.runStmtInner(stmt, deadline, tr)
+	res, err := e.runStmtInner(stmt, deadline, tr, ten)
 	if err == nil {
 		err = e.disk.Commit()
 	}
@@ -389,8 +401,12 @@ func (e *Engine) runStmt(stmt sql.Statement, deadline time.Time, tr *obs.Trace) 
 	return res, nil
 }
 
-func (e *Engine) runStmtInner(stmt sql.Statement, deadline time.Time, tr *obs.Trace) (*Result, error) {
-	ec := e.evalCtx(deadline)
+func (e *Engine) runStmtInner(stmt sql.Statement, deadline time.Time, tr *obs.Trace, ten *govern.Tenant) (*Result, error) {
+	ec := e.evalCtx(deadline, ten)
+	// The statement's memory reservation lives exactly as long as the
+	// statement: materialized rows are handed to the wire layer after
+	// this returns, but the ceiling is per-statement, not per-buffer.
+	defer ec.Mem.Release()
 	ec.Trace = tr
 	if tr.Detailed() {
 		// Detailed tracing reaches across the process boundary: isolated
@@ -483,11 +499,12 @@ func (e *Engine) SetUDFBatchRows(n int) {
 // UDFBatchRows reports the current per-crossing UDF batch cap.
 func (e *Engine) UDFBatchRows() int { return int(e.batchRows.Load()) }
 
-func (e *Engine) evalCtx(deadline time.Time) *expr.Ctx {
+func (e *Engine) evalCtx(deadline time.Time, ten *govern.Tenant) *expr.Ctx {
 	return &expr.Ctx{
-		UDF:      &core.Ctx{Callback: e.objects, Logf: e.opts.Logf, Deadline: deadline},
+		UDF:      &core.Ctx{Callback: e.objects, Logf: e.opts.Logf, Deadline: deadline, Tenant: ten},
 		Deadline: deadline,
 		UDFBatch: int(e.batchRows.Load()),
+		Mem:      govern.NewReservation(ten),
 	}
 }
 
@@ -728,6 +745,42 @@ func (e *Engine) execShow(n *sql.Show) (*Result, error) {
 				types.NewString(u.Name()),
 				types.NewString(u.Design().String()),
 				types.NewString(sig),
+			})
+		}
+		return &Result{Schema: sch, Rows: rows}, nil
+	case "udfs":
+		sch := types.NewSchema(
+			types.Column{Name: "function_name", Kind: types.KindString},
+			types.Column{Name: "design", Kind: types.KindString},
+			types.Column{Name: "breaker", Kind: types.KindString},
+			types.Column{Name: "window_failures", Kind: types.KindInt},
+			types.Column{Name: "opens", Kind: types.KindInt},
+			types.Column{Name: "sheds", Kind: types.KindInt},
+			types.Column{Name: "quarantined", Kind: types.KindBool},
+		)
+		// Only isolated designs carry a breaker; in-process UDFs show a
+		// "-" state (a crash there is the server's crash — the paper's
+		// Design 1 trade-off — so there is nothing to trip).
+		type breakerStatuser interface {
+			BreakerStatus() (govern.BreakerStatus, bool)
+		}
+		var rows []types.Row
+		for _, u := range e.reg.List() {
+			state, failures, opens, sheds := "-", int64(0), int64(0), int64(0)
+			quarantined := false
+			if bs, ok := u.(breakerStatuser); ok {
+				st, q := bs.BreakerStatus()
+				state, failures, opens, sheds = st.State, int64(st.Failures), st.Opens, st.Sheds
+				quarantined = q
+			}
+			rows = append(rows, types.Row{
+				types.NewString(u.Name()),
+				types.NewString(u.Design().String()),
+				types.NewString(state),
+				types.NewInt(failures),
+				types.NewInt(opens),
+				types.NewInt(sheds),
+				types.NewBool(quarantined),
 			})
 		}
 		return &Result{Schema: sch, Rows: rows}, nil

@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"predator/internal/core"
+	"predator/internal/govern"
+	"predator/internal/types"
+)
+
+func TestMemoryQuotaAbortsStatement(t *testing.T) {
+	e := openEngine(t)
+	mustExec(t, e, "CREATE TABLE blobs (id INT, body STRING)")
+	long := strings.Repeat("x", 1024)
+	for i := 0; i < 64; i++ {
+		mustExec(t, e, fmt.Sprintf("INSERT INTO blobs VALUES (%d, '%s')", i, long))
+	}
+	s := e.NewSession()
+	s.BindTenant("hog")
+
+	// Unlimited: the full scan materializes fine.
+	if res, err := s.Exec("SELECT * FROM blobs"); err != nil || len(res.Rows) != 64 {
+		t.Fatalf("ungoverned scan: %v", err)
+	}
+	// A 4 KiB ceiling cannot hold 64 KiB of rows.
+	if _, err := s.Exec("SET quota_memory = 4096"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Exec("SELECT * FROM blobs")
+	if core.FaultClassOf(err) != core.FaultQuota {
+		t.Fatalf("got %v, want quota fault", err)
+	}
+	if core.Retryable(err) {
+		t.Fatal("quota trips are deterministic; must not be retryable")
+	}
+	// The failed statement released its reservation.
+	if used := s.Tenant().MemInUse(); used != 0 {
+		t.Fatalf("leaked %d reserved bytes after quota abort", used)
+	}
+	// Small statements still fit under the same quota.
+	if res, err := s.Exec("SELECT id FROM blobs WHERE id = 3"); err != nil || len(res.Rows) != 1 {
+		t.Fatalf("small statement under quota: %v", err)
+	}
+	// Lifting the quota restores the big scan.
+	if _, err := s.Exec("SET quota_memory = 0"); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := s.Exec("SELECT * FROM blobs"); err != nil || len(res.Rows) != 64 {
+		t.Fatalf("after lifting quota: %v", err)
+	}
+}
+
+func TestMemoryQuotaIsolatesTenants(t *testing.T) {
+	e := openEngine(t)
+	mustExec(t, e, "CREATE TABLE blobs (id INT, body STRING)")
+	long := strings.Repeat("y", 1024)
+	for i := 0; i < 32; i++ {
+		mustExec(t, e, fmt.Sprintf("INSERT INTO blobs VALUES (%d, '%s')", i, long))
+	}
+	noisy := e.NewSession()
+	noisy.BindTenant("noisy")
+	quiet := e.NewSession()
+	quiet.BindTenant("quiet")
+	if _, err := noisy.Exec("SET quota_memory = 2048"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := noisy.Exec("SELECT * FROM blobs"); core.FaultClassOf(err) != core.FaultQuota {
+		t.Fatalf("noisy tenant should trip: %v", err)
+	}
+	// The quiet tenant is untouched by the noisy one's ceiling.
+	if res, err := quiet.Exec("SELECT * FROM blobs"); err != nil || len(res.Rows) != 32 {
+		t.Fatalf("quiet tenant affected: %v", err)
+	}
+}
+
+func TestCPUQuotaAbortsStatement(t *testing.T) {
+	e := openEngine(t)
+	if err := e.RegisterNativeIsolated("iso_slow", []types.Kind{types.KindInt}, types.KindInt); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, e, "CREATE TABLE nums (n INT)")
+	for i := 0; i < 30; i++ {
+		mustExec(t, e, fmt.Sprintf("INSERT INTO nums VALUES (%d)", i))
+	}
+	s := e.NewSession()
+	s.BindTenant("burner")
+	s.Tenant().SetQuota(govern.Quota{CPUTime: 30 * time.Millisecond, CPUWindow: time.Hour})
+	// Each iso_slow crossing costs ≥10ms of charged time; 30 rows blow
+	// a 30ms budget long before the scan finishes.
+	_, err := s.Exec("SELECT iso_slow(n) FROM nums")
+	if core.FaultClassOf(err) != core.FaultQuota {
+		t.Fatalf("got %v, want quota fault", err)
+	}
+	if used := s.Tenant().CPUUsed(); used < 30*time.Millisecond {
+		t.Fatalf("charged only %v executor time", used)
+	}
+}
+
+func TestShowUDFS(t *testing.T) {
+	e := openEngine(t)
+	if err := e.RegisterNative("plain", []types.Kind{types.KindInt}, types.KindInt,
+		func(ctx *core.Ctx, args []types.Value) (types.Value, error) { return args[0], nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterNativeIsolated("iso_double", []types.Kind{types.KindInt}, types.KindInt); err != nil {
+		t.Fatal(err)
+	}
+	res := mustExec(t, e, "SHOW UDFS")
+	if res.Schema.Columns[2].Name != "breaker" {
+		t.Fatalf("schema = %v", res.Schema)
+	}
+	byName := map[string]types.Row{}
+	for _, r := range res.Rows {
+		byName[r[0].Str] = r
+	}
+	if row, ok := byName["plain"]; !ok || row[2].Str != "-" {
+		t.Fatalf("plain UDF row = %v", row)
+	}
+	if row, ok := byName["iso_double"]; !ok || row[2].Str != "closed" || row[6].Bool {
+		t.Fatalf("isolated UDF row = %v", row)
+	}
+}
+
+func TestSetQuotaMessages(t *testing.T) {
+	e := openEngine(t)
+	s := e.NewSession()
+	if res, err := s.Exec("SET quota_memory = 1000000"); err != nil || !strings.Contains(res.Message, "1000000") {
+		t.Fatalf("SET quota_memory: %v %v", res, err)
+	}
+	if res, err := s.Exec("SET quota_cpu = '250ms'"); err != nil || !strings.Contains(res.Message, "250ms") {
+		t.Fatalf("SET quota_cpu: %v %v", res, err)
+	}
+	if _, err := s.Exec("SET quota_memory = 'lots'"); err == nil {
+		t.Fatal("string quota_memory accepted")
+	}
+	if res, err := s.Exec("SET quota_cpu = 0"); err != nil || !strings.Contains(res.Message, "unlimited") {
+		t.Fatalf("SET quota_cpu = 0: %v %v", res, err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"predator/internal/govern"
 	"predator/internal/obs"
 	"predator/internal/sql"
 	"predator/internal/types"
@@ -27,6 +28,10 @@ type Session struct {
 
 	mu          sync.Mutex
 	stmtTimeout time.Duration
+	// ten is the tenant whose quotas govern this session's statements
+	// (nil = ungoverned, the embedding default). The server binds it to
+	// the connection's user at hello time.
+	ten *govern.Tenant
 	// traceMode selects per-statement Chrome trace export: "" = off,
 	// "on" = auto-named files in the engine's TraceDir, anything else =
 	// an explicit file path (overwritten per statement).
@@ -41,6 +46,34 @@ func (e *Engine) NewSession() *Session {
 
 // ID returns the session's process-unique identifier.
 func (s *Session) ID() int64 { return s.id }
+
+// BindTenant places the session under the named tenant's resource
+// quotas (the server calls this with the connection's user).
+func (s *Session) BindTenant(name string) {
+	t := s.eng.gov.Tenant(name)
+	s.mu.Lock()
+	s.ten = t
+	s.mu.Unlock()
+}
+
+// Tenant returns the session's governing tenant (nil = ungoverned).
+func (s *Session) Tenant() *govern.Tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ten
+}
+
+// tenantOrDefault returns the session's tenant, binding the "default"
+// tenant first if the session is ungoverned (SET QUOTA_* needs a
+// tenant to configure).
+func (s *Session) tenantOrDefault() *govern.Tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ten == nil {
+		s.ten = s.eng.gov.Tenant("")
+	}
+	return s.ten
+}
 
 // StatementTimeout reports the session's statement timeout (0 = none).
 func (s *Session) StatementTimeout() time.Duration {
@@ -104,7 +137,7 @@ func (s *Session) execStmtObserved(stmt sql.Statement, tr *obs.Trace, text strin
 	if t := s.StatementTimeout(); t > 0 {
 		deadline = time.Now().Add(t)
 	}
-	return s.eng.execStmtObserved(stmt, deadline, tr, text, s.id)
+	return s.eng.execStmtObserved(stmt, deadline, tr, text, s.id, s.Tenant())
 }
 
 // exportTrace writes a statement's trace as Chrome trace-event JSON.
@@ -146,6 +179,25 @@ func (s *Session) execSet(set *sql.Set) (*Result, error) {
 			return &Result{Message: "statement_timeout disabled"}, nil
 		}
 		return &Result{Message: fmt.Sprintf("statement_timeout set to %v", d)}, nil
+	case "quota_memory":
+		if lit.Value.Kind != types.KindInt || lit.Value.Int < 0 {
+			return nil, fmt.Errorf("engine: SET quota_memory requires a non-negative byte count")
+		}
+		s.tenantOrDefault().SetMemQuota(lit.Value.Int)
+		if lit.Value.Int == 0 {
+			return &Result{Message: "quota_memory unlimited"}, nil
+		}
+		return &Result{Message: fmt.Sprintf("quota_memory set to %d bytes", lit.Value.Int)}, nil
+	case "quota_cpu":
+		d, err := timeoutFromLiteral(lit.Value)
+		if err != nil {
+			return nil, fmt.Errorf("engine: SET quota_cpu: %w", err)
+		}
+		s.tenantOrDefault().SetCPUQuota(d)
+		if d == 0 {
+			return &Result{Message: "quota_cpu unlimited"}, nil
+		}
+		return &Result{Message: fmt.Sprintf("quota_cpu set to %v per window", d)}, nil
 	case "trace":
 		if lit.Value.Kind != types.KindString {
 			return nil, fmt.Errorf("engine: SET trace requires a string: 'on', 'off' or a file path")

@@ -551,6 +551,9 @@ func Run(op Operator, ec *expr.Ctx) ([]types.Row, error) {
 		if row == nil {
 			return out, nil
 		}
+		if err := ec.Charge(int64(rowFootprint(row))); err != nil {
+			return nil, err
+		}
 		out = append(out, row.Clone())
 	}
 }

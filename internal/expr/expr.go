@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"predator/internal/core"
+	"predator/internal/govern"
 	"predator/internal/obs"
 	"predator/internal/types"
 )
@@ -34,6 +35,10 @@ type Ctx struct {
 	// UDFBatch caps the rows carried per batched UDF crossing. Values
 	// of 1 or less disable batching entirely (the legacy scalar path).
 	UDFBatch int
+	// Mem is the statement's memory reservation against its tenant
+	// (nil = ungoverned). The executor charges materialized rows to it;
+	// Check polls the tenant's CPU budget through it.
+	Mem *govern.Reservation
 }
 
 // DefaultBatchRows is the default cap on rows per batched UDF crossing
@@ -56,15 +61,33 @@ type BatchBound interface {
 	EvalBatch(ec *Ctx, rows []types.Row, out []core.BatchResult) error
 }
 
-// Check reports a FaultTimeout once the statement deadline has passed.
-// It is cheap enough to call per row; a nil or deadline-free context
-// always passes.
+// Check reports a FaultTimeout once the statement deadline has passed
+// and a FaultQuota once the tenant's CPU budget is exhausted. It is
+// cheap enough to call per row; a nil or unconstrained context always
+// passes.
 func (ec *Ctx) Check() error {
-	if ec == nil || ec.Deadline.IsZero() {
+	if ec == nil {
 		return nil
 	}
-	if time.Now().After(ec.Deadline) {
+	if !ec.Deadline.IsZero() && time.Now().After(ec.Deadline) {
 		return core.Faultf(core.FaultTimeout, "statement", "statement timeout exceeded")
+	}
+	if ec.Mem != nil {
+		if err := ec.Mem.CheckCPU(); err != nil {
+			return core.NewFault(core.FaultQuota, "statement", err)
+		}
+	}
+	return nil
+}
+
+// Charge accounts n bytes of statement memory to the tenant, returning
+// a FaultQuota when the reservation trips the hard limit.
+func (ec *Ctx) Charge(n int64) error {
+	if ec == nil || ec.Mem == nil {
+		return nil
+	}
+	if err := ec.Mem.Grow(n); err != nil {
+		return core.NewFault(core.FaultQuota, "statement", err)
 	}
 	return nil
 }

@@ -1,0 +1,98 @@
+package govern
+
+import (
+	"fmt"
+	"time"
+
+	"predator/internal/obs"
+)
+
+// Gate is a semaphore-backed admission gate. Work acquires a slot
+// before running; when every slot is taken, Acquire waits up to a
+// bounded grace and is then shed with an OverloadError — the server
+// never queues unboundedly behind a burst. Wait times (including the
+// fast path's zero wait) feed a histogram so over-admission is visible
+// before it becomes an outage.
+//
+// A nil *Gate admits everything and records nothing, so unlimited
+// configurations cost one nil check.
+type Gate struct {
+	slots chan struct{}
+	wait  *obs.Histogram
+	shed  *obs.Counter
+	inUse *obs.Gauge
+}
+
+// OverloadError is a structured admission rejection. It is always
+// retryable: the statement was never started, so the client should back
+// off and resend.
+type OverloadError struct {
+	What  string // what was over capacity: "queries", "connections", ...
+	Limit int
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("govern: server over capacity: %d concurrent %s (retry later)", e.Limit, e.What)
+}
+
+// NewGate builds a gate with n slots named for metrics (e.g. "queries"
+// yields predator_server_admission_wait_seconds{gate="queries"}).
+// n <= 0 returns nil: an unlimited gate.
+func NewGate(name string, n int) *Gate {
+	if n <= 0 {
+		return nil
+	}
+	return &Gate{
+		slots: make(chan struct{}, n),
+		wait:  obs.Default.Histogram("predator_server_admission_wait_seconds", "gate", name),
+		shed:  obs.Default.Counter("predator_server_admission_shed_total", "gate", name),
+		inUse: obs.Default.Gauge("predator_server_admission_in_use", "gate", name),
+	}
+}
+
+// Acquire takes a slot, waiting up to maxWait when the gate is full.
+// On success it returns a release function; on shed it returns an
+// *OverloadError. The release function is idempotent-unsafe (call
+// exactly once), matching the usual defer pattern.
+func (g *Gate) Acquire(maxWait time.Duration) (release func(), err error) {
+	if g == nil {
+		return func() {}, nil
+	}
+	select {
+	case g.slots <- struct{}{}:
+		g.wait.Observe(0)
+		g.inUse.Set(int64(len(g.slots)))
+		return g.release, nil
+	default:
+	}
+	if maxWait <= 0 {
+		g.shed.Inc()
+		return nil, &OverloadError{What: "admissions", Limit: cap(g.slots)}
+	}
+	start := time.Now()
+	t := time.NewTimer(maxWait)
+	defer t.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		g.wait.Observe(time.Since(start))
+		g.inUse.Set(int64(len(g.slots)))
+		return g.release, nil
+	case <-t.C:
+		g.shed.Inc()
+		return nil, &OverloadError{What: "admissions", Limit: cap(g.slots)}
+	}
+}
+
+func (g *Gate) release() {
+	<-g.slots
+	g.inUse.Set(int64(len(g.slots)))
+}
+
+// InUse reports the occupied slots (0 for a nil gate).
+func (g *Gate) InUse() int {
+	if g == nil {
+		return 0
+	}
+	return len(g.slots)
+}

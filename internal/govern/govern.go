@@ -1,0 +1,355 @@
+// Package govern is the resource-governance layer of PREDATOR-Go: the
+// machinery that keeps one tenant, one runaway UDF or one wedged client
+// from starving everyone else. It provides three primitives, each used
+// by a different layer of the system:
+//
+//   - Gate: a semaphore-backed admission gate (server wire layer). Past
+//     the configured concurrency, new work waits briefly and is then
+//     shed — never queued unboundedly — with wait-time histograms and
+//     shed counters in the obs registry.
+//   - Governor / Tenant: per-tenant quotas (engine layer). Tracks each
+//     tenant's statement memory, cumulative executor CPU time and open
+//     sessions against configurable ceilings; the soft memory limit
+//     applies backpressure, the hard limit aborts the statement.
+//   - Breaker: a per-UDF circuit breaker (isolate layer). Repeated
+//     executor crashes or timeouts open the breaker (fail fast), a
+//     half-open probe re-admits, and pooled UDFs are quarantined to a
+//     dedicated executor so they cannot poison the shared pool.
+//
+// The package deliberately does not import core: fault classification
+// is applied by the callers (expr, isolate, server), which wrap the
+// plain errors returned here into classified core.Faults.
+package govern
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"predator/internal/obs"
+)
+
+// Quota is one tenant's resource ceiling. Zero fields are unlimited.
+type Quota struct {
+	// MemBytes is the hard per-statement memory ceiling: result rows and
+	// batch buffers accounted against the tenant while statements run.
+	// Crossing it aborts the statement.
+	MemBytes int64
+	// MemSoftBytes is the backpressure threshold: reservations beyond it
+	// succeed but stall briefly, slowing the tenant down before the hard
+	// limit kills it. Zero derives softLimitFraction of MemBytes.
+	MemSoftBytes int64
+	// CPUTime caps the tenant's cumulative executor CPU time (measured
+	// at UDF crossings and on executor reap). Once exceeded, further
+	// statements abort until the window resets.
+	CPUTime time.Duration
+	// CPUWindow is the accounting window for CPUTime (0 = 1 minute).
+	CPUWindow time.Duration
+}
+
+// softLimitFraction derives the soft memory limit when only the hard
+// one is configured.
+const softLimitFraction = 0.8
+
+// defaultCPUWindow bounds the CPU-time accounting window.
+const defaultCPUWindow = time.Minute
+
+// backpressureStall is the per-reservation delay applied between the
+// soft and hard memory limits.
+const backpressureStall = 200 * time.Microsecond
+
+// QuotaError reports a tripped tenant quota. Callers classify it
+// (core.FaultQuota) before it reaches a client.
+type QuotaError struct {
+	Tenant   string
+	Resource string // "memory" or "cpu"
+	Used     int64
+	Limit    int64
+}
+
+// Error implements error.
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("govern: tenant %q exceeded %s quota (%d > %d)",
+		e.Tenant, e.Resource, e.Used, e.Limit)
+}
+
+// Governor tracks every tenant seen by one engine. Tenants are created
+// on first reference and never evicted (the tenant space is the user
+// space: bounded by configuration, not by traffic).
+type Governor struct {
+	mu       sync.Mutex
+	tenants  map[string]*Tenant
+	defaults Quota
+}
+
+// NewGovernor builds a governor applying q to tenants that have no
+// explicit quota of their own.
+func NewGovernor(q Quota) *Governor {
+	return &Governor{tenants: make(map[string]*Tenant), defaults: q}
+}
+
+// Tenant returns (creating if needed) the named tenant's state.
+func (g *Governor) Tenant(name string) *Tenant {
+	if name == "" {
+		name = "default"
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	t, ok := g.tenants[name]
+	if !ok {
+		t = newTenant(name, g.defaults)
+		g.tenants[name] = t
+	}
+	return t
+}
+
+// Tenants returns every tenant sorted by name (SHOW-style surfacing).
+func (g *Governor) Tenants() []*Tenant {
+	g.mu.Lock()
+	out := make([]*Tenant, 0, len(g.tenants))
+	for _, t := range g.tenants {
+		out = append(out, t)
+	}
+	g.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Tenant is one tenant's live resource accounting. All hot-path methods
+// are atomic loads/adds: safe for concurrent statements, no allocation.
+type Tenant struct {
+	name string
+
+	mu    sync.Mutex
+	quota Quota
+
+	mem      atomic.Int64 // bytes reserved by running statements
+	cpuNS    atomic.Int64 // executor CPU accumulated this window
+	cpuReset atomic.Int64 // unix-nano start of the current CPU window
+	sessions atomic.Int64 // open sessions (server connections)
+
+	memGauge  *obs.Gauge
+	cpuTotal  *obs.Counter
+	trips     func(resource string) *obs.Counter
+	sessGauge *obs.Gauge
+}
+
+func newTenant(name string, q Quota) *Tenant {
+	t := &Tenant{name: name, quota: q}
+	t.memGauge = obs.Default.Gauge("predator_govern_mem_bytes", "tenant", name)
+	t.cpuTotal = obs.Default.Counter("predator_govern_cpu_ns_total", "tenant", name)
+	t.sessGauge = obs.Default.Gauge("predator_govern_sessions", "tenant", name)
+	t.trips = func(resource string) *obs.Counter {
+		return obs.Default.Counter("predator_govern_quota_trips_total", "tenant", name, "resource", resource)
+	}
+	t.cpuReset.Store(time.Now().UnixNano())
+	return t
+}
+
+// Name returns the tenant identifier (the connection's user).
+func (t *Tenant) Name() string { return t.name }
+
+// SetQuota replaces the tenant's quota.
+func (t *Tenant) SetQuota(q Quota) {
+	t.mu.Lock()
+	t.quota = q
+	t.mu.Unlock()
+}
+
+// QuotaLimits returns the tenant's current quota.
+func (t *Tenant) QuotaLimits() Quota {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.quota
+}
+
+// SetMemQuota adjusts only the memory ceiling (SET QUOTA_MEMORY).
+func (t *Tenant) SetMemQuota(hard int64) {
+	t.mu.Lock()
+	t.quota.MemBytes = hard
+	t.quota.MemSoftBytes = 0
+	t.mu.Unlock()
+}
+
+// SetCPUQuota adjusts only the CPU-time ceiling (SET QUOTA_CPU).
+func (t *Tenant) SetCPUQuota(d time.Duration) {
+	t.mu.Lock()
+	t.quota.CPUTime = d
+	t.mu.Unlock()
+}
+
+// MemInUse reports the bytes currently reserved by running statements.
+func (t *Tenant) MemInUse() int64 { return t.mem.Load() }
+
+// softHardMem resolves the effective soft and hard memory limits.
+func (t *Tenant) softHardMem() (soft, hard int64) {
+	t.mu.Lock()
+	hard = t.quota.MemBytes
+	soft = t.quota.MemSoftBytes
+	t.mu.Unlock()
+	if soft == 0 && hard > 0 {
+		soft = int64(float64(hard) * softLimitFraction)
+	}
+	return soft, hard
+}
+
+// reserveMem accounts n bytes to the tenant. Beyond the soft limit it
+// stalls briefly (backpressure); beyond the hard limit it rolls back
+// the reservation and returns a QuotaError.
+func (t *Tenant) reserveMem(n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	now := t.mem.Add(n)
+	t.memGauge.Set(now)
+	soft, hard := t.softHardMem()
+	if hard > 0 && now > hard {
+		t.mem.Add(-n)
+		t.memGauge.Set(t.mem.Load())
+		t.trips("memory").Inc()
+		return &QuotaError{Tenant: t.name, Resource: "memory", Used: now, Limit: hard}
+	}
+	if soft > 0 && now > soft {
+		// Soft limit: slow the tenant down instead of failing it.
+		time.Sleep(backpressureStall)
+	}
+	return nil
+}
+
+// releaseMem gives back a reservation.
+func (t *Tenant) releaseMem(n int64) {
+	if n > 0 {
+		t.memGauge.Set(t.mem.Add(-n))
+	}
+}
+
+// AddCPU accounts executor CPU time (or its wall-clock proxy measured
+// at a UDF crossing) to the tenant's current window.
+func (t *Tenant) AddCPU(d time.Duration) {
+	if t == nil || d <= 0 {
+		return
+	}
+	t.rollWindow()
+	t.cpuNS.Add(int64(d))
+	t.cpuTotal.Add(int64(d))
+}
+
+// CPUUsed reports the CPU time consumed in the current window.
+func (t *Tenant) CPUUsed() time.Duration {
+	t.rollWindow()
+	return time.Duration(t.cpuNS.Load())
+}
+
+// rollWindow resets the CPU accumulator when its window has elapsed.
+func (t *Tenant) rollWindow() {
+	t.mu.Lock()
+	w := t.quota.CPUWindow
+	t.mu.Unlock()
+	if w <= 0 {
+		w = defaultCPUWindow
+	}
+	start := t.cpuReset.Load()
+	now := time.Now().UnixNano()
+	if now-start >= int64(w) && t.cpuReset.CompareAndSwap(start, now) {
+		t.cpuNS.Store(0)
+	}
+}
+
+// CheckCPU returns a QuotaError once the tenant's window CPU budget is
+// exhausted. Nil-safe and cheap (two atomic loads) — polled per row.
+func (t *Tenant) CheckCPU() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	limit := t.quota.CPUTime
+	t.mu.Unlock()
+	if limit <= 0 {
+		return nil
+	}
+	t.rollWindow()
+	if used := t.cpuNS.Load(); used > int64(limit) {
+		t.trips("cpu").Inc()
+		return &QuotaError{Tenant: t.name, Resource: "cpu", Used: used, Limit: int64(limit)}
+	}
+	return nil
+}
+
+// AddSession registers one more open session, failing once limit (>0)
+// concurrent sessions are already open for this tenant.
+func (t *Tenant) AddSession(limit int) error {
+	n := t.sessions.Add(1)
+	if limit > 0 && n > int64(limit) {
+		t.sessions.Add(-1)
+		t.trips("sessions").Inc()
+		return fmt.Errorf("govern: tenant %q has %d open sessions (cap %d)", t.name, n-1, limit)
+	}
+	t.sessGauge.Set(n)
+	return nil
+}
+
+// EndSession releases a session slot.
+func (t *Tenant) EndSession() {
+	t.sessGauge.Set(t.sessions.Add(-1))
+}
+
+// Sessions reports the tenant's open session count.
+func (t *Tenant) Sessions() int64 { return t.sessions.Load() }
+
+// Reservation is one statement's memory accounting against a tenant.
+// It grows monotonically while the statement runs and is released as a
+// whole when the statement finishes. A nil Reservation is inert, so
+// ungoverned paths pay a single nil check.
+type Reservation struct {
+	t *Tenant
+	n atomic.Int64
+}
+
+// NewReservation opens a statement-scoped reservation (nil tenant →
+// nil reservation).
+func NewReservation(t *Tenant) *Reservation {
+	if t == nil {
+		return nil
+	}
+	return &Reservation{t: t}
+}
+
+// Grow reserves n more bytes, enforcing the tenant's memory quota.
+func (r *Reservation) Grow(n int64) error {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	if err := r.t.reserveMem(n); err != nil {
+		return err
+	}
+	r.n.Add(n)
+	return nil
+}
+
+// CheckCPU polls the tenant's CPU budget (for per-row Check paths).
+func (r *Reservation) CheckCPU() error {
+	if r == nil {
+		return nil
+	}
+	return r.t.CheckCPU()
+}
+
+// Tenant returns the governed tenant (nil for a nil reservation).
+func (r *Reservation) Tenant() *Tenant {
+	if r == nil {
+		return nil
+	}
+	return r.t
+}
+
+// Release returns the whole reservation to the tenant. Idempotent.
+func (r *Reservation) Release() {
+	if r == nil {
+		return
+	}
+	if n := r.n.Swap(0); n > 0 {
+		r.t.releaseMem(n)
+	}
+}

@@ -1,0 +1,243 @@
+package isolate
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"predator/internal/core"
+	"predator/internal/govern"
+	"predator/internal/types"
+)
+
+func init() {
+	// flagcrash kills its executor while the named flag file exists and
+	// succeeds otherwise — a UDF that "recovers", driving the breaker's
+	// half-open probe path. (A PREDATOR_FAULT spec can't express this:
+	// the env var poisons every executor in the process, and recovery
+	// needs the same UDF to stop failing mid-test.)
+	testNatives["flagcrash"] = func(ctx *core.Ctx, args []types.Value) (types.Value, error) {
+		if _, err := os.Stat(args[0].Str); err == nil {
+			os.Exit(3)
+		}
+		return types.NewInt(1), nil
+	}
+}
+
+// breakerSup is a supervision config with a fast breaker and no
+// restart patience, so tests observe transitions quickly.
+func breakerSup(failures int, cooldown time.Duration) Supervision {
+	return Supervision{
+		BreakerFailures: failures,
+		BreakerWindow:   10 * time.Second,
+		BreakerCooldown: cooldown,
+		MaxRestarts:     0,
+		RestartBackoff:  time.Millisecond,
+	}
+}
+
+func TestBreakerOpensOnCrashLoop(t *testing.T) {
+	u := WithSupervision(NewNativeIsolated("crash", nil, types.KindInt), breakerSup(3, time.Minute))
+	defer u.(*udf).Close()
+	for i := 0; i < 3; i++ {
+		_, err := u.Invoke(nil, nil)
+		if core.FaultClassOf(err) != core.FaultExecutor {
+			t.Fatalf("crash %d: got %v, want executor fault", i, err)
+		}
+	}
+	// The breaker is open: the next call is shed without an executor.
+	starts := cStarts.Value()
+	_, err := u.Invoke(nil, nil)
+	if core.FaultClassOf(err) != core.FaultOverload {
+		t.Fatalf("got %v, want overload fault", err)
+	}
+	if !core.Retryable(err) {
+		t.Fatal("breaker shed must be retryable")
+	}
+	var be *govern.BreakerOpenError
+	if !errors.As(err, &be) {
+		t.Fatalf("cause is %T, want *govern.BreakerOpenError", err)
+	}
+	if cStarts.Value() != starts {
+		t.Fatal("open breaker still started an executor")
+	}
+	st, _ := u.(*udf).BreakerStatus()
+	if st.State != "open" || st.Opens != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	flag := filepath.Join(t.TempDir(), "crashflag")
+	if err := os.WriteFile(flag, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	u := WithSupervision(NewNativeIsolated("flagcrash", []types.Kind{types.KindString}, types.KindInt),
+		breakerSup(2, 50*time.Millisecond))
+	defer u.(*udf).Close()
+	args := []types.Value{types.NewString(flag)}
+	for i := 0; i < 2; i++ {
+		if _, err := u.Invoke(nil, args); core.FaultClassOf(err) != core.FaultExecutor {
+			t.Fatalf("crash %d: %v", i, err)
+		}
+	}
+	// Open, still cooling: shed even though the UDF is healthy again.
+	os.Remove(flag)
+	if _, err := u.Invoke(nil, args); core.FaultClassOf(err) != core.FaultOverload {
+		t.Fatalf("during cooldown: got %v, want overload fault", err)
+	}
+	// After the cooldown a half-open probe runs for real and closes it.
+	time.Sleep(60 * time.Millisecond)
+	out, err := u.Invoke(nil, args)
+	if err != nil || out.Int != 1 {
+		t.Fatalf("probe: %v, %v", out, err)
+	}
+	st, _ := u.(*udf).BreakerStatus()
+	if st.State != "closed" {
+		t.Fatalf("after successful probe: %+v", st)
+	}
+	if _, err := u.Invoke(nil, args); err != nil {
+		t.Fatalf("recovered UDF rejected: %v", err)
+	}
+}
+
+func TestBreakerQuarantineLeavesPool(t *testing.T) {
+	flag := filepath.Join(t.TempDir(), "crashflag")
+	if err := os.WriteFile(flag, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(2)
+	defer p.Close()
+	u := WithPool(WithSupervision(NewNativeIsolated("flagcrash", []types.Kind{types.KindString}, types.KindInt),
+		breakerSup(2, 30*time.Millisecond)), p)
+	iu := u.(*udf)
+	args := []types.Value{types.NewString(flag)}
+	for i := 0; i < 2; i++ {
+		if _, err := u.Invoke(nil, args); err == nil {
+			t.Fatalf("crash %d reported success", i)
+		}
+	}
+	st, quarantined := iu.BreakerStatus()
+	if st.State != "open" || !quarantined {
+		t.Fatalf("after crash loop: state %+v, quarantined %v", st, quarantined)
+	}
+	if iu.usePool() {
+		t.Fatal("quarantined UDF still borrowing from the pool")
+	}
+	// Recovered and past the cooldown, it runs again — but on its own
+	// dedicated executor, never back in the shared pool.
+	os.Remove(flag)
+	time.Sleep(40 * time.Millisecond)
+	if out, err := u.Invoke(nil, args); err != nil || out.Int != 1 {
+		t.Fatalf("quarantined invoke: %v, %v", out, err)
+	}
+	if p.Live() != 0 {
+		t.Fatalf("quarantined UDF left %d executors in the pool", p.Live())
+	}
+	iu.mu.Lock()
+	own := iu.exec
+	iu.mu.Unlock()
+	if own == nil {
+		t.Fatal("quarantined UDF did not bind a dedicated executor")
+	}
+}
+
+// TestPoolConcurrentChaos hammers checkout/evict/close from many
+// goroutines — including executors dying while lent out — and is the
+// regression test for pool lifecycle races (run under -race in CI).
+func TestPoolConcurrentChaos(t *testing.T) {
+	sup := Supervision{BreakerFailures: -1, MaxRestarts: 0, RestartBackoff: time.Millisecond}
+	p := NewPoolWith(2, 4, sup)
+	healthy := WithPool(WithSupervision(
+		NewNativeIsolated("sumbytes", []types.Kind{types.KindBytes}, types.KindInt), sup), p)
+	dying := WithPool(WithSupervision(
+		NewNativeIsolated("crash", nil, types.KindInt), sup), p)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			arg := []types.Value{types.NewBytes([]byte{1, 2})}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				out, err := healthy.Invoke(nil, arg)
+				if err != nil {
+					if strings.Contains(err.Error(), "pool is closed") {
+						return
+					}
+					t.Errorf("healthy UDF failed: %v", err)
+					return
+				}
+				if out.Int != 3 {
+					t.Errorf("healthy UDF returned %d", out.Int)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Every call kills its executor while lent out.
+				if _, err := dying.Invoke(nil, nil); err == nil {
+					t.Error("crash UDF reported success")
+					return
+				} else if strings.Contains(err.Error(), "pool is closed") {
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	p.Close()
+	if p.Live() != 0 {
+		t.Fatalf("pool leaked %d executors", p.Live())
+	}
+
+	// Close racing in-flight work: restart traffic and close mid-way.
+	p2 := NewPoolWith(1, 2, sup)
+	h2 := WithPool(WithSupervision(
+		NewNativeIsolated("sumbytes", []types.Kind{types.KindBytes}, types.KindInt), sup), p2)
+	var wg2 sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			arg := []types.Value{types.NewBytes([]byte{3})}
+			for j := 0; j < 50; j++ {
+				if _, err := h2.Invoke(nil, arg); err != nil {
+					if strings.Contains(err.Error(), "pool is closed") {
+						return
+					}
+					t.Errorf("invoke vs close: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	p2.Close()
+	wg2.Wait()
+	if p2.Live() != 0 {
+		t.Fatalf("pool leaked %d executors across Close", p2.Live())
+	}
+}

@@ -67,9 +67,14 @@ func StartExecutorWith(sup Supervision) (*Executor, error) {
 	cStarts.Inc()
 	e := &Executor{cmd: cmd, conn: newConn(stdout, stdin), sup: sup, waited: make(chan struct{})}
 	// Reap in the background: whatever way the child dies, its exit
-	// status is collected exactly once and no zombie remains.
+	// status is collected exactly once and no zombie remains. The reap
+	// is also where the child's true CPU time (rusage) becomes known,
+	// so the process-wide executor CPU counter is charged here.
 	go func() {
 		e.waitErr = cmd.Wait()
+		if ps := cmd.ProcessState; ps != nil {
+			cExecutorCPU.Add(int64(ps.UserTime() + ps.SystemTime()))
+		}
 		close(e.waited)
 	}()
 	// Wait for the child to signal readiness, under the start deadline.

@@ -31,6 +31,17 @@ type Supervision struct {
 	// RestartBackoff is the delay before the first restart; it doubles
 	// per attempt.
 	RestartBackoff time.Duration
+	// BreakerFailures is the per-UDF circuit-breaker threshold: that
+	// many fatal faults (executor crash, protocol violation, timeout)
+	// within BreakerWindow open the breaker, which fails fast until a
+	// half-open probe succeeds. 0 = govern's default (5); negative
+	// disables the breaker.
+	BreakerFailures int
+	// BreakerWindow is the breaker's failure-counting window (0 = 10s).
+	BreakerWindow time.Duration
+	// BreakerCooldown is the open state's duration before a half-open
+	// probe is admitted (0 = 2s).
+	BreakerCooldown time.Duration
 }
 
 // DefaultSupervision is the policy applied where none is configured.
@@ -89,6 +100,7 @@ var (
 	cRestarts    = obs.Default.Counter("predator_isolate_restarts_total")
 	cEvictions   = obs.Default.Counter("predator_isolate_pool_evictions_total")
 	cPoolLends   = obs.Default.Counter("predator_isolate_pool_lends_total")
+	cExecutorCPU = obs.Default.Counter("predator_isolate_executor_cpu_ns_total")
 )
 
 // countFault records a classified invocation failure by fault class

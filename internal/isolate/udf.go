@@ -3,8 +3,11 @@ package isolate
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"predator/internal/core"
+	"predator/internal/govern"
 	"predator/internal/jvm"
 	"predator/internal/types"
 )
@@ -28,6 +31,14 @@ type udf struct {
 	mu   sync.Mutex
 	exec *Executor
 	pool *Pool // optional shared pool; nil = own executor
+
+	// brk is the per-UDF circuit breaker (created lazily so it sees the
+	// final supervision config). quarantined flips when the breaker of a
+	// pooled UDF opens: from then on the UDF runs on its own dedicated
+	// executor and never touches the shared pool again, so a
+	// crash-looping UDF cannot poison healthy tenants' executors.
+	brk         *govern.Breaker
+	quarantined atomic.Bool
 }
 
 // NewNativeIsolated builds a Design 2 UDF: the named function (which
@@ -100,29 +111,89 @@ func (u *udf) executor() (*Executor, error) {
 	return e, nil
 }
 
+// breaker returns the UDF's circuit breaker, building it on first use
+// so it reflects the final WithSupervision configuration.
+func (u *udf) breaker() *govern.Breaker {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.brk == nil {
+		u.brk = govern.NewBreaker(u.name, govern.BreakerConfig{
+			Failures: u.sup.BreakerFailures,
+			Window:   u.sup.BreakerWindow,
+			Cooldown: u.sup.BreakerCooldown,
+		})
+	}
+	return u.brk
+}
+
+// BreakerStatus exposes the breaker and quarantine state (SHOW UDFS).
+func (u *udf) BreakerStatus() (govern.BreakerStatus, bool) {
+	return u.breaker().Status(), u.quarantined.Load()
+}
+
+// record feeds one crossing's outcome to the breaker and charges its
+// wall time to the statement's tenant. A fatal fault on a pooled UDF
+// quarantines it: its next crossing binds a dedicated executor.
+func (u *udf) record(b *govern.Breaker, ctx *core.Ctx, start time.Time, err error) {
+	if ctx != nil {
+		ctx.Tenant.AddCPU(time.Since(start))
+	}
+	var fatal bool
+	switch core.FaultClassOf(err) {
+	case core.FaultExecutor, core.FaultProtocol, core.FaultTimeout:
+		fatal = true
+	}
+	b.Record(fatal)
+	if fatal && u.pool != nil && !u.quarantined.Load() && b.Status().State == "open" {
+		u.quarantined.Store(true)
+	}
+}
+
+// usePool reports whether this crossing should borrow from the shared
+// pool (quarantined UDFs are permanently demoted to a dedicated one).
+func (u *udf) usePool() bool {
+	return u.pool != nil && !u.quarantined.Load()
+}
+
+// breakerFault wraps an open-breaker rejection as a classified fault.
+func breakerFault(err error) error {
+	return core.NewFault(core.FaultOverload, "invoke", err)
+}
+
 func (u *udf) Invoke(ctx *core.Ctx, args []types.Value) (types.Value, error) {
 	if err := core.CheckArgs(u, args); err != nil {
 		return types.Value{}, err
 	}
+	b := u.breaker()
+	if err := b.Allow(); err != nil {
+		f := breakerFault(err)
+		countFault(f)
+		return types.Value{}, f
+	}
 	core.CountCrossings(u.design, 1)
-	if u.pool != nil {
+	start := time.Now()
+	if u.usePool() {
 		e, err := u.pool.Get(u)
 		if err != nil {
 			countFault(err)
+			u.record(b, ctx, start, err)
 			return types.Value{}, err
 		}
 		out, err := e.Invoke(ctx, args)
 		u.pool.Put(u, e, err)
 		countFault(err)
+		u.record(b, ctx, start, err)
 		return out, err
 	}
 	e, err := u.executor()
 	if err != nil {
 		countFault(err)
+		u.record(b, ctx, start, err)
 		return types.Value{}, err
 	}
 	out, err := e.Invoke(ctx, args)
 	countFault(err)
+	u.record(b, ctx, start, err)
 	if err != nil && (core.FaultClassOf(err) != core.FaultUDF || !e.Alive()) {
 		// The executor died, babbled or timed out (the supervisor has
 		// already killed and reaped it). Drop the handle so the next
@@ -170,26 +241,37 @@ func (u *udf) InvokeBatch(ctx *core.Ctx, arity int, args []types.Value, out []co
 		out[0] = core.BatchResult{Value: v}
 		return nil
 	}
+	b := u.breaker()
+	if err := b.Allow(); err != nil {
+		f := breakerFault(err)
+		countFault(f)
+		return f
+	}
 	core.CountCrossings(u.design, 1)
 	core.ObserveBatchRows(u.design, int64(n))
-	if u.pool != nil {
+	start := time.Now()
+	if u.usePool() {
 		e, err := u.pool.Get(u)
 		if err != nil {
 			countFault(err)
+			u.record(b, ctx, start, err)
 			return err
 		}
 		err = e.InvokeBatch(ctx, arity, args, out)
 		u.pool.Put(u, e, err)
 		countFault(err)
+		u.record(b, ctx, start, err)
 		return err
 	}
 	e, err := u.executor()
 	if err != nil {
 		countFault(err)
+		u.record(b, ctx, start, err)
 		return err
 	}
 	err = e.InvokeBatch(ctx, arity, args, out)
 	countFault(err)
+	u.record(b, ctx, start, err)
 	if err != nil && (core.FaultClassOf(err) != core.FaultUDF || !e.Alive()) {
 		u.dropExecutor(e)
 	}

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"predator/internal/engine"
+	"predator/internal/obs"
+	"predator/internal/types"
+)
+
+var (
+	expoTypeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	expoSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9]+(\.[0-9]+)?([eE][-+]?[0-9]+)?|[-+]?Inf|NaN)$`)
+)
+
+// lintGovernanceExposition is the promtool-style subset of checks the
+// obs package runs on its own registry, applied here because the
+// governance metrics (admission gates, breakers, tenant quotas) are
+// registered by packages obs cannot import: every line is a TYPE
+// comment or well-formed sample, each family is typed exactly once
+// before its samples, and no sample identity repeats.
+func lintGovernanceExposition(t *testing.T, text string) {
+	t.Helper()
+	typed := map[string]bool{}
+	seen := map[string]bool{}
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if m := expoTypeRe.FindStringSubmatch(line); m != nil {
+			if typed[m[1]] {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, m[1])
+			}
+			typed[m[1]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := expoSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: not a valid sample line: %q", ln+1, line)
+		}
+		fam := m[1]
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(fam, s); base != fam && typed[base] {
+				fam = base
+				break
+			}
+		}
+		if !typed[fam] {
+			t.Fatalf("line %d: sample %s has no preceding TYPE", ln+1, m[1])
+		}
+		if seen[m[1]+m[2]] {
+			t.Fatalf("line %d: duplicate sample %s%s", ln+1, m[1], m[2])
+		}
+		seen[m[1]+m[2]] = true
+	}
+}
+
+// TestGovernanceMetricsExposition asserts the admission, breaker and
+// quota metric families really land in the /metrics exposition once the
+// corresponding subsystems have been exercised, and that the rendered
+// text passes the lint /metrics is held to.
+func TestGovernanceMetricsExposition(t *testing.T) {
+	_, addr, eng := startSrv(t, Options{
+		MaxConns:             8,
+		MaxConcurrentQueries: 4,
+		MaxSessionsPerUser:   8,
+	}, engine.Options{})
+	if err := eng.RegisterNativeIsolated("iso_ok", []types.Kind{types.KindInt}, types.KindInt); err != nil {
+		t.Fatal(err)
+	}
+	cl := dial(t, addr) // hello binds a tenant: quota gauges register
+	if _, err := cl.Exec(`CREATE TABLE m (x INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec(`INSERT INTO m VALUES (41)`); err != nil {
+		t.Fatal(err)
+	}
+	// One isolated call creates the UDF's breaker (and its metrics).
+	if res, err := cl.Exec(`SELECT iso_ok(x) FROM m`); err != nil || res.Rows[0][0].Int != 42 {
+		t.Fatalf("isolated call: %v, %v", res, err)
+	}
+	var b strings.Builder
+	if err := obs.Default.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	lintGovernanceExposition(t, text)
+	for _, name := range []string{
+		"predator_server_admission_wait_seconds",
+		"predator_server_admission_shed_total",
+		"predator_server_admission_in_use",
+		`gate="queries"`,
+		`gate="connections"`,
+		"predator_udf_breaker_state",
+		"predator_udf_breaker_opens_total",
+		"predator_udf_breaker_sheds_total",
+		`udf="iso_ok"`,
+		"predator_govern_mem_bytes",
+		"predator_govern_cpu_ns_total",
+		"predator_govern_sessions",
+		"predator_server_connections_total",
+		"predator_isolate_executor_cpu_ns_total",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+}

@@ -22,6 +22,15 @@ var srvNatives = isolate.NativeTable{
 	"iso_ok": func(ctx *core.Ctx, args []types.Value) (types.Value, error) {
 		return types.NewInt(args[0].Int + 1), nil
 	},
+	// iso_flaky crashes the executor while the flag file named by its
+	// argument exists, and behaves once the flag is removed — the chaos
+	// tests use it to crash-loop one tenant's UDF and then heal it.
+	"iso_flaky": func(ctx *core.Ctx, args []types.Value) (types.Value, error) {
+		if _, err := os.Stat(args[0].Str); err == nil {
+			os.Exit(3)
+		}
+		return types.NewInt(int64(len(args[0].Str))), nil
+	},
 }
 
 func TestMain(m *testing.M) {

@@ -3,9 +3,17 @@
 // (at least) one thread — here a goroutine — per connected client.
 // Clients issue SQL, upload verified Jaguar UDF classes (the §6.4
 // migration path), and register large objects for callback access.
+//
+// The server is also where overload policy lives: connection and query
+// admission gates shed excess work with typed retryable errors instead
+// of queueing unboundedly, per-tenant session caps keep one user from
+// monopolizing the connection table, and Shutdown drains in-flight
+// statements before hanging up so every acknowledged result was really
+// produced.
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -16,7 +24,9 @@ import (
 	"sync"
 	"time"
 
+	"predator/internal/core"
 	"predator/internal/engine"
+	"predator/internal/govern"
 	"predator/internal/obs"
 	"predator/internal/types"
 	"predator/internal/wire"
@@ -30,17 +40,28 @@ var (
 	obsQueriesTot = obs.Default.Counter("predator_server_queries_total")
 )
 
+// errDraining rejects new statements while Shutdown waits for in-flight
+// ones; the client should reconnect (to a replacement) and retry.
+var errDraining = errors.New("server: draining for shutdown, retry later")
+
 // Server serves one engine over a listener.
 type Server struct {
-	eng  *engine.Engine
-	logf func(format string, args ...any)
-	opts Options
+	eng       *engine.Engine
+	logf      func(format string, args ...any)
+	opts      Options
+	connGate  *govern.Gate
+	queryGate *govern.Gate
 
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]bool
 	wg       sync.WaitGroup
-	shutdown bool
+	stmts    sync.WaitGroup // in-flight statements (drained by Shutdown)
+	draining bool           // refuse new statements, finish running ones
+	shutdown bool           // refuse new connections
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Options configures a server.
@@ -55,6 +76,21 @@ type Options struct {
 	// StatementTimeout seeds each connection's session deadline;
 	// clients adjust theirs with SET STATEMENT_TIMEOUT (0 = none).
 	StatementTimeout time.Duration
+	// MaxConns caps concurrently connected clients. A client past the
+	// cap receives a typed retryable error frame and is disconnected
+	// (0 = unlimited).
+	MaxConns int
+	// MaxConcurrentQueries caps statements executing at once across all
+	// connections; excess queries wait up to AdmissionWait for a slot
+	// and are then shed with a typed retryable error (0 = unlimited).
+	MaxConcurrentQueries int
+	// AdmissionWait bounds how long an over-admitted query may wait for
+	// an execution slot before being shed (0 = shed immediately).
+	AdmissionWait time.Duration
+	// MaxSessionsPerUser caps concurrently open sessions per tenant
+	// (user); a hello past the cap is refused with a typed retryable
+	// error (0 = unlimited).
+	MaxSessionsPerUser int
 }
 
 // New wraps an engine in a server.
@@ -63,7 +99,14 @@ func New(eng *engine.Engine, opts Options) *Server {
 	if logf == nil {
 		logf = log.Printf
 	}
-	return &Server{eng: eng, logf: logf, opts: opts, conns: make(map[net.Conn]bool)}
+	return &Server{
+		eng:       eng,
+		logf:      logf,
+		opts:      opts,
+		connGate:  govern.NewGate("connections", opts.MaxConns),
+		queryGate: govern.NewGate("queries", opts.MaxConcurrentQueries),
+		conns:     make(map[net.Conn]bool),
+	}
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:5442")
@@ -89,42 +132,129 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
+		release, admit := s.connGate.Acquire(0)
+		// Register the connection before spawning its goroutine: once
+		// it is in s.conns, Close/Shutdown will interrupt it, so a conn
+		// accepted in the races around shutdown can never outlive the
+		// server. If shutdown already won, drop the conn here.
 		s.mu.Lock()
-		if s.shutdown {
+		if s.shutdown || s.draining {
 			s.mu.Unlock()
+			if admit == nil {
+				release()
+			}
 			conn.Close()
 			return
 		}
 		s.conns[conn] = true
+		s.wg.Add(1)
 		s.mu.Unlock()
 		obsConnsTotal.Inc()
+		if admit != nil {
+			// Over MaxConns: tell the client why (typed, retryable),
+			// then hang up. Done off the accept loop so a stalled peer
+			// cannot block admission of everyone else. Reading the
+			// client's hello first makes the rejection its response
+			// instead of racing the client's own write; a silent peer
+			// gets a short grace before the same treatment.
+			go func() {
+				defer s.wg.Done()
+				defer s.forget(conn)
+				defer conn.Close()
+				conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+				c := wire.NewConn(conn)
+				c.Recv()
+				fault := core.NewFault(core.FaultOverload, "connect", admit)
+				c.Send(wire.MsgError, errorPayload(fault))
+			}()
+			continue
+		}
 		obsConnsOpen.Add(1)
-		s.wg.Add(1)
 		// One goroutine per client: the PREDATOR threading model.
 		go func() {
 			defer s.wg.Done()
 			defer obsConnsOpen.Add(-1)
+			defer release()
 			s.serveConn(conn)
-			s.mu.Lock()
-			delete(s.conns, conn)
-			s.mu.Unlock()
+			s.forget(conn)
 		}()
 	}
 }
 
-// Close stops the listener and all sessions, then closes the engine.
-func (s *Server) Close() error {
+// forget removes a finished connection from the shutdown set.
+func (s *Server) forget(conn net.Conn) {
 	s.mu.Lock()
-	s.shutdown = true
-	if s.ln != nil {
-		s.ln.Close()
-	}
-	for c := range s.conns {
-		c.Close()
-	}
+	delete(s.conns, conn)
 	s.mu.Unlock()
-	s.wg.Wait()
-	return s.eng.Close()
+}
+
+// Close stops the server immediately: no drain grace, in-flight
+// statements are cut off by closing their connections.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: drain nothing
+	return s.Shutdown(ctx)
+}
+
+// Shutdown gracefully stops the server: it stops accepting connections
+// and statements, waits for in-flight statements to finish (and their
+// result frames to reach the wire) until ctx expires, then closes every
+// connection, waits for the session goroutines, and closes the engine.
+// Safe to call concurrently and repeatedly; every call returns the
+// engine's close error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	drained := make(chan struct{})
+	go func() {
+		s.stmts.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+	}
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.shutdown = true
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+		s.closeErr = s.eng.Close()
+	})
+	s.wg.Wait() // racers that lost the Once still wait for teardown
+	return s.closeErr
+}
+
+// beginStmt admits one statement into the drain set, or refuses it
+// because shutdown has begun. The caller must s.stmts.Done() when the
+// statement's result (or error) has been written to the wire.
+func (s *Server) beginStmt() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.stmts.Add(1)
+	return true
+}
+
+// errorPayload encodes err as a typed MsgError payload: the message,
+// the fault class as a machine-readable code, and the retryable flag
+// clients use to decide between backoff-and-resend and giving up.
+func errorPayload(err error) []byte {
+	code := ""
+	if class := core.FaultClassOf(err); class != core.FaultNone {
+		code = class.String()
+	}
+	return wire.EncodeError(err.Error(), code, core.Retryable(err))
 }
 
 // session is one client connection's state.
@@ -133,6 +263,9 @@ type session struct {
 	// eng is the per-connection engine session: statement deadlines set
 	// with SET STATEMENT_TIMEOUT are scoped to this connection.
 	eng *engine.Session
+	// admitted is the tenant holding this session's slot under the
+	// per-user session cap (nil until a successful hello).
+	admitted *govern.Tenant
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -144,9 +277,17 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.logf("server: connection %s: panic: %v\n%s", conn.RemoteAddr(), r, debug.Stack())
 		}
 	}()
-	c := wire.NewConn(conn)
+	// The server side opts into PREDATOR_FAULT wire faults so chaos
+	// tests can perturb the server's reads and writes without touching
+	// the in-process test client's.
+	c := wire.NewConn(conn).EnableFaultInjection()
 	sess := &session{user: "anonymous", eng: s.eng.NewSession()}
 	sess.eng.SetStatementTimeout(s.opts.StatementTimeout)
+	defer func() {
+		if sess.admitted != nil {
+			sess.admitted.EndSession()
+		}
+	}()
 	for {
 		if s.opts.ReadTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
@@ -170,9 +311,7 @@ func (s *Server) serveConn(conn net.Conn) {
 
 func (s *Server) handle(c *wire.Conn, sess *session, typ byte, payload []byte) (err error) {
 	sendErr := func(err error) error {
-		w := &wire.Writer{}
-		w.Str(err.Error())
-		return c.Send(wire.MsgError, w.Buf)
+		return c.Send(wire.MsgError, errorPayload(err))
 	}
 	// A panic inside a handler (a misbehaving in-process UDF, a bad
 	// frame tripping a decoder bug) becomes an error reply; the
@@ -193,25 +332,26 @@ func (s *Server) handle(c *wire.Conn, sess *session, typ byte, payload []byte) (
 		if user != "" {
 			sess.user = user
 		}
+		// Bind the session to its tenant so quotas govern its
+		// statements, and take a slot under the per-user session cap.
+		sess.eng.BindTenant(sess.user)
+		if ten := sess.eng.Tenant(); ten != sess.admitted {
+			if sess.admitted != nil {
+				sess.admitted.EndSession()
+				sess.admitted = nil
+			}
+			if err := ten.AddSession(s.opts.MaxSessionsPerUser); err != nil {
+				return sendErr(core.NewFault(core.FaultOverload, "hello", err))
+			}
+			sess.admitted = ten
+		}
 		w := &wire.Writer{}
 		w.Str("welcome " + sess.user)
 		return c.Send(wire.MsgOK, w.Buf)
 	case wire.MsgPing:
 		return c.Send(wire.MsgOK, (&wire.Writer{}).Str("pong").Buf)
 	case wire.MsgQuery:
-		r := &wire.Reader{Buf: payload}
-		q := r.Str()
-		if r.Err != nil {
-			return sendErr(r.Err)
-		}
-		obsQueriesTot.Inc()
-		obsQueriesIn.Add(1)
-		res, err := sess.eng.Exec(q)
-		obsQueriesIn.Add(-1)
-		if err != nil {
-			return sendErr(err)
-		}
-		return c.Send(wire.MsgResult, wire.EncodeResult(res.Schema, res.Rows, res.RowsAffected, res.Message, res.Plan))
+		return s.handleQuery(c, sess, payload)
 	case wire.MsgRegister:
 		r := &wire.Reader{Buf: payload}
 		name := r.Str()
@@ -265,6 +405,36 @@ func (s *Server) handle(c *wire.Conn, sess *session, typ byte, payload []byte) (
 	default:
 		return sendErr(fmt.Errorf("server: unknown request type 0x%02x", typ))
 	}
+}
+
+// handleQuery runs one statement under admission control: the drain
+// set (so Shutdown can wait for it), then the concurrent-query gate.
+// Shed queries get a typed retryable error; the statement never ran.
+func (s *Server) handleQuery(c *wire.Conn, sess *session, payload []byte) error {
+	r := &wire.Reader{Buf: payload}
+	q := r.Str()
+	if r.Err != nil {
+		return c.Send(wire.MsgError, errorPayload(r.Err))
+	}
+	if !s.beginStmt() {
+		return c.Send(wire.MsgError, errorPayload(core.NewFault(core.FaultOverload, "admit", errDraining)))
+	}
+	// Done only after the result frame is written: a drained shutdown
+	// must never close a connection between execution and the ack.
+	defer s.stmts.Done()
+	release, admit := s.queryGate.Acquire(s.opts.AdmissionWait)
+	if admit != nil {
+		return c.Send(wire.MsgError, errorPayload(core.NewFault(core.FaultOverload, "admit", admit)))
+	}
+	obsQueriesTot.Inc()
+	obsQueriesIn.Add(1)
+	res, execErr := sess.eng.Exec(q)
+	obsQueriesIn.Add(-1)
+	release()
+	if execErr != nil {
+		return c.Send(wire.MsgError, errorPayload(execErr))
+	}
+	return c.Send(wire.MsgResult, wire.EncodeResult(res.Schema, res.Rows, res.RowsAffected, res.Message, res.Plan))
 }
 
 // Addr returns the bound listen address ("" before Listen).

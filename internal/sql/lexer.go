@@ -40,7 +40,7 @@ var sqlKeywords = map[string]bool{
 	"ORDER": true, "BY": true, "GROUP": true, "HAVING": true, "LIMIT": true,
 	"ASC": true, "DESC": true, "JOIN": true, "ON": true, "IS": true,
 	"SHOW": true, "TABLES": true, "FUNCTIONS": true, "EXPLAIN": true,
-	"ANALYZE": true, "STATS": true, "STATEMENTS": true,
+	"ANALYZE": true, "STATS": true, "STATEMENTS": true, "UDFS": true,
 	"DELETE": true, "REPLACE": true, "INNER": true, "UPDATE": true, "SET": true,
 	"CHECKPOINT": true,
 }

@@ -416,8 +416,10 @@ func (p *sqlParser) showStmt() (Statement, error) {
 		return &Show{What: "stats"}, nil
 	case p.accept(tkKeyword, "STATEMENTS"):
 		return &Show{What: "statements"}, nil
+	case p.accept(tkKeyword, "UDFS"):
+		return &Show{What: "udfs"}, nil
 	default:
-		return nil, p.errHere("expected TABLES, FUNCTIONS, STATS or STATEMENTS after SHOW")
+		return nil, p.errHere("expected TABLES, FUNCTIONS, STATS, STATEMENTS or UDFS after SHOW")
 	}
 }
 

@@ -48,8 +48,9 @@ const MaxFrame = 64 << 20
 // Conn wraps a stream with buffered framing. Not safe for concurrent
 // use; callers serialize request/response pairs.
 type Conn struct {
-	r *bufio.Reader
-	w *bufio.Writer
+	r      *bufio.Reader
+	w      *bufio.Writer
+	faulty bool
 }
 
 // NewConn wraps a transport.
@@ -57,11 +58,25 @@ func NewConn(rw io.ReadWriter) *Conn {
 	return &Conn{r: bufio.NewReaderSize(rw, 64<<10), w: bufio.NewWriterSize(rw, 64<<10)}
 }
 
+// EnableFaultInjection opts this connection into the PREDATOR_FAULT
+// wire matrix (see fault.go). The server arms its side of every
+// connection; clients never do, so an in-process chaos test perturbs
+// exactly the server-facing direction.
+func (c *Conn) EnableFaultInjection() *Conn {
+	c.faulty = true
+	return c
+}
+
 // Send writes one frame.
 func (c *Conn) Send(typ byte, payload []byte) error {
 	var hdr [5]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
 	hdr[4] = typ
+	if c.faulty {
+		if err := c.sendFault(hdr[:], payload); err != nil {
+			return err
+		}
+	}
 	if _, err := c.w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("wire: write header: %w", err)
 	}
@@ -74,6 +89,11 @@ func (c *Conn) Send(typ byte, payload []byte) error {
 
 // Recv reads one frame.
 func (c *Conn) Recv() (byte, []byte, error) {
+	if c.faulty {
+		if err := c.recvFault(); err != nil {
+			return 0, nil, err
+		}
+	}
 	var hdr [5]byte
 	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
 		return 0, nil, err
@@ -240,6 +260,45 @@ func (r *Reader) Schema() *types.Schema {
 		s.Columns = append(s.Columns, types.Column{Name: name, Kind: kind})
 	}
 	return s
+}
+
+// ErrFlagRetryable marks a server error whose statement never ran (or
+// was killed mid-run for transient reasons): the client may resubmit
+// as-is after backing off.
+const ErrFlagRetryable byte = 1 << 0
+
+// EncodeError serializes a MsgError payload: the message string the
+// v0 protocol carried, followed by a flags byte and a machine-readable
+// code (a core.FaultClass name such as "overload" or "quota"). Old
+// readers stop after the leading string, so the extension is
+// backward compatible in both directions.
+func EncodeError(msg, code string, retryable bool) []byte {
+	w := &Writer{}
+	w.Str(msg)
+	var flags byte
+	if retryable {
+		flags |= ErrFlagRetryable
+	}
+	w.Byte(flags)
+	w.Str(code)
+	return w.Buf
+}
+
+// DecodeError parses a MsgError payload from either protocol
+// generation: bare-string payloads yield an empty code and
+// retryable=false.
+func DecodeError(payload []byte) (msg, code string, retryable bool) {
+	r := &Reader{Buf: payload}
+	msg = r.Str()
+	if r.Err != nil || r.Off >= len(r.Buf) {
+		return msg, "", false
+	}
+	flags := r.Byte()
+	code = r.Str()
+	if r.Err != nil {
+		return msg, "", false
+	}
+	return msg, code, flags&ErrFlagRetryable != 0
 }
 
 // EncodeResult serializes a query result (schema, rows, message, plan).

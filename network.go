@@ -1,6 +1,8 @@
 package predator
 
 import (
+	"context"
+
 	"predator/internal/client"
 	"predator/internal/server"
 )
@@ -18,9 +20,18 @@ type Client = client.Client
 // UDFSpec describes a portable UDF for the client migration workflow.
 type UDFSpec = client.UDFSpec
 
-// ServerOptions configures a network server (connection read deadline,
-// default statement timeout, logging).
+// ServerOptions configures a network server: connection read deadline,
+// default statement timeout, logging, and overload policy (connection,
+// query and per-tenant session caps with bounded admission waits).
 type ServerOptions = server.Options
+
+// ServerError is a typed server-side statement failure carrying the
+// fault classification and the retryable flag.
+type ServerError = client.ServerError
+
+// IsRetryable reports whether a client-observed error is safe to retry
+// as-is after backing off (admission shed, statement-timeout kill).
+func IsRetryable(err error) bool { return client.IsRetryable(err) }
 
 // NewServer wraps a DB in a network server. Closing the server closes
 // the DB.
@@ -40,8 +51,15 @@ func (s *Server) Listen(addr string) (string, error) { return s.srv.Listen(addr)
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.srv.Addr() }
 
-// Close stops serving and closes the underlying DB.
+// Close stops serving and closes the underlying DB immediately; any
+// in-flight statements are cut off.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops accepting new connections and statements, drains
+// in-flight statements until ctx expires, then closes everything
+// (including the underlying DB). Acknowledged results are never lost
+// to a drain.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
 
 // Dial connects to a PREDATOR-Go server.
 func Dial(addr, user string) (*Client, error) { return client.Dial(addr, user) }

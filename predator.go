@@ -38,6 +38,7 @@ import (
 
 	"predator/internal/core"
 	"predator/internal/engine"
+	"predator/internal/govern"
 	"predator/internal/isolate"
 	"predator/internal/jaguar"
 	"predator/internal/jvm"
@@ -86,6 +87,9 @@ type (
 	Fault = core.Fault
 	// FaultClass classifies a UDF execution failure.
 	FaultClass = core.FaultClass
+	// TenantQuota is a per-tenant resource ceiling (memory reservation
+	// and executor CPU time per window).
+	TenantQuota = govern.Quota
 )
 
 // Fault classes (see core.FaultClass).
@@ -94,10 +98,17 @@ const (
 	FaultExecutor = core.FaultExecutor
 	FaultProtocol = core.FaultProtocol
 	FaultTimeout  = core.FaultTimeout
+	FaultQuota    = core.FaultQuota
+	FaultOverload = core.FaultOverload
 )
 
 // FaultClassOf extracts the fault class from an error chain.
 func FaultClassOf(err error) FaultClass { return core.FaultClassOf(err) }
+
+// Retryable reports whether err is transient — admission shedding, a
+// statement-timeout kill — and the statement can be resubmitted as-is
+// after backing off. Quota trips are deterministic and not retryable.
+func Retryable(err error) bool { return core.Retryable(err) }
 
 // IsTimeout reports whether an error is a deadline-expiry fault.
 func IsTimeout(err error) bool { return core.IsTimeout(err) }
@@ -226,6 +237,13 @@ func WithTraceDir(dir string) Option {
 // SetStructuredLogger) for every statement slower than d (0 disables).
 func WithSlowQueryThreshold(d time.Duration) Option {
 	return func(o *engine.Options) { o.SlowQuery = d }
+}
+
+// WithTenantQuota sets the default resource ceiling every tenant
+// starts with; sessions adjust their own tenant's ceiling with
+// SET QUOTA_MEMORY / SET QUOTA_CPU. The zero quota is unlimited.
+func WithTenantQuota(q TenantQuota) Option {
+	return func(o *engine.Options) { o.Quota = q }
 }
 
 // SetStructuredLogger routes the engine's structured logs — slow
