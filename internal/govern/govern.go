@@ -253,7 +253,10 @@ func (t *Tenant) rollWindow() {
 	start := t.cpuReset.Load()
 	now := time.Now().UnixNano()
 	if now-start >= int64(w) && t.cpuReset.CompareAndSwap(start, now) {
-		t.cpuNS.Store(0)
+		// Swap, not Store: an AddCPU racing the roll lands atomically in
+		// either the swapped-out old window or the fresh one — it is
+		// never silently dropped between a load and a reset.
+		t.cpuNS.Swap(0)
 	}
 }
 

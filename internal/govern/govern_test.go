@@ -153,6 +153,34 @@ func TestTenantCPUQuota(t *testing.T) {
 	}
 }
 
+// TestCPUWindowRollRace hammers window rolls racing AddCPU/CheckCPU
+// under the race detector: the Swap-based reset must hand every
+// concurrent accounting update to exactly one window (old or new),
+// never drop it between a CAS and a store.
+func TestCPUWindowRollRace(t *testing.T) {
+	gov := NewGovernor(Quota{})
+	ten := gov.Tenant("racy")
+	ten.SetQuota(Quota{CPUTime: time.Hour, CPUWindow: time.Microsecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				ten.AddCPU(time.Microsecond)
+				if err := ten.CheckCPU(); err != nil {
+					t.Errorf("hour-budget tenant tripped cpu quota: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if used := ten.CPUUsed(); used < 0 {
+		t.Fatalf("negative CPU accumulator after racing rolls: %v", used)
+	}
+}
+
 func TestTenantSessionCap(t *testing.T) {
 	gov := NewGovernor(Quota{})
 	ten := gov.Tenant("carol")

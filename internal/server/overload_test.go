@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
@@ -166,6 +167,81 @@ func TestSessionCapPerUser(t *testing.T) {
 			t.Fatalf("alice session slot never freed: %v", err)
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPanicReleasesQuerySlot is the regression test for the admission
+// slot leak: a statement that panics (a misbehaving in-process UDF) is
+// recovered by handle, and must still return its MaxConcurrentQueries
+// slot and in-flight gauge decrement — otherwise every panic would
+// permanently shrink query capacity until the server sheds all work.
+func TestPanicReleasesQuerySlot(t *testing.T) {
+	_, addr, eng := startSrv(t, Options{MaxConcurrentQueries: 1}, engine.Options{})
+	err := eng.RegisterNative("boom", []types.Kind{types.KindInt}, types.KindInt,
+		func(ctx *core.Ctx, args []types.Value) (types.Value, error) {
+			panic("udf gone rogue")
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inBefore := obs.Default.Gauge("predator_server_queries_in_flight").Value()
+	cl := dial(t, addr)
+	if _, err := cl.Exec(`CREATE TABLE n (x INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec(`INSERT INTO n VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	// With a single query slot, leaking it even once would shed every
+	// statement after the first panic.
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Exec(`SELECT boom(x) FROM n`); err == nil {
+			t.Fatal("panicking UDF reported success")
+		}
+	}
+	if _, err := cl.Exec(`SELECT x FROM n`); err != nil {
+		t.Fatalf("query slot leaked by panicking statements: %v", err)
+	}
+	if in := obs.Default.Gauge("predator_server_queries_in_flight").Value(); in != inBefore {
+		t.Errorf("in-flight gauge leaked: %d -> %d", inBefore, in)
+	}
+}
+
+// TestSessionCapRefusalClosesConn is the regression test for the
+// session-cap bypass: a client whose hello is refused under
+// MaxSessionsPerUser must be disconnected, not left bound to the
+// tenant where it could keep issuing statements without holding a
+// session slot.
+func TestSessionCapRefusalClosesConn(t *testing.T) {
+	_, addr, _ := startSrv(t, Options{MaxSessionsPerUser: 1}, engine.Options{})
+	a1, err := client.Dial(addr, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a1.Close()
+	// Raw wire client that ignores the hello refusal.
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	c := wire.NewConn(nc)
+	if err := c.Send(wire.MsgHello, (&wire.Writer{}).Str("alice").Buf); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != wire.MsgError {
+		t.Fatalf("over-cap hello got frame 0x%02x, want MsgError", typ)
+	}
+	// Ignore the refusal and try to run a statement anyway: the server
+	// must have hung up, so no result frame may ever come back.
+	nc.SetDeadline(time.Now().Add(5 * time.Second))
+	c.Send(wire.MsgQuery, (&wire.Writer{}).Str(`SELECT 1`).Buf)
+	if typ, _, err := c.Recv(); err == nil {
+		t.Fatalf("refused session still served a statement (frame 0x%02x)", typ)
 	}
 }
 

@@ -303,7 +303,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		if err := s.handle(c, sess, typ, payload); err != nil {
-			s.logf("server: reply to %s failed: %v", conn.RemoteAddr(), err)
+			s.logf("server: dropping connection %s: %v", conn.RemoteAddr(), err)
 			return
 		}
 	}
@@ -341,7 +341,14 @@ func (s *Server) handle(c *wire.Conn, sess *session, typ byte, payload []byte) (
 				sess.admitted = nil
 			}
 			if err := ten.AddSession(s.opts.MaxSessionsPerUser); err != nil {
-				return sendErr(core.NewFault(core.FaultOverload, "hello", err))
+				// Send the typed refusal, then drop the connection: the
+				// session is already bound to the tenant, so keeping it
+				// open would let a client that ignores the error keep
+				// issuing statements without holding a session slot.
+				if serr := sendErr(core.NewFault(core.FaultOverload, "hello", err)); serr != nil {
+					return serr
+				}
+				return fmt.Errorf("refusing hello from %s: %w", sess.user, err)
 			}
 			sess.admitted = ten
 		}
@@ -428,9 +435,15 @@ func (s *Server) handleQuery(c *wire.Conn, sess *session, payload []byte) error 
 	}
 	obsQueriesTot.Inc()
 	obsQueriesIn.Add(1)
-	res, execErr := sess.eng.Exec(q)
-	obsQueriesIn.Add(-1)
-	release()
+	// The slot and gauge are released via defer so a panicking statement
+	// (recovered in handle) cannot leak a MaxConcurrentQueries slot; the
+	// closure keeps the release ahead of the result write, so a stalled
+	// client draining its result frame does not hold an execution slot.
+	res, execErr := func() (*engine.Result, error) {
+		defer release()
+		defer obsQueriesIn.Add(-1)
+		return sess.eng.Exec(q)
+	}()
 	if execErr != nil {
 		return c.Send(wire.MsgError, errorPayload(execErr))
 	}
