@@ -8,7 +8,7 @@
 //	predator-bench -experiment table1,fig5,fig8
 //
 // Experiments: table1 fig4 fig5 fig5batch fig6 fig7 fig8 jit verifier
-// fuel pool cbbatch durability overload, or "all".
+// fuel pool cbbatch durability overload fleet, or "all".
 package main
 
 import (
@@ -177,6 +177,13 @@ func main() {
 			perCell = 2 * time.Second
 		}
 		show(bench.OverloadShedding(perCell))
+	}
+	if sel("fleet") {
+		perCell := 300 * time.Millisecond
+		if *full {
+			perCell = 2 * time.Second
+		}
+		show(bench.FleetMultiplexing(perCell))
 	}
 	if *traceDir != "" && h != nil {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {

@@ -53,6 +53,7 @@ func main() {
 		quotaMem  = flag.Int64("quota-mem", 0, "default per-tenant statement memory ceiling in bytes (0 = unlimited; sessions may SET QUOTA_MEMORY)")
 		quotaCPU  = flag.Duration("quota-cpu", 0, "default per-tenant executor CPU budget per quota window (0 = unlimited; sessions may SET QUOTA_CPU)")
 		quotaWin  = flag.Duration("quota-cpu-window", 0, "window over which -quota-cpu accumulates (0 = 1s)")
+		fleetSize = flag.Int("fleet-size", 0, "run isolated UDFs on a shared fleet of this many multiplexed executor processes; process count stays O(cores) across all sessions (0 = one executor per UDF; inspect with SHOW EXECUTORS)")
 	)
 	flag.Parse()
 
@@ -92,6 +93,9 @@ func main() {
 	}
 	if *nojit {
 		opts = append(opts, predator.WithJITDisabled())
+	}
+	if *fleetSize > 0 {
+		opts = append(opts, predator.WithFleetSize(*fleetSize))
 	}
 	start := time.Now()
 	db, err := predator.Open(*dbPath, opts...)

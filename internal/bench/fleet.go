@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"predator/internal/core"
+	"predator/internal/fleet"
+	"predator/internal/isolate"
+	"predator/internal/jaguar"
+	"predator/internal/types"
+)
+
+// FleetMultiplexing measures what the shared executor fleet buys over
+// the paper's per-query executor lifecycle. Workers at 1, 8 and 32
+// concurrency run short queries over 8 distinct VM UDFs; each query is
+// a fixed number of isolated crossings. In per-query mode every query
+// binds (and tears down) its own executor process — the paper's
+// lifecycle. In fleet mode all queries share 4 multiplexed processes
+// with warm (tenant, UDF) stream recycling. Reported per cell: acked
+// queries and throughput, peak resident executor processes, and
+// processes started — the numbers the fleet exists to hold flat.
+func FleetMultiplexing(perCell time.Duration) (*Table, error) {
+	if perCell <= 0 {
+		perCell = 300 * time.Millisecond
+	}
+	const (
+		nUDFs        = 8
+		fleetSize    = 4
+		rowsPerQuery = 16
+	)
+	intKinds := []types.Kind{types.KindInt}
+	classes := make([][]byte, nUDFs)
+	for i := range classes {
+		src := fmt.Sprintf(`func f(a int) int { return a + %d; }`, i+1)
+		cb, err := jaguar.CompileToBytes(src, fmt.Sprintf("Fleet%d", i+1))
+		if err != nil {
+			return nil, err
+		}
+		classes[i] = cb
+	}
+
+	type cell struct {
+		mode    string
+		workers int
+		acked   int64
+		qps     float64
+		peak    int64
+		started int64
+	}
+	var cells []cell
+	for _, mode := range []string{"per-query", "fleet"} {
+		for _, workers := range []int{1, 8, 32} {
+			startsBefore := isolate.ReadStats().Starts
+			var fl *fleet.Fleet
+			var shared []core.UDF
+			if mode == "fleet" {
+				fl = fleet.New(fleet.Options{Size: fleetSize})
+				for i := 0; i < nUDFs; i++ {
+					shared = append(shared, isolate.WithFleet(isolate.NewVMIsolated(
+						fmt.Sprintf("fleet_add%d", i+1), intKinds, types.KindInt,
+						isolate.VMSetup{ClassBytes: classes[i], Method: "f"}), fl))
+				}
+			}
+			var acked atomic.Int64
+			var live, peak atomic.Int64
+			var firstErr atomic.Value
+			raise := func(cur int64) {
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						return
+					}
+				}
+			}
+			var wg sync.WaitGroup
+			start := time.Now()
+			deadline := start.Add(perCell)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for q := 0; time.Now().Before(deadline); q++ {
+						i := (w + q) % nUDFs
+						u := (core.UDF)(nil)
+						if fl != nil {
+							u = shared[i]
+						} else {
+							// The paper's lifecycle: this query's own executor,
+							// torn down with the query.
+							u = isolate.NewVMIsolated(
+								fmt.Sprintf("pq_add%d", i+1), intKinds, types.KindInt,
+								isolate.VMSetup{ClassBytes: classes[i], Method: "f"})
+							raise(live.Add(1))
+						}
+						ok := true
+						for r := 0; r < rowsPerQuery && ok; r++ {
+							out, err := u.Invoke(nil, []types.Value{types.NewInt(int64(r))})
+							switch {
+							case err != nil:
+								firstErr.CompareAndSwap(nil, err)
+								ok = false
+							case out.Int != int64(r)+int64(i+1):
+								firstErr.CompareAndSwap(nil, fmt.Errorf(
+									"udf %d returned %d, want %d", i, out.Int, int64(r)+int64(i+1)))
+								ok = false
+							}
+						}
+						if fl != nil {
+							raise(int64(fl.AliveExecutors()))
+						} else {
+							u.Close()
+							live.Add(-1)
+						}
+						if ok {
+							acked.Add(1)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			started := isolate.ReadStats().Starts - startsBefore
+			if fl != nil {
+				fl.Close()
+			}
+			if err, _ := firstErr.Load().(error); err != nil {
+				return nil, fmt.Errorf("bench: fleet %s/%d: %w", mode, workers, err)
+			}
+			if acked.Load() == 0 {
+				return nil, fmt.Errorf("bench: fleet %s/%d: no query completed", mode, workers)
+			}
+			cells = append(cells, cell{
+				mode:    mode,
+				workers: workers,
+				acked:   acked.Load(),
+				qps:     float64(acked.Load()) / elapsed.Seconds(),
+				peak:    peak.Load(),
+				started: started,
+			})
+		}
+	}
+
+	t := &Table{
+		ID:      "fleet",
+		Title:   "Executor fleet: multiplexed crossings vs per-query executor processes",
+		Caption: fmt.Sprintf("%v per cell; %d VM UDFs, %d crossings per query. per-query = one executor process per query (the paper's lifecycle); fleet = %d shared multiplexed processes with warm stream recycling.", perCell, nUDFs, rowsPerQuery, fleetSize),
+		Header:  []string{"mode", "concurrency", "acked", "acked qps", "peak resident procs", "procs started"},
+	}
+	for _, c := range cells {
+		t.Rows = append(t.Rows, []string{
+			c.mode,
+			fmt.Sprintf("%d", c.workers),
+			fmt.Sprintf("%d", c.acked),
+			fmt.Sprintf("%.0f", c.qps),
+			fmt.Sprintf("%d", c.peak),
+			fmt.Sprintf("%d", c.started),
+		})
+	}
+	return t, nil
+}

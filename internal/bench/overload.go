@@ -118,7 +118,10 @@ func OverloadShedding(perCell time.Duration) (*Table, error) {
 						return
 					}
 					defer cl.Close()
-					for time.Now().Before(deadline) {
+					// Always issue at least one query: if dialing under load
+					// ate the whole window, an empty cell would read as "no
+					// query ever acknowledged" rather than a slow machine.
+					for first := true; first || time.Now().Before(deadline); first = false {
 						t0 := time.Now()
 						_, err := cl.Exec("SELECT ovburn(id) FROM ov WHERE id < 4")
 						d := time.Since(t0)

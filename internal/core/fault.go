@@ -33,6 +33,12 @@ const (
 	// FaultOverload is load shedding: the server or a circuit breaker
 	// rejected the work before it started. Always safe to retry.
 	FaultOverload
+	// FaultExecutorLost is a multiplexed crossing stranded by the death
+	// of its shared executor process (a sibling stream's crash, a
+	// supervisor kill, a fleet restart). Unlike FaultExecutor it is
+	// retryable: the fleet routes a resubmission to a healthy executor,
+	// so the failure is transient by construction.
+	FaultExecutorLost
 )
 
 // String names the class for logs and error text.
@@ -50,6 +56,8 @@ func (c FaultClass) String() string {
 		return "quota"
 	case FaultOverload:
 		return "overload"
+	case FaultExecutorLost:
+		return "executor-lost"
 	default:
 		return "none"
 	}
@@ -97,12 +105,13 @@ func FaultClassOf(err error) FaultClass {
 func IsTimeout(err error) bool { return FaultClassOf(err) == FaultTimeout }
 
 // Retryable reports whether the failed work can safely be resubmitted
-// as-is: overload sheds never started the statement, and timeout kills
-// are transient by construction. Quota, UDF, executor and protocol
+// as-is: overload sheds never started the statement, timeout kills are
+// transient by construction, and an executor lost under a multiplexed
+// stream was a casualty, not a cause. Quota, UDF, executor and protocol
 // faults are deterministic — retrying without change would fail again.
 func Retryable(err error) bool {
 	switch FaultClassOf(err) {
-	case FaultOverload, FaultTimeout:
+	case FaultOverload, FaultTimeout, FaultExecutorLost:
 		return true
 	default:
 		return false

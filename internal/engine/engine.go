@@ -15,6 +15,7 @@ import (
 	"predator/internal/core"
 	"predator/internal/exec"
 	"predator/internal/expr"
+	"predator/internal/fleet"
 	"predator/internal/govern"
 	"predator/internal/isolate"
 	"predator/internal/jaguar"
@@ -76,6 +77,13 @@ type Options struct {
 	// budget). Zero fields are unlimited. Sessions tune their own
 	// tenant with SET QUOTA_MEMORY / SET QUOTA_CPU.
 	Quota govern.Quota
+	// FleetSize, when positive, runs isolated UDFs on a shared fleet of
+	// that many multiplexed executor processes instead of one process
+	// per UDF: process count stays O(cores) however many sessions and
+	// UDFs are live. 0 keeps the paper's dedicated-executor lifecycle.
+	// Quarantined UDFs (open breaker) still fall back to dedicated
+	// executors. Inspect with SHOW EXECUTORS.
+	FleetSize int
 }
 
 // defaultCheckpointBytes bounds WAL growth (and hence recovery time)
@@ -94,6 +102,7 @@ type Engine struct {
 	objects *ObjectStore
 	opts    Options
 	gov     *govern.Governor
+	fleet   *fleet.Fleet // shared executor fleet (nil = dedicated executors)
 	defSess *Session
 	closed  bool
 
@@ -147,6 +156,9 @@ func Open(path string, opts Options) (*Engine, error) {
 	}
 	e.planner = &plan.Planner{Catalog: cat, Registry: e.reg}
 	e.gov = govern.NewGovernor(opts.Quota)
+	if opts.FleetSize > 0 {
+		e.fleet = fleet.New(fleet.Options{Size: opts.FleetSize, Supervision: opts.Supervision})
+	}
 	e.ckptBytes = opts.CheckpointBytes
 	if e.ckptBytes == 0 {
 		e.ckptBytes = defaultCheckpointBytes
@@ -177,6 +189,9 @@ func (e *Engine) Close() error {
 	}
 	e.closed = true
 	e.reg.Close()
+	if e.fleet != nil {
+		e.fleet.Close()
+	}
 	if err := e.pool.FlushAll(); err != nil {
 		e.disk.Close()
 		return err
@@ -784,6 +799,39 @@ func (e *Engine) execShow(n *sql.Show) (*Result, error) {
 			})
 		}
 		return &Result{Schema: sch, Rows: rows}, nil
+	case "executors":
+		sch := types.NewSchema(
+			types.Column{Name: "slot", Kind: types.KindInt},
+			types.Column{Name: "pid", Kind: types.KindInt},
+			types.Column{Name: "state", Kind: types.KindString},
+			types.Column{Name: "resident_streams", Kind: types.KindInt},
+			types.Column{Name: "idle_streams", Kind: types.KindInt},
+			types.Column{Name: "warm_entries", Kind: types.KindInt},
+			types.Column{Name: "restarts", Kind: types.KindInt},
+			types.Column{Name: "last_ping_seconds", Kind: types.KindFloat},
+		)
+		// No fleet configured: an empty relation, not an error, so the
+		// statement is portable across deployments.
+		var rows []types.Row
+		if e.fleet != nil {
+			for _, info := range e.fleet.Snapshot() {
+				lastPing := -1.0
+				if info.LastPing >= 0 {
+					lastPing = info.LastPing.Seconds()
+				}
+				rows = append(rows, types.Row{
+					types.NewInt(int64(info.Slot)),
+					types.NewInt(int64(info.PID)),
+					types.NewString(info.State),
+					types.NewInt(int64(info.Resident)),
+					types.NewInt(int64(info.Idle)),
+					types.NewInt(int64(info.Warm)),
+					types.NewInt(int64(info.Restarts)),
+					types.NewFloat(lastPing),
+				})
+			}
+		}
+		return &Result{Schema: sch, Rows: rows}, nil
 	case "stats":
 		sch := types.NewSchema(
 			types.Column{Name: "metric", Kind: types.KindString},
@@ -900,7 +948,7 @@ func (e *Engine) installJaguarClassMethod(name string, classBytes []byte, method
 			Method:     method,
 			Limits:     e.opts.UDFLimits,
 		})
-		return e.reg.Register(isolate.WithSupervision(u, e.opts.Supervision))
+		return e.reg.Register(e.attachFleet(isolate.WithSupervision(u, e.opts.Supervision)))
 	}
 	// Each UDF loads in its own namespace: class-loader isolation.
 	loader := e.vm.NewLoader("udf:" + strings.ToLower(name))
@@ -938,8 +986,22 @@ func (e *Engine) RegisterSFINative(name string, args []types.Kind, ret types.Kin
 // isolate.MaybeRunExecutor by this program's main.
 func (e *Engine) RegisterNativeIsolated(name string, args []types.Kind, ret types.Kind) error {
 	u := isolate.NewNativeIsolated(name, args, ret)
-	return e.reg.Register(isolate.WithSupervision(u, e.opts.Supervision))
+	return e.reg.Register(e.attachFleet(isolate.WithSupervision(u, e.opts.Supervision)))
 }
+
+// attachFleet routes an isolated UDF's crossings through the shared
+// executor fleet when one is configured. Attach happens at registration
+// time — before the first Invoke — as the fleet contract requires.
+func (e *Engine) attachFleet(u core.UDF) core.UDF {
+	if e.fleet == nil {
+		return u
+	}
+	return isolate.WithFleet(u, e.fleet)
+}
+
+// Fleet exposes the shared executor fleet (nil when FleetSize is 0),
+// for diagnostics like SHOW EXECUTORS and tests.
+func (e *Engine) Fleet() *fleet.Fleet { return e.fleet }
 
 // classNameFor derives the Jaguar class name for a SQL function.
 func classNameFor(fn string) string { return "udf_" + strings.ToLower(fn) }

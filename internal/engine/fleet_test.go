@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"path/filepath"
+	"testing"
+
+	"predator/internal/types"
+)
+
+// TestShowExecutorsWithoutFleet: without -fleet-size the statement is
+// an empty relation, not an error.
+func TestShowExecutorsWithoutFleet(t *testing.T) {
+	e := openEngine(t)
+	res := mustExec(t, e, `SHOW EXECUTORS`)
+	if len(res.Rows) != 0 {
+		t.Fatalf("fleetless SHOW EXECUTORS returned %d rows", len(res.Rows))
+	}
+	if got := res.Schema.Arity(); got != 8 {
+		t.Fatalf("SHOW EXECUTORS arity = %d, want 8", got)
+	}
+}
+
+// TestFleetEngineIntegration runs both isolated designs (native and
+// Jaguar VM) over a shared two-process fleet and inspects it via SHOW
+// EXECUTORS.
+func TestFleetEngineIntegration(t *testing.T) {
+	e, err := Open(filepath.Join(t.TempDir(), "fleet.db"), Options{FleetSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	if e.Fleet() == nil || e.Fleet().Size() != 2 {
+		t.Fatal("FleetSize option did not build a fleet")
+	}
+	mustExec(t, e, `CREATE TABLE n (x INT)`)
+	mustExec(t, e, `INSERT INTO n VALUES (1), (2), (3)`)
+	if err := e.RegisterNativeIsolated("iso_double", []types.Kind{types.KindInt}, types.KindInt); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, e, `CREATE FUNCTION inc(int) RETURNS int LANGUAGE jaguar ISOLATED AS $$
+		func inc(x int) int { return x + 1; }
+	$$`)
+	res := mustExec(t, e, `SELECT iso_double(x), inc(x) FROM n ORDER BY x`)
+	if len(res.Rows) != 3 || res.Rows[2][0].Int != 6 || res.Rows[2][1].Int != 4 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+
+	show := mustExec(t, e, `SHOW EXECUTORS`)
+	if len(show.Rows) != 2 {
+		t.Fatalf("SHOW EXECUTORS rows = %d, want one per fleet slot", len(show.Rows))
+	}
+	up, resident, warm := 0, int64(0), int64(0)
+	for _, row := range show.Rows {
+		if row[2].Str == "up" {
+			up++
+			if row[1].Int == 0 {
+				t.Error("up executor with zero pid")
+			}
+		}
+		resident += row[3].Int
+		warm += row[5].Int
+	}
+	if up == 0 {
+		t.Fatal("no executor up after fleet queries")
+	}
+	if resident == 0 {
+		t.Error("no resident streams after fleet queries")
+	}
+	if warm < 2 {
+		t.Errorf("warm entries = %d, want >= 2 (both UDFs)", warm)
+	}
+
+	// Both queries above shared fleet processes: no dedicated executor
+	// per UDF was started. The UDF count exceeding the fleet size is the
+	// point of the subsystem.
+	if alive := e.Fleet().AliveExecutors(); alive > 2 {
+		t.Errorf("alive executors = %d, want <= 2", alive)
+	}
+}

@@ -78,7 +78,29 @@ type batchState struct {
 }
 
 func newBatchState(ec *expr.Ctx, input Operator, max int, eval func(w *window) error) *batchState {
-	return &batchState{ec: ec, input: input, eval: eval, max: max, inflight: make(chan *window, 1)}
+	return &batchState{ec: ec, input: input, eval: retryLost(eval), max: max, inflight: make(chan *window, 1)}
+}
+
+// cLostRetries counts batch windows resubmitted after their shared
+// executor died mid-crossing.
+var cLostRetries = obs.Default.Counter("predator_exec_executor_lost_retries_total")
+
+// retryLost resubmits a window once when its crossing was stranded by a
+// shared-executor death (FaultExecutorLost). The class is retryable by
+// construction — the window produced no partial results and the fleet
+// routes the resubmission to a healthy process — so a single executor
+// crash never kills the queries that merely shared its pipe. One retry
+// only: a second loss means the fleet itself is unhealthy, and that is
+// the client's retry decision, not ours.
+func retryLost(eval func(w *window) error) func(w *window) error {
+	return func(w *window) error {
+		err := eval(w)
+		if core.FaultClassOf(err) == core.FaultExecutorLost {
+			cLostRetries.Inc()
+			err = eval(w)
+		}
+		return err
+	}
 }
 
 // next returns the window and position of the next evaluated row, or

@@ -1,0 +1,369 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"predator/internal/core"
+	"predator/internal/govern"
+	"predator/internal/isolate"
+	"predator/internal/jaguar"
+	"predator/internal/types"
+)
+
+var testNatives = isolate.NativeTable{
+	"double": func(ctx *core.Ctx, args []types.Value) (types.Value, error) {
+		return types.NewInt(args[0].Int * 2), nil
+	},
+	"slowdouble": func(ctx *core.Ctx, args []types.Value) (types.Value, error) {
+		time.Sleep(2 * time.Millisecond)
+		return types.NewInt(args[0].Int * 2), nil
+	},
+	"boom": func(ctx *core.Ctx, args []types.Value) (types.Value, error) {
+		os.Exit(3)
+		return types.Value{}, nil
+	},
+}
+
+func TestMain(m *testing.M) {
+	isolate.MaybeRunExecutor(testNatives)
+	os.Exit(m.Run())
+}
+
+// vmUDF compiles a distinct Jaguar UDF that adds `add` and returns it
+// fleet-attached.
+func vmUDF(t *testing.T, f *Fleet, add int) core.UDF {
+	t.Helper()
+	name := fmt.Sprintf("add%d", add)
+	src := fmt.Sprintf(`func f(a int) int { return a + %d; }`, add)
+	classBytes, err := jaguar.CompileToBytes(src, fmt.Sprintf("Add%d", add))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := isolate.NewVMIsolated(name, []types.Kind{types.KindInt}, types.KindInt,
+		isolate.VMSetup{ClassBytes: classBytes, Method: "f"})
+	return isolate.WithFleet(u, f)
+}
+
+func newFleetT(t *testing.T, opts Options) *Fleet {
+	t.Helper()
+	f := New(opts)
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// TestFleetProcessCapAcceptance is the ISSUE acceptance criterion: 32
+// concurrent queries over 8 distinct VM UDFs on a FleetSize=4 fleet
+// never use more than 4 resident executor processes.
+func TestFleetProcessCapAcceptance(t *testing.T) {
+	startsBefore := isolate.ReadStats().Starts
+	f := newFleetT(t, Options{Size: 4})
+	udfs := make([]core.UDF, 8)
+	for i := range udfs {
+		udfs[i] = vmUDF(t, f, i+1)
+	}
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for q := 0; q < 32; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			u := udfs[q%len(udfs)]
+			add := int64(q%len(udfs) + 1)
+			for r := 0; r < 30; r++ {
+				out, err := u.Invoke(nil, []types.Value{types.NewInt(int64(r))})
+				if err != nil {
+					t.Errorf("query %d: %v", q, err)
+					failures.Add(1)
+					return
+				}
+				if out.Int != int64(r)+add {
+					t.Errorf("query %d round %d: got %d, want %d", q, r, out.Int, int64(r)+add)
+					failures.Add(1)
+					return
+				}
+			}
+		}(q)
+	}
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d queries failed", failures.Load())
+	}
+	if alive := f.AliveExecutors(); alive > 4 {
+		t.Errorf("alive executors = %d, want <= 4", alive)
+	}
+	pids := map[int]bool{}
+	for _, info := range f.Snapshot() {
+		if info.State == "up" {
+			pids[info.PID] = true
+		}
+	}
+	if len(pids) > 4 {
+		t.Errorf("resident executor processes = %d, want <= 4", len(pids))
+	}
+	// No query fell back to a dedicated executor: every process start
+	// was one of the fleet's (the 4 pre-forks, plus any chaos restarts —
+	// none expected here).
+	if started := isolate.ReadStats().Starts - startsBefore; started > 4 {
+		t.Errorf("executor starts = %d, want <= 4 (dedicated fallback leaked?)", started)
+	}
+	if got := f.InFlight(); got != 0 {
+		t.Errorf("in-flight after drain = %d (govern leak)", got)
+	}
+}
+
+// TestFleetWarmReuse checks warm recycling: the second query for the
+// same (tenant, UDF) skips setup via an idle parked stream or a
+// child-side warm binding.
+func TestFleetWarmReuse(t *testing.T) {
+	f := newFleetT(t, Options{Size: 2})
+	u := vmUDF(t, f, 7)
+	before := cReuses.Value() + cWarmHits.Value()
+	for i := 0; i < 10; i++ {
+		out, err := u.Invoke(nil, []types.Value{types.NewInt(int64(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Int != int64(i)+7 {
+			t.Fatalf("got %d", out.Int)
+		}
+	}
+	if after := cReuses.Value() + cWarmHits.Value(); after-before < 9 {
+		t.Errorf("warm reuse count = %d, want >= 9", after-before)
+	}
+}
+
+// TestFleetBatchCrossing drives the batched path through the fleet.
+func TestFleetBatchCrossing(t *testing.T) {
+	f := newFleetT(t, Options{Size: 2})
+	u := isolate.WithFleet(
+		isolate.NewNativeIsolated("double", []types.Kind{types.KindInt}, types.KindInt), f)
+	bu := u.(core.BatchUDF)
+	args := make([]types.Value, 16)
+	for i := range args {
+		args[i] = types.NewInt(int64(i))
+	}
+	out := make([]core.BatchResult, 16)
+	if err := bu.InvokeBatch(nil, 1, args, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range out {
+		if r.Err != nil || r.Value.Int != int64(i)*2 {
+			t.Errorf("row %d: %v, %v", i, r.Value, r.Err)
+		}
+	}
+}
+
+// TestFleetChaosCrashIsolation is the satellite chaos test: an executor
+// SIGKILLed mid-interleaved-batch fails only the streams resident on
+// that process — retryably — while sibling queries on other executors
+// finish untouched and no govern admission is leaked.
+func TestFleetChaosCrashIsolation(t *testing.T) {
+	f := newFleetT(t, Options{Size: 3, MaxStreamsPerExec: 4})
+	// Disable the UDF breaker: one kill strands many streams of this one
+	// UDF, and quarantine demotion (tested separately) would pull the
+	// survivors off the fleet mid-test.
+	sup := isolate.DefaultSupervision
+	sup.BreakerFailures = -1
+	u := isolate.WithFleet(isolate.WithSupervision(
+		isolate.NewNativeIsolated("slowdouble", []types.Kind{types.KindInt}, types.KindInt), sup), f)
+	bu := u.(core.BatchUDF)
+
+	const queries = 12
+	var wg sync.WaitGroup
+	var ok, lost, other atomic.Int64
+	stopped := make(chan struct{})
+	wg.Add(queries)
+	for q := 0; q < queries; q++ {
+		go func(q int) {
+			defer wg.Done()
+			for r := 0; ; r++ {
+				select {
+				case <-stopped:
+					return
+				default:
+				}
+				args := make([]types.Value, 8)
+				for i := range args {
+					args[i] = types.NewInt(int64(i))
+				}
+				out := make([]core.BatchResult, 8)
+				err := bu.InvokeBatch(nil, 1, args, out)
+				switch {
+				case err == nil:
+					ok.Add(1)
+				case core.FaultClassOf(err) == core.FaultExecutorLost:
+					if !core.Retryable(err) {
+						t.Errorf("executor-lost not retryable: %v", err)
+					}
+					lost.Add(1)
+				case core.FaultClassOf(err) == core.FaultOverload:
+					// Admission shed during the kill window: retryable, fine.
+				default:
+					other.Add(1)
+					t.Errorf("query %d: unexpected fault %v", q, err)
+				}
+			}
+		}(q)
+	}
+
+	// Let traffic build, then SIGKILL one fleet process mid-flight.
+	time.Sleep(150 * time.Millisecond)
+	var victim int
+	for _, info := range f.Snapshot() {
+		if info.State == "up" && info.Resident > 0 {
+			victim = info.PID
+			break
+		}
+	}
+	if victim == 0 {
+		t.Fatal("no busy executor to kill")
+	}
+	if err := syscall.Kill(victim, syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(stopped)
+	wg.Wait()
+
+	if ok.Load() == 0 {
+		t.Error("no query succeeded")
+	}
+	if other.Load() > 0 {
+		t.Errorf("%d queries failed with non-retryable faults", other.Load())
+	}
+	// The kill must strand only that process's streams: with 12 queries
+	// over 3 executors, far fewer than all in-flight batches may fail.
+	if lost.Load() > queries {
+		t.Errorf("lost = %d, more in-flight work than one process could hold", lost.Load())
+	}
+	// Zero govern reservations leak: all admissions returned.
+	if got := f.InFlight(); got != 0 {
+		t.Fatalf("in-flight after drain = %d (govern admission leak)", got)
+	}
+	// The fleet heals: the dead slot is replaced and serves traffic.
+	deadline := time.Now().Add(10 * time.Second)
+	for f.AliveExecutors() < 3 && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	if alive := f.AliveExecutors(); alive < 3 {
+		t.Fatalf("fleet did not heal: %d/3 executors alive", alive)
+	}
+	if _, err := u.Invoke(nil, []types.Value{types.NewInt(21)}); err != nil {
+		t.Fatalf("post-heal invoke: %v", err)
+	}
+	restarts := 0
+	for _, info := range f.Snapshot() {
+		restarts += info.Restarts
+	}
+	if restarts == 0 {
+		t.Error("snapshot shows no restarts after a kill")
+	}
+}
+
+// TestFleetQuarantineDemotion: a UDF that keeps crashing fleet
+// processes trips its breaker and is demoted to a dedicated executor,
+// leaving the shared fleet alone.
+func TestFleetQuarantineDemotion(t *testing.T) {
+	sup := isolate.DefaultSupervision
+	sup.BreakerFailures = 2
+	sup.BreakerCooldown = time.Hour // keep it open for the test
+	f := newFleetT(t, Options{Size: 1, Supervision: sup})
+	u := isolate.WithFleet(isolate.WithSupervision(
+		isolate.NewNativeIsolated("boom", []types.Kind{types.KindInt}, types.KindInt), sup), f)
+	defer u.Close()
+	st, ok := u.(interface {
+		BreakerStatus() (govern.BreakerStatus, bool)
+	})
+	if !ok {
+		t.Fatal("fleet UDF does not expose breaker status")
+	}
+	quarantined := false
+	for i := 0; i < 100 && !quarantined; i++ {
+		_, err := u.Invoke(nil, []types.Value{types.NewInt(1)})
+		if err == nil {
+			t.Fatal("boom succeeded")
+		}
+		_, quarantined = st.BreakerStatus()
+		time.Sleep(20 * time.Millisecond)
+	}
+	status, _ := st.BreakerStatus()
+	if !quarantined {
+		t.Fatalf("crash-looping UDF never quarantined off the fleet (breaker %+v)", status)
+	}
+	if status.Opens == 0 {
+		t.Errorf("quarantined with zero breaker opens: %+v", status)
+	}
+}
+
+// TestFleetTenantFairnessAndCaps: per-tenant in-flight caps shed the
+// hog retryably while the quiet tenant keeps running.
+func TestFleetTenantCap(t *testing.T) {
+	f := newFleetT(t, Options{Size: 1, MaxStreamsPerExec: 4, TenantStreams: 2, AdmissionWait: time.Millisecond})
+	u := isolate.WithFleet(
+		isolate.NewNativeIsolated("slowdouble", []types.Kind{types.KindInt}, types.KindInt), f)
+	gov := govern.NewGovernor(govern.Quota{})
+	hog := gov.Tenant("hog")
+	var wg sync.WaitGroup
+	var sheds atomic.Int64
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 20; r++ {
+				_, err := u.Invoke(&core.Ctx{Tenant: hog}, []types.Value{types.NewInt(1)})
+				if core.FaultClassOf(err) == core.FaultOverload {
+					sheds.Add(1)
+				} else if err != nil {
+					t.Errorf("hog: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if sheds.Load() == 0 {
+		t.Error("8-way tenant traffic over a 2-stream cap never shed")
+	}
+	if got := f.InFlight(); got != 0 {
+		t.Errorf("in-flight after drain = %d", got)
+	}
+}
+
+// TestFleetSnapshotShape sanity-checks SHOW EXECUTORS' data source.
+func TestFleetSnapshotShape(t *testing.T) {
+	f := newFleetT(t, Options{Size: 2})
+	u := isolate.WithFleet(
+		isolate.NewNativeIsolated("double", []types.Kind{types.KindInt}, types.KindInt), f)
+	if _, err := u.Invoke(nil, []types.Value{types.NewInt(3)}); err != nil {
+		t.Fatal(err)
+	}
+	infos := f.Snapshot()
+	if len(infos) != 2 {
+		t.Fatalf("snapshot has %d slots, want 2", len(infos))
+	}
+	up, warm, resident := 0, 0, 0
+	for _, info := range infos {
+		if info.State == "up" {
+			up++
+			if info.PID == 0 {
+				t.Error("up slot with zero PID")
+			}
+		}
+		warm += info.Warm
+		resident += info.Resident
+	}
+	if up != 2 {
+		t.Errorf("up slots = %d, want 2", up)
+	}
+	if warm == 0 {
+		t.Error("no warm cache entries after an invoke")
+	}
+	if resident == 0 {
+		t.Error("no resident streams after an invoke (idle lease missing)")
+	}
+}

@@ -1,0 +1,202 @@
+package govern
+
+import (
+	"sync"
+	"time"
+
+	"predator/internal/obs"
+)
+
+// FairQueue is a weighted fair admission queue for work sharing a
+// bounded resource (the executor fleet's stream slots). It enforces a
+// global in-flight cap and a per-tenant in-flight cap, and when tenants
+// contend it admits them in virtual-time order: each admission advances
+// the tenant's virtual clock by 1/weight, so a weight-2 tenant is
+// admitted twice as often as a weight-1 tenant under pressure while
+// idle capacity flows to whoever asks. Waiters past maxWait are shed
+// with an OverloadError, never queued unboundedly.
+//
+// A nil *FairQueue admits everything, so unlimited configurations cost
+// one nil check.
+type FairQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	globalCap int
+	tenantCap int
+
+	total    int
+	inflight map[string]int
+	waiting  map[string]int
+	weights  map[string]float64
+	vtime    map[string]float64
+
+	wait *obs.Histogram
+	shed *obs.Counter
+	used *obs.Gauge
+}
+
+// NewFairQueue builds a fair queue named for metrics. globalCap bounds
+// total in-flight admissions (<= 0 returns nil: unlimited), tenantCap
+// bounds a single tenant's share (<= 0 = no per-tenant bound).
+func NewFairQueue(name string, globalCap, tenantCap int) *FairQueue {
+	if globalCap <= 0 {
+		return nil
+	}
+	q := &FairQueue{
+		globalCap: globalCap,
+		tenantCap: tenantCap,
+		inflight:  make(map[string]int),
+		waiting:   make(map[string]int),
+		weights:   make(map[string]float64),
+		vtime:     make(map[string]float64),
+		wait:      obs.Default.Histogram("predator_govern_fair_wait_seconds", "queue", name),
+		shed:      obs.Default.Counter("predator_govern_fair_sheds_total", "queue", name),
+		used:      obs.Default.Gauge("predator_govern_fair_in_flight", "queue", name),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// SetWeight assigns a tenant's scheduling weight (default 1; values
+// below 1 are clamped to 1 — starving a tenant outright is the
+// breaker's job, not the scheduler's).
+func (q *FairQueue) SetWeight(tenant string, w float64) {
+	if q == nil {
+		return
+	}
+	if w < 1 {
+		w = 1
+	}
+	q.mu.Lock()
+	q.weights[tenant] = w
+	q.mu.Unlock()
+}
+
+// weightLocked resolves a tenant's weight.
+func (q *FairQueue) weightLocked(tenant string) float64 {
+	if w, ok := q.weights[tenant]; ok {
+		return w
+	}
+	return 1
+}
+
+// touchVtimeLocked initializes a newly seen tenant's virtual clock to
+// the minimum of the live clocks, so a newcomer competes fairly instead
+// of starting with an unbeatable backlog of credit.
+func (q *FairQueue) touchVtimeLocked(tenant string) {
+	if _, ok := q.vtime[tenant]; ok {
+		return
+	}
+	min, seeded := 0.0, false
+	for _, v := range q.vtime {
+		if !seeded || v < min {
+			min, seeded = v, true
+		}
+	}
+	q.vtime[tenant] = min
+}
+
+// admissibleLocked reports whether the tenant may be admitted now:
+// under its own cap, under the global cap, and not jumping ahead of an
+// eligible waiting tenant with an earlier virtual time. Ineligible
+// waiters (ones blocked by their own tenant cap) are ignored, so a
+// capped-out tenant can never deadlock the queue for everyone else.
+func (q *FairQueue) admissibleLocked(tenant string) bool {
+	if q.tenantCap > 0 && q.inflight[tenant] >= q.tenantCap {
+		return false
+	}
+	if q.total >= q.globalCap {
+		return false
+	}
+	vt := q.vtime[tenant]
+	for other, n := range q.waiting {
+		if other == tenant || n <= 0 {
+			continue
+		}
+		if q.tenantCap > 0 && q.inflight[other] >= q.tenantCap {
+			continue // not eligible; deferring to it would deadlock
+		}
+		if q.vtime[other] < vt {
+			return false
+		}
+	}
+	return true
+}
+
+// Acquire admits one unit of work for the tenant, waiting up to
+// maxWait under contention and shedding with an *OverloadError after.
+// Every successful Acquire must be paired with exactly one Release.
+func (q *FairQueue) Acquire(tenant string, maxWait time.Duration) error {
+	if q == nil {
+		return nil
+	}
+	start := time.Now()
+	timedOut := false
+	var timer *time.Timer
+	q.mu.Lock()
+	q.touchVtimeLocked(tenant)
+	if !q.admissibleLocked(tenant) {
+		if maxWait <= 0 {
+			q.mu.Unlock()
+			q.shed.Inc()
+			return &OverloadError{What: "fleet streams", Limit: q.globalCap}
+		}
+		timer = time.AfterFunc(maxWait, func() {
+			q.mu.Lock()
+			timedOut = true
+			q.cond.Broadcast()
+			q.mu.Unlock()
+		})
+		q.waiting[tenant]++
+		for !q.admissibleLocked(tenant) && !timedOut {
+			q.cond.Wait()
+		}
+		q.waiting[tenant]--
+		if timedOut && !q.admissibleLocked(tenant) {
+			q.mu.Unlock()
+			timer.Stop()
+			q.shed.Inc()
+			return &OverloadError{What: "fleet streams", Limit: q.globalCap}
+		}
+	}
+	q.inflight[tenant]++
+	q.total++
+	q.vtime[tenant] += 1 / q.weightLocked(tenant)
+	q.used.Set(int64(q.total))
+	// This admission advanced the tenant's virtual clock and took its
+	// cap headroom: waiters that were deferring to it may be admissible
+	// now, so wake them without waiting for a Release.
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	if timer != nil {
+		timer.Stop()
+	}
+	q.wait.Observe(time.Since(start))
+	return nil
+}
+
+// Release returns one admitted unit for the tenant.
+func (q *FairQueue) Release(tenant string) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	if q.inflight[tenant] > 0 {
+		q.inflight[tenant]--
+		q.total--
+	}
+	q.used.Set(int64(q.total))
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// InFlight reports total admitted work (0 for a nil queue).
+func (q *FairQueue) InFlight() int {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.total
+}

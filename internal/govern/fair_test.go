@@ -1,0 +1,191 @@
+package govern
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFairQueueNilIsUnlimited(t *testing.T) {
+	var q *FairQueue
+	if q != NewFairQueue("x", 0, 0) {
+		t.Fatal("globalCap <= 0 must return a nil (unlimited) queue")
+	}
+	for i := 0; i < 100; i++ {
+		if err := q.Acquire("t", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Release("t")
+	if q.InFlight() != 0 {
+		t.Fatal("nil queue reports in-flight work")
+	}
+}
+
+func TestFairQueueGlobalCapSheds(t *testing.T) {
+	q := NewFairQueue("cap", 2, 0)
+	if err := q.Acquire("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Acquire("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	err := q.Acquire("a", time.Millisecond)
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("over-cap acquire = %v, want *OverloadError", err)
+	}
+	q.Release("a")
+	if err := q.Acquire("a", 0); err != nil {
+		t.Fatalf("acquire after release = %v", err)
+	}
+	q.Release("a")
+	q.Release("a")
+	if got := q.InFlight(); got != 0 {
+		t.Fatalf("in-flight = %d after full drain", got)
+	}
+}
+
+func TestFairQueueTenantCap(t *testing.T) {
+	q := NewFairQueue("tcap", 8, 2)
+	for i := 0; i < 2; i++ {
+		if err := q.Acquire("hog", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Acquire("hog", 0); err == nil {
+		t.Fatal("tenant over its cap was admitted")
+	}
+	// A capped-out tenant must not block others: global capacity remains.
+	if err := q.Acquire("quiet", 0); err != nil {
+		t.Fatalf("quiet tenant shed while capacity remains: %v", err)
+	}
+}
+
+// TestFairQueueWeightedShare drives two tenants through a contended
+// queue and checks the weight-2 tenant completes roughly twice the work.
+// Several goroutines per tenant keep a waiter registered for both sides
+// at all times, so admissions follow the virtual clocks rather than the
+// OS scheduler, and the run ends after a fixed admission count rather
+// than a wall-clock window — both matter on a loaded test machine.
+func TestFairQueueWeightedShare(t *testing.T) {
+	q := NewFairQueue("weights", 1, 0) // one slot: pure scheduling order
+	q.SetWeight("heavy", 2)
+	q.SetWeight("light", 1)
+	// Hold the only slot until every worker from both tenants is
+	// registered as a waiter: otherwise whichever tenant's goroutines
+	// happen to be scheduled first can finish the whole run uncontended.
+	if err := q.Acquire("warmup", 0); err != nil {
+		t.Fatal(err)
+	}
+	const total = 3000
+	const workers = 3
+	var heavy, light, admitted atomic.Int64
+	var wg sync.WaitGroup
+	run := func(tenant string, n *atomic.Int64) {
+		defer wg.Done()
+		for admitted.Load() < total {
+			if err := q.Acquire(tenant, 10*time.Second); err != nil {
+				continue
+			}
+			if admitted.Add(1) <= total {
+				n.Add(1)
+			}
+			q.Release(tenant)
+		}
+	}
+	for g := 0; g < workers; g++ {
+		wg.Add(2)
+		go run("heavy", &heavy)
+		go run("light", &light)
+	}
+	for deadline := time.Now().Add(5 * time.Second); ; time.Sleep(time.Millisecond) {
+		q.mu.Lock()
+		ready := q.waiting["heavy"] == workers && q.waiting["light"] == workers
+		q.mu.Unlock()
+		if ready {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("workers never queued behind the warmup slot")
+		}
+	}
+	q.Release("warmup")
+	wg.Wait()
+	h, l := heavy.Load(), light.Load()
+	if h == 0 || l == 0 {
+		t.Fatalf("starved tenant: heavy=%d light=%d", h, l)
+	}
+	ratio := float64(h) / float64(l)
+	if ratio < 1.3 || ratio > 3.0 {
+		t.Errorf("heavy/light = %.2f (h=%d l=%d), want ~2", ratio, h, l)
+	}
+	if got := q.InFlight(); got != 0 {
+		t.Fatalf("in-flight = %d after drain", got)
+	}
+}
+
+// TestFairQueueNoDeadlockUnderChurn hammers the queue from many tenants
+// and ensures everything drains: no waiter deadlocks deferring to a
+// capped-out or departed tenant.
+func TestFairQueueNoDeadlockUnderChurn(t *testing.T) {
+	q := NewFairQueue("churn", 4, 2)
+	var wg sync.WaitGroup
+	var sheds atomic.Int64
+	tenants := []string{"a", "b", "c", "d", "e"}
+	for _, tenant := range tenants {
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(tenant string) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					if err := q.Acquire(tenant, 250*time.Millisecond); err != nil {
+						sheds.Add(1)
+						continue
+					}
+					time.Sleep(100 * time.Microsecond)
+					q.Release(tenant)
+				}
+			}(tenant)
+		}
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("fair queue deadlocked under churn")
+	}
+	if got := q.InFlight(); got != 0 {
+		t.Fatalf("in-flight = %d after drain", got)
+	}
+}
+
+// TestFairQueueNewcomerNotStarved: a tenant arriving after others have
+// built up virtual time must be admitted promptly, and a tenant that
+// has been idle must not have banked an unbeatable credit.
+func TestFairQueueNewcomerJoinsAtLiveClock(t *testing.T) {
+	q := NewFairQueue("newcomer", 1, 0)
+	// Veteran advances its clock far ahead.
+	for i := 0; i < 100; i++ {
+		if err := q.Acquire("vet", 0); err != nil {
+			t.Fatal(err)
+		}
+		q.Release("vet")
+	}
+	// Hold the only slot with the veteran, queue a newcomer, release:
+	// the newcomer must get the slot within its wait budget.
+	if err := q.Acquire("vet", 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- q.Acquire("newbie", 2*time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	q.Release("vet")
+	if err := <-got; err != nil {
+		t.Fatalf("newcomer shed: %v", err)
+	}
+	q.Release("newbie")
+}

@@ -34,9 +34,21 @@ func MaybeRunExecutor(natives NativeTable) {
 	os.Exit(0)
 }
 
+// warmCacheCap bounds the child-side warm (tenant, UDF, token) binding
+// cache of a multiplexed executor. Evicted bindings stay alive for any
+// stream still using them; only the recycling entry is dropped.
+const warmCacheCap = 64
+
 // RunExecutor serves the executor protocol on the given pipe until
 // shutdown or EOF. Exported separately from MaybeRunExecutor for tests
 // that run the executor loop in-process over synthetic pipes.
+//
+// The child starts in the dedicated (untagged) protocol. The first
+// msgOpenStream frame switches it irreversibly into multiplexed mode:
+// from then on every frame payload carries a uvarint stream-ID prefix
+// and many independent streams — each with its own UDF binding — share
+// the single pipe. Dedicated executors never receive msgOpenStream, so
+// their wire traffic is byte-identical to the pre-fleet protocol.
 func RunExecutor(r io.Reader, w io.Writer, natives NativeTable) error {
 	c := newConn(r, w)
 	fault := parseFaultSpec(os.Getenv(FaultEnv))
@@ -46,13 +58,32 @@ func RunExecutor(r io.Reader, w io.Writer, natives NativeTable) error {
 	}
 	st := &childState{conn: c, natives: natives, fault: fault}
 	for {
-		f, err := c.recv()
-		if err != nil {
-			if err == io.EOF {
-				return nil
+		var f frame
+		if len(st.pending) > 0 {
+			// Frames that arrived while a callback round trip owned the
+			// pipe were queued; drain them before reading fresh input.
+			f = st.pending[0]
+			st.pending = st.pending[1:]
+		} else {
+			var err error
+			f, err = c.recv()
+			if err != nil {
+				if err == io.EOF {
+					return nil
+				}
+				// A closed pipe on shutdown is a normal exit.
+				return err
 			}
-			// A closed pipe on shutdown is a normal exit.
-			return err
+		}
+		if !st.mux && f.typ == msgOpenStream {
+			st.enterMux()
+		}
+		if st.mux {
+			done, err := st.handleMux(f.typ, f.payload)
+			if done || err != nil {
+				return err
+			}
+			continue
 		}
 		switch f.typ {
 		case msgSetupNative:
@@ -84,17 +115,53 @@ func RunExecutor(r io.Reader, w io.Writer, natives NativeTable) error {
 	}
 }
 
-// childState is the executor's current UDF binding.
+// binding is one resolved UDF implementation (exactly one side set).
+// The dedicated protocol has a single binding per process; a
+// multiplexed child keeps one per warm-cache entry, shared by every
+// stream opened against the same (tenant, UDF, token) key.
+type binding struct {
+	nativeFn core.NativeFunc
+	vmClass  *jvm.LoadedClass
+	vmMethod string
+	vmLimits jvm.Limits
+}
+
+// childStream is one open stream of a multiplexed child: a binding plus
+// the per-stream trace arming (msgTraceCtx applies to the stream it
+// tags, not to the whole process).
+type childStream struct {
+	bind   *binding
+	traced bool
+}
+
+// warmEntry is one recyclable (tenant, UDF, token) binding with its
+// last-use tick for LRU eviction.
+type warmEntry struct {
+	bind *binding
+	last uint64
+}
+
+// childState is the executor's protocol state.
 type childState struct {
 	conn    *conn
 	natives NativeTable
 	fault   *faultPlan
 
-	// Exactly one of these is set after setup.
-	nativeFn core.NativeFunc
-	vmClass  *jvm.LoadedClass
-	vmMethod string
-	vmLimits jvm.Limits
+	// bind is the dedicated-path binding (msgSetupNative/msgSetupVM);
+	// cur points at whichever binding the current invoke runs under —
+	// &bind for dedicated children, the stream's binding under mux.
+	bind binding
+	cur  *binding
+
+	// Multiplexed mode (entered on the first msgOpenStream and never
+	// left): open streams, the warm binding cache, the stream the frame
+	// being handled belongs to, and frames queued during callback waits.
+	mux     bool
+	curSID  uint64
+	streams map[uint64]*childStream
+	warm    map[string]*warmEntry
+	warmSeq uint64
+	pending []frame
 
 	// argBuf/respBuf are grow-only scratch buffers: invoke frames are
 	// copied out of the connection's receive scratch (which a nested
@@ -115,6 +182,171 @@ type childState struct {
 	// shows executor startup cost even when setup predates tracing.
 	setupSpan   childSpan
 	setupUnsent bool
+}
+
+// enterMux switches the child into multiplexed mode.
+func (st *childState) enterMux() {
+	st.mux = true
+	st.streams = make(map[uint64]*childStream)
+	st.warm = make(map[string]*warmEntry)
+}
+
+// tag prefixes a reply payload with the current stream ID under mux;
+// dedicated-path replies pass through untouched, keeping that wire
+// format byte-identical.
+func (st *childState) tag(buf []byte) []byte {
+	if st.mux {
+		return binary.AppendUvarint(buf, st.curSID)
+	}
+	return buf
+}
+
+// handleMux dispatches one multiplexed frame. Every payload starts with
+// the uvarint stream ID; the remainder is the same encoding the
+// dedicated protocol uses for that frame type.
+func (st *childState) handleMux(typ byte, payload []byte) (done bool, err error) {
+	r := &preader{buf: payload}
+	sid := r.uvarint()
+	if r.err != nil {
+		st.curSID = 0
+		st.fail("bad stream tag on message %d: %v", typ, r.err)
+		return false, nil
+	}
+	rest := payload[r.off:]
+	st.curSID = sid
+	switch typ {
+	case msgOpenStream:
+		st.openStream(sid, rest)
+	case msgCloseStream:
+		delete(st.streams, sid)
+	case msgInvoke, msgInvokeBatch:
+		s := st.streams[sid]
+		if s == nil {
+			st.fail("invoke on unknown stream %d", sid)
+			return false, nil
+		}
+		st.cur = s.bind
+		st.traced = s.traced
+		s.traced = false
+		st.fault.fire("invoke", st.conn)
+		if typ == msgInvoke {
+			st.invoke(st.stable(rest))
+		} else {
+			st.invokeBatch(st.stable(rest))
+		}
+	case msgTraceCtx:
+		s := st.streams[sid]
+		tr := &preader{buf: rest}
+		tr.uvarint() // trace ID
+		tr.uvarint() // parent span ID
+		if tr.err != nil {
+			st.fail("bad trace frame: %v", tr.err)
+			return false, nil
+		}
+		if s != nil {
+			s.traced = true
+		}
+	case msgPing:
+		st.curSID = 0
+		if err := st.conn.send(msgPong, st.tag(nil)); err != nil {
+			return false, err
+		}
+	case msgShutdown:
+		st.fault.fire("shutdown", st.conn)
+		return true, nil
+	default:
+		st.fail("unexpected message %d", typ)
+	}
+	return false, nil
+}
+
+// openStream binds a new stream. streamCtl opens the control stream
+// (the mux handshake); streamWarm recycles a cached binding and fails
+// cleanly when cold so the parent can retry with a full setup;
+// streamNative/streamVM run a full setup and deposit the binding in the
+// warm cache for future streams keyed the same way.
+func (st *childState) openStream(sid uint64, payload []byte) {
+	r := &preader{buf: payload}
+	kind := r.byte()
+	if r.err != nil {
+		st.fail("bad open-stream frame: %v", r.err)
+		return
+	}
+	if kind == streamCtl {
+		_ = st.conn.send(msgReady, st.tag(nil))
+		return
+	}
+	tenant := r.str()
+	name := r.str()
+	token := r.str()
+	if r.err != nil {
+		st.fail("bad open-stream frame: %v", r.err)
+		return
+	}
+	key := warmKey(tenant, name, token)
+	st.warmSeq++
+	switch kind {
+	case streamWarm:
+		e, ok := st.warm[key]
+		if !ok {
+			st.fail("cold stream: no warm binding for %s/%s", tenant, name)
+			return
+		}
+		e.last = st.warmSeq
+		st.streams[sid] = &childStream{bind: e.bind}
+	case streamNative:
+		b, err := st.bindNative(r.str())
+		if r.err != nil {
+			st.fail("bad open-stream frame: %v", r.err)
+			return
+		}
+		if err != nil {
+			st.fail("%v", err)
+			return
+		}
+		st.cacheWarm(key, b)
+		st.streams[sid] = &childStream{bind: b}
+	case streamVM:
+		b, err := st.bindVM(r)
+		if r.err != nil {
+			st.fail("bad open-stream frame: %v", r.err)
+			return
+		}
+		if err != nil {
+			st.fail("%v", err)
+			return
+		}
+		st.cacheWarm(key, b)
+		st.streams[sid] = &childStream{bind: b}
+	default:
+		st.fail("unknown stream kind %d", kind)
+		return
+	}
+	_ = st.conn.send(msgReady, st.tag(nil))
+}
+
+// warmKey builds the warm-cache key. The token fingerprints the setup
+// payload, so a replaced UDF (same name, new class bytes) misses the
+// cache instead of recycling stale state.
+func warmKey(tenant, name, token string) string {
+	return tenant + "\x00" + name + "\x00" + token
+}
+
+// cacheWarm deposits a binding, evicting the least recently used entry
+// beyond the cache cap.
+func (st *childState) cacheWarm(key string, b *binding) {
+	st.warm[key] = &warmEntry{bind: b, last: st.warmSeq}
+	if len(st.warm) <= warmCacheCap {
+		return
+	}
+	var victim string
+	var oldest uint64 = ^uint64(0)
+	for k, e := range st.warm {
+		if e.last < oldest {
+			oldest, victim = e.last, k
+		}
+	}
+	delete(st.warm, victim)
 }
 
 // armTrace marks the next invoke as traced. The payload (trace ID,
@@ -171,7 +403,42 @@ func (st *childState) fail(format string, args ...any) {
 	// do not leak into a later (differently traced) shipment.
 	st.traced = false
 	st.spans = st.spans[:0]
-	_ = st.conn.send(msgError, appendString(nil, fmt.Sprintf(format, args...)))
+	_ = st.conn.send(msgError, appendString(st.tag(nil), fmt.Sprintf(format, args...)))
+}
+
+// bindNative resolves a native UDF binding.
+func (st *childState) bindNative(name string) (*binding, error) {
+	fn, ok := st.natives[name]
+	if !ok {
+		return nil, fmt.Errorf("native UDF %q is not in the executor's native table", name)
+	}
+	return &binding{nativeFn: fn}, nil
+}
+
+// bindVM loads and re-verifies a shipped Jaguar class, reading the VM
+// setup fields (class bytes, method, limits) from r.
+func (st *childState) bindVM(r *preader) (*binding, error) {
+	classBytes := r.bytes()
+	method := r.str()
+	fuel := r.varint()
+	mem := r.varint()
+	depth := r.varint()
+	if r.err != nil {
+		return nil, nil // caller reports the frame error
+	}
+	// A fresh VM per binding: full isolation, default-deny policy is
+	// irrelevant here because the whole process is expendable, but the
+	// VM still re-verifies the class.
+	vm := jvm.New(jvm.Options{Security: jvm.AllowAll()})
+	lc, err := vm.NewLoader("executor").Load(append([]byte(nil), classBytes...))
+	if err != nil {
+		return nil, fmt.Errorf("load class: %v", err)
+	}
+	return &binding{
+		vmClass:  lc,
+		vmMethod: method,
+		vmLimits: jvm.Limits{Fuel: fuel, MaxAllocBytes: mem, MaxCallDepth: int(depth)},
+	}, nil
 }
 
 func (st *childState) setupNative(payload []byte) {
@@ -182,13 +449,13 @@ func (st *childState) setupNative(payload []byte) {
 		return
 	}
 	start := time.Now()
-	fn, ok := st.natives[name]
-	if !ok {
-		st.fail("native UDF %q is not in the executor's native table", name)
+	b, err := st.bindNative(name)
+	if err != nil {
+		st.fail("%v", err)
 		return
 	}
-	st.nativeFn = fn
-	st.vmClass = nil
+	st.bind = *b
+	st.cur = &st.bind
 	st.setupSpan = childSpan{id: st.newSpanID(), name: "child/setup", start: start, dur: time.Since(start)}
 	st.setupUnsent = true
 	_ = st.conn.send(msgReady, nil)
@@ -196,29 +463,18 @@ func (st *childState) setupNative(payload []byte) {
 
 func (st *childState) setupVM(payload []byte) {
 	r := &preader{buf: payload}
-	classBytes := r.bytes()
-	method := r.str()
-	fuel := r.varint()
-	mem := r.varint()
-	depth := r.varint()
+	start := time.Now()
+	b, err := st.bindVM(r)
 	if r.err != nil {
 		st.fail("bad setup frame: %v", r.err)
 		return
 	}
-	// A fresh VM per executor: full isolation, default-deny policy is
-	// irrelevant here because the whole process is expendable, but the
-	// VM still re-verifies the class.
-	start := time.Now()
-	vm := jvm.New(jvm.Options{Security: jvm.AllowAll()})
-	lc, err := vm.NewLoader("executor").Load(append([]byte(nil), classBytes...))
 	if err != nil {
-		st.fail("load class: %v", err)
+		st.fail("%v", err)
 		return
 	}
-	st.vmClass = lc
-	st.vmMethod = method
-	st.vmLimits = jvm.Limits{Fuel: fuel, MaxAllocBytes: mem, MaxCallDepth: int(depth)}
-	st.nativeFn = nil
+	st.bind = *b
+	st.cur = &st.bind
 	st.setupSpan = childSpan{id: st.newSpanID(), name: "child/setup", start: start, dur: time.Since(start)}
 	st.setupUnsent = true
 	_ = st.conn.send(msgReady, nil)
@@ -239,14 +495,15 @@ func (st *childState) invoke(payload []byte) {
 	if st.traced {
 		inv = childSpan{id: st.newSpanID(), name: "child/invoke", start: time.Now()}
 	}
-	cb := &proxyCallback{conn: st.conn, fault: st.fault, st: st, parent: inv.id}
+	cb := &proxyCallback{conn: st.conn, fault: st.fault, st: st, parent: inv.id, sid: st.curSID}
 	out, err := st.run(cb, args, inv.id)
 	if err != nil {
 		st.fail("%v", err)
 		return
 	}
 	st.fault.fire("result", st.conn)
-	resp := types.EncodeValue(st.respBuf[:0], out)
+	resp := st.tag(st.respBuf[:0])
+	resp = types.EncodeValue(resp, out)
 	if st.traced {
 		inv.dur = time.Since(inv.start)
 		st.addSpan(inv)
@@ -259,10 +516,13 @@ func (st *childState) invoke(payload []byte) {
 // run evaluates one row with whatever UDF is bound. parent is the span
 // to hang VM-execution spans under (0 when untraced).
 func (st *childState) run(cb *proxyCallback, args []types.Value, parent uint64) (types.Value, error) {
+	b := st.cur
 	switch {
-	case st.nativeFn != nil:
-		return st.nativeFn(&core.Ctx{Callback: cb}, args)
-	case st.vmClass != nil:
+	case b == nil:
+		return types.Value{}, fmt.Errorf("executor has no UDF bound (missing setup)")
+	case b.nativeFn != nil:
+		return b.nativeFn(&core.Ctx{Callback: cb}, args)
+	case b.vmClass != nil:
 		return st.invokeVM(cb, args, parent)
 	default:
 		return types.Value{}, fmt.Errorf("executor has no UDF bound (missing setup)")
@@ -285,8 +545,8 @@ func (st *childState) invokeBatch(payload []byte) {
 	if st.traced {
 		inv = childSpan{id: st.newSpanID(), name: "child/invoke", start: time.Now()}
 	}
-	cb := &proxyCallback{conn: st.conn, fault: st.fault, st: st, parent: inv.id}
-	resp := st.respBuf[:0]
+	cb := &proxyCallback{conn: st.conn, fault: st.fault, st: st, parent: inv.id, sid: st.curSID}
+	resp := st.tag(st.respBuf[:0])
 	resp = binary.AppendUvarint(resp, uint64(n))
 	args := make([]types.Value, arity)
 	for i := 0; i < n; i++ {
@@ -316,10 +576,11 @@ func (st *childState) invokeBatch(payload []byte) {
 }
 
 func (st *childState) invokeVM(cb jvm.Callback, args []types.Value, parent uint64) (types.Value, error) {
-	cls := st.vmClass.Class()
-	mi := cls.MethodIndex(st.vmMethod)
+	b := st.cur
+	cls := b.vmClass.Class()
+	mi := cls.MethodIndex(b.vmMethod)
 	if mi < 0 {
-		return types.Value{}, fmt.Errorf("class has no method %q", st.vmMethod)
+		return types.Value{}, fmt.Errorf("class has no method %q", b.vmMethod)
 	}
 	m := &cls.Methods[mi]
 	if len(args) != len(m.Params) {
@@ -337,8 +598,8 @@ func (st *childState) invokeVM(cb jvm.Callback, args []types.Value, parent uint6
 	if st.traced {
 		start = time.Now()
 	}
-	ret, _, err := st.vmClass.Call(st.vmMethod, vargs, &jvm.CallOptions{
-		Limits:   st.vmLimits,
+	ret, _, err := b.vmClass.Call(b.vmMethod, vargs, &jvm.CallOptions{
+		Limits:   b.vmLimits,
 		Callback: cb,
 	})
 	if !start.IsZero() {
@@ -372,7 +633,14 @@ type proxyCallback struct {
 	// while st.traced holds.
 	st     *childState
 	parent uint64
+
+	// sid tags callback frames under mux (the parent routes the request
+	// to the right waiting stream).
+	sid uint64
 }
+
+// mux reports whether this callback speaks the tagged protocol.
+func (p *proxyCallback) mux() bool { return p.st != nil && p.st.mux }
 
 func (p *proxyCallback) roundTrip(op byte, handle, off, length int64) (*preader, error) {
 	p.fault.fire("callback", p.conn)
@@ -380,28 +648,69 @@ func (p *proxyCallback) roundTrip(op byte, handle, off, length int64) (*preader,
 	if p.st != nil && p.st.traced {
 		start = time.Now()
 	}
-	buf := []byte{op}
+	var buf []byte
+	if p.mux() {
+		buf = binary.AppendUvarint(buf, p.sid)
+	}
+	buf = append(buf, op)
 	buf = binary.AppendVarint(buf, handle)
 	buf = binary.AppendVarint(buf, off)
 	buf = binary.AppendVarint(buf, length)
 	if err := p.conn.send(msgCallback, buf); err != nil {
 		return nil, err
 	}
-	f, err := p.conn.recv()
+	payload, err := p.recvCBResult()
 	if err != nil {
 		return nil, err
 	}
 	if !start.IsZero() {
 		p.st.addSpan(childSpan{id: p.st.newSpanID(), parent: p.parent, name: "child/callback_wait", start: start, dur: time.Since(start)})
 	}
-	if f.typ != msgCBResult {
-		return nil, fmt.Errorf("isolate: unexpected callback reply %d", f.typ)
-	}
-	r := &preader{buf: f.payload}
+	r := &preader{buf: payload}
 	if ok := r.byte(); ok == 0 {
 		return nil, fmt.Errorf("isolate: callback failed: %s", r.str())
 	}
 	return r, nil
+}
+
+// recvCBResult reads frames until the callback reply arrives. Under mux
+// the parent may interleave frames for other streams on the same pipe
+// while this stream's invoke is blocked in a callback; those frames are
+// copied and queued for the main loop, and pings are answered inline so
+// the parent's health checks never stall behind a slow callback.
+func (p *proxyCallback) recvCBResult() ([]byte, error) {
+	for {
+		f, err := p.conn.recv()
+		if err != nil {
+			return nil, err
+		}
+		if !p.mux() {
+			if f.typ != msgCBResult {
+				return nil, fmt.Errorf("isolate: unexpected callback reply %d", f.typ)
+			}
+			return f.payload, nil
+		}
+		r := &preader{buf: f.payload}
+		sid := r.uvarint()
+		if r.err != nil {
+			return nil, fmt.Errorf("isolate: bad stream tag on callback reply: %v", r.err)
+		}
+		switch f.typ {
+		case msgCBResult:
+			if sid != p.sid {
+				return nil, fmt.Errorf("isolate: callback reply for stream %d, want %d", sid, p.sid)
+			}
+			return f.payload[r.off:], nil
+		case msgPing:
+			if err := p.conn.send(msgPong, binary.AppendUvarint(nil, 0)); err != nil {
+				return nil, err
+			}
+		default:
+			// Another stream's traffic: park it for the main loop. The
+			// payload must be copied out of the receive scratch.
+			p.st.pending = append(p.st.pending, frame{typ: f.typ, payload: append([]byte(nil), f.payload...)})
+		}
+	}
 }
 
 func (p *proxyCallback) Size(handle int64) (int64, error) {

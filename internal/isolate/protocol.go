@@ -50,6 +50,21 @@ const (
 	msgInvokeBatch                 // n, arity, n*arity values (one crossing)
 	msgResultBatch                 // n, per row: status byte + value | error string
 	msgTraceCtx                    // trace id, parent span id (precedes a traced invoke)
+	msgOpenStream                  // sid, kind, setup (multiplexed executors only)
+	msgCloseStream                 // sid (multiplexed executors only)
+)
+
+// Stream-open kinds inside msgOpenStream frames. The first open a child
+// ever sees (streamCtl on stream 0) switches the connection into
+// multiplexed mode: from then on every frame payload in both directions
+// is prefixed with a uvarint stream ID. A child that never receives
+// msgOpenStream speaks the untagged dedicated-executor protocol,
+// byte-identical to every release before the fleet existed.
+const (
+	streamCtl    byte = iota // control stream 0: enables mux mode
+	streamWarm               // bind a cached (tenant, UDF, token) warm entry; error if cold
+	streamNative             // bind a native UDF (name follows)
+	streamVM                 // bind a VM UDF (class/method/limits follow)
 )
 
 // Callback operation codes inside msgCallback frames.

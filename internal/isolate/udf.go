@@ -1,7 +1,9 @@
 package isolate
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,6 +11,7 @@ import (
 	"predator/internal/core"
 	"predator/internal/govern"
 	"predator/internal/jvm"
+	"predator/internal/obs"
 	"predator/internal/types"
 )
 
@@ -30,15 +33,40 @@ type udf struct {
 
 	mu   sync.Mutex
 	exec *Executor
-	pool *Pool // optional shared pool; nil = own executor
+	pool *Pool        // optional shared pool; nil = own executor
+	mux  Multiplexer  // optional shared executor fleet; nil = pool or own
+	tok  atomic.Value // cached setup fingerprint (string)
+
+	// started latches on the first Invoke: from then on the execution
+	// topology (pool, fleet, supervision) is frozen and late attach
+	// calls are refused — silently reconfiguring a UDF that already has
+	// live executors would strand them.
+	started atomic.Bool
 
 	// brk is the per-UDF circuit breaker (created lazily so it sees the
 	// final supervision config). quarantined flips when the breaker of a
-	// pooled UDF opens: from then on the UDF runs on its own dedicated
-	// executor and never touches the shared pool again, so a
-	// crash-looping UDF cannot poison healthy tenants' executors.
+	// pooled or fleet-shared UDF opens: from then on the UDF runs on its
+	// own dedicated executor and never touches shared processes again,
+	// so a crash-looping UDF cannot poison healthy tenants' executors.
 	brk         *govern.Breaker
 	quarantined atomic.Bool
+}
+
+// Multiplexer runs UDF crossings on shared, stream-multiplexed executor
+// processes. internal/fleet implements it; the indirection keeps
+// isolate free of a dependency cycle.
+type Multiplexer interface {
+	MuxInvoke(ctx *core.Ctx, spec MuxSpec, args []types.Value) (types.Value, error)
+	MuxInvokeBatch(ctx *core.Ctx, spec MuxSpec, arity int, args []types.Value, out []core.BatchResult) error
+}
+
+// MuxSpec identifies a UDF binding to a multiplexer: the name, a setup
+// fingerprint (so a replaced UDF never recycles stale warm state), and
+// the setup needed to bind it cold.
+type MuxSpec struct {
+	UDF   string
+	Token string
+	Setup StreamSetup
 }
 
 // NewNativeIsolated builds a Design 2 UDF: the named function (which
@@ -60,12 +88,25 @@ func NewVMIsolated(name string, args []types.Kind, ret types.Kind, setup VMSetup
 	}
 }
 
+// lateAttach refuses a post-start reconfiguration: the documented
+// "must be called before the first Invoke" contract, now enforced. The
+// call is a no-op (the running topology stays as it is) and the
+// misconfiguration is logged instead of silently half-applying.
+func (u *udf) lateAttach(what string) bool {
+	if !u.started.Load() {
+		return false
+	}
+	obs.Logger().Error("isolate: configuration after first Invoke ignored",
+		"component", "isolate", "udf", u.name, "option", what)
+	return true
+}
+
 // WithPool makes the UDF borrow executors from a shared pool instead
 // of owning one (the executor-reuse ablation). Must be called before
-// the first Invoke.
+// the first Invoke; later calls are ignored with an error log.
 func WithPool(u core.UDF, p *Pool) core.UDF {
 	iu, ok := u.(*udf)
-	if !ok {
+	if !ok || iu.lateAttach("WithPool") {
 		return u
 	}
 	iu.pool = p
@@ -73,13 +114,28 @@ func WithPool(u core.UDF, p *Pool) core.UDF {
 }
 
 // WithSupervision overrides the UDF's supervision policy (deadlines,
-// restart budget). Must be called before the first Invoke.
+// restart budget). Must be called before the first Invoke; later calls
+// are ignored with an error log.
 func WithSupervision(u core.UDF, sup Supervision) core.UDF {
 	iu, ok := u.(*udf)
-	if !ok {
+	if !ok || iu.lateAttach("WithSupervision") {
 		return u
 	}
 	iu.sup = sup.withDefaults()
+	return iu
+}
+
+// WithFleet routes the UDF's crossings through a shared multiplexed
+// executor fleet instead of a dedicated process. Must be called before
+// the first Invoke; later calls are ignored with an error log. A
+// quarantined UDF (breaker opened on fatal faults) leaves the fleet
+// for a dedicated executor, exactly as pooled UDFs do.
+func WithFleet(u core.UDF, m Multiplexer) core.UDF {
+	iu, ok := u.(*udf)
+	if !ok || iu.lateAttach("WithFleet") {
+		return u
+	}
+	iu.mux = m
 	return iu
 }
 
@@ -93,6 +149,30 @@ func (u *udf) setup(e *Executor) error {
 		return e.SetupVM(*u.vm)
 	}
 	return e.SetupNative(u.nativeName)
+}
+
+// muxSpec describes this UDF to the fleet. The token fingerprints the
+// setup payload (class bytes, method, limits or native name), so a
+// CREATE OR REPLACE with new bytecode can never hit stale warm state.
+func (u *udf) muxSpec() MuxSpec {
+	tok, _ := u.tok.Load().(string)
+	if tok == "" {
+		h := fnv.New64a()
+		if u.vm != nil {
+			h.Write(u.vm.ClassBytes)
+			h.Write([]byte(u.vm.Method))
+			var lim [24]byte
+			binary.LittleEndian.PutUint64(lim[0:], uint64(u.vm.Limits.Fuel))
+			binary.LittleEndian.PutUint64(lim[8:], uint64(u.vm.Limits.MaxAllocBytes))
+			binary.LittleEndian.PutUint64(lim[16:], uint64(u.vm.Limits.MaxCallDepth))
+			h.Write(lim[:])
+		} else {
+			h.Write([]byte("native\x00" + u.nativeName))
+		}
+		tok = fmt.Sprintf("%016x", h.Sum64())
+		u.tok.Store(tok)
+	}
+	return MuxSpec{UDF: u.name, Token: tok, Setup: StreamSetup{Native: u.nativeName, VM: u.vm}}
 }
 
 // executor returns the UDF's executor, starting (with bounded
@@ -140,11 +220,11 @@ func (u *udf) record(b *govern.Breaker, ctx *core.Ctx, start time.Time, err erro
 	}
 	var fatal bool
 	switch core.FaultClassOf(err) {
-	case core.FaultExecutor, core.FaultProtocol, core.FaultTimeout:
+	case core.FaultExecutor, core.FaultProtocol, core.FaultTimeout, core.FaultExecutorLost:
 		fatal = true
 	}
 	b.Record(fatal)
-	if fatal && u.pool != nil && !u.quarantined.Load() && b.Status().State == "open" {
+	if fatal && (u.pool != nil || u.mux != nil) && !u.quarantined.Load() && b.Status().State == "open" {
 		u.quarantined.Store(true)
 	}
 }
@@ -153,6 +233,12 @@ func (u *udf) record(b *govern.Breaker, ctx *core.Ctx, start time.Time, err erro
 // pool (quarantined UDFs are permanently demoted to a dedicated one).
 func (u *udf) usePool() bool {
 	return u.pool != nil && !u.quarantined.Load()
+}
+
+// useMux reports whether this crossing should ride the shared fleet
+// (the fleet wins over a pool; quarantined UDFs use neither).
+func (u *udf) useMux() bool {
+	return u.mux != nil && !u.quarantined.Load()
 }
 
 // breakerFault wraps an open-breaker rejection as a classified fault.
@@ -164,6 +250,7 @@ func (u *udf) Invoke(ctx *core.Ctx, args []types.Value) (types.Value, error) {
 	if err := core.CheckArgs(u, args); err != nil {
 		return types.Value{}, err
 	}
+	u.started.Store(true)
 	b := u.breaker()
 	if err := b.Allow(); err != nil {
 		f := breakerFault(err)
@@ -172,6 +259,12 @@ func (u *udf) Invoke(ctx *core.Ctx, args []types.Value) (types.Value, error) {
 	}
 	core.CountCrossings(u.design, 1)
 	start := time.Now()
+	if u.useMux() {
+		out, err := u.mux.MuxInvoke(ctx, u.muxSpec(), args)
+		countFault(err)
+		u.record(b, ctx, start, err)
+		return out, err
+	}
 	if u.usePool() {
 		e, err := u.pool.Get(u)
 		if err != nil {
@@ -241,6 +334,7 @@ func (u *udf) InvokeBatch(ctx *core.Ctx, arity int, args []types.Value, out []co
 		out[0] = core.BatchResult{Value: v}
 		return nil
 	}
+	u.started.Store(true)
 	b := u.breaker()
 	if err := b.Allow(); err != nil {
 		f := breakerFault(err)
@@ -250,6 +344,12 @@ func (u *udf) InvokeBatch(ctx *core.Ctx, arity int, args []types.Value, out []co
 	core.CountCrossings(u.design, 1)
 	core.ObserveBatchRows(u.design, int64(n))
 	start := time.Now()
+	if u.useMux() {
+		err := u.mux.MuxInvokeBatch(ctx, u.muxSpec(), arity, args, out)
+		countFault(err)
+		u.record(b, ctx, start, err)
+		return err
+	}
 	if u.usePool() {
 		e, err := u.pool.Get(u)
 		if err != nil {

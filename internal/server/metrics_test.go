@@ -108,3 +108,58 @@ func TestGovernanceMetricsExposition(t *testing.T) {
 		}
 	}
 }
+
+// TestFleetMetricsExposition asserts the executor-fleet metric families
+// land in the /metrics exposition once a fleet has served crossings,
+// and that the rendered text still passes the exposition lint.
+func TestFleetMetricsExposition(t *testing.T) {
+	_, addr, eng := startSrv(t, Options{}, engine.Options{FleetSize: 2})
+	if err := eng.RegisterNativeIsolated("iso_ok", []types.Kind{types.KindInt}, types.KindInt); err != nil {
+		t.Fatal(err)
+	}
+	cl := dial(t, addr)
+	if _, err := cl.Exec(`CREATE TABLE fm (x INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec(`INSERT INTO fm VALUES (41)`); err != nil {
+		t.Fatal(err)
+	}
+	// Two fleet crossings: the second reuses the first's warm stream.
+	for i := 0; i < 2; i++ {
+		if res, err := cl.Exec(`SELECT iso_ok(x) FROM fm`); err != nil || res.Rows[0][0].Int != 42 {
+			t.Fatalf("fleet call: %v, %v", res, err)
+		}
+	}
+	if v := eng.Fleet().InFlight(); v != 0 {
+		t.Errorf("in-flight after queries = %d", v)
+	}
+	var b strings.Builder
+	if err := obs.Default.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	lintGovernanceExposition(t, text)
+	for _, name := range []string{
+		"predator_fleet_executors",
+		"predator_fleet_resident_streams",
+		"predator_fleet_stream_opens_total",
+		"predator_fleet_stream_reuses_total",
+		"predator_fleet_warm_hits_total",
+		"predator_fleet_restarts_total",
+		"predator_fleet_sheds_total",
+		"predator_fleet_invocations_total",
+		"predator_fleet_lost_streams_total",
+		"predator_govern_fair_wait_seconds",
+		"predator_govern_fair_sheds_total",
+		"predator_govern_fair_in_flight",
+		`queue="fleet"`,
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+	// The fleet really served the crossings (not a dedicated fallback).
+	if obs.Default.Counter("predator_fleet_invocations_total").Value() < 2 {
+		t.Error("fleet invocation counter did not advance")
+	}
+}

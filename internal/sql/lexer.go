@@ -41,7 +41,8 @@ var sqlKeywords = map[string]bool{
 	"ASC": true, "DESC": true, "JOIN": true, "ON": true, "IS": true,
 	"SHOW": true, "TABLES": true, "FUNCTIONS": true, "EXPLAIN": true,
 	"ANALYZE": true, "STATS": true, "STATEMENTS": true, "UDFS": true,
-	"DELETE": true, "REPLACE": true, "INNER": true, "UPDATE": true, "SET": true,
+	"EXECUTORS": true,
+	"DELETE":    true, "REPLACE": true, "INNER": true, "UPDATE": true, "SET": true,
 	"CHECKPOINT": true,
 }
 

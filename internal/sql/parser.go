@@ -418,8 +418,10 @@ func (p *sqlParser) showStmt() (Statement, error) {
 		return &Show{What: "statements"}, nil
 	case p.accept(tkKeyword, "UDFS"):
 		return &Show{What: "udfs"}, nil
+	case p.accept(tkKeyword, "EXECUTORS"):
+		return &Show{What: "executors"}, nil
 	default:
-		return nil, p.errHere("expected TABLES, FUNCTIONS, STATS, STATEMENTS or UDFS after SHOW")
+		return nil, p.errHere("expected TABLES, FUNCTIONS, STATS, STATEMENTS, UDFS or EXECUTORS after SHOW")
 	}
 }
 

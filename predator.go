@@ -246,6 +246,15 @@ func WithTenantQuota(q TenantQuota) Option {
 	return func(o *engine.Options) { o.Quota = q }
 }
 
+// WithFleetSize runs isolated UDFs on a shared fleet of n multiplexed
+// executor processes instead of one process per UDF, keeping process
+// count O(cores) however many sessions and UDFs are live. 0 (the
+// default) keeps the dedicated-executor lifecycle. Inspect the fleet
+// with SHOW EXECUTORS.
+func WithFleetSize(n int) Option {
+	return func(o *engine.Options) { o.FleetSize = n }
+}
+
 // SetStructuredLogger routes the engine's structured logs — slow
 // queries, crash recovery, executor restarts — to l (nil restores the
 // default stderr text handler). Process-wide, like the metrics registry.
