@@ -8,7 +8,7 @@
 //	predator-bench -experiment table1,fig5,fig8
 //
 // Experiments: table1 fig4 fig5 fig5batch fig6 fig7 fig8 jit verifier
-// fuel pool cbbatch durability overload fleet, or "all".
+// fuel pool cbbatch durability overload fleet inline, or "all".
 package main
 
 import (
@@ -33,6 +33,7 @@ func main() {
 		dir        = flag.String("dir", "", "workspace directory (default: temp)")
 		jsonDir    = flag.String("json-dir", ".", "directory for machine-readable BENCH_<experiment>.json files (empty = disabled)")
 		assertUp   = flag.Float64("assert-batch-speedup", 0, "fail unless the fig5batch IC++ batched/unbatched speedup reaches this factor")
+		assertInl  = flag.Float64("assert-inline-speedup", 0, "fail unless the inline experiment's inlined/vm speedup reaches this factor (and inlined beats isolated-batched)")
 		traceDir   = flag.String("trace-dir", "", "export a Chrome trace of an isolated-UDF query into this directory (empty = disabled)")
 	)
 	flag.Parse()
@@ -184,6 +185,30 @@ func main() {
 			perCell = 2 * time.Second
 		}
 		show(bench.FleetMultiplexing(perCell))
+	}
+	if sel("inline") {
+		perCell := 300 * time.Millisecond
+		if *full {
+			perCell = 2 * time.Second
+		}
+		tbl, speedup, err := bench.UDFInlining(perCell)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tbl.Render())
+		fmt.Printf("inlined speedup: %.2fx over vm, %.2fx over isolated-batched, %.2fx over fleet\n\n",
+			speedup["vm"], speedup["isolated-batched"], speedup["fleet"])
+		writeJSON(tbl)
+		if *assertInl > 0 {
+			if got := speedup["vm"]; got < *assertInl {
+				fatal(fmt.Errorf("inline: inlined/vm speedup %.2fx below required %.2fx", got, *assertInl))
+			}
+			if got := speedup["isolated-batched"]; got < 1 {
+				fatal(fmt.Errorf("inline: inlined slower than isolated-batched (%.2fx)", got))
+			}
+			fmt.Printf("(inline speedup assertion passed: %.2fx >= %.2fx over vm, %.2fx over isolated-batched)\n\n",
+				speedup["vm"], *assertInl, speedup["isolated-batched"])
+		}
 	}
 	if *traceDir != "" && h != nil {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"predator/internal/core"
+	"predator/internal/expr"
+	"predator/internal/fleet"
+	"predator/internal/isolate"
+	"predator/internal/jaguar"
+	"predator/internal/jvm"
+	"predator/internal/types"
+)
+
+// inlineSrc is the benchmark UDF: a small translatable predicate-ish
+// body (~10 instructions) of the kind Froid inlining targets. Small on
+// purpose — the smaller the body, the more the fixed per-call crossing
+// cost dominates, which is exactly the cost inlining deletes.
+const inlineSrc = `func gate(v int) int { return (v * 37 + 11) % 101; }`
+
+// inlineExpected mirrors inlineSrc in Go for result verification.
+func inlineExpected(v int64) int64 { return (v*37 + 11) % 101 }
+
+// UDFInlining measures the same source UDF under four execution
+// strategies: inlined into the expression tree (zero crossings), VM
+// dispatch per row, isolated executor with batched crossings, and the
+// shared multiplexed fleet (batched). Returns the table plus the
+// inlined design's speedup over each fallback, keyed "vm",
+// "isolated-batched" and "fleet" (-assert-inline-speedup consumes it).
+func UDFInlining(perCell time.Duration) (*Table, map[string]float64, error) {
+	if perCell <= 0 {
+		perCell = 300 * time.Millisecond
+	}
+	const batchRows = 64
+	intKinds := []types.Kind{types.KindInt}
+
+	classBytes, err := jaguar.CompileToBytes(inlineSrc, "Inline")
+	if err != nil {
+		return nil, nil, err
+	}
+	class, err := jvm.DecodeClass(classBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	lc, err := jvm.New(jvm.Options{}).NewLoader("bench-inline").LoadClass(class)
+	if err != nil {
+		return nil, nil, err
+	}
+	vmUDF, err := core.NewVM(core.VMUDFConfig{
+		Name: "gate", Class: lc, Method: "gate", Args: intKinds, Return: types.KindInt,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Expression-level bindings over a one-column row: the inlined node
+	// and the forced VM-dispatch node evaluate the same argument tree.
+	arg := []expr.Bound{&expr.Col{Index: 0, K: types.KindInt, Name: "v"}}
+	inlined, err := expr.NewUDFCall(vmUDF, arg)
+	if err != nil {
+		return nil, nil, err
+	}
+	vmCall, err := expr.NewUDFCallNoInline(vmUDF, []expr.Bound{&expr.Col{Index: 0, K: types.KindInt, Name: "v"}})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// scalarCell drives a per-row Bound until the deadline.
+	scalarCell := func(b expr.Bound) (int64, time.Duration, error) {
+		row := types.Row{types.NewInt(0)}
+		var n int64
+		start := time.Now()
+		deadline := start.Add(perCell)
+		for time.Now().Before(deadline) {
+			// An inner block amortizes the deadline check.
+			for i := 0; i < 1024; i++ {
+				v := n & 1023
+				row[0] = types.NewInt(v)
+				out, err := b.Eval(nil, row)
+				if err != nil {
+					return 0, 0, err
+				}
+				if out.Int != inlineExpected(v) {
+					return 0, 0, fmt.Errorf("bench: inline: got %d for %d, want %d", out.Int, v, inlineExpected(v))
+				}
+				n++
+			}
+		}
+		return n, time.Since(start), nil
+	}
+
+	// batchCell drives an isolated UDF through batched crossings.
+	batchCell := func(u core.UDF) (int64, time.Duration, error) {
+		bu, ok := u.(core.BatchUDF)
+		if !ok {
+			return 0, 0, fmt.Errorf("bench: inline: %s does not batch", u.Name())
+		}
+		args := make([]types.Value, batchRows)
+		out := make([]core.BatchResult, batchRows)
+		var n int64
+		start := time.Now()
+		deadline := start.Add(perCell)
+		for time.Now().Before(deadline) {
+			for i := range args {
+				args[i] = types.NewInt((n + int64(i)) & 1023)
+			}
+			if err := bu.InvokeBatch(nil, 1, args, out); err != nil {
+				return 0, 0, err
+			}
+			for i, r := range out {
+				if r.Err != nil {
+					return 0, 0, r.Err
+				}
+				if want := inlineExpected(args[i].Int); r.Value.Int != want {
+					return 0, 0, fmt.Errorf("bench: inline: batched got %d, want %d", r.Value.Int, want)
+				}
+			}
+			n += batchRows
+		}
+		return n, time.Since(start), nil
+	}
+
+	// The isolated fallbacks run with inlining explicitly disabled —
+	// without that, the translatable body would inline and there would
+	// be no crossing to measure.
+	iso := isolate.WithInlineDisabled(isolate.NewVMIsolated(
+		"gate_iso", intKinds, types.KindInt,
+		isolate.VMSetup{ClassBytes: classBytes, Method: "gate"}))
+	defer iso.Close()
+
+	fl := fleet.New(fleet.Options{Size: 2})
+	defer fl.Close()
+	fleeted := isolate.WithInlineDisabled(isolate.WithFleet(isolate.NewVMIsolated(
+		"gate_fleet", intKinds, types.KindInt,
+		isolate.VMSetup{ClassBytes: classBytes, Method: "gate"}), fl))
+	defer fleeted.Close()
+
+	type cell struct {
+		mode    string
+		rows    int64
+		elapsed time.Duration
+	}
+	var cells []cell
+	run := func(mode string, f func() (int64, time.Duration, error)) error {
+		rows, elapsed, err := f()
+		if err != nil {
+			return fmt.Errorf("bench: inline %s: %w", mode, err)
+		}
+		if rows == 0 {
+			return fmt.Errorf("bench: inline %s: no rows completed", mode)
+		}
+		cells = append(cells, cell{mode: mode, rows: rows, elapsed: elapsed})
+		return nil
+	}
+	if err := run("inlined", func() (int64, time.Duration, error) { return scalarCell(inlined) }); err != nil {
+		return nil, nil, err
+	}
+	if err := run("vm", func() (int64, time.Duration, error) { return scalarCell(vmCall) }); err != nil {
+		return nil, nil, err
+	}
+	if err := run("isolated-batched", func() (int64, time.Duration, error) { return batchCell(iso) }); err != nil {
+		return nil, nil, err
+	}
+	if err := run("fleet", func() (int64, time.Duration, error) { return batchCell(fleeted) }); err != nil {
+		return nil, nil, err
+	}
+
+	rps := func(c cell) float64 { return float64(c.rows) / c.elapsed.Seconds() }
+	base := rps(cells[0])
+	speedup := map[string]float64{}
+	for _, c := range cells[1:] {
+		speedup[c.mode] = base / rps(c)
+	}
+
+	t := &Table{
+		ID:    "inline",
+		Title: "Froid-style UDF inlining: the same source UDF inlined vs VM vs isolated-batched vs fleet",
+		Caption: fmt.Sprintf(
+			"%v per cell; UDF %q. inlined = translated into the expression tree (zero crossings); vm = per-row VM dispatch; isolated-batched = executor process, %d rows per crossing; fleet = 2 shared multiplexed processes, batched.",
+			perCell, inlineSrc, batchRows),
+		Header: []string{"design", "rows", "rows/sec", "ns/row", "inlined speedup"},
+	}
+	for i, c := range cells {
+		su := "1.00x"
+		if i > 0 {
+			su = fmt.Sprintf("%.2fx", base/rps(c))
+		}
+		t.Rows = append(t.Rows, []string{
+			c.mode,
+			fmt.Sprintf("%d", c.rows),
+			fmt.Sprintf("%.0f", rps(c)),
+			fmt.Sprintf("%.1f", float64(c.elapsed.Nanoseconds())/float64(c.rows)),
+			su,
+		})
+	}
+	return t, speedup, nil
+}

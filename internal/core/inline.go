@@ -1,0 +1,18 @@
+package core
+
+import "predator/internal/inline"
+
+// Inlinable is implemented by UDFs whose bodies were candidates for
+// Froid-style translation into an in-plan register program (package
+// inline). The expression binder probes for it: when InlineProgram
+// returns a program, the call is evaluated in-process with zero
+// crossings; otherwise the reason string says why the UDF keeps
+// paying for its declared design, and EXPLAIN / SHOW UDFS surface it.
+type Inlinable interface {
+	// InlineProgram returns (program, "") when the body translated, or
+	// (nil, reason) when it bailed out. The reason follows the package
+	// inline taxonomy, plus "disabled" when inlining was turned off at
+	// registration and "native-code" for native bodies that have no
+	// bytecode to translate.
+	InlineProgram() (*inline.Program, string)
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"predator/internal/inline"
 	"predator/internal/jvm"
 	"predator/internal/types"
 )
@@ -19,6 +20,8 @@ type vmUDF struct {
 	lc     *jvm.LoadedClass
 	method string
 	limits jvm.Limits
+	prog   *inline.Program // non-nil when the body translated
+	bail   string          // why it did not
 }
 
 // VMUDFConfig describes a Design 3 UDF to install.
@@ -35,6 +38,9 @@ type VMUDFConfig struct {
 	Return types.Kind
 	// Limits is the per-invocation resource policy.
 	Limits jvm.Limits
+	// NoInline keeps the body on the VM even when it is translatable
+	// (ablation benchmarks, CREATE FUNCTION ... NOINLINE).
+	NoInline bool
 }
 
 // NewVM builds a Design 3 UDF from a loaded class, validating that the
@@ -72,11 +78,23 @@ func NewVM(cfg VMUDFConfig) (UDF, error) {
 		return nil, fmt.Errorf("core: %s: return type %s (VM %s) but bytecode returns %s",
 			cfg.Name, cfg.Return, rt, m.Return)
 	}
-	return &vmUDF{
+	u := &vmUDF{
 		name: cfg.Name, args: cfg.Args, ret: cfg.Return,
 		lc: cfg.Class, method: method, limits: cfg.Limits,
-	}, nil
+	}
+	if cfg.NoInline {
+		u.bail = "disabled"
+	} else if p, err := inline.Translate(cls, method, cfg.Limits); err == nil {
+		u.prog = p
+	} else {
+		u.bail = inline.ReasonOf(err)
+	}
+	return u, nil
 }
+
+// InlineProgram implements Inlinable: the translated body, or the
+// reason translation bailed out.
+func (u *vmUDF) InlineProgram() (*inline.Program, string) { return u.prog, u.bail }
 
 func (u *vmUDF) Name() string           { return u.name }
 func (u *vmUDF) ArgKinds() []types.Kind { return u.args }

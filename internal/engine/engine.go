@@ -36,6 +36,10 @@ type Options struct {
 	Security jvm.SecurityManager
 	// DisableJIT forces the VM interpreter (for the JIT ablation).
 	DisableJIT bool
+	// DisableUDFInlining keeps translatable Jaguar UDFs on their
+	// declared execution design instead of lowering them into the plan
+	// (the Froid-inlining ablation).
+	DisableUDFInlining bool
 	// UDFLimits is the default per-invocation resource policy applied
 	// to Jaguar UDFs created via SQL. Zero = unlimited (like the
 	// paper's 1998 JVM); production should set it.
@@ -154,7 +158,7 @@ func Open(path string, opts Options) (*Engine, error) {
 		objects: NewObjectStore(),
 		opts:    opts,
 	}
-	e.planner = &plan.Planner{Catalog: cat, Registry: e.reg}
+	e.planner = &plan.Planner{Catalog: cat, Registry: e.reg, NoInline: opts.DisableUDFInlining}
 	e.gov = govern.NewGovernor(opts.Quota)
 	if opts.FleetSize > 0 {
 		e.fleet = fleet.New(fleet.Options{Size: opts.FleetSize, Supervision: opts.Supervision})
@@ -544,7 +548,7 @@ func (e *Engine) execInsert(ins *sql.Insert, ec *expr.Ctx) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: table %q does not exist", ins.Table)
 	}
-	binder := &expr.Binder{Scope: expr.NewScope(), Registry: e.reg}
+	binder := &expr.Binder{Scope: expr.NewScope(), Registry: e.reg, NoInline: e.opts.DisableUDFInlining}
 	var n int64
 	for _, exprs := range ins.Rows {
 		if len(exprs) != tbl.Schema.Arity() {
@@ -588,7 +592,7 @@ func (e *Engine) execDelete(del *sql.Delete, ec *expr.Ctx) (*Result, error) {
 	if del.Where != nil {
 		scope := expr.NewScope()
 		scope.AddTable(del.Table, tbl.Schema)
-		binder := &expr.Binder{Scope: scope, Registry: e.reg}
+		binder := &expr.Binder{Scope: scope, Registry: e.reg, NoInline: e.opts.DisableUDFInlining}
 		p, err := binder.Bind(del.Where)
 		if err != nil {
 			return nil, err
@@ -640,7 +644,7 @@ func (e *Engine) execUpdate(upd *sql.Update, ec *expr.Ctx) (*Result, error) {
 	}
 	scope := expr.NewScope()
 	scope.AddTable(upd.Table, tbl.Schema)
-	binder := &expr.Binder{Scope: scope, Registry: e.reg}
+	binder := &expr.Binder{Scope: scope, Registry: e.reg, NoInline: e.opts.DisableUDFInlining}
 	// Bind SET clauses: target column index + value expression.
 	type setBound struct {
 		col   int
@@ -772,12 +776,17 @@ func (e *Engine) execShow(n *sql.Show) (*Result, error) {
 			types.Column{Name: "opens", Kind: types.KindInt},
 			types.Column{Name: "sheds", Kind: types.KindInt},
 			types.Column{Name: "quarantined", Kind: types.KindBool},
+			types.Column{Name: "exec_design", Kind: types.KindString},
+			types.Column{Name: "inline_bailout", Kind: types.KindString},
 		)
 		// Only isolated designs carry a breaker; in-process UDFs show a
 		// "-" state (a crash there is the server's crash — the paper's
 		// Design 1 trade-off — so there is nothing to trip).
 		type breakerStatuser interface {
 			BreakerStatus() (govern.BreakerStatus, bool)
+		}
+		type fleetRider interface {
+			OnFleet() bool
 		}
 		var rows []types.Row
 		for _, u := range e.reg.List() {
@@ -788,6 +797,38 @@ func (e *Engine) execShow(n *sql.Show) (*Result, error) {
 				state, failures, opens, sheds = st.State, int64(st.Failures), st.Opens, st.Sheds
 				quarantined = q
 			}
+			// exec_design is where a call actually executes once the
+			// binder has had its say: "inline" for translated bodies the
+			// planner lowers into the expression tree, otherwise the
+			// dispatch path — with the bail-out reason explaining why the
+			// UDF still pays crossings.
+			execDesign, bail := "", ""
+			if inl, ok := u.(core.Inlinable); ok {
+				p, b := inl.InlineProgram()
+				if p != nil && !e.opts.DisableUDFInlining {
+					execDesign = "inline"
+				} else if p != nil {
+					bail = "disabled"
+				} else {
+					bail = b
+				}
+			}
+			if execDesign == "" {
+				switch u.Design() {
+				case core.DesignVMIntegrated:
+					execDesign = "vm"
+				case core.DesignNativeIsolated, core.DesignVMIsolated:
+					execDesign = "isolated"
+					if fr, ok := u.(fleetRider); ok && fr.OnFleet() {
+						execDesign = "fleet"
+					}
+				default:
+					execDesign = "native"
+				}
+			}
+			if bail == "" {
+				bail = "-"
+			}
 			rows = append(rows, types.Row{
 				types.NewString(u.Name()),
 				types.NewString(u.Design().String()),
@@ -796,6 +837,8 @@ func (e *Engine) execShow(n *sql.Show) (*Result, error) {
 				types.NewInt(opens),
 				types.NewInt(sheds),
 				types.NewBool(quarantined),
+				types.NewString(execDesign),
+				types.NewString(bail),
 			})
 		}
 		return &Result{Schema: sch, Rows: rows}, nil

@@ -24,7 +24,9 @@ func TestShowExecutorsWithoutFleet(t *testing.T) {
 // Jaguar VM) over a shared two-process fleet and inspects it via SHOW
 // EXECUTORS.
 func TestFleetEngineIntegration(t *testing.T) {
-	e, err := Open(filepath.Join(t.TempDir(), "fleet.db"), Options{FleetSize: 2})
+	// inc(x) = x+1 is translatable and would otherwise inline, never
+	// crossing into the fleet this test exists to exercise.
+	e, err := Open(filepath.Join(t.TempDir(), "fleet.db"), Options{FleetSize: 2, DisableUDFInlining: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"predator/internal/types"
+)
+
+func openEngineOpts(t *testing.T, opts Options) *Engine {
+	t.Helper()
+	e, err := Open(filepath.Join(t.TempDir(), "test.db"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+// showUDFRow fetches one function's SHOW UDFS row by name.
+func showUDFRow(t *testing.T, e *Engine, name string) types.Row {
+	t.Helper()
+	res := mustExec(t, e, "SHOW UDFS")
+	cols := res.Schema.Columns
+	if cols[7].Name != "exec_design" || cols[8].Name != "inline_bailout" {
+		t.Fatalf("SHOW UDFS schema = %v", res.Schema)
+	}
+	for _, r := range res.Rows {
+		if r[0].Str == name {
+			return r
+		}
+	}
+	t.Fatalf("SHOW UDFS has no row for %q", name)
+	return nil
+}
+
+// TestInlinedUDFEndToEnd: a translatable Jaguar UDF created via SQL is
+// lowered into the plan — EXPLAIN shows [inlined], SHOW UDFS reports
+// exec_design "inline", and the query computes the same result the VM
+// would.
+func TestInlinedUDFEndToEnd(t *testing.T) {
+	e := openEngine(t)
+	mustExec(t, e, `CREATE TABLE v (x INT)`)
+	mustExec(t, e, `INSERT INTO v VALUES (1), (2), (3), (4)`)
+	mustExec(t, e, `CREATE FUNCTION sq(int) RETURNS int LANGUAGE jaguar AS $$
+		func sq(x int) int { return x * x; }
+	$$`)
+
+	res := mustExec(t, e, `SELECT sq(x) FROM v WHERE sq(x) > 4 ORDER BY x`)
+	if len(res.Rows) != 2 || res.Rows[0][0].Int != 9 || res.Rows[1][0].Int != 16 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+
+	ex := mustExec(t, e, `EXPLAIN SELECT x FROM v WHERE sq(x) > 4`)
+	if !strings.Contains(ex.Plan, "sq[inlined]") {
+		t.Fatalf("EXPLAIN does not show the inlined call:\n%s", ex.Plan)
+	}
+
+	row := showUDFRow(t, e, "sq")
+	if row[7].Str != "inline" || row[8].Str != "-" {
+		t.Fatalf("sq exec_design/bailout = %q/%q, want inline/-", row[7].Str, row[8].Str)
+	}
+}
+
+// TestInlineBailoutSurfaced: a UDF that calls back into the server is
+// untranslatable; it stays on the VM and both EXPLAIN and SHOW UDFS
+// say why.
+func TestInlineBailoutSurfaced(t *testing.T) {
+	e := openEngine(t)
+	mustExec(t, e, `CREATE TABLE v (x INT)`)
+	mustExec(t, e, `CREATE FUNCTION probe(int) RETURNS int LANGUAGE jaguar AS $$
+		func probe(x int) int { return cb_size(x); }
+	$$`)
+
+	row := showUDFRow(t, e, "probe")
+	if row[7].Str != "vm" || row[8].Str != "native-call:cb.size" {
+		t.Fatalf("probe exec_design/bailout = %q/%q, want vm/native-call:cb.size", row[7].Str, row[8].Str)
+	}
+
+	ex := mustExec(t, e, `EXPLAIN SELECT x FROM v WHERE probe(x) > 0`)
+	if !strings.Contains(ex.Plan, "probe[JNI !native-call:cb.size]") {
+		t.Fatalf("EXPLAIN does not surface the bail-out reason:\n%s", ex.Plan)
+	}
+
+	// Isolated native UDFs have no bytecode at all.
+	if err := e.RegisterNativeIsolated("iso_double", []types.Kind{types.KindInt}, types.KindInt); err != nil {
+		t.Fatal(err)
+	}
+	row = showUDFRow(t, e, "iso_double")
+	if row[7].Str != "isolated" || row[8].Str != "native-code" {
+		t.Fatalf("iso_double exec_design/bailout = %q/%q, want isolated/native-code", row[7].Str, row[8].Str)
+	}
+}
+
+// TestDisableUDFInlining: the ablation switch keeps translatable
+// bodies on the VM, reported as such.
+func TestDisableUDFInlining(t *testing.T) {
+	e := openEngineOpts(t, Options{DisableUDFInlining: true})
+	mustExec(t, e, `CREATE TABLE v (x INT)`)
+	mustExec(t, e, `INSERT INTO v VALUES (5)`)
+	mustExec(t, e, `CREATE FUNCTION sq(int) RETURNS int LANGUAGE jaguar AS $$
+		func sq(x int) int { return x * x; }
+	$$`)
+
+	res := mustExec(t, e, `SELECT sq(x) FROM v`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 25 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	ex := mustExec(t, e, `EXPLAIN SELECT x FROM v WHERE sq(x) > 4`)
+	if !strings.Contains(ex.Plan, "sq[JNI !disabled]") {
+		t.Fatalf("EXPLAIN should show the disabled fallback:\n%s", ex.Plan)
+	}
+	row := showUDFRow(t, e, "sq")
+	if row[7].Str != "vm" || row[8].Str != "disabled" {
+		t.Fatalf("sq exec_design/bailout = %q/%q, want vm/disabled", row[7].Str, row[8].Str)
+	}
+}
+
+// TestInlinedIsolatedUDF: the Froid point — a translatable body
+// declared ISOLATED still inlines (the verifier provides the safety
+// the process boundary was buying), skipping the crossing entirely.
+func TestInlinedIsolatedUDF(t *testing.T) {
+	e := openEngine(t)
+	mustExec(t, e, `CREATE TABLE v (x INT)`)
+	mustExec(t, e, `INSERT INTO v VALUES (7)`)
+	mustExec(t, e, `CREATE FUNCTION inc(int) RETURNS int LANGUAGE jaguar ISOLATED AS $$
+		func inc(x int) int { return x + 1; }
+	$$`)
+	res := mustExec(t, e, `SELECT inc(x) FROM v`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 8 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	ex := mustExec(t, e, `EXPLAIN SELECT x FROM v WHERE inc(x) > 0`)
+	if !strings.Contains(ex.Plan, "inc[inlined]") {
+		t.Fatalf("isolated-but-translatable UDF should inline:\n%s", ex.Plan)
+	}
+	row := showUDFRow(t, e, "inc")
+	if row[7].Str != "inline" {
+		t.Fatalf("inc exec_design = %q, want inline", row[7].Str)
+	}
+}

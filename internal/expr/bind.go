@@ -14,6 +14,9 @@ import (
 type Binder struct {
 	Scope    *Scope
 	Registry *core.Registry
+	// NoInline binds UDF calls to their dispatch path even when the
+	// body translated (SET UDF_INLINING OFF, ablations).
+	NoInline bool
 }
 
 // Bind resolves and type-checks a parser expression.
@@ -135,7 +138,7 @@ func (b *Binder) bindCall(n *sql.FuncCall) (Bound, error) {
 	}
 	if b.Registry != nil {
 		if u, ok := b.Registry.Lookup(name); ok {
-			return NewUDFCall(u, args)
+			return newUDFCall(u, args, b.NoInline)
 		}
 	}
 	return nil, fmt.Errorf("expr: unknown function %q", n.Name)
@@ -185,6 +188,10 @@ func collectCols(e Bound, out map[int]bool) {
 		for _, a := range n.args {
 			collectCols(a, out)
 		}
+	case *inlinedCall:
+		for _, a := range n.args {
+			collectCols(a, out)
+		}
 	case *castFloat:
 		collectCols(n.x, out)
 	}
@@ -221,7 +228,13 @@ func ShiftCols(e Bound, offset int) Bound {
 		for i, a := range n.args {
 			args[i] = ShiftCols(a, offset)
 		}
-		return &udfCall{udf: n.udf, args: args, batch: n.batch, hist: n.hist, ev: n.ev}
+		return &udfCall{udf: n.udf, args: args, batch: n.batch, hist: n.hist, ev: n.ev, bail: n.bail}
+	case *inlinedCall:
+		args := make([]Bound, len(n.args))
+		for i, a := range n.args {
+			args[i] = ShiftCols(a, offset)
+		}
+		return newInlinedCall(n.udf, n.prog, args)
 	case *castFloat:
 		return &castFloat{x: ShiftCols(n.x, offset)}
 	default:

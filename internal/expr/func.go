@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"predator/internal/core"
+	"predator/internal/inline"
 	"predator/internal/obs"
 	"predator/internal/types"
 )
@@ -147,6 +148,7 @@ type udfCall struct {
 	batch core.BatchUDF  // non-nil when the UDF supports batched crossings
 	hist  *obs.Histogram // invoke latency, labelled by execution design
 	ev    string         // trace event name ("udf:<name>")
+	bail  string         // why the body was not inlined ("" = not a candidate)
 
 	// Grow-only scratch reused across rows and windows (a Bound tree
 	// belongs to one operator and is evaluated by one goroutine at a
@@ -159,7 +161,21 @@ type udfCall struct {
 }
 
 // NewUDFCall binds a UDF invocation after checking the signature.
+// UDFs whose bytecode translated (core.Inlinable) are lowered into
+// the expression tree and evaluated in-process with zero crossings;
+// everything else dispatches through the UDF's execution design.
 func NewUDFCall(u core.UDF, args []Bound) (Bound, error) {
+	return newUDFCall(u, args, false)
+}
+
+// NewUDFCallNoInline binds a UDF invocation that always dispatches
+// through the UDF's execution design, even when the body translated
+// (SET UDF_INLINING OFF, ablation benchmarks).
+func NewUDFCallNoInline(u core.UDF, args []Bound) (Bound, error) {
+	return newUDFCall(u, args, true)
+}
+
+func newUDFCall(u core.UDF, args []Bound, noInline bool) (Bound, error) {
 	kinds := u.ArgKinds()
 	if len(args) != len(kinds) {
 		return nil, fmt.Errorf("expr: %s takes %d argument(s), got %d", u.Name(), len(kinds), len(args))
@@ -175,11 +191,23 @@ func NewUDFCall(u core.UDF, args []Bound) (Bound, error) {
 				u.Name(), i+1, kinds[i], a.Kind())
 		}
 	}
+	var bail string
+	if inl, ok := u.(core.Inlinable); ok {
+		var prog *inline.Program
+		prog, bail = inl.InlineProgram()
+		if prog != nil {
+			if noInline {
+				bail = "disabled"
+			} else {
+				return newInlinedCall(u, prog, args), nil
+			}
+		}
+	}
 	// Resolve the latency histogram once at bind time so Eval never
 	// touches the registry map on the per-row path.
 	hist := obs.Default.Histogram("predator_udf_invoke_seconds", "design", u.Design().String())
 	batch, _ := u.(core.BatchUDF)
-	return &udfCall{udf: u, args: args, batch: batch, hist: hist, ev: "udf:" + strings.ToLower(u.Name())}, nil
+	return &udfCall{udf: u, args: args, batch: batch, hist: hist, ev: "udf:" + strings.ToLower(u.Name()), bail: bail}, nil
 }
 
 // Kind implements Bound.
@@ -223,11 +251,16 @@ func (u *udfCall) Cost() float64 {
 	return base
 }
 
-// String implements Bound.
+// String implements Bound. A call that was an inlining candidate but
+// fell back carries its bail-out reason after "!", so EXPLAIN shows
+// why the UDF still pays crossings: name[JNI !native-call:cb.get](x).
 func (u *udfCall) String() string {
 	parts := make([]string, len(u.args))
 	for i, a := range u.args {
 		parts[i] = a.String()
+	}
+	if u.bail != "" {
+		return fmt.Sprintf("%s[%s !%s](%s)", u.udf.Name(), u.udf.Design(), u.bail, strings.Join(parts, ", "))
 	}
 	return fmt.Sprintf("%s[%s](%s)", u.udf.Name(), u.udf.Design(), strings.Join(parts, ", "))
 }

@@ -1,0 +1,180 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"predator/internal/core"
+	"predator/internal/jaguar"
+	"predator/internal/jvm"
+	"predator/internal/types"
+)
+
+// registerJaguar compiles a Jaguar source and registers it as a
+// Design 3 (VM-integrated) UDF; translatable bodies come back from the
+// binder as inlinedCall nodes.
+func registerJaguar(t testing.TB, reg *core.Registry, name, src string, args []types.Kind, ret types.Kind) {
+	t.Helper()
+	c, err := jaguar.Compile(src, "udf_"+name)
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	lc, err := jvm.New(jvm.Options{}).NewLoader("t").LoadClass(c)
+	if err != nil {
+		t.Fatalf("load %s: %v", name, err)
+	}
+	u, err := core.NewVM(core.VMUDFConfig{Name: name, Class: lc, Method: name, Args: args, Return: ret})
+	if err != nil {
+		t.Fatalf("NewVM %s: %v", name, err)
+	}
+	if err := reg.Register(u); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInlinedUDFEvalZeroAlloc extends the zero-alloc pin to the Froid
+// path: a translated Jaguar body evaluated in the expression tree must
+// not allocate per row — that is the whole point of inlining.
+func TestInlinedUDFEvalZeroAlloc(t *testing.T) {
+	reg := core.NewRegistry()
+	registerJaguar(t, reg, "mix",
+		`func mix(a int, b int) int { if (a > b) { return a * 3 - b; } return b * 3 - a; }`,
+		[]types.Kind{types.KindInt, types.KindInt}, types.KindInt)
+	bound := benchBind(t, `mix(i, i)`, reg)
+	if _, ok := bound.(*inlinedCall); !ok {
+		t.Fatalf("bound to %T, want *inlinedCall", bound)
+	}
+	row := testRow()
+
+	for _, tc := range []struct {
+		name string
+		ec   *Ctx
+	}{
+		{"nil-ctx", nil},
+		{"untraced-ctx", &Ctx{}},
+	} {
+		if _, err := bound.Eval(tc.ec, row); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			v, err := bound.Eval(tc.ec, row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Int != 20 {
+				t.Fatalf("got %d, want 20", v.Int)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: inlinedCall.Eval allocates %.1f/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestInlineBindDecision pins which node the binder produces and what
+// EXPLAIN will print for each case: translated bodies inline, bodies
+// with natives fall back with the reason, and NoInline forces the
+// dispatch path with reason "disabled".
+func TestInlineBindDecision(t *testing.T) {
+	reg := core.NewRegistry()
+	registerJaguar(t, reg, "tri",
+		`func tri(a int) int { return a * (a + 1) / 2; }`,
+		[]types.Kind{types.KindInt}, types.KindInt)
+	registerJaguar(t, reg, "peek",
+		`func peek(a int) int { return cb_size(a); }`,
+		[]types.Kind{types.KindInt}, types.KindInt)
+
+	inlined := bind(t, `tri(i)`, reg)
+	if _, ok := inlined.(*inlinedCall); !ok {
+		t.Fatalf("tri bound to %T, want *inlinedCall", inlined)
+	}
+	if got := inlined.String(); !strings.Contains(got, "tri[inlined]") {
+		t.Fatalf("inlined String = %q, want tri[inlined](...)", got)
+	}
+
+	fallback := bind(t, `peek(i)`, reg)
+	if _, ok := fallback.(*udfCall); !ok {
+		t.Fatalf("peek bound to %T, want *udfCall", fallback)
+	}
+	if got := fallback.String(); !strings.Contains(got, "peek[JNI !native-call:cb.size]") {
+		t.Fatalf("fallback String = %q, want the bail-out reason", got)
+	}
+
+	u, _ := reg.Lookup("tri")
+	off, err := NewUDFCallNoInline(u, []Bound{&Col{Index: 0, K: types.KindInt, Name: "i"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := off.String(); !strings.Contains(got, "tri[JNI !disabled]") {
+		t.Fatalf("NoInline String = %q, want tri[JNI !disabled](...)", got)
+	}
+}
+
+// TestInlinedMatchesVMDispatch is the expression-level differential:
+// the same registered UDF evaluated inlined and through the VM must
+// agree row for row, NULLs and traps included.
+func TestInlinedMatchesVMDispatch(t *testing.T) {
+	reg := core.NewRegistry()
+	registerJaguar(t, reg, "ratio",
+		`func ratio(a int, b int) int { return (a * a + 7) / b; }`,
+		[]types.Kind{types.KindInt, types.KindInt}, types.KindInt)
+	u, _ := reg.Lookup("ratio")
+	args := func() []Bound {
+		return []Bound{
+			&Col{Index: 0, K: types.KindInt, Name: "i"},
+			&Col{Index: 1, K: types.KindInt, Name: "j"},
+		}
+	}
+	inl, err := NewUDFCall(u, args())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := inl.(*inlinedCall); !ok {
+		t.Fatalf("bound to %T, want *inlinedCall", inl)
+	}
+	vm, err := NewUDFCallNoInline(u, args())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []types.Row{
+		{types.NewInt(10), types.NewInt(3)},
+		{types.NewInt(-4), types.NewInt(5)},
+		{types.NewInt(1), types.NewInt(0)}, // division by zero trap
+		{types.Null(), types.NewInt(2)},    // strict NULL, arg 1
+		{types.NewInt(2), types.Null()},    // strict NULL, arg 2
+		{types.NewInt(1 << 31), types.NewInt(1)},
+	}
+	for _, row := range rows {
+		iv, ierr := inl.Eval(nil, row)
+		vv, verr := vm.Eval(nil, row)
+		if (ierr == nil) != (verr == nil) {
+			t.Fatalf("row %v: inlined err %v, vm err %v", row, ierr, verr)
+		}
+		if ierr != nil {
+			// Different wrapping prefixes, same underlying trap.
+			var it, vt *jvm.Trap
+			if !asTrap(ierr, &it) || !asTrap(verr, &vt) || *it != *vt {
+				t.Fatalf("row %v: trap mismatch: %v vs %v", row, ierr, verr)
+			}
+			continue
+		}
+		if iv.IsNull() != vv.IsNull() || (!iv.IsNull() && iv.Int != vv.Int) {
+			t.Fatalf("row %v: inlined %v, vm %v", row, iv, vv)
+		}
+	}
+}
+
+func asTrap(err error, out **jvm.Trap) bool {
+	for err != nil {
+		if tr, ok := err.(*jvm.Trap); ok {
+			*out = tr
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

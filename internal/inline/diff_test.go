@@ -1,0 +1,342 @@
+package inline_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"predator/internal/inline"
+	"predator/internal/jaguar"
+	"predator/internal/jvm"
+)
+
+// The differential harness: every program in the corpus is executed
+// by the VM (the reference semantics) and by the translated register
+// program over the same inputs, and the outcomes must be identical —
+// same value on success (bit-exact for floats, content and aliasing
+// for bytes), same trap kind/class/method/detail on failure, at the
+// same instruction count when fuel is constrained.
+
+func load(t testing.TB, c *jvm.Class) *jvm.LoadedClass {
+	t.Helper()
+	lc, err := jvm.New(jvm.Options{}).NewLoader("diff").LoadClass(c)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return lc
+}
+
+func cloneArgs(args []jvm.Value) []jvm.Value {
+	out := make([]jvm.Value, len(args))
+	for i, a := range args {
+		out[i] = a
+		if a.T == jvm.TBytes {
+			b := make([]byte, len(a.B))
+			copy(b, a.B)
+			out[i].B = b
+		}
+	}
+	return out
+}
+
+// diffOne runs both engines on one input and fails the test on any
+// observable divergence.
+func diffOne(t *testing.T, lc *jvm.LoadedClass, p *inline.Program, regs []jvm.Value, method string, args []jvm.Value, lim jvm.Limits) {
+	t.Helper()
+	vmArgs, inArgs := cloneArgs(args), cloneArgs(args)
+	// ForceInterpreter: the switch interpreter is the reference
+	// semantics the translator replicates (the JIT is itself an
+	// optimization over it, with coarser fuel accounting).
+	want, _, vmErr := lc.Call(method, vmArgs, &jvm.CallOptions{Limits: lim, ForceInterpreter: true})
+	got, inErr := p.Run(regs, inArgs)
+
+	label := fmt.Sprintf("%s(%v)", method, args)
+	if (vmErr == nil) != (inErr == nil) {
+		t.Fatalf("%s: vm err = %v, inline err = %v", label, vmErr, inErr)
+	}
+	if vmErr != nil {
+		var vt, it *jvm.Trap
+		if !errors.As(vmErr, &vt) || !errors.As(inErr, &it) {
+			t.Fatalf("%s: non-trap errors: vm %v, inline %v", label, vmErr, inErr)
+		}
+		if *vt != *it {
+			t.Fatalf("%s: trap mismatch: vm %+v, inline %+v", label, vt, it)
+		}
+		return
+	}
+	if want.T != got.T {
+		t.Fatalf("%s: type mismatch: vm %s, inline %s", label, want.T, got.T)
+	}
+	switch want.T {
+	case jvm.TInt:
+		if want.I != got.I {
+			t.Fatalf("%s: vm %d, inline %d", label, want.I, got.I)
+		}
+	case jvm.TFloat:
+		if math.Float64bits(want.F) != math.Float64bits(got.F) {
+			t.Fatalf("%s: vm %v, inline %v (bit-exact compare)", label, want.F, got.F)
+		}
+	case jvm.TStr:
+		if want.S != got.S {
+			t.Fatalf("%s: vm %q, inline %q", label, want.S, got.S)
+		}
+	case jvm.TBytes:
+		if string(want.B) != string(got.B) {
+			t.Fatalf("%s: vm %v, inline %v", label, want.B, got.B)
+		}
+	}
+	// Side effects: mutations through bytes arguments must match too
+	// (both engines share the argument array by reference).
+	for i := range vmArgs {
+		if vmArgs[i].T == jvm.TBytes && string(vmArgs[i].B) != string(inArgs[i].B) {
+			t.Fatalf("%s: bytes arg %d mutated differently: vm %v, inline %v", label, i, vmArgs[i].B, inArgs[i].B)
+		}
+	}
+}
+
+var intEdges = []int64{0, 1, -1, 2, 7, 63, -100, 1000003, math.MaxInt64, math.MinInt64, math.MinInt64 + 1}
+
+// TestDifferentialCorpus: translatable Jaguar bodies, run over the
+// edge-value cross product. Covers arithmetic (overflow, MinInt64
+// division wrap, div/mod-by-zero traps), comparisons, if/else chains,
+// fuel-bounded loops, floats (bit-exact, Inf/NaN), strings, and
+// bounds-checked bytes access.
+func TestDifferentialCorpus(t *testing.T) {
+	lim := jvm.Limits{Fuel: 100000}
+	cases := []struct {
+		name   string
+		src    string
+		method string
+		args   func() [][]jvm.Value
+	}{
+		{"arith", `func f(a int, b int) int { return (a * 3 + b) - a % 7; }`, "f", intPairs},
+		{"div-traps", `func f(a int, b int) int { return a / b + a % b; }`, "f", intPairs},
+		{"overflow", `func f(a int, b int) int { return a * b + a + b; }`, "f", intPairs},
+		{"minint-wrap", `func f(a int, b int) int { return a / b; }`, "f", func() [][]jvm.Value {
+			return [][]jvm.Value{
+				{jvm.IntVal(math.MinInt64), jvm.IntVal(-1)},
+				{jvm.IntVal(math.MinInt64), jvm.IntVal(1)},
+				{jvm.IntVal(math.MinInt64), jvm.IntVal(0)},
+			}
+		}},
+		{"minint-mod", `func f(a int, b int) int { return a % b; }`, "f", func() [][]jvm.Value {
+			return [][]jvm.Value{{jvm.IntVal(math.MinInt64), jvm.IntVal(-1)}}
+		}},
+		{"ifelse", `func f(x int, y int) int {
+			if (x >= 90) { return 4; } else if (x >= y) { return 3; } else if (x + y > 10) { return 2; } else { return x - y; }
+		}`, "f", intPairs},
+		{"bool-ret", `func f(a int, b int) bool { if (a > b) { return a - b > 3; } return b - a < 10; }`, "f", intPairs},
+		{"loop", `func f(n int, step int) int {
+			var acc int = 0;
+			for (var i int = 0; i < n; i = i + step) { acc = acc + i * i; if (acc > 100000) { break; } }
+			return acc;
+		}`, "f", func() [][]jvm.Value {
+			var out [][]jvm.Value
+			for _, n := range []int64{0, 1, 10, 100} {
+				for _, s := range []int64{1, 3, 7} {
+					out = append(out, []jvm.Value{jvm.IntVal(n), jvm.IntVal(s)})
+				}
+			}
+			return out
+		}},
+		{"floats", `func f(x float, y float) float {
+			var z float = x * y - 2.5;
+			if (z < 0.0) { z = -z; }
+			return z / (y + 1.0);
+		}`, "f", func() [][]jvm.Value {
+			edges := []float64{0, 1, -1, 2.5, -3.75, 1e300, -1e300, math.MaxFloat64}
+			var out [][]jvm.Value
+			for _, a := range edges {
+				for _, b := range edges {
+					out = append(out, []jvm.Value{jvm.FloatVal(a), jvm.FloatVal(b)})
+				}
+			}
+			// y = -1.0 divides by zero: IEEE Inf/NaN, not a trap.
+			out = append(out, []jvm.Value{jvm.FloatVal(5), jvm.FloatVal(-1)})
+			out = append(out, []jvm.Value{jvm.FloatVal(0), jvm.FloatVal(-1)})
+			return out
+		}},
+		{"float-int-casts", `func f(a int, b int) int { return int(float(a) / 4.0 + float(b) * 0.5); }`, "f", intPairs},
+		{"strings", `func f(s str, p str) int { if (s == p) { return len(s); } return len(s) - len(p); }`, "f", func() [][]jvm.Value {
+			ss := []string{"", "a", "abc", "abd", "longer string value"}
+			var out [][]jvm.Value
+			for _, a := range ss {
+				for _, b := range ss {
+					out = append(out, []jvm.Value{jvm.StrVal(a), jvm.StrVal(b)})
+				}
+			}
+			return out
+		}},
+		{"bytes", `func f(y bytes, i int) int { y[i] = y[i] * 2 + 1; return y[i] + len(y); }`, "f", func() [][]jvm.Value {
+			var out [][]jvm.Value
+			for _, i := range []int64{0, 2, 3, -1, 100} { // 3, -1, 100 trap on the 3-byte array
+				out = append(out, []jvm.Value{jvm.BytesVal([]byte{10, 200, 30}), jvm.IntVal(i)})
+			}
+			return out
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := compile(t, tc.src)
+			lc := load(t, c)
+			p, err := inline.Translate(c, tc.method, lim)
+			if err != nil {
+				t.Fatalf("translate: %v", err)
+			}
+			regs := p.NewRegs()
+			for _, args := range tc.args() {
+				diffOne(t, lc, p, regs, tc.method, args, lim)
+			}
+		})
+	}
+}
+
+func intPairs() [][]jvm.Value {
+	var out [][]jvm.Value
+	for _, a := range intEdges {
+		for _, b := range intEdges {
+			out = append(out, []jvm.Value{jvm.IntVal(a), jvm.IntVal(b)})
+		}
+	}
+	return out
+}
+
+// TestDifferentialHandAssembled covers stack-manipulation opcodes the
+// Jaguar compiler rarely emits (dup, swap, pop, nop): the translator
+// must honor them because nothing stops hand-built classes from using
+// them.
+func TestDifferentialHandAssembled(t *testing.T) {
+	lim := jvm.Limits{Fuel: 1000}
+	cases := []struct {
+		name string
+		m    jvm.Method
+	}{
+		{"dup-square", jvm.Method{
+			Name: "f", Params: []jvm.VType{jvm.TInt}, Locals: []jvm.VType{jvm.TInt},
+			Return: jvm.TInt, MaxStack: 2,
+			Code: jvm.NewAssembler().
+				EmitU16(jvm.OpLoad, 0).Emit(jvm.OpDup).Emit(jvm.OpIMul).
+				Emit(jvm.OpRet).MustBytes(),
+		}},
+		{"swap-sub", jvm.Method{
+			Name: "f", Params: []jvm.VType{jvm.TInt, jvm.TInt}, Locals: []jvm.VType{jvm.TInt, jvm.TInt},
+			Return: jvm.TInt, MaxStack: 2,
+			Code: jvm.NewAssembler().
+				EmitU16(jvm.OpLoad, 0).EmitU16(jvm.OpLoad, 1).Emit(jvm.OpSwap).Emit(jvm.OpISub).
+				Emit(jvm.OpRet).MustBytes(),
+		}},
+		{"pop-nop", jvm.Method{
+			Name: "f", Params: []jvm.VType{jvm.TInt}, Locals: []jvm.VType{jvm.TInt},
+			Return: jvm.TInt, MaxStack: 2,
+			Code: jvm.NewAssembler().
+				EmitU16(jvm.OpLoad, 0).Emit(jvm.OpIConst1).Emit(jvm.OpPop).Emit(jvm.OpNop).
+				Emit(jvm.OpINeg).Emit(jvm.OpRet).MustBytes(),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := &jvm.Class{Name: "H", Methods: []jvm.Method{tc.m}}
+			lc := load(t, c)
+			p, err := inline.Translate(c, "f", lim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			regs := p.NewRegs()
+			for _, a := range intEdges {
+				args := []jvm.Value{jvm.IntVal(a)}
+				if len(tc.m.Params) == 2 {
+					args = append(args, jvm.IntVal(a/3+1))
+				}
+				diffOne(t, lc, p, regs, "f", args, lim)
+			}
+		})
+	}
+}
+
+// TestFuelParity pins the 1:1 instruction accounting: for every fuel
+// budget from 1 up to just past the program's full instruction count,
+// the VM and the inlined program must agree on trap-vs-success and on
+// the result. An off-by-one here would let inlined UDFs run past (or
+// trap before) the budget operators configured.
+func TestFuelParity(t *testing.T) {
+	src := `func f(n int) int {
+		var acc int = 0;
+		for (var i int = 0; i < n; i = i + 1) { if (i % 3 == 0) { acc = acc + i; } else { acc = acc - 1; } }
+		return acc;
+	}`
+	c := compile(t, src)
+	lc := load(t, c)
+	args := []jvm.Value{jvm.IntVal(25)}
+	_, usage, err := lc.Call("f", cloneArgs(args), &jvm.CallOptions{ForceInterpreter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usage.Instructions < 50 {
+		t.Fatalf("test program too small (%d instructions) to exercise fuel parity", usage.Instructions)
+	}
+	for fuel := int64(1); fuel <= usage.Instructions+2; fuel++ {
+		lim := jvm.Limits{Fuel: fuel}
+		p, err := inline.Translate(c, "f", lim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffOne(t, lc, p, p.NewRegs(), "f", args, lim)
+	}
+}
+
+// TestDifferentialFuzz is the randomized variant: generated arithmetic
+// /comparison bodies over random and edge inputs, inlined vs VM. The
+// seed is fixed for reproducibility; the generator favors division and
+// modulo so trap paths are exercised, not just happy paths.
+func TestDifferentialFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	lim := jvm.Limits{Fuel: 10000}
+	for round := 0; round < 60; round++ {
+		src := fmt.Sprintf(
+			`func f(a int, b int, c int) int { var t int = %s; if (t %s %s) { t = %s; } return t; }`,
+			genExpr(rng, 4), []string{"<", ">", "==", "<=", ">=", "!="}[rng.Intn(6)], genExpr(rng, 2),
+			genExpr(rng, 3))
+		c, err := jaguar.Compile(src, "Fz")
+		if err != nil {
+			t.Fatalf("round %d: compile %q: %v", round, src, err)
+		}
+		lc := load(t, c)
+		p, err := inline.Translate(c, "f", lim)
+		if err != nil {
+			t.Fatalf("round %d: translate %q: %v", round, src, err)
+		}
+		regs := p.NewRegs()
+		for trial := 0; trial < 40; trial++ {
+			args := []jvm.Value{randInt(rng), randInt(rng), randInt(rng)}
+			tSrc := src
+			t.Run("", func(t *testing.T) { _ = tSrc; diffOne(t, lc, p, regs, "f", args, lim) })
+		}
+	}
+}
+
+func randInt(rng *rand.Rand) jvm.Value {
+	if rng.Intn(3) == 0 {
+		return jvm.IntVal(intEdges[rng.Intn(len(intEdges))])
+	}
+	return jvm.IntVal(rng.Int63n(2001) - 1000)
+}
+
+// genExpr builds a random Jaguar int expression over a, b, c.
+func genExpr(rng *rand.Rand, depth int) string {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return "a"
+		case 1:
+			return "b"
+		case 2:
+			return "c"
+		default:
+			return fmt.Sprintf("%d", rng.Int63n(41)-20)
+		}
+	}
+	ops := []string{"+", "-", "*", "/", "%", "/", "%"}
+	return fmt.Sprintf("(%s %s %s)", genExpr(rng, depth-1), ops[rng.Intn(len(ops))], genExpr(rng, depth-1))
+}

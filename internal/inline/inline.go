@@ -1,0 +1,388 @@
+// Package inline implements Froid-style UDF inlining for Jaguar
+// bytecode: it lowers *translatable* method bodies — straight-line
+// arithmetic, comparisons, if/else, and fuel-bounded loops — into a
+// small register program the query engine can evaluate in-process, as
+// part of the expression tree, with zero crossings and zero
+// allocations per row.
+//
+// The safety argument rests entirely on the bytecode verifier. A class
+// that passes jvm.Verify has a statically known operand-stack depth at
+// every instruction (the verifier's abstract interpretation rejects
+// inconsistent depths or types at join points), every jump lands on an
+// instruction boundary, no local or constant index is out of range,
+// and the only run-time failures are the checked traps. That is
+// exactly the invariant that makes stack-to-register translation
+// sound: operand-stack slot k at depth d is a *name*, not a dynamic
+// location, so it becomes register locals+k. Translate re-verifies the
+// class itself — there is no trusted path around the verifier, even
+// for callers holding raw class bytes.
+//
+// Translation is 1:1: each bytecode instruction becomes exactly one
+// register op, and the evaluator charges one unit of fuel per op
+// before executing it, like the VM interpreter. A translated program
+// therefore traps (fuel, divide-by-zero, bounds) on exactly the same
+// input and at exactly the same instruction count as the VM would —
+// the differential tests pin this.
+//
+// Untranslatable bodies bail out with a recorded reason and keep their
+// declared execution design (VM, isolated, fleet). The taxonomy:
+//
+//   - native-call:<name>  — callbacks or system natives (cb_*, sys_*):
+//     those need the invocation context the plan does not carry;
+//   - sibling-call:<m>    — method calls (would need interprocedural
+//     translation and depth accounting);
+//   - allocates:<op>      — sconcat / bnew / bytes constants: the
+//     VM charges these against the per-invocation memory budget,
+//     which the in-plan path intentionally does not replicate;
+//   - loop-without-fuel-limit — a backward jump with Limits.Fuel == 0:
+//     only the fuel budget proves such loops terminate, so without
+//     one the body must stay under the VM (or an isolated process,
+//     where a wedged invocation can be killed);
+//   - unsupported-opcode:<op> — future instructions.
+package inline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"predator/internal/jvm"
+)
+
+// Bailout reports that a method body is not translatable. The UDF
+// falls back to its declared execution design; Reason is surfaced in
+// EXPLAIN and SHOW UDFS so operators can see why the function still
+// pays crossings.
+type Bailout struct {
+	Reason string
+}
+
+// Error implements the error interface.
+func (b *Bailout) Error() string { return "inline: not translatable: " + b.Reason }
+
+// ReasonOf extracts a human-readable bail-out reason from a Translate
+// error ("" for nil).
+func ReasonOf(err error) string {
+	if err == nil {
+		return ""
+	}
+	var b *Bailout
+	if errors.As(err, &b) {
+		return b.Reason
+	}
+	return err.Error()
+}
+
+// rop is one register operation. The op field keeps the source
+// opcode, so the mapping stays visibly 1:1 (and disassembly reads
+// like the bytecode). Operand roles:
+//
+//	a — destination register, or jump-target op index
+//	b — first source register (condition / return value)
+//	c — second source register
+type rop struct {
+	op      jvm.Opcode
+	a, b, c int32
+	val     jvm.Value // OpLdc payload (constants resolved at translation)
+}
+
+// Program is a translated method body: a register machine over a flat
+// file of len(Locals)+MaxStack registers, evaluated by Run. It is
+// immutable after Translate and safe for concurrent Run calls (each
+// caller supplies its own register scratch).
+type Program struct {
+	class   string
+	method  string
+	params  []jvm.VType
+	ret     jvm.VType
+	nLocals int
+	nRegs   int
+	ops     []rop
+	fuel    int64
+	hasLoop bool
+}
+
+// NumRegs returns the register-file size Run requires.
+func (p *Program) NumRegs() int { return p.nRegs }
+
+// NumOps returns the number of register ops (= bytecode instructions).
+func (p *Program) NumOps() int { return len(p.ops) }
+
+// NumParams returns the method's parameter count.
+func (p *Program) NumParams() int { return len(p.params) }
+
+// Return is the VM-level result type.
+func (p *Program) Return() jvm.VType { return p.ret }
+
+// HasLoop reports whether the body contains a backward jump. Such
+// programs are only translated under a fuel limit.
+func (p *Program) HasLoop() bool { return p.hasLoop }
+
+// Name returns "class.method" for diagnostics.
+func (p *Program) Name() string { return p.class + "." + p.method }
+
+// NewRegs allocates a register file sized for Run. Hot paths allocate
+// one and reuse it across rows.
+func (p *Program) NewRegs() []jvm.Value { return make([]jvm.Value, p.nRegs) }
+
+// fuelBudget mirrors the VM's internal countdown derivation:
+// Limits.Fuel <= 0 means unlimited.
+func fuelBudget(l jvm.Limits) int64 {
+	if l.Fuel <= 0 {
+		return math.MaxInt64
+	}
+	return l.Fuel
+}
+
+// depthDelta gives each translatable opcode's net operand-stack effect.
+var depthDelta = map[jvm.Opcode]int{
+	jvm.OpNop: 0, jvm.OpLdc: +1, jvm.OpIConst0: +1, jvm.OpIConst1: +1,
+	jvm.OpDup: +1, jvm.OpPop: -1, jvm.OpSwap: 0,
+	jvm.OpLoad: +1, jvm.OpStore: -1,
+	jvm.OpIAdd: -1, jvm.OpISub: -1, jvm.OpIMul: -1, jvm.OpIDiv: -1, jvm.OpIMod: -1,
+	jvm.OpINeg: 0,
+	jvm.OpFAdd: -1, jvm.OpFSub: -1, jvm.OpFMul: -1, jvm.OpFDiv: -1,
+	jvm.OpFNeg: 0, jvm.OpI2F: 0, jvm.OpF2I: 0,
+	jvm.OpIEq: -1, jvm.OpINe: -1, jvm.OpILt: -1, jvm.OpILe: -1, jvm.OpIGt: -1, jvm.OpIGe: -1,
+	jvm.OpFEq: -1, jvm.OpFNe: -1, jvm.OpFLt: -1, jvm.OpFLe: -1, jvm.OpFGt: -1, jvm.OpFGe: -1,
+	jvm.OpSEq: -1, jvm.OpSLen: 0,
+	jvm.OpBLen: 0, jvm.OpBGet: -1, jvm.OpBSet: -3, jvm.OpBEq: -1,
+	jvm.OpNot: 0,
+	jvm.OpJmp: 0, jvm.OpJmpZ: -1, jvm.OpJmpN: -1,
+	jvm.OpRet: -1,
+}
+
+// decoded is a pre-decoded bytecode instruction (jump targets already
+// rewritten from byte offsets to instruction indexes, as the loader
+// does).
+type decoded struct {
+	op   jvm.Opcode
+	a    int32 // cp index / local index / jump target (instr index)
+	argc int32 // OpNative arg count
+}
+
+// Translate lowers the named method of a verified class into a
+// register program. It verifies the class itself (callers may hold raw
+// decoded bytes that never went through a loader), then rejects
+// untranslatable bodies with a *Bailout carrying the reason. lim is
+// the per-invocation resource policy the program will run under; its
+// fuel figure is baked into the program and bounds loops exactly as
+// it bounds the VM interpreter.
+func Translate(c *jvm.Class, method string, lim jvm.Limits) (*Program, error) {
+	if err := c.Verify(); err != nil {
+		return nil, err
+	}
+	mi := c.MethodIndex(method)
+	if mi < 0 {
+		return nil, fmt.Errorf("inline: class %q has no method %q", c.Name, method)
+	}
+	m := &c.Methods[mi]
+
+	ins, err := decode(c, m)
+	if err != nil {
+		return nil, err
+	}
+
+	// First gate: every opcode must be translatable at all. Checking
+	// before the depth analysis gives the most specific reason.
+	for _, in := range ins {
+		switch in.op {
+		case jvm.OpNative:
+			return nil, &Bailout{Reason: "native-call:" + c.Consts[in.a].Str}
+		case jvm.OpCall:
+			return nil, &Bailout{Reason: "sibling-call:" + c.Methods[in.a].Name}
+		case jvm.OpSConcat:
+			return nil, &Bailout{Reason: "allocates:sconcat"}
+		case jvm.OpBNew:
+			return nil, &Bailout{Reason: "allocates:bnew"}
+		case jvm.OpLdc:
+			if c.Consts[in.a].Kind == jvm.ConstBytes {
+				// The VM copies bytes constants per invocation and charges
+				// the copy against the memory budget; the in-plan path
+				// replicates neither.
+				return nil, &Bailout{Reason: "allocates:bytes-const"}
+			}
+		default:
+			if _, ok := depthDelta[in.op]; !ok {
+				return nil, &Bailout{Reason: "unsupported-opcode:" + in.op.Name()}
+			}
+		}
+	}
+
+	depth, hasLoop, err := stackDepths(c, m, ins)
+	if err != nil {
+		return nil, err
+	}
+	if hasLoop && lim.Fuel <= 0 {
+		return nil, &Bailout{Reason: "loop-without-fuel-limit"}
+	}
+
+	nLocals := len(m.Locals)
+	p := &Program{
+		class:   c.Name,
+		method:  m.Name,
+		params:  m.Params,
+		ret:     m.Return,
+		nLocals: nLocals,
+		nRegs:   nLocals + m.MaxStack,
+		ops:     make([]rop, len(ins)),
+		fuel:    fuelBudget(lim),
+		hasLoop: hasLoop,
+	}
+	L := int32(nLocals)
+	for i, in := range ins {
+		d := int32(depth[i])
+		// Register naming: operand-stack slot k lives in register L+k.
+		// s(d-1) is the top of stack on entry to this instruction.
+		top := L + d - 1
+		r := rop{op: in.op}
+		switch in.op {
+		case jvm.OpNop, jvm.OpPop:
+			// Pop only shrinks the static depth; nothing moves.
+		case jvm.OpLdc:
+			k := c.Consts[in.a]
+			r.a = L + d
+			switch k.Kind {
+			case jvm.ConstInt:
+				r.val = jvm.IntVal(k.Int)
+			case jvm.ConstFloat:
+				r.val = jvm.FloatVal(k.Float)
+			case jvm.ConstStr:
+				r.val = jvm.StrVal(k.Str)
+			}
+		case jvm.OpIConst0:
+			r.op, r.a, r.val = jvm.OpLdc, L+d, jvm.IntVal(0)
+		case jvm.OpIConst1:
+			r.op, r.a, r.val = jvm.OpLdc, L+d, jvm.IntVal(1)
+		case jvm.OpDup:
+			// A copy is just a register move, like OpLoad.
+			r.op, r.a, r.b = jvm.OpLoad, L+d, top
+		case jvm.OpLoad:
+			r.a, r.b = L+d, in.a
+		case jvm.OpStore:
+			r.op, r.a, r.b = jvm.OpLoad, in.a, top
+		case jvm.OpSwap:
+			r.a, r.b = top, top-1
+		case jvm.OpIAdd, jvm.OpISub, jvm.OpIMul, jvm.OpIDiv, jvm.OpIMod,
+			jvm.OpFAdd, jvm.OpFSub, jvm.OpFMul, jvm.OpFDiv,
+			jvm.OpIEq, jvm.OpINe, jvm.OpILt, jvm.OpILe, jvm.OpIGt, jvm.OpIGe,
+			jvm.OpFEq, jvm.OpFNe, jvm.OpFLt, jvm.OpFLe, jvm.OpFGt, jvm.OpFGe,
+			jvm.OpSEq, jvm.OpBEq, jvm.OpBGet:
+			r.a, r.b, r.c = top-1, top-1, top
+		case jvm.OpINeg, jvm.OpFNeg, jvm.OpI2F, jvm.OpF2I,
+			jvm.OpNot, jvm.OpSLen, jvm.OpBLen:
+			r.a, r.b = top, top
+		case jvm.OpBSet:
+			// arr idx val, pushed in that order: arr at top-2.
+			r.a, r.b, r.c = top-2, top-1, top
+		case jvm.OpJmp:
+			r.a = in.a
+		case jvm.OpJmpZ, jvm.OpJmpN:
+			r.a, r.b = in.a, top
+		case jvm.OpRet:
+			r.b = top
+		}
+		p.ops[i] = r
+	}
+	return p, nil
+}
+
+// decode pre-decodes a method's code, rewriting jump byte offsets into
+// instruction indexes — the same two-pass scheme the class loader
+// uses. The class is verified, so operand bounds and jump targets are
+// already known good; errors here are defensive.
+func decode(c *jvm.Class, m *jvm.Method) ([]decoded, error) {
+	byteToIdx := make(map[int]int32)
+	pc := 0
+	for pc < len(m.Code) {
+		op := jvm.Opcode(m.Code[pc])
+		byteToIdx[pc] = int32(len(byteToIdx))
+		pc += 1 + op.OperandBytes()
+	}
+	var ins []decoded
+	pc = 0
+	for pc < len(m.Code) {
+		op := jvm.Opcode(m.Code[pc])
+		in := decoded{op: op}
+		next := pc + 1 + op.OperandBytes()
+		switch op {
+		case jvm.OpLdc, jvm.OpLoad, jvm.OpStore, jvm.OpCall:
+			in.a = int32(u16(m.Code[pc+1:]))
+		case jvm.OpJmp, jvm.OpJmpZ, jvm.OpJmpN:
+			rel := int32(u32(m.Code[pc+1:]))
+			idx, ok := byteToIdx[next+int(rel)]
+			if !ok {
+				return nil, fmt.Errorf("inline: %s.%s: jump target %d is not an instruction", c.Name, m.Name, next+int(rel))
+			}
+			in.a = idx
+		case jvm.OpNative:
+			in.a = int32(u16(m.Code[pc+1:]))
+			in.argc = int32(m.Code[pc+3])
+		}
+		ins = append(ins, in)
+		pc = next
+	}
+	return ins, nil
+}
+
+func u16(b []byte) uint16 { return uint16(b[0]) | uint16(b[1])<<8 }
+
+func u32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// stackDepths computes the operand-stack depth at the entry of every
+// instruction by worklist propagation, and reports whether any jump
+// goes backward (a loop). The verifier has already proven the depths
+// consistent at joins; the re-check here is defensive — a mismatch
+// means a verifier bug, and translation refuses rather than guessing.
+func stackDepths(c *jvm.Class, m *jvm.Method, ins []decoded) (depth []int, hasLoop bool, err error) {
+	const unknown = -1
+	depth = make([]int, len(ins))
+	for i := range depth {
+		depth[i] = unknown
+	}
+	depth[0] = 0
+	work := []int{0}
+	flow := func(from, to, d int) error {
+		if to < 0 || to >= len(ins) {
+			return fmt.Errorf("inline: %s.%s: jump to op %d out of range", c.Name, m.Name, to)
+		}
+		if to <= from {
+			hasLoop = true
+		}
+		if depth[to] == unknown {
+			depth[to] = d
+			work = append(work, to)
+		} else if depth[to] != d {
+			return fmt.Errorf("inline: %s.%s: inconsistent stack depth at op %d (%d vs %d)", c.Name, m.Name, to, depth[to], d)
+		}
+		return nil
+	}
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		in := ins[i]
+		d := depth[i] + depthDelta[in.op]
+		switch in.op {
+		case jvm.OpRet:
+			continue
+		case jvm.OpJmp:
+			if err := flow(i, int(in.a), d); err != nil {
+				return nil, false, err
+			}
+		case jvm.OpJmpZ, jvm.OpJmpN:
+			if err := flow(i, int(in.a), d); err != nil {
+				return nil, false, err
+			}
+			if err := flow(i, i+1, d); err != nil {
+				return nil, false, err
+			}
+		default:
+			if err := flow(i, i+1, d); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	return depth, hasLoop, nil
+}

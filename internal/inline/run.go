@@ -1,0 +1,168 @@
+package inline
+
+import (
+	"fmt"
+	"math"
+
+	"predator/internal/jvm"
+)
+
+// Run evaluates the program over args. regs is the caller's register
+// scratch (len >= NumRegs(), reused across rows — Run never
+// allocates on the success path). The semantics, including the traps
+// and the per-instruction fuel charge, are byte-identical to the VM
+// interpreter running the same bytecode: one fuel unit is consumed
+// before each op, integer division by zero traps, MinInt64/-1 wraps
+// like Java, and every byte-array access is bounds-checked.
+//
+// Locals beyond the parameters are cleared to the VM's zero value
+// before execution, so register reuse across rows can never leak one
+// row's state into the next.
+func (p *Program) Run(regs []jvm.Value, args []jvm.Value) (jvm.Value, error) {
+	if len(args) != len(p.params) {
+		return jvm.Value{}, fmt.Errorf("inline: %s takes %d args, got %d", p.Name(), len(p.params), len(args))
+	}
+	copy(regs, args)
+	for i := len(args); i < p.nLocals; i++ {
+		regs[i] = jvm.Value{}
+	}
+	fuel := p.fuel
+	ops := p.ops
+	ip := 0
+	for {
+		fuel--
+		if fuel < 0 {
+			return jvm.Value{}, p.trap(jvm.TrapFuel, "instruction budget exhausted")
+		}
+		in := &ops[ip]
+		ip++
+		switch in.op {
+		case jvm.OpNop, jvm.OpPop:
+			// Pop only shrinks the translator's static depth: the value
+			// stays in its register and is simply never read again.
+		case jvm.OpLdc:
+			regs[in.a] = in.val
+		case jvm.OpLoad: // also Dup and Store: a plain register move
+			regs[in.a] = regs[in.b]
+		case jvm.OpSwap:
+			regs[in.a], regs[in.b] = regs[in.b], regs[in.a]
+		case jvm.OpIAdd:
+			regs[in.a] = jvm.IntVal(regs[in.b].I + regs[in.c].I)
+		case jvm.OpISub:
+			regs[in.a] = jvm.IntVal(regs[in.b].I - regs[in.c].I)
+		case jvm.OpIMul:
+			regs[in.a] = jvm.IntVal(regs[in.b].I * regs[in.c].I)
+		case jvm.OpIDiv:
+			d := regs[in.c].I
+			if d == 0 {
+				return jvm.Value{}, p.trap(jvm.TrapDivZero, "integer division by zero")
+			}
+			n := regs[in.b].I
+			if n == math.MinInt64 && d == -1 {
+				// Wrap like Java (and the VM): MinInt64 / -1 = MinInt64.
+				regs[in.a] = jvm.IntVal(n)
+			} else {
+				regs[in.a] = jvm.IntVal(n / d)
+			}
+		case jvm.OpIMod:
+			d := regs[in.c].I
+			if d == 0 {
+				return jvm.Value{}, p.trap(jvm.TrapDivZero, "integer modulo by zero")
+			}
+			n := regs[in.b].I
+			if n == math.MinInt64 && d == -1 {
+				regs[in.a] = jvm.IntVal(0)
+			} else {
+				regs[in.a] = jvm.IntVal(n % d)
+			}
+		case jvm.OpINeg:
+			regs[in.a] = jvm.IntVal(-regs[in.b].I)
+		case jvm.OpFAdd:
+			regs[in.a] = jvm.FloatVal(regs[in.b].F + regs[in.c].F)
+		case jvm.OpFSub:
+			regs[in.a] = jvm.FloatVal(regs[in.b].F - regs[in.c].F)
+		case jvm.OpFMul:
+			regs[in.a] = jvm.FloatVal(regs[in.b].F * regs[in.c].F)
+		case jvm.OpFDiv:
+			regs[in.a] = jvm.FloatVal(regs[in.b].F / regs[in.c].F)
+		case jvm.OpFNeg:
+			regs[in.a] = jvm.FloatVal(-regs[in.b].F)
+		case jvm.OpI2F:
+			regs[in.a] = jvm.FloatVal(float64(regs[in.b].I))
+		case jvm.OpF2I:
+			regs[in.a] = jvm.IntVal(int64(regs[in.b].F))
+		case jvm.OpIEq:
+			regs[in.a] = boolVal(regs[in.b].I == regs[in.c].I)
+		case jvm.OpINe:
+			regs[in.a] = boolVal(regs[in.b].I != regs[in.c].I)
+		case jvm.OpILt:
+			regs[in.a] = boolVal(regs[in.b].I < regs[in.c].I)
+		case jvm.OpILe:
+			regs[in.a] = boolVal(regs[in.b].I <= regs[in.c].I)
+		case jvm.OpIGt:
+			regs[in.a] = boolVal(regs[in.b].I > regs[in.c].I)
+		case jvm.OpIGe:
+			regs[in.a] = boolVal(regs[in.b].I >= regs[in.c].I)
+		case jvm.OpFEq:
+			regs[in.a] = boolVal(regs[in.b].F == regs[in.c].F)
+		case jvm.OpFNe:
+			regs[in.a] = boolVal(regs[in.b].F != regs[in.c].F)
+		case jvm.OpFLt:
+			regs[in.a] = boolVal(regs[in.b].F < regs[in.c].F)
+		case jvm.OpFLe:
+			regs[in.a] = boolVal(regs[in.b].F <= regs[in.c].F)
+		case jvm.OpFGt:
+			regs[in.a] = boolVal(regs[in.b].F > regs[in.c].F)
+		case jvm.OpFGe:
+			regs[in.a] = boolVal(regs[in.b].F >= regs[in.c].F)
+		case jvm.OpSEq:
+			regs[in.a] = boolVal(regs[in.b].S == regs[in.c].S)
+		case jvm.OpSLen:
+			regs[in.a] = jvm.IntVal(int64(len(regs[in.b].S)))
+		case jvm.OpBLen:
+			regs[in.a] = jvm.IntVal(int64(len(regs[in.b].B)))
+		case jvm.OpBGet:
+			arr, idx := regs[in.b].B, regs[in.c].I
+			if idx < 0 || idx >= int64(len(arr)) {
+				return jvm.Value{}, p.trap(jvm.TrapBounds, "bget index %d out of range [0,%d)", idx, len(arr))
+			}
+			regs[in.a] = jvm.IntVal(int64(arr[idx]))
+		case jvm.OpBSet:
+			arr, idx, val := regs[in.a].B, regs[in.b].I, regs[in.c].I
+			if idx < 0 || idx >= int64(len(arr)) {
+				return jvm.Value{}, p.trap(jvm.TrapBounds, "bset index %d out of range [0,%d)", idx, len(arr))
+			}
+			arr[idx] = byte(val) // truncate like a Java byte store
+		case jvm.OpNot:
+			regs[in.a] = boolVal(regs[in.b].I == 0)
+		case jvm.OpJmp:
+			ip = int(in.a)
+		case jvm.OpJmpZ:
+			if regs[in.b].I == 0 {
+				ip = int(in.a)
+			}
+		case jvm.OpJmpN:
+			if regs[in.b].I != 0 {
+				ip = int(in.a)
+			}
+		case jvm.OpRet:
+			return regs[in.b], nil
+		default:
+			return jvm.Value{}, p.trap(jvm.TrapValue, "unhandled op %s", in.op.Name())
+		}
+	}
+}
+
+// trap builds a *jvm.Trap identical to what the VM interpreter raises
+// for the same failure, so callers (and tests) observe one error
+// shape regardless of where the bytecode ran.
+func (p *Program) trap(kind jvm.TrapKind, format string, args ...any) error {
+	return &jvm.Trap{Kind: kind, Class: p.class, Method: p.method, Detail: fmt.Sprintf(format, args...)}
+}
+
+func boolVal(b bool) jvm.Value {
+	if b {
+		return jvm.IntVal(1)
+	}
+	return jvm.IntVal(0)
+}

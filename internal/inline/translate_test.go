@@ -1,0 +1,165 @@
+package inline_test
+
+import (
+	"strings"
+	"testing"
+
+	"predator/internal/inline"
+	"predator/internal/jaguar"
+	"predator/internal/jvm"
+)
+
+func compile(t testing.TB, src string) *jvm.Class {
+	t.Helper()
+	c, err := jaguar.Compile(src, "T")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return c
+}
+
+func translate(t testing.TB, src, method string, lim jvm.Limits) *inline.Program {
+	t.Helper()
+	p, err := inline.Translate(compile(t, src), method, lim)
+	if err != nil {
+		t.Fatalf("translate %s: %v", method, err)
+	}
+	return p
+}
+
+// TestBailoutTaxonomy pins the reasons untranslatable bodies report:
+// the same strings surface in EXPLAIN and SHOW UDFS.
+func TestBailoutTaxonomy(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		method string
+		lim    jvm.Limits
+		reason string // prefix
+	}{
+		{"native-call", `func f(a int) int { return cb_touch(a); }`, "f", jvm.Limits{}, "native-call:cb.touch"},
+		{"sibling-call", `func g(a int) int { return a + 1; } func f(a int) int { return g(a); }`, "f", jvm.Limits{}, "sibling-call:g"},
+		{"bnew", `func f(n int) int { var b bytes = bnew(n); return len(b); }`, "f", jvm.Limits{}, "allocates:bnew"},
+		{"sconcat", `func f(s str) int { return len(s + "x"); }`, "f", jvm.Limits{}, "allocates:sconcat"},
+		{"loop-no-fuel", `func f(n int) int { var acc int = 0; while (acc < n) { acc = acc + 1; } return acc; }`, "f", jvm.Limits{}, "loop-without-fuel-limit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := inline.Translate(compile(t, tc.src), tc.method, tc.lim)
+			if err == nil {
+				t.Fatalf("translated, want bailout %q", tc.reason)
+			}
+			var b *inline.Bailout
+			if !asBailout(err, &b) {
+				t.Fatalf("error %v is not a Bailout", err)
+			}
+			if !strings.HasPrefix(b.Reason, tc.reason) {
+				t.Fatalf("reason = %q, want prefix %q", b.Reason, tc.reason)
+			}
+			if inline.ReasonOf(err) != b.Reason {
+				t.Fatalf("ReasonOf mismatch: %q vs %q", inline.ReasonOf(err), b.Reason)
+			}
+		})
+	}
+}
+
+func asBailout(err error, out **inline.Bailout) bool {
+	b, ok := err.(*inline.Bailout)
+	if ok {
+		*out = b
+	}
+	return ok
+}
+
+// TestLoopTranslatesUnderFuel: the same loop that bails without a fuel
+// limit translates (and is flagged) once fuel bounds it.
+func TestLoopTranslatesUnderFuel(t *testing.T) {
+	src := `func f(n int) int { var acc int = 0; var i int = 0; while (i < n) { acc = acc + i; i = i + 1; } return acc; }`
+	p := translate(t, src, "f", jvm.Limits{Fuel: 100000})
+	if !p.HasLoop() {
+		t.Fatal("HasLoop = false for a while loop")
+	}
+	regs := p.NewRegs()
+	out, err := p.Run(regs, []jvm.Value{jvm.IntVal(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.I != 4950 {
+		t.Fatalf("sum(100) = %d, want 4950", out.I)
+	}
+}
+
+// TestStraightLineNeedsNoFuel: bodies without backward jumps translate
+// under unlimited fuel — termination is structural.
+func TestStraightLineNeedsNoFuel(t *testing.T) {
+	src := `func f(a int, b int) int { if (a > b) { return a - b; } return b - a; }`
+	p := translate(t, src, "f", jvm.Limits{})
+	if p.HasLoop() {
+		t.Fatal("HasLoop = true for straight-line code")
+	}
+	out, err := p.Run(p.NewRegs(), []jvm.Value{jvm.IntVal(3), jvm.IntVal(10)})
+	if err != nil || out.I != 7 {
+		t.Fatalf("f(3,10) = %v, %v; want 7", out, err)
+	}
+}
+
+// TestRegisterReuseClearsLocals: a reused register file must not leak
+// one row's locals into the next — uninitialized locals read as the
+// VM's zero value every run. The method is hand-assembled because the
+// Jaguar compiler always initializes declared variables.
+func TestRegisterReuseClearsLocals(t *testing.T) {
+	code := jvm.NewAssembler().
+		EmitU16(jvm.OpLoad, 1). // local 1 is never stored: VM zero
+		Emit(jvm.OpRet).
+		MustBytes()
+	c := &jvm.Class{Name: "Z", Methods: []jvm.Method{{
+		Name: "f", Params: []jvm.VType{jvm.TInt}, Locals: []jvm.VType{jvm.TInt, jvm.TInt},
+		Return: jvm.TInt, MaxStack: 1, Code: code,
+	}}}
+	p, err := inline.Translate(c, "f", jvm.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := p.NewRegs()
+	for i := range regs {
+		regs[i] = jvm.IntVal(999) // poison: simulate a previous row
+	}
+	out, err := p.Run(regs, []jvm.Value{jvm.IntVal(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.I != 0 {
+		t.Fatalf("uninitialized local read %d, want the VM zero 0", out.I)
+	}
+}
+
+// TestTranslateRejectsUnverifiable: Translate must not trust its
+// input; a class that fails verification is rejected outright.
+func TestTranslateRejectsUnverifiable(t *testing.T) {
+	code := jvm.NewAssembler().Emit(jvm.OpIAdd).Emit(jvm.OpRet).MustBytes() // underflow
+	c := &jvm.Class{Name: "Bad", Methods: []jvm.Method{{
+		Name: "f", Params: nil, Locals: nil, Return: jvm.TInt, MaxStack: 2, Code: code,
+	}}}
+	if _, err := inline.Translate(c, "f", jvm.Limits{}); err == nil {
+		t.Fatal("translated an unverifiable class")
+	}
+}
+
+// TestProgramShape sanity-checks the 1:1 instruction mapping the fuel
+// parity rests on: op count equals the bytecode instruction count.
+func TestProgramShape(t *testing.T) {
+	src := `func f(a int, b int) int { return a * 3 + b; }`
+	c := compile(t, src)
+	p := translate(t, src, "f", jvm.Limits{})
+	m := c.Methods[c.MethodIndex("f")]
+	n := 0
+	for pc := 0; pc < len(m.Code); pc += 1 + jvm.Opcode(m.Code[pc]).OperandBytes() {
+		n++
+	}
+	if p.NumOps() != n {
+		t.Fatalf("NumOps = %d, bytecode has %d instructions", p.NumOps(), n)
+	}
+	if p.NumParams() != 2 || p.Return() != jvm.TInt {
+		t.Fatalf("signature %d args -> %v", p.NumParams(), p.Return())
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"predator/internal/core"
 	"predator/internal/govern"
+	"predator/internal/inline"
 	"predator/internal/jvm"
 	"predator/internal/obs"
 	"predator/internal/types"
@@ -30,6 +31,13 @@ type udf struct {
 	// Setup for the executor (one of):
 	nativeName string
 	vm         *VMSetup
+
+	// Froid translation result, computed parent-side at registration:
+	// a translatable body can run inlined in the plan (Design-1 speed,
+	// the verifier supplies the safety) while this udf remains the
+	// fallback for everything the planner does not inline.
+	prog *inline.Program
+	bail string
 
 	mu   sync.Mutex
 	exec *Executor
@@ -75,6 +83,7 @@ func NewNativeIsolated(name string, args []types.Kind, ret types.Kind) core.UDF 
 	return &udf{
 		name: name, args: args, ret: ret, sup: DefaultSupervision,
 		design: core.DesignNativeIsolated, nativeName: name,
+		bail: "native-code", // no bytecode to translate
 	}
 }
 
@@ -82,10 +91,44 @@ func NewNativeIsolated(name string, args []types.Kind, ret types.Kind) core.UDF 
 // in a separate executor process.
 func NewVMIsolated(name string, args []types.Kind, ret types.Kind, setup VMSetup) core.UDF {
 	s := setup
-	return &udf{
+	u := &udf{
 		name: name, args: args, ret: ret, sup: DefaultSupervision,
 		design: core.DesignVMIsolated, vm: &s,
 	}
+	// Attempt Froid translation parent-side. Translate re-verifies the
+	// class, so a body that inlines carries the same safety proof the
+	// child VM would have enforced; bodies that bail keep the executor.
+	c, err := jvm.DecodeClass(s.ClassBytes)
+	if err != nil {
+		u.bail = inline.ReasonOf(err)
+		return u
+	}
+	method := s.Method
+	if method == "" {
+		method = name
+	}
+	if p, err := inline.Translate(c, method, s.Limits); err == nil {
+		u.prog = p
+	} else {
+		u.bail = inline.ReasonOf(err)
+	}
+	return u
+}
+
+// InlineProgram implements core.Inlinable.
+func (u *udf) InlineProgram() (*inline.Program, string) { return u.prog, u.bail }
+
+// WithInlineDisabled keeps an isolated UDF's crossings even when its
+// body translated (ablation benchmarks and the NOINLINE registration
+// path). Must be called before the first Invoke.
+func WithInlineDisabled(u core.UDF) core.UDF {
+	iu, ok := u.(*udf)
+	if !ok || iu.lateAttach("WithInlineDisabled") {
+		return u
+	}
+	iu.prog = nil
+	iu.bail = "disabled"
+	return iu
 }
 
 // lateAttach refuses a post-start reconfiguration: the documented
@@ -240,6 +283,10 @@ func (u *udf) usePool() bool {
 func (u *udf) useMux() bool {
 	return u.mux != nil && !u.quarantined.Load()
 }
+
+// OnFleet reports whether crossings currently ride the shared fleet
+// (SHOW UDFS exec_design).
+func (u *udf) OnFleet() bool { return u.useMux() }
 
 // breakerFault wraps an open-breaker rejection as a classified fault.
 func breakerFault(err error) error {

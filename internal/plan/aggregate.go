@@ -98,7 +98,7 @@ func (p *Planner) planAggregate(sel *sql.Select, input exec.Operator, binder *ex
 		outSchema.Columns = append(outSchema.Columns, types.Column{Name: name, Kind: k})
 	}
 	outScope.AddTable("", outSchema)
-	outBinder := &expr.Binder{Scope: outScope, Registry: p.Registry}
+	outBinder := &expr.Binder{Scope: outScope, Registry: p.Registry, NoInline: p.NoInline}
 
 	// 4. Rewriter: group expressions and aggregate calls become column
 	// references into the aggregate output.

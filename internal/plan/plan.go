@@ -26,6 +26,9 @@ import (
 type Planner struct {
 	Catalog  *catalog.Catalog
 	Registry *core.Registry
+	// NoInline binds UDF calls to their dispatch path even when the
+	// body translated (the inlining ablation).
+	NoInline bool
 }
 
 // PlanSelect compiles a SELECT into an operator tree.
@@ -66,7 +69,7 @@ func (p *Planner) PlanSelect(sel *sql.Select) (exec.Operator, error) {
 		}
 		scope.AddTable(qual, b.tbl.Schema)
 	}
-	binder := &expr.Binder{Scope: scope, Registry: p.Registry}
+	binder := &expr.Binder{Scope: scope, Registry: p.Registry, NoInline: p.NoInline}
 
 	// Collect all conjuncts: WHERE plus JOIN ... ON conditions.
 	var conjuncts []expr.Bound

@@ -9,6 +9,9 @@ import (
 	"predator/internal/core"
 	"predator/internal/exec"
 	"predator/internal/expr"
+	"predator/internal/isolate"
+	"predator/internal/jaguar"
+	"predator/internal/jvm"
 	"predator/internal/sql"
 	"predator/internal/storage"
 	"predator/internal/types"
@@ -226,5 +229,50 @@ func TestSelectivityEstimates(t *testing.T) {
 	and := &expr.Logic{Op: "AND", L: eq, R: lt}
 	if selectivity(or) <= selectivity(and) {
 		t.Error("OR should be less selective than AND")
+	}
+}
+
+// TestPlanInlinedPredicateFirst: an inlined UDF predicate costs what
+// it is — a handful of register ops — so predicate reordering floats
+// it ahead of (deeper in the tree than) an isolated UDF predicate that
+// pays a process crossing. Before inlining, every UDF predicate
+// carried at least a VM-dispatch cost and this ordering was a wash.
+func TestPlanInlinedPredicateFirst(t *testing.T) {
+	p, _ := testPlanner(t)
+	c, err := jaguar.Compile(`func gate(x int) bool { return x % 2 == 0; }`, "udf_gate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := jvm.New(jvm.Options{}).NewLoader("plan-test").LoadClass(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := core.NewVM(core.VMUDFConfig{
+		Name: "gate", Class: lc, Method: "gate",
+		Args: []types.Kind{types.KindInt}, Return: types.KindBool,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Registry.Register(u); err != nil {
+		t.Fatal(err)
+	}
+	// Never invoked — the plan is built, not run — so no executor
+	// process is needed.
+	if err := p.Registry.Register(isolate.NewNativeIsolated("iso_even",
+		[]types.Kind{types.KindInt}, types.KindBool)); err != nil {
+		t.Fatal(err)
+	}
+
+	op := planQuery(t, p, `SELECT id FROM emp WHERE iso_even(id) AND gate(id)`)
+	tree := exec.ExplainTree(op)
+	isoPos := strings.Index(tree, "iso_even")
+	gatePos := strings.Index(tree, "gate[inlined]")
+	scanPos := strings.Index(tree, "SeqScan")
+	if gatePos < 0 {
+		t.Fatalf("inlined predicate not rendered as gate[inlined]:\n%s", tree)
+	}
+	if !(isoPos < gatePos && gatePos < scanPos) {
+		t.Errorf("inlined predicate not reordered ahead of the isolated one:\n%s", tree)
 	}
 }
