@@ -8,7 +8,7 @@
 //	predator-bench -experiment table1,fig5,fig8
 //
 // Experiments: table1 fig4 fig5 fig5batch fig6 fig7 fig8 jit verifier
-// fuel pool cbbatch durability overload fleet inline, or "all".
+// fuel pool cbbatch durability storage overload fleet inline, or "all".
 package main
 
 import (
@@ -171,6 +171,10 @@ func main() {
 	if sel("durability") {
 		// Scaled down: each row is an fsync under commit/always.
 		show(bench.DurabilityOverhead(cfg.Rows / 2))
+	}
+	if sel("storage") {
+		// Scaled down like durability: every row pays a commit fsync.
+		show(bench.StorageResilience(cfg.Rows / 2))
 	}
 	if sel("overload") {
 		perCell := 300 * time.Millisecond

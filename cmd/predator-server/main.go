@@ -41,6 +41,8 @@ func main() {
 		invokeTo = flag.Duration("udf-invoke-timeout", 2*time.Minute, "isolated UDF invocation deadline; expiry kills the executor (0 = none)")
 		metrics  = flag.String("metrics-addr", "", "HTTP listen address serving Prometheus metrics at /metrics and profiles at /debug/pprof/ (empty = disabled)")
 		durab    = flag.String("durability", "commit", "WAL fsync policy: none, commit or always")
+		archDir  = flag.String("archive-dir", "", "directory for WAL segment archiving; enables BACKUP TO and point-in-time restore with predator-restore (empty = disabled)")
+		scrubIv  = flag.Duration("scrub-interval", 0, "pause between background scrub passes over data pages and archived WAL segments (0 = scrubbing disabled)")
 		traceDir = flag.String("trace-dir", "", "directory for Chrome trace-event JSON exports; enables SET TRACE = 'on' (empty = explicit paths only)")
 		slowQ    = flag.Duration("slow-query", 0, "log statements slower than this threshold (0 = disabled)")
 		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
@@ -93,6 +95,12 @@ func main() {
 	}
 	if *nojit {
 		opts = append(opts, predator.WithJITDisabled())
+	}
+	if *archDir != "" {
+		opts = append(opts, predator.WithArchiveDir(*archDir))
+	}
+	if *scrubIv > 0 {
+		opts = append(opts, predator.WithScrubInterval(*scrubIv))
 	}
 	if *fleetSize > 0 {
 		opts = append(opts, predator.WithFleetSize(*fleetSize))

@@ -39,6 +39,16 @@ const (
 	// retryable: the fleet routes a resubmission to a healthy executor,
 	// so the failure is transient by construction.
 	FaultExecutorLost
+	// FaultDiskFull is a mutating statement shed because the storage
+	// layer is in degraded read-only mode (ENOSPC). The statement never
+	// touched data, and the engine auto-probes for freed space, so a
+	// retry after backoff is safe and expected to eventually succeed.
+	FaultDiskFull
+	// FaultStorage is a storage-layer failure that is not transient: a
+	// poisoned write-ahead log (failed fsync), an unreadable page, or
+	// an archiving failure. Retrying cannot help until an operator (or
+	// the scrubber) intervenes.
+	FaultStorage
 )
 
 // String names the class for logs and error text.
@@ -58,6 +68,10 @@ func (c FaultClass) String() string {
 		return "overload"
 	case FaultExecutorLost:
 		return "executor-lost"
+	case FaultDiskFull:
+		return "disk-full"
+	case FaultStorage:
+		return "storage"
 	default:
 		return "none"
 	}
@@ -106,12 +120,14 @@ func IsTimeout(err error) bool { return FaultClassOf(err) == FaultTimeout }
 
 // Retryable reports whether the failed work can safely be resubmitted
 // as-is: overload sheds never started the statement, timeout kills are
-// transient by construction, and an executor lost under a multiplexed
-// stream was a casualty, not a cause. Quota, UDF, executor and protocol
-// faults are deterministic — retrying without change would fail again.
+// transient by construction, an executor lost under a multiplexed
+// stream was a casualty, not a cause, and a disk-full shed clears once
+// space frees. Quota, UDF, executor, protocol and (non-transient)
+// storage faults are deterministic — retrying without change would
+// fail again.
 func Retryable(err error) bool {
 	switch FaultClassOf(err) {
-	case FaultOverload, FaultTimeout, FaultExecutorLost:
+	case FaultOverload, FaultTimeout, FaultExecutorLost, FaultDiskFull:
 		return true
 	default:
 		return false

@@ -88,6 +88,19 @@ type Options struct {
 	// Quarantined UDFs (open breaker) still fall back to dedicated
 	// executors. Inspect with SHOW EXECUTORS.
 	FleetSize int
+	// ArchiveDir enables WAL archiving into the named directory: every
+	// log generation is preserved as a segment before truncation, which
+	// is what makes online BACKUP TO and point-in-time restore
+	// (predator-restore) possible. Empty = no archiving.
+	ArchiveDir string
+	// ScrubInterval, when positive, runs the background scrubber: a
+	// full checksum pass over data pages and archived segments every
+	// interval (paced so it never hogs the disk), repairing corrupt
+	// pages from WAL/archive/backup. Inspect with SHOW STORAGE.
+	ScrubInterval time.Duration
+	// ScrubPace overrides the per-page probe pause (0 = the scrubber's
+	// default pacing). Only meaningful with ScrubInterval set.
+	ScrubPace time.Duration
 }
 
 // defaultCheckpointBytes bounds WAL growth (and hence recovery time)
@@ -96,19 +109,24 @@ const defaultCheckpointBytes = 8 << 20
 
 // Engine is an open database.
 type Engine struct {
-	mu      sync.Mutex
-	disk    *storage.DiskManager
-	pool    *storage.BufferPool
-	cat     *catalog.Catalog
-	reg     *core.Registry
-	vm      *jvm.VM
-	planner *plan.Planner
-	objects *ObjectStore
-	opts    Options
-	gov     *govern.Governor
-	fleet   *fleet.Fleet // shared executor fleet (nil = dedicated executors)
-	defSess *Session
-	closed  bool
+	mu       sync.Mutex
+	disk     *storage.DiskManager
+	pool     *storage.BufferPool
+	cat      *catalog.Catalog
+	reg      *core.Registry
+	vm       *jvm.VM
+	planner  *plan.Planner
+	objects  *ObjectStore
+	opts     Options
+	gov      *govern.Governor
+	fleet    *fleet.Fleet // shared executor fleet (nil = dedicated executors)
+	defSess  *Session
+	scrubber *storage.Scrubber // background checksum scrubber (nil = disabled)
+	closed   bool
+
+	// ro is the degraded read-only state (ENOSPC): mutations shed with
+	// a retryable disk-full fault until a probe rebuilds the WAL.
+	ro readOnlyState
 
 	// ckptMu serializes checkpoints against mutating statements:
 	// writers hold it shared, Checkpoint holds it exclusively, so the
@@ -134,7 +152,7 @@ func Open(path string, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	disk, err := storage.OpenDiskOptions(path, storage.DiskOptions{Durability: mode})
+	disk, err := storage.OpenDiskOptions(path, storage.DiskOptions{Durability: mode, ArchiveDir: opts.ArchiveDir})
 	if err != nil {
 		return nil, err
 	}
@@ -168,6 +186,13 @@ func Open(path string, opts Options) (*Engine, error) {
 		e.ckptBytes = defaultCheckpointBytes
 	}
 	e.SetUDFBatchRows(opts.UDFBatchRows)
+	if opts.ScrubInterval > 0 {
+		e.scrubber = storage.NewScrubber(disk, storage.ScrubConfig{
+			PagePace:  opts.ScrubPace,
+			PassPause: opts.ScrubInterval,
+		})
+		e.scrubber.Start()
+	}
 	e.defSess = e.NewSession()
 	// Restore persisted Jaguar UDFs.
 	for _, f := range cat.Functions() {
@@ -195,6 +220,9 @@ func (e *Engine) Close() error {
 	e.reg.Close()
 	if e.fleet != nil {
 		e.fleet.Close()
+	}
+	if e.scrubber != nil {
+		e.scrubber.Close()
 	}
 	if err := e.pool.FlushAll(); err != nil {
 		e.disk.Close()
@@ -307,6 +335,8 @@ func stmtVerb(stmt sql.Statement) string {
 		return "drop"
 	case *sql.Checkpoint:
 		return "checkpoint"
+	case *sql.Backup:
+		return "backup"
 	default:
 		return "other"
 	}
@@ -397,12 +427,27 @@ func traceCrossings(tr *obs.Trace) int64 {
 func (e *Engine) runStmt(stmt sql.Statement, deadline time.Time, tr *obs.Trace, ten *govern.Tenant) (*Result, error) {
 	if _, ok := stmt.(*sql.Checkpoint); ok {
 		if err := e.Checkpoint(); err != nil {
-			return nil, err
+			return nil, e.classifyStorageErr(err)
 		}
+		e.updateStorageGauges()
 		return &Result{Message: "checkpoint complete"}, nil
+	}
+	if b, ok := stmt.(*sql.Backup); ok {
+		m, err := e.Backup(b.Dir)
+		if err != nil {
+			return nil, e.classifyStorageErr(err)
+		}
+		return &Result{Message: fmt.Sprintf("backup complete: %s (lsn %d..%d, %d pages)",
+			b.Dir, m.StartLSN, m.EndLSN, m.Pages)}, nil
 	}
 	if !mutates(stmt) {
 		return e.runStmtInner(stmt, deadline, tr, ten)
+	}
+	// Degraded read-only mode (disk full): shed the mutation with a
+	// typed retryable fault before it touches any state, probing for
+	// recovery at most once per interval.
+	if err := e.gateMutation(); err != nil {
+		return nil, err
 	}
 	// Mutating statement: hold the checkpoint lock shared so a
 	// concurrent CHECKPOINT cannot flush + truncate mid-statement, and
@@ -414,8 +459,9 @@ func (e *Engine) runStmt(stmt sql.Statement, deadline time.Time, tr *obs.Trace, 
 	}
 	e.ckptMu.RUnlock()
 	if err != nil {
-		return nil, err
+		return nil, e.classifyStorageErr(err)
 	}
+	e.updateStorageGauges()
 	e.maybeAutoCheckpoint()
 	return res, nil
 }
@@ -885,6 +931,8 @@ func (e *Engine) execShow(n *sql.Show) (*Result, error) {
 			rows = append(rows, types.Row{types.NewString(st.Name), types.NewString(st.Value)})
 		}
 		return &Result{Schema: sch, Rows: rows}, nil
+	case "storage":
+		return e.execShowStorage()
 	case "statements":
 		sch := types.NewSchema(
 			types.Column{Name: "fingerprint", Kind: types.KindString},

@@ -4,6 +4,7 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 
 	"predator/internal/engine"
 	"predator/internal/obs"
@@ -106,6 +107,69 @@ func TestGovernanceMetricsExposition(t *testing.T) {
 		if !strings.Contains(text, name) {
 			t.Errorf("exposition missing %s", name)
 		}
+	}
+}
+
+// TestStorageMetricsExposition asserts the storage-resilience metric
+// families (disk gauges, archive counters, scrubber counters) land in
+// the /metrics exposition once archiving, an online backup and a scrub
+// pass have run, and that the rendered text passes the lint.
+func TestStorageMetricsExposition(t *testing.T) {
+	dir := t.TempDir()
+	_, addr, eng := startSrv(t, Options{}, engine.Options{
+		ArchiveDir:    dir + "/archive",
+		ScrubInterval: time.Millisecond,
+		ScrubPace:     -1, // flat out
+	})
+	cl := dial(t, addr)
+	if _, err := cl.Exec(`CREATE TABLE sm (x INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec(`INSERT INTO sm VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Exec(`BACKUP TO '` + dir + `/backup'`); err != nil {
+		t.Fatalf("BACKUP TO: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.Scrubber().Status().Passes == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("scrubber completed no pass within deadline")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var b strings.Builder
+	if err := obs.Default.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	lintGovernanceExposition(t, text)
+	for _, name := range []string{
+		"predator_storage_readonly",
+		"predator_storage_current_lsn",
+		"predator_storage_wal_bytes",
+		"predator_storage_archive_lag_bytes",
+		"predator_storage_archive_segments_total",
+		"predator_storage_archive_bytes_total",
+		"predator_storage_read_repairs_total",
+		"predator_storage_wal_rebuilds_total",
+		"predator_scrub_passes_total",
+		"predator_scrub_pages_total",
+		"predator_scrub_segments_total",
+		"predator_scrub_corrupt_total",
+		"predator_scrub_repairs_total",
+		"predator_scrub_unrepaired_total",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+	// Archiving and scrubbing really ran.
+	if obs.Default.Counter("predator_storage_archive_segments_total").Value() == 0 {
+		t.Error("archive segment counter did not advance")
+	}
+	if obs.Default.Counter("predator_scrub_pages_total").Value() == 0 {
+		t.Error("scrub page counter did not advance")
 	}
 }
 

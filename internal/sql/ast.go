@@ -112,6 +112,13 @@ type Set struct {
 // truncate the write-ahead log.
 type Checkpoint struct{}
 
+// Backup is BACKUP TO 'dir': take a consistent online base backup
+// (data-file snapshot under a checkpoint fence plus manifest) into the
+// named directory while writers continue. Requires WAL archiving.
+type Backup struct {
+	Dir string
+}
+
 // Explain wraps a SELECT to print its plan.
 type Explain struct {
 	Query *Select
@@ -151,6 +158,7 @@ func (*Delete) stmtNode()         {}
 func (*Update) stmtNode()         {}
 func (*Set) stmtNode()            {}
 func (*Checkpoint) stmtNode()     {}
+func (*Backup) stmtNode()         {}
 
 // Expr is an unbound (pre-name-resolution) SQL expression.
 type Expr interface {

@@ -43,7 +43,7 @@ var sqlKeywords = map[string]bool{
 	"ANALYZE": true, "STATS": true, "STATEMENTS": true, "UDFS": true,
 	"EXECUTORS": true,
 	"DELETE":    true, "REPLACE": true, "INNER": true, "UPDATE": true, "SET": true,
-	"CHECKPOINT": true,
+	"CHECKPOINT": true, "BACKUP": true, "TO": true, "STORAGE": true,
 }
 
 // lexSQL tokenizes a SQL string.

@@ -150,6 +150,8 @@ func (p *sqlParser) statement() (Statement, error) {
 	case "CHECKPOINT":
 		p.next()
 		return &Checkpoint{}, nil
+	case "BACKUP":
+		return p.backupStmt()
 	default:
 		return nil, p.errHere("unsupported statement %s", t.text)
 	}
@@ -420,9 +422,27 @@ func (p *sqlParser) showStmt() (Statement, error) {
 		return &Show{What: "udfs"}, nil
 	case p.accept(tkKeyword, "EXECUTORS"):
 		return &Show{What: "executors"}, nil
+	case p.accept(tkKeyword, "STORAGE"):
+		return &Show{What: "storage"}, nil
 	default:
-		return nil, p.errHere("expected TABLES, FUNCTIONS, STATS, STATEMENTS, UDFS or EXECUTORS after SHOW")
+		return nil, p.errHere("expected TABLES, FUNCTIONS, STATS, STATEMENTS, UDFS, EXECUTORS or STORAGE after SHOW")
 	}
+}
+
+func (p *sqlParser) backupStmt() (Statement, error) {
+	p.next() // BACKUP
+	if err := p.expectKeyword("TO"); err != nil {
+		return nil, err
+	}
+	dir := p.cur()
+	if dir.kind != tkString {
+		return nil, p.errHere("expected directory string after BACKUP TO")
+	}
+	p.next()
+	if dir.s == "" {
+		return nil, p.errHere("backup directory must not be empty")
+	}
+	return &Backup{Dir: dir.s}, nil
 }
 
 func (p *sqlParser) selectStmt() (Statement, error) {

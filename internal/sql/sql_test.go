@@ -174,6 +174,26 @@ func TestParseDeleteShowExplainDrop(t *testing.T) {
 	}
 }
 
+func TestParseBackupAndShowStorage(t *testing.T) {
+	b := mustParse(t, `BACKUP TO '/backups/monday'`).(*Backup)
+	if b.Dir != "/backups/monday" {
+		t.Errorf("backup = %+v", b)
+	}
+	if _, err := Parse(`BACKUP TO`); err == nil {
+		t.Error("BACKUP TO without a directory should fail")
+	}
+	if _, err := Parse(`BACKUP TO ''`); err == nil {
+		t.Error("BACKUP TO with an empty directory should fail")
+	}
+	if _, err := Parse(`BACKUP '/x'`); err == nil {
+		t.Error("BACKUP without TO should fail")
+	}
+	s := mustParse(t, `SHOW STORAGE;`).(*Show)
+	if s.What != "storage" {
+		t.Errorf("show = %+v", s)
+	}
+}
+
 func TestParseCheckpoint(t *testing.T) {
 	if _, ok := mustParse(t, `CHECKPOINT`).(*Checkpoint); !ok {
 		t.Error("checkpoint")

@@ -262,6 +262,41 @@ func (bp *BufferPool) FlushAll() error {
 	return nil
 }
 
+// DirtyImages snapshots the current contents of every dirty resident
+// page. The engine's degraded-mode probe feeds these to
+// DiskManager.RebuildWAL: a rebuilt log must contain an after-image of
+// every page whose newest contents exist only in memory or in the
+// poisoned log. Copies are returned (the pool lock is not held across
+// the rebuild).
+func (bp *BufferPool) DirtyImages() map[PageID][]byte {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	images := make(map[PageID][]byte)
+	for _, f := range bp.frames {
+		if f.dirty {
+			img := make([]byte, PageSize)
+			copy(img, f.buf[:])
+			images[f.id] = img
+		}
+	}
+	return images
+}
+
+// MarkAllLogged records that every dirty page's current image is in
+// the (rebuilt) log, so unpin/eviction will not re-append images that
+// RebuildWAL already persisted. Call only after a successful rebuild
+// that included DirtyImages' snapshot, with no writers in between (the
+// engine holds its checkpoint lock exclusively across both).
+func (bp *BufferPool) MarkAllLogged() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, f := range bp.frames {
+		if f.dirty {
+			f.logged = true
+		}
+	}
+}
+
 // Stats returns a snapshot of hit/miss/eviction counters.
 func (bp *BufferPool) Stats() BufferStats {
 	bp.mu.Lock()

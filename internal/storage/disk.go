@@ -7,13 +7,16 @@
 package storage
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
+	"syscall"
 
 	"predator/internal/obs"
 )
@@ -24,6 +27,8 @@ var (
 	obsPageWrites    = obs.Default.Counter("predator_storage_page_writes_total")
 	obsPageAllocs    = obs.Default.Counter("predator_storage_page_allocs_total")
 	obsChecksumFails = obs.Default.Counter("predator_storage_checksum_failures_total")
+	obsReadRepairs   = obs.Default.Counter("predator_storage_read_repairs_total")
+	obsWALRebuilds   = obs.Default.Counter("predator_storage_wal_rebuilds_total")
 )
 
 // PageSize is the size of every logical page in bytes. This is the
@@ -113,6 +118,13 @@ func (m Durability) String() string {
 // DiskOptions configures OpenDiskOptions.
 type DiskOptions struct {
 	Durability Durability
+	// ArchiveDir, when non-empty, enables WAL archiving: every log
+	// generation is preserved as a segment file there before the live
+	// log is truncated (at checkpoints and at crash recovery), giving a
+	// contiguous record history for point-in-time restore. The global
+	// LSN stream resumes from the archive's end at open; without an
+	// archive LSNs restart at 0 on each open and are diagnostic only.
+	ArchiveDir string
 }
 
 // DiskManager allocates, reads and writes fixed-size pages in a single
@@ -124,14 +136,16 @@ type DiskOptions struct {
 type DiskManager struct {
 	mu       sync.Mutex
 	f        *os.File
+	path     string
 	numPages uint32 // includes the meta page
 	freeHead PageID
 	closed   bool
 
-	mode      Durability
-	wal       *wal
-	walPath   string
-	recovered RecoveryInfo
+	mode       Durability
+	wal        *wal
+	walPath    string
+	archiveDir string
+	recovered  RecoveryInfo
 
 	frame [DiskFrameSize]byte // scratch for frame I/O, guarded by mu
 
@@ -165,21 +179,34 @@ func OpenDiskOptions(path string, opts DiskOptions) (*DiskManager, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: open %s: %w", path, err)
 	}
-	d := &DiskManager{f: f, mode: opts.Durability, walPath: WALPath(path)}
+	d := &DiskManager{f: f, path: path, mode: opts.Durability, walPath: WALPath(path), archiveDir: opts.ArchiveDir}
 	info, err := f.Stat()
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("storage: stat %s: %w", path, err)
+	}
+	// The global LSN stream resumes from the end of the archived
+	// history: the crashed generation (if any) started exactly there,
+	// because every truncation archives its generation first.
+	var base int64
+	if d.archiveDir != "" {
+		if base, err = archivedEnd(d.archiveDir); err != nil {
+			f.Close()
+			return nil, err
+		}
 	}
 	if info.Size() == 0 {
 		// Fresh (or fully lost) data file: a leftover log describes a
 		// database that no longer exists, so discard rather than replay.
 		os.Remove(d.walPath)
 	} else {
-		d.recovered, err = replayWAL(d.walPath, f)
+		d.recovered, base, err = replayWAL(d.walPath, f, d.archiveDir, base)
 		if err != nil {
 			f.Close()
 			return nil, err
+		}
+		if d.archiveDir == "" {
+			base = 0
 		}
 		if info, err = f.Stat(); err != nil {
 			f.Close()
@@ -221,7 +248,7 @@ func OpenDiskOptions(path string, opts DiskOptions) (*DiskManager, error) {
 		d.freeHead = PageID(binary.LittleEndian.Uint32(payload[12:]))
 	}
 	if d.mode != DurabilityNone {
-		d.wal, err = openWAL(d.walPath)
+		d.wal, err = openWAL(d.walPath, base)
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -307,7 +334,7 @@ func (d *DiskManager) writeFrameLocked(id PageID, buf []byte, faultPoint string)
 	}
 	var lsn uint64
 	if d.wal != nil {
-		lsn = uint64(d.wal.size)
+		lsn = uint64(d.wal.base + d.wal.size)
 	}
 	copy(d.frame[frameHeaderSize:], buf)
 	stampFrame(d.frame[:], lsn)
@@ -316,6 +343,11 @@ func (d *DiskManager) writeFrameLocked(id PageID, buf []byte, faultPoint string)
 		// Torn page: only the first half of the frame reaches the file.
 		d.f.WriteAt(frame[:DiskFrameSize/2], int64(id)*DiskFrameSize)
 	})
+	if err := fireFaultIO(faultPoint, "eio", "enospc"); err != nil {
+		// The page image (if logged) is already durable in the WAL, so
+		// nothing acknowledged is at risk; the caller surfaces the error.
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
 	if _, err := d.f.WriteAt(d.frame[:], int64(id)*DiskFrameSize); err != nil {
 		return fmt.Errorf("storage: write page %d: %w", id, err)
 	}
@@ -430,7 +462,54 @@ func (d *DiskManager) Read(id PageID, buf []byte) error {
 	}
 	d.stats.Reads++
 	obsPageReads.Inc()
-	return d.readFrameLocked(id, buf)
+	err := d.readFrameLocked(id, buf)
+	if errors.Is(err, ErrChecksum) || errors.Is(err, ErrShortRead) {
+		// A poisoned frame is recoverable if the current log still holds
+		// an after-image of the page (the image is durable before the
+		// frame is ever written, so a torn or bit-rotted frame whose
+		// write we logged can always be reconstructed).
+		if rerr := d.repairFromWALLocked(id); rerr == nil {
+			obsReadRepairs.Inc()
+			return d.readFrameLocked(id, buf)
+		}
+	}
+	return err
+}
+
+// repairFromWALLocked rewrites page id's frame from the newest
+// after-image in the current log generation. Returns an error when the
+// log holds no image of the page.
+func (d *DiskManager) repairFromWALLocked(id PageID) error {
+	if d.wal == nil {
+		return fmt.Errorf("storage: page %d: no WAL to repair from", id)
+	}
+	// Only flushed bytes are visible in the file; flushing buffered
+	// appends is safe (it makes no durability promise).
+	if d.wal.err == nil {
+		if err := d.wal.w.Flush(); err != nil {
+			d.wal.err = fmt.Errorf("storage: wal flush: %w", err)
+		}
+	}
+	log, err := os.ReadFile(d.walPath)
+	if err != nil {
+		return fmt.Errorf("storage: page %d: read wal for repair: %w", id, err)
+	}
+	var image []byte
+	var imageOff int64 = -1
+	scanWAL(log, func(rec walRecord) error {
+		if rec.typ == walPageImage && rec.page == id {
+			image = append(image[:0], rec.payload...)
+			imageOff = int64(rec.off)
+		}
+		return nil
+	})
+	if imageOff < 0 {
+		return fmt.Errorf("storage: page %d: no image in current wal", id)
+	}
+	if err := writeFrameTo(d.f, id, image, uint64(d.wal.base+imageOff)); err != nil {
+		return err
+	}
+	return d.f.Sync()
 }
 
 // Write stores buf (PageSize bytes) as the page contents. The caller
@@ -472,8 +551,10 @@ func (d *DiskManager) LogPageImage(id PageID, buf []byte) error {
 	return d.logLocked(walPageImage, id, buf)
 }
 
-// Commit makes every logged change durable (WAL flush + fsync). The
-// engine calls this at statement boundaries under DurabilityCommit.
+// Commit makes every logged change durable (WAL flush + fsync), first
+// appending a statement-boundary commit mark — the post-mark global
+// LSN is an exact point-in-time-recovery target. The engine calls this
+// at statement boundaries under DurabilityCommit.
 func (d *DiskManager) Commit() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -483,23 +564,53 @@ func (d *DiskManager) Commit() error {
 	if d.wal == nil {
 		return nil
 	}
+	if err := d.wal.appendCommitMark(); err != nil {
+		return err
+	}
 	return d.wal.sync()
 }
 
-// Checkpoint fsyncs the data file and truncates the WAL. The caller
+// Checkpoint fsyncs the data file, archives the retiring log
+// generation (when archiving is on), and truncates the WAL. The caller
 // must have flushed every dirty buffered page first (BufferPool.
-// FlushAll), otherwise log records still needed for redo are lost.
+// FlushAll), otherwise log records still needed for redo are lost. If
+// archiving fails the checkpoint aborts before truncation: the live
+// log keeps growing (reported as archive lag) rather than tearing a
+// gap in the point-in-time history.
 func (d *DiskManager) Checkpoint() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return ErrClosed
 	}
+	if err := fireFaultIO("checkpoint", "eio", "enospc", "fsyncfail"); err != nil {
+		return fmt.Errorf("storage: checkpoint data fsync: %w", err)
+	}
 	if err := d.f.Sync(); err != nil {
 		return fmt.Errorf("storage: checkpoint data fsync: %w", err)
 	}
 	if d.wal == nil {
 		return nil
+	}
+	// Close the commit chain and force the log so the archived segment
+	// ends on a durable statement boundary.
+	if err := d.wal.appendCommitMark(); err != nil {
+		return err
+	}
+	if err := d.wal.sync(); err != nil {
+		return err
+	}
+	if d.archiveDir != "" && d.wal.size > 0 {
+		log, err := os.ReadFile(d.walPath)
+		if err != nil {
+			return fmt.Errorf("storage: checkpoint: read wal for archive: %w", err)
+		}
+		if int64(len(log)) < d.wal.size {
+			return fmt.Errorf("storage: checkpoint: wal file has %d of %d bytes", len(log), d.wal.size)
+		}
+		if _, err := writeSegment(d.archiveDir, log[:d.wal.size], d.wal.base); err != nil {
+			return err
+		}
 	}
 	// Crash window under test: data is durable but the log has not been
 	// truncated yet, so recovery re-applies (idempotent) images.
@@ -531,6 +642,249 @@ func (d *DiskManager) WALStats() WALStats {
 		return WALStats{}
 	}
 	return d.wal.stats
+}
+
+// IsDiskFull reports whether err is (or wraps) ENOSPC — the condition
+// that flips the engine into degraded read-only mode.
+func IsDiskFull(err error) bool { return errors.Is(err, syscall.ENOSPC) }
+
+// Path returns the database file path.
+func (d *DiskManager) Path() string { return d.path }
+
+// CopyBaseTo copies the data file into dir as a base backup, without
+// blocking writers — the copy is fuzzy (pages may be torn or stale)
+// and only becomes consistent once the WAL archive through the
+// post-copy checkpoint fence is replayed over it, which is exactly
+// what the backup manifest records and Restore enforces.
+func (d *DiskManager) CopyBaseTo(dir string) error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	path := d.path
+	d.mu.Unlock()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("storage: create backup dir: %w", err)
+	}
+	return copyFile(path, filepath.Join(dir, BaseFileName))
+}
+
+// CurrentLSN returns the global LSN of the end of the log: the offset
+// the next record will be appended at (0 when durability is off).
+func (d *DiskManager) CurrentLSN() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.wal == nil {
+		return 0
+	}
+	return d.wal.base + d.wal.size
+}
+
+// WALErr returns the log's sticky error, if any. A non-nil result
+// means buffered records may be lost (fsyncgate) and every later
+// append or commit fails fast; the engine degrades to read-only and
+// recovery goes through RebuildWAL (disk full) or a restart.
+func (d *DiskManager) WALErr() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.wal == nil {
+		return nil
+	}
+	return d.wal.err
+}
+
+// ArchiveDir returns the archive directory ("" when archiving is off).
+func (d *DiskManager) ArchiveDir() string { return d.archiveDir }
+
+// DiskStatus is a point-in-time snapshot of the storage manager's
+// resilience state, surfaced through SHOW STORAGE and /metrics.
+type DiskStatus struct {
+	CurrentLSN int64  // global end-of-log LSN
+	DurableLSN int64  // global LSN known on stable storage
+	WALBytes   int64  // live log size (bytes)
+	ArchiveLag int64  // bytes not yet rolled into an archive segment
+	Archiving  bool   // archiving enabled
+	WALStuck   string // sticky log error ("" when healthy)
+	Recovered  RecoveryInfo
+}
+
+// Status snapshots the resilience state.
+func (d *DiskManager) Status() DiskStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := DiskStatus{Archiving: d.archiveDir != "", Recovered: d.recovered}
+	if d.wal != nil {
+		s.CurrentLSN = d.wal.base + d.wal.size
+		s.DurableLSN = d.wal.base + d.wal.synced
+		s.WALBytes = d.wal.size
+		if s.Archiving {
+			s.ArchiveLag = d.wal.size
+		}
+		if d.wal.err != nil {
+			s.WALStuck = d.wal.err.Error()
+		}
+	}
+	return s
+}
+
+// VerifyPage checks one page frame's checksum without going through
+// the read path (no repair, no read counters). The scrubber's probe.
+func (d *DiskManager) VerifyPage(id PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if uint32(id) >= d.numPages {
+		return fmt.Errorf("storage: verify of invalid page %d", id)
+	}
+	n, err := d.f.ReadAt(d.frame[:], int64(id)*DiskFrameSize)
+	if n < DiskFrameSize {
+		if err != nil && err != io.EOF {
+			return fmt.Errorf("storage: verify page %d: %w", id, err)
+		}
+		return fmt.Errorf("storage: verify page %d: %w", id, ErrShortRead)
+	}
+	if !verifyFrame(d.frame[:]) {
+		return fmt.Errorf("storage: verify page %d: %w", id, ErrChecksum)
+	}
+	return nil
+}
+
+// RepairPageFromWAL rewrites a corrupt page frame from the newest
+// after-image in the current log generation, returning an error when
+// the log holds none.
+func (d *DiskManager) RepairPageFromWAL(id PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return d.repairFromWALLocked(id)
+}
+
+// RepairPageFrame overwrites page id's on-disk frame with payload
+// (PageSize bytes) stamped at lsn, bypassing the WAL — but only if the
+// resident frame still fails verification (a writer may have healed
+// the page since the caller probed it; an older archived image must
+// never clobber a fresh frame). Only for repair tooling (the scrubber)
+// restoring an image that is already durable in the archive or a base
+// backup — never for new data, which must go through the logged write
+// path. Reports whether the frame was written.
+func (d *DiskManager) RepairPageFrame(id PageID, payload []byte, lsn uint64) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return false, ErrClosed
+	}
+	if len(payload) != PageSize {
+		return false, fmt.Errorf("storage: repair buffer is %d bytes, want %d", len(payload), PageSize)
+	}
+	if uint32(id) >= d.numPages {
+		return false, fmt.Errorf("storage: repair of invalid page %d", id)
+	}
+	if n, _ := d.f.ReadAt(d.frame[:], int64(id)*DiskFrameSize); n == DiskFrameSize && verifyFrame(d.frame[:]) {
+		return false, nil
+	}
+	if err := writeFrameTo(d.f, id, payload, lsn); err != nil {
+		return false, err
+	}
+	return true, d.f.Sync()
+}
+
+// RebuildWAL replaces a stuck log with a fresh generation, recovering
+// from degraded mode without a restart (the ENOSPC probe path). images
+// must hold the latest contents of every dirty buffered page — pages
+// whose newest image exists only in the poisoned log (the engine
+// collects them via BufferPool.DirtyImages before calling, and marks
+// them logged again after success).
+//
+// The acknowledged state is (data file ∪ synced log prefix); the
+// rebuild preserves it: the old log's valid prefix is archived, then a
+// fresh log containing the current meta record, every dirty image, and
+// a commit mark is written to a temp file, fsynced, and renamed over
+// the old one. Nothing is acknowledged in between, and a crash at any
+// point leaves either the old valid prefix or the complete new
+// generation to replay.
+func (d *DiskManager) RebuildWAL(images map[PageID][]byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if d.wal == nil {
+		return nil
+	}
+	// The durable valid prefix of the old generation. Flush what we can
+	// first (best effort — the writer may be poisoned mid-buffer).
+	d.wal.w.Flush()
+	oldLog, err := os.ReadFile(d.walPath)
+	if err != nil {
+		return fmt.Errorf("storage: rebuild: read old wal: %w", err)
+	}
+	valid, _, _ := scanWAL(oldLog, nil)
+
+	// Assemble the new generation.
+	var link [8]byte
+	binary.LittleEndian.PutUint32(link[0:], d.numPages)
+	binary.LittleEndian.PutUint32(link[4:], uint32(d.freeHead))
+	var fresh []byte
+	fresh = append(fresh, encodeWALRecord(walMeta, 0, link[:])...)
+	for id, img := range images {
+		if len(img) != PageSize {
+			return fmt.Errorf("storage: rebuild: image for page %d is %d bytes", id, len(img))
+		}
+		fresh = append(fresh, encodeWALRecord(walPageImage, id, img)...)
+	}
+	fresh = append(fresh, encodeWALRecord(walCommit, 0, nil)...)
+
+	tmpPath := d.walPath + ".rebuild"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: rebuild: create new wal: %w", err)
+	}
+	if _, err := tmp.Write(fresh); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("storage: rebuild: write new wal: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("storage: rebuild: sync new wal: %w", err)
+	}
+
+	// Preserve the old generation's history before discarding it.
+	if d.archiveDir != "" && valid > 0 {
+		if _, err := writeSegment(d.archiveDir, oldLog[:valid], d.wal.base); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("storage: rebuild: archive old wal: %w", err)
+		}
+	}
+	if err := os.Rename(tmpPath, d.walPath); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("storage: rebuild: publish new wal: %w", err)
+	}
+	newBase := d.wal.base + valid
+	oldF := d.wal.f
+	if _, err := tmp.Seek(int64(len(fresh)), 0); err != nil {
+		return fmt.Errorf("storage: rebuild: seek new wal: %w", err)
+	}
+	d.wal = &wal{
+		f:      tmp,
+		w:      bufio.NewWriterSize(tmp, 1<<16),
+		base:   newBase,
+		size:   int64(len(fresh)),
+		synced: int64(len(fresh)),
+		marked: int64(len(fresh)),
+		stats:  d.wal.stats,
+	}
+	oldF.Close()
+	obsWALRebuilds.Inc()
+	return nil
 }
 
 // VerifyChecksums reads every page frame in the file and returns the

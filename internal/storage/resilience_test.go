@@ -1,0 +1,495 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// Tests for the storage-resilience surface: the fsync-failure (sticky
+// WAL error) contract, error-mode fault injection, WAL-backed read
+// repair, archiving + point-in-time restore, and the scrubber's repair
+// sources.
+
+// openArchived opens a disk manager with the WAL and archiving on.
+func openArchived(t *testing.T, path, archiveDir string) *DiskManager {
+	t.Helper()
+	d, err := OpenDiskOptions(path, DiskOptions{
+		Durability: DurabilityCommit,
+		ArchiveDir: archiveDir,
+	})
+	if err != nil {
+		t.Fatalf("OpenDiskOptions: %v", err)
+	}
+	return d
+}
+
+// logAndWrite applies one page mutation the way the engine's buffer
+// pool does: WAL image first, then the data-file frame, then a
+// statement-boundary commit.
+func logAndWrite(t *testing.T, d *DiskManager, id PageID, fill byte) []byte {
+	t.Helper()
+	img := bytes.Repeat([]byte{fill}, PageSize)
+	if err := d.LogPageImage(id, img); err != nil {
+		t.Fatalf("LogPageImage(%#x): %v", fill, err)
+	}
+	if err := d.Write(id, img); err != nil {
+		t.Fatalf("Write(%#x): %v", fill, err)
+	}
+	if err := d.Commit(); err != nil {
+		t.Fatalf("Commit(%#x): %v", fill, err)
+	}
+	return img
+}
+
+// corruptFrame flips a payload byte of the page's on-disk frame behind
+// the manager's back (simulated bit rot).
+func corruptFrame(t *testing.T, path string, id PageID) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open for corruption: %v", err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt([]byte{0xEE, 0xEE, 0xEE}, int64(id)*DiskFrameSize+frameHeaderSize+11); err != nil {
+		t.Fatalf("corrupt frame: %v", err)
+	}
+}
+
+// TestFsyncFailureContract (fsyncgate): the first failed WAL fsync is
+// sticky and fatal for buffered data. Later appends and commits fail
+// fast, and a checkpoint must refuse to truncate the log.
+func TestFsyncFailureContract(t *testing.T) {
+	t.Cleanup(func() { ArmFault("") })
+	path := filepath.Join(t.TempDir(), "fsyncgate.db")
+	d := openDurable(t, path)
+	defer d.Close()
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if err := d.LogPageImage(id, bytes.Repeat([]byte{1}, PageSize)); err != nil {
+		t.Fatalf("LogPageImage: %v", err)
+	}
+	if err := d.Commit(); err != nil {
+		t.Fatalf("healthy Commit: %v", err)
+	}
+	walSize := d.WALSize()
+
+	ArmFault("walwrite:fsyncfail")
+	if err := d.LogPageImage(id, bytes.Repeat([]byte{2}, PageSize)); err != nil {
+		t.Fatalf("LogPageImage (append still buffers): %v", err)
+	}
+	if err := d.Commit(); err == nil {
+		t.Fatalf("Commit succeeded with failing fsync")
+	}
+	if err := d.WALErr(); err == nil {
+		t.Fatalf("WALErr not sticky after failed fsync")
+	}
+
+	// Contract: even with the fault gone, the log stays poisoned — the
+	// kernel may have dropped the buffered pages, so pretending the
+	// retry worked would silently lose acknowledged data.
+	ArmFault("")
+	if err := d.LogPageImage(id, bytes.Repeat([]byte{3}, PageSize)); err == nil {
+		t.Fatalf("append after failed fsync did not fail fast")
+	}
+	if err := d.Commit(); err == nil {
+		t.Fatalf("commit after failed fsync did not fail fast")
+	}
+	if err := d.Checkpoint(); err == nil {
+		t.Fatalf("checkpoint truncated a poisoned WAL")
+	}
+	if info, err := os.Stat(WALPath(path)); err != nil || info.Size() < walSize {
+		t.Fatalf("poisoned WAL was truncated: size=%v err=%v (want >= %d)", info, err, walSize)
+	}
+}
+
+// TestErrorModeFaultsPersist: eio/enospc faults fire on every hit once
+// armed (a full disk stays full) and clear when disarmed.
+func TestErrorModeFaultsPersist(t *testing.T) {
+	t.Cleanup(func() { ArmFault("") })
+	path := filepath.Join(t.TempDir(), "enospc.db")
+	d := openDurable(t, path)
+	defer d.Close()
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	ArmFault("walwrite:enospc")
+	for i := 0; i < 3; i++ {
+		err := d.LogPageImage(id, make([]byte, PageSize))
+		if !IsDiskFull(err) {
+			t.Fatalf("append %d under enospc fault: got %v, want ENOSPC", i, err)
+		}
+	}
+	if !errors.Is(d.WALErr(), syscall.ENOSPC) {
+		t.Fatalf("WALErr = %v, want ENOSPC", d.WALErr())
+	}
+}
+
+// TestRebuildWALRecoversFromDiskFull: after ENOSPC poisons the log,
+// RebuildWAL writes a fresh generation holding the dirty images and
+// the manager is writable and durable again.
+func TestRebuildWALRecoversFromDiskFull(t *testing.T) {
+	t.Cleanup(func() { ArmFault("") })
+	path := filepath.Join(t.TempDir(), "rebuild.db")
+	d := openDurable(t, path)
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	committed := logAndWrite(t, d, id, 0x0A)
+
+	ArmFault("walwrite:enospc")
+	dirty := bytes.Repeat([]byte{0x0B}, PageSize)
+	if err := d.LogPageImage(id, dirty); !IsDiskFull(err) {
+		t.Fatalf("append under enospc: got %v", err)
+	}
+	ArmFault("") // space freed
+
+	if err := d.RebuildWAL(map[PageID][]byte{id: dirty}); err != nil {
+		t.Fatalf("RebuildWAL: %v", err)
+	}
+	if err := d.WALErr(); err != nil {
+		t.Fatalf("WALErr after rebuild: %v", err)
+	}
+	// Writable again, and the rebuilt log carries the dirty image.
+	if err := d.Commit(); err != nil {
+		t.Fatalf("Commit after rebuild: %v", err)
+	}
+	crashDisk(d)
+	d2 := openDurable(t, path)
+	defer d2.Close()
+	got := make([]byte, PageSize)
+	if err := d2.Read(id, got); err != nil {
+		t.Fatalf("Read after rebuild+crash: %v", err)
+	}
+	if !bytes.Equal(got, dirty) {
+		if bytes.Equal(got, committed) {
+			t.Fatalf("rebuilt WAL lost the dirty image (only pre-fault state survived)")
+		}
+		t.Fatalf("page content wrong after rebuild+crash")
+	}
+}
+
+// TestReadRepairsFromWAL: a checksum-bad frame whose newest image is
+// still in the live WAL is transparently re-read from the log.
+func TestReadRepairsFromWAL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "readrepair.db")
+	d := openDurable(t, path)
+	defer d.Close()
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	want := logAndWrite(t, d, id, 0x5C)
+	corruptFrame(t, path, id)
+
+	got := make([]byte, PageSize)
+	if err := d.Read(id, got); err != nil {
+		t.Fatalf("Read with WAL-backed repair: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("repaired read returned wrong content")
+	}
+	if err := d.VerifyPage(id); err != nil {
+		t.Fatalf("frame not healed on disk after read repair: %v", err)
+	}
+}
+
+// TestCheckpointArchivesGenerations: each checkpoint rolls the retiring
+// log generation into a contiguous archived segment chain.
+func TestCheckpointArchivesGenerations(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "arch.db")
+	arch := filepath.Join(dir, "archive")
+	d := openArchived(t, path, arch)
+	defer d.Close()
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		logAndWrite(t, d, id, byte(0x10+i))
+		if err := d.Checkpoint(); err != nil {
+			t.Fatalf("Checkpoint %d: %v", i, err)
+		}
+	}
+	segs, err := ListSegments(arch)
+	if err != nil {
+		t.Fatalf("ListSegments: %v", err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("got %d archived segments, want >= 3", len(segs))
+	}
+	next := segs[0].Start
+	if next != 0 {
+		t.Fatalf("first segment starts at %d, want 0", next)
+	}
+	for _, seg := range segs {
+		if seg.Start != next {
+			t.Fatalf("archive gap: segment at %d, expected %d", seg.Start, next)
+		}
+		if _, err := VerifySegment(seg); err != nil {
+			t.Fatalf("VerifySegment(%s): %v", seg.Path, err)
+		}
+		next = seg.End()
+	}
+	if got := d.CurrentLSN(); got != next {
+		t.Fatalf("CurrentLSN = %d, want archived end %d", got, next)
+	}
+}
+
+// TestGlobalLSNSurvivesReopen: the global LSN keeps counting across
+// close/reopen, recovered from the archive chain.
+func TestGlobalLSNSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lsn.db")
+	arch := filepath.Join(dir, "archive")
+	d := openArchived(t, path, arch)
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	logAndWrite(t, d, id, 0x21)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	want := d.CurrentLSN()
+	if want == 0 {
+		t.Fatalf("CurrentLSN is 0 after archived checkpoint")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	d2 := openArchived(t, path, arch)
+	defer d2.Close()
+	if got := d2.CurrentLSN(); got != want {
+		t.Fatalf("CurrentLSN after reopen = %d, want %d", got, want)
+	}
+}
+
+// TestBackupRestorePITR drives the full point-in-time story at the
+// storage layer: base backup under checkpoint fences, more writes,
+// restore to an intermediate statement-boundary LSN (exact contents of
+// that moment) and to the latest LSN.
+func TestBackupRestorePITR(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pitr.db")
+	arch := filepath.Join(dir, "archive")
+	backup := filepath.Join(dir, "backup")
+	d := openArchived(t, path, arch)
+	defer d.Close()
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	logAndWrite(t, d, id, 0x01)
+
+	// Online backup, the way the engine does it: fence checkpoint,
+	// fuzzy base copy, closing fence, manifest.
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("fence checkpoint: %v", err)
+	}
+	m := BackupManifest{StartLSN: d.CurrentLSN()}
+	if err := d.CopyBaseTo(backup); err != nil {
+		t.Fatalf("CopyBaseTo: %v", err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("closing checkpoint: %v", err)
+	}
+	m.EndLSN = d.CurrentLSN()
+	m.Pages = d.NumPages()
+	if err := WriteManifest(backup, m); err != nil {
+		t.Fatalf("WriteManifest: %v", err)
+	}
+
+	midImg := logAndWrite(t, d, id, 0x02)
+	midLSN := d.CurrentLSN() // statement boundary: just past 0x02's commit mark
+	lastImg := logAndWrite(t, d, id, 0x03)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("final checkpoint: %v", err)
+	}
+
+	// Restore to the intermediate point: contents must be exactly the
+	// 0x02 state, with no trace of the later write.
+	midOut := filepath.Join(dir, "mid.db")
+	info, err := Restore(backup, arch, midOut, midLSN)
+	if err != nil {
+		t.Fatalf("Restore(mid): %v", err)
+	}
+	if info.TargetLSN != midLSN {
+		t.Fatalf("restored to %d, want %d", info.TargetLSN, midLSN)
+	}
+	checkPage(t, midOut, id, midImg)
+
+	// Restore to the latest archived LSN.
+	lastOut := filepath.Join(dir, "last.db")
+	info, err = Restore(backup, arch, lastOut, 0)
+	if err != nil {
+		t.Fatalf("Restore(latest): %v", err)
+	}
+	if info.TargetLSN != d.CurrentLSN() {
+		t.Fatalf("latest restore target = %d, want %d", info.TargetLSN, d.CurrentLSN())
+	}
+	checkPage(t, lastOut, id, lastImg)
+
+	// A target before the backup's consistency point must be refused.
+	if _, err := Restore(backup, arch, filepath.Join(dir, "bad.db"), m.EndLSN-1); err == nil {
+		t.Fatalf("Restore before EndLSN did not fail")
+	}
+	// So must a target past the archived history.
+	if _, err := Restore(backup, arch, filepath.Join(dir, "bad2.db"), d.CurrentLSN()+1); err == nil {
+		t.Fatalf("Restore past archived history did not fail")
+	}
+}
+
+// checkPage opens a restored database file and asserts the page's
+// exact contents and clean checksums.
+func checkPage(t *testing.T, path string, id PageID, want []byte) {
+	t.Helper()
+	d, err := OpenDisk(path)
+	if err != nil {
+		t.Fatalf("open restored %s: %v", path, err)
+	}
+	defer d.Close()
+	got := make([]byte, PageSize)
+	if err := d.Read(id, got); err != nil {
+		t.Fatalf("read restored page: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("restored page content mismatch in %s", filepath.Base(path))
+	}
+	if bad, err := d.VerifyChecksums(); err != nil || len(bad) != 0 {
+		t.Fatalf("restored file checksums: bad=%v err=%v", bad, err)
+	}
+}
+
+// TestScrubberRepairsFromWAL: the scrubber finds a corrupt frame and
+// repairs it from the live WAL (freshest source).
+func TestScrubberRepairsFromWAL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scrubwal.db")
+	d := openDurable(t, path)
+	defer d.Close()
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	want := logAndWrite(t, d, id, 0x66)
+	corruptFrame(t, path, id)
+
+	s := NewScrubber(d, ScrubConfig{PagePace: -1})
+	s.RunOnce(nil)
+	st := s.Status()
+	if st.Corrupt == 0 || st.Repaired == 0 || st.Unrepaired != 0 {
+		t.Fatalf("scrub status after WAL repair: %+v", st)
+	}
+	got := make([]byte, PageSize)
+	if err := d.Read(id, got); err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("page after scrub repair: err=%v match=%v", err, bytes.Equal(got, want))
+	}
+}
+
+// TestScrubberRepairsFromArchive: after a checkpoint truncates the
+// live WAL, the newest archived image is the repair source.
+func TestScrubberRepairsFromArchive(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scrubarch.db")
+	arch := filepath.Join(dir, "archive")
+	d := openArchived(t, path, arch)
+	defer d.Close()
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	logAndWrite(t, d, id, 0x70) // older archived image — must not win
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	want := logAndWrite(t, d, id, 0x77)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	corruptFrame(t, path, id)
+
+	s := NewScrubber(d, ScrubConfig{PagePace: -1})
+	s.RunOnce(nil)
+	if st := s.Status(); st.Repaired == 0 || st.Unrepaired != 0 {
+		t.Fatalf("scrub status after archive repair: %+v", st)
+	}
+	got := make([]byte, PageSize)
+	if err := d.Read(id, got); err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("archive repair restored wrong generation: err=%v", err)
+	}
+}
+
+// TestScrubberRepairsFromBackup: with no WAL image and no archive, the
+// base backup is the last-resort repair source.
+func TestScrubberRepairsFromBackup(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scrubbak.db")
+	backup := filepath.Join(dir, "backup")
+	d := openDurable(t, path)
+	defer d.Close()
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	want := logAndWrite(t, d, id, 0x88)
+	if err := d.Checkpoint(); err != nil { // truncates the WAL; no archive
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if err := d.CopyBaseTo(backup); err != nil {
+		t.Fatalf("CopyBaseTo: %v", err)
+	}
+	corruptFrame(t, path, id)
+
+	s := NewScrubber(d, ScrubConfig{PagePace: -1, BackupDir: backup})
+	s.RunOnce(nil)
+	if st := s.Status(); st.Repaired == 0 || st.Unrepaired != 0 {
+		t.Fatalf("scrub status after backup repair: %+v", st)
+	}
+	got := make([]byte, PageSize)
+	if err := d.Read(id, got); err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("backup repair failed: err=%v", err)
+	}
+}
+
+// TestScrubberReportsCorruptSegment: archived history cannot be
+// repaired, only reported.
+func TestScrubberReportsCorruptSegment(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scrubseg.db")
+	arch := filepath.Join(dir, "archive")
+	d := openArchived(t, path, arch)
+	defer d.Close()
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	logAndWrite(t, d, id, 0x99)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	segs, err := ListSegments(arch)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("ListSegments: %v (%d)", err, len(segs))
+	}
+	f, err := os.OpenFile(segs[0].Path, os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open segment: %v", err)
+	}
+	f.WriteAt([]byte{0xFF, 0xFF}, walHeaderSize+3)
+	f.Close()
+
+	s := NewScrubber(d, ScrubConfig{PagePace: -1})
+	s.RunOnce(nil)
+	st := s.Status()
+	if st.Corrupt == 0 || st.Unrepaired == 0 || st.LastError == "" {
+		t.Fatalf("corrupt segment not reported: %+v", st)
+	}
+}

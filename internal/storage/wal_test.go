@@ -379,6 +379,124 @@ func TestZeroPageReadsAsEmptyChainEnd(t *testing.T) {
 	}
 }
 
+// TestZeroLengthWALOpensCleanly: a crash immediately after WAL
+// creation leaves a zero-byte log; open must succeed without claiming
+// a recovery ran.
+func TestZeroLengthWALOpensCleanly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "zero.db")
+	d := openDurable(t, path)
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if err := d.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	crashDisk(d)
+	if info, err := os.Stat(WALPath(path)); err != nil || info.Size() != 0 {
+		t.Fatalf("setup: WAL not empty after checkpoint: %v %v", info, err)
+	}
+
+	d2 := openDurable(t, path)
+	defer d2.Close()
+	if rec := d2.Recovered(); rec.Ran {
+		t.Fatalf("recovery ran on a zero-length WAL: %+v", rec)
+	}
+	buf := make([]byte, PageSize)
+	if err := d2.Read(id, buf); err != nil {
+		t.Fatalf("Read after zero-length-WAL open: %v", err)
+	}
+}
+
+// TestWALTruncatedMidHeader: the crash tore the log inside a record
+// header (fewer than walHeaderSize trailing bytes). The valid prefix
+// replays; the fragment is discarded as a torn tail.
+func TestWALTruncatedMidHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "midhdr.db")
+	d := openDurable(t, path)
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	want := bytes.Repeat([]byte{0x3C}, PageSize)
+	if err := d.LogPageImage(id, want); err != nil {
+		t.Fatalf("LogPageImage: %v", err)
+	}
+	if err := d.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	crashDisk(d)
+
+	// Append 4 bytes: less than a header, unparseable.
+	f, err := os.OpenFile(WALPath(path), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("open wal: %v", err)
+	}
+	f.Write([]byte{walPageImage, 0xFF, 0xFF, 0xFF})
+	f.Close()
+
+	d2 := openDurable(t, path)
+	defer d2.Close()
+	rec := d2.Recovered()
+	if !rec.Ran || !rec.TornTail {
+		t.Fatalf("expected torn-tail recovery, got %+v", rec)
+	}
+	got := make([]byte, PageSize)
+	if err := d2.Read(id, got); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("valid prefix not replayed after mid-header truncation")
+	}
+}
+
+// TestWALTornFinalPageImage: the final page-image record is torn
+// mid-payload (a complete header promising more bytes than exist).
+// Recovery keeps the earlier committed image, not the torn overwrite.
+func TestWALTornFinalPageImage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tornimg.db")
+	d := openDurable(t, path)
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	want := bytes.Repeat([]byte{0x42}, PageSize)
+	if err := d.LogPageImage(id, want); err != nil {
+		t.Fatalf("LogPageImage: %v", err)
+	}
+	if err := d.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	crashDisk(d)
+
+	// Hand-craft a torn record: full header for a page image of this
+	// page, but only half the payload made it to disk.
+	torn := encodeWALRecord(walPageImage, id, bytes.Repeat([]byte{0x99}, PageSize))
+	f, err := os.OpenFile(WALPath(path), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("open wal: %v", err)
+	}
+	f.Write(torn[:len(torn)/2])
+	f.Close()
+
+	d2 := openDurable(t, path)
+	defer d2.Close()
+	rec := d2.Recovered()
+	if !rec.Ran || !rec.TornTail {
+		t.Fatalf("expected torn-tail recovery, got %+v", rec)
+	}
+	got := make([]byte, PageSize)
+	if err := d2.Read(id, got); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("torn final image leaked into the page (or committed image lost)")
+	}
+}
+
 func TestFrameStampVerifyRoundTrip(t *testing.T) {
 	var frame [DiskFrameSize]byte
 	payload := bytes.Repeat([]byte{0xC3}, PageSize)

@@ -100,6 +100,8 @@ const (
 	FaultTimeout  = core.FaultTimeout
 	FaultQuota    = core.FaultQuota
 	FaultOverload = core.FaultOverload
+	FaultDiskFull = core.FaultDiskFull
+	FaultStorage  = core.FaultStorage
 )
 
 // FaultClassOf extracts the fault class from an error chain.
@@ -253,6 +255,29 @@ func WithTenantQuota(q TenantQuota) Option {
 // with SHOW EXECUTORS.
 func WithFleetSize(n int) Option {
 	return func(o *engine.Options) { o.FleetSize = n }
+}
+
+// WithArchiveDir enables WAL archiving into dir: every log generation
+// is preserved as a segment before truncation, enabling online
+// BACKUP TO '<dir>' and point-in-time restore with predator-restore.
+func WithArchiveDir(dir string) Option {
+	return func(o *engine.Options) { o.ArchiveDir = dir }
+}
+
+// WithScrubInterval runs the background scrubber: a paced checksum
+// pass over data pages and archived WAL segments every interval,
+// repairing corrupt pages from WAL/archive/backup. 0 (the default)
+// disables scrubbing. Inspect with SHOW STORAGE.
+func WithScrubInterval(d time.Duration) Option {
+	return func(o *engine.Options) { o.ScrubInterval = d }
+}
+
+// Backup takes a consistent online base backup into dir while writers
+// continue (same as the SQL BACKUP TO statement). Requires
+// WithArchiveDir. Restore with predator-restore (or storage.Restore).
+func (db *DB) Backup(dir string) error {
+	_, err := db.eng.Backup(dir)
+	return err
 }
 
 // SetStructuredLogger routes the engine's structured logs — slow
