@@ -8,7 +8,8 @@
 //	predator-bench -experiment table1,fig5,fig8
 //
 // Experiments: table1 fig4 fig5 fig5batch fig6 fig7 fig8 jit verifier
-// fuel pool cbbatch durability storage overload fleet inline, or "all".
+// fuel pool cbbatch durability storage overload fleet inline obs, or
+// "all".
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 		jsonDir    = flag.String("json-dir", ".", "directory for machine-readable BENCH_<experiment>.json files (empty = disabled)")
 		assertUp   = flag.Float64("assert-batch-speedup", 0, "fail unless the fig5batch IC++ batched/unbatched speedup reaches this factor")
 		assertInl  = flag.Float64("assert-inline-speedup", 0, "fail unless the inline experiment's inlined/vm speedup reaches this factor (and inlined beats isolated-batched)")
+		assertObs  = flag.Float64("assert-obs-overhead", 0, "fail unless the obs experiment's recording-on/off p50 ratio stays at or below this factor (e.g. 1.03 = within 3%)")
 		traceDir   = flag.String("trace-dir", "", "export a Chrome trace of an isolated-UDF query into this directory (empty = disabled)")
 	)
 	flag.Parse()
@@ -212,6 +214,25 @@ func main() {
 			}
 			fmt.Printf("(inline speedup assertion passed: %.2fx >= %.2fx over vm, %.2fx over isolated-batched)\n\n",
 				speedup["vm"], *assertInl, speedup["isolated-batched"])
+		}
+	}
+	if sel("obs") {
+		stmts, trials := 150, 10
+		if *full {
+			stmts, trials = 300, 16
+		}
+		tbl, ratios, err := bench.ObserverOverhead(stmts, trials)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tbl.Render())
+		fmt.Printf("flight-recorder p50 overhead: %.3fx (on/off)\n\n", ratios["p50_ratio"])
+		writeJSON(tbl)
+		if *assertObs > 0 {
+			if got := ratios["p50_ratio"]; got > *assertObs {
+				fatal(fmt.Errorf("obs: recording-on p50 %.3fx exceeds allowed %.3fx", got, *assertObs))
+			}
+			fmt.Printf("(obs overhead assertion passed: %.3fx <= %.3fx)\n\n", ratios["p50_ratio"], *assertObs)
 		}
 	}
 	if *traceDir != "" && h != nil {

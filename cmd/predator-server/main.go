@@ -18,6 +18,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -44,6 +45,7 @@ func main() {
 		archDir  = flag.String("archive-dir", "", "directory for WAL segment archiving; enables BACKUP TO and point-in-time restore with predator-restore (empty = disabled)")
 		scrubIv  = flag.Duration("scrub-interval", 0, "pause between background scrub passes over data pages and archived WAL segments (0 = scrubbing disabled)")
 		traceDir = flag.String("trace-dir", "", "directory for Chrome trace-event JSON exports; enables SET TRACE = 'on' (empty = explicit paths only)")
+		flightIv = flag.Duration("flight-sample", 10*time.Second, "flight-recorder metrics sampling interval; SIGQUIT or /debug/flightrecorder dumps the history (0 = sampling disabled)")
 		slowQ    = flag.Duration("slow-query", 0, "log statements slower than this threshold (0 = disabled)")
 		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 
@@ -143,6 +145,39 @@ func main() {
 			}
 		}()
 	}
+
+	if *flightIv > 0 {
+		predator.StartFlightRecorder(*flightIv)
+	}
+
+	// SIGQUIT is the post-mortem trigger: the first one writes the
+	// flight-recorder dump (process list, query history, metrics
+	// samples) next to the database plus all goroutine stacks to
+	// stderr, then restores the default handler so a second SIGQUIT
+	// falls through to the Go runtime's fatal stack dump.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		<-quit
+		signal.Reset(syscall.SIGQUIT)
+		path := *dbPath + ".flight.json"
+		if f, err := os.Create(path); err == nil {
+			werr := predator.WriteFlightRecorder(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				logger.Error("flight dump failed", "component", "server", "path", path, "error", werr)
+			} else {
+				logger.Info("flight dump written", "component", "server", "path", path)
+			}
+		} else {
+			logger.Error("flight dump failed", "component", "server", "path", path, "error", err)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		fmt.Fprintf(os.Stderr, "=== goroutine dump (SIGQUIT) ===\n%s\n", buf)
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -49,6 +49,11 @@ const (
 	// an archiving failure. Retrying cannot help until an operator (or
 	// the scrubber) intervenes.
 	FaultStorage
+	// FaultCanceled is an operator cancellation (KILL <query-id>): the
+	// statement was aborted deliberately between rows. Executors stay
+	// healthy, and an automatic retry would defeat the KILL, so it is
+	// not retryable.
+	FaultCanceled
 )
 
 // String names the class for logs and error text.
@@ -72,6 +77,8 @@ func (c FaultClass) String() string {
 		return "disk-full"
 	case FaultStorage:
 		return "storage"
+	case FaultCanceled:
+		return "canceled"
 	default:
 		return "none"
 	}

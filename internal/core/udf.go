@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"predator/internal/govern"
@@ -99,6 +100,32 @@ type Ctx struct {
 	// time to it (govern.Tenant.AddCPU); ungoverned paths leave it nil
 	// and pay one nil check.
 	Tenant *govern.Tenant
+	// Exec, when non-nil, is the statement's flight-recorder
+	// registration. Isolated designs feed it per-crossing wall time and
+	// executor-reported CPU; all its methods are nil-safe.
+	Exec *obs.Execution
+
+	// reportedCPU accumulates CPU nanoseconds the child executor
+	// reported on result-frame tails for the crossing in flight; the
+	// dispatch layer takes it when recording the crossing's outcome.
+	reportedCPU atomic.Int64
+}
+
+// AddReportedCPU accumulates child-executor CPU decoded from a result
+// frame (nil-safe).
+func (c *Ctx) AddReportedCPU(d time.Duration) {
+	if c != nil && d > 0 {
+		c.reportedCPU.Add(int64(d))
+	}
+}
+
+// TakeReportedCPU returns and clears the accumulated child-reported
+// CPU (nil-safe).
+func (c *Ctx) TakeReportedCPU() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return time.Duration(c.reportedCPU.Swap(0))
 }
 
 // NativeFunc is the Go signature of a native UDF implementation.

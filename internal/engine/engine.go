@@ -365,19 +365,32 @@ func (e *Engine) execStmtDeadline(stmt sql.Statement, deadline time.Time) (*Resu
 // (parsed-statement entry points); it still gets per-verb metrics but
 // no statement-statistics entry.
 func (e *Engine) execStmtTraced(stmt sql.Statement, deadline time.Time, tr *obs.Trace) (*Result, error) {
-	return e.execStmtObserved(stmt, deadline, tr, "", 0, nil)
+	return e.execStmtObserved(stmt, deadline, tr, "", 0, nil, 0)
+}
+
+// tenantName names a tenant for attribution records ("" = ungoverned).
+func tenantName(ten *govern.Tenant) string {
+	if ten == nil {
+		return ""
+	}
+	return ten.Name()
 }
 
 // execStmtObserved wraps statement execution with the per-verb latency
 // histogram and outcome counter, the fingerprint-keyed statement
-// statistics (when the raw text is known), and the slow-query log.
-// ten, when non-nil, is the tenant whose quotas govern the statement.
-func (e *Engine) execStmtObserved(stmt sql.Statement, deadline time.Time, tr *obs.Trace, text string, sessID int64, ten *govern.Tenant) (*Result, error) {
+// statistics (when the raw text is known), the flight recorder (live
+// registry + query store), and the slow-query log. ten, when non-nil,
+// is the tenant whose quotas govern the statement; admitWait is the
+// time the statement queued at the server's admission gate, folded
+// into the query store's wait breakdown.
+func (e *Engine) execStmtObserved(stmt sql.Statement, deadline time.Time, tr *obs.Trace, text string, sessID int64, ten *govern.Tenant, admitWait time.Duration) (*Result, error) {
 	verb := stmtVerb(stmt)
-	walBefore := e.disk.WALStats().Bytes
+	walBefore := e.disk.WALStats()
+	ex := obs.Live.Start(sessID, tenantName(ten), text)
 	start := time.Now()
-	res, err := e.runStmt(stmt, deadline, tr, ten)
+	res, err := e.runStmt(stmt, deadline, tr, ten, ex)
 	d := time.Since(start)
+	obs.Live.Finish(ex)
 	obs.Default.Histogram("predator_stmt_seconds", "verb", verb).Observe(d)
 	status := "ok"
 	if err != nil {
@@ -385,13 +398,37 @@ func (e *Engine) execStmtObserved(stmt sql.Statement, deadline time.Time, tr *ob
 	}
 	obs.Default.Counter("predator_stmt_total", "verb", verb, "status", status).Inc()
 	fingerprint := ""
+	var rows int64
+	if res != nil {
+		rows = int64(len(res.Rows)) + res.RowsAffected
+	}
+	walAfter := e.disk.WALStats()
 	if text != "" {
 		fingerprint = sql.Normalize(text)
-		var rows int64
-		if res != nil {
-			rows = int64(len(res.Rows)) + res.RowsAffected
-		}
-		obs.Statements.Record(fingerprint, d, rows, traceCrossings(tr), int64(e.disk.WALStats().Bytes-walBefore))
+		obs.Statements.Record(fingerprint, d, rows, traceCrossings(tr), int64(walAfter.Bytes-walBefore.Bytes))
+	}
+	if ex != nil {
+		obs.History.Add(obs.QueryRecord{
+			ID:          ex.ID(),
+			SessionID:   sessID,
+			Fingerprint: fingerprint,
+			Tenant:      tenantName(ten),
+			Query:       text,
+			Started:     start,
+			Duration:    d,
+			Rows:        rows,
+			Crossings:   ex.Crossings(),
+			ChildCPU:    ex.ChildCPU(),
+			WALBytes:    int64(walAfter.Bytes - walBefore.Bytes),
+			Wait: obs.WaitProfile{
+				Plan:          tr.SpanDuration("plan"),
+				Exec:          tr.SpanDuration("execute"),
+				CrossingWait:  ex.CrossingWait(),
+				WALFsync:      time.Duration(walAfter.FsyncNanos - walBefore.FsyncNanos),
+				AdmissionWait: admitWait,
+			},
+			Status: status,
+		})
 	}
 	if t := e.opts.SlowQuery; t > 0 && d >= t {
 		attrs := []any{
@@ -424,7 +461,7 @@ func traceCrossings(tr *obs.Trace) int64 {
 	return n
 }
 
-func (e *Engine) runStmt(stmt sql.Statement, deadline time.Time, tr *obs.Trace, ten *govern.Tenant) (*Result, error) {
+func (e *Engine) runStmt(stmt sql.Statement, deadline time.Time, tr *obs.Trace, ten *govern.Tenant, ex *obs.Execution) (*Result, error) {
 	if _, ok := stmt.(*sql.Checkpoint); ok {
 		if err := e.Checkpoint(); err != nil {
 			return nil, e.classifyStorageErr(err)
@@ -441,7 +478,7 @@ func (e *Engine) runStmt(stmt sql.Statement, deadline time.Time, tr *obs.Trace, 
 			b.Dir, m.StartLSN, m.EndLSN, m.Pages)}, nil
 	}
 	if !mutates(stmt) {
-		return e.runStmtInner(stmt, deadline, tr, ten)
+		return e.runStmtInner(stmt, deadline, tr, ten, ex)
 	}
 	// Degraded read-only mode (disk full): shed the mutation with a
 	// typed retryable fault before it touches any state, probing for
@@ -453,8 +490,9 @@ func (e *Engine) runStmt(stmt sql.Statement, deadline time.Time, tr *obs.Trace, 
 	// concurrent CHECKPOINT cannot flush + truncate mid-statement, and
 	// force the WAL at the statement boundary before acknowledging.
 	e.ckptMu.RLock()
-	res, err := e.runStmtInner(stmt, deadline, tr, ten)
+	res, err := e.runStmtInner(stmt, deadline, tr, ten, ex)
 	if err == nil {
+		ex.SetPhase(obs.PhaseCommit)
 		err = e.disk.Commit()
 	}
 	e.ckptMu.RUnlock()
@@ -466,8 +504,8 @@ func (e *Engine) runStmt(stmt sql.Statement, deadline time.Time, tr *obs.Trace, 
 	return res, nil
 }
 
-func (e *Engine) runStmtInner(stmt sql.Statement, deadline time.Time, tr *obs.Trace, ten *govern.Tenant) (*Result, error) {
-	ec := e.evalCtx(deadline, ten)
+func (e *Engine) runStmtInner(stmt sql.Statement, deadline time.Time, tr *obs.Trace, ten *govern.Tenant, ex *obs.Execution) (*Result, error) {
+	ec := e.evalCtx(deadline, ten, ex)
 	// The statement's memory reservation lives exactly as long as the
 	// statement: materialized rows are handed to the wire layer after
 	// this returns, but the ceiling is per-statement, not per-buffer.
@@ -500,6 +538,7 @@ func (e *Engine) runStmtInner(stmt sql.Statement, deadline time.Time, tr *obs.Tr
 	case *sql.Select:
 		return e.execSelect(n, ec)
 	case *sql.Explain:
+		ex.SetPhase(obs.PhasePlan)
 		sp := tr.Start("plan")
 		op, err := e.planner.PlanSelect(n.Query)
 		sp.End()
@@ -519,6 +558,7 @@ func (e *Engine) runStmtInner(stmt sql.Statement, deadline time.Time, tr *obs.Tr
 		tr.EnableDetail()
 		ec.UDF.Trace = tr
 		root := exec.Instrument(op)
+		ex.SetPhase(obs.PhaseExecute)
 		sp = tr.Start("execute")
 		rows, err := exec.Run(root, ec)
 		sp.End()
@@ -543,6 +583,16 @@ func (e *Engine) runStmtInner(stmt sql.Statement, deadline time.Time, tr *obs.Tr
 		return &Result{Message: fmt.Sprintf("function %s dropped", n.Name)}, nil
 	case *sql.Show:
 		return e.execShow(n)
+	case *sql.Kill:
+		// KILL only flags the registry entry; the target statement
+		// surfaces the cancellation itself at its next between-rows
+		// check. A query that already finished is an error — the
+		// registry drops entries exactly once, so a stale ID can never
+		// cancel a later statement.
+		if n.ID < 0 || !obs.Live.Kill(uint64(n.ID)) {
+			return nil, fmt.Errorf("engine: query %d is not running", n.ID)
+		}
+		return &Result{Message: fmt.Sprintf("kill signal sent to query %d", n.ID)}, nil
 	default:
 		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
 	}
@@ -564,22 +614,25 @@ func (e *Engine) SetUDFBatchRows(n int) {
 // UDFBatchRows reports the current per-crossing UDF batch cap.
 func (e *Engine) UDFBatchRows() int { return int(e.batchRows.Load()) }
 
-func (e *Engine) evalCtx(deadline time.Time, ten *govern.Tenant) *expr.Ctx {
+func (e *Engine) evalCtx(deadline time.Time, ten *govern.Tenant, ex *obs.Execution) *expr.Ctx {
 	return &expr.Ctx{
-		UDF:      &core.Ctx{Callback: e.objects, Logf: e.opts.Logf, Deadline: deadline, Tenant: ten},
+		UDF:      &core.Ctx{Callback: e.objects, Logf: e.opts.Logf, Deadline: deadline, Tenant: ten, Exec: ex},
 		Deadline: deadline,
 		UDFBatch: int(e.batchRows.Load()),
 		Mem:      govern.NewReservation(ten),
+		Exec:     ex,
 	}
 }
 
 func (e *Engine) execSelect(sel *sql.Select, ec *expr.Ctx) (*Result, error) {
+	ec.Exec.SetPhase(obs.PhasePlan)
 	sp := ec.Trace.Start("plan")
 	op, err := e.planner.PlanSelect(sel)
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	ec.Exec.SetPhase(obs.PhaseExecute)
 	sp = ec.Trace.Start("execute")
 	rows, err := exec.Run(op, ec)
 	sp.End()
@@ -958,6 +1011,95 @@ func (e *Engine) execShow(n *sql.Show) (*Result, error) {
 				types.NewInt(st.Crossings),
 				types.NewInt(st.WALBytes),
 			})
+		}
+		return &Result{Schema: sch, Rows: rows}, nil
+	case "processlist":
+		sch := types.NewSchema(
+			types.Column{Name: "query_id", Kind: types.KindInt},
+			types.Column{Name: "session_id", Kind: types.KindInt},
+			types.Column{Name: "tenant", Kind: types.KindString},
+			types.Column{Name: "phase", Kind: types.KindString},
+			types.Column{Name: "elapsed_seconds", Kind: types.KindFloat},
+			types.Column{Name: "rows", Kind: types.KindInt},
+			types.Column{Name: "crossings", Kind: types.KindInt},
+			types.Column{Name: "child_cpu_seconds", Kind: types.KindFloat},
+			types.Column{Name: "killed", Kind: types.KindBool},
+			types.Column{Name: "query", Kind: types.KindString},
+		)
+		var rows []types.Row
+		for _, x := range obs.Live.Snapshot() {
+			rows = append(rows, types.Row{
+				types.NewInt(int64(x.ID)),
+				types.NewInt(x.SessionID),
+				types.NewString(x.Tenant),
+				types.NewString(x.Phase),
+				types.NewFloat(x.Elapsed.Seconds()),
+				types.NewInt(x.Rows),
+				types.NewInt(x.Crossings),
+				types.NewFloat(x.ChildCPU.Seconds()),
+				types.NewBool(x.Killed),
+				types.NewString(x.Query),
+			})
+		}
+		return &Result{Schema: sch, Rows: rows}, nil
+	case "history":
+		sch := types.NewSchema(
+			types.Column{Name: "query_id", Kind: types.KindInt},
+			types.Column{Name: "fingerprint", Kind: types.KindString},
+			types.Column{Name: "tenant", Kind: types.KindString},
+			types.Column{Name: "duration_seconds", Kind: types.KindFloat},
+			types.Column{Name: "rows", Kind: types.KindInt},
+			types.Column{Name: "crossings", Kind: types.KindInt},
+			types.Column{Name: "child_cpu_seconds", Kind: types.KindFloat},
+			types.Column{Name: "wal_bytes", Kind: types.KindInt},
+			types.Column{Name: "plan_seconds", Kind: types.KindFloat},
+			types.Column{Name: "exec_seconds", Kind: types.KindFloat},
+			types.Column{Name: "crossing_wait_seconds", Kind: types.KindFloat},
+			types.Column{Name: "wal_fsync_seconds", Kind: types.KindFloat},
+			types.Column{Name: "admission_wait_seconds", Kind: types.KindFloat},
+			types.Column{Name: "status", Kind: types.KindString},
+		)
+		var rows []types.Row
+		for _, qr := range obs.History.Snapshot() {
+			rows = append(rows, types.Row{
+				types.NewInt(int64(qr.ID)),
+				types.NewString(qr.Fingerprint),
+				types.NewString(qr.Tenant),
+				types.NewFloat(qr.Duration.Seconds()),
+				types.NewInt(qr.Rows),
+				types.NewInt(qr.Crossings),
+				types.NewFloat(qr.ChildCPU.Seconds()),
+				types.NewInt(qr.WALBytes),
+				types.NewFloat(qr.Wait.Plan.Seconds()),
+				types.NewFloat(qr.Wait.Exec.Seconds()),
+				types.NewFloat(qr.Wait.CrossingWait.Seconds()),
+				types.NewFloat(qr.Wait.WALFsync.Seconds()),
+				types.NewFloat(qr.Wait.AdmissionWait.Seconds()),
+				types.NewString(qr.Status),
+			})
+		}
+		return &Result{Schema: sch, Rows: rows}, nil
+	case "tenants":
+		sch := types.NewSchema(
+			types.Column{Name: "tenant", Kind: types.KindString},
+			types.Column{Name: "sessions", Kind: types.KindInt},
+			types.Column{Name: "mem_bytes", Kind: types.KindInt},
+			types.Column{Name: "cpu_window_seconds", Kind: types.KindFloat},
+			types.Column{Name: "cpu_total_seconds", Kind: types.KindFloat},
+			types.Column{Name: "child_cpu_seconds", Kind: types.KindFloat},
+		)
+		var rows []types.Row
+		if e.gov != nil {
+			for _, t := range e.gov.Tenants() {
+				rows = append(rows, types.Row{
+					types.NewString(t.Name()),
+					types.NewInt(t.Sessions()),
+					types.NewInt(t.MemInUse()),
+					types.NewFloat(t.CPUUsed().Seconds()),
+					types.NewFloat(t.CPUTotal().Seconds()),
+					types.NewFloat(t.ChildCPUUsed().Seconds()),
+				})
+			}
 		}
 		return &Result{Schema: sch, Rows: rows}, nil
 	default:

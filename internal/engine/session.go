@@ -37,6 +37,10 @@ type Session struct {
 	// an explicit file path (overwritten per statement).
 	traceMode string
 	traceSeq  int64
+	// admitWaitNS is the time the next statement spent queued at the
+	// server's admission gate (NoteAdmissionWait); Exec consumes it into
+	// the query store's wait breakdown.
+	admitWaitNS atomic.Int64
 }
 
 // NewSession creates a session with the engine's default settings.
@@ -93,6 +97,15 @@ func (s *Session) SetStatementTimeout(d time.Duration) {
 	s.mu.Unlock()
 }
 
+// NoteAdmissionWait records how long the next statement queued at an
+// admission gate before reaching Exec; the engine folds it into the
+// statement's query-store wait profile (consumed once).
+func (s *Session) NoteAdmissionWait(d time.Duration) {
+	if d > 0 {
+		s.admitWaitNS.Store(int64(d))
+	}
+}
+
 // Exec parses and executes one SQL statement under this session.
 func (s *Session) Exec(sqlText string) (*Result, error) {
 	s.mu.Lock()
@@ -130,6 +143,7 @@ func (s *Session) execStmtTraced(stmt sql.Statement, tr *obs.Trace) (*Result, er
 }
 
 func (s *Session) execStmtObserved(stmt sql.Statement, tr *obs.Trace, text string) (*Result, error) {
+	admitWait := time.Duration(s.admitWaitNS.Swap(0))
 	if set, ok := stmt.(*sql.Set); ok {
 		return s.execSet(set)
 	}
@@ -137,7 +151,7 @@ func (s *Session) execStmtObserved(stmt sql.Statement, tr *obs.Trace, text strin
 	if t := s.StatementTimeout(); t > 0 {
 		deadline = time.Now().Add(t)
 	}
-	return s.eng.execStmtObserved(stmt, deadline, tr, text, s.id, s.Tenant())
+	return s.eng.execStmtObserved(stmt, deadline, tr, text, s.id, s.Tenant(), admitWait)
 }
 
 // exportTrace writes a statement's trace as Chrome trace-event JSON.

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"predator/internal/expr"
+	"predator/internal/obs"
 	"predator/internal/storage"
 	"predator/internal/types"
 )
@@ -539,6 +540,10 @@ func Run(op Operator, ec *expr.Ctx) ([]types.Row, error) {
 		return nil, err
 	}
 	defer op.Close()
+	var flight *obs.Execution
+	if ec != nil {
+		flight = ec.Exec
+	}
 	var out []types.Row
 	for {
 		if err := ec.Check(); err != nil {
@@ -555,6 +560,7 @@ func Run(op Operator, ec *expr.Ctx) ([]types.Row, error) {
 			return nil, err
 		}
 		out = append(out, row.Clone())
+		flight.AddRows(1)
 	}
 }
 

@@ -39,6 +39,11 @@ type Ctx struct {
 	// (nil = ungoverned). The executor charges materialized rows to it;
 	// Check polls the tenant's CPU budget through it.
 	Mem *govern.Reservation
+	// Exec, when non-nil, is the statement's flight-recorder
+	// registration (SHOW PROCESSLIST). The executor counts produced
+	// rows on it and Check polls its KILL flag; all methods are
+	// nil-safe atomics.
+	Exec *obs.Execution
 }
 
 // DefaultBatchRows is the default cap on rows per batched UDF crossing
@@ -61,13 +66,17 @@ type BatchBound interface {
 	EvalBatch(ec *Ctx, rows []types.Row, out []core.BatchResult) error
 }
 
-// Check reports a FaultTimeout once the statement deadline has passed
-// and a FaultQuota once the tenant's CPU budget is exhausted. It is
-// cheap enough to call per row; a nil or unconstrained context always
+// Check reports a FaultCanceled once KILL has been issued for the
+// statement, a FaultTimeout once the statement deadline has passed and
+// a FaultQuota once the tenant's CPU budget is exhausted. It is cheap
+// enough to call per row; a nil or unconstrained context always
 // passes.
 func (ec *Ctx) Check() error {
 	if ec == nil {
 		return nil
+	}
+	if ec.Exec.Killed() {
+		return core.Faultf(core.FaultCanceled, "statement", "statement canceled by KILL")
 	}
 	if !ec.Deadline.IsZero() && time.Now().After(ec.Deadline) {
 		return core.Faultf(core.FaultTimeout, "statement", "statement timeout exceeded")

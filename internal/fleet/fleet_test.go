@@ -13,6 +13,7 @@ import (
 	"predator/internal/govern"
 	"predator/internal/isolate"
 	"predator/internal/jaguar"
+	"predator/internal/obs"
 	"predator/internal/types"
 )
 
@@ -27,6 +28,17 @@ var testNatives = isolate.NativeTable{
 	"boom": func(ctx *core.Ctx, args []types.Value) (types.Value, error) {
 		os.Exit(3)
 		return types.Value{}, nil
+	},
+	// burncpu busy-spins for args[0] milliseconds, so the executor's
+	// rusage CPU tracks wall time closely — the load for the child-CPU
+	// attribution test.
+	"burncpu": func(ctx *core.Ctx, args []types.Value) (types.Value, error) {
+		deadline := time.Now().Add(time.Duration(args[0].Int) * time.Millisecond)
+		var sink uint64 = 1
+		for time.Now().Before(deadline) {
+			sink = sink*2654435761 + 1
+		}
+		return types.NewInt(int64(sink & 1)), nil
 	},
 }
 
@@ -331,6 +343,112 @@ func TestFleetTenantCap(t *testing.T) {
 	}
 	if got := f.InFlight(); got != 0 {
 		t.Errorf("in-flight after drain = %d", got)
+	}
+}
+
+// TestFleetChildCPUAttribution is the flight-recorder acceptance test:
+// two tenants interleave crossings over a shared fleet — one spinning
+// CPU in the child, one nearly idle — and the per-tenant child-CPU
+// ledgers must separate cleanly. The mux child serves invocations
+// serially, so each batch's rusage delta is that batch's own work; the
+// parent clamps every report to the crossing's wall time, so the
+// burner's ledger lands close to its requested spin total while the
+// quiet tenant's stays near zero (no cross-tenant misattribution).
+func TestFleetChildCPUAttribution(t *testing.T) {
+	f := newFleetT(t, Options{Size: 2})
+	burn := isolate.WithFleet(
+		isolate.NewNativeIsolated("burncpu", []types.Kind{types.KindInt}, types.KindInt), f)
+	cheap := isolate.WithFleet(
+		isolate.NewNativeIsolated("double", []types.Kind{types.KindInt}, types.KindInt), f)
+	gov := govern.NewGovernor(govern.Quota{})
+	burner, quiet := gov.Tenant("cpuburn"), gov.Tenant("cpuquiet")
+
+	const (
+		spinMS       = 2
+		rowsPerBatch = 4
+		batches      = 10
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		bu := burn.(core.BatchUDF)
+		args := make([]types.Value, rowsPerBatch)
+		for i := range args {
+			args[i] = types.NewInt(spinMS)
+		}
+		for b := 0; b < batches; b++ {
+			out := make([]core.BatchResult, rowsPerBatch)
+			if err := bu.InvokeBatch(&core.Ctx{Tenant: burner}, 1, args, out); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		bu := cheap.(core.BatchUDF)
+		args := make([]types.Value, 16)
+		for i := range args {
+			args[i] = types.NewInt(int64(i))
+		}
+		for b := 0; b < 40; b++ {
+			out := make([]core.BatchResult, 16)
+			if err := bu.InvokeBatch(&core.Ctx{Tenant: quiet}, 1, args, out); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	expected := time.Duration(spinMS*rowsPerBatch*batches) * time.Millisecond
+	got := burner.ChildCPUUsed()
+	// The busy spin makes child CPU ≈ wall: on an unloaded machine the
+	// ledger lands within 10% of the spin total. CI boxes get preempted,
+	// so enforce a looser floor; the clamp makes over-attribution
+	// impossible beyond rusage jitter.
+	if got < expected/2 {
+		t.Errorf("burner child CPU = %v, want >= %v (half of %v spin total)", got, expected/2, expected)
+	}
+	if got > expected*3/2 {
+		t.Errorf("burner child CPU = %v exceeds 1.5x the %v spin total", got, expected)
+	}
+	// No cross-tenant misattribution: the quiet tenant ran ~zero-CPU
+	// crossings interleaved with the burner on the same processes.
+	if q := quiet.ChildCPUUsed(); q > got/10 {
+		t.Errorf("quiet tenant child CPU = %v, more than 10%% of the burner's %v", q, got)
+	}
+	// Ledger and exported counter agree exactly.
+	metric := time.Duration(obs.Default.Counter("predator_tenant_child_cpu_ns_total", "tenant", "cpuburn").Value())
+	if metric != got {
+		t.Errorf("predator_tenant_child_cpu_ns_total = %v, ledger = %v", metric, got)
+	}
+	// Window accounting never double-counts: the wall occupancy charged
+	// to the window covers the whole crossing, so it is at least the
+	// child-CPU share.
+	if w := burner.CPUUsed(); w < got {
+		t.Errorf("window CPU %v < child CPU %v (double-count guard broken)", w, got)
+	}
+
+	// Optional CI artifact: a flight-recorder dump of this process after
+	// the chaos run, for the workflow's artifact upload.
+	if path := os.Getenv("PREDATOR_FLIGHT_DUMP"); path != "" {
+		fjson, err := os.Create(path)
+		if err != nil {
+			t.Fatalf("flight dump: %v", err)
+		}
+		if err := obs.WriteFlightDump(fjson); err != nil {
+			t.Fatalf("flight dump: %v", err)
+		}
+		if err := fjson.Close(); err != nil {
+			t.Fatalf("flight dump: %v", err)
+		}
 	}
 }
 

@@ -129,9 +129,11 @@ type Tenant struct {
 	cpuNS    atomic.Int64 // executor CPU accumulated this window
 	cpuReset atomic.Int64 // unix-nano start of the current CPU window
 	sessions atomic.Int64 // open sessions (server connections)
+	childNS  atomic.Int64 // executor-reported child CPU, cumulative
 
 	memGauge  *obs.Gauge
 	cpuTotal  *obs.Counter
+	childCPU  *obs.Counter
 	trips     func(resource string) *obs.Counter
 	sessGauge *obs.Gauge
 }
@@ -140,6 +142,7 @@ func newTenant(name string, q Quota) *Tenant {
 	t := &Tenant{name: name, quota: q}
 	t.memGauge = obs.Default.Gauge("predator_govern_mem_bytes", "tenant", name)
 	t.cpuTotal = obs.Default.Counter("predator_govern_cpu_ns_total", "tenant", name)
+	t.childCPU = obs.Default.Counter("predator_tenant_child_cpu_ns_total", "tenant", name)
 	t.sessGauge = obs.Default.Gauge("predator_govern_sessions", "tenant", name)
 	t.trips = func(resource string) *obs.Counter {
 		return obs.Default.Counter("predator_govern_quota_trips_total", "tenant", name, "resource", resource)
@@ -234,6 +237,43 @@ func (t *Tenant) AddCPU(d time.Duration) {
 	t.rollWindow()
 	t.cpuNS.Add(int64(d))
 	t.cpuTotal.Add(int64(d))
+}
+
+// AddChildCPU accounts CPU time measured by a child executor process
+// (the rusage delta reported on batch-result frame tails) to the
+// tenant. It feeds the same windowed budget and cumulative counter as
+// AddCPU — the dispatch layer charges a crossing's wall time as
+// child-reported CPU plus the wall residual, so the window never
+// double-counts — plus a dedicated child-CPU ledger
+// (predator_tenant_child_cpu_ns_total, SHOW TENANTS).
+func (t *Tenant) AddChildCPU(d time.Duration) {
+	if t == nil || d <= 0 {
+		return
+	}
+	t.rollWindow()
+	t.cpuNS.Add(int64(d))
+	t.cpuTotal.Add(int64(d))
+	t.childNS.Add(int64(d))
+	t.childCPU.Add(int64(d))
+}
+
+// ChildCPUUsed reports the cumulative executor-reported CPU charged to
+// this tenant (not windowed: it is an attribution ledger, not a
+// budget).
+func (t *Tenant) ChildCPUUsed() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.childNS.Load())
+}
+
+// CPUTotal reports the cumulative CPU time ever charged to this tenant
+// (window rolls do not reset it).
+func (t *Tenant) CPUTotal() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.cpuTotal.Value())
 }
 
 // CPUUsed reports the CPU time consumed in the current window.

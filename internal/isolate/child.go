@@ -549,6 +549,7 @@ func (st *childState) invokeBatch(payload []byte) {
 	resp := st.tag(st.respBuf[:0])
 	resp = binary.AppendUvarint(resp, uint64(n))
 	args := make([]types.Value, arity)
+	cpuStart := selfCPUNanos()
 	for i := 0; i < n; i++ {
 		st.fault.fireBatchRow(i, st.conn)
 		for j := 0; j < arity; j++ {
@@ -566,6 +567,15 @@ func (st *childState) invokeBatch(payload []byte) {
 		resp = types.EncodeValue(append(resp, 0), out)
 	}
 	st.fault.fire("result", st.conn)
+	// CPU-attribution tail: the executor's user+system CPU consumed by
+	// this batch, so the parent can charge the owning tenant precisely
+	// instead of by wall clock. Rides only on the batch frame — the
+	// scalar msgResult stays byte-identical to the legacy protocol.
+	cpu := selfCPUNanos() - cpuStart
+	if cpu < 0 {
+		cpu = 0
+	}
+	resp = binary.AppendUvarint(resp, uint64(cpu))
 	if st.traced {
 		inv.dur = time.Since(inv.start)
 		st.addSpan(inv)

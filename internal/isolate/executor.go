@@ -425,6 +425,21 @@ func (e *Executor) mergeChildSpansLocked(ctx *core.Ctx, r *preader) {
 	}
 }
 
+// decodeChildCPU consumes the CPU-attribution uvarint a child appends
+// after the rows of a msgResultBatch frame and accumulates it on the
+// invocation context. Like span tails, the value is diagnostics: a
+// missing or malformed tail is ignored rather than failing the
+// invocation (the rows already decoded), and the reader's error state
+// is reset so a traced span tail after it can still be attempted.
+func decodeChildCPU(r *preader, ctx *core.Ctx) {
+	cpu := r.uvarint()
+	if r.err != nil {
+		r.err = nil
+		return
+	}
+	ctx.AddReportedCPU(time.Duration(cpu))
+}
+
 // decodeBatchResultLocked unpacks a msgResultBatch payload into out.
 // Values are cloned out of the connection's receive scratch before the
 // next recv can reuse it.
@@ -458,6 +473,7 @@ func (e *Executor) decodeBatchResultLocked(payload []byte, out []core.BatchResul
 			return core.NewFault(core.FaultProtocol, "invoke", r.err)
 		}
 	}
+	decodeChildCPU(r, ctx)
 	if traced {
 		e.mergeChildSpansLocked(ctx, r)
 	}

@@ -672,6 +672,7 @@ func (s *MuxStream) decodeBatchResult(payload []byte, out []core.BatchResult, ct
 			return core.NewFault(core.FaultProtocol, "invoke", r.err)
 		}
 	}
+	decodeChildCPU(r, ctx)
 	if traced {
 		if recs := decodeChildSpans(r); len(recs) > 0 {
 			ctx.Trace.Merge(recs, s.m.PID())

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package isolate
+
+import "time"
+
+// selfCPUNanos is unavailable on this platform; executors report zero
+// CPU and the parent falls back to wall-clock attribution.
+func selfCPUNanos() time.Duration { return 0 }

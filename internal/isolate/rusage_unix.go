@@ -1,0 +1,20 @@
+//go:build unix
+
+package isolate
+
+import (
+	"syscall"
+	"time"
+)
+
+// selfCPUNanos returns the process's cumulative user+system CPU time.
+// Child executors sample it around a batch invocation and report the
+// delta on the result frame so the parent can attribute executor CPU
+// to the owning tenant. Returns 0 when rusage is unavailable.
+func selfCPUNanos() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

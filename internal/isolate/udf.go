@@ -254,12 +254,27 @@ func (u *udf) BreakerStatus() (govern.BreakerStatus, bool) {
 	return u.breaker().Status(), u.quarantined.Load()
 }
 
-// record feeds one crossing's outcome to the breaker and charges its
-// wall time to the statement's tenant. A fatal fault on a pooled UDF
-// quarantines it: its next crossing binds a dedicated executor.
+// record feeds one crossing's outcome to the breaker and charges the
+// crossing to the statement's tenant. The child's self-reported CPU
+// (batch result-frame tail) is charged to the tenant's child-CPU
+// ledger; the wall-clock remainder — marshaling, pipe transit,
+// scheduling, and crossings whose frames carry no CPU tail — is
+// charged as parent-side occupancy, so the window total stays the
+// crossing's wall time without double-counting. A fatal fault on a
+// pooled UDF quarantines it: its next crossing binds a dedicated
+// executor.
 func (u *udf) record(b *govern.Breaker, ctx *core.Ctx, start time.Time, err error) {
 	if ctx != nil {
-		ctx.Tenant.AddCPU(time.Since(start))
+		wall := time.Since(start)
+		child := ctx.TakeReportedCPU()
+		if child > wall {
+			child = wall // rusage jitter guard: never attribute more than the crossing took
+		}
+		ctx.Tenant.AddChildCPU(child)
+		if wall > child {
+			ctx.Tenant.AddCPU(wall - child)
+		}
+		ctx.Exec.ObserveCrossing(wall, child)
 	}
 	var fatal bool
 	switch core.FaultClassOf(err) {

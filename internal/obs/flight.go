@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The flight recorder's live side: every in-flight statement registers
+// an Execution here, updates it with cheap atomics as it runs (phase,
+// rows, crossings, child CPU), and deregisters on completion. The
+// registry serves SHOW PROCESSLIST, routes KILL <query-id> to the
+// owning statement's cancel flag, and is one of the three sections of
+// a flight-recorder dump.
+//
+// recording is the global gate: when off, Start returns nil (every
+// Execution method is nil-safe), the query store drops records, and
+// the per-row/per-crossing cost collapses to a nil check — the "off"
+// arm of the BENCH_obs overhead experiment.
+var recording atomic.Bool
+
+func init() { recording.Store(true) }
+
+// EnableRecording toggles flight recording process-wide (live
+// registry, query store). It exists for the recorder-on/off overhead
+// benchmark and for embedders that want the absolute minimum hot path.
+func EnableRecording(on bool) { recording.Store(on) }
+
+// RecordingEnabled reports the global recording gate.
+func RecordingEnabled() bool { return recording.Load() }
+
+// ExecPhase is the coarse statement phase shown in SHOW PROCESSLIST.
+type ExecPhase int32
+
+// Statement phases, in rough execution order.
+const (
+	PhaseStart ExecPhase = iota
+	PhasePlan
+	PhaseExecute
+	PhaseCommit
+)
+
+// String names the phase for display.
+func (p ExecPhase) String() string {
+	switch p {
+	case PhasePlan:
+		return "plan"
+	case PhaseExecute:
+		return "execute"
+	case PhaseCommit:
+		return "commit"
+	default:
+		return "start"
+	}
+}
+
+// Execution is one in-flight statement's live record. The identity
+// fields are written once at registration; everything else is atomic
+// so operators, the isolate layer and SHOW PROCESSLIST never contend.
+// All methods are nil-safe: an unrecorded statement carries a nil
+// handle and pays one pointer check per update.
+type Execution struct {
+	id        uint64
+	sessionID int64
+	tenant    string
+	query     string
+	started   time.Time
+
+	phase       atomic.Int32
+	rows        atomic.Int64
+	crossings   atomic.Int64
+	crossWaitNS atomic.Int64
+	childCPUNS  atomic.Int64
+	killed      atomic.Bool
+}
+
+// ID returns the process-unique query ID (0 for a nil handle).
+func (x *Execution) ID() uint64 {
+	if x == nil {
+		return 0
+	}
+	return x.id
+}
+
+// SetPhase publishes the statement's current phase.
+func (x *Execution) SetPhase(p ExecPhase) {
+	if x != nil {
+		x.phase.Store(int32(p))
+	}
+}
+
+// AddRows counts rows produced at the plan root.
+func (x *Execution) AddRows(n int64) {
+	if x != nil {
+		x.rows.Add(n)
+	}
+}
+
+// ObserveCrossing records one process-boundary crossing: its wall
+// occupancy and the CPU the child executor reported for it.
+func (x *Execution) ObserveCrossing(wall, childCPU time.Duration) {
+	if x == nil {
+		return
+	}
+	x.crossings.Add(1)
+	x.crossWaitNS.Add(int64(wall))
+	if childCPU > 0 {
+		x.childCPUNS.Add(int64(childCPU))
+	}
+}
+
+// Rows returns the rows produced so far.
+func (x *Execution) Rows() int64 {
+	if x == nil {
+		return 0
+	}
+	return x.rows.Load()
+}
+
+// Crossings returns the process-boundary crossings so far.
+func (x *Execution) Crossings() int64 {
+	if x == nil {
+		return 0
+	}
+	return x.crossings.Load()
+}
+
+// CrossingWait returns the cumulative wall time spent inside crossings.
+func (x *Execution) CrossingWait() time.Duration {
+	if x == nil {
+		return 0
+	}
+	return time.Duration(x.crossWaitNS.Load())
+}
+
+// ChildCPU returns the cumulative executor-reported CPU time.
+func (x *Execution) ChildCPU() time.Duration {
+	if x == nil {
+		return 0
+	}
+	return time.Duration(x.childCPUNS.Load())
+}
+
+// Kill raises the statement's cancel flag. Idempotent; the plan's
+// between-rows poll surfaces the cancellation.
+func (x *Execution) Kill() {
+	if x != nil {
+		x.killed.Store(true)
+	}
+}
+
+// Killed reports whether KILL has been issued for this statement. One
+// atomic load — polled per row next to the deadline check.
+func (x *Execution) Killed() bool {
+	return x != nil && x.killed.Load()
+}
+
+// ExecutionInfo is a point-in-time copy of one live execution
+// (SHOW PROCESSLIST, flight-recorder dumps).
+type ExecutionInfo struct {
+	ID           uint64        `json:"id"`
+	SessionID    int64         `json:"session_id"`
+	Tenant       string        `json:"tenant,omitempty"`
+	Phase        string        `json:"phase"`
+	Elapsed      time.Duration `json:"elapsed_ns"`
+	Rows         int64         `json:"rows"`
+	Crossings    int64         `json:"crossings"`
+	CrossingWait time.Duration `json:"crossing_wait_ns"`
+	ChildCPU     time.Duration `json:"child_cpu_ns"`
+	Killed       bool          `json:"killed,omitempty"`
+	Query        string        `json:"query,omitempty"`
+}
+
+// ExecRegistry tracks every in-flight statement. Register/deregister
+// take a mutex once per statement; per-row updates go through the
+// Execution handle and never touch the registry.
+type ExecRegistry struct {
+	nextID atomic.Uint64
+
+	mu   sync.Mutex
+	live map[uint64]*Execution
+
+	liveGauge  *Gauge
+	startedTot *Counter
+	killedTot  *Counter
+}
+
+// Live is the process-wide execution registry, backed by the Default
+// metrics registry (predator_query_* family).
+var Live = NewExecRegistry(Default)
+
+// NewExecRegistry builds an execution registry reporting into reg.
+func NewExecRegistry(reg *Registry) *ExecRegistry {
+	return &ExecRegistry{
+		live:       make(map[uint64]*Execution),
+		liveGauge:  reg.Gauge("predator_query_live"),
+		startedTot: reg.Counter("predator_query_started_total"),
+		killedTot:  reg.Counter("predator_query_killed_total"),
+	}
+}
+
+// Start registers one statement and returns its live handle (nil when
+// recording is off — safe to use anyway).
+func (r *ExecRegistry) Start(sessionID int64, tenant, query string) *Execution {
+	if r == nil || !recording.Load() {
+		return nil
+	}
+	x := &Execution{
+		id:        r.nextID.Add(1),
+		sessionID: sessionID,
+		tenant:    tenant,
+		query:     query,
+		started:   time.Now(),
+	}
+	r.mu.Lock()
+	r.live[x.id] = x
+	n := len(r.live)
+	r.mu.Unlock()
+	r.liveGauge.Set(int64(n))
+	r.startedTot.Inc()
+	return x
+}
+
+// Finish deregisters a statement (nil-safe; idempotent).
+func (r *ExecRegistry) Finish(x *Execution) {
+	if r == nil || x == nil {
+		return
+	}
+	r.mu.Lock()
+	delete(r.live, x.id)
+	n := len(r.live)
+	r.mu.Unlock()
+	r.liveGauge.Set(int64(n))
+}
+
+// Kill raises the cancel flag of the statement with the given query
+// ID, reporting whether it was found live. Killing an already-killed
+// statement succeeds again without further effect; a statement that
+// finished (or never existed) is not found — the registry entry is
+// removed exactly once, so a KILL racing completion can never cancel
+// a later statement.
+func (r *ExecRegistry) Kill(id uint64) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	x := r.live[id]
+	r.mu.Unlock()
+	if x == nil {
+		return false
+	}
+	if !x.killed.Swap(true) {
+		r.killedTot.Inc()
+	}
+	return true
+}
+
+// LiveCount returns the number of registered statements.
+func (r *ExecRegistry) LiveCount() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.live)
+}
+
+// Snapshot copies every live execution, oldest first.
+func (r *ExecRegistry) Snapshot() []ExecutionInfo {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	execs := make([]*Execution, 0, len(r.live))
+	for _, x := range r.live {
+		execs = append(execs, x)
+	}
+	r.mu.Unlock()
+	now := time.Now()
+	out := make([]ExecutionInfo, 0, len(execs))
+	for _, x := range execs {
+		out = append(out, ExecutionInfo{
+			ID:           x.id,
+			SessionID:    x.sessionID,
+			Tenant:       x.tenant,
+			Phase:        ExecPhase(x.phase.Load()).String(),
+			Elapsed:      now.Sub(x.started),
+			Rows:         x.rows.Load(),
+			Crossings:    x.crossings.Load(),
+			CrossingWait: time.Duration(x.crossWaitNS.Load()),
+			ChildCPU:     time.Duration(x.childCPUNS.Load()),
+			Killed:       x.killed.Load(),
+			Query:        x.query,
+		})
+	}
+	sortExecutions(out)
+	return out
+}
+
+// sortExecutions orders a snapshot by query ID (registration order).
+func sortExecutions(infos []ExecutionInfo) {
+	for i := 1; i < len(infos); i++ {
+		for j := i; j > 0 && infos[j].ID < infos[j-1].ID; j-- {
+			infos[j], infos[j-1] = infos[j-1], infos[j]
+		}
+	}
+}

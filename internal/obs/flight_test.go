@@ -1,0 +1,299 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestExecRegistryLifecycle(t *testing.T) {
+	r := NewExecRegistry(NewRegistry())
+	x := r.Start(7, "acme", "SELECT 1")
+	if x == nil {
+		t.Fatal("Start returned nil with recording on")
+	}
+	if got := r.LiveCount(); got != 1 {
+		t.Fatalf("LiveCount = %d, want 1", got)
+	}
+	x.SetPhase(PhaseExecute)
+	x.AddRows(3)
+	x.ObserveCrossing(2*time.Millisecond, time.Millisecond)
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("Snapshot len = %d, want 1", len(snap))
+	}
+	info := snap[0]
+	if info.ID != x.ID() || info.SessionID != 7 || info.Tenant != "acme" ||
+		info.Phase != "execute" || info.Rows != 3 || info.Crossings != 1 ||
+		info.ChildCPU != time.Millisecond || info.Query != "SELECT 1" {
+		t.Fatalf("snapshot mismatch: %+v", info)
+	}
+	r.Finish(x)
+	if got := r.LiveCount(); got != 0 {
+		t.Fatalf("LiveCount after Finish = %d, want 0", got)
+	}
+}
+
+// TestExecRegistryKillRaceWithCompletion pins the KILL-vs-completion
+// contract: a KILL that loses the race to Finish reports not-found and
+// must never flag a later statement that happens to reuse nothing (IDs
+// are never reused), and a double KILL succeeds twice but counts once.
+func TestExecRegistryKillRaceWithCompletion(t *testing.T) {
+	reg := NewRegistry()
+	r := NewExecRegistry(reg)
+	x := r.Start(1, "", "SELECT slow()")
+	id := x.ID()
+
+	if !r.Kill(id) {
+		t.Fatal("Kill of a live statement reported not-found")
+	}
+	if !x.Killed() {
+		t.Fatal("statement not flagged after Kill")
+	}
+	if !r.Kill(id) {
+		t.Fatal("second Kill of the same live statement should still succeed")
+	}
+	if got := r.killedTot.Value(); got != 1 {
+		t.Fatalf("killed counter = %d, want 1 (idempotent)", got)
+	}
+
+	r.Finish(x)
+	if r.Kill(id) {
+		t.Fatal("Kill after Finish must report not-found")
+	}
+	// A later statement must be untouched by stale KILLs.
+	y := r.Start(1, "", "SELECT 2")
+	if y.Killed() {
+		t.Fatal("fresh statement inherited a kill flag")
+	}
+	if y.ID() == id {
+		t.Fatal("query ID reused")
+	}
+	r.Finish(y)
+	if got := r.LiveCount(); got != 0 {
+		t.Fatalf("leaked registry entries: LiveCount = %d", got)
+	}
+}
+
+// TestExecRegistryKillConcurrent hammers Kill against Finish from many
+// goroutines; under -race this doubles as a data-race check, and the
+// invariant is that the registry ends empty with no double-counted
+// kills.
+func TestExecRegistryKillConcurrent(t *testing.T) {
+	r := NewExecRegistry(NewRegistry())
+	const n = 200
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		x := r.Start(int64(i), "", "q")
+		id := x.ID()
+		wg.Add(2)
+		go func() { defer wg.Done(); r.Kill(id) }()
+		go func() { defer wg.Done(); r.Finish(x) }()
+	}
+	wg.Wait()
+	if got := r.LiveCount(); got != 0 {
+		t.Fatalf("leaked entries after concurrent kill/finish: %d", got)
+	}
+}
+
+func TestQueryStoreRingWraparound(t *testing.T) {
+	s := NewQueryStore(4)
+	for i := 1; i <= 10; i++ {
+		s.Add(QueryRecord{ID: uint64(i), Fingerprint: fmt.Sprintf("q%d", i)})
+	}
+	if got := s.Total(); got != 10 {
+		t.Fatalf("Total = %d, want 10", got)
+	}
+	if got := s.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4 (capacity)", got)
+	}
+	snap := s.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("Snapshot len = %d, want 4", len(snap))
+	}
+	// Newest first: 10, 9, 8, 7.
+	for i, want := range []uint64{10, 9, 8, 7} {
+		if snap[i].ID != want {
+			t.Fatalf("snapshot[%d].ID = %d, want %d (order: %+v)", i, snap[i].ID, want, snap)
+		}
+	}
+}
+
+func TestQueryStorePartialFill(t *testing.T) {
+	s := NewQueryStore(8)
+	s.Add(QueryRecord{ID: 1})
+	s.Add(QueryRecord{ID: 2})
+	snap := s.Snapshot()
+	if len(snap) != 2 || snap[0].ID != 2 || snap[1].ID != 1 {
+		t.Fatalf("partial-fill snapshot wrong: %+v", snap)
+	}
+}
+
+func TestRecordingGate(t *testing.T) {
+	defer EnableRecording(true)
+	EnableRecording(false)
+	r := NewExecRegistry(NewRegistry())
+	if x := r.Start(1, "", "q"); x != nil {
+		t.Fatal("Start must return nil with recording off")
+	}
+	s := NewQueryStore(4)
+	s.Add(QueryRecord{ID: 1})
+	if s.Total() != 0 || s.Len() != 0 {
+		t.Fatal("query store accepted a record with recording off")
+	}
+	// Nil-handle methods must all be safe.
+	var x *Execution
+	x.SetPhase(PhaseExecute)
+	x.AddRows(1)
+	x.ObserveCrossing(time.Millisecond, 0)
+	x.Kill()
+	if x.Killed() || x.ID() != 0 || x.Rows() != 0 {
+		t.Fatal("nil Execution not inert")
+	}
+	EnableRecording(true)
+	if x := r.Start(1, "", "q"); x == nil {
+		t.Fatal("Start returned nil with recording back on")
+	} else {
+		r.Finish(x)
+	}
+}
+
+func TestRecorderRing(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("flightrec_test_total").Inc()
+	r := NewRecorder(reg, 3)
+	for i := 0; i < 5; i++ {
+		r.Sample()
+	}
+	snaps := r.Snapshots()
+	if len(snaps) != 3 {
+		t.Fatalf("Snapshots len = %d, want 3 (capacity)", len(snaps))
+	}
+	// Oldest first and monotonically non-decreasing timestamps.
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].At.Before(snaps[i-1].At) {
+			t.Fatalf("samples out of order: %v then %v", snaps[i-1].At, snaps[i].At)
+		}
+	}
+	found := false
+	for _, st := range snaps[0].Stats {
+		if st.Name == "flightrec_test_total" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("sample is missing the registry's counter")
+	}
+}
+
+func TestRecorderStartStop(t *testing.T) {
+	r := NewRecorder(NewRegistry(), 8)
+	r.Start(time.Millisecond)
+	r.Start(time.Millisecond) // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for len(r.Snapshots()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("recorder goroutine produced no samples")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.Stop()
+	r.Stop() // idempotent
+}
+
+// TestFlightDumpEndpoint exercises /metrics and /debug/flightrecorder
+// concurrently with live registry churn; under -race this is the
+// scrape-safety check, and the JSON must decode into the dump shape.
+func TestFlightDumpEndpoint(t *testing.T) {
+	mux := httptest.NewServer(FlightHandler())
+	defer mux.Close()
+	metrics := httptest.NewServer(Handler(Default))
+	defer metrics.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			x := Live.Start(int64(i), "loadgen", "SELECT 1")
+			x.AddRows(1)
+			History.Add(QueryRecord{ID: x.ID(), Duration: time.Millisecond, Status: "ok"})
+			Flight.Sample()
+			Live.Finish(x)
+		}
+	}()
+
+	for i := 0; i < 20; i++ {
+		for _, url := range []string{mux.URL, metrics.URL} {
+			resp, err := mux.Client().Get(url)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != 200 {
+				t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+			}
+			if url == mux.URL {
+				var dump FlightDump
+				if err := json.Unmarshal(body, &dump); err != nil {
+					t.Fatalf("flight dump is not valid JSON: %v\n%s", err, body)
+				}
+				if dump.TakenAt.IsZero() {
+					t.Fatal("flight dump missing taken_at")
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestFlightMetricsLint extends the exposition lint to the flight
+// recorder's new families: predator_query_* and predator_tenant_*
+// must render as well-formed Prometheus text with conventional names.
+func TestFlightMetricsLint(t *testing.T) {
+	// Touch the families so they exist in the default registry even if
+	// no statement ran in this test process.
+	x := Live.Start(1, "lint", "SELECT 1")
+	Live.Finish(x)
+	Default.Counter("predator_tenant_child_cpu_ns_total", "tenant", "lint").Add(1)
+	Default.Histogram("predator_stmt_seconds", "verb", "select").Observe(time.Millisecond)
+
+	var b strings.Builder
+	if err := Default.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	lintExposition(t, text)
+	for _, family := range []string{
+		"predator_query_live",
+		"predator_query_started_total",
+		"predator_query_killed_total",
+		"predator_tenant_child_cpu_ns_total",
+	} {
+		if !strings.Contains(text, family) {
+			t.Fatalf("exposition is missing family %s", family)
+		}
+	}
+	// Naming conventions: counters end in _total; the gauge must not.
+	for _, counter := range []string{"predator_query_started_total", "predator_query_killed_total", "predator_tenant_child_cpu_ns_total"} {
+		if !strings.HasSuffix(counter, "_total") {
+			t.Fatalf("counter %s does not end in _total", counter)
+		}
+	}
+}

@@ -19,15 +19,30 @@ func Handler(r *Registry) http.Handler {
 	})
 }
 
+// FlightHandler serves a flight-recorder dump as JSON: the live
+// process list, the query-store history and the recorded metrics
+// window, in one post-mortem document.
+func FlightHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteFlightDump(w); err != nil {
+			// Headers are gone; all we can do is log.
+			Logger().Warn("flight-recorder dump failed", "component", "obs", "error", err)
+		}
+	})
+}
+
 // Serve starts an HTTP listener on addr exposing the registry at
-// /metrics (and at /, for convenience) plus the Go profiling endpoints
-// under /debug/pprof/ — CPU/heap/goroutine profiles on the same port
+// /metrics (and at /, for convenience), the flight recorder at
+// /debug/flightrecorder, plus the Go profiling endpoints under
+// /debug/pprof/ — CPU/heap/goroutine profiles on the same port
 // operators already scrape. It returns the error from
 // http.ListenAndServe; callers normally run it on its own goroutine.
 func Serve(addr string, r *Registry) error {
 	mux := http.NewServeMux()
 	mux.Handle("/", Handler(r))
 	mux.Handle("/metrics", Handler(r))
+	mux.Handle("/debug/flightrecorder", FlightHandler())
 	RegisterPprof(mux)
 	return http.ListenAndServe(addr, mux)
 }

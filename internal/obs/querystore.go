@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// The query store is the flight recorder's per-execution history: a
+// bounded ring of one record per finished statement, newest
+// overwriting oldest. Unlike the fingerprint aggregates in Statements,
+// each record keeps the individual execution's duration, row and
+// crossing counts, WAL bytes and a wait-breakdown — the observed
+// per-execution signal an adaptive planner needs, and the answer to
+// "what did query X actually spend its time on". Served by
+// SHOW HISTORY and included in flight-recorder dumps.
+
+// WaitProfile decomposes one statement's elapsed time into the places
+// it can go. Buckets overlap deliberately (crossing wait happens
+// inside the execute span; WAL fsync time during commit) — each
+// answers its own question and the sum is not the duration.
+type WaitProfile struct {
+	// Plan is the planner span (parse excluded: it happens before the
+	// statement is registered).
+	Plan time.Duration `json:"plan_ns"`
+	// Exec is the executor span (root-to-leaves row production).
+	Exec time.Duration `json:"exec_ns"`
+	// CrossingWait is wall time spent inside process-boundary UDF
+	// crossings, pipe round trips included.
+	CrossingWait time.Duration `json:"crossing_wait_ns"`
+	// WALFsync is time forcing the write-ahead log for this statement
+	// (approximate under concurrency: the delta of a shared counter).
+	WALFsync time.Duration `json:"wal_fsync_ns"`
+	// AdmissionWait is time spent queued for an execution slot before
+	// the statement started (server -max-queries gate).
+	AdmissionWait time.Duration `json:"admission_wait_ns"`
+}
+
+// QueryRecord is one finished statement execution.
+type QueryRecord struct {
+	ID          uint64        `json:"id"`
+	SessionID   int64         `json:"session_id"`
+	Fingerprint string        `json:"fingerprint,omitempty"`
+	Tenant      string        `json:"tenant,omitempty"`
+	Query       string        `json:"query,omitempty"`
+	Started     time.Time     `json:"started"`
+	Duration    time.Duration `json:"duration_ns"`
+	Rows        int64         `json:"rows"`
+	Crossings   int64         `json:"crossings"`
+	ChildCPU    time.Duration `json:"child_cpu_ns"`
+	WALBytes    int64         `json:"wal_bytes"`
+	Wait        WaitProfile   `json:"wait"`
+	// Status is "ok" or the fault class of the statement's error.
+	Status string `json:"status"`
+}
+
+// defaultQueryStoreCap bounds the per-execution history ring.
+const defaultQueryStoreCap = 512
+
+// QueryStore is a fixed-capacity ring of QueryRecords.
+type QueryStore struct {
+	mu    sync.Mutex
+	ring  []QueryRecord
+	cap   int
+	next  int    // ring index the next record lands in
+	total uint64 // records ever added (wraparound-visible)
+}
+
+// History is the process-wide query store.
+var History = NewQueryStore(defaultQueryStoreCap)
+
+// NewQueryStore builds a query store keeping the last capacity records
+// (<=0 uses the default).
+func NewQueryStore(capacity int) *QueryStore {
+	if capacity <= 0 {
+		capacity = defaultQueryStoreCap
+	}
+	return &QueryStore{ring: make([]QueryRecord, 0, capacity), cap: capacity}
+}
+
+// Add appends one finished execution, evicting the oldest record once
+// the ring is full. No-op while recording is disabled.
+func (s *QueryStore) Add(rec QueryRecord) {
+	if s == nil || !recording.Load() {
+		return
+	}
+	s.mu.Lock()
+	if len(s.ring) < s.cap {
+		s.ring = append(s.ring, rec)
+	} else {
+		s.ring[s.next] = rec
+	}
+	s.next = (s.next + 1) % s.cap
+	s.total++
+	s.mu.Unlock()
+}
+
+// Total reports how many records have ever been added (Total minus
+// Len is the evicted count).
+func (s *QueryStore) Total() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Len reports how many records are currently retained.
+func (s *QueryStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ring)
+}
+
+// Snapshot copies the retained records, newest first.
+func (s *QueryStore) Snapshot() []QueryRecord {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]QueryRecord, 0, len(s.ring))
+	// Walk backwards from the most recently written slot.
+	for i := 0; i < len(s.ring); i++ {
+		idx := (s.next - 1 - i + len(s.ring)) % len(s.ring)
+		out = append(out, s.ring[idx])
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// The metrics time-series recorder is the flight recorder's third
+// section: it snapshots the whole metrics registry on an interval into
+// a bounded ring, so a post-mortem dump shows not just the state at
+// the incident but the minutes leading up to it. Dumps are served at
+// /debug/flightrecorder and written on SIGQUIT by predator-server.
+
+// MetricsSample is one point-in-time copy of the registry.
+type MetricsSample struct {
+	At    time.Time `json:"at"`
+	Stats []Stat    `json:"stats"`
+}
+
+// defaultRecorderCap bounds the metrics-history ring: at the default
+// 10s interval it covers the last ~40 minutes.
+const defaultRecorderCap = 240
+
+// Recorder periodically samples a Registry into a ring.
+type Recorder struct {
+	reg *Registry
+
+	mu      sync.Mutex
+	ring    []MetricsSample
+	cap     int
+	next    int
+	stop    chan struct{}
+	running bool
+}
+
+// Flight is the process-wide metrics recorder over Default.
+var Flight = NewRecorder(Default, defaultRecorderCap)
+
+// NewRecorder builds a recorder keeping the last capacity samples of
+// reg (<=0 uses the default).
+func NewRecorder(reg *Registry, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = defaultRecorderCap
+	}
+	return &Recorder{reg: reg, ring: make([]MetricsSample, 0, capacity), cap: capacity}
+}
+
+// Start launches the sampling loop (idempotent; interval <= 0 uses
+// 10s). Stop ends it.
+func (rc *Recorder) Start(interval time.Duration) {
+	if rc == nil {
+		return
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	rc.mu.Lock()
+	if rc.running {
+		rc.mu.Unlock()
+		return
+	}
+	rc.running = true
+	stop := make(chan struct{})
+	rc.stop = stop
+	rc.mu.Unlock()
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				rc.Sample()
+			}
+		}
+	}()
+}
+
+// Stop ends the sampling loop (idempotent).
+func (rc *Recorder) Stop() {
+	if rc == nil {
+		return
+	}
+	rc.mu.Lock()
+	if rc.running {
+		close(rc.stop)
+		rc.running = false
+	}
+	rc.mu.Unlock()
+}
+
+// Sample takes one registry snapshot now (the loop's body; also useful
+// directly in tests and just before a dump).
+func (rc *Recorder) Sample() {
+	if rc == nil || !recording.Load() {
+		return
+	}
+	s := MetricsSample{At: time.Now(), Stats: rc.reg.Dump()}
+	rc.mu.Lock()
+	if len(rc.ring) < rc.cap {
+		rc.ring = append(rc.ring, s)
+	} else {
+		rc.ring[rc.next] = s
+	}
+	rc.next = (rc.next + 1) % rc.cap
+	rc.mu.Unlock()
+}
+
+// Snapshots copies the retained samples, oldest first.
+func (rc *Recorder) Snapshots() []MetricsSample {
+	if rc == nil {
+		return nil
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	out := make([]MetricsSample, 0, len(rc.ring))
+	for i := 0; i < len(rc.ring); i++ {
+		idx := (rc.next + i) % len(rc.ring)
+		if len(rc.ring) < rc.cap {
+			idx = i
+		}
+		out = append(out, rc.ring[idx])
+	}
+	return out
+}
+
+// FlightDump is a complete post-mortem snapshot: what is running right
+// now, what ran recently, and what the metrics looked like over the
+// recorded window.
+type FlightDump struct {
+	TakenAt     time.Time       `json:"taken_at"`
+	ProcessList []ExecutionInfo `json:"processlist"`
+	History     []QueryRecord   `json:"history"`
+	Metrics     []MetricsSample `json:"metrics"`
+}
+
+// CaptureFlight assembles a dump from the process-wide flight-recorder
+// state (Live, History, Flight), sampling the registry once so the
+// dump always carries current metrics even if the loop never ran.
+func CaptureFlight() FlightDump {
+	Flight.Sample()
+	return FlightDump{
+		TakenAt:     time.Now(),
+		ProcessList: Live.Snapshot(),
+		History:     History.Snapshot(),
+		Metrics:     Flight.Snapshots(),
+	}
+}
+
+// WriteFlightDump writes the current flight-recorder state as indented
+// JSON (the /debug/flightrecorder and SIGQUIT payload).
+func WriteFlightDump(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(CaptureFlight())
+}

@@ -429,10 +429,12 @@ func (s *Server) handleQuery(c *wire.Conn, sess *session, payload []byte) error 
 	// Done only after the result frame is written: a drained shutdown
 	// must never close a connection between execution and the ack.
 	defer s.stmts.Done()
+	gateStart := time.Now()
 	release, admit := s.queryGate.Acquire(s.opts.AdmissionWait)
 	if admit != nil {
 		return c.Send(wire.MsgError, errorPayload(core.NewFault(core.FaultOverload, "admit", admit)))
 	}
+	sess.eng.NoteAdmissionWait(time.Since(gateStart))
 	obsQueriesTot.Inc()
 	obsQueriesIn.Add(1)
 	// The slot and gauge are released via defer so a panicking statement

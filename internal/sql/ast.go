@@ -119,6 +119,12 @@ type Backup struct {
 	Dir string
 }
 
+// Kill is KILL <query-id>: ask the flight recorder to cancel the
+// identified in-flight statement at its next between-rows check.
+type Kill struct {
+	ID int64
+}
+
 // Explain wraps a SELECT to print its plan.
 type Explain struct {
 	Query *Select
@@ -159,6 +165,7 @@ func (*Update) stmtNode()         {}
 func (*Set) stmtNode()            {}
 func (*Checkpoint) stmtNode()     {}
 func (*Backup) stmtNode()         {}
+func (*Kill) stmtNode()           {}
 
 // Expr is an unbound (pre-name-resolution) SQL expression.
 type Expr interface {

@@ -44,6 +44,7 @@ var sqlKeywords = map[string]bool{
 	"EXECUTORS": true,
 	"DELETE":    true, "REPLACE": true, "INNER": true, "UPDATE": true, "SET": true,
 	"CHECKPOINT": true, "BACKUP": true, "TO": true, "STORAGE": true,
+	"KILL": true,
 }
 
 // lexSQL tokenizes a SQL string.

@@ -152,6 +152,8 @@ func (p *sqlParser) statement() (Statement, error) {
 		return &Checkpoint{}, nil
 	case "BACKUP":
 		return p.backupStmt()
+	case "KILL":
+		return p.killStmt()
 	default:
 		return nil, p.errHere("unsupported statement %s", t.text)
 	}
@@ -424,9 +426,27 @@ func (p *sqlParser) showStmt() (Statement, error) {
 		return &Show{What: "executors"}, nil
 	case p.accept(tkKeyword, "STORAGE"):
 		return &Show{What: "storage"}, nil
+	// The flight-recorder targets are contextual words, not reserved
+	// keywords, so columns named "history" etc. keep parsing.
+	case p.accept(tkIdent, "PROCESSLIST"):
+		return &Show{What: "processlist"}, nil
+	case p.accept(tkIdent, "HISTORY"):
+		return &Show{What: "history"}, nil
+	case p.accept(tkIdent, "TENANTS"):
+		return &Show{What: "tenants"}, nil
 	default:
-		return nil, p.errHere("expected TABLES, FUNCTIONS, STATS, STATEMENTS, UDFS, EXECUTORS or STORAGE after SHOW")
+		return nil, p.errHere("expected TABLES, FUNCTIONS, STATS, STATEMENTS, UDFS, EXECUTORS, STORAGE, PROCESSLIST, HISTORY or TENANTS after SHOW")
 	}
+}
+
+func (p *sqlParser) killStmt() (Statement, error) {
+	p.next() // KILL
+	t := p.cur()
+	if t.kind != tkInt {
+		return nil, p.errHere("expected query ID after KILL")
+	}
+	p.next()
+	return &Kill{ID: t.i}, nil
 }
 
 func (p *sqlParser) backupStmt() (Statement, error) {

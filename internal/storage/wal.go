@@ -66,6 +66,10 @@ type WALStats struct {
 	Appends uint64
 	Bytes   uint64
 	Fsyncs  uint64
+	// FsyncNanos is the cumulative wall time spent inside fsync calls;
+	// the engine's query store diffs it around a statement to attribute
+	// commit-latency waits.
+	FsyncNanos uint64
 }
 
 // wal is the append side of the write-ahead log. It is owned by a
@@ -180,9 +184,11 @@ func (l *wal) sync() error {
 		l.err = fmt.Errorf("storage: wal fsync: %w", err)
 		return l.err
 	}
-	obsWALFsyncSeconds.Observe(time.Since(start))
+	elapsed := time.Since(start)
+	obsWALFsyncSeconds.Observe(elapsed)
 	obsWALFsyncs.Inc()
 	l.stats.Fsyncs++
+	l.stats.FsyncNanos += uint64(elapsed)
 	l.synced = l.size
 	return nil
 }

@@ -32,6 +32,7 @@
 package predator
 
 import (
+	"io"
 	"log/slog"
 	"net/http"
 	"time"
@@ -125,8 +126,24 @@ func ReadExecutorStats() ExecutorStats { return isolate.ReadStats() }
 func MetricsHandler() http.Handler { return obs.Handler(obs.Default) }
 
 // ServeMetrics starts an HTTP listener on addr exposing the metrics
-// registry at /metrics. It blocks; run it on its own goroutine.
+// registry at /metrics and the flight-recorder dump at
+// /debug/flightrecorder. It blocks; run it on its own goroutine.
 func ServeMetrics(addr string) error { return obs.Serve(addr, obs.Default) }
+
+// StartFlightRecorder begins sampling the metrics registry into the
+// in-memory flight-recorder ring every interval (≤0 picks a default).
+// The ring is bounded; old samples fall off. Idempotent.
+func StartFlightRecorder(interval time.Duration) { obs.Flight.Start(interval) }
+
+// WriteFlightRecorder writes the flight-recorder dump — live process
+// list, recent per-query records and the sampled metrics history — as
+// indented JSON (the same document /debug/flightrecorder serves).
+func WriteFlightRecorder(w io.Writer) error { return obs.WriteFlightDump(w) }
+
+// EnableFlightRecording toggles per-statement flight recording (live
+// registry + query store) process-wide. On by default; turning it off
+// reduces the per-statement observability cost to a few nil checks.
+func EnableFlightRecording(on bool) { obs.EnableRecording(on) }
 
 // Value type kinds.
 const (
